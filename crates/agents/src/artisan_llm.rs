@@ -1,0 +1,222 @@
+//! The Artisan-LLM answering agent (Eq. 3).
+//!
+//! Two ingredients:
+//!
+//! 1. **Retrieval-grounded rationale.** When trained on the opamp dataset
+//!    (`artisan-dataset`), answers to the prompter's questions are
+//!    retrieved from the DesignQA index of the underlying
+//!    [`DomainLm`]. An untrained agent falls back to the encoded
+//!    knowledge base's text — useful for fast tests.
+//! 2. **Generation noise.** Real LLM answers carry variance; numerical
+//!    parameters are perturbed log-normally and, at a small rate, a
+//!    *blunder* (a badly wrong factor, modelling a wrong retrieval or a
+//!    mis-derived equation) is injected. This is the mechanism behind the
+//!    paper's 7–9/10 success rates.
+
+use artisan_dataset::OpampDataset;
+use artisan_llm::DomainLm;
+use rand::Rng;
+
+/// Noise parameters for answer generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Log-normal sigma applied to every numeric parameter.
+    pub sigma: f64,
+    /// Per-design probability that one parameter receives a gross error.
+    pub blunder_rate: f64,
+    /// Retrieval softmax temperature (0 = always the best match).
+    pub retrieval_temperature: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all — deterministic textbook answers.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            sigma: 0.0,
+            blunder_rate: 0.0,
+            retrieval_temperature: 0.0,
+        }
+    }
+
+    /// The calibrated default reproducing the paper's success-rate band
+    /// (see `EXPERIMENTS.md`).
+    pub fn paper_default() -> Self {
+        NoiseModel {
+            sigma: 0.035,
+            blunder_rate: 0.10,
+            retrieval_temperature: 0.5,
+        }
+    }
+}
+
+/// The answering agent.
+#[derive(Debug, Clone)]
+pub struct ArtisanLlmAgent {
+    lm: Option<DomainLm>,
+    noise: NoiseModel,
+}
+
+impl ArtisanLlmAgent {
+    /// An agent without a trained model: rationales fall back to the
+    /// caller-provided knowledge text; noise still applies.
+    pub fn untrained(noise: NoiseModel) -> Self {
+        ArtisanLlmAgent { lm: None, noise }
+    }
+
+    /// Trains the underlying [`DomainLm`] on the opamp dataset: DAPT on
+    /// the pre-training documents, SFT on the fine-tuning pairs.
+    pub fn train(dataset: &OpampDataset, vocab_budget: usize, order: usize, noise: NoiseModel) -> Self {
+        let mut lm = DomainLm::new(vocab_budget, order);
+        lm.pretrain(&dataset.pretraining_documents());
+        lm.fine_tune(&dataset.fine_tuning_pairs());
+        ArtisanLlmAgent {
+            lm: Some(lm),
+            noise,
+        }
+    }
+
+    /// Whether a trained model backs this agent.
+    pub fn is_trained(&self) -> bool {
+        self.lm.as_ref().is_some_and(DomainLm::is_trained)
+    }
+
+    /// The noise model in effect.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Borrow of the underlying model (for perplexity probes).
+    pub fn model(&self) -> Option<&DomainLm> {
+        self.lm.as_ref()
+    }
+
+    /// Produces the rationale text for a question: retrieved from the
+    /// trained model when possible, otherwise the fallback knowledge
+    /// text.
+    pub fn rationale<R: Rng + ?Sized>(
+        &self,
+        question: &str,
+        fallback: &str,
+        rng: &mut R,
+    ) -> String {
+        if let Some(lm) = &self.lm {
+            if let Some(ans) = lm.answer(question, self.noise.retrieval_temperature, rng) {
+                return ans.text;
+            }
+        }
+        fallback.to_string()
+    }
+
+    /// Applies log-normal parameter noise.
+    pub fn perturb<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        if self.noise.sigma <= 0.0 {
+            return value;
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        value * (self.noise.sigma * z).exp()
+    }
+
+    /// Samples whether this design session contains a blunder, and if
+    /// so, the gross factor to apply to one parameter.
+    pub fn sample_blunder<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        if self.noise.blunder_rate > 0.0 && rng.gen_bool(self.noise.blunder_rate.clamp(0.0, 1.0))
+        {
+            // A wrong-by-construction factor: the kind of error a
+            // mis-retrieved formula produces (e.g. dropping the factor 4
+            // of the Butterworth relation, or squaring a ratio).
+            Some(if rng.gen_bool(0.5) { 0.3 } else { 3.5 })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_dataset::DatasetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn untrained_agent_uses_fallback() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!agent.is_trained());
+        assert_eq!(agent.rationale("anything", "FALLBACK", &mut rng), "FALLBACK");
+    }
+
+    #[test]
+    fn trained_agent_retrieves_design_knowledge() {
+        let ds = OpampDataset::build(&DatasetConfig::tiny(), 11);
+        let agent = ArtisanLlmAgent::train(&ds, 800, 3, NoiseModel::noiseless());
+        assert!(agent.is_trained());
+        let mut rng = StdRng::seed_from_u64(0);
+        let text = agent.rationale(
+            "How should these poles be allocated in the opamp?",
+            "fallback",
+            &mut rng,
+        );
+        assert!(
+            text.to_lowercase().contains("butterworth") || text.contains("pole"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn noiseless_perturb_is_identity() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agent.perturb(42.0, &mut rng), 42.0);
+        assert_eq!(agent.sample_blunder(&mut rng), None);
+    }
+
+    #[test]
+    fn perturbation_is_unbiased_in_log_space() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel {
+            sigma: 0.1,
+            blunder_rate: 0.0,
+            retrieval_temperature: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut log_sum = 0.0;
+        let n = 4000;
+        for _ in 0..n {
+            log_sum += (agent.perturb(1.0, &mut rng)).ln();
+        }
+        let mean = log_sum / n as f64;
+        assert!(mean.abs() < 0.01, "log-mean {mean}");
+    }
+
+    #[test]
+    fn blunders_occur_at_the_configured_rate() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel {
+            sigma: 0.0,
+            blunder_rate: 0.25,
+            retrieval_temperature: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..2000)
+            .filter(|_| agent.sample_blunder(&mut rng).is_some())
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn blunder_factors_are_gross() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel {
+            sigma: 0.0,
+            blunder_rate: 1.0,
+            retrieval_temperature: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let f = agent.sample_blunder(&mut rng).unwrap();
+            assert!(f < 0.5 || f > 3.0, "factor {f} not gross");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The calculator tool (the paper's "auxiliary tool" invocation through
+//! the Langchain framework).
+//!
+//! A recursive-descent parser/evaluator for the arithmetic the design
+//! flow needs: `+ - * / ^`, parentheses, unary minus, `pi`, scientific
+//! notation, and SPICE SI suffixes (`8*pi*1meg*10p`).
+
+use artisan_circuit::value::parse_si;
+use std::fmt;
+
+/// Error produced by the calculator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalcError {
+    /// Byte position in the expression where parsing failed.
+    pub position: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CalcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calculator error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for CalcError {}
+
+/// One logged tool invocation (expression and result), mirroring the
+/// paper's "autonomously invokes the calculator if necessary".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolCall {
+    /// The evaluated expression.
+    pub expression: String,
+    /// The numerical result.
+    pub result: f64,
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CalcError {
+        CalcError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<f64, CalcError> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    acc += self.term()?;
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    acc -= self.term()?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<f64, CalcError> {
+        let mut acc = self.power()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    acc *= self.power()?;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let d = self.power()?;
+                    if d == 0.0 {
+                        return Err(self.error("division by zero"));
+                    }
+                    acc /= d;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn power(&mut self) -> Result<f64, CalcError> {
+        let base = self.unary()?;
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            let exp = self.power()?; // right-associative
+            Ok(base.powf(exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<f64, CalcError> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(-self.unary()?)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                self.unary()
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<f64, CalcError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let v = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(self.error("expected `)`"));
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(c) if c.is_ascii_alphabetic() => self.identifier(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of expression")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, CalcError> {
+        let start = self.pos;
+        // Consume digits, dot, exponent, and trailing SI-suffix letters.
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos] as char;
+            let is_part = c.is_ascii_digit()
+                || c == '.'
+                || c.is_ascii_alphabetic()
+                || ((c == '+' || c == '-')
+                    && matches!(self.src[self.pos - 1] as char, 'e' | 'E'));
+            if !is_part {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        parse_si(text).ok_or_else(|| CalcError {
+            position: start,
+            message: format!("cannot parse number `{text}`"),
+        })
+    }
+
+    fn identifier(&mut self) -> Result<f64, CalcError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_alphanumeric() {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match name.to_ascii_lowercase().as_str() {
+            "pi" => Ok(std::f64::consts::PI),
+            "e" => Ok(std::f64::consts::E),
+            other => Err(CalcError {
+                position: start,
+                message: format!("unknown identifier `{other}`"),
+            }),
+        }
+    }
+}
+
+/// Evaluates an arithmetic expression.
+///
+/// # Errors
+///
+/// Returns [`CalcError`] with the byte position of the first problem.
+///
+/// # Example
+///
+/// ```
+/// use artisan_agents::calculator::evaluate;
+///
+/// // The paper's A3 computation: gm3 = 8·π·GBW·CL.
+/// let gm3 = evaluate("8*pi*1meg*10p")?;
+/// assert!((gm3 - 251.3e-6).abs() < 1e-6);
+/// # Ok::<(), artisan_agents::calculator::CalcError>(())
+/// ```
+pub fn evaluate(expression: &str) -> Result<f64, CalcError> {
+    let mut p = Parser::new(expression);
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(v)
+}
+
+/// Evaluates and logs the call.
+///
+/// # Errors
+///
+/// Propagates [`evaluate`] failures.
+pub fn evaluate_logged(expression: &str, log: &mut Vec<ToolCall>) -> Result<f64, CalcError> {
+    let result = evaluate(expression)?;
+    log.push(ToolCall {
+        expression: expression.to_string(),
+        result,
+    });
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(evaluate("2+3*4").unwrap(), 14.0);
+        assert_eq!(evaluate("(2+3)*4").unwrap(), 20.0);
+        assert_eq!(evaluate("2^3^2").unwrap(), 512.0); // right assoc
+        assert_eq!(evaluate("-2*3").unwrap(), -6.0);
+        assert_eq!(evaluate("10/4").unwrap(), 2.5);
+    }
+
+    #[test]
+    fn constants_and_si_suffixes() {
+        assert!((evaluate("pi").unwrap() - std::f64::consts::PI).abs() < 1e-15);
+        assert!((evaluate("8*pi*1meg*10p").unwrap() - 251.327e-6).abs() < 1e-9);
+        assert!((evaluate("4p/(2*10p)").unwrap() - 0.2).abs() < 1e-12);
+        assert!((evaluate("2.5e-6 * 2").unwrap() - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paper_a3_computations() {
+        // gm1 = gm3·Cm1/(4·CL) with gm3 = 251.2µ.
+        let gm1 = evaluate("251.2u*4p/(4*10p)").unwrap();
+        assert!((gm1 - 25.12e-6).abs() < 1e-10);
+        let gm2 = evaluate("251.2u*3p/(2*10p)").unwrap();
+        assert!((gm2 - 37.68e-6).abs() < 1e-10);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(evaluate("2*").is_err());
+        assert!(evaluate("2**3").is_err());
+        assert!(evaluate("(2+3").unwrap_err().message.contains(")"));
+        assert!(evaluate("foo+1").unwrap_err().message.contains("foo"));
+        assert!(evaluate("1/0").unwrap_err().message.contains("zero"));
+        assert!(evaluate("2 2").unwrap_err().message.contains("trailing"));
+        assert!(evaluate("").is_err());
+    }
+
+    #[test]
+    fn logging_records_calls() {
+        let mut log = Vec::new();
+        evaluate_logged("1+1", &mut log).unwrap();
+        evaluate_logged("2*2", &mut log).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].result, 4.0);
+        assert_eq!(log[0].expression, "1+1");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert_eq!(evaluate("  2 + 3 * ( 4 - 1 ) ").unwrap(), 11.0);
+    }
+}

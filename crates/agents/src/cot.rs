@@ -1,0 +1,438 @@
+//! The Chain-of-Thoughts design flow (§3.3.2): executing the eight steps
+//! of Fig. 4 as a prompter/LLM dialogue that produces a concrete
+//! topology.
+//!
+//! Every numeric parameter is computed through the [`crate::calculator`]
+//! tool (with the invocation logged into the transcript, as in the
+//! `Q3 → A3` phase of Fig. 7) and then passed through the agent's noise
+//! model — the generated answer is what the *LLM said*, not the exact
+//! arithmetic.
+
+use crate::artisan_llm::ArtisanLlmAgent;
+use crate::calculator::{evaluate_logged, ToolCall};
+use crate::dialogue::ChatTranscript;
+use crate::knowledge::Architecture;
+use crate::prompter::{DesignStep, Prompter};
+use artisan_circuit::design::{dfc_parameters, nmc_parameters, DesignTarget};
+use artisan_circuit::units::{Farads, Siemens};
+use artisan_circuit::value::format_si;
+use artisan_circuit::{
+    ConnectionParams, ConnectionType, Placement, Position, Skeleton, StageParams, Topology,
+};
+use rand::Rng;
+
+/// Tuning handles the ToT modification layer applies on top of the base
+/// recipes across iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowAdjustments {
+    /// Multiplier on the per-stage intrinsic gains.
+    pub gain_boost: f64,
+    /// Multiplier on the Miller capacitors (with gm1/gm2 following, so
+    /// GBW is preserved).
+    pub comp_scale: f64,
+    /// Multiplier on the output-stage transconductance (pole spreading).
+    pub pole_spread: f64,
+}
+
+impl Default for FlowAdjustments {
+    fn default() -> Self {
+        FlowAdjustments {
+            gain_boost: 1.0,
+            comp_scale: 1.0,
+            pole_spread: 1.0,
+        }
+    }
+}
+
+/// The result of one CoT pass: the designed topology plus the logged
+/// tool calls.
+#[derive(Debug, Clone)]
+pub struct CotResult {
+    /// The concrete behavioural topology.
+    pub topology: Topology,
+    /// Calculator invocations made along the way.
+    pub tool_calls: Vec<ToolCall>,
+}
+
+/// Runs the eight-step flow for `architecture` at `target`, narrating
+/// into `transcript`. One LLM exchange is appended per step.
+pub fn run_design_flow<R: Rng + ?Sized>(
+    agent: &ArtisanLlmAgent,
+    architecture: Architecture,
+    target: &DesignTarget,
+    adjustments: &FlowAdjustments,
+    blunder: Option<f64>,
+    transcript: &mut ChatTranscript,
+    rng: &mut R,
+) -> CotResult {
+    let mut tools = Vec::new();
+
+    // Base recipe parameters (exact), then the noise model decides what
+    // the LLM actually "writes down".
+    let (mut gm1, mut gm2, mut gm3, mut cm1, cm2_opt, dfc_opt) = match architecture {
+        Architecture::DfcNmc => {
+            let p = dfc_parameters(target);
+            (
+                p.gm1.value(),
+                p.gm2.value(),
+                p.gm3.value(),
+                p.cm1.value(),
+                None,
+                Some((p.gm4.value(), p.cm3.value())),
+            )
+        }
+        _ => {
+            let p = nmc_parameters(target);
+            (
+                p.gm1.value(),
+                p.gm2.value(),
+                p.gm3.value(),
+                p.cm1.value(),
+                Some(p.cm2.value()),
+                None,
+            )
+        }
+    };
+
+    // Apply ToT adjustments.
+    cm1 *= adjustments.comp_scale;
+    gm1 *= adjustments.comp_scale;
+    gm2 *= adjustments.comp_scale;
+    gm3 *= adjustments.pole_spread;
+    let mut cm2 = cm2_opt.map(|c| c * adjustments.comp_scale);
+    let mut dfc = dfc_opt;
+
+    // Noise: per-parameter log-normal plus at most one gross blunder.
+    // The blunder is sampled once per design *session* by the caller: a
+    // mis-retrieved formula persists across modification iterations, the
+    // way a model that believes a wrong equation keeps applying it.
+    let blunder_slot = rng.gen_range(0..7usize);
+    let mut slot = 0usize;
+    let mut noisy = |v: f64, rng: &mut R| {
+        let mut out = agent.perturb(v, rng);
+        if let Some(factor) = blunder {
+            if slot == blunder_slot {
+                out *= factor;
+            }
+        }
+        slot += 1;
+        out
+    };
+    gm1 = noisy(gm1, rng);
+    gm2 = noisy(gm2, rng);
+    gm3 = noisy(gm3, rng);
+    cm1 = noisy(cm1, rng);
+    cm2 = cm2.map(|c| noisy(c, rng));
+    if let Some((gm4, cm3)) = dfc {
+        dfc = Some((noisy(gm4, rng), noisy(cm3, rng)));
+    }
+
+    // Narrate the eight steps.
+    for step in DesignStep::ALL {
+        let q = Prompter::question_for(step);
+        let idx = transcript.question(q.clone());
+        let answer = match step {
+            DesignStep::TopologySelection => agent.rationale(
+                &q,
+                &format!(
+                    "Use the {} architecture: {}.",
+                    architecture.name(),
+                    architecture.preference()
+                ),
+                rng,
+            ),
+            DesignStep::ZeroPoleAnalysis => agent.rationale(
+                &q,
+                "Under the Miller effect of the compensation capacitors the transfer \
+                 function has a dominant pole p1 = 1/(2*pi*Cm1*gm2*gm3*Ro1*Ro2*(Ro3||RL)), \
+                 non-dominant poles from the inner loop and the output, and a \
+                 right-half-plane zero through the outer capacitor.",
+                rng,
+            ),
+            DesignStep::PoleAllocation => agent.rationale(
+                &q,
+                "Set p1 < GBW < p2 < p3 for a single-pole response up to GBW; by the \
+                 Butterworth methodology, allocate GBW:p2:p3 = 1:2:4 so the phase margin \
+                 lands near 60 degrees.",
+                rng,
+            ),
+            DesignStep::ParameterSolving => {
+                // The A3-style computation, through the calculator tool.
+                let gbw = target.gbw_hz;
+                let cl = target.cl;
+                let gm3_exact = evaluate_logged(&format!("8*pi*{gbw:e}*{cl:e}"), &mut tools)
+                    .expect("well-formed expression");
+                transcript.tool(
+                    idx,
+                    format!(
+                        "calculator: 8*pi*GBW*CL = {}S",
+                        format_si(gm3_exact)
+                    ),
+                );
+                let mut text = format!(
+                    "Setting GBW = {}Hz: gm3 = 8*pi*GBW*CL = {}S. With Cm1 = {}F we get \
+                     gm1 = {}S and gm2 = {}S.",
+                    format_si(target.gbw_hz),
+                    format_si(gm3),
+                    format_si(cm1),
+                    format_si(gm1),
+                    format_si(gm2),
+                );
+                if let Some(c2) = cm2 {
+                    text.push_str(&format!(" The inner Miller capacitor is Cm2 = {}F.", format_si(c2)));
+                }
+                if let Some((gm4, cm3)) = dfc {
+                    text.push_str(&format!(
+                        " The DFC block uses gm4 = {}S with Cm3 = {}F.",
+                        format_si(gm4),
+                        format_si(cm3)
+                    ));
+                }
+                text
+            }
+            DesignStep::GainAllocation => {
+                let (a1, a2, a3) =
+                    artisan_circuit::design::intrinsic_gains_for(target.gain_db);
+                format!(
+                    "Allocate intrinsic gains A1 = {a1}, A2 = {a2}, A3 = {a3} (boosted by \
+                     {:.2} from feedback) so the DC gain product clears {:.0}dB.",
+                    adjustments.gain_boost, target.gain_db
+                )
+            }
+            DesignStep::PowerCheck => {
+                let est = 1.8 * 1.3 * (2.0 * gm1 + gm2 + gm3) / 15.0;
+                transcript.tool(
+                    idx,
+                    format!(
+                        "calculator: 1.8*1.3*(2*gm1+gm2+gm3)/15 = {}W",
+                        format_si(est)
+                    ),
+                );
+                format!(
+                    "At gm/Id = 15 the estimated static power is {}W against the {}W \
+                     budget.",
+                    format_si(est),
+                    format_si(target.power_budget_w)
+                )
+            }
+            DesignStep::NetlistEmission => {
+                "The final behavioural netlist instantiates the three stages, the \
+                 compensation network, and the load; it follows this answer."
+                    .to_string()
+            }
+            DesignStep::Verification => agent.rationale(
+                &q,
+                "Run an AC analysis: DC gain at low frequency, GBW at the unity crossing, \
+                 phase margin at that crossing, and static power from the bias currents.",
+                rng,
+            ),
+        };
+        transcript.answer(idx, answer);
+    }
+
+    // Assemble the topology from the (noisy) parameters.
+    let (a1, a2, a3) = artisan_circuit::design::intrinsic_gains_for(target.gain_db);
+    let boost = adjustments.gain_boost;
+    let skeleton = Skeleton::new(
+        StageParams::from_gm_and_gain(gm1, a1 * boost),
+        StageParams::from_gm_and_gain(gm2, a2 * boost),
+        StageParams::from_gm_and_gain(gm3, a3),
+        target.rl,
+        target.cl,
+    );
+    let mut topology = Topology::new(skeleton);
+    topology
+        .place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(cm1),
+        ))
+        .expect("Cm1 placement is legal");
+    if let Some(c2) = cm2 {
+        topology
+            .place(Placement::new(
+                Position::N2ToOut,
+                ConnectionType::MillerCapacitor,
+                ConnectionParams::c(c2),
+            ))
+            .expect("Cm2 placement is legal");
+    }
+    if let Some((gm4, cm3)) = dfc {
+        topology
+            .place(Placement::new(
+                Position::ShuntN1,
+                ConnectionType::Dfc,
+                ConnectionParams {
+                    c: Some(Farads(cm3)),
+                    gm: Some(Siemens(gm4)),
+                    r: None,
+                },
+            ))
+            .expect("DFC placement is legal");
+    }
+
+    CotResult {
+        topology,
+        tool_calls: tools,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artisan_llm::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g1_target() -> DesignTarget {
+        DesignTarget {
+            gbw_hz: 1e6,
+            cl: 10e-12,
+            rl: 1e6,
+            gain_db: 85.0,
+            power_budget_w: 250e-6,
+        }
+    }
+
+    #[test]
+    fn noiseless_nmc_flow_reproduces_recipe() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut transcript = ChatTranscript::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = run_design_flow(
+            &agent,
+            Architecture::Nmc,
+            &g1_target(),
+            &FlowAdjustments::default(),
+            None,
+            &mut transcript,
+            &mut rng,
+        );
+        let p = nmc_parameters(&g1_target());
+        let topo = &result.topology;
+        assert!((topo.skeleton.stage3.gm.value() - p.gm3.value()).abs() < 1e-12);
+        assert_eq!(
+            topo.connection_at(Position::N2ToOut),
+            ConnectionType::MillerCapacitor
+        );
+        assert_eq!(transcript.exchange_count(), 8);
+        assert!(!result.tool_calls.is_empty());
+    }
+
+    #[test]
+    fn dfc_flow_places_block_and_drops_cm2() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut transcript = ChatTranscript::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let target = DesignTarget {
+            cl: 1e-9,
+            gbw_hz: 1.5e6,
+            ..g1_target()
+        };
+        let result = run_design_flow(
+            &agent,
+            Architecture::DfcNmc,
+            &target,
+            &FlowAdjustments::default(),
+            None,
+            &mut transcript,
+            &mut rng,
+        );
+        assert_eq!(
+            result.topology.connection_at(Position::ShuntN1),
+            ConnectionType::Dfc
+        );
+        assert_eq!(
+            result.topology.connection_at(Position::N2ToOut),
+            ConnectionType::Open
+        );
+    }
+
+    #[test]
+    fn transcript_contains_tool_invocation() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut transcript = ChatTranscript::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        run_design_flow(
+            &agent,
+            Architecture::Nmc,
+            &g1_target(),
+            &FlowAdjustments::default(),
+            None,
+            &mut transcript,
+            &mut rng,
+        );
+        let text = transcript.to_string();
+        assert!(text.contains("calculator: 8*pi*GBW*CL"), "{text}");
+        assert!(text.contains("Butterworth"), "{text}");
+    }
+
+    #[test]
+    fn noise_perturbs_parameters() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel {
+            sigma: 0.2,
+            blunder_rate: 0.0,
+            retrieval_temperature: 0.0,
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut transcript = ChatTranscript::new();
+        let a = run_design_flow(
+            &agent,
+            Architecture::Nmc,
+            &g1_target(),
+            &FlowAdjustments::default(),
+            None,
+            &mut transcript,
+            &mut rng,
+        );
+        let exact = nmc_parameters(&g1_target());
+        assert!(
+            (a.topology.skeleton.stage3.gm.value() - exact.gm3.value()).abs()
+                > 1e-9
+        );
+    }
+
+    #[test]
+    fn adjustments_scale_the_design() {
+        let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t1 = ChatTranscript::new();
+        let base = run_design_flow(
+            &agent,
+            Architecture::Nmc,
+            &g1_target(),
+            &FlowAdjustments::default(),
+            None,
+            &mut t1,
+            &mut rng,
+        );
+        let mut t2 = ChatTranscript::new();
+        let shrunk = run_design_flow(
+            &agent,
+            Architecture::Nmc,
+            &g1_target(),
+            &FlowAdjustments {
+                comp_scale: 0.5,
+                ..FlowAdjustments::default()
+            },
+            None,
+            &mut t2,
+            &mut rng,
+        );
+        let cm1_of = |t: &Topology| {
+            t.placements()
+                .iter()
+                .find(|p| p.position == Position::N1ToOut)
+                .and_then(|p| p.params.c)
+                .expect("cm1 present")
+                .value()
+        };
+        assert!((cm1_of(&shrunk.topology) / cm1_of(&base.topology) - 0.5).abs() < 1e-9);
+        // gm1 follows, preserving GBW.
+        let gbw_base =
+            base.topology.skeleton.stage1.gm.value() / cm1_of(&base.topology);
+        let gbw_shrunk =
+            shrunk.topology.skeleton.stage1.gm.value() / cm1_of(&shrunk.topology);
+        assert!((gbw_base - gbw_shrunk).abs() / gbw_base < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Chat transcripts in the style of Fig. 7.
+
+use std::fmt;
+
+/// Who produced a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speaker {
+    /// Artisan-Prompter (the GPT-4-based question agent).
+    Prompter,
+    /// Artisan-LLM (the domain-specific answering agent).
+    ArtisanLlm,
+    /// A tool invocation (calculator, simulator).
+    Tool,
+}
+
+impl Speaker {
+    /// The transcript prefix for this speaker at turn `index` — matching
+    /// the Q0/A0/Q1/A1 numbering of Fig. 7.
+    pub fn prefix(self, index: usize) -> String {
+        match self {
+            Speaker::Prompter => format!("Q{index}"),
+            Speaker::ArtisanLlm => format!("A{index}"),
+            Speaker::Tool => format!("T{index}"),
+        }
+    }
+}
+
+/// One turn of the dialogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatTurn {
+    /// Speaker.
+    pub speaker: Speaker,
+    /// Exchange index (questions and their answers share an index).
+    pub index: usize,
+    /// The text.
+    pub text: String,
+}
+
+/// A full design-session transcript.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChatTranscript {
+    turns: Vec<ChatTurn>,
+    next_index: usize,
+}
+
+impl ChatTranscript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a question; returns its exchange index.
+    pub fn question(&mut self, text: impl Into<String>) -> usize {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.turns.push(ChatTurn {
+            speaker: Speaker::Prompter,
+            index,
+            text: text.into(),
+        });
+        index
+    }
+
+    /// Records the answer to exchange `index`.
+    pub fn answer(&mut self, index: usize, text: impl Into<String>) {
+        self.turns.push(ChatTurn {
+            speaker: Speaker::ArtisanLlm,
+            index,
+            text: text.into(),
+        });
+    }
+
+    /// Records a tool invocation within exchange `index`.
+    pub fn tool(&mut self, index: usize, text: impl Into<String>) {
+        self.turns.push(ChatTurn {
+            speaker: Speaker::Tool,
+            index,
+            text: text.into(),
+        });
+    }
+
+    /// All turns in order.
+    pub fn turns(&self) -> &[ChatTurn] {
+        &self.turns
+    }
+
+    /// Number of question/answer exchanges.
+    pub fn exchange_count(&self) -> usize {
+        self.next_index
+    }
+
+    /// Appends another transcript, renumbering its exchanges to follow
+    /// this one.
+    pub fn extend_from(&mut self, other: &ChatTranscript) {
+        let offset = self.next_index;
+        for t in &other.turns {
+            self.turns.push(ChatTurn {
+                speaker: t.speaker,
+                index: t.index + offset,
+                text: t.text.clone(),
+            });
+        }
+        self.next_index += other.next_index;
+    }
+}
+
+impl fmt::Display for ChatTranscript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.turns {
+            writeln!(f, "{}: {}", t.speaker.prefix(t.index), t.text)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_matches_fig7_style() {
+        let mut tr = ChatTranscript::new();
+        let q0 = tr.question("Please design an opamp…");
+        tr.answer(q0, "Use NMC because…");
+        let q1 = tr.question("Analyze the poles.");
+        tr.tool(q1, "calc(8*pi*1meg*10p) = 251.3u");
+        tr.answer(q1, "p1 = …");
+        let text = tr.to_string();
+        assert!(text.contains("Q0: Please design"));
+        assert!(text.contains("A0: Use NMC"));
+        assert!(text.contains("Q1: Analyze"));
+        assert!(text.contains("T1: calc"));
+        assert_eq!(tr.exchange_count(), 2);
+    }
+
+    #[test]
+    fn extend_renumbers() {
+        let mut a = ChatTranscript::new();
+        let q = a.question("first");
+        a.answer(q, "one");
+        let mut b = ChatTranscript::new();
+        let q = b.question("second");
+        b.answer(q, "two");
+        a.extend_from(&b);
+        assert_eq!(a.exchange_count(), 2);
+        let text = a.to_string();
+        assert!(text.contains("Q1: second"));
+        assert!(text.contains("A1: two"));
+    }
+
+    #[test]
+    fn turns_are_ordered() {
+        let mut tr = ChatTranscript::new();
+        let q = tr.question("q");
+        tr.answer(q, "a");
+        assert_eq!(tr.turns().len(), 2);
+        assert_eq!(tr.turns()[0].speaker, Speaker::Prompter);
+        assert_eq!(tr.turns()[1].speaker, Speaker::ArtisanLlm);
+    }
+}

@@ -1,0 +1,372 @@
+//! The complete Artisan design loop (Fig. 2): ToT architecture selection
+//! → CoT design flow → simulation verification → ToT modification, with
+//! every LLM exchange billed to the simulator's cost ledger.
+
+use crate::artisan_llm::{ArtisanLlmAgent, NoiseModel};
+use crate::cot::{run_design_flow, FlowAdjustments};
+use crate::dialogue::ChatTranscript;
+use crate::knowledge::{Architecture, Modification};
+use crate::prompter::Prompter;
+use crate::tot::TotTrace;
+use artisan_circuit::design::DesignTarget;
+use artisan_circuit::Topology;
+use artisan_dataset::OpampDataset;
+use artisan_sim::{AnalysisReport, Simulator, Spec};
+use rand::Rng;
+
+/// Configuration of the Artisan agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentConfig {
+    /// Noise model for the answering agent.
+    pub noise: NoiseModel,
+    /// Maximum ToT modification iterations after the first design.
+    pub max_iterations: usize,
+}
+
+impl AgentConfig {
+    /// Deterministic, noise-free agent (always succeeds on the Table 2
+    /// groups — used to validate the recipes themselves).
+    pub fn noiseless() -> Self {
+        AgentConfig {
+            noise: NoiseModel::noiseless(),
+            max_iterations: 3,
+        }
+    }
+
+    /// The calibrated noisy configuration reproducing Table 3's success
+    /// band. One modification retry matches the paper's time signature:
+    /// G-1's 7.68 min at ≈ 40 s per LLM exchange is a single CoT pass,
+    /// while the harder groups' ≈ 15 min implies a second iteration.
+    pub fn paper_default() -> Self {
+        AgentConfig {
+            noise: NoiseModel::paper_default(),
+            max_iterations: 1,
+        }
+    }
+}
+
+/// Everything one design session produces.
+#[derive(Debug, Clone)]
+pub struct DesignOutcome {
+    /// Whether the final design clears every spec (simulator-confirmed).
+    pub success: bool,
+    /// The final topology.
+    pub topology: Topology,
+    /// The final analysis report (absent only if simulation itself
+    /// failed).
+    pub report: Option<AnalysisReport>,
+    /// The chat transcript of the whole session (Fig. 7 style).
+    pub transcript: ChatTranscript,
+    /// The ToT decision trace.
+    pub tot_trace: TotTrace,
+    /// Design iterations used (1 = first attempt succeeded).
+    pub iterations: usize,
+    /// The final architecture.
+    pub architecture: Architecture,
+    /// The final behavioural netlist text.
+    pub netlist_text: String,
+}
+
+/// The Artisan agent: an [`ArtisanLlmAgent`] plus the ToT/CoT
+/// orchestration.
+#[derive(Debug, Clone)]
+pub struct ArtisanAgent {
+    llm: ArtisanLlmAgent,
+    config: AgentConfig,
+}
+
+impl ArtisanAgent {
+    /// An agent without a trained language model (knowledge-base
+    /// fallback text; identical numerics). Fast to construct — the
+    /// default for tests and optimization baid experiments.
+    pub fn untrained(config: AgentConfig) -> Self {
+        ArtisanAgent {
+            llm: ArtisanLlmAgent::untrained(config.noise),
+            config,
+        }
+    }
+
+    /// An agent backed by a [`artisan_llm::DomainLm`] trained on the
+    /// opamp dataset (DAPT + SFT).
+    pub fn trained(dataset: &OpampDataset, config: AgentConfig) -> Self {
+        ArtisanAgent {
+            llm: ArtisanLlmAgent::train(dataset, 1500, 3, config.noise),
+            config,
+        }
+    }
+
+    /// Whether a trained model backs the agent.
+    pub fn is_trained(&self) -> bool {
+        self.llm.is_trained()
+    }
+
+    /// Borrow of the answering agent.
+    pub fn llm(&self) -> &ArtisanLlmAgent {
+        &self.llm
+    }
+
+    /// Derives the initial design target from a spec: GBW margin over
+    /// the floor (smaller when the spec is already aggressive or the
+    /// power budget is tight) and the spec's gain/load/budget.
+    pub fn initial_target(spec: &Spec) -> DesignTarget {
+        let tight_power = spec.power_max_w < 100e-6;
+        let aggressive_gbw = spec.gbw_min_hz >= 2e6;
+        let margin = if tight_power || aggressive_gbw {
+            1.12
+        } else if spec.cl.value() > 100e-12 {
+            2.0
+        } else {
+            1.5
+        };
+        DesignTarget {
+            gbw_hz: spec.gbw_min_hz * margin,
+            cl: spec.cl.value(),
+            rl: 1e6,
+            gain_db: spec.gain_min_db,
+            power_budget_w: spec.power_max_w,
+        }
+    }
+
+    /// Runs the full design session for `spec`, billing LLM exchanges
+    /// and simulations to `sim`'s ledger.
+    pub fn design<R: Rng + ?Sized>(
+        &mut self,
+        spec: &Spec,
+        sim: &mut Simulator,
+        rng: &mut R,
+    ) -> DesignOutcome {
+        let mut transcript = ChatTranscript::new();
+        let mut tot_trace = TotTrace::new();
+
+        // Q0/A0: spec in, architecture recommendation out.
+        let q0 = transcript.question(Prompter::initial_question(spec));
+        let mut architecture = tot_trace.decide_architecture(spec);
+        let a0 = self.llm.rationale(
+            &Prompter::initial_question(spec),
+            &tot_trace
+                .nodes()
+                .last()
+                .map(|n| format!("Use {}: {}", n.chosen, n.rationale))
+                .unwrap_or_default(),
+            rng,
+        );
+        transcript.answer(q0, a0);
+        sim.ledger_mut().record_llm_step();
+
+        let mut target = Self::initial_target(spec);
+        let mut adjustments = FlowAdjustments::default();
+        // One blunder draw per session: a wrong belief persists across
+        // modification iterations.
+        let blunder = self.llm.sample_blunder(rng);
+
+        let mut best: Option<(Topology, AnalysisReport, bool)> = None;
+        let mut iterations = 0;
+
+        for attempt in 0..=self.config.max_iterations {
+            iterations = attempt + 1;
+            // CoT: eight exchanges.
+            let cot = run_design_flow(
+                &self.llm,
+                architecture,
+                &target,
+                &adjustments,
+                blunder,
+                &mut transcript,
+                rng,
+            );
+            for _ in 0..8 {
+                sim.ledger_mut().record_llm_step();
+            }
+
+            // Verification (a billed simulation).
+            let (failures, report): (Vec<&str>, Option<AnalysisReport>) =
+                match sim.analyze_topology(&cot.topology) {
+                    Ok(report) => {
+                        let check = spec.check(&report.performance);
+                        let mut fails: Vec<&str> = check.failures();
+                        if !report.stable && fails.is_empty() {
+                            fails.push("PM");
+                        }
+                        (fails, Some(report))
+                    }
+                    Err(_) => (vec!["PM"], None),
+                };
+
+            let success = failures.is_empty()
+                && report.as_ref().map(|r| r.stable).unwrap_or(false);
+            if let Some(r) = report {
+                let keep = match &best {
+                    None => true,
+                    Some((_, _, prev_success)) => success && !prev_success,
+                };
+                if keep || best.is_none() {
+                    best = Some((cot.topology.clone(), r, success));
+                }
+            }
+            if success || attempt == self.config.max_iterations {
+                break;
+            }
+
+            // ToT modification (the Q9-style feedback exchange).
+            let q = transcript.question(Prompter::feedback_question(&failures, spec));
+            let Some(modification) =
+                tot_trace.decide_modification(architecture, &failures, spec)
+            else {
+                transcript.answer(q, "No applicable modification strategy remains.");
+                break;
+            };
+            transcript.answer(
+                q,
+                format!("{} Applying the modification.", modification.rationale()),
+            );
+            sim.ledger_mut().record_llm_step();
+
+            match modification {
+                Modification::SwitchToDfc => {
+                    architecture = Architecture::DfcNmc;
+                    target.gbw_hz = (spec.gbw_min_hz * 2.0).max(target.gbw_hz);
+                    adjustments = FlowAdjustments::default();
+                }
+                Modification::RaiseIntrinsicGain => {
+                    adjustments.gain_boost *= 2.5;
+                }
+                Modification::IncreaseGbwTarget { factor } => {
+                    target.gbw_hz *= factor;
+                }
+                Modification::ShrinkCompensation => {
+                    adjustments.comp_scale *= 0.6;
+                }
+                Modification::WidenPoleSpacing => {
+                    adjustments.pole_spread *= 1.4;
+                }
+            }
+        }
+
+        let (topology, report, success) = match best {
+            Some((t, r, s)) => (t, Some(r), s),
+            None => {
+                // Even simulation failed on every attempt: emit the last
+                // recipe topology as the (failed) result.
+                let cot = run_design_flow(
+                    &self.llm,
+                    architecture,
+                    &target,
+                    &adjustments,
+                    blunder,
+                    &mut ChatTranscript::new(),
+                    rng,
+                );
+                (cot.topology, None, false)
+            }
+        };
+        let netlist_text = topology
+            .elaborate()
+            .map(|n| n.to_text())
+            .unwrap_or_default();
+
+        DesignOutcome {
+            success,
+            topology,
+            report,
+            transcript,
+            tot_trace,
+            iterations,
+            architecture,
+            netlist_text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(spec: &Spec, seed: u64) -> (DesignOutcome, Simulator) {
+        let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+        let mut sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = agent.design(spec, &mut sim, &mut rng);
+        (outcome, sim)
+    }
+
+    #[test]
+    fn noiseless_agent_succeeds_on_all_table2_groups() {
+        for (name, spec) in Spec::table2() {
+            let (outcome, _) = run(&spec, 0);
+            assert!(
+                outcome.success,
+                "{name} failed: {:?}",
+                outcome.report.map(|r| r.performance)
+            );
+        }
+    }
+
+    #[test]
+    fn g1_uses_nmc_in_one_iteration() {
+        let (outcome, _) = run(&Spec::g1(), 0);
+        assert_eq!(outcome.architecture, Architecture::Nmc);
+        assert_eq!(outcome.iterations, 1);
+        assert!(outcome.netlist_text.contains("G1"));
+    }
+
+    #[test]
+    fn g5_selects_dfc_via_tot() {
+        let (outcome, _) = run(&Spec::g5(), 0);
+        assert_eq!(outcome.architecture, Architecture::DfcNmc);
+        assert!(outcome.transcript.to_string().contains("damping"));
+    }
+
+    #[test]
+    fn ledger_bills_llm_steps_and_sims() {
+        let (outcome, sim) = run(&Spec::g1(), 0);
+        assert!(sim.ledger().llm_steps() >= 9); // Q0 + 8 CoT steps
+        assert!(sim.ledger().simulations() >= 1);
+        assert!(outcome.iterations >= 1);
+        // Artisan-scale time: minutes, not hours.
+        let secs = sim
+            .ledger()
+            .testbed_seconds(&artisan_sim::cost::CostModel::default());
+        assert!(secs < 3600.0, "{secs}");
+    }
+
+    #[test]
+    fn transcript_has_fig7_structure() {
+        let (outcome, _) = run(&Spec::g1(), 0);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("Q0:"));
+        assert!(text.contains("A0:"));
+        assert!(text.contains("final netlist"));
+        assert!(outcome.transcript.exchange_count() >= 9);
+    }
+
+    #[test]
+    fn noisy_agent_succeeds_most_of_the_time_on_g1() {
+        let mut agent = ArtisanAgent::untrained(AgentConfig::paper_default());
+        let mut successes = 0;
+        for seed in 0..20 {
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            if agent.design(&Spec::g1(), &mut sim, &mut rng).success {
+                successes += 1;
+            }
+        }
+        assert!(
+            (12..=20).contains(&successes),
+            "success {successes}/20 outside the paper band"
+        );
+    }
+
+    #[test]
+    fn initial_target_margins() {
+        let t = ArtisanAgent::initial_target(&Spec::g1());
+        assert!((t.gbw_hz - 1.05e6).abs() < 1e-3);
+        let t = ArtisanAgent::initial_target(&Spec::g3());
+        assert!((t.gbw_hz - 5.6e6).abs() < 1e3);
+        let t = ArtisanAgent::initial_target(&Spec::g4());
+        assert!(t.gbw_hz < 0.8e6);
+        let t = ArtisanAgent::initial_target(&Spec::g5());
+        assert!((t.gbw_hz - 1.4e6).abs() < 1e3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Encoded human expertise: architecture performance preferences and
+//! modification strategies (§3.3.1).
+//!
+//! The paper's authors annotate "the performance preferences of
+//! mainstream architectures and the potential impacts of various
+//! architectural modification strategies" from the multistage-amplifier
+//! surveys (Leung & Mok 2001; Riad et al. 2019). This module encodes the
+//! same knowledge as data: each architecture carries the conditions it
+//! suits and a rationale, and each observed failure maps to a
+//! modification strategy.
+
+use artisan_sim::Spec;
+use std::fmt;
+
+/// The mainstream three-stage compensation architectures of the surveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Simple (single) Miller compensation — two-stage-like behaviour.
+    Smc,
+    /// Nested Miller compensation — the three-stage workhorse.
+    Nmc,
+    /// NMC with a feedforward transconductance path (left-half-plane
+    /// zero).
+    FeedforwardNmc,
+    /// Multipath Miller compensation.
+    Mpmc,
+    /// Damping-factor-control compensation — for very large capacitive
+    /// loads.
+    DfcNmc,
+}
+
+impl Architecture {
+    /// All architectures in the knowledge base.
+    pub const ALL: [Architecture; 5] = [
+        Architecture::Smc,
+        Architecture::Nmc,
+        Architecture::FeedforwardNmc,
+        Architecture::Mpmc,
+        Architecture::DfcNmc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Smc => "simple Miller compensation (SMC)",
+            Architecture::Nmc => "nested Miller compensation (NMC)",
+            Architecture::FeedforwardNmc => "feedforward NMC (NMCF)",
+            Architecture::Mpmc => "multipath Miller compensation (MPMC)",
+            Architecture::DfcNmc => "damping-factor-control NMC (DFC)",
+        }
+    }
+
+    /// The survey-distilled performance preference for this
+    /// architecture.
+    pub fn preference(self) -> &'static str {
+        match self {
+            Architecture::Smc => {
+                "suits relaxed gain requirements where two effective stages suffice; \
+                 simplest stability story, limited DC gain"
+            }
+            Architecture::Nmc => {
+                "the default for three-stage designs with moderate capacitive loads; \
+                 robust Butterworth design procedure, output stage transconductance \
+                 scales linearly with the load"
+            }
+            Architecture::FeedforwardNmc => {
+                "adds a left-half-plane zero to recover bandwidth; preferred when the \
+                 GBW requirement is aggressive relative to the power budget"
+            }
+            Architecture::Mpmc => {
+                "parallel signal paths improve bandwidth for moderate loads, but the \
+                 pole-zero doublets make it unsuitable for very large capacitive loads"
+            }
+            Architecture::DfcNmc => {
+                "the damping block decouples the output stage from the load, making \
+                 ultra-large capacitive loads affordable within a small power budget"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A ToT decision with its recorded rationale (the interpretability the
+/// paper claims over black-box optimizers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The chosen architecture.
+    pub architecture: Architecture,
+    /// Why — rendered into the transcript.
+    pub rationale: String,
+}
+
+/// Selects an architecture for a spec — the first ToT decision point.
+pub fn select_architecture(spec: &Spec) -> Decision {
+    let cl = spec.cl.value();
+    if cl > 100e-12 {
+        Decision {
+            architecture: Architecture::DfcNmc,
+            rationale: format!(
+                "the load capacitance {} is far beyond the plain-NMC range: the NMC \
+                 output stage would need gm3 = 8*pi*GBW*CL, whose bias current breaks \
+                 the power budget; {}",
+                spec.cl,
+                Architecture::DfcNmc.preference()
+            ),
+        }
+    } else {
+        Decision {
+            architecture: Architecture::Nmc,
+            rationale: format!(
+                "for a {} load the classic NMC architecture applies directly: {}",
+                spec.cl,
+                Architecture::Nmc.preference()
+            ),
+        }
+    }
+}
+
+/// A modification strategy — the second ToT decision point, taken on
+/// simulation feedback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Modification {
+    /// Replace the compensation with the DFC scheme (large loads /
+    /// power blowups).
+    SwitchToDfc,
+    /// Raise the stage intrinsic gains (gain shortfall).
+    RaiseIntrinsicGain,
+    /// Retarget the design GBW upward (bandwidth shortfall).
+    IncreaseGbwTarget {
+        /// Multiplier applied to the current GBW target.
+        factor: f64,
+    },
+    /// Re-allocate the Miller capacitors downward (power overrun on a
+    /// small load).
+    ShrinkCompensation,
+    /// Spread the pole ratio (phase-margin shortfall).
+    WidenPoleSpacing,
+}
+
+impl Modification {
+    /// The survey-distilled rationale for the strategy.
+    pub fn rationale(&self) -> String {
+        match self {
+            Modification::SwitchToDfc => "the output stage cannot afford the load \
+                capacitance; a damping-factor-control block with a gain stage and a \
+                feedback capacitor decouples gm3 from CL, and the inner Miller capacitor \
+                is cancelled because the damping path replaces its role"
+                .to_string(),
+            Modification::RaiseIntrinsicGain => "the DC gain misses the target; raise \
+                the per-stage intrinsic gain by cascoding the first stage, which does \
+                not disturb the pole allocation"
+                .to_string(),
+            Modification::IncreaseGbwTarget { factor } => format!(
+                "the measured unity-gain frequency falls short; retarget the design GBW \
+                 by a factor of {factor:.2} and recompute the Butterworth allocation"
+            ),
+            Modification::ShrinkCompensation => "the static power exceeds the budget; \
+                shrink the Miller capacitors, which lowers gm1 and gm2 at constant GBW"
+                .to_string(),
+            Modification::WidenPoleSpacing => "the phase margin misses the target; \
+                widen the non-dominant pole spacing by increasing the output-stage \
+                transconductance"
+                .to_string(),
+        }
+    }
+}
+
+/// Chooses a modification strategy from the failing metrics — the
+/// encoded "potential impacts of various architectural modification
+/// strategies".
+pub fn select_modification(
+    current: Architecture,
+    failures: &[&str],
+    spec: &Spec,
+) -> Option<Modification> {
+    let failing = |m: &str| failures.contains(&m);
+    if (failing("Power") || failing("PM")) && spec.cl.value() > 100e-12
+        && current != Architecture::DfcNmc
+    {
+        return Some(Modification::SwitchToDfc);
+    }
+    if failing("Gain") {
+        return Some(Modification::RaiseIntrinsicGain);
+    }
+    if failing("GBW") {
+        return Some(Modification::IncreaseGbwTarget { factor: 1.5 });
+    }
+    if failing("Power") {
+        return Some(Modification::ShrinkCompensation);
+    }
+    if failing("PM") {
+        return Some(Modification::WidenPoleSpacing);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_selects_nmc() {
+        let d = select_architecture(&Spec::g1());
+        assert_eq!(d.architecture, Architecture::Nmc);
+        assert!(d.rationale.contains("NMC"));
+    }
+
+    #[test]
+    fn large_load_selects_dfc() {
+        let d = select_architecture(&Spec::g5());
+        assert_eq!(d.architecture, Architecture::DfcNmc);
+        assert!(d.rationale.contains("damping"), "{}", d.rationale);
+    }
+
+    #[test]
+    fn power_failure_on_large_load_switches_to_dfc() {
+        let m = select_modification(Architecture::Nmc, &["Power"], &Spec::g5());
+        assert_eq!(m, Some(Modification::SwitchToDfc));
+        // Already DFC: fall through to compensation shrinking.
+        let m = select_modification(Architecture::DfcNmc, &["Power"], &Spec::g5());
+        assert_eq!(m, Some(Modification::ShrinkCompensation));
+    }
+
+    #[test]
+    fn metric_specific_strategies() {
+        let g1 = Spec::g1();
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Gain"], &g1),
+            Some(Modification::RaiseIntrinsicGain)
+        );
+        assert!(matches!(
+            select_modification(Architecture::Nmc, &["GBW"], &g1),
+            Some(Modification::IncreaseGbwTarget { .. })
+        ));
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Power"], &g1),
+            Some(Modification::ShrinkCompensation)
+        );
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["PM"], &g1),
+            Some(Modification::WidenPoleSpacing)
+        );
+        assert_eq!(select_modification(Architecture::Nmc, &[], &g1), None);
+    }
+
+    #[test]
+    fn gain_takes_priority_over_power_on_small_loads() {
+        let m = select_modification(Architecture::Nmc, &["Gain", "Power"], &Spec::g1());
+        assert_eq!(m, Some(Modification::RaiseIntrinsicGain));
+    }
+
+    #[test]
+    fn every_architecture_documents_a_preference() {
+        for a in Architecture::ALL {
+            assert!(!a.preference().is_empty());
+            assert!(!a.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Artisan-Prompter — the question agent of Eq. (4).
+//!
+//! The paper implements the prompter with GPT-4 through in-context
+//! learning; its published behaviour (Fig. 4's step schedule, Fig. 7's
+//! chat log) is a deterministic question sequence that reacts to the
+//! previous answer. This module reproduces exactly that: a schedule of
+//! question templates plus keyword-driven follow-ups.
+
+use artisan_sim::Spec;
+
+/// The eight CoT design-flow steps of Fig. 4 (for one architecture
+/// iteration), plus the feedback step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DesignStep {
+    /// Step 1: architecture/topology selection from the specs.
+    TopologySelection,
+    /// Step 2: zero-pole analysis of the chosen architecture.
+    ZeroPoleAnalysis,
+    /// Step 3: pole allocation (Butterworth).
+    PoleAllocation,
+    /// Step 4: solving the core parameters.
+    ParameterSolving,
+    /// Step 5: stage-gain (metric) allocation.
+    GainAllocation,
+    /// Step 6: power verification against the budget.
+    PowerCheck,
+    /// Step 7: netlist emission.
+    NetlistEmission,
+    /// Step 8: performance verification plan.
+    Verification,
+}
+
+impl DesignStep {
+    /// The steps in execution order.
+    pub const ALL: [DesignStep; 8] = [
+        DesignStep::TopologySelection,
+        DesignStep::ZeroPoleAnalysis,
+        DesignStep::PoleAllocation,
+        DesignStep::ParameterSolving,
+        DesignStep::GainAllocation,
+        DesignStep::PowerCheck,
+        DesignStep::NetlistEmission,
+        DesignStep::Verification,
+    ];
+
+    /// Short name for logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignStep::TopologySelection => "topology selection",
+            DesignStep::ZeroPoleAnalysis => "zero-pole analysis",
+            DesignStep::PoleAllocation => "pole allocation",
+            DesignStep::ParameterSolving => "parameter solving",
+            DesignStep::GainAllocation => "gain allocation",
+            DesignStep::PowerCheck => "power check",
+            DesignStep::NetlistEmission => "netlist emission",
+            DesignStep::Verification => "verification",
+        }
+    }
+}
+
+/// The question agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prompter;
+
+impl Prompter {
+    /// `Q0`: the human-defined design specs (Eq. 4's base case).
+    pub fn initial_question(spec: &Spec) -> String {
+        format!(
+            "Please design an opamp meeting the following specs: {spec}. \
+             Which architecture should be used, and why?"
+        )
+    }
+
+    /// The scheduled question for a design step (Fig. 4's flow).
+    pub fn question_for(step: DesignStep) -> String {
+        match step {
+            DesignStep::TopologySelection => {
+                "Which compensation architecture fits these specifications?".to_string()
+            }
+            DesignStep::ZeroPoleAnalysis => {
+                "Based on the process, please analyze the zero-pole distributions.".to_string()
+            }
+            DesignStep::PoleAllocation => {
+                "How should these poles be allocated?".to_string()
+            }
+            DesignStep::ParameterSolving => {
+                "Please solve the main design parameters from these equations.".to_string()
+            }
+            DesignStep::GainAllocation => {
+                "How should the stage gains be allocated to meet the DC gain spec?".to_string()
+            }
+            DesignStep::PowerCheck => {
+                "Please verify the static power against the budget.".to_string()
+            }
+            DesignStep::NetlistEmission => {
+                "Design completed. Please give the final netlist.".to_string()
+            }
+            DesignStep::Verification => {
+                "How is the design verified?".to_string()
+            }
+        }
+    }
+
+    /// The feedback question after a failed verification (the Q9-style
+    /// exchange): reacts to the failing metrics in the answer, as the
+    /// in-context GPT-4 prompter does.
+    pub fn feedback_question(failures: &[&str], spec: &Spec) -> String {
+        if failures.contains(&"Power") && spec.cl.value() > 100e-12 {
+            format!(
+                "When CL = {}, the above design suffers from excessive output-stage \
+                 power. How should the topology be modified?",
+                spec.cl
+            )
+        } else {
+            format!(
+                "Simulation shows the design misses the following metrics: {}. \
+                 How should the design be modified?",
+                failures.join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_covers_eight_steps() {
+        assert_eq!(DesignStep::ALL.len(), 8);
+        for s in DesignStep::ALL {
+            assert!(!Prompter::question_for(s).is_empty());
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn initial_question_embeds_spec() {
+        let q = Prompter::initial_question(&Spec::g1());
+        assert!(q.contains("85"), "{q}");
+        assert!(q.contains("10pF"), "{q}");
+    }
+
+    #[test]
+    fn questions_match_fig7_phrasing() {
+        assert!(Prompter::question_for(DesignStep::ZeroPoleAnalysis).contains("zero-pole"));
+        assert!(Prompter::question_for(DesignStep::ParameterSolving).contains("solve"));
+        assert!(Prompter::question_for(DesignStep::NetlistEmission).contains("final netlist"));
+    }
+
+    #[test]
+    fn feedback_reacts_to_large_load_power() {
+        let q = Prompter::feedback_question(&["Power"], &Spec::g5());
+        assert!(q.contains("1nF"), "{q}");
+        let q = Prompter::feedback_question(&["Gain"], &Spec::g1());
+        assert!(q.contains("Gain"), "{q}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Tree-of-Thoughts decision-making (§3.3.1).
+//!
+//! The top-level design process is a decision tree with two decision
+//! points: architecture selection from the specs, and architecture
+//! modification from simulation feedback. Each decision records the
+//! options considered and the chosen branch's rationale — this trace *is*
+//! the interpretability the paper contrasts against black-box optimizers.
+
+use crate::knowledge::{self, Architecture, Modification};
+use artisan_sim::Spec;
+use std::fmt;
+
+/// One explored node of the decision tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TotNode {
+    /// What was being decided.
+    pub question: String,
+    /// The candidate branches, with their survey preferences.
+    pub options: Vec<String>,
+    /// The chosen branch.
+    pub chosen: String,
+    /// Why it was chosen.
+    pub rationale: String,
+}
+
+/// The recorded decision trace of one design session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TotTrace {
+    nodes: Vec<TotNode>,
+}
+
+impl TotTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded nodes.
+    pub fn nodes(&self) -> &[TotNode] {
+        &self.nodes
+    }
+
+    /// Decision point 1: choose the architecture for a spec, considering
+    /// every architecture in the knowledge base.
+    pub fn decide_architecture(&mut self, spec: &Spec) -> Architecture {
+        let decision = knowledge::select_architecture(spec);
+        self.nodes.push(TotNode {
+            question: format!("Which architecture for: {spec}?"),
+            options: Architecture::ALL
+                .iter()
+                .map(|a| format!("{}: {}", a.name(), a.preference()))
+                .collect(),
+            chosen: decision.architecture.name().to_string(),
+            rationale: decision.rationale.clone(),
+        });
+        decision.architecture
+    }
+
+    /// Decision point 2: choose a modification after a failed
+    /// verification. Returns `None` when no strategy applies.
+    pub fn decide_modification(
+        &mut self,
+        current: Architecture,
+        failures: &[&str],
+        spec: &Spec,
+    ) -> Option<Modification> {
+        let m = knowledge::select_modification(current, failures, spec)?;
+        self.nodes.push(TotNode {
+            question: format!(
+                "Design verification failed on {}; which modification?",
+                failures.join(", ")
+            ),
+            options: vec![
+                "switch to DFC compensation".to_string(),
+                "raise stage intrinsic gain".to_string(),
+                "increase the GBW design target".to_string(),
+                "shrink the Miller compensation".to_string(),
+                "widen the pole spacing".to_string(),
+            ],
+            chosen: format!("{m:?}"),
+            rationale: m.rationale(),
+        });
+        Some(m)
+    }
+}
+
+impl fmt::Display for TotTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, n) in self.nodes.iter().enumerate() {
+            writeln!(f, "[decision {k}] {}", n.question)?;
+            for opt in &n.options {
+                writeln!(f, "    option: {opt}")?;
+            }
+            writeln!(f, "    chosen: {} — {}", n.chosen, n.rationale)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_decision_is_recorded_with_options() {
+        let mut trace = TotTrace::new();
+        let arch = trace.decide_architecture(&Spec::g1());
+        assert_eq!(arch, Architecture::Nmc);
+        assert_eq!(trace.nodes().len(), 1);
+        assert_eq!(trace.nodes()[0].options.len(), 5);
+        assert!(trace.nodes()[0].chosen.contains("NMC"));
+    }
+
+    #[test]
+    fn modification_decision_is_recorded() {
+        let mut trace = TotTrace::new();
+        let m = trace.decide_modification(Architecture::Nmc, &["Power"], &Spec::g5());
+        assert_eq!(m, Some(Modification::SwitchToDfc));
+        assert_eq!(trace.nodes().len(), 1);
+        assert!(trace.nodes()[0].rationale.contains("damping"));
+    }
+
+    #[test]
+    fn no_failures_no_decision() {
+        let mut trace = TotTrace::new();
+        assert!(trace
+            .decide_modification(Architecture::Nmc, &[], &Spec::g1())
+            .is_none());
+        assert!(trace.nodes().is_empty());
+    }
+
+    #[test]
+    fn display_renders_tree_trace() {
+        let mut trace = TotTrace::new();
+        trace.decide_architecture(&Spec::g5());
+        let s = trace.to_string();
+        assert!(s.contains("[decision 0]"));
+        assert!(s.contains("option:"));
+        assert!(s.contains("chosen:"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the agents crate.
+
+use artisan_agents::calculator::evaluate;
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_sim::{Simulator, Spec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The calculator agrees with native arithmetic on rendered
+    /// expressions.
+    #[test]
+    fn calculator_matches_native_arithmetic(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+        c in 0.1f64..1e3,
+    ) {
+        let expr = format!("({a:e} + {b:e}) * {c:e}");
+        let expected = (a + b) * c;
+        let got = evaluate(&expr).expect("well-formed");
+        let tol = 1e-9 * expected.abs().max(1.0);
+        prop_assert!((got - expected).abs() <= tol, "{expr}: {got} vs {expected}");
+    }
+
+    /// Division and precedence compose correctly.
+    #[test]
+    fn calculator_precedence(a in 1f64..100.0, b in 1f64..100.0, c in 1f64..100.0) {
+        let expr = format!("{a} + {b} / {c}");
+        let got = evaluate(&expr).expect("well-formed");
+        prop_assert!((got - (a + b / c)).abs() < 1e-9 * (a + b / c).abs());
+    }
+
+    /// SI-suffixed operands round-trip through the calculator.
+    #[test]
+    fn calculator_si_suffixes(mantissa in 1f64..999.0) {
+        for (suffix, scale) in [("u", 1e-6), ("p", 1e-12), ("k", 1e3), ("meg", 1e6)] {
+            let rendered = format!("{mantissa:.3}");
+            let expr = format!("{rendered}{suffix} * 2");
+            let got = evaluate(&expr).expect("well-formed");
+            let expected: f64 = rendered.parse::<f64>().expect("parses") * scale * 2.0;
+            prop_assert!(((got - expected) / expected).abs() < 1e-9, "{expr}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Design sessions are deterministic per seed and always emit a
+    /// parseable netlist, for every Table 2 group.
+    #[test]
+    fn design_sessions_deterministic_and_wellformed(seed in 0u64..50, group in 0usize..5) {
+        let spec = Spec::table2()[group].1;
+        let mut agent = ArtisanAgent::untrained(AgentConfig::paper_default());
+        let run = |agent: &mut ArtisanAgent| {
+            let mut sim = Simulator::new();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            agent.design(&spec, &mut sim, &mut rng)
+        };
+        let a = run(&mut agent);
+        let b = run(&mut agent);
+        prop_assert_eq!(&a.netlist_text, &b.netlist_text);
+        prop_assert_eq!(a.success, b.success);
+        // The emitted netlist parses and contains the core stages.
+        let parsed = artisan_circuit::Netlist::parse(&a.netlist_text).expect("parses");
+        prop_assert!(parsed.find("G1").is_some());
+        prop_assert!(parsed.find("CL").is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! Dataset construction (the Table 1 pipeline): NetlistTuple sampling +
+//! annotation, DesignQA rendering, augmentation, and a full tiny build.
+
+use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::NetlistTuple;
+use artisan_dataset::{augment, design_qa, DatasetConfig, OpampDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(20);
+
+    group.bench_function("netlist_tuple/sample_and_annotate", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        b.iter(|| {
+            let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+            black_box(NetlistTuple::from_topology(&topo))
+        })
+    });
+
+    group.bench_function("design_qa/render_document", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let target = design_qa::sample_target(&mut rng);
+            black_box(design_qa::nmc_design_document(&target))
+        })
+    });
+
+    group.bench_function("augment/paraphrase_x3", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let doc = "The opamp uses a large Miller capacitor. The designer controls \
+                   the dominant pole. This approach improves the phase margin.";
+        b.iter(|| black_box(augment::augment(doc, 3, &mut rng)))
+    });
+
+    group.bench_function("build/tiny_config", |b| {
+        b.iter(|| black_box(OpampDataset::build(&DatasetConfig::tiny(), 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Language-model substrate kernels: BPE training/encoding, n-gram
+//! perplexity, and retrieval queries.
+
+use artisan_dataset::corpus::generate_corpus;
+use artisan_llm::{BpeTokenizer, NgramLm, TfIdfIndex};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_llm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let docs = generate_corpus(&mut rng, 30);
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+
+    let mut group = c.benchmark_group("llm");
+    group.sample_size(10);
+    group.bench_function("bpe/train_30docs_1k_vocab", |b| {
+        b.iter(|| black_box(BpeTokenizer::train(black_box(&refs), 1000)))
+    });
+
+    let tok = BpeTokenizer::train(&refs, 1000);
+    group.bench_function("bpe/encode_doc", |b| {
+        b.iter(|| black_box(tok.encode(black_box(&docs[0]))))
+    });
+
+    let mut lm = NgramLm::new(3, tok.vocab_size() + 1);
+    for d in &docs {
+        lm.observe(&tok.encode(d));
+    }
+    let probe = tok.encode(&docs[1]);
+    group.bench_function("ngram/perplexity_doc", |b| {
+        b.iter(|| black_box(lm.perplexity(black_box(&probe))))
+    });
+
+    let mut idx = TfIdfIndex::new();
+    for d in &docs {
+        idx.add_document(d);
+    }
+    idx.finalize();
+    group.bench_function("tfidf/query_top5", |b| {
+        b.iter(|| black_box(idx.query("miller compensation dominant pole", 5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llm);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Polynomial root finding (Durand–Kerner with Newton polishing) across
+//! the degrees circuit determinants produce.
+
+use artisan_math::{Complex64, Polynomial};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_roots(c: &mut Criterion) {
+    for degree in [3usize, 6, 10] {
+        let roots: Vec<Complex64> = (0..degree)
+            .map(|k| Complex64::new(-(10f64.powi(k as i32 % 7 + 1)), (k as f64) * 3.0))
+            .collect();
+        let poly = Polynomial::from_roots(&roots);
+        c.bench_function(&format!("durand_kerner/deg{degree}"), |b| {
+            b.iter(|| black_box(poly.roots(1e-10, 4000).expect("converges")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_roots);
+criterion_main!(benches);

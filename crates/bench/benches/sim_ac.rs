@@ -1,0 +1,43 @@
+//! Simulator kernels: full topology analysis (the Table 3 inner loop),
+//! a single AC sweep, and pole/zero extraction.
+
+use artisan_circuit::Topology;
+use artisan_sim::ac::{sweep, SweepConfig};
+use artisan_sim::mna::MnaSystem;
+use artisan_sim::poles::{pole_zero, PoleZeroConfig};
+use artisan_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analyze(c: &mut Criterion) {
+    let nmc = Topology::nmc_example();
+    let dfc = Topology::dfc_example();
+    let mut sim = Simulator::new();
+    c.bench_function("analyze_topology/nmc", |b| {
+        b.iter(|| black_box(sim.analyze_topology(black_box(&nmc)).expect("analyzes")))
+    });
+    c.bench_function("analyze_topology/dfc_1nF", |b| {
+        b.iter(|| black_box(sim.analyze_topology(black_box(&dfc)).expect("analyzes")))
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let netlist = Topology::nmc_example().elaborate().expect("valid");
+    let sys = MnaSystem::new(&netlist).expect("builds");
+    c.bench_function("ac_sweep/440pts", |b| {
+        b.iter(|| black_box(sweep(&sys, &SweepConfig::default()).expect("sweeps")))
+    });
+}
+
+fn bench_poles(c: &mut Criterion) {
+    let netlist = Topology::nmc_example().elaborate().expect("valid");
+    let sys = MnaSystem::new(&netlist).expect("builds");
+    c.bench_function("pole_zero/nmc", |b| {
+        b.iter(|| {
+            black_box(pole_zero(&sys, &netlist, &PoleZeroConfig::default()).expect("extracts"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyze, bench_sweep, bench_poles);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation studies called out in `DESIGN.md` §3:
+//!
+//! 1. **ToT modification loop on/off** — noisy Artisan's success rate per
+//!    group with zero vs one feedback iteration,
+//! 2. **Butterworth vs naive pole placement** — phase margin of the NMC
+//!    recipe against a single-pole-ignorant allocation (`gm3 = 2π·GBW·CL`),
+//! 3. **DAPT on/off** — perplexity of held-out opamp text under the
+//!    domain-adapted vs an off-domain language model,
+//! 4. **Augmentation on/off** — distinct-document diversity of the
+//!    NetlistTuple split.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin ablations [--trials 10]`
+
+use artisan_agents::artisan_llm::NoiseModel;
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_bench::arg_or;
+use artisan_circuit::design::{nmc_topology, DesignTarget};
+use artisan_circuit::units::{Ohms, Siemens};
+use artisan_dataset::{DatasetConfig, OpampDataset};
+use artisan_llm::DomainLm;
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+fn main() {
+    let trials: u64 = arg_or("--trials", 10u64);
+
+    println!("== Ablation 1: ToT modification loop ==");
+    for iterations in [0usize, 1] {
+        let config = AgentConfig {
+            noise: NoiseModel::paper_default(),
+            max_iterations: iterations,
+        };
+        print!("max_iterations = {iterations}: ");
+        let mut agent = ArtisanAgent::untrained(config);
+        for (name, spec) in Spec::table2() {
+            let mut s = 0;
+            for seed in 0..trials {
+                let mut sim = Simulator::new();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 31 + 7);
+                if agent.design(&spec, &mut sim, &mut rng).success {
+                    s += 1;
+                }
+            }
+            print!("{name} {s}/{trials}  ");
+        }
+        println!();
+    }
+
+    println!("\n== Ablation 2: Butterworth vs naive pole placement (G-1) ==");
+    let target = DesignTarget {
+        gbw_hz: 1.05e6,
+        cl: 10e-12,
+        rl: 1e6,
+        gain_db: 85.0,
+        power_budget_w: 250e-6,
+    };
+    let mut sim = Simulator::new();
+    let butterworth = nmc_topology(&target);
+    let report = sim.analyze_topology(&butterworth).expect("analyzes");
+    println!("Butterworth (gm3 = 8π·GBW·CL + safety): {}", report.performance);
+    let mut naive = butterworth.clone();
+    let naive_gm3 = 2.0 * PI * target.gbw_hz * target.cl;
+    naive.skeleton.stage3.gm = Siemens(naive_gm3);
+    naive.skeleton.stage3.ro = Ohms(80.0 / naive_gm3);
+    match sim.analyze_topology(&naive) {
+        Ok(r) => println!(
+            "naive (gm3 = 2π·GBW·CL):               {} (stable = {})",
+            r.performance, r.stable
+        ),
+        Err(e) => println!("naive: simulation failed: {e}"),
+    }
+
+    println!("\n== Ablation 3: DAPT (perplexity under the domain-adapted LM) ==");
+    // Perplexities are only comparable under one tokenizer, so the probe
+    // holds the model fixed and varies the text: after DAPT the model
+    // should find held-out opamp prose far more predictable than
+    // off-domain prose.
+    let ds = OpampDataset::build(&DatasetConfig::default(), 2024);
+    let in_domain = "the nested miller compensation capacitor controls the dominant pole \
+                     of the three stage operational amplifier";
+    let off_domain = "the recipe simmers tomatoes garlic and basil for twenty minutes \
+                      before the pasta is folded into the sauce";
+    let mut lm = DomainLm::new(1500, 3);
+    lm.pretrain(&ds.pretraining_documents());
+    println!(
+        "held-out opamp text: {:.1}   off-domain text: {:.1}",
+        lm.perplexity(in_domain).expect("non-empty"),
+        lm.perplexity(off_domain).expect("non-empty"),
+    );
+
+    println!("\n== Ablation 4: augmentation on/off (NetlistTuple diversity) ==");
+    for copies in [0usize, 1, 2] {
+        let cfg = DatasetConfig {
+            augment_copies: copies,
+            ..DatasetConfig::tiny()
+        };
+        let ds = OpampDataset::build(&cfg, 5);
+        let distinct: std::collections::BTreeSet<&String> =
+            ds.netlist_tuple_docs.iter().collect();
+        println!(
+            "augment_copies = {copies}: {} docs, {} distinct",
+            ds.netlist_tuple_docs.len(),
+            distinct.len()
+        );
+    }
+}

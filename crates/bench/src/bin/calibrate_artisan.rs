@@ -1,0 +1,31 @@
+//! Calibration probe: noisy-Artisan success rates per Table 2 group
+//! (the paper's band is 7–9 out of 10).
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin calibrate_artisan [--trials N]`
+
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_bench::arg_or;
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+
+fn main() {
+    let trials: u64 = arg_or("--trials", 20u64);
+    let mut agent = ArtisanAgent::untrained(AgentConfig::paper_default());
+    for (name, spec) in Spec::table2() {
+        let mut successes = 0;
+        let mut iters = 0usize;
+        for seed in 0..trials {
+            let mut sim = Simulator::new();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 31 + 7);
+            let outcome = agent.design(&spec, &mut sim, &mut rng);
+            if outcome.success {
+                successes += 1;
+            }
+            iters += outcome.iterations;
+        }
+        println!(
+            "{name}: Artisan {successes}/{trials} (mean iterations {:.2})",
+            iters as f64 / trials as f64
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Calibration probe: baseline success rates at full budget on every
+//! Table 2 group. Not part of the paper's tables — used to verify that
+//! the search-space realism puts BOBO/RLBO in the paper's success band.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin calibrate_baselines [--trials N]`
+
+use artisan_bench::arg_or;
+use artisan_opt::{Bobo, BoboConfig, Rlbo, RlboConfig};
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+
+fn main() {
+    let trials: u64 = arg_or("--trials", 4u64);
+    for (name, spec) in Spec::table2() {
+        let mut bobo_s = 0;
+        let mut rlbo_s = 0;
+        for seed in 0..trials {
+            let mut sim = Simulator::new();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            if Bobo::new(BoboConfig::default())
+                .run(&spec, &mut sim, &mut rng)
+                .success
+            {
+                bobo_s += 1;
+            }
+            let mut sim = Simulator::new();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
+            if Rlbo::new(RlboConfig::default())
+                .run(&spec, &mut sim, &mut rng)
+                .success
+            {
+                rlbo_s += 1;
+            }
+        }
+        println!("{name}: BOBO {bobo_s}/{trials}, RLBO {rlbo_s}/{trials}");
+    }
+}

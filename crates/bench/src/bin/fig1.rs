@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 1** (behaviour-level opamp modeling): the
+//! three-stage skeleton with its five initial nodes, and the per-stage
+//! small-signal model (VCCS + Ro + Cp).
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin fig1`
+
+use artisan_circuit::{Skeleton, Topology};
+
+fn main() {
+    let skeleton = Skeleton::default();
+    println!("Fig. 1(a) — the basic three-stage opamp topology");
+    println!("nodes: in -> [stage1] -> n1 -> [stage2] -> n2 -> [stage3] -> out (ground = 0)\n");
+
+    println!("Fig. 1(b) — the small-signal model (each stage: VCCS gm_i ∥ Ro_i ∥ Cp_i)");
+    for (k, s) in skeleton.stages().iter().enumerate() {
+        println!(
+            "  stage {}: gm{} = {}, Ro{} = {}, Cp{} = {}",
+            k + 1,
+            k + 1,
+            s.gm,
+            k + 1,
+            s.ro,
+            k + 1,
+            s.cp,
+        );
+    }
+    println!("  load: RL = {}, CL = {}\n", skeleton.rl, skeleton.cl);
+
+    println!("elaborated skeleton netlist:");
+    print!("{}", Topology::new(skeleton).elaborate().expect("valid").to_text());
+}

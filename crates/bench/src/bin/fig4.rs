@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 4** (the hierarchical design-process modeling):
+//! the top-level ToT decision trace and the bottom-level CoT eight-step
+//! flow, printed from a live G-1 design session.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin fig4`
+
+use artisan_agents::prompter::{DesignStep, Prompter};
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== top level: ToT decision points ===");
+    println!("decision 1: architecture selection from the specs");
+    println!("decision 2: architecture modification from simulation feedback\n");
+
+    println!("=== bottom level: the CoT design flow (NMC) ===");
+    for (k, step) in DesignStep::ALL.iter().enumerate() {
+        println!("step {}: {:<20} — {}", k + 1, step.name(), Prompter::question_for(*step));
+    }
+
+    println!("\n=== live trace on G-1 ===");
+    let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+    let mut sim = Simulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+    println!("{}", outcome.tot_trace);
+    println!(
+        "CoT executed {} exchanges over {} iteration(s); success = {}",
+        outcome.transcript.exchange_count(),
+        outcome.iterations,
+        outcome.success
+    );
+}

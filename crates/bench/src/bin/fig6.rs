@@ -1,0 +1,64 @@
+//! Regenerates **Fig. 6** (opamp design examples):
+//!
+//! - (a) a typical BOBO result — the best circuit a budgeted BO run
+//!   finds on G-1, usually carrying uninterpretable series gm/RC
+//!   combinations,
+//! - (b) a typical RLBO result,
+//! - (c) Artisan's behavioural-level NMC circuit,
+//! - (d) the transistor-level schematic from the gm/Id mapping.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin fig6 [--quick]`
+
+use artisan_bench::quick_mode;
+use artisan_circuit::describe;
+use artisan_core::{Artisan, ArtisanOptions};
+use artisan_gmid::{map_topology, LookupTable};
+use artisan_opt::{Bobo, BoboConfig, Rlbo, RlboConfig};
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+
+fn main() {
+    let spec = Spec::g1();
+    let (bobo_budget, rlbo_budget) = if quick_mode() { (60, 60) } else { (450, 500) };
+
+    println!("=== Fig. 6(a): a typical BOBO circuit ===");
+    let mut sim = Simulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let bobo = Bobo::new(BoboConfig {
+        budget: bobo_budget,
+        ..BoboConfig::default()
+    })
+    .run(&spec, &mut sim, &mut rng);
+    if let Some(t) = &bobo.topology {
+        print!("{}", t.elaborate().expect("valid").to_text());
+        println!("(success = {})\n", bobo.success);
+    }
+
+    println!("=== Fig. 6(b): a typical RLBO circuit ===");
+    let mut sim = Simulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let rlbo = Rlbo::new(RlboConfig {
+        budget: rlbo_budget,
+        ..RlboConfig::default()
+    })
+    .run(&spec, &mut sim, &mut rng);
+    if let Some(t) = &rlbo.topology {
+        print!("{}", t.elaborate().expect("valid").to_text());
+        println!("(success = {})\n", rlbo.success);
+    }
+
+    println!("=== Fig. 6(c): Artisan's behavioural-level circuit ===");
+    let mut artisan = Artisan::new(ArtisanOptions::fast());
+    let outcome = artisan.design(&spec, 0);
+    print!("{}", outcome.design.netlist_text);
+    println!(
+        "\ninterpretation: {}\n",
+        describe::describe_topology(&outcome.design.topology)
+    );
+
+    println!("=== Fig. 6(d): the transistor-level schematic (gm/Id mapping) ===");
+    print!(
+        "{}",
+        map_topology(&outcome.design.topology, &LookupTable::default_nmos()).to_spice()
+    );
+}

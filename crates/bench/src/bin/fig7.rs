@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 7** (the chat logs): Artisan's full design
+//! dialogue on G-1 including the CL = 1 nF modification exchange, next
+//! to the documented GPT-4 and Llama2 baseline logs.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin fig7`
+
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_opt::{Gpt4Baseline, Llama2Baseline};
+use artisan_sim::{Simulator, Spec};
+use rand::SeedableRng;
+
+fn main() {
+    println!("================ A chat log example of Artisan ================\n");
+    let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+    let mut sim = Simulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let g1 = agent.design(&Spec::g1(), &mut sim, &mut rng);
+    println!("{}", g1.transcript);
+
+    println!("--- follow-up: the CL = 1 nF modification (Q9/A9) ---\n");
+    let g5 = agent.design(&Spec::g5(), &mut sim, &mut rng);
+    // The G-5 session shows the DFC recommendation and netlist.
+    println!("{}", g5.transcript);
+
+    println!("================ A chat log example of GPT-4 ================\n");
+    let (gpt4_topo, gpt4_log) = Gpt4Baseline.design(&Spec::g1());
+    for line in &gpt4_log {
+        println!("{line}\n");
+    }
+    let mut sim = Simulator::new();
+    if let Ok(r) = sim.analyze_topology(&gpt4_topo) {
+        println!(
+            "[simulator verdict on GPT-4's design: {} — spec {}]",
+            r.performance,
+            if Spec::g1().check(&r.performance).success() {
+                "met"
+            } else {
+                "NOT met"
+            }
+        );
+    }
+
+    println!("\n================ A chat log example of Llama2 ================\n");
+    let (llama_topo, llama_log) = Llama2Baseline.design(&Spec::g1());
+    for line in &llama_log {
+        println!("{line}\n");
+    }
+    let mut sim = Simulator::new();
+    if let Ok(r) = sim.analyze_topology(&llama_topo) {
+        println!(
+            "[simulator verdict on Llama2's design: {} — spec {}]",
+            r.performance,
+            if Spec::g1().check(&r.performance).success() {
+                "met"
+            } else {
+                "NOT met"
+            }
+        );
+    }
+}

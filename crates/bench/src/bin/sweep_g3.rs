@@ -1,0 +1,82 @@
+//! Calibration probe for the high-GBW (G-3) NMC variant: find the
+//! pole-ratio / compensation-fraction combination with the best worst-case
+//! margin across Gain, GBW, PM, and Power.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin sweep_g3`
+
+use artisan_circuit::units::{Farads, Siemens};
+use artisan_circuit::{
+    ConnectionParams, ConnectionType, Placement, Position, Skeleton, StageParams, Topology,
+};
+use artisan_sim::{Simulator, Spec};
+
+use std::f64::consts::PI;
+
+fn main() {
+    let mut sim = Simulator::new();
+    let _spec = Spec::g3();
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for gbw in [5.5e6, 6.0e6, 6.5e6, 7.0e6] {
+        for k3 in [2.5, 3.0, 3.5, 4.0] {
+            for cm1f in [0.08, 0.12, 0.15, 0.2] {
+                for cm2f in [0.04, 0.06, 0.08, 0.12] {
+                    let cl = 10e-12;
+                    let gm3 = 2.0 * k3 * PI * gbw * cl;
+                    let cm1 = cm1f * cl;
+                    let cm2 = cm2f * cl;
+                    let gm1 = 2.0 * PI * gbw * cm1;
+                    let gm2 = gm3 * cm2 / (2.0 * cl);
+                    let sk = Skeleton::new(
+                        StageParams::from_gm_and_gain(gm1, 150.0),
+                        StageParams::from_gm_and_gain(gm2, 100.0),
+                        StageParams::from_gm_and_gain(gm3, 80.0),
+                        1e6,
+                        cl,
+                    );
+                    let mut t = Topology::new(sk);
+                    t.place(Placement::new(
+                        Position::N1ToOut,
+                        ConnectionType::MillerCapacitor,
+                        ConnectionParams {
+                            c: Some(Farads(cm1)),
+                            r: None,
+                            gm: None,
+                        },
+                    ))
+                    .expect("legal");
+                    t.place(Placement::new(
+                        Position::N2ToOut,
+                        ConnectionType::MillerCapacitor,
+                        ConnectionParams {
+                            c: Some(Farads(cm2)),
+                            gm: Some(Siemens(0.0)).filter(|_| false),
+                            r: None,
+                        },
+                    ))
+                    .expect("legal");
+                    if let Ok(r) = sim.analyze_topology(&t) {
+                        let p = &r.performance;
+                        if !r.stable {
+                            continue;
+                        }
+                        // Worst normalized margin: how much multiplicative
+                        // noise the design tolerates.
+                        let m_pm = (p.pm.value() - 55.0) / 55.0;
+                        let m_gbw = (p.gbw.value() - 5e6) / 5e6;
+                        let m_pow = (250e-6 - p.power.value()) / 250e-6;
+                        let m_gain = (p.gain.value() - 85.0) / 85.0;
+                        let worst = m_pm.min(m_gbw).min(m_pow).min(m_gain);
+                        rows.push((
+                            worst,
+                            format!("gbw={gbw:.1e} k3={k3} cm1f={cm1f} cm2f={cm2f} -> {} worst-margin {worst:.3}", p),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    for (_, line) in rows.iter().take(5) {
+        println!("{line}");
+    }
+}

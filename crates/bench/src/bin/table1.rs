@@ -1,0 +1,14 @@
+//! Regenerates **Table 1** (the dataset statistics): samples and tokens
+//! per split, measured at a configurable fraction of the paper's scale
+//! and extrapolated to full scale.
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin table1 [--scale 1000]`
+
+use artisan_bench::arg_or;
+use artisan_dataset::Table1;
+
+fn main() {
+    let scale: usize = arg_or("--scale", 1000);
+    let seed: u64 = arg_or("--seed", 2024);
+    println!("{}", Table1::measure(scale, seed));
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table 2** (the experimental group settings).
+//!
+//! Run with: `cargo run --release -p artisan-bench --bin table2`
+
+use artisan_sim::Spec;
+
+fn main() {
+    println!(
+        "{:<6} {:>9} {:>10} {:>7} {:>10} {:>8}",
+        "Group", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "CL(pF)"
+    );
+    for (name, spec) in Spec::table2() {
+        println!(
+            "{:<6} {:>8} {:>10} {:>7} {:>10} {:>8}",
+            name,
+            format!(">{}", spec.gain_min_db),
+            format!(">{}", spec.gbw_min_hz / 1e6),
+            format!(">{}", spec.pm_min_deg),
+            format!("<{}", spec.power_max_w * 1e6),
+            format!("{:.0}", spec.cl.value() * 1e12),
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Table 3** (the performance comparison): BOBO, RLBO,
+//! GPT-4, Llama2, and Artisan over the five Table 2 groups, `--trials`
+//! seeded repetitions each. Metrics are averaged over successful trials
+//! (the paper's convention); the Time column is testbed-equivalent (see
+//! `artisan-sim::cost`). Also prints the §4.2 speedup headline.
+//!
+//! Run with:
+//!   `cargo run --release -p artisan-bench --bin table3 [--trials 10] [--quick]`
+//!
+//! `--quick` cuts the baseline budgets 10× for a fast smoke run.
+
+use artisan_bench::{arg_or, quick_mode};
+use artisan_core::experiment::{ExperimentConfig, Table3};
+
+fn main() {
+    let trials: usize = arg_or("--trials", 10);
+    let mut config = ExperimentConfig {
+        trials,
+        seed: arg_or("--seed", 2024),
+        ..ExperimentConfig::default()
+    };
+    if quick_mode() {
+        config.bobo.budget = 45;
+        config.bobo.initial_samples = 15;
+        config.rlbo.budget = 50;
+        config.artisan = artisan_core::ArtisanOptions {
+            dataset: None,
+            ..artisan_core::ArtisanOptions::paper_default()
+        };
+    }
+    let table = Table3::run(&config);
+    println!("{table}");
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md`'s per-experiment index); the criterion benches
+//! in `benches/` measure the kernels those binaries are built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses a `--flag value` style argument from `std::env::args`.
+///
+/// # Example
+///
+/// ```
+/// let trials = artisan_bench::arg_or("--trials", 10usize);
+/// assert!(trials >= 1);
+/// ```
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when `--quick` was passed (reduced budgets for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(super::arg_or("--nope", 7usize), 7);
+    }
+}

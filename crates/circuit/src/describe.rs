@@ -1,0 +1,272 @@
+//! Rule-based structural description of topologies (§3.2.2).
+//!
+//! The paper's NetlistTuple generator "produces the corresponding
+//! structural description of the netlist based on a rule-based connection
+//! type and position matching". This module implements that matcher: each
+//! placed connection is rendered as an English sentence that names the
+//! connection type's engineering role and the position it occupies, and
+//! the skeleton is summarized with its stage parameters. The resulting
+//! text is what aligns netlist structure with the opamp vocabulary of the
+//! pre-training corpus.
+
+use crate::connection::ConnectionType;
+use crate::position::Position;
+use crate::topology::{Placement, Topology};
+use crate::value::format_si;
+
+/// Renders the full natural-language description of a topology.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::{Topology, describe};
+///
+/// let text = describe::describe_topology(&Topology::nmc_example());
+/// assert!(text.contains("three-stage"));
+/// assert!(text.contains("nested Miller"));
+/// ```
+pub fn describe_topology(topo: &Topology) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(describe_skeleton(topo));
+
+    // Recognize the canonical compensation schemes first: they give the
+    // description its headline architecture name.
+    if let Some(arch) = recognize_architecture(topo) {
+        parts.push(arch);
+    }
+
+    for p in topo.placements() {
+        if p.connection == ConnectionType::Open {
+            continue;
+        }
+        parts.push(describe_placement(p));
+    }
+
+    parts.push(format!(
+        "The output drives a load of {}Ohm in parallel with {}F.",
+        format_si(topo.skeleton.rl.value()),
+        format_si(topo.skeleton.cl.value()),
+    ));
+    parts.join(" ")
+}
+
+/// Describes the three-stage core.
+pub fn describe_skeleton(topo: &Topology) -> String {
+    let s = &topo.skeleton;
+    format!(
+        "This is a three-stage operational amplifier. \
+         The first stage is an inverting transconductance stage with gm1 = {}S, \
+         output resistance {}Ohm and parasitic capacitance {}F; \
+         the second stage is non-inverting with gm2 = {}S; \
+         the third stage is an inverting output stage with gm3 = {}S.",
+        format_si(s.stage1.gm.value()),
+        format_si(s.stage1.ro.value()),
+        format_si(s.stage1.cp.value()),
+        format_si(s.stage2.gm.value()),
+        format_si(s.stage3.gm.value()),
+    )
+}
+
+/// Names the overall compensation architecture when the placement pattern
+/// matches a canonical scheme (NMC, DFC-NMC, single Miller, feedforward).
+pub fn recognize_architecture(topo: &Topology) -> Option<String> {
+    use ConnectionType as Ct;
+    let outer = topo.connection_at(Position::N1ToOut);
+    let inner = topo.connection_at(Position::N2ToOut);
+    let shunt1 = topo.connection_at(Position::ShuntN1);
+    let ff_out = topo.connection_at(Position::InToOut);
+
+    let outer_miller = matches!(outer, Ct::MillerCapacitor | Ct::SeriesRc);
+    let inner_miller = matches!(inner, Ct::MillerCapacitor | Ct::SeriesRc);
+    let has_dfc = matches!(shunt1, Ct::Dfc | Ct::DfcWithR)
+        || matches!(topo.connection_at(Position::ShuntN2), Ct::Dfc | Ct::DfcWithR);
+
+    if outer_miller && inner_miller {
+        Some(
+            "It uses the nested Miller compensation (NMC) architecture: two nested \
+             Miller capacitors, Cm1 and Cm2, control the dominant and non-dominant \
+             poles, respectively."
+                .to_string(),
+        )
+    } else if outer_miller && has_dfc {
+        Some(
+            "It uses the damping-factor-control (DFC) compensation architecture: a \
+             gain stage with a local feedback capacitor damps the non-dominant \
+             complex pole pair, enabling large capacitive loads."
+                .to_string(),
+        )
+    } else if outer_miller && matches!(ff_out, Ct::PosGm | Ct::PosGmParallelC) {
+        Some(
+            "It combines Miller compensation with a feedforward transconductance \
+             path from the input to the output, creating a left-half-plane zero."
+                .to_string(),
+        )
+    } else if outer_miller {
+        Some("It uses simple (single) Miller compensation around the last two stages.".to_string())
+    } else {
+        None
+    }
+}
+
+/// Renders one placed connection as a sentence.
+pub fn describe_placement(p: &Placement) -> String {
+    let role = connection_role(p.connection);
+    let values = describe_values(p);
+    format!(
+        "A {role} is placed on the {}{}.",
+        p.position.engineering_name(),
+        values
+    )
+}
+
+fn describe_values(p: &Placement) -> String {
+    let mut vals: Vec<String> = Vec::new();
+    if p.connection.needs_r() {
+        if let Some(r) = p.params.r {
+            vals.push(format!("R = {}Ohm", format_si(r.value())));
+        }
+    }
+    if p.connection.needs_c() {
+        if let Some(c) = p.params.c {
+            vals.push(format!("C = {}F", format_si(c.value())));
+        }
+    }
+    if p.connection.needs_gm() {
+        if let Some(gm) = p.params.gm {
+            vals.push(format!("gm = {}S", format_si(gm.value())));
+        }
+    }
+    if vals.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", vals.join(", "))
+    }
+}
+
+/// The engineering role sentence fragment for each of the 25 connection
+/// types — the heart of the rule-based annotator.
+pub fn connection_role(conn: ConnectionType) -> &'static str {
+    use ConnectionType as Ct;
+    match conn {
+        Ct::Open => "direct open circuit",
+        Ct::Resistor => "resistor",
+        Ct::MillerCapacitor => "Miller compensation capacitor",
+        Ct::SeriesRc => "Miller capacitor with a series nulling resistor",
+        Ct::ParallelRc => "parallel RC network",
+        Ct::PosGm => "non-inverting feedforward transconductance stage",
+        Ct::NegGm => "inverting transconductance stage",
+        Ct::PosGmSeriesR => {
+            "non-inverting transconductance stage coupled through a series resistor"
+        }
+        Ct::NegGmSeriesR => "inverting transconductance stage coupled through a series resistor",
+        Ct::PosGmSeriesC => {
+            "non-inverting transconductance stage coupled through a series capacitor"
+        }
+        Ct::NegGmSeriesC => "inverting transconductance stage coupled through a series capacitor",
+        Ct::PosGmParallelC => "non-inverting transconductance stage with a parallel bypass capacitor",
+        Ct::NegGmParallelC => "inverting transconductance stage with a parallel bypass capacitor",
+        Ct::PosGmParallelRc => "non-inverting transconductance stage with a parallel RC network",
+        Ct::NegGmParallelRc => "inverting transconductance stage with a parallel RC network",
+        Ct::BufferedC => "voltage-buffered Miller capacitor",
+        Ct::CurrentBufferedC => "current-buffered Miller capacitor",
+        Ct::BufferedSeriesRc => "voltage-buffered series RC compensation network",
+        Ct::CurrentBufferedSeriesRc => "current-buffered series RC compensation network",
+        Ct::Dfc => "damping-factor-control block (gain stage with a feedback capacitor)",
+        Ct::DfcWithR => "damping-factor-control block with a nulling resistor in its feedback path",
+        Ct::PosGmCascode => "cascoded non-inverting transconductance stage",
+        Ct::NegGmCascode => "cascoded inverting transconductance stage",
+        Ct::RcTNetwork => "RC T-network with a grounded capacitor tap",
+        Ct::CrossGmPair => "cross-coupled transconductance pair",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::ConnectionParams;
+    use crate::Topology;
+
+    #[test]
+    fn nmc_is_recognized() {
+        let text = describe_topology(&Topology::nmc_example());
+        assert!(text.contains("nested Miller compensation"), "{text}");
+        assert!(text.contains("Cm1"));
+        assert!(text.contains("10pF"));
+    }
+
+    #[test]
+    fn dfc_is_recognized() {
+        let text = describe_topology(&Topology::dfc_example());
+        assert!(text.contains("damping-factor-control"), "{text}");
+        assert!(text.contains("1nF"), "{text}");
+    }
+
+    #[test]
+    fn bare_skeleton_has_no_architecture_sentence() {
+        assert!(recognize_architecture(&Topology::default()).is_none());
+    }
+
+    #[test]
+    fn single_miller_recognized() {
+        let mut t = Topology::default();
+        t.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(2e-12),
+        ))
+        .unwrap();
+        let arch = recognize_architecture(&t).unwrap();
+        assert!(arch.contains("simple"), "{arch}");
+    }
+
+    #[test]
+    fn feedforward_architecture_recognized() {
+        let mut t = Topology::default();
+        t.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(2e-12),
+        ))
+        .unwrap();
+        t.place(Placement::new(
+            Position::InToOut,
+            ConnectionType::PosGm,
+            ConnectionParams::gm(80e-6),
+        ))
+        .unwrap();
+        let arch = recognize_architecture(&t).unwrap();
+        assert!(arch.contains("feedforward"), "{arch}");
+    }
+
+    #[test]
+    fn every_type_has_a_role() {
+        for t in ConnectionType::ALL {
+            assert!(!connection_role(t).is_empty());
+        }
+        // Roles are distinct enough to disambiguate the structure.
+        let roles: std::collections::BTreeSet<&str> =
+            ConnectionType::ALL.iter().map(|&t| connection_role(t)).collect();
+        assert_eq!(roles.len(), 25);
+    }
+
+    #[test]
+    fn placement_description_includes_values() {
+        let p = Placement::new(
+            Position::N2ToOut,
+            ConnectionType::SeriesRc,
+            ConnectionParams::rc(2e3, 3e-12),
+        );
+        let s = describe_placement(&p);
+        assert!(s.contains("2kOhm"), "{s}");
+        assert!(s.contains("3pF"), "{s}");
+        assert!(s.contains("inner compensation"), "{s}");
+    }
+
+    #[test]
+    fn skeleton_description_names_all_three_stages() {
+        let s = describe_skeleton(&Topology::nmc_example());
+        assert!(s.contains("gm1"));
+        assert!(s.contains("gm2"));
+        assert!(s.contains("gm3"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Canonical design recipes — the analytic heart of the CoT design flow
+//! (Fig. 4) and the knowledge encoded in the DesignQA documents.
+//!
+//! The NMC recipe follows the paper's worked example (Fig. 7, A2/A3):
+//! Butterworth pole allocation `GBW : p2 : p3 = 1 : 2 : 4` gives
+//!
+//! - `gm3 = 8π · GBW · C_L`
+//! - `Cm1, Cm2` at the pF level (fractions of `C_L` for small loads),
+//! - `gm1 = gm3 · Cm1 / (4·C_L) = 2π · GBW · Cm1`,
+//! - `gm2 = gm3 · Cm2 / (2·C_L)`.
+//!
+//! The DFC recipe implements the Q9/A9 modification: for very large
+//! capacitive loads the inner Miller capacitor is removed and a
+//! damping-factor-control block (gain stage `gm4` + feedback capacitor
+//! `Cm3`) is attached at the first-stage output, which lets the output
+//! stage transconductance scale with `√(C_L)` rather than `C_L`.
+
+use crate::connection::{ConnectionParams, ConnectionType};
+use crate::position::Position;
+use crate::skeleton::{Skeleton, StageParams};
+use crate::topology::{Placement, Topology};
+use crate::units::{Farads, Siemens};
+use std::f64::consts::PI;
+
+/// Design inputs for the analytic recipes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignTarget {
+    /// Target gain-bandwidth product in Hz (choose above the spec floor).
+    pub gbw_hz: f64,
+    /// Load capacitance in farads.
+    pub cl: f64,
+    /// Load resistance in ohms (1 MΩ in the paper's testbench).
+    pub rl: f64,
+    /// Required DC gain in dB (drives the intrinsic-gain choice).
+    pub gain_db: f64,
+    /// Static power budget in watts (drives the metric-allocation step:
+    /// tight budgets shrink the Miller capacitors to cut gm1/gm2).
+    pub power_budget_w: f64,
+}
+
+/// Mirror of the default power model in `artisan-sim` (kept in sync by a
+/// regression test there): estimated power for a gm triple.
+fn estimate_power(gm1: f64, gm2: f64, gm3: f64) -> f64 {
+    1.8 * 1.3 * (2.0 * gm1 + gm2 + gm3) / 15.0
+}
+
+/// The NMC design recipe's computed parameters (A3 of Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NmcParameters {
+    /// First-stage transconductance.
+    pub gm1: Siemens,
+    /// Second-stage transconductance.
+    pub gm2: Siemens,
+    /// Output-stage transconductance.
+    pub gm3: Siemens,
+    /// Outer Miller capacitor.
+    pub cm1: Farads,
+    /// Inner Miller capacitor.
+    pub cm2: Farads,
+}
+
+/// Computes the Butterworth NMC parameters for a target.
+///
+/// # Panics
+///
+/// Panics for non-positive GBW or load values.
+pub fn nmc_parameters(target: &DesignTarget) -> NmcParameters {
+    assert!(
+        target.gbw_hz > 0.0 && target.cl > 0.0,
+        "NMC design needs positive GBW and CL"
+    );
+    let gm3 = 8.0 * PI * target.gbw_hz * target.cl;
+    // Compensation caps: the paper picks "pF level" values ≈ 0.4/0.3·CL
+    // for the 10 pF testbench (4 pF and 3 pF). Clamp to keep them at the
+    // pF level for very large loads.
+    let make = |cm1_frac: f64, cm2_frac: f64| {
+        let cm1 = (cm1_frac * target.cl).clamp(0.2e-12, 40e-12);
+        let cm2 = (cm2_frac * target.cl).clamp(0.15e-12, 30e-12);
+        let gm1 = gm3 * cm1 / (4.0 * target.cl);
+        let gm2 = gm3 * cm2 / (2.0 * target.cl);
+        NmcParameters {
+            gm1: Siemens(gm1),
+            gm2: Siemens(gm2),
+            gm3: Siemens(gm3),
+            cm1: Farads(cm1),
+            cm2: Farads(cm2),
+        }
+    };
+    // Metric allocation (step 4 of Fig. 4): start from the canonical
+    // 0.4/0.3 fractions; if the estimated power exceeds the budget,
+    // shrink the Miller capacitors — gm1 and gm2 scale with them while
+    // GBW = gm1/(2π·Cm1) is preserved.
+    let canonical = make(0.4, 0.3);
+    let p_est = estimate_power(
+        canonical.gm1.value(),
+        canonical.gm2.value(),
+        canonical.gm3.value(),
+    );
+    let mut p = if p_est > 0.9 * target.power_budget_w {
+        make(0.15, 0.08)
+    } else {
+        canonical
+    };
+    // Pole-spread safety margin: when the power budget leaves headroom,
+    // spend some of it on a larger output stage — the non-dominant poles
+    // move out and the phase margin gains a few degrees of robustness.
+    let p_est = estimate_power(p.gm1.value(), p.gm2.value(), p.gm3.value());
+    if p_est < 0.85 * target.power_budget_w {
+        let boost = (0.9 * target.power_budget_w / p_est).min(1.15);
+        p.gm3 = Siemens(p.gm3.value() * boost);
+    }
+    p
+}
+
+/// Chooses per-stage intrinsic gains `gm·ro` so the DC gain clears the
+/// spec with margin: `Av ≈ A1·A2·A3_eff`. Returns `(a1, a2, a3)`.
+pub fn intrinsic_gains_for(gain_db: f64) -> (f64, f64, f64) {
+    if gain_db > 105.0 {
+        // High-gain groups (G-2): cascoded first stage.
+        (600.0, 200.0, 120.0)
+    } else {
+        (150.0, 100.0, 80.0)
+    }
+}
+
+/// Builds the complete NMC topology for a target: skeleton stages from
+/// the recipe plus the two nested Miller capacitors.
+pub fn nmc_topology(target: &DesignTarget) -> Topology {
+    let p = nmc_parameters(target);
+    let (a1, a2, a3) = intrinsic_gains_for(target.gain_db);
+    let skeleton = Skeleton::new(
+        StageParams::from_gm_and_gain(p.gm1.value(), a1),
+        StageParams::from_gm_and_gain(p.gm2.value(), a2),
+        StageParams::from_gm_and_gain(p.gm3.value(), a3),
+        target.rl,
+        target.cl,
+    );
+    let mut topo = Topology::new(skeleton);
+    topo.place(Placement::new(
+        Position::N1ToOut,
+        ConnectionType::MillerCapacitor,
+        ConnectionParams::c(p.cm1.value()),
+    ))
+    .expect("Miller capacitor is legal at N1ToOut");
+    topo.place(Placement::new(
+        Position::N2ToOut,
+        ConnectionType::MillerCapacitor,
+        ConnectionParams::c(p.cm2.value()),
+    ))
+    .expect("Miller capacitor is legal at N2ToOut");
+    topo
+}
+
+/// The DFC-modified design for very large capacitive loads (Q9/A9):
+/// single Miller loop, no inner capacitor, and a DFC block at the
+/// first-stage output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfcParameters {
+    /// First-stage transconductance.
+    pub gm1: Siemens,
+    /// Second-stage transconductance.
+    pub gm2: Siemens,
+    /// Output-stage transconductance.
+    pub gm3: Siemens,
+    /// DFC gain-stage transconductance.
+    pub gm4: Siemens,
+    /// Outer Miller capacitor.
+    pub cm1: Farads,
+    /// DFC feedback capacitor.
+    pub cm3: Farads,
+}
+
+/// Computes DFC-NMC parameters for a large-load target.
+///
+/// The constants are calibrated against the workspace simulator so the
+/// produced circuit clears the G-5 spec (gain > 85 dB, GBW > 0.7 MHz,
+/// PM > 55°, power < 250 µW at C_L = 1 nF); see the regression tests.
+///
+/// # Panics
+///
+/// Panics for non-positive GBW or load values.
+pub fn dfc_parameters(target: &DesignTarget) -> DfcParameters {
+    assert!(
+        target.gbw_hz > 0.0 && target.cl > 0.0,
+        "DFC design needs positive GBW and CL"
+    );
+    // Calibrated against the workspace simulator (see the sweep study in
+    // EXPERIMENTS.md): a small Miller capacitor sets gm1 from the GBW
+    // target, the output stage runs at 8·gm1 — independent of C_L, which
+    // is what the damping block buys — and the DFC stage itself needs
+    // only 2·gm1 with a 1 pF feedback capacitor.
+    let cm1 = 4e-12;
+    let gm1 = 2.0 * PI * target.gbw_hz * cm1;
+    let gm2 = 2.0 * gm1;
+    let gm3 = 8.0 * gm1;
+    let gm4 = 2.0 * gm1;
+    let cm3 = 1e-12;
+    DfcParameters {
+        gm1: Siemens(gm1),
+        gm2: Siemens(gm2),
+        gm3: Siemens(gm3),
+        gm4: Siemens(gm4),
+        cm1: Farads(cm1),
+        cm3: Farads(cm3),
+    }
+}
+
+/// Builds the DFC-modified topology for a large-load target.
+pub fn dfc_topology(target: &DesignTarget) -> Topology {
+    let p = dfc_parameters(target);
+    let (a1, a2, a3) = intrinsic_gains_for(target.gain_db);
+    let skeleton = Skeleton::new(
+        StageParams::from_gm_and_gain(p.gm1.value(), a1),
+        StageParams::from_gm_and_gain(p.gm2.value(), a2),
+        StageParams::from_gm_and_gain(p.gm3.value(), a3),
+        target.rl,
+        target.cl,
+    );
+    let mut topo = Topology::new(skeleton);
+    topo.place(Placement::new(
+        Position::N1ToOut,
+        ConnectionType::MillerCapacitor,
+        ConnectionParams::c(p.cm1.value()),
+    ))
+    .expect("Miller capacitor is legal at N1ToOut");
+    topo.place(Placement::new(
+        Position::ShuntN1,
+        ConnectionType::Dfc,
+        ConnectionParams {
+            c: Some(p.cm3),
+            gm: Some(p.gm4),
+            r: None,
+        },
+    ))
+    .expect("DFC block is legal at ShuntN1");
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g1_target() -> DesignTarget {
+        DesignTarget {
+            gbw_hz: 1e6,
+            cl: 10e-12,
+            rl: 1e6,
+            gain_db: 85.0,
+            power_budget_w: 250e-6,
+        }
+    }
+
+    #[test]
+    fn nmc_parameters_match_paper_worked_example() {
+        // A3 of Fig. 7: GBW = 1 MHz, CL = 10 pF →
+        // gm3 = 8π·GBW·CL = 251.2 µS (here with up to +15% pole-spread
+        // safety when the budget allows), Cm1 = 4 pF, Cm2 = 3 pF,
+        // gm1 = 25.12 µS, gm2 = 37.68 µS.
+        let p = nmc_parameters(&g1_target());
+        let gm3_base = 251.2e-6;
+        assert!(
+            p.gm3.value() >= gm3_base * 0.99 && p.gm3.value() <= gm3_base * 1.16,
+            "{}",
+            p.gm3
+        );
+        assert!((p.cm1.value() - 4e-12).abs() < 1e-15);
+        assert!((p.cm2.value() - 3e-12).abs() < 1e-15);
+        assert!((p.gm1.value() - 25.12e-6).abs() / 25.12e-6 < 1e-2);
+        assert!((p.gm2.value() - 37.68e-6).abs() / 37.68e-6 < 1e-2);
+    }
+
+    #[test]
+    fn butterworth_ratios_hold() {
+        let p = nmc_parameters(&g1_target());
+        // GBW = gm1/(2π·Cm1)
+        let gbw = p.gm1.value() / (2.0 * PI * p.cm1.value());
+        assert!((gbw - 1e6).abs() / 1e6 < 1e-9);
+        // gm1/gm2 follow the Butterworth relations against the unboosted
+        // gm3 = 8π·GBW·CL.
+        let gm3_base = 8.0 * PI * 1e6 * 10e-12;
+        assert!((p.gm1.value() / gm3_base - p.cm1.value() / (4.0 * 10e-12)).abs() < 1e-9);
+        assert!((p.gm2.value() / gm3_base - p.cm2.value() / (2.0 * 10e-12)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmc_topology_is_valid_and_nested() {
+        let topo = nmc_topology(&g1_target());
+        topo.validate().unwrap();
+        assert_eq!(
+            topo.connection_at(Position::N1ToOut),
+            ConnectionType::MillerCapacitor
+        );
+        assert_eq!(
+            topo.connection_at(Position::N2ToOut),
+            ConnectionType::MillerCapacitor
+        );
+    }
+
+    #[test]
+    fn high_gain_target_raises_intrinsic_gain() {
+        let (a1_lo, ..) = intrinsic_gains_for(85.0);
+        let (a1_hi, ..) = intrinsic_gains_for(110.0);
+        assert!(a1_hi > a1_lo);
+    }
+
+    #[test]
+    fn dfc_gm3_is_load_independent() {
+        // The damping block decouples the output stage from C_L: the
+        // whole point of the Q9/A9 modification.
+        let small = dfc_parameters(&DesignTarget {
+            cl: 10e-12,
+            ..g1_target()
+        });
+        let large = dfc_parameters(&DesignTarget {
+            cl: 1000e-12,
+            ..g1_target()
+        });
+        assert!((large.gm3.value() - small.gm3.value()).abs() < 1e-15);
+        assert!((small.gm3.value() / small.gm1.value() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_power_budget_shrinks_compensation() {
+        let roomy = nmc_parameters(&g1_target());
+        let tight = nmc_parameters(&DesignTarget {
+            gbw_hz: 5.5e6,
+            power_budget_w: 250e-6,
+            ..g1_target()
+        });
+        // High-GBW target under the same budget → smaller caps.
+        assert!(tight.cm1.value() < roomy.cm1.value());
+        // GBW relation is preserved regardless of allocation.
+        let gbw = tight.gm1.value() / (2.0 * PI * tight.cm1.value());
+        assert!((gbw - 5.5e6).abs() / 5.5e6 < 1e-9);
+    }
+
+    #[test]
+    fn dfc_topology_contains_block_and_single_miller() {
+        let topo = dfc_topology(&DesignTarget {
+            cl: 1e-9,
+            gbw_hz: 0.9e6,
+            rl: 1e6,
+            gain_db: 85.0,
+            power_budget_w: 250e-6,
+        });
+        topo.validate().unwrap();
+        assert_eq!(topo.connection_at(Position::ShuntN1), ConnectionType::Dfc);
+        assert_eq!(topo.connection_at(Position::N2ToOut), ConnectionType::Open);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive GBW")]
+    fn bad_target_panics() {
+        nmc_parameters(&DesignTarget {
+            gbw_hz: 0.0,
+            ..g1_target()
+        });
+    }
+}

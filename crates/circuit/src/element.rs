@@ -1,0 +1,173 @@
+use crate::node::Node;
+use crate::units::{Farads, Ohms, Siemens};
+use crate::value::format_si;
+use std::fmt;
+
+/// A primitive small-signal element.
+///
+/// Topologies elaborate into flat lists of these three primitives, which is
+/// all the behavioural level of Fig. 1(b) needs: every stage is a VCCS with
+/// a parallel RC load, every compensation device is an R, C, or auxiliary
+/// VCCS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Resistor between `a` and `b`.
+    Resistor {
+        /// Instance label, e.g. `"Ro1"`.
+        label: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance.
+        ohms: Ohms,
+    },
+    /// Capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance label, e.g. `"Cm1"`.
+        label: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Capacitance.
+        farads: Farads,
+    },
+    /// Voltage-controlled current source: current `gm·(v(ctrl_p) −
+    /// v(ctrl_n))` flows from `out_p` to `out_n` **inside** the source,
+    /// i.e. it is injected *into* `out_n` and drawn *from* `out_p`
+    /// following SPICE `G` element polarity.
+    Vccs {
+        /// Instance label, e.g. `"G1"`.
+        label: String,
+        /// Positive output terminal.
+        out_p: Node,
+        /// Negative output terminal.
+        out_n: Node,
+        /// Positive controlling node.
+        ctrl_p: Node,
+        /// Negative controlling node.
+        ctrl_n: Node,
+        /// Transconductance (signed polarity is expressed through the
+        /// terminal ordering, `gm` itself is positive).
+        gm: Siemens,
+    },
+}
+
+impl Element {
+    /// The instance label.
+    pub fn label(&self) -> &str {
+        match self {
+            Element::Resistor { label, .. }
+            | Element::Capacitor { label, .. }
+            | Element::Vccs { label, .. } => label,
+        }
+    }
+
+    /// All nodes this element touches.
+    pub fn nodes(&self) -> Vec<Node> {
+        match self {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => vec![*a, *b],
+            Element::Vccs {
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } => vec![*out_p, *out_n, *ctrl_p, *ctrl_n],
+        }
+    }
+
+    /// Renders the element as one SPICE-like netlist line.
+    pub fn to_netlist_line(&self) -> String {
+        match self {
+            Element::Resistor { label, a, b, ohms } => {
+                format!("{label} {a} {b} {}", format_si(ohms.value()))
+            }
+            Element::Capacitor {
+                label,
+                a,
+                b,
+                farads,
+            } => format!("{label} {a} {b} {}", format_si(farads.value())),
+            Element::Vccs {
+                label,
+                out_p,
+                out_n,
+                ctrl_p,
+                ctrl_n,
+                gm,
+            } => format!(
+                "{label} {out_p} {out_n} {ctrl_p} {ctrl_n} {}",
+                format_si(gm.value())
+            ),
+        }
+    }
+
+    /// Returns the component value in base units (ohms, farads, or
+    /// siemens).
+    pub fn value(&self) -> f64 {
+        match self {
+            Element::Resistor { ohms, .. } => ohms.value(),
+            Element::Capacitor { farads, .. } => farads.value(),
+            Element::Vccs { gm, .. } => gm.value(),
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_netlist_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Element {
+        Element::Resistor {
+            label: "Ro1".into(),
+            a: Node::N1,
+            b: Node::Ground,
+            ohms: Ohms(1.2e6),
+        }
+    }
+
+    #[test]
+    fn netlist_lines() {
+        assert_eq!(r().to_netlist_line(), "Ro1 n1 0 1.2meg");
+        let c = Element::Capacitor {
+            label: "Cm1".into(),
+            a: Node::Output,
+            b: Node::N1,
+            farads: Farads(4e-12),
+        };
+        assert_eq!(c.to_netlist_line(), "Cm1 out n1 4p");
+        let g = Element::Vccs {
+            label: "G1".into(),
+            out_p: Node::N1,
+            out_n: Node::Ground,
+            ctrl_p: Node::Input,
+            ctrl_n: Node::Ground,
+            gm: Siemens(25.1e-6),
+        };
+        assert_eq!(g.to_netlist_line(), "G1 n1 0 in 0 25.1u");
+    }
+
+    #[test]
+    fn nodes_enumerated() {
+        assert_eq!(r().nodes(), vec![Node::N1, Node::Ground]);
+    }
+
+    #[test]
+    fn label_and_value_access() {
+        assert_eq!(r().label(), "Ro1");
+        assert_eq!(r().value(), 1.2e6);
+    }
+
+    #[test]
+    fn display_equals_netlist_line() {
+        assert_eq!(r().to_string(), r().to_netlist_line());
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Error type for circuit construction and netlist parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A connection type was placed at a position that does not admit it
+    /// (e.g. a passive resistor across the differential input).
+    IllegalPlacement {
+        /// The offending position's display name.
+        position: String,
+        /// The offending connection type's display name.
+        connection: String,
+    },
+    /// The same position was assigned twice in one topology.
+    DuplicatePlacement(String),
+    /// A component value is non-physical (zero, negative, NaN, …).
+    InvalidValue {
+        /// What the value was for, e.g. `"gm of stage 2"`.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A netlist line could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The netlist references a node that was never declared.
+    UnknownNode(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::IllegalPlacement {
+                position,
+                connection,
+            } => write!(
+                f,
+                "connection type {connection} is not legal at position {position}"
+            ),
+            CircuitError::DuplicatePlacement(pos) => {
+                write!(f, "position {pos} assigned more than once")
+            }
+            CircuitError::InvalidValue { what, value } => {
+                write!(f, "invalid value {value} for {what}")
+            }
+            CircuitError::ParseError { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            CircuitError::UnknownNode(name) => write!(f, "unknown node {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CircuitError::IllegalPlacement {
+            position: "P4".into(),
+            connection: "Resistor".into(),
+        };
+        assert!(e.to_string().contains("P4"));
+        let e = CircuitError::ParseError {
+            line: 7,
+            message: "bad value".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = CircuitError::InvalidValue {
+            what: "gm".into(),
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+        assert!(CircuitError::UnknownNode("x9".into()).to_string().contains("x9"));
+        assert!(CircuitError::DuplicatePlacement("P1".into())
+            .to_string()
+            .contains("P1"));
+    }
+}

@@ -1,0 +1,307 @@
+use crate::element::Element;
+use crate::error::CircuitError;
+use crate::node::Node;
+use crate::units::{Farads, Ohms, Siemens};
+use crate::value::parse_si;
+use crate::Result;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A flat behavioural netlist: a titled list of primitive [`Element`]s.
+///
+/// The text format is SPICE-flavoured: a leading `*` comment title,
+/// one element per line (`R`/`C` two-terminal, `G` four-terminal VCCS),
+/// and a closing `.end`. This is the `netlist_i` half of the paper's
+/// `NetlistTuple` (Eq. 2).
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::{Topology, Netlist};
+///
+/// let n = Topology::nmc_example().elaborate()?;
+/// let text = n.to_text();
+/// let back = Netlist::parse(&text)?;
+/// assert_eq!(back.element_count(), n.element_count());
+/// # Ok::<(), artisan_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    title: String,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// Creates a netlist with a title.
+    pub fn new(title: impl Into<String>, elements: Vec<Element>) -> Self {
+        Netlist {
+            title: title.into(),
+            elements,
+        }
+    }
+
+    /// The netlist title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The elements, in emission order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Looks up an element by instance label.
+    pub fn find(&self, label: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.label() == label)
+    }
+
+    /// The set of all nodes referenced, sorted.
+    pub fn nodes(&self) -> Vec<Node> {
+        let set: BTreeSet<Node> = self
+            .elements
+            .iter()
+            .flat_map(|e| e.nodes())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The non-ground, non-input unknown nodes — the MNA unknowns.
+    pub fn unknown_nodes(&self) -> Vec<Node> {
+        self.nodes()
+            .into_iter()
+            .filter(|n| !matches!(n, Node::Ground | Node::Input))
+            .collect()
+    }
+
+    /// Total capacitor count — bounds the degree of the network
+    /// determinant polynomial.
+    pub fn capacitor_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Capacitor { .. }))
+            .count()
+    }
+
+    /// Emits the SPICE-flavoured text form.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("* {}\n", self.title);
+        for e in &self.elements {
+            out.push_str(&e.to_netlist_line());
+            out.push('\n');
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Parses the text form back into a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParseError`] with a 1-based line number for
+    /// any malformed line, unknown node name, or unparsable value.
+    pub fn parse(text: &str) -> Result<Netlist> {
+        let mut title = String::new();
+        let mut elements = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('*') {
+                if title.is_empty() {
+                    title = comment.trim().to_string();
+                }
+                continue;
+            }
+            if line.starts_with('.') {
+                // Directives: only `.end` is meaningful here.
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let parse_node = |tok: &str| -> Result<Node> {
+                Node::parse(tok).ok_or_else(|| CircuitError::ParseError {
+                    line: lineno,
+                    message: format!("unknown node name `{tok}`"),
+                })
+            };
+            let parse_value = |tok: &str| -> Result<f64> {
+                parse_si(tok).ok_or_else(|| CircuitError::ParseError {
+                    line: lineno,
+                    message: format!("cannot parse value `{tok}`"),
+                })
+            };
+            let first = tokens[0];
+            let kind = first
+                .chars()
+                .next()
+                .expect("non-empty token")
+                .to_ascii_uppercase();
+            match kind {
+                'R' | 'C' => {
+                    if tokens.len() != 4 {
+                        return Err(CircuitError::ParseError {
+                            line: lineno,
+                            message: format!(
+                                "expected `label a b value`, got {} tokens",
+                                tokens.len()
+                            ),
+                        });
+                    }
+                    let a = parse_node(tokens[1])?;
+                    let b = parse_node(tokens[2])?;
+                    let v = parse_value(tokens[3])?;
+                    elements.push(if kind == 'R' {
+                        Element::Resistor {
+                            label: first.to_string(),
+                            a,
+                            b,
+                            ohms: Ohms(v),
+                        }
+                    } else {
+                        Element::Capacitor {
+                            label: first.to_string(),
+                            a,
+                            b,
+                            farads: Farads(v),
+                        }
+                    });
+                }
+                'G' => {
+                    if tokens.len() != 6 {
+                        return Err(CircuitError::ParseError {
+                            line: lineno,
+                            message: format!(
+                                "expected `label p n cp cn gm`, got {} tokens",
+                                tokens.len()
+                            ),
+                        });
+                    }
+                    elements.push(Element::Vccs {
+                        label: first.to_string(),
+                        out_p: parse_node(tokens[1])?,
+                        out_n: parse_node(tokens[2])?,
+                        ctrl_p: parse_node(tokens[3])?,
+                        ctrl_n: parse_node(tokens[4])?,
+                        gm: Siemens(parse_value(tokens[5])?),
+                    });
+                }
+                other => {
+                    return Err(CircuitError::ParseError {
+                        line: lineno,
+                        message: format!("unsupported element kind `{other}`"),
+                    });
+                }
+            }
+        }
+        Ok(Netlist::new(title, elements))
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn emit_contains_all_labels() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        let text = n.to_text();
+        for label in ["G1", "G2", "G3", "RL", "CL", "Cp3"] {
+            assert!(text.contains(label), "missing {label} in:\n{text}");
+        }
+        assert!(text.starts_with("* "));
+        assert!(text.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn parse_roundtrip_preserves_elements() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        let back = Netlist::parse(&n.to_text()).unwrap();
+        assert_eq!(back.element_count(), n.element_count());
+        assert_eq!(back.title(), n.title());
+        for (a, b) in n.elements().iter().zip(back.elements()) {
+            assert_eq!(a.label(), b.label());
+            assert_eq!(a.nodes(), b.nodes());
+            let rel = ((a.value() - b.value()) / a.value()).abs();
+            assert!(rel < 1e-3, "{}: {} vs {}", a.label(), a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(matches!(
+            Netlist::parse("R1 n1 0\n"),
+            Err(CircuitError::ParseError { line: 1, .. })
+        ));
+        assert!(matches!(
+            Netlist::parse("R1 n1 bogus 1k\n"),
+            Err(CircuitError::ParseError { .. })
+        ));
+        assert!(matches!(
+            Netlist::parse("R1 n1 0 1q\n"),
+            Err(CircuitError::ParseError { .. })
+        ));
+        assert!(matches!(
+            Netlist::parse("X1 n1 0 1k\n"),
+            Err(CircuitError::ParseError { .. })
+        ));
+        assert!(matches!(
+            Netlist::parse("G1 n1 0 in 0\n"),
+            Err(CircuitError::ParseError { .. })
+        ));
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_deduped() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        let nodes = n.nodes();
+        assert!(nodes.contains(&Node::Ground));
+        assert!(nodes.contains(&Node::Output));
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(nodes, sorted);
+    }
+
+    #[test]
+    fn unknown_nodes_exclude_ground_and_input() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        let unknowns = n.unknown_nodes();
+        assert!(!unknowns.contains(&Node::Ground));
+        assert!(!unknowns.contains(&Node::Input));
+        assert!(unknowns.contains(&Node::N1));
+    }
+
+    #[test]
+    fn capacitor_count() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        // Cp1, Cp2, Cp3, CL, Cm1, Cm2
+        assert_eq!(n.capacitor_count(), 6);
+    }
+
+    #[test]
+    fn find_by_label() {
+        let n = Topology::nmc_example().elaborate().unwrap();
+        assert!(n.find("Cp3").is_some());
+        assert!(n.find("Zz").is_none());
+    }
+
+    #[test]
+    fn empty_and_comment_lines_skipped() {
+        let n = Netlist::parse("* hi\n\n   \nR1 n1 0 1k\n.end\n").unwrap();
+        assert_eq!(n.element_count(), 1);
+        assert_eq!(n.title(), "hi");
+    }
+}

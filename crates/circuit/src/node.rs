@@ -1,0 +1,140 @@
+use std::fmt;
+
+/// A circuit node.
+///
+/// The five initial nodes of the paper's Fig. 1(a) skeleton get dedicated
+/// variants; connection types that elaborate into multi-element networks
+/// (series RC, buffered Miller paths, the DFC block) allocate [`Node::Internal`]
+/// nodes through a [`NodeAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// The AC ground / reference node (SPICE node `0`).
+    Ground,
+    /// The differential input node `in`.
+    Input,
+    /// Output of the first stage.
+    N1,
+    /// Output of the second stage.
+    N2,
+    /// The opamp output node `out`.
+    Output,
+    /// An internal node created while elaborating a compound connection.
+    Internal(u32),
+}
+
+impl Node {
+    /// The canonical netlist name of the node (`0`, `in`, `n1`, `n2`,
+    /// `out`, `x<k>`).
+    pub fn name(self) -> String {
+        match self {
+            Node::Ground => "0".to_string(),
+            Node::Input => "in".to_string(),
+            Node::N1 => "n1".to_string(),
+            Node::N2 => "n2".to_string(),
+            Node::Output => "out".to_string(),
+            Node::Internal(k) => format!("x{k}"),
+        }
+    }
+
+    /// Parses a canonical node name back into a [`Node`]. Returns `None`
+    /// for unknown names.
+    pub fn parse(name: &str) -> Option<Node> {
+        match name {
+            "0" | "gnd" => Some(Node::Ground),
+            "in" => Some(Node::Input),
+            "n1" => Some(Node::N1),
+            "n2" => Some(Node::N2),
+            "out" => Some(Node::Output),
+            other => other
+                .strip_prefix('x')
+                .and_then(|k| k.parse::<u32>().ok())
+                .map(Node::Internal),
+        }
+    }
+
+    /// Human-readable role of the node, used by the description generator.
+    pub fn role(self) -> &'static str {
+        match self {
+            Node::Ground => "the AC ground",
+            Node::Input => "the differential input",
+            Node::N1 => "the first-stage output",
+            Node::N2 => "the second-stage output",
+            Node::Output => "the opamp output",
+            Node::Internal(_) => "an internal node",
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Allocates fresh internal nodes during topology elaboration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeAllocator {
+    next: u32,
+}
+
+impl NodeAllocator {
+    /// Creates an allocator starting at `x0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh internal node.
+    pub fn fresh(&mut self) -> Node {
+        let n = Node::Internal(self.next);
+        self.next += 1;
+        n
+    }
+
+    /// Number of internal nodes handed out so far.
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for node in [
+            Node::Ground,
+            Node::Input,
+            Node::N1,
+            Node::N2,
+            Node::Output,
+            Node::Internal(7),
+        ] {
+            assert_eq!(Node::parse(&node.name()), Some(node));
+        }
+        assert_eq!(Node::parse("gnd"), Some(Node::Ground));
+        assert_eq!(Node::parse("bogus"), None);
+        assert_eq!(Node::parse("xq"), None);
+    }
+
+    #[test]
+    fn allocator_hands_out_distinct_nodes() {
+        let mut alloc = NodeAllocator::new();
+        let a = alloc.fresh();
+        let b = alloc.fresh();
+        assert_ne!(a, b);
+        assert_eq!(alloc.count(), 2);
+    }
+
+    #[test]
+    fn roles_are_descriptive() {
+        assert!(Node::N1.role().contains("first-stage"));
+        assert!(Node::Output.role().contains("output"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Node::Internal(3).to_string(), "x3");
+        assert_eq!(Node::Ground.to_string(), "0");
+    }
+}

@@ -1,0 +1,258 @@
+use crate::connection::ConnectionType;
+use crate::node::Node;
+use std::fmt;
+
+/// A legitimate tunable position on the three-stage skeleton (§2.2:
+/// "Topological meta-modifications include adding feedforward (or
+/// feedback) transconductance stages, resistors, and capacitors at a set
+/// of legitimate positions").
+///
+/// Each position is an ordered node pair `(from, to)`; shunt positions use
+/// ground as the second terminal. A topology assigns exactly one of the 25
+/// [`ConnectionType`]s to each position (defaulting to
+/// [`ConnectionType::Open`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Position {
+    /// Feedforward path from the input to the second-stage output.
+    InToN2,
+    /// Feedforward path from the input to the opamp output.
+    InToOut,
+    /// Outer compensation arc between the first-stage output and the
+    /// opamp output — the classical `Cm1` position.
+    N1ToOut,
+    /// Inner compensation arc between the second-stage output and the
+    /// opamp output — the classical `Cm2` position.
+    N2ToOut,
+    /// Arc between the first- and second-stage outputs.
+    N1ToN2,
+    /// Shunt network at the first-stage output (the DFC attachment point).
+    ShuntN1,
+    /// Shunt network at the second-stage output.
+    ShuntN2,
+}
+
+impl Position {
+    /// All tunable positions, in canonical order.
+    pub const ALL: [Position; 7] = [
+        Position::InToN2,
+        Position::InToOut,
+        Position::N1ToOut,
+        Position::N2ToOut,
+        Position::N1ToN2,
+        Position::ShuntN1,
+        Position::ShuntN2,
+    ];
+
+    /// The `(from, to)` node pair this position spans.
+    pub fn nodes(self) -> (Node, Node) {
+        match self {
+            Position::InToN2 => (Node::Input, Node::N2),
+            Position::InToOut => (Node::Input, Node::Output),
+            Position::N1ToOut => (Node::N1, Node::Output),
+            Position::N2ToOut => (Node::N2, Node::Output),
+            Position::N1ToN2 => (Node::N1, Node::N2),
+            Position::ShuntN1 => (Node::N1, Node::Ground),
+            Position::ShuntN2 => (Node::N2, Node::Ground),
+        }
+    }
+
+    /// Short identifier used in netlist labels (`p1` … `p7`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Position::InToN2 => "p1",
+            Position::InToOut => "p2",
+            Position::N1ToOut => "p3",
+            Position::N2ToOut => "p4",
+            Position::N1ToN2 => "p5",
+            Position::ShuntN1 => "p6",
+            Position::ShuntN2 => "p7",
+        }
+    }
+
+    /// Parses a position identifier.
+    pub fn from_id(id: &str) -> Option<Position> {
+        Position::ALL.iter().copied().find(|p| p.id() == id)
+    }
+
+    /// Engineering name used by the description generator.
+    pub fn engineering_name(self) -> &'static str {
+        match self {
+            Position::InToN2 => "input-to-second-stage feedforward path",
+            Position::InToOut => "input-to-output feedforward path",
+            Position::N1ToOut => "outer compensation loop (first-stage output to output)",
+            Position::N2ToOut => "inner compensation loop (second-stage output to output)",
+            Position::N1ToN2 => "inter-stage coupling path",
+            Position::ShuntN1 => "first-stage output shunt",
+            Position::ShuntN2 => "second-stage output shunt",
+        }
+    }
+
+    /// True for the two shunt-to-ground positions.
+    pub fn is_shunt(self) -> bool {
+        matches!(self, Position::ShuntN1 | Position::ShuntN2)
+    }
+
+    /// True for paths driven from the input node.
+    pub fn is_feedforward_from_input(self) -> bool {
+        matches!(self, Position::InToN2 | Position::InToOut)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// Legality rules: which connection types each position admits.
+///
+/// The rules encode analog design common sense (and keep the sampled space
+/// physically meaningful):
+///
+/// - paths from the **input node** must not load it passively with a
+///   resistor (the input is a high-impedance gate), so only capacitive or
+///   active types are allowed;
+/// - **shunt** positions admit passive damping networks and the DFC block
+///   but not bare transconductances (a gm sensing its own output node is
+///   just a resistor, and cross/buffered types are meaningless to ground);
+/// - **compensation arcs** admit everything except the DFC variants, which
+///   are defined as grounded one-ports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PositionRules;
+
+impl PositionRules {
+    /// Returns true when `conn` may be placed at `pos`.
+    pub fn allows(pos: Position, conn: ConnectionType) -> bool {
+        use ConnectionType as Ct;
+        if pos.is_shunt() {
+            return matches!(
+                conn,
+                Ct::Open
+                    | Ct::Resistor
+                    | Ct::MillerCapacitor
+                    | Ct::SeriesRc
+                    | Ct::ParallelRc
+                    | Ct::RcTNetwork
+                    | Ct::Dfc
+                    | Ct::DfcWithR
+            );
+        }
+        if pos.is_feedforward_from_input() {
+            return !matches!(
+                conn,
+                Ct::Resistor
+                    | Ct::ParallelRc
+                    | Ct::RcTNetwork
+                    | Ct::Dfc
+                    | Ct::DfcWithR
+                    | Ct::CrossGmPair
+            );
+        }
+        // Compensation / coupling arcs.
+        !matches!(conn, Ct::Dfc | Ct::DfcWithR)
+    }
+
+    /// The legal connection types at `pos`, in canonical order.
+    pub fn legal_types(pos: Position) -> Vec<ConnectionType> {
+        ConnectionType::ALL
+            .iter()
+            .copied()
+            .filter(|&c| Self::allows(pos, c))
+            .collect()
+    }
+
+    /// Total number of distinct legal topology *structures* (ignoring
+    /// parameter values): the product over positions of the number of
+    /// legal types.
+    pub fn design_space_size() -> u128 {
+        Position::ALL
+            .iter()
+            .map(|&p| Self::legal_types(p).len() as u128)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_positions() {
+        assert_eq!(Position::ALL.len(), 7);
+        let mut ids = std::collections::BTreeSet::new();
+        for p in Position::ALL {
+            assert!(ids.insert(p.id()));
+            assert_eq!(Position::from_id(p.id()), Some(p));
+        }
+        assert_eq!(Position::from_id("p9"), None);
+    }
+
+    #[test]
+    fn shunt_positions_ground_second_terminal() {
+        assert_eq!(Position::ShuntN1.nodes().1, Node::Ground);
+        assert_eq!(Position::ShuntN2.nodes().1, Node::Ground);
+        assert!(Position::ShuntN1.is_shunt());
+        assert!(!Position::N1ToOut.is_shunt());
+    }
+
+    #[test]
+    fn open_is_legal_everywhere() {
+        for p in Position::ALL {
+            assert!(PositionRules::allows(p, ConnectionType::Open));
+        }
+    }
+
+    #[test]
+    fn input_paths_reject_resistive_loading() {
+        assert!(!PositionRules::allows(
+            Position::InToOut,
+            ConnectionType::Resistor
+        ));
+        assert!(PositionRules::allows(
+            Position::InToOut,
+            ConnectionType::MillerCapacitor
+        ));
+        assert!(PositionRules::allows(
+            Position::InToOut,
+            ConnectionType::PosGm
+        ));
+    }
+
+    #[test]
+    fn dfc_only_on_shunts() {
+        for p in Position::ALL {
+            let ok = PositionRules::allows(p, ConnectionType::Dfc);
+            assert_eq!(ok, p.is_shunt(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn shunts_reject_bare_gm() {
+        assert!(!PositionRules::allows(Position::ShuntN1, ConnectionType::NegGm));
+        assert!(PositionRules::allows(Position::ShuntN1, ConnectionType::SeriesRc));
+    }
+
+    #[test]
+    fn miller_positions_admit_full_compensation_vocabulary() {
+        let legal = PositionRules::legal_types(Position::N1ToOut);
+        assert!(legal.contains(&ConnectionType::MillerCapacitor));
+        assert!(legal.contains(&ConnectionType::BufferedC));
+        assert!(legal.contains(&ConnectionType::CurrentBufferedC));
+        assert!(legal.contains(&ConnectionType::NegGm));
+        assert_eq!(legal.len(), 23); // everything but the two DFC variants
+    }
+
+    #[test]
+    fn design_space_is_on_the_order_of_the_papers_claim() {
+        // §3.2.2 quotes "up to one million opamp samples"; the legal
+        // structural space must comfortably contain that dataset bound.
+        let size = PositionRules::design_space_size();
+        assert!(size >= 1_000_000, "space too small: {size}");
+    }
+
+    #[test]
+    fn engineering_names_mention_roles() {
+        assert!(Position::N1ToOut.engineering_name().contains("compensation"));
+        assert!(Position::InToOut.engineering_name().contains("feedforward"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Random topology sampling — the netlist half of the NetlistTuple
+//! generator (§3.2.2).
+//!
+//! "The generator randomly selects connection types for each tunable
+//! connection and assembles the netlists." Sampling is seeded and
+//! weighted: `Open` dominates (real opamps use a handful of compensation
+//! devices, not one on every arc), passive compensation is common, exotic
+//! active networks are rare — mirroring the distribution of the circuits
+//! in the surveys the paper annotates.
+
+use crate::connection::{ConnectionParams, ConnectionType};
+use crate::position::{Position, PositionRules};
+use crate::skeleton::{Skeleton, StageParams};
+use crate::topology::{Placement, Topology};
+use crate::units::{Farads, Ohms, Siemens};
+use rand::Rng;
+
+/// Parameter ranges for sampled component values (log-uniform).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRanges {
+    /// Resistor range in ohms.
+    pub r: (f64, f64),
+    /// Capacitor range in farads.
+    pub c: (f64, f64),
+    /// Transconductance range in siemens.
+    pub gm: (f64, f64),
+    /// Stage transconductance range in siemens.
+    pub stage_gm: (f64, f64),
+    /// Stage intrinsic gain range (gm·ro).
+    pub stage_gain: (f64, f64),
+}
+
+impl Default for SampleRanges {
+    fn default() -> Self {
+        SampleRanges {
+            // The full electrically-plausible behavioural space — what a
+            // black-box tool must search. Artisan's expertise is knowing
+            // which tiny corner of it the spec maps to.
+            r: (10.0, 1e7),
+            c: (10e-15, 100e-12),
+            gm: (0.1e-6, 10e-3),
+            stage_gm: (1e-6, 10e-3),
+            // Uncascoded 180 nm-class intrinsic gain; higher values need
+            // the cascoding expertise the knowledge base encodes, which
+            // black-box samplers do not have.
+            stage_gain: (15.0, 90.0),
+        }
+    }
+}
+
+/// Weight assigned to `Open` relative to weight 1.0 for every other legal
+/// type when sampling a position.
+const OPEN_WEIGHT: f64 = 8.0;
+/// Weight for plain passive compensation types.
+const PASSIVE_WEIGHT: f64 = 3.0;
+
+/// Samples one log-uniform value in `[lo, hi]`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "log_uniform needs 0 < lo < hi");
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Samples a random legal topology: skeleton parameters log-uniform in
+/// range, one weighted connection choice per tunable position, and
+/// component values for every placed connection.
+///
+/// The returned topology always validates.
+pub fn sample_topology<R: Rng + ?Sized>(rng: &mut R, ranges: &SampleRanges, cl: f64) -> Topology {
+    let stage = |rng: &mut R| {
+        let gm = log_uniform(rng, ranges.stage_gm.0, ranges.stage_gm.1);
+        let gain = log_uniform(rng, ranges.stage_gain.0, ranges.stage_gain.1);
+        StageParams::from_gm_and_gain(gm, gain)
+    };
+    let skeleton = Skeleton::new(stage(rng), stage(rng), stage(rng), 1e6, cl);
+    let mut topo = Topology::new(skeleton);
+
+    for pos in Position::ALL {
+        let conn = sample_connection(rng, pos);
+        if conn == ConnectionType::Open {
+            continue;
+        }
+        let params = sample_params(rng, conn, ranges);
+        topo.place(Placement::new(pos, conn, params))
+            .expect("sampled connection is legal by construction");
+    }
+    topo
+}
+
+/// Samples a connection type for one position from its legal set, with
+/// `Open` and passive types favoured.
+pub fn sample_connection<R: Rng + ?Sized>(rng: &mut R, pos: Position) -> ConnectionType {
+    let legal = PositionRules::legal_types(pos);
+    let weight = |c: &ConnectionType| -> f64 {
+        if *c == ConnectionType::Open {
+            OPEN_WEIGHT
+        } else if c.is_passive() {
+            PASSIVE_WEIGHT
+        } else {
+            1.0
+        }
+    };
+    let total: f64 = legal.iter().map(weight).sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for c in &legal {
+        draw -= weight(c);
+        if draw <= 0.0 {
+            return *c;
+        }
+    }
+    *legal.last().expect("legal set is never empty")
+}
+
+/// Samples the component values a connection type requires.
+pub fn sample_params<R: Rng + ?Sized>(
+    rng: &mut R,
+    conn: ConnectionType,
+    ranges: &SampleRanges,
+) -> ConnectionParams {
+    ConnectionParams {
+        r: conn
+            .needs_r()
+            .then(|| Ohms(log_uniform(rng, ranges.r.0, ranges.r.1))),
+        c: conn
+            .needs_c()
+            .then(|| Farads(log_uniform(rng, ranges.c.0, ranges.c.1))),
+        gm: conn
+            .needs_gm()
+            .then(|| Siemens(log_uniform(rng, ranges.gm.0, ranges.gm.1))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_topologies_always_validate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ranges = SampleRanges::default();
+        for _ in 0..200 {
+            let t = sample_topology(&mut rng, &ranges, 10e-12);
+            t.validate().expect("sampled topology valid");
+            t.elaborate().expect("sampled topology elaborates");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let ranges = SampleRanges::default();
+        let a = sample_topology(&mut StdRng::seed_from_u64(9), &ranges, 10e-12);
+        let b = sample_topology(&mut StdRng::seed_from_u64(9), &ranges, 10e-12);
+        assert_eq!(a, b);
+        let c = sample_topology(&mut StdRng::seed_from_u64(10), &ranges, 10e-12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn open_dominates_but_variety_appears() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut open = 0usize;
+        let mut other = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let c = sample_connection(&mut rng, Position::N1ToOut);
+            if c == ConnectionType::Open {
+                open += 1;
+            } else {
+                other.insert(c);
+            }
+        }
+        assert!(open > 60, "open sampled {open} times");
+        assert!(other.len() > 8, "only {} distinct non-open types", other.len());
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, 1e-12, 1e-9);
+            assert!((1e-12..1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "log_uniform")]
+    fn log_uniform_rejects_bad_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        log_uniform(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    fn sampled_params_match_needs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ranges = SampleRanges::default();
+        for conn in ConnectionType::ALL {
+            let p = sample_params(&mut rng, conn, &ranges);
+            assert_eq!(p.r.is_some(), conn.needs_r(), "{conn:?}");
+            assert_eq!(p.c.is_some(), conn.needs_c(), "{conn:?}");
+            assert_eq!(p.gm.is_some(), conn.needs_gm(), "{conn:?}");
+        }
+    }
+}

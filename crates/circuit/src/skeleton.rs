@@ -1,0 +1,339 @@
+use crate::element::Element;
+use crate::error::CircuitError;
+use crate::node::Node;
+use crate::units::{Farads, Ohms, Siemens};
+use crate::Result;
+
+/// Small-signal parameters of one amplifier stage of Fig. 1(b): an ideal
+/// VCCS `gm` loaded by a lumped output resistance `ro` and parasitic
+/// capacitance `cp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageParams {
+    /// Stage transconductance.
+    pub gm: Siemens,
+    /// Lumped output resistance.
+    pub ro: Ohms,
+    /// Lumped parasitic capacitance at the stage output.
+    pub cp: Farads,
+}
+
+impl StageParams {
+    /// Creates stage parameters from raw SI values.
+    pub fn new(gm: f64, ro: f64, cp: f64) -> Self {
+        StageParams {
+            gm: Siemens(gm),
+            ro: Ohms(ro),
+            cp: Farads(cp),
+        }
+    }
+
+    /// Effective transit-time constant linking transconductance to
+    /// parasitic load: `Cp = CP_FLOOR + gm·TAU_TRANSIT`. Corresponds to
+    /// an effective `f_T` of ≈ 500 MHz — conservative for low-power
+    /// analog devices with wiring — and makes large stages pay for their
+    /// size, as real ones do.
+    pub const TAU_TRANSIT: f64 = 0.3e-9;
+
+    /// Fixed parasitic floor (junction + routing capacitance).
+    pub const CP_FLOOR: f64 = 30e-15;
+
+    /// Creates a stage from its transconductance and an intrinsic voltage
+    /// gain `gm·ro`. The parasitic capacitance follows the device size:
+    /// `Cp = CP_FLOOR + gm·TAU_TRANSIT`.
+    pub fn from_gm_and_gain(gm: f64, gain: f64) -> Self {
+        StageParams::new(
+            gm,
+            gain / gm,
+            StageParams::CP_FLOOR + gm * StageParams::TAU_TRANSIT,
+        )
+    }
+
+    /// Validates that all three values are physical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] naming the offending field.
+    pub fn validate(&self, stage: usize) -> Result<()> {
+        for (what, v) in [
+            ("gm", self.gm.value()),
+            ("ro", self.ro.value()),
+            ("cp", self.cp.value()),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CircuitError::InvalidValue {
+                    what: format!("{what} of stage {stage}"),
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for StageParams {
+    fn default() -> Self {
+        // A moderate-inversion stage: 50 µS with intrinsic gain 100.
+        StageParams::from_gm_and_gain(50e-6, 100.0)
+    }
+}
+
+/// The canonical three-stage cascade of Fig. 1(a): five initial nodes
+/// (`in`, `n1`, `n2`, `out`, ground), three VCCS stages, and the output
+/// load.
+///
+/// Stage polarities follow the nested-Miller convention (−, +, −): the
+/// first and third stages invert so that both Miller loops (`out→n1`,
+/// `out→n2`) close with negative feedback.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Skeleton;
+///
+/// let sk = Skeleton::default_with_load(1e6, 10e-12);
+/// assert_eq!(sk.elements().len(), 11); // 3 × (gm, ro, cp) + RL + CL
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    /// First (input) stage — mapped to a current-mirror differential
+    /// amplifier at the transistor level.
+    pub stage1: StageParams,
+    /// Second stage — a common-source amplifier.
+    pub stage2: StageParams,
+    /// Third (output) stage — a common-source amplifier.
+    pub stage3: StageParams,
+    /// Load resistance at the output (1 MΩ in the paper's §4.1.3).
+    pub rl: Ohms,
+    /// Load capacitance at the output (`C_L` of Table 2).
+    pub cl: Farads,
+}
+
+impl Skeleton {
+    /// Builds a skeleton with the given stages and load.
+    pub fn new(stage1: StageParams, stage2: StageParams, stage3: StageParams, rl: f64, cl: f64) -> Self {
+        Skeleton {
+            stage1,
+            stage2,
+            stage3,
+            rl: Ohms(rl),
+            cl: Farads(cl),
+        }
+    }
+
+    /// Default stages with the paper's load conditions.
+    pub fn default_with_load(rl: f64, cl: f64) -> Self {
+        Skeleton::new(
+            StageParams::default(),
+            StageParams::default(),
+            StageParams::default(),
+            rl,
+            cl,
+        )
+    }
+
+    /// The stage parameters as an array `[stage1, stage2, stage3]`.
+    pub fn stages(&self) -> [StageParams; 3] {
+        [self.stage1, self.stage2, self.stage3]
+    }
+
+    /// Validates every stage and the load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for the first non-physical
+    /// value found.
+    pub fn validate(&self) -> Result<()> {
+        self.stage1.validate(1)?;
+        self.stage2.validate(2)?;
+        self.stage3.validate(3)?;
+        for (what, v) in [("RL", self.rl.value()), ("CL", self.cl.value())] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CircuitError::InvalidValue {
+                    what: what.to_string(),
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// DC open-loop gain magnitude `gm1·gm2·gm3·Ro1·Ro2·(Ro3 ∥ RL)` —
+    /// the `Av` of the paper's A2 chat-log step.
+    pub fn dc_gain(&self) -> f64 {
+        let ro3_par_rl =
+            1.0 / (1.0 / self.stage3.ro.value() + 1.0 / self.rl.value());
+        self.stage1.gm.value()
+            * self.stage2.gm.value()
+            * self.stage3.gm.value()
+            * self.stage1.ro.value()
+            * self.stage2.ro.value()
+            * ro3_par_rl
+    }
+
+    /// Elaborates the skeleton into primitive elements.
+    ///
+    /// Polarity convention (SPICE `G` element, see
+    /// [`crate::Element::Vccs`]): `G1` inverts (in→n1), `G2` is
+    /// non-inverting (n1→n2), `G3` inverts (n2→out).
+    pub fn elements(&self) -> Vec<Element> {
+        let mut elems = Vec::with_capacity(11);
+        // Stage 1: inverting, in → n1.
+        elems.push(Element::Vccs {
+            label: "G1".into(),
+            out_p: Node::N1,
+            out_n: Node::Ground,
+            ctrl_p: Node::Input,
+            ctrl_n: Node::Ground,
+            gm: self.stage1.gm,
+        });
+        elems.push(Element::Resistor {
+            label: "Ro1".into(),
+            a: Node::N1,
+            b: Node::Ground,
+            ohms: self.stage1.ro,
+        });
+        elems.push(Element::Capacitor {
+            label: "Cp1".into(),
+            a: Node::N1,
+            b: Node::Ground,
+            farads: self.stage1.cp,
+        });
+        // Stage 2: non-inverting, n1 → n2.
+        elems.push(Element::Vccs {
+            label: "G2".into(),
+            out_p: Node::Ground,
+            out_n: Node::N2,
+            ctrl_p: Node::N1,
+            ctrl_n: Node::Ground,
+            gm: self.stage2.gm,
+        });
+        elems.push(Element::Resistor {
+            label: "Ro2".into(),
+            a: Node::N2,
+            b: Node::Ground,
+            ohms: self.stage2.ro,
+        });
+        elems.push(Element::Capacitor {
+            label: "Cp2".into(),
+            a: Node::N2,
+            b: Node::Ground,
+            farads: self.stage2.cp,
+        });
+        // Stage 3: inverting, n2 → out.
+        elems.push(Element::Vccs {
+            label: "G3".into(),
+            out_p: Node::Output,
+            out_n: Node::Ground,
+            ctrl_p: Node::N2,
+            ctrl_n: Node::Ground,
+            gm: self.stage3.gm,
+        });
+        elems.push(Element::Resistor {
+            label: "Ro3".into(),
+            a: Node::Output,
+            b: Node::Ground,
+            ohms: self.stage3.ro,
+        });
+        elems.push(Element::Capacitor {
+            label: "Cp3".into(),
+            a: Node::Output,
+            b: Node::Ground,
+            farads: self.stage3.cp,
+        });
+        // Load.
+        elems.push(Element::Resistor {
+            label: "RL".into(),
+            a: Node::Output,
+            b: Node::Ground,
+            ohms: self.rl,
+        });
+        elems.push(Element::Capacitor {
+            label: "CL".into(),
+            a: Node::Output,
+            b: Node::Ground,
+            farads: self.cl,
+        });
+        elems
+    }
+}
+
+impl Default for Skeleton {
+    fn default() -> Self {
+        Skeleton::default_with_load(1e6, 10e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_skeleton_is_valid() {
+        Skeleton::default().validate().expect("valid");
+    }
+
+    #[test]
+    fn invalid_stage_reported_with_index() {
+        let mut sk = Skeleton::default();
+        sk.stage2.gm = Siemens(-1.0);
+        let err = sk.validate().unwrap_err();
+        assert!(err.to_string().contains("stage 2"), "{err}");
+    }
+
+    #[test]
+    fn invalid_load_reported() {
+        let mut sk = Skeleton::default();
+        sk.cl = Farads(f64::NAN);
+        assert!(sk.validate().is_err());
+    }
+
+    #[test]
+    fn dc_gain_formula() {
+        let sk = Skeleton::new(
+            StageParams::new(100e-6, 1e6, 50e-15),
+            StageParams::new(100e-6, 1e6, 50e-15),
+            StageParams::new(100e-6, 1e6, 50e-15),
+            1e6,
+            10e-12,
+        );
+        // Each stage gm·ro = 100; output stage sees ro3 ∥ rl = 0.5e6.
+        let expected = 100.0 * 100.0 * (100e-6 * 0.5e6);
+        assert!((sk.dc_gain() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn element_count_and_labels() {
+        let elems = Skeleton::default().elements();
+        assert_eq!(elems.len(), 11);
+        let labels: Vec<&str> = elems.iter().map(|e| e.label()).collect();
+        for want in ["G1", "G2", "G3", "Ro1", "Ro2", "Ro3", "Cp1", "Cp2", "Cp3", "RL", "CL"] {
+            assert!(labels.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn stage_polarities_alternate() {
+        let elems = Skeleton::default().elements();
+        let polarity = |label: &str| -> bool {
+            // true = inverting (out_p is the driven node)
+            elems
+                .iter()
+                .find_map(|e| match e {
+                    Element::Vccs { label: l, out_p, .. } if l == label => {
+                        Some(*out_p != Node::Ground)
+                    }
+                    _ => None,
+                })
+                .expect("stage exists")
+        };
+        assert!(polarity("G1"));
+        assert!(!polarity("G2"));
+        assert!(polarity("G3"));
+    }
+
+    #[test]
+    fn from_gm_and_gain_sets_ro() {
+        let s = StageParams::from_gm_and_gain(200e-6, 80.0);
+        assert!((s.ro.value() - 400e3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,348 @@
+use crate::connection::{elaborate, ConnectionParams, ConnectionType};
+use crate::error::CircuitError;
+use crate::netlist::Netlist;
+use crate::node::NodeAllocator;
+use crate::position::{Position, PositionRules};
+use crate::skeleton::{Skeleton, StageParams};
+use crate::Result;
+
+/// One connection type placed at one tunable position, with its component
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Where on the skeleton.
+    pub position: Position,
+    /// Which of the 25 connection types.
+    pub connection: ConnectionType,
+    /// Component values for the connection.
+    pub params: ConnectionParams,
+}
+
+impl Placement {
+    /// Creates a placement.
+    pub fn new(position: Position, connection: ConnectionType, params: ConnectionParams) -> Self {
+        Placement {
+            position,
+            connection,
+            params,
+        }
+    }
+}
+
+/// A complete behavioural opamp topology: the three-stage [`Skeleton`]
+/// plus a set of [`Placement`]s on the tunable positions.
+///
+/// Unassigned positions are implicitly [`ConnectionType::Open`].
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Topology;
+///
+/// let nmc = Topology::nmc_example();
+/// let netlist = nmc.elaborate()?;
+/// assert!(netlist.element_count() > 11);
+/// # Ok::<(), artisan_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// The fixed three-stage core.
+    pub skeleton: Skeleton,
+    placements: Vec<Placement>,
+}
+
+impl Topology {
+    /// Creates a topology with no placements (bare skeleton).
+    pub fn new(skeleton: Skeleton) -> Self {
+        Topology {
+            skeleton,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Adds or replaces the placement at `placement.position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IllegalPlacement`] when the connection type
+    /// is not admitted at that position.
+    pub fn place(&mut self, placement: Placement) -> Result<&mut Self> {
+        if !PositionRules::allows(placement.position, placement.connection) {
+            return Err(CircuitError::IllegalPlacement {
+                position: placement.position.id().to_string(),
+                connection: placement.connection.code().to_string(),
+            });
+        }
+        if let Some(existing) = self
+            .placements
+            .iter_mut()
+            .find(|p| p.position == placement.position)
+        {
+            *existing = placement;
+        } else {
+            self.placements.push(placement);
+        }
+        Ok(self)
+    }
+
+    /// Removes any placement at `position` (reverting it to open).
+    pub fn clear_position(&mut self, position: Position) {
+        self.placements.retain(|p| p.position != position);
+    }
+
+    /// The current placements (open positions are omitted).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Returns the connection type at `position`
+    /// ([`ConnectionType::Open`] when unassigned).
+    pub fn connection_at(&self, position: Position) -> ConnectionType {
+        self.placements
+            .iter()
+            .find(|p| p.position == position)
+            .map(|p| p.connection)
+            .unwrap_or(ConnectionType::Open)
+    }
+
+    /// Validates the skeleton, every placement's legality, and every
+    /// referenced component value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found.
+    pub fn validate(&self) -> Result<()> {
+        self.skeleton.validate()?;
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &self.placements {
+            if !seen.insert(p.position) {
+                return Err(CircuitError::DuplicatePlacement(p.position.id().to_string()));
+            }
+            if !PositionRules::allows(p.position, p.connection) {
+                return Err(CircuitError::IllegalPlacement {
+                    position: p.position.id().to_string(),
+                    connection: p.connection.code().to_string(),
+                });
+            }
+            let checks: [(&str, bool, Option<f64>); 3] = [
+                ("r", p.connection.needs_r(), p.params.r.map(|v| v.value())),
+                ("c", p.connection.needs_c(), p.params.c.map(|v| v.value())),
+                ("gm", p.connection.needs_gm(), p.params.gm.map(|v| v.value())),
+            ];
+            for (what, needed, value) in checks {
+                if needed {
+                    if let Some(v) = value {
+                        if !(v.is_finite() && v > 0.0) {
+                            return Err(CircuitError::InvalidValue {
+                                what: format!("{what} at {}", p.position.id()),
+                                value: v,
+                            });
+                        }
+                    }
+                    // None falls back to the documented default — legal.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of auxiliary bias-current-consuming stages added by the
+    /// placements (feeds the power model).
+    pub fn auxiliary_stage_count(&self) -> usize {
+        self.placements
+            .iter()
+            .map(|p| p.connection.bias_stage_count())
+            .sum()
+    }
+
+    /// Total transconductance of auxiliary active stages, for power
+    /// estimation.
+    pub fn auxiliary_gm_total(&self) -> f64 {
+        self.placements
+            .iter()
+            .filter(|p| p.connection.is_active())
+            .map(|p| {
+                let per_stage = p
+                    .params
+                    .gm
+                    .map(|g| g.value())
+                    .unwrap_or(50e-6);
+                per_stage * p.connection.bias_stage_count() as f64
+            })
+            .sum()
+    }
+
+    /// Elaborates the topology into a flat [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors; an invalid topology never elaborates.
+    pub fn elaborate(&self) -> Result<Netlist> {
+        self.validate()?;
+        let mut alloc = NodeAllocator::new();
+        let mut elements = self.skeleton.elements();
+        for p in &self.placements {
+            let (a, b) = p.position.nodes();
+            elements.extend(elaborate(
+                p.connection,
+                &p.params,
+                a,
+                b,
+                &mut alloc,
+                p.position.id(),
+            ));
+        }
+        Ok(Netlist::new("behavioural three-stage opamp", elements))
+    }
+
+    /// The paper's worked NMC example (A3 of Fig. 7): GBW target 1 MHz,
+    /// C_L = 10 pF, Butterworth allocation giving `gm3 = 251.2 µS`,
+    /// `gm1 = 25.12 µS`, `gm2 = 37.68 µS`, `Cm1 = 4 pF`, `Cm2 = 3 pF`.
+    pub fn nmc_example() -> Topology {
+        let mut topo = Topology::new(Skeleton::new(
+            StageParams::from_gm_and_gain(25.12e-6, 120.0),
+            StageParams::from_gm_and_gain(37.68e-6, 100.0),
+            StageParams::from_gm_and_gain(251.2e-6, 100.0),
+            1e6,
+            10e-12,
+        ));
+        topo.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(4e-12),
+        ))
+        .expect("legal placement");
+        topo.place(Placement::new(
+            Position::N2ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(3e-12),
+        ))
+        .expect("legal placement");
+        topo
+    }
+
+    /// The DFC-modified NMC of the paper's Q9/A9: the inner Miller
+    /// capacitor is removed and a damping-factor-control block is attached
+    /// at the first-stage output to drive a 1 nF load.
+    pub fn dfc_example() -> Topology {
+        let mut topo = Topology::new(Skeleton::new(
+            StageParams::from_gm_and_gain(50e-6, 120.0),
+            StageParams::from_gm_and_gain(60e-6, 100.0),
+            StageParams::from_gm_and_gain(800e-6, 100.0),
+            1e6,
+            1e-9,
+        ));
+        topo.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(6e-12),
+        ))
+        .expect("legal placement");
+        topo.place(Placement::new(
+            Position::ShuntN1,
+            ConnectionType::Dfc,
+            ConnectionParams {
+                c: Some(crate::units::Farads(3e-12)),
+                gm: Some(crate::units::Siemens(150e-6)),
+                r: None,
+            },
+        ))
+        .expect("legal placement");
+        topo
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new(Skeleton::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_skeleton_elaborates_to_11_elements() {
+        let n = Topology::default().elaborate().unwrap();
+        assert_eq!(n.element_count(), 11);
+    }
+
+    #[test]
+    fn nmc_example_matches_paper_values() {
+        let t = Topology::nmc_example();
+        assert!((t.skeleton.stage3.gm.value() - 251.2e-6).abs() < 1e-9);
+        assert_eq!(t.connection_at(Position::N1ToOut), ConnectionType::MillerCapacitor);
+        assert_eq!(t.connection_at(Position::InToOut), ConnectionType::Open);
+        let n = t.elaborate().unwrap();
+        assert_eq!(n.element_count(), 13); // skeleton + two Miller caps
+    }
+
+    #[test]
+    fn dfc_example_contains_dfc_block() {
+        let t = Topology::dfc_example();
+        assert_eq!(t.connection_at(Position::ShuntN1), ConnectionType::Dfc);
+        assert_eq!(t.auxiliary_stage_count(), 1);
+        let n = t.elaborate().unwrap();
+        assert!(n.element_count() > 13);
+    }
+
+    #[test]
+    fn illegal_placement_is_rejected() {
+        let mut t = Topology::default();
+        let err = t
+            .place(Placement::new(
+                Position::InToOut,
+                ConnectionType::Resistor,
+                ConnectionParams::r(1e3),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::IllegalPlacement { .. }));
+    }
+
+    #[test]
+    fn placing_twice_replaces() {
+        let mut t = Topology::default();
+        t.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(1e-12),
+        ))
+        .unwrap();
+        t.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::SeriesRc,
+            ConnectionParams::rc(1e3, 2e-12),
+        ))
+        .unwrap();
+        assert_eq!(t.placements().len(), 1);
+        assert_eq!(t.connection_at(Position::N1ToOut), ConnectionType::SeriesRc);
+    }
+
+    #[test]
+    fn clear_position_reverts_to_open() {
+        let mut t = Topology::nmc_example();
+        t.clear_position(Position::N2ToOut);
+        assert_eq!(t.connection_at(Position::N2ToOut), ConnectionType::Open);
+    }
+
+    #[test]
+    fn invalid_param_value_is_reported() {
+        let mut t = Topology::default();
+        t.place(Placement::new(
+            Position::N1ToOut,
+            ConnectionType::MillerCapacitor,
+            ConnectionParams::c(-1e-12),
+        ))
+        .unwrap();
+        let err = t.validate().unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn auxiliary_gm_total_counts_active_placements() {
+        let t = Topology::dfc_example();
+        assert!((t.auxiliary_gm_total() - 150e-6).abs() < 1e-12);
+        assert_eq!(Topology::nmc_example().auxiliary_gm_total(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+use crate::describe::describe_topology;
+use crate::topology::Topology;
+use std::fmt;
+
+/// The bidirectional circuit representation of Eq. (2):
+/// `NetlistTuple_i = (netlist_i, description_i)`.
+///
+/// The netlist half carries the exact structure; the description half
+/// carries the structural semantics in natural language, aligning the
+/// topology with the opamp vocabulary of the pre-training corpus. The
+/// Artisan-LLM is trained on these pairs so that it can both *read*
+/// netlists (netlist → semantics) and *write* them (design intent →
+/// netlist).
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::{NetlistTuple, Topology};
+///
+/// let tuple = NetlistTuple::from_topology(&Topology::nmc_example());
+/// assert!(tuple.netlist_text().contains("Cp1"));
+/// assert!(tuple.description().contains("Miller"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistTuple {
+    netlist_text: String,
+    description: String,
+}
+
+impl NetlistTuple {
+    /// Builds the tuple for a topology: elaborate → emit text, and run
+    /// the rule-based annotator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails validation; construct tuples only
+    /// from validated topologies (the generator samples only legal ones).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let netlist = topo
+            .elaborate()
+            .expect("NetlistTuple requires a valid topology");
+        NetlistTuple {
+            netlist_text: netlist.to_text(),
+            description: describe_topology(topo),
+        }
+    }
+
+    /// Creates a tuple from pre-rendered parts (used by the dataset
+    /// augmenter, which rewrites the description half).
+    pub fn from_parts(netlist_text: impl Into<String>, description: impl Into<String>) -> Self {
+        NetlistTuple {
+            netlist_text: netlist_text.into(),
+            description: description.into(),
+        }
+    }
+
+    /// The netlist text.
+    pub fn netlist_text(&self) -> &str {
+        &self.netlist_text
+    }
+
+    /// The natural-language description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Renders the tuple as a single training sample: description and
+    /// netlist joined in a prompt/answer layout.
+    pub fn to_training_text(&self) -> String {
+        format!(
+            "### Circuit description\n{}\n### Netlist\n{}",
+            self.description, self.netlist_text
+        )
+    }
+}
+
+impl fmt::Display for NetlistTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_training_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_halves_are_consistent() {
+        let t = NetlistTuple::from_topology(&Topology::nmc_example());
+        // Both halves mention the Miller capacitors.
+        assert!(t.netlist_text().contains("Cp3"));
+        assert!(t.description().contains("Miller"));
+    }
+
+    #[test]
+    fn training_text_contains_both_sections() {
+        let t = NetlistTuple::from_topology(&Topology::default());
+        let text = t.to_training_text();
+        assert!(text.contains("### Circuit description"));
+        assert!(text.contains("### Netlist"));
+        assert_eq!(t.to_string(), text);
+    }
+
+    #[test]
+    fn from_parts_is_verbatim() {
+        let t = NetlistTuple::from_parts("NL", "DESC");
+        assert_eq!(t.netlist_text(), "NL");
+        assert_eq!(t.description(), "DESC");
+    }
+}

@@ -1,0 +1,182 @@
+//! Typed physical quantities.
+//!
+//! The design equations in the paper mix transconductances, capacitances,
+//! frequencies, and powers whose magnitudes differ by fifteen decades;
+//! newtypes keep them from being confused (C-NEWTYPE) and give each a
+//! Display in engineering notation.
+
+use crate::value::format_si;
+use std::fmt;
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value in base SI units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns true if the quantity is finite and strictly positive
+            /// — the validity condition for every physical component value
+            /// in this workspace.
+            #[inline]
+            pub fn is_physical(self) -> bool {
+                self.0.is_finite() && self.0 > 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", format_si(self.0), $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ohm"
+);
+quantity!(
+    /// Transconductance in siemens (A/V).
+    Siemens,
+    "S"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Current in amperes.
+    Amperes,
+    "A"
+);
+quantity!(
+    /// Voltage in volts.
+    Volts,
+    "V"
+);
+
+/// Gain expressed in decibels (20·log₁₀ of a voltage ratio).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Decibels(pub f64);
+
+impl Decibels {
+    /// Converts a linear voltage ratio to decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive.
+    pub fn from_ratio(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "decibel conversion needs a positive ratio");
+        Decibels(20.0 * ratio.log10())
+    }
+
+    /// Converts back to a linear voltage ratio.
+    pub fn to_ratio(self) -> f64 {
+        10.0_f64.powf(self.0 / 20.0)
+    }
+
+    /// Raw decibel value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Decibels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}dB", self.0)
+    }
+}
+
+/// Phase in degrees (for phase margin).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Degrees(pub f64);
+
+impl Degrees {
+    /// Converts from radians.
+    pub fn from_radians(rad: f64) -> Self {
+        Degrees(rad.to_degrees())
+    }
+
+    /// Raw value in degrees.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Degrees {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}°", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engineering_display() {
+        assert_eq!(Farads(10e-12).to_string(), "10pF");
+        assert_eq!(Siemens(25.1e-6).to_string(), "25.1uS");
+        assert_eq!(Ohms(1.2e6).to_string(), "1.2megOhm");
+        assert_eq!(Hertz(0.7e6).to_string(), "700kHz");
+        assert_eq!(Watts(47.8e-6).to_string(), "47.8uW");
+    }
+
+    #[test]
+    fn physical_validity() {
+        assert!(Farads(1e-12).is_physical());
+        assert!(!Farads(0.0).is_physical());
+        assert!(!Farads(-1.0).is_physical());
+        assert!(!Farads(f64::NAN).is_physical());
+    }
+
+    #[test]
+    fn decibel_roundtrip() {
+        let db = Decibels::from_ratio(1000.0);
+        assert!((db.value() - 60.0).abs() < 1e-12);
+        assert!((db.to_ratio() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decibel_rejects_nonpositive() {
+        Decibels::from_ratio(0.0);
+    }
+
+    #[test]
+    fn degrees_from_radians() {
+        assert!((Degrees::from_radians(std::f64::consts::PI).value() - 180.0).abs() < 1e-12);
+        assert!(Degrees(60.02).to_string().starts_with("60.02"));
+    }
+
+    #[test]
+    fn from_f64_conversion() {
+        let g: Siemens = 1e-3.into();
+        assert_eq!(g.value(), 1e-3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Engineering-notation value formatting and parsing.
+//!
+//! SPICE netlists write `4p` for 4 pF and `1.2meg` for 1.2 MΩ; this module
+//! provides the canonical formatter used by [`crate::Netlist`] emission and
+//! the tolerant parser used when reading netlists back.
+
+/// SI prefixes in SPICE convention, largest first. `meg` is used for 1e6
+/// because `M`/`m` are both milli in SPICE's case-insensitive tradition.
+const PREFIXES: &[(f64, &str)] = &[
+    (1e12, "t"),
+    (1e9, "g"),
+    (1e6, "meg"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+];
+
+/// Formats a value with the best-fitting SI prefix, e.g. `format_si(4e-12)
+/// == "4p"`. Values are rendered with up to four significant digits and
+/// trailing zeros trimmed.
+///
+/// Zero formats as `"0"`; non-finite values format via `{}` on `f64`.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::value::format_si;
+///
+/// assert_eq!(format_si(4e-12), "4p");
+/// assert_eq!(format_si(1.2e6), "1.2meg");
+/// assert_eq!(format_si(0.0), "0");
+/// ```
+pub fn format_si(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let mag = v.abs();
+    for &(scale, prefix) in PREFIXES {
+        if mag >= scale * 0.9999995 {
+            let scaled = v / scale;
+            return format!("{}{prefix}", trim_digits(scaled));
+        }
+    }
+    // Below atto: fall back to scientific notation.
+    format!("{v:e}")
+}
+
+fn trim_digits(x: f64) -> String {
+    // Up to 4 significant digits, trailing zeros removed.
+    let s = format!("{x:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.').to_string();
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s
+    }
+}
+
+/// Parses a SPICE-style value with optional SI suffix: `"4p"`, `"1.2meg"`,
+/// `"700k"`, `"0.25"`, `"2.5e-6"`. Suffix matching is case-insensitive and
+/// ignores trailing unit letters after the prefix (`"10pF"` parses as
+/// `10e-12`, `"1kOhm"` as `1e3`), matching SPICE tradition.
+///
+/// Returns `None` for malformed input.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::value::parse_si;
+///
+/// assert_eq!(parse_si("4p"), Some(4e-12));
+/// assert_eq!(parse_si("1.2meg"), Some(1.2e6));
+/// assert_eq!(parse_si("10pF"), Some(1e-11));
+/// assert_eq!(parse_si("bogus"), None);
+/// ```
+pub fn parse_si(text: &str) -> Option<f64> {
+    let t = text.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Split the leading numeric part (digits, sign, dot, exponent).
+    let mut split = t.len();
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    let mut seen_digit = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let is_num = c.is_ascii_digit()
+            || c == '.'
+            || ((c == '+' || c == '-') && (i == 0 || matches!(bytes[i - 1] as char, 'e' | 'E')))
+            || ((c == 'e' || c == 'E')
+                && seen_digit
+                && i + 1 < bytes.len()
+                && {
+                    let nxt = bytes[i + 1] as char;
+                    nxt.is_ascii_digit() || nxt == '+' || nxt == '-'
+                });
+        if c.is_ascii_digit() {
+            seen_digit = true;
+        }
+        if !is_num {
+            split = i;
+            break;
+        }
+        i += 1;
+    }
+    let (num_part, suffix) = t.split_at(split);
+    let base: f64 = num_part.parse().ok()?;
+    let suffix = suffix.trim().to_ascii_lowercase();
+    if suffix.is_empty() {
+        return Some(base);
+    }
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else {
+        match suffix.as_bytes()[0] as char {
+            't' => 1e12,
+            'g' => 1e9,
+            'k' => 1e3,
+            'm' => 1e-3,
+            'u' => 1e-6,
+            'n' => 1e-9,
+            'p' => 1e-12,
+            'f' => 1e-15,
+            'a' => 1e-18,
+            // A bare unit like "Ohm" or "V" — no prefix.
+            'o' | 'v' | 's' | 'h' | 'w' => 1.0,
+            _ => return None,
+        }
+    };
+    Some(base * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_common_values() {
+        assert_eq!(format_si(25.12e-6), "25.12u");
+        assert_eq!(format_si(4e-12), "4p");
+        assert_eq!(format_si(1e6), "1meg");
+        assert_eq!(format_si(1.5e3), "1.5k");
+        assert_eq!(format_si(-3e-9), "-3n");
+        assert_eq!(format_si(0.25), "250m");
+        assert_eq!(format_si(1e9), "1g");
+        assert_eq!(format_si(2.0), "2");
+    }
+
+    #[test]
+    fn formats_boundaries() {
+        assert_eq!(format_si(1000.0), "1k");
+        assert_eq!(format_si(999.0), "999");
+        // Floating-point representation of 1e-3 · 999.999… rounds sanely.
+        assert_eq!(format_si(1e-3), "1m");
+    }
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_si("42"), Some(42.0));
+        assert_eq!(parse_si("-1.5"), Some(-1.5));
+        assert_eq!(parse_si("2.5e-6"), Some(2.5e-6));
+        assert_eq!(parse_si("1E3"), Some(1000.0));
+    }
+
+    #[test]
+    fn parses_suffixes() {
+        assert_eq!(parse_si("4p"), Some(4e-12));
+        assert!((parse_si("3n").unwrap() - 3e-9).abs() < 1e-18);
+        assert_eq!(parse_si("25.1u"), Some(25.1e-6));
+        assert_eq!(parse_si("12m"), Some(12e-3));
+        assert_eq!(parse_si("700k"), Some(700e3));
+        assert_eq!(parse_si("1.2meg"), Some(1.2e6));
+        assert_eq!(parse_si("2g"), Some(2e9));
+        assert_eq!(parse_si("100f"), Some(100e-15));
+    }
+
+    #[test]
+    fn parses_unit_tails() {
+        assert_eq!(parse_si("10pF"), Some(1e-11));
+        assert_eq!(parse_si("1kOhm"), Some(1e3));
+        assert_eq!(parse_si("1MEG"), Some(1e6));
+        assert_eq!(parse_si("1.8V"), Some(1.8));
+        assert_eq!(parse_si("5Ohm"), Some(5.0));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(parse_si(""), None);
+        assert_eq!(parse_si("x12"), None);
+        assert_eq!(parse_si("1.2.3"), None);
+        assert_eq!(parse_si("12q"), None);
+    }
+
+    #[test]
+    fn roundtrip_format_parse() {
+        for &v in &[
+            1e-15, 4e-12, 33e-9, 25.1e-6, 1e-3, 0.5, 42.0, 1.5e3, 1.2e6, 7e9,
+        ] {
+            let s = format_si(v);
+            let back = parse_si(&s).unwrap_or_else(|| panic!("failed to parse {s}"));
+            let rel = ((back - v) / v).abs();
+            assert!(rel < 1e-3, "{v} -> {s} -> {back}");
+        }
+    }
+}

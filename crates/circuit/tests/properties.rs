@@ -1,0 +1,73 @@
+//! Property-based tests: the netlist text format and the rule-based
+//! annotator must be total over the sampled design space.
+
+use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::{describe, ConnectionType, Netlist, NetlistTuple, Position, PositionRules};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every sampled topology's netlist text parses back to the same
+    /// element structure (labels, nodes, values within format precision).
+    #[test]
+    fn netlist_text_roundtrip(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = topo.elaborate().expect("valid");
+        let text = netlist.to_text();
+        let back = Netlist::parse(&text).expect("parses");
+        prop_assert_eq!(back.element_count(), netlist.element_count());
+        for (a, b) in netlist.elements().iter().zip(back.elements()) {
+            prop_assert_eq!(a.label(), b.label());
+            prop_assert_eq!(a.nodes(), b.nodes());
+            let rel = ((a.value() - b.value()) / a.value()).abs();
+            prop_assert!(rel < 1e-3, "{}: {} vs {}", a.label(), a.value(), b.value());
+        }
+    }
+
+    /// The description mentions the engineering role of every non-open
+    /// placement (bidirectional alignment must not drop structure).
+    #[test]
+    fn description_covers_every_placement(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let tuple = NetlistTuple::from_topology(&topo);
+        for p in topo.placements() {
+            if p.connection == ConnectionType::Open {
+                continue;
+            }
+            let role = describe::connection_role(p.connection);
+            // The first clause of the role sentence must appear verbatim.
+            let head: String = role.split(" with ").next().unwrap_or(role).to_string();
+            prop_assert!(
+                tuple.description().contains(&head),
+                "description missing role `{}`:\n{}",
+                head,
+                tuple.description()
+            );
+        }
+    }
+
+    /// Sampled connections always satisfy the position legality rules.
+    #[test]
+    fn sampled_placements_are_legal(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 1e-9);
+        for p in topo.placements() {
+            prop_assert!(PositionRules::allows(p.position, p.connection));
+        }
+    }
+
+    /// Every position's legal set is nonempty and a subset of the 25.
+    #[test]
+    fn legal_sets_are_well_formed(idx in 0usize..7) {
+        let pos = Position::ALL[idx];
+        let legal = PositionRules::legal_types(pos);
+        prop_assert!(!legal.is_empty());
+        prop_assert!(legal.len() <= 25);
+        prop_assert!(legal.contains(&ConnectionType::Open));
+    }
+}

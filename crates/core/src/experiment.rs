@@ -1,0 +1,387 @@
+//! The Table 3 experiment runner: every method × every Table 2 group ×
+//! `trials` seeded repetitions, reporting success rate, metrics averaged
+//! over successful runs (the paper's convention — failed runs print
+//! "fail"), FoM, and testbed-equivalent time.
+
+use crate::workflow::{Artisan, ArtisanOptions};
+use artisan_opt::objective::Objective;
+use artisan_opt::{Bobo, BoboConfig, Gpt4Baseline, Llama2Baseline, Rlbo, RlboConfig};
+use artisan_sim::cost::{format_testbed_time, CostModel};
+use artisan_sim::{Performance, Simulator, Spec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::Instant;
+
+/// The five compared methods of §4.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// BOBO [12] — GP Bayesian optimization over the topology embedding.
+    Bobo,
+    /// RLBO [3] — REINFORCE topology search.
+    Rlbo,
+    /// Off-the-shelf GPT-4.
+    Gpt4,
+    /// Off-the-shelf Llama2-7b-chat.
+    Llama2,
+    /// Artisan (this work).
+    Artisan,
+}
+
+impl Method {
+    /// All methods in Table 3's row order.
+    pub const ALL: [Method; 5] = [
+        Method::Bobo,
+        Method::Rlbo,
+        Method::Gpt4,
+        Method::Llama2,
+        Method::Artisan,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Bobo => "BOBO",
+            Method::Rlbo => "RLBO",
+            Method::Gpt4 => "GPT-4",
+            Method::Llama2 => "Llama2",
+            Method::Artisan => "Artisan",
+        }
+    }
+}
+
+/// One trial's record.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Whether the produced design cleared every constraint.
+    pub success: bool,
+    /// Measured performance of the produced design (if it simulated).
+    pub performance: Option<Performance>,
+    /// Testbed-equivalent seconds billed.
+    pub testbed_seconds: f64,
+}
+
+/// Aggregated results of one (method, group) cell of Table 3.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The method.
+    pub method: Method,
+    /// The group name ("G-1" …).
+    pub group: &'static str,
+    /// Per-trial records.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl GroupResult {
+    /// Successes out of trials, e.g. `(9, 10)`.
+    pub fn success_rate(&self) -> (usize, usize) {
+        (
+            self.trials.iter().filter(|t| t.success).count(),
+            self.trials.len(),
+        )
+    }
+
+    /// Mean of a metric over the *successful* trials (the paper's
+    /// convention). `None` when no trial succeeded.
+    pub fn mean_over_successes(&self, f: impl Fn(&Performance) -> f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.success)
+            .filter_map(|t| t.performance.as_ref())
+            .map(&f)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Mean testbed time per trial in seconds.
+    pub fn mean_testbed_seconds(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(|t| t.testbed_seconds).sum::<f64>() / self.trials.len() as f64
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Trials per (method, group) — 10 in the paper.
+    pub trials: usize,
+    /// Base seed; trial `k` of group `g` uses a derived seed.
+    pub seed: u64,
+    /// BOBO budget configuration.
+    pub bobo: BoboConfig,
+    /// RLBO budget configuration.
+    pub rlbo: RlboConfig,
+    /// Artisan options.
+    pub artisan: ArtisanOptions,
+    /// Cost model for the Time column.
+    pub cost_model: CostModel,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            trials: 10,
+            seed: 2024,
+            bobo: BoboConfig::default(),
+            rlbo: RlboConfig::default(),
+            artisan: ArtisanOptions::paper_default(),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for tests: few trials, small budgets, no
+    /// LLM training.
+    pub fn smoke(trials: usize) -> Self {
+        ExperimentConfig {
+            trials,
+            seed: 7,
+            bobo: BoboConfig {
+                budget: 40,
+                initial_samples: 15,
+                pool: 50,
+                ..BoboConfig::default()
+            },
+            rlbo: RlboConfig {
+                budget: 40,
+                ..RlboConfig::default()
+            },
+            artisan: ArtisanOptions::fast(),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Runs one (method, group) cell.
+pub fn run_cell(
+    method: Method,
+    group_name: &'static str,
+    spec: &Spec,
+    config: &ExperimentConfig,
+    artisan: &mut Artisan,
+) -> GroupResult {
+    let mut trials = Vec::with_capacity(config.trials);
+    for k in 0..config.trials {
+        let seed = config
+            .seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(k as u64 * 7919)
+            ^ (group_name.len() as u64)
+            ^ ((method as u64) << 32);
+        let record = match method {
+            Method::Artisan => {
+                let outcome = artisan.design(spec, seed);
+                TrialRecord {
+                    success: outcome.design.success,
+                    performance: outcome.design.report.map(|r| r.performance),
+                    testbed_seconds: outcome.testbed_seconds,
+                }
+            }
+            other => {
+                let mut sim = Simulator::new();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let result = match other {
+                    Method::Bobo => Bobo::new(config.bobo).run(spec, &mut sim, &mut rng),
+                    Method::Rlbo => Rlbo::new(config.rlbo).run(spec, &mut sim, &mut rng),
+                    Method::Gpt4 => Gpt4Baseline.optimize(spec, &mut sim, &mut rng),
+                    Method::Llama2 => Llama2Baseline.optimize(spec, &mut sim, &mut rng),
+                    Method::Artisan => unreachable!("handled above"),
+                };
+                TrialRecord {
+                    success: result.success,
+                    performance: result.performance,
+                    testbed_seconds: sim.ledger().testbed_seconds(&config.cost_model),
+                }
+            }
+        };
+        trials.push(record);
+    }
+    GroupResult {
+        method,
+        group: group_name,
+        trials,
+    }
+}
+
+/// The assembled Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// All (method, group) cells, method-major in the paper's order.
+    pub cells: Vec<GroupResult>,
+    /// Wall-clock time the whole experiment took to compute.
+    pub wall_seconds: f64,
+}
+
+impl Table3 {
+    /// Runs the full experiment.
+    pub fn run(config: &ExperimentConfig) -> Table3 {
+        let start = Instant::now();
+        let mut artisan = Artisan::new(config.artisan.clone());
+        let mut cells = Vec::new();
+        for method in Method::ALL {
+            for (group, spec) in Spec::table2() {
+                cells.push(run_cell(method, group, &spec, config, &mut artisan));
+            }
+        }
+        Table3 {
+            cells,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, method: Method, group: &str) -> Option<&GroupResult> {
+        self.cells
+            .iter()
+            .find(|c| c.method == method && c.group == group)
+    }
+
+    /// The §4.2 headline: the speedup range of Artisan over the
+    /// optimization baselines, `(min, max)` over groups where both have
+    /// measurements.
+    pub fn speedup_range(&self) -> Option<(f64, f64)> {
+        let mut ratios = Vec::new();
+        for (group, _) in Spec::table2() {
+            let artisan = self.cell(Method::Artisan, group)?.mean_testbed_seconds();
+            if artisan <= 0.0 {
+                continue;
+            }
+            for m in [Method::Bobo, Method::Rlbo] {
+                let baseline = self.cell(m, group)?.mean_testbed_seconds();
+                if baseline > 0.0 {
+                    ratios.push(baseline / artisan);
+                }
+            }
+        }
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (!ratios.is_empty()).then_some((min, max))
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:<5} {:>6} {:>9} {:>10} {:>8} {:>10} {:>10} {:>9}",
+            "Method", "Exp", "Succ.", "Gain(dB)", "GBW(MHz)", "PM(deg)", "Power(uW)", "FoM", "Time"
+        )?;
+        for cell in &self.cells {
+            let (s, n) = cell.success_rate();
+            let fmt_metric = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.1}"),
+                None => "fail".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<8} {:<5} {:>4}/{:<1} {:>9} {:>10} {:>8} {:>10} {:>10} {:>9}",
+                cell.method.name(),
+                cell.group,
+                s,
+                n,
+                fmt_metric(cell.mean_over_successes(|p| p.gain.value())),
+                match cell.mean_over_successes(|p| p.gbw.value() / 1e6) {
+                    Some(x) => format!("{x:.2}"),
+                    None => "fail".to_string(),
+                },
+                fmt_metric(cell.mean_over_successes(|p| p.pm.value())),
+                fmt_metric(cell.mean_over_successes(|p| p.power.value() * 1e6)),
+                fmt_metric(cell.mean_over_successes(|p| p.fom)),
+                format_testbed_time(cell.mean_testbed_seconds()),
+            )?;
+        }
+        if let Some((lo, hi)) = self.speedup_range() {
+            writeln!(
+                f,
+                "Artisan accelerates the design process by {lo:.1}x to {hi:.1}x over the \
+                 optimization baselines."
+            )?;
+        }
+        writeln!(f, "(computed in {:.1}s wall-clock)", self.wall_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_experiment_has_paper_shape() {
+        let config = ExperimentConfig::smoke(2);
+        let table = Table3::run(&config);
+        assert_eq!(table.cells.len(), 25);
+
+        // LLM baselines fail everywhere.
+        for group in ["G-1", "G-2", "G-3", "G-4", "G-5"] {
+            assert_eq!(table.cell(Method::Gpt4, group).unwrap().success_rate().0, 0);
+            assert_eq!(
+                table.cell(Method::Llama2, group).unwrap().success_rate().0,
+                0
+            );
+        }
+        // Artisan (noiseless smoke config) succeeds everywhere.
+        for group in ["G-1", "G-2", "G-3", "G-4", "G-5"] {
+            let (s, n) = table.cell(Method::Artisan, group).unwrap().success_rate();
+            assert_eq!(s, n, "{group}");
+        }
+        // Artisan is much faster than the sim-hungry baselines.
+        let artisan_t = table
+            .cell(Method::Artisan, "G-1")
+            .unwrap()
+            .mean_testbed_seconds();
+        let bobo_t = table.cell(Method::Bobo, "G-1").unwrap().mean_testbed_seconds();
+        assert!(bobo_t > 2.0 * artisan_t, "bobo {bobo_t} artisan {artisan_t}");
+    }
+
+    #[test]
+    fn display_renders_fail_cells() {
+        let config = ExperimentConfig::smoke(1);
+        let table = Table3::run(&config);
+        let text = table.to_string();
+        assert!(text.contains("fail"));
+        assert!(text.contains("Artisan"));
+        assert!(text.contains("G-5"));
+    }
+
+    #[test]
+    fn mean_over_successes_ignores_failures() {
+        use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
+        let perf = Performance {
+            gain: Decibels(100.0),
+            gbw: Hertz(1e6),
+            pm: Degrees(60.0),
+            power: Watts(50e-6),
+            fom: 200.0,
+        };
+        let cell = GroupResult {
+            method: Method::Artisan,
+            group: "G-1",
+            trials: vec![
+                TrialRecord {
+                    success: true,
+                    performance: Some(perf),
+                    testbed_seconds: 100.0,
+                },
+                TrialRecord {
+                    success: false,
+                    performance: Some(Performance {
+                        gain: Decibels(10.0),
+                        ..perf
+                    }),
+                    testbed_seconds: 300.0,
+                },
+            ],
+        };
+        assert_eq!(cell.success_rate(), (1, 2));
+        assert_eq!(cell.mean_over_successes(|p| p.gain.value()), Some(100.0));
+        assert_eq!(cell.mean_testbed_seconds(), 200.0);
+    }
+}

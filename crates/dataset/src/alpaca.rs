@@ -1,0 +1,82 @@
+//! General instruction-following data — the stand-in for the 52 K Alpaca
+//! pairs the paper mixes into fine-tuning to preserve chat ability.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const TASKS: &[(&str, &str)] = &[
+    (
+        "Explain the difference between a resistor and a capacitor.",
+        "A resistor dissipates energy and has a frequency-independent impedance, while a \
+         capacitor stores energy in an electric field and its impedance falls with frequency.",
+    ),
+    (
+        "Summarize what an operational amplifier does.",
+        "An operational amplifier amplifies the voltage difference between its two inputs \
+         with very high gain, and is usually used with negative feedback.",
+    ),
+    (
+        "List three factors to consider when choosing a power supply voltage.",
+        "Device breakdown limits, required output swing, and the power budget.",
+    ),
+    (
+        "Rewrite this sentence to be more formal: the circuit blew up.",
+        "The circuit experienced a catastrophic failure.",
+    ),
+    (
+        "Give a one-sentence definition of feedback.",
+        "Feedback returns a fraction of a system's output to its input to control the \
+         overall behaviour.",
+    ),
+    (
+        "What is the purpose of a testbench?",
+        "A testbench applies controlled stimuli to a circuit and measures its responses so \
+         that behaviour can be verified against the specification.",
+    ),
+    (
+        "Translate the requirement 'low power' into a measurable constraint.",
+        "Specify a maximum static power draw in microwatts at the nominal supply voltage.",
+    ),
+    (
+        "Name two trade-offs in analog design.",
+        "Gain versus bandwidth, and speed versus power consumption.",
+    ),
+];
+
+/// Generates `count` instruction pairs by sampling (with replacement)
+/// from the task pool and numbering the variants for diversity.
+pub fn generate_alpaca<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<(String, String)> {
+    (0..count)
+        .map(|k| {
+            let (q, a) = TASKS.choose(rng).expect("non-empty task pool");
+            // Number the instruction to keep samples distinct, the way
+            // instruction datasets vary phrasing across examples.
+            (format!("Task {k}: {q}"), (*a).to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pairs = generate_alpaca(&mut rng, 30);
+        assert_eq!(pairs.len(), 30);
+        for (q, a) in &pairs {
+            assert!(!q.is_empty() && !a.is_empty());
+        }
+    }
+
+    #[test]
+    fn samples_are_distinct_by_numbering() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pairs = generate_alpaca(&mut rng, 10);
+        let qs: std::collections::BTreeSet<&String> = pairs.iter().map(|(q, _)| q).collect();
+        assert_eq!(qs.len(), 10);
+    }
+}

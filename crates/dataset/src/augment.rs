@@ -1,0 +1,142 @@
+//! Rule-based data augmentation — the substitute for the paper's
+//! ChatGPT-API rephrasing (§3.4, "Data argumentation").
+//!
+//! Two seeded transformations diversify the templated text without
+//! touching its technical content:
+//!
+//! 1. **synonym substitution** over a domain-safe lexicon,
+//! 2. **sentence reordering** of interior sentences (first and last stay
+//!    put, preserving discourse structure).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Domain-safe synonym groups: any member may replace any other.
+const SYNONYMS: &[&[&str]] = &[
+    &["opamp", "operational amplifier", "amplifier"],
+    &["uses", "employs", "adopts"],
+    &["large", "big", "substantial"],
+    &["small", "little", "compact"],
+    &["controls", "sets", "governs"],
+    &["improves", "enhances", "boosts"],
+    &["requirement", "specification", "target"],
+    &["widely", "commonly", "frequently"],
+    &["approach", "technique", "method"],
+    &["designer", "engineer"],
+];
+
+/// Applies synonym substitution with probability `rate` per replaceable
+/// word.
+pub fn substitute_synonyms<R: Rng + ?Sized>(text: &str, rate: f64, rng: &mut R) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for word in text.split(' ') {
+        let lower = word.to_lowercase();
+        let stripped: String = lower
+            .trim_end_matches(|c: char| !c.is_alphanumeric())
+            .to_string();
+        let mut replaced = None;
+        if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+            for group in SYNONYMS {
+                if group.contains(&stripped.as_str()) {
+                    let pick = group.choose(rng).expect("non-empty group");
+                    if *pick != stripped {
+                        let tail: String = lower
+                            .chars()
+                            .skip(stripped.len())
+                            .collect();
+                        replaced = Some(format!("{pick}{tail}"));
+                    }
+                    break;
+                }
+            }
+        }
+        out.push(replaced.unwrap_or_else(|| word.to_string()));
+    }
+    out.join(" ")
+}
+
+/// Shuffles the interior sentences of a document (split on `. `).
+pub fn reorder_sentences<R: Rng + ?Sized>(text: &str, rng: &mut R) -> String {
+    let mut sentences: Vec<&str> = text.split(". ").collect();
+    if sentences.len() > 3 {
+        let len = sentences.len();
+        let interior = &mut sentences[1..len - 1];
+        interior.shuffle(rng);
+    }
+    sentences.join(". ")
+}
+
+/// Produces `copies` augmented variants of a document (the original is
+/// not included).
+pub fn augment<R: Rng + ?Sized>(text: &str, copies: usize, rng: &mut R) -> Vec<String> {
+    (0..copies)
+        .map(|_| {
+            let reordered = reorder_sentences(text, rng);
+            substitute_synonyms(&reordered, 0.5, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DOC: &str = "The opamp uses a large Miller capacitor. \
+                       The designer controls the dominant pole. \
+                       This approach improves the phase margin. \
+                       The requirement is widely met.";
+
+    #[test]
+    fn synonyms_change_words_but_preserve_length_in_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = substitute_synonyms(DOC, 1.0, &mut rng);
+        // "operational amplifier" may add words; compare sets loosely:
+        assert_ne!(out, DOC);
+        assert!(out.contains("pole")); // technical nouns untouched
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(substitute_synonyms(DOC, 0.0, &mut rng), DOC);
+    }
+
+    #[test]
+    fn reorder_keeps_first_and_last() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = reorder_sentences(DOC, &mut rng);
+        assert!(out.starts_with("The opamp uses"));
+        assert!(out.ends_with("widely met."));
+        // Same sentence multiset.
+        let mut a: Vec<&str> = DOC.split(". ").collect();
+        let mut b: Vec<&str> = out.split(". ").collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn augmentation_diversifies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let variants = augment(DOC, 10, &mut rng);
+        assert_eq!(variants.len(), 10);
+        let distinct: std::collections::BTreeSet<&String> = variants.iter().collect();
+        assert!(distinct.len() >= 8, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn augmentation_is_seeded() {
+        let a = augment(DOC, 3, &mut StdRng::seed_from_u64(3));
+        let b = augment(DOC, 3, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_documents_are_not_reordered() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let short = "One sentence. Two sentences. Three.";
+        assert_eq!(reorder_sentences(short, &mut rng), short);
+    }
+}

@@ -1,0 +1,208 @@
+use crate::alpaca::generate_alpaca;
+use crate::augment::augment;
+use crate::corpus::generate_corpus;
+use crate::design_qa::{generate_design_qa, QaPair};
+use crate::netlist_tuple::{generate_tuples, tuples_as_documents};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sizing of the four dataset sources, in raw sample counts.
+///
+/// The paper's full-scale counts (Table 1) are 225 k corpus documents,
+/// 13 k NetlistTuples, 52 k Alpaca pairs, and 14 k DesignQA samples;
+/// [`DatasetConfig::paper_scaled`] divides them by a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetConfig {
+    /// Collected-corpus documents (before augmentation).
+    pub corpus_docs: usize,
+    /// NetlistTuple samples (before augmentation).
+    pub netlist_tuples: usize,
+    /// Alpaca instruction pairs.
+    pub alpaca_pairs: usize,
+    /// DesignQA documents (each expands to ≥ 8 QA pairs).
+    pub design_docs: usize,
+    /// Augmented copies per NetlistTuple/DesignQA sample (the ChatGPT
+    /// rephrasing factor; 0 disables augmentation).
+    pub augment_copies: usize,
+}
+
+impl DatasetConfig {
+    /// Table 1 counts divided by `scale` (minimum 1 sample per source).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is zero.
+    pub fn paper_scaled(scale: usize) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        DatasetConfig {
+            corpus_docs: (225_000 / scale).max(1),
+            netlist_tuples: (13_000 / scale).max(1),
+            alpaca_pairs: (52_000 / scale).max(1),
+            design_docs: (14_000 / scale / 8).max(1),
+            augment_copies: 1,
+        }
+    }
+
+    /// A tiny configuration for unit tests and examples.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            corpus_docs: 8,
+            netlist_tuples: 6,
+            alpaca_pairs: 10,
+            design_docs: 3,
+            augment_copies: 1,
+        }
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        // 1/1000 of Table 1 — builds in well under a second.
+        DatasetConfig::paper_scaled(1000)
+    }
+}
+
+/// The assembled opamp dataset: pre-training documents and fine-tuning
+/// QA pairs, mirroring Table 1's split.
+#[derive(Debug, Clone)]
+pub struct OpampDataset {
+    /// Collected-corpus documents (pre-training).
+    pub corpus: Vec<String>,
+    /// NetlistTuple documents, including augmented copies (pre-training).
+    pub netlist_tuple_docs: Vec<String>,
+    /// Alpaca instruction pairs (fine-tuning).
+    pub alpaca: Vec<(String, String)>,
+    /// DesignQA pairs, including augmented copies (fine-tuning).
+    pub design_qa: Vec<QaPair>,
+}
+
+impl OpampDataset {
+    /// Builds the dataset deterministically from a seed.
+    pub fn build(config: &DatasetConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus = generate_corpus(&mut rng, config.corpus_docs);
+
+        let tuples = generate_tuples(&mut rng, config.netlist_tuples);
+        let mut netlist_tuple_docs = tuples_as_documents(&tuples);
+        if config.augment_copies > 0 {
+            let originals = netlist_tuple_docs.clone();
+            for doc in &originals {
+                netlist_tuple_docs.extend(augment(doc, config.augment_copies, &mut rng));
+            }
+        }
+
+        let alpaca = generate_alpaca(&mut rng, config.alpaca_pairs);
+
+        let mut design_qa = generate_design_qa(&mut rng, config.design_docs);
+        if config.augment_copies > 0 {
+            let originals = design_qa.clone();
+            for pair in &originals {
+                for a in augment(&pair.answer, config.augment_copies, &mut rng) {
+                    design_qa.push(QaPair::new(pair.question.clone(), a));
+                }
+            }
+        }
+
+        OpampDataset {
+            corpus,
+            netlist_tuple_docs,
+            alpaca,
+            design_qa,
+        }
+    }
+
+    /// All pre-training documents (corpus + NetlistTuple).
+    pub fn pretraining_documents(&self) -> Vec<&str> {
+        self.corpus
+            .iter()
+            .map(String::as_str)
+            .chain(self.netlist_tuple_docs.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// All fine-tuning QA pairs (DesignQA + Alpaca), as `(q, a)` string
+    /// slices.
+    pub fn fine_tuning_pairs(&self) -> Vec<(&str, &str)> {
+        self.design_qa
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str()))
+            .chain(
+                self.alpaca
+                    .iter()
+                    .map(|(q, a)| (q.as_str(), a.as_str())),
+            )
+            .collect()
+    }
+
+    /// Number of pre-training documents.
+    pub fn pretraining_docs(&self) -> usize {
+        self.corpus.len() + self.netlist_tuple_docs.len()
+    }
+
+    /// Number of DesignQA pairs.
+    pub fn design_qa_pairs(&self) -> usize {
+        self.design_qa.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = OpampDataset::build(&DatasetConfig::tiny(), 1);
+        let b = OpampDataset::build(&DatasetConfig::tiny(), 1);
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.design_qa, b.design_qa);
+        let c = OpampDataset::build(&DatasetConfig::tiny(), 2);
+        assert_ne!(a.corpus, c.corpus);
+    }
+
+    #[test]
+    fn augmentation_doubles_tuple_docs() {
+        let cfg = DatasetConfig {
+            augment_copies: 1,
+            ..DatasetConfig::tiny()
+        };
+        let ds = OpampDataset::build(&cfg, 3);
+        assert_eq!(ds.netlist_tuple_docs.len(), 2 * cfg.netlist_tuples);
+        let no_aug = OpampDataset::build(
+            &DatasetConfig {
+                augment_copies: 0,
+                ..cfg
+            },
+            3,
+        );
+        assert_eq!(no_aug.netlist_tuple_docs.len(), cfg.netlist_tuples);
+    }
+
+    #[test]
+    fn paper_scaled_ratios_match_table1() {
+        let cfg = DatasetConfig::paper_scaled(1000);
+        assert_eq!(cfg.corpus_docs, 225);
+        assert_eq!(cfg.netlist_tuples, 13);
+        assert_eq!(cfg.alpaca_pairs, 52);
+        // 14 k QA samples ≈ 14k/8 documents of ≥ 8 pairs each.
+        assert_eq!(cfg.design_docs, 1);
+    }
+
+    #[test]
+    fn splits_feed_the_right_stages() {
+        let ds = OpampDataset::build(&DatasetConfig::tiny(), 4);
+        assert_eq!(
+            ds.pretraining_documents().len(),
+            ds.corpus.len() + ds.netlist_tuple_docs.len()
+        );
+        assert_eq!(
+            ds.fine_tuning_pairs().len(),
+            ds.design_qa.len() + ds.alpaca.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_panics() {
+        DatasetConfig::paper_scaled(0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The "collected analog circuit corpus" generator.
+//!
+//! The paper scrapes 142 M tokens of forum posts, tutorials, and papers.
+//! This generator reproduces that source as seeded template prose in the
+//! same three registers, built from a sentence pool that covers the
+//! domain facts the rest of the pipeline relies on (compensation theory,
+//! pole allocation, stage design, gm/Id practice).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Topic slots spliced into sentence templates.
+const ARCHITECTURES: &[&str] = &[
+    "nested Miller compensation",
+    "damping-factor-control compensation",
+    "single Miller compensation",
+    "feedforward compensation",
+    "multipath Miller compensation",
+    "nested Gm-C compensation",
+];
+
+const METRICS: &[&str] = &[
+    "DC gain",
+    "gain-bandwidth product",
+    "phase margin",
+    "power consumption",
+    "slew rate",
+    "output swing",
+];
+
+const COMPONENTS: &[&str] = &[
+    "Miller capacitor",
+    "nulling resistor",
+    "feedforward transconductance stage",
+    "tail current source",
+    "current-mirror load",
+    "damping-factor-control block",
+];
+
+/// Sentence templates; `{a}` = architecture, `{m}` = metric,
+/// `{c}` = component, `{n}` = a small number.
+const SENTENCES: &[&str] = &[
+    "The {a} architecture is widely used in three-stage operational amplifiers.",
+    "A larger {c} improves the {m} at the cost of bandwidth.",
+    "In {a}, the dominant pole is set by the outer {c}.",
+    "Designers usually check the {m} first when the load capacitance increases.",
+    "The Butterworth response places the poles at ratios of one to two to four relative to the unity-gain frequency.",
+    "With a {n} pF load, the {a} approach achieves a {m} above the specification.",
+    "The {c} creates a left-half-plane zero that can cancel the first non-dominant pole.",
+    "When the {m} degrades, adding a {c} is a common remedy.",
+    "The gm over Id methodology sizes each transistor from its inversion coefficient.",
+    "A three-stage amplifier cascades an inverting input stage, a non-inverting second stage, and an inverting output stage.",
+    "The unity-gain frequency equals the first-stage transconductance divided by the outer Miller capacitance.",
+    "For very large capacitive loads, the {a} technique damps the non-dominant complex pole pair.",
+    "Phase margin above {n} degrees keeps the step response well behaved.",
+    "The output stage transconductance must scale with the load capacitance in plain nested Miller compensation.",
+    "Weak inversion biasing maximizes transconductance efficiency for low-power designs.",
+    "The {m} of a multistage amplifier depends on the product of the stage intrinsic gains.",
+    "Simulation with an accurate small-signal model verifies the {m} before layout.",
+    "Forum consensus holds that the {c} should be placed across the last two stages.",
+    "A common mistake is to oversize the {c}, which wastes {m}.",
+    "The transfer function of the {a} opamp has three poles and up to two zeros.",
+];
+
+/// Document registers — the three source styles the paper collects.
+const PREFIXES: &[&str] = &[
+    "Tutorial: understanding multistage amplifier compensation.",
+    "Forum thread: help with my three-stage opamp design.",
+    "Paper excerpt: frequency compensation techniques revisited.",
+];
+
+/// Generates one corpus document of roughly `sentences` sentences.
+pub fn generate_document<R: Rng + ?Sized>(rng: &mut R, sentences: usize) -> String {
+    let mut doc = String::from(*PREFIXES.choose(rng).expect("non-empty prefix pool"));
+    doc.push(' ');
+    for _ in 0..sentences {
+        let template = SENTENCES.choose(rng).expect("non-empty sentence pool");
+        let sentence = template
+            .replace("{a}", ARCHITECTURES.choose(rng).expect("pool"))
+            .replace("{m}", METRICS.choose(rng).expect("pool"))
+            .replace("{c}", COMPONENTS.choose(rng).expect("pool"))
+            .replace("{n}", &rng.gen_range(5..1000).to_string());
+        doc.push_str(&sentence);
+        doc.push(' ');
+    }
+    doc.trim_end().to_string()
+}
+
+/// Generates `count` corpus documents with 20–40 sentences each —
+/// matching the paper's ≈ 630 tokens/sample average.
+pub fn generate_corpus<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(20..=40);
+            generate_document(rng, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn documents_are_nonempty_domain_prose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let docs = generate_corpus(&mut rng, 20);
+        assert_eq!(docs.len(), 20);
+        for d in &docs {
+            assert!(d.split_whitespace().count() > 100, "too short: {d}");
+        }
+        // Domain vocabulary must appear across the corpus.
+        let all = docs.join(" ");
+        for needle in ["Miller", "pole", "transconductance", "opamp"] {
+            assert!(all.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let a = generate_corpus(&mut StdRng::seed_from_u64(5), 3);
+        let b = generate_corpus(&mut StdRng::seed_from_u64(5), 3);
+        assert_eq!(a, b);
+        let c = generate_corpus(&mut StdRng::seed_from_u64(6), 3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slots_are_filled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let d = generate_document(&mut rng, 10);
+            assert!(!d.contains("{a}") && !d.contains("{m}") && !d.contains("{c}"));
+            assert!(!d.contains("{n}"));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The DesignQA dataset (§3.3.2): eight-step design documents in
+//! question–answer format.
+//!
+//! The paper engages human experts to annotate design documents, then
+//! trains Artisan-LLM to answer each step's question. Here the documents
+//! are rendered from the analytic recipes of `artisan-circuit::design` —
+//! the same textbook knowledge the experts encode — over a sampled range
+//! of design targets, so every answer is numerically grounded.
+
+use artisan_circuit::design::{dfc_parameters, nmc_parameters, DesignTarget};
+use artisan_circuit::value::format_si;
+use rand::Rng;
+
+/// One question–answer pair of a design document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QaPair {
+    /// The prompter's question.
+    pub question: String,
+    /// Artisan-LLM's target answer.
+    pub answer: String,
+}
+
+impl QaPair {
+    /// Creates a pair.
+    pub fn new(question: impl Into<String>, answer: impl Into<String>) -> Self {
+        QaPair {
+            question: question.into(),
+            answer: answer.into(),
+        }
+    }
+
+    /// Renders as training text.
+    pub fn to_training_text(&self) -> String {
+        format!("### Question\n{}\n### Answer\n{}", self.question, self.answer)
+    }
+}
+
+/// Renders the full eight-step NMC design document for one target
+/// (Fig. 4's CoT flow; compare the Fig. 7 chat log).
+pub fn nmc_design_document(target: &DesignTarget) -> Vec<QaPair> {
+    let p = nmc_parameters(target);
+    let cl = format_si(target.cl);
+    let gbw = format_si(target.gbw_hz);
+    vec![
+        QaPair::new(
+            format!(
+                "Please design an opamp meeting the following specs: gain >{:.0}dB, \
+                 GBW >{gbw}Hz, PM >55 degrees, power <{}W with capacitive load CL = {cl}F. \
+                 Which architecture should be used?",
+                target.gain_db,
+                format_si(target.power_budget_w),
+            ),
+            "In this situation, you can use the classic nested Miller compensation (NMC) \
+             architecture because it offers a good trade-off between gain, stability and \
+             power for moderate capacitive loads. In the NMC architecture, two nested \
+             Miller capacitors, Cm1 and Cm2, control the dominant and non-dominant poles, \
+             respectively.",
+        ),
+        QaPair::new(
+            "Based on the process, please analyze the zero-pole distributions.",
+            "Under the Miller effect of compensation capacitors Cm1 and Cm2, the transfer \
+             function has a dominant pole p1 = 1/(2*pi*Cm1*gm2*gm3*Ro1*Ro2*(Ro3||RL)), a \
+             first non-dominant pole set by gm2/Cm2, and an output pole set by gm3/CL. \
+             There is also a right-half-plane zero from the feedforward path through Cm1.",
+        ),
+        QaPair::new(
+            "How should these poles be allocated in an NMC opamp?",
+            "We set p1 < GBW < p2 < p3 to build a single-pole system within the frequency \
+             range from 0 to GBW. Since Av = gm1*gm2*gm3*Ro1*Ro2*(Ro3||RL), we have \
+             GBW = Av*p1 = gm1/(2*pi*Cm1). According to the Butterworth methodology, we set \
+             GBW:p2:p3 = 1:2:4 to ensure a maximally flat response with about 60 degrees of \
+             phase margin.",
+        ),
+        QaPair::new(
+            "Please solve the main design parameters from these equations.",
+            format!(
+                "From the Butterworth allocation with GBW = {gbw}Hz and CL = {cl}F: \
+                 gm3 = 8*pi*GBW*CL = {}S. Taking Cm1 = {}F and Cm2 = {}F, we get \
+                 gm1 = gm3*Cm1/(4*CL) = {}S and gm2 = gm3*Cm2/(2*CL) = {}S.",
+                format_si(p.gm3.value()),
+                format_si(p.cm1.value()),
+                format_si(p.cm2.value()),
+                format_si(p.gm1.value()),
+                format_si(p.gm2.value()),
+            ),
+        ),
+        QaPair::new(
+            "How should the stage gains be allocated to meet the DC gain spec?",
+            format!(
+                "The DC gain is the product of the stage intrinsic gains. For a {:.0}dB \
+                 requirement, allocate intrinsic gains so their product exceeds the spec \
+                 with margin — a cascoded first stage when the requirement is above 105dB, \
+                 a simple mirror-loaded stage otherwise.",
+                target.gain_db,
+            ),
+        ),
+        QaPair::new(
+            "Please verify the static power against the budget.",
+            format!(
+                "With the gm/Id methodology at gm/Id = 15, the bias current is \
+                 (2*gm1 + gm2 + gm3)/15 including the input mirror branch, and power is \
+                 1.8V times 1.3 bias overhead times that current. For these parameters the \
+                 estimate is {}W against the {}W budget.",
+                format_si(1.8 * 1.3 * (2.0 * p.gm1.value() + p.gm2.value() + p.gm3.value()) / 15.0),
+                format_si(target.power_budget_w),
+            ),
+        ),
+        QaPair::new(
+            "Design completed. Please give the final netlist.",
+            format!(
+                "The final behavioural netlist instantiates three VCCS stages with \
+                 gm1 = {}S, gm2 = {}S, gm3 = {}S, the nested Miller capacitors \
+                 Cm1 = {}F (output to first-stage output) and Cm2 = {}F (output to \
+                 second-stage output), and the load RL = {}Ohm, CL = {cl}F.",
+                format_si(p.gm1.value()),
+                format_si(p.gm2.value()),
+                format_si(p.gm3.value()),
+                format_si(p.cm1.value()),
+                format_si(p.cm2.value()),
+                format_si(target.rl),
+            ),
+        ),
+        QaPair::new(
+            "How is the design verified?",
+            "Run an AC analysis: read the DC gain at low frequency, find the unity-gain \
+             crossing for GBW, read the phase margin at the crossing, and compute static \
+             power from the bias currents. All four metrics must clear the specification \
+             strictly.",
+        ),
+    ]
+}
+
+/// Renders the large-load modification document (the Q9/A9 exchange).
+pub fn dfc_modification_document(target: &DesignTarget) -> Vec<QaPair> {
+    let p = dfc_parameters(target);
+    vec![
+        QaPair::new(
+            format!(
+                "When CL = {}F, the NMC design suffers from excessive output-stage \
+                 power or instability. How should the topology be modified?",
+                format_si(target.cl),
+            ),
+            format!(
+                "The NMC architecture fails to drive the large CL because the output-stage \
+                 transconductance must scale linearly with the load. We can add a \
+                 damping-factor-control (DFC) block with a gain stage gm4 = {}S and a \
+                 feedback capacitor Cm3 = {}F at the first-stage output. The DFC block \
+                 functions as a frequency-dependent capacitor that damps the non-dominant \
+                 complex pole pair. Besides, the inner-loop Miller compensation capacitor \
+                 Cm2 should be cancelled because the damping path replaces its role. The \
+                 output stage then only needs gm3 = {}S, independent of CL.",
+                format_si(p.gm4.value()),
+                format_si(p.cm3.value()),
+                format_si(p.gm3.value()),
+            ),
+        ),
+        QaPair::new(
+            "Please give the modified netlist.",
+            format!(
+                "The modified netlist keeps the single outer Miller capacitor \
+                 Cm1 = {}F, removes Cm2, and attaches the DFC block (gm4 = {}S, \
+                 Cm3 = {}F) at the first-stage output; the stages become gm1 = {}S, \
+                 gm2 = {}S, gm3 = {}S.",
+                format_si(p.cm1.value()),
+                format_si(p.gm4.value()),
+                format_si(p.cm3.value()),
+                format_si(p.gm1.value()),
+                format_si(p.gm2.value()),
+                format_si(p.gm3.value()),
+            ),
+        ),
+    ]
+}
+
+/// Samples a design target in the Table 2 envelope.
+pub fn sample_target<R: Rng + ?Sized>(rng: &mut R) -> DesignTarget {
+    let cl = *[10e-12, 10e-12, 10e-12, 100e-12, 1e-9]
+        .iter()
+        .nth(rng.gen_range(0..5))
+        .expect("non-empty");
+    DesignTarget {
+        gbw_hz: artisan_circuit::sample::log_uniform(rng, 0.5e6, 8e6),
+        cl,
+        rl: 1e6,
+        gain_db: *[85.0, 95.0, 110.0].iter().nth(rng.gen_range(0..3)).expect("non-empty"),
+        power_budget_w: *[50e-6, 250e-6].iter().nth(rng.gen_range(0..2)).expect("non-empty"),
+    }
+}
+
+/// Generates `count` full design documents (NMC plus, for large loads,
+/// the DFC modification), flattened to QA pairs.
+pub fn generate_design_qa<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<QaPair> {
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let target = sample_target(rng);
+        out.extend(nmc_design_document(&target));
+        if target.cl > 100e-12 {
+            out.extend(dfc_modification_document(&target));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn g1() -> DesignTarget {
+        DesignTarget {
+            gbw_hz: 1e6,
+            cl: 10e-12,
+            rl: 1e6,
+            gain_db: 85.0,
+            power_budget_w: 250e-6,
+        }
+    }
+
+    #[test]
+    fn nmc_document_has_eight_steps() {
+        let doc = nmc_design_document(&g1());
+        assert_eq!(doc.len(), 8);
+        assert!(doc[0].answer.contains("nested Miller"));
+        assert!(doc[2].answer.contains("1:2:4"));
+        // The worked example's numbers appear in the parameter step
+        // (gm1 = 25.1 µS from gm1 = 2π·GBW·Cm1; gm3 carries the recipe's
+        // pole-spread safety boost on top of 251.2 µS).
+        assert!(doc[3].answer.contains("25.1"), "{}", doc[3].answer);
+        assert!(doc[3].answer.contains("Cm1 = 4pF"), "{}", doc[3].answer);
+        assert!(doc[6].answer.contains("netlist"));
+    }
+
+    #[test]
+    fn dfc_document_prescribes_modification() {
+        let target = DesignTarget { cl: 1e-9, ..g1() };
+        let doc = dfc_modification_document(&target);
+        assert_eq!(doc.len(), 2);
+        assert!(doc[0].answer.contains("damping-factor-control"));
+        assert!(doc[0].answer.contains("Cm2 should be cancelled"));
+    }
+
+    #[test]
+    fn generated_qa_is_seeded_and_sized() {
+        let a = generate_design_qa(&mut StdRng::seed_from_u64(1), 10);
+        let b = generate_design_qa(&mut StdRng::seed_from_u64(1), 10);
+        assert_eq!(a, b);
+        assert!(a.len() >= 80); // ≥ 8 pairs per document
+    }
+
+    #[test]
+    fn training_text_layout() {
+        let t = QaPair::new("q?", "a.").to_training_text();
+        assert!(t.contains("### Question"));
+        assert!(t.contains("### Answer"));
+    }
+
+    #[test]
+    fn large_load_documents_include_modification() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pairs = generate_design_qa(&mut rng, 40);
+        assert!(
+            pairs.iter().any(|p| p.answer.contains("damping-factor-control")),
+            "no DFC documents sampled"
+        );
+    }
+}

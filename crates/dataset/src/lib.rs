@@ -1,0 +1,53 @@
+//! Construction of the opamp dataset of §3.4 (Table 1).
+//!
+//! The paper assembles four data sources:
+//!
+//! | Split | Source | Samples | Tokens |
+//! |---|---|---|---|
+//! | pre-training | collected analog corpus | 225 k | 142 M |
+//! | pre-training | NetlistTuple | 13 k | 23 M |
+//! | fine-tuning | Alpaca instruction data | 52 k | 9 M |
+//! | fine-tuning | DesignQA | 14 k | 16 M |
+//!
+//! Each source is reproduced by a seeded generator (see `DESIGN.md`'s
+//! substitution table — the web-scraped corpus and the human-annotated
+//! design documents become template-based generators encoding the same
+//! domain knowledge):
+//!
+//! - [`corpus`] — analog-circuit prose in forum/tutorial/textbook
+//!   registers,
+//! - [`netlist_tuple`] — sampled topologies with rule-based structural
+//!   annotations (the generator of §3.2.2),
+//! - [`design_qa`] — eight-step design documents in QA format rendered
+//!   from the analytic recipes (the encoded human expertise of §3.3.2),
+//! - [`alpaca`] — general instruction-following pairs,
+//! - [`augment`] — the ChatGPT-rephrasing substitute: a seeded rule-based
+//!   paraphraser,
+//! - [`stats`] — sample/token accounting that regenerates Table 1 at a
+//!   configurable scale factor.
+//!
+//! # Example
+//!
+//! ```
+//! use artisan_dataset::{DatasetConfig, OpampDataset};
+//!
+//! let ds = OpampDataset::build(&DatasetConfig::tiny(), 42);
+//! assert!(ds.pretraining_docs() > 0);
+//! assert!(ds.design_qa_pairs() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+
+pub mod alpaca;
+pub mod augment;
+pub mod corpus;
+pub mod design_qa;
+pub mod netlist_tuple;
+pub mod stats;
+
+pub use builder::{DatasetConfig, OpampDataset};
+pub use design_qa::QaPair;
+pub use stats::{DatasetStats, Table1};

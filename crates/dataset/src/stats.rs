@@ -1,0 +1,190 @@
+//! Table 1 regeneration: sample and token accounting per dataset split.
+//!
+//! Token counts use a BPE tokenizer trained on a sample of the corpus —
+//! the same accounting unit as the paper's "Tokens (M)" column. Because
+//! the generators run at a configurable scale factor, the table reports
+//! both the measured counts and the full-scale extrapolation.
+
+use crate::builder::{DatasetConfig, OpampDataset};
+use artisan_llm::BpeTokenizer;
+use std::fmt;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Split name ("Collected corpus", "NetlistTuple", …).
+    pub name: &'static str,
+    /// Training stage ("Pre-training" or "Fine-tuning").
+    pub stage: &'static str,
+    /// Measured sample count at the build scale.
+    pub samples: usize,
+    /// Measured token count at the build scale.
+    pub tokens: usize,
+}
+
+/// The assembled Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Rows in paper order.
+    pub rows: Vec<DatasetStats>,
+    /// The scale divisor relative to the paper's counts.
+    pub scale: usize,
+}
+
+impl Table1 {
+    /// Builds the dataset at `1/scale` of the paper's size and measures
+    /// it.
+    pub fn measure(scale: usize, seed: u64) -> Table1 {
+        let config = DatasetConfig::paper_scaled(scale);
+        let ds = OpampDataset::build(&config, seed);
+
+        // Train the token accountant on a corpus sample.
+        let sample: Vec<&str> = ds
+            .corpus
+            .iter()
+            .take(20)
+            .map(String::as_str)
+            .collect();
+        let tok = BpeTokenizer::train(&sample, 2000);
+
+        let count_docs = |docs: &[String]| -> usize {
+            docs.iter().map(|d| tok.count_tokens(d)).sum()
+        };
+        let corpus_tokens = count_docs(&ds.corpus);
+        let tuple_tokens = count_docs(&ds.netlist_tuple_docs);
+        let alpaca_tokens: usize = ds
+            .alpaca
+            .iter()
+            .map(|(q, a)| tok.count_tokens(q) + tok.count_tokens(a))
+            .sum();
+        let qa_tokens: usize = ds
+            .design_qa
+            .iter()
+            .map(|p| tok.count_tokens(&p.to_training_text()))
+            .sum();
+
+        Table1 {
+            rows: vec![
+                DatasetStats {
+                    name: "Collected corpus",
+                    stage: "Pre-training",
+                    samples: ds.corpus.len(),
+                    tokens: corpus_tokens,
+                },
+                DatasetStats {
+                    name: "NetlistTuple",
+                    stage: "Pre-training",
+                    samples: ds.netlist_tuple_docs.len(),
+                    tokens: tuple_tokens,
+                },
+                DatasetStats {
+                    name: "Alpaca dataset",
+                    stage: "Fine-tuning",
+                    samples: ds.alpaca.len(),
+                    tokens: alpaca_tokens,
+                },
+                DatasetStats {
+                    name: "DesignQA",
+                    stage: "Fine-tuning",
+                    samples: ds.design_qa.len(),
+                    tokens: qa_tokens,
+                },
+            ],
+            scale,
+        }
+    }
+
+    /// Total samples/tokens for one stage.
+    pub fn stage_total(&self, stage: &str) -> (usize, usize) {
+        self.rows
+            .iter()
+            .filter(|r| r.stage == stage)
+            .fold((0, 0), |(s, t), r| (s + r.samples, t + r.tokens))
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1 (measured at 1/{} of the paper's scale; extrapolated in parentheses)",
+            self.scale
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:<18} {:>12} {:>16}",
+            "Stage", "Name", "Samples", "Tokens"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:<18} {:>6} ({:>6}k) {:>8} ({:>5}M)",
+                r.stage,
+                r.name,
+                r.samples,
+                r.samples * self.scale / 1000,
+                r.tokens,
+                r.tokens * self.scale / 1_000_000,
+            )?;
+        }
+        for stage in ["Pre-training", "Fine-tuning"] {
+            let (s, t) = self.stage_total(stage);
+            writeln!(
+                f,
+                "{:<14} {:<18} {:>6} ({:>6}k) {:>8} ({:>5}M)",
+                stage,
+                "Total",
+                s,
+                s * self.scale / 1000,
+                t,
+                t * self.scale / 1_000_000,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_and_positive_counts() {
+        let t = Table1::measure(2000, 7);
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            assert!(r.samples > 0, "{} empty", r.name);
+            assert!(r.tokens > 0, "{} token-less", r.name);
+        }
+    }
+
+    #[test]
+    fn stage_totals_add_up() {
+        let t = Table1::measure(2000, 7);
+        let (ps, pt) = t.stage_total("Pre-training");
+        assert_eq!(ps, t.rows[0].samples + t.rows[1].samples);
+        assert_eq!(pt, t.rows[0].tokens + t.rows[1].tokens);
+    }
+
+    #[test]
+    fn corpus_dominates_pretraining_tokens() {
+        // Table 1's shape: the collected corpus carries most pre-training
+        // tokens (142 M of 165 M).
+        let t = Table1::measure(1000, 7);
+        assert!(t.rows[0].tokens > t.rows[1].tokens);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let t = Table1::measure(4000, 7);
+        let s = t.to_string();
+        for needle in ["Collected corpus", "NetlistTuple", "Alpaca", "DesignQA", "Total"] {
+            assert!(s.contains(needle), "missing {needle}:\n{s}");
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        assert_eq!(Table1::measure(4000, 3), Table1::measure(4000, 3));
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic EKV-style MOS device model.
+//!
+//! Production gm/Id flows sweep foundry SPICE models and tabulate
+//! `gm/Id`, current density, and intrinsic gain against bias. Foundry
+//! models are proprietary, so this module supplies the same curves from
+//! the EKV continuous weak/strong-inversion interpolation — monotone,
+//! physical, and accurate to the trends the methodology relies on:
+//!
+//! - `gm/Id = 1 / (n·U_T·(0.5 + √(0.25 + IC)))`,
+//! - current density `Id/(W/L) = I₀·IC`,
+//!
+//! where `IC` is the inversion coefficient and `I₀ = 2·n·µ·C_ox·U_T²`
+//! is the technology current.
+
+/// Technology constants for one device flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Subthreshold slope factor `n` (≈ 1.2–1.4 for bulk CMOS).
+    pub n: f64,
+    /// Thermal voltage `U_T` in volts (25.85 mV at 300 K).
+    pub ut: f64,
+    /// Technology current `I₀ = 2·n·µ·C_ox·U_T²` in amperes (per square).
+    pub i0: f64,
+    /// Early voltage per micron of channel length, V/µm (sets ro).
+    pub early_voltage_per_um: f64,
+}
+
+impl Technology {
+    /// A generic 180 nm-class NMOS.
+    pub fn nmos_180() -> Self {
+        Technology {
+            n: 1.3,
+            ut: 0.02585,
+            i0: 0.64e-6,
+            early_voltage_per_um: 20.0,
+        }
+    }
+
+    /// A generic 180 nm-class PMOS (lower mobility → lower `I₀`).
+    pub fn pmos_180() -> Self {
+        Technology {
+            n: 1.35,
+            ut: 0.02585,
+            i0: 0.21e-6,
+            early_voltage_per_um: 24.0,
+        }
+    }
+
+    /// `gm/Id` in 1/V at inversion coefficient `ic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ic` is negative.
+    pub fn gm_over_id(&self, ic: f64) -> f64 {
+        assert!(ic >= 0.0, "inversion coefficient must be non-negative");
+        1.0 / (self.n * self.ut * (0.5 + (0.25 + ic).sqrt()))
+    }
+
+    /// The weak-inversion asymptote `1/(n·U_T)` — the maximum achievable
+    /// `gm/Id`.
+    pub fn gm_over_id_max(&self) -> f64 {
+        1.0 / (self.n * self.ut)
+    }
+
+    /// Inverts [`Technology::gm_over_id`]: the inversion coefficient that
+    /// yields a target `gm/Id`. Returns `None` when the target exceeds
+    /// the weak-inversion asymptote (unreachable).
+    pub fn ic_for_gm_over_id(&self, gm_over_id: f64) -> Option<f64> {
+        if gm_over_id <= 0.0 || gm_over_id >= self.gm_over_id_max() {
+            return None;
+        }
+        // 0.5 + sqrt(0.25 + IC) = 1/(n·Ut·(gm/Id))  =>  IC = (x−0.5)² − 0.25
+        let x = 1.0 / (self.n * self.ut * gm_over_id);
+        let root = x - 0.5;
+        Some(root * root - 0.25)
+    }
+
+    /// Current density `Id / (W/L)` in amperes at inversion coefficient
+    /// `ic`.
+    pub fn current_density(&self, ic: f64) -> f64 {
+        self.i0 * ic
+    }
+
+    /// Output resistance of a device with drain current `id` and channel
+    /// length `l_um` microns: `ro = V_A·L / Id`.
+    pub fn ro(&self, id: f64, l_um: f64) -> f64 {
+        self.early_voltage_per_um * l_um / id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_over_id_is_monotone_decreasing_in_ic() {
+        let t = Technology::nmos_180();
+        let mut prev = f64::INFINITY;
+        for k in 0..60 {
+            let ic = 10f64.powf(-3.0 + k as f64 * 0.1);
+            let g = t.gm_over_id(ic);
+            assert!(g < prev, "not monotone at IC={ic}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn weak_inversion_asymptote() {
+        let t = Technology::nmos_180();
+        // At IC → 0, gm/Id → 1/(n·Ut) ≈ 29.8 for n = 1.3.
+        let asym = t.gm_over_id_max();
+        assert!((asym - 29.76).abs() < 0.1, "{asym}");
+        assert!((t.gm_over_id(1e-6) - asym).abs() / asym < 1e-3);
+    }
+
+    #[test]
+    fn strong_inversion_falls_as_inverse_sqrt() {
+        let t = Technology::nmos_180();
+        // gm/Id(100·IC) ≈ gm/Id(IC)/10 deep in strong inversion.
+        let a = t.gm_over_id(100.0);
+        let b = t.gm_over_id(10_000.0);
+        assert!((a / b - 10.0).abs() < 0.7, "{}", a / b);
+    }
+
+    #[test]
+    fn ic_inversion_roundtrip() {
+        let t = Technology::nmos_180();
+        for &ic in &[0.01, 0.1, 1.0, 10.0, 100.0] {
+            let g = t.gm_over_id(ic);
+            let back = t.ic_for_gm_over_id(g).unwrap();
+            assert!((back - ic).abs() / ic < 1e-9, "{ic} vs {back}");
+        }
+    }
+
+    #[test]
+    fn unreachable_gm_over_id_is_none() {
+        let t = Technology::nmos_180();
+        assert!(t.ic_for_gm_over_id(t.gm_over_id_max() * 1.01).is_none());
+        assert!(t.ic_for_gm_over_id(0.0).is_none());
+        assert!(t.ic_for_gm_over_id(-5.0).is_none());
+    }
+
+    #[test]
+    fn current_density_scales_linearly() {
+        let t = Technology::nmos_180();
+        assert!((t.current_density(2.0) / t.current_density(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ro_matches_early_voltage() {
+        let t = Technology::nmos_180();
+        // VA = 20 V/µm · 0.5 µm = 10 V; Id = 10 µA → ro = 1 MΩ.
+        assert!((t.ro(10e-6, 0.5) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pmos_has_lower_technology_current() {
+        assert!(Technology::pmos_180().i0 < Technology::nmos_180().i0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_ic_panics() {
+        Technology::nmos_180().gm_over_id(-1.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Behavioural-to-transistor-level mapping (§2.2, Fig. 6(c) → Fig. 6(d)).
+//!
+//! "We map the stage connected to the input node to a current mirror
+//! differential amplifier and the remaining stages to common source
+//! amplifiers." Each behavioural VCCS becomes a sized transistor cell;
+//! compensation resistors and capacitors pass through unchanged.
+
+use crate::sizing::{size_stage, DeviceSize};
+use crate::table::LookupTable;
+use artisan_circuit::value::format_si;
+use artisan_circuit::{ConnectionType, Topology};
+use std::fmt;
+
+/// Default inversion level for signal devices (moderate inversion —
+/// matches the power model in `artisan-sim`).
+pub const DEFAULT_GM_OVER_ID: f64 = 15.0;
+/// Default channel length in microns.
+pub const DEFAULT_LENGTH_UM: f64 = 0.5;
+
+/// One transistor instance of the mapped circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transistor {
+    /// Instance name (`M1`, `M2`, …).
+    pub name: String,
+    /// Drain, gate, source, bulk node names.
+    pub nodes: [String; 4],
+    /// `"nmos"` or `"pmos"`.
+    pub model: &'static str,
+    /// Sized geometry and bias.
+    pub size: DeviceSize,
+    /// The circuit role, e.g. `"input pair"`.
+    pub role: &'static str,
+}
+
+/// A passive device carried over from the behavioural netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassiveDevice {
+    /// Instance name.
+    pub name: String,
+    /// The two terminals.
+    pub nodes: [String; 2],
+    /// `'R'` or `'C'`.
+    pub kind: char,
+    /// Value in base units.
+    pub value: f64,
+}
+
+/// A transistor-level opamp: sized devices plus passives, with a SPICE
+/// emitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransistorCircuit {
+    /// All transistor instances.
+    pub transistors: Vec<Transistor>,
+    /// Compensation and load passives.
+    pub passives: Vec<PassiveDevice>,
+    /// Total bias current in amperes (sum over branches).
+    pub total_current: f64,
+}
+
+impl TransistorCircuit {
+    /// Emits a SPICE-style `.subckt` netlist.
+    pub fn to_spice(&self) -> String {
+        let mut out = String::from("* transistor-level opamp (gm/Id mapping)\n");
+        out.push_str(".subckt opamp in_p in_n out vdd vss\n");
+        for t in &self.transistors {
+            out.push_str(&format!(
+                "{} {} {} {} {} {} W={}u L={}u  * {}\n",
+                t.name,
+                t.nodes[0],
+                t.nodes[1],
+                t.nodes[2],
+                t.nodes[3],
+                t.model,
+                format_si(t.size.w_um),
+                format_si(t.size.l_um),
+                t.role,
+            ));
+        }
+        for p in &self.passives {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                p.name,
+                p.nodes[0],
+                p.nodes[1],
+                format_si(p.value)
+            ));
+        }
+        out.push_str(&format!(
+            "* total bias current {}A\n.ends\n",
+            format_si(self.total_current)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for TransistorCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_spice())
+    }
+}
+
+/// Maps a behavioural topology to the transistor level with default
+/// inversion levels.
+pub fn map_topology(topo: &Topology, nmos: &LookupTable) -> TransistorCircuit {
+    map_topology_with(topo, nmos, DEFAULT_GM_OVER_ID, DEFAULT_LENGTH_UM)
+}
+
+/// Maps with explicit inversion level and channel length.
+///
+/// # Panics
+///
+/// Panics if the requested `gm/Id` is unreachable in the lookup table —
+/// callers choose the inversion level, and choosing one past the
+/// weak-inversion asymptote is a programming error.
+pub fn map_topology_with(
+    topo: &Topology,
+    nmos: &LookupTable,
+    gm_over_id: f64,
+    l_um: f64,
+) -> TransistorCircuit {
+    let mut transistors = Vec::new();
+    let mut passives = Vec::new();
+    let mut total_current = 0.0;
+
+    let size = |gm: f64| {
+        size_stage(gm, gm_over_id, l_um, nmos)
+            .expect("requested gm/Id must be within the lookup table")
+    };
+
+    // Input stage → five-transistor current-mirror differential pair.
+    let s1 = size(topo.skeleton.stage1.gm.value());
+    total_current += 2.0 * s1.id; // two branches of the tail current
+    transistors.push(Transistor {
+        name: "M1".into(),
+        nodes: ["n1m".into(), "in_p".into(), "tail".into(), "vss".into()],
+        model: "nmos",
+        size: s1,
+        role: "input pair",
+    });
+    transistors.push(Transistor {
+        name: "M2".into(),
+        nodes: ["n1".into(), "in_n".into(), "tail".into(), "vss".into()],
+        model: "nmos",
+        size: s1,
+        role: "input pair",
+    });
+    transistors.push(Transistor {
+        name: "M3".into(),
+        nodes: ["n1m".into(), "n1m".into(), "vdd".into(), "vdd".into()],
+        model: "pmos",
+        size: s1,
+        role: "mirror load",
+    });
+    transistors.push(Transistor {
+        name: "M4".into(),
+        nodes: ["n1".into(), "n1m".into(), "vdd".into(), "vdd".into()],
+        model: "pmos",
+        size: s1,
+        role: "mirror load",
+    });
+    let tail = DeviceSize {
+        id: 2.0 * s1.id,
+        w_um: 2.0 * s1.w_um,
+        ..s1
+    };
+    transistors.push(Transistor {
+        name: "M5".into(),
+        nodes: ["tail".into(), "bias".into(), "vss".into(), "vss".into()],
+        model: "nmos",
+        size: tail,
+        role: "tail current source",
+    });
+
+    // Stages 2 and 3 → common-source amplifiers with current-source loads.
+    for (k, (gm, in_node, out_node)) in [
+        (topo.skeleton.stage2.gm.value(), "n1", "n2"),
+        (topo.skeleton.stage3.gm.value(), "n2", "out"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let s = size(gm);
+        total_current += s.id;
+        let base = 6 + 2 * k;
+        transistors.push(Transistor {
+            name: format!("M{base}"),
+            nodes: [out_node.into(), in_node.into(), "vss".into(), "vss".into()],
+            model: "nmos",
+            size: s,
+            role: "common-source stage",
+        });
+        transistors.push(Transistor {
+            name: format!("M{}", base + 1),
+            nodes: [out_node.into(), "biasp".into(), "vdd".into(), "vdd".into()],
+            model: "pmos",
+            size: s,
+            role: "current-source load",
+        });
+    }
+
+    // Placements: auxiliary gm stages become common-source cells; passive
+    // values pass through.
+    let mut m_next = 10;
+    let mut r_next = 1;
+    let mut c_next = 1;
+    for p in topo.placements() {
+        if p.connection == ConnectionType::Open {
+            continue;
+        }
+        let (a, b) = p.position.nodes();
+        if p.connection.is_active() {
+            if let Some(gm) = p.params.gm {
+                let s = size(gm.value());
+                total_current += s.id * p.connection.bias_stage_count() as f64;
+                transistors.push(Transistor {
+                    name: format!("M{m_next}"),
+                    nodes: [b.name(), a.name(), "vss".into(), "vss".into()],
+                    model: "nmos",
+                    size: s,
+                    role: "auxiliary transconductance",
+                });
+                m_next += 1;
+            }
+        }
+        if let Some(r) = p.params.r {
+            passives.push(PassiveDevice {
+                name: format!("Rc{r_next}"),
+                nodes: [a.name(), b.name()],
+                kind: 'R',
+                value: r.value(),
+            });
+            r_next += 1;
+        }
+        if let Some(c) = p.params.c {
+            passives.push(PassiveDevice {
+                name: format!("Cc{c_next}"),
+                nodes: [a.name(), b.name()],
+                kind: 'C',
+                value: c.value(),
+            });
+            c_next += 1;
+        }
+    }
+
+    // Load devices.
+    passives.push(PassiveDevice {
+        name: "RL".into(),
+        nodes: ["out".into(), "vss".into()],
+        kind: 'R',
+        value: topo.skeleton.rl.value(),
+    });
+    passives.push(PassiveDevice {
+        name: "CL".into(),
+        nodes: ["out".into(), "vss".into()],
+        kind: 'C',
+        value: topo.skeleton.cl.value(),
+    });
+
+    TransistorCircuit {
+        transistors,
+        passives,
+        total_current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_circuit::Topology;
+
+    #[test]
+    fn nmc_maps_to_nine_core_transistors() {
+        let circuit = map_topology(&Topology::nmc_example(), &LookupTable::default_nmos());
+        // 5 (diff pair + mirror + tail) + 2×2 (common source stages).
+        assert_eq!(circuit.transistors.len(), 9);
+        // Two Miller caps + RL + CL.
+        assert_eq!(circuit.passives.len(), 4);
+    }
+
+    #[test]
+    fn dfc_adds_auxiliary_transistor() {
+        let circuit = map_topology(&Topology::dfc_example(), &LookupTable::default_nmos());
+        assert!(circuit
+            .transistors
+            .iter()
+            .any(|t| t.role == "auxiliary transconductance"));
+    }
+
+    #[test]
+    fn spice_emission_is_wellformed() {
+        let circuit = map_topology(&Topology::nmc_example(), &LookupTable::default_nmos());
+        let text = circuit.to_spice();
+        assert!(text.contains(".subckt opamp"));
+        assert!(text.contains(".ends"));
+        assert!(text.contains("M1"));
+        assert!(text.contains("input pair"));
+        assert!(text.contains("CL"));
+        assert_eq!(circuit.to_string(), text);
+    }
+
+    #[test]
+    fn total_current_matches_gm_over_id_arithmetic() {
+        let topo = Topology::nmc_example();
+        let circuit = map_topology(&topo, &LookupTable::default_nmos());
+        let expected = (2.0 * topo.skeleton.stage1.gm.value()
+            + topo.skeleton.stage2.gm.value()
+            + topo.skeleton.stage3.gm.value())
+            / DEFAULT_GM_OVER_ID;
+        assert!((circuit.total_current - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn input_pair_devices_match() {
+        let circuit = map_topology(&Topology::nmc_example(), &LookupTable::default_nmos());
+        let m1 = &circuit.transistors[0];
+        let m2 = &circuit.transistors[1];
+        assert_eq!(m1.size, m2.size);
+        assert_eq!(m1.role, "input pair");
+        // Tail carries twice the branch current.
+        let m5 = circuit.transistors.iter().find(|t| t.name == "M5").unwrap();
+        assert!((m5.size.id - 2.0 * m1.size.id).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,121 @@
+//! Stage sizing: from `(gm, gm/Id)` to `(Id, W/L)`.
+
+use crate::table::LookupTable;
+
+/// A sized device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSize {
+    /// Width in microns.
+    pub w_um: f64,
+    /// Length in microns.
+    pub l_um: f64,
+    /// Drain current in amperes.
+    pub id: f64,
+    /// Inversion coefficient at the operating point.
+    pub ic: f64,
+    /// The achieved `gm/Id` in 1/V.
+    pub gm_over_id: f64,
+}
+
+impl DeviceSize {
+    /// Aspect ratio `W/L`.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.w_um / self.l_um
+    }
+}
+
+/// Sizes one device for a target transconductance at a chosen inversion
+/// level, using the lookup-table flow:
+///
+/// 1. `Id = gm / (gm/Id)`,
+/// 2. look up the current density at that `gm/Id`,
+/// 3. `W/L = Id / density`, with `L` given.
+///
+/// Returns `None` when the requested `gm/Id` is outside the table (e.g.
+/// beyond the weak-inversion asymptote).
+///
+/// # Example
+///
+/// ```
+/// use artisan_gmid::{size_stage, LookupTable};
+///
+/// let table = LookupTable::default_nmos();
+/// let dev = size_stage(251.2e-6, 15.0, 0.5, &table).expect("reachable bias");
+/// assert!(dev.id > 10e-6 && dev.id < 30e-6); // ≈ 16.7 µA
+/// assert!(dev.w_um > 0.0);
+/// ```
+pub fn size_stage(
+    gm: f64,
+    gm_over_id: f64,
+    l_um: f64,
+    table: &LookupTable,
+) -> Option<DeviceSize> {
+    if gm <= 0.0 || gm_over_id <= 0.0 || l_um <= 0.0 {
+        return None;
+    }
+    let id = gm / gm_over_id;
+    let density = table.density_for_gm_over_id(gm_over_id)?;
+    let aspect = id / density;
+    let ic = table.technology().ic_for_gm_over_id(gm_over_id)?;
+    Some(DeviceSize {
+        w_um: aspect * l_um,
+        l_um,
+        id,
+        ic,
+        gm_over_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_reproduces_target_current() {
+        let table = LookupTable::default_nmos();
+        let dev = size_stage(100e-6, 15.0, 0.5, &table).unwrap();
+        assert!((dev.id - 100e-6 / 15.0).abs() < 1e-12);
+        assert!((dev.gm_over_id - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weaker_inversion_means_wider_device() {
+        let table = LookupTable::default_nmos();
+        // Same gm: higher gm/Id (weaker inversion) → lower density and
+        // lower Id, but much lower density dominates → larger W/L.
+        let strong = size_stage(100e-6, 8.0, 0.5, &table).unwrap();
+        let weak = size_stage(100e-6, 22.0, 0.5, &table).unwrap();
+        assert!(
+            weak.aspect_ratio() > strong.aspect_ratio(),
+            "weak {} vs strong {}",
+            weak.aspect_ratio(),
+            strong.aspect_ratio()
+        );
+    }
+
+    #[test]
+    fn length_scales_width_proportionally() {
+        let table = LookupTable::default_nmos();
+        let a = size_stage(50e-6, 15.0, 0.5, &table).unwrap();
+        let b = size_stage(50e-6, 15.0, 1.0, &table).unwrap();
+        assert!((b.w_um / a.w_um - 2.0).abs() < 1e-9);
+        assert!((a.aspect_ratio() - b.aspect_ratio()).abs() / a.aspect_ratio() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_bias_returns_none() {
+        let table = LookupTable::default_nmos();
+        assert!(size_stage(100e-6, 100.0, 0.5, &table).is_none()); // > asymptote
+        assert!(size_stage(-1.0, 15.0, 0.5, &table).is_none());
+        assert!(size_stage(100e-6, 15.0, 0.0, &table).is_none());
+    }
+
+    #[test]
+    fn paper_example_stage_current() {
+        // gm3 = 251.2 µS at gm/Id = 15 → Id ≈ 16.7 µA: the magnitude
+        // behind the paper's tens-of-µW power budgets.
+        let table = LookupTable::default_nmos();
+        let dev = size_stage(251.2e-6, 15.0, 0.5, &table).unwrap();
+        assert!((dev.id - 16.75e-6).abs() < 0.1e-6);
+    }
+}

@@ -1,0 +1,172 @@
+//! gm/Id lookup tables with bidirectional interpolation.
+//!
+//! This is the artifact a production gm/Id flow would extract from SPICE
+//! sweeps; here it is tabulated from the [`crate::device`] model over a
+//! log-spaced inversion-coefficient grid.
+
+use crate::device::Technology;
+
+/// One tabulated bias point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableRow {
+    /// Inversion coefficient.
+    pub ic: f64,
+    /// `gm/Id` in 1/V.
+    pub gm_over_id: f64,
+    /// Current density `Id/(W/L)` in amperes.
+    pub current_density: f64,
+}
+
+/// A gm/Id lookup table for one device flavour.
+///
+/// Rows are ordered by increasing `ic` (hence decreasing `gm/Id`).
+///
+/// # Example
+///
+/// ```
+/// use artisan_gmid::LookupTable;
+///
+/// let t = LookupTable::default_nmos();
+/// let density = t.density_for_gm_over_id(15.0).expect("15 S/A is reachable");
+/// assert!(density > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    tech: Technology,
+    rows: Vec<TableRow>,
+}
+
+impl LookupTable {
+    /// Tabulates `points` rows over `ic ∈ [ic_min, ic_max]` (log-spaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty or inverted range, or fewer than 2 points.
+    pub fn build(tech: Technology, ic_min: f64, ic_max: f64, points: usize) -> Self {
+        assert!(ic_min > 0.0 && ic_max > ic_min, "need 0 < ic_min < ic_max");
+        assert!(points >= 2, "need at least two table points");
+        let l0 = ic_min.ln();
+        let l1 = ic_max.ln();
+        let rows = (0..points)
+            .map(|k| {
+                let ic = (l0 + (l1 - l0) * k as f64 / (points - 1) as f64).exp();
+                TableRow {
+                    ic,
+                    gm_over_id: tech.gm_over_id(ic),
+                    current_density: tech.current_density(ic),
+                }
+            })
+            .collect();
+        LookupTable { tech, rows }
+    }
+
+    /// The default NMOS table: IC from deep weak inversion (1e-3) to deep
+    /// strong inversion (1e3), 121 points.
+    pub fn default_nmos() -> Self {
+        LookupTable::build(Technology::nmos_180(), 1e-3, 1e3, 121)
+    }
+
+    /// The default PMOS table.
+    pub fn default_pmos() -> Self {
+        LookupTable::build(Technology::pmos_180(), 1e-3, 1e3, 121)
+    }
+
+    /// The underlying technology constants.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The tabulated rows.
+    pub fn rows(&self) -> &[TableRow] {
+        &self.rows
+    }
+
+    /// Interpolates the current density at a target `gm/Id` (log-log
+    /// interpolation between bracketing rows). Returns `None` when the
+    /// target is outside the tabulated range.
+    pub fn density_for_gm_over_id(&self, gm_over_id: f64) -> Option<f64> {
+        if gm_over_id <= 0.0 {
+            return None;
+        }
+        // Rows have decreasing gm/Id; find the bracketing pair.
+        let idx = self
+            .rows
+            .windows(2)
+            .position(|w| w[0].gm_over_id >= gm_over_id && gm_over_id >= w[1].gm_over_id)?;
+        let (a, b) = (&self.rows[idx], &self.rows[idx + 1]);
+        let t = (a.gm_over_id.ln() - gm_over_id.ln()) / (a.gm_over_id.ln() - b.gm_over_id.ln());
+        Some(
+            (a.current_density.ln() + t * (b.current_density.ln() - a.current_density.ln()))
+                .exp(),
+        )
+    }
+
+    /// Interpolates `gm/Id` at an inversion coefficient. Returns `None`
+    /// outside the tabulated range.
+    pub fn gm_over_id_at_ic(&self, ic: f64) -> Option<f64> {
+        if ic <= 0.0 {
+            return None;
+        }
+        let idx = self
+            .rows
+            .windows(2)
+            .position(|w| w[0].ic <= ic && ic <= w[1].ic)?;
+        let (a, b) = (&self.rows[idx], &self.rows[idx + 1]);
+        let t = (ic.ln() - a.ic.ln()) / (b.ic.ln() - a.ic.ln());
+        Some((a.gm_over_id.ln() + t * (b.gm_over_id.ln() - a.gm_over_id.ln())).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_are_ordered() {
+        let t = LookupTable::default_nmos();
+        for w in t.rows().windows(2) {
+            assert!(w[0].ic < w[1].ic);
+            assert!(w[0].gm_over_id > w[1].gm_over_id);
+            assert!(w[0].current_density < w[1].current_density);
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_model_between_grid_points() {
+        let t = LookupTable::default_nmos();
+        let tech = Technology::nmos_180();
+        for &ic in &[0.0123, 0.77, 3.3, 55.0] {
+            let interp = t.gm_over_id_at_ic(ic).unwrap();
+            let exact = tech.gm_over_id(ic);
+            assert!((interp - exact).abs() / exact < 1e-3, "{ic}: {interp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn density_lookup_roundtrips_through_model() {
+        let t = LookupTable::default_nmos();
+        let tech = Technology::nmos_180();
+        for &ic in &[0.05, 1.0, 20.0] {
+            let g = tech.gm_over_id(ic);
+            let d = t.density_for_gm_over_id(g).unwrap();
+            let exact = tech.current_density(ic);
+            assert!((d - exact).abs() / exact < 1e-2, "{ic}: {d} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookups_return_none() {
+        let t = LookupTable::default_nmos();
+        assert!(t.density_for_gm_over_id(1e6).is_none()); // above weak-inv asymptote
+        assert!(t.density_for_gm_over_id(0.01).is_none()); // below table floor
+        assert!(t.density_for_gm_over_id(-5.0).is_none());
+        assert!(t.gm_over_id_at_ic(1e9).is_none());
+        assert!(t.gm_over_id_at_ic(0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two table points")]
+    fn tiny_table_panics() {
+        LookupTable::build(Technology::nmos_180(), 0.1, 1.0, 1);
+    }
+}

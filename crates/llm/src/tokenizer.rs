@@ -1,0 +1,262 @@
+//! Byte-pair-encoding tokenizer.
+//!
+//! Words are pre-split on whitespace; within a word, training greedily
+//! merges the most frequent adjacent symbol pair until the vocabulary
+//! budget is exhausted — the standard BPE algorithm (Sennrich et al.),
+//! implemented directly. An end-of-word marker (`</w>`) keeps the
+//! encoding reversible.
+
+use std::collections::HashMap;
+
+/// Marker appended to the final symbol of every word so that decoding can
+/// restore word boundaries.
+const EOW: &str = "</w>";
+
+/// A trained BPE tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use artisan_llm::BpeTokenizer;
+///
+/// let tok = BpeTokenizer::train(&["miller compensation capacitor"], 64);
+/// let ids = tok.encode("miller capacitor");
+/// assert_eq!(tok.decode(&ids), "miller capacitor");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpeTokenizer {
+    /// Learned merges in priority order: (left, right) → merged symbol.
+    merges: Vec<(String, String)>,
+    /// Symbol → token id. Ids are dense, 0-based.
+    vocab: HashMap<String, u32>,
+    /// Token id → symbol (inverse of `vocab`).
+    symbols: Vec<String>,
+}
+
+impl BpeTokenizer {
+    /// Trains on a corpus with a vocabulary budget (base symbols plus
+    /// learned merges). Lowercases input; unknown characters at encode
+    /// time fall back to per-character tokens added lazily as `<unk>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vocab_budget` is zero.
+    pub fn train(corpus: &[&str], vocab_budget: usize) -> Self {
+        assert!(vocab_budget > 0, "vocabulary budget must be positive");
+        // Word frequency table.
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for text in corpus {
+            for word in text.to_lowercase().split_whitespace() {
+                let mut syms: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+                if let Some(last) = syms.last_mut() {
+                    last.push_str(EOW);
+                }
+                if !syms.is_empty() {
+                    *word_freq.entry(syms).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Base vocabulary: all single symbols seen.
+        let mut vocab_set: std::collections::BTreeSet<String> = word_freq
+            .keys()
+            .flat_map(|w| w.iter().cloned())
+            .collect();
+
+        let mut merges = Vec::new();
+        while vocab_set.len() < vocab_budget {
+            // Count adjacent pairs.
+            let mut pair_freq: HashMap<(String, String), u64> = HashMap::new();
+            for (word, freq) in &word_freq {
+                for pair in word.windows(2) {
+                    *pair_freq
+                        .entry((pair[0].clone(), pair[1].clone()))
+                        .or_insert(0) += freq;
+                }
+            }
+            // Deterministic tie-break: highest frequency, then lexicographic.
+            let Some((best, best_freq)) = pair_freq
+                .into_iter()
+                .map(|(p, f)| (p, f))
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if best_freq < 2 {
+                break; // nothing frequent enough to merge
+            }
+            let merged = format!("{}{}", best.0, best.1);
+            vocab_set.insert(merged.clone());
+            merges.push(best.clone());
+
+            // Apply the merge to all words.
+            let mut next: HashMap<Vec<String>, u64> = HashMap::with_capacity(word_freq.len());
+            for (word, freq) in word_freq.drain() {
+                let mut out = Vec::with_capacity(word.len());
+                let mut i = 0;
+                while i < word.len() {
+                    if i + 1 < word.len() && word[i] == best.0 && word[i + 1] == best.1 {
+                        out.push(merged.clone());
+                        i += 2;
+                    } else {
+                        out.push(word[i].clone());
+                        i += 1;
+                    }
+                }
+                *next.entry(out).or_insert(0) += freq;
+            }
+            word_freq = next;
+        }
+
+        let mut symbols: Vec<String> = vocab_set.into_iter().collect();
+        symbols.push("<unk>".to_string());
+        let vocab = symbols
+            .iter()
+            .enumerate()
+            .map(|(k, s)| (s.clone(), k as u32))
+            .collect();
+        BpeTokenizer {
+            merges,
+            vocab,
+            symbols,
+        }
+    }
+
+    /// Vocabulary size (including `<unk>`).
+    pub fn vocab_size(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Number of learned merges.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encodes text into token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let unk = self.vocab["<unk>"];
+        let mut out = Vec::new();
+        for word in text.to_lowercase().split_whitespace() {
+            let mut syms: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+            if let Some(last) = syms.last_mut() {
+                last.push_str(EOW);
+            }
+            // Apply merges in learned order.
+            for (l, r) in &self.merges {
+                let mut i = 0;
+                while i + 1 < syms.len() {
+                    if &syms[i] == l && &syms[i + 1] == r {
+                        syms[i] = format!("{l}{r}");
+                        syms.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            for s in syms {
+                out.push(self.vocab.get(&s).copied().unwrap_or(unk));
+            }
+        }
+        out
+    }
+
+    /// Decodes token ids back into text. Unknown ids render as `<unk>`.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let sym = self
+                .symbols
+                .get(id as usize)
+                .map(String::as_str)
+                .unwrap_or("<unk>");
+            if let Some(stripped) = sym.strip_suffix(EOW) {
+                out.push_str(stripped);
+                out.push(' ');
+            } else {
+                out.push_str(sym);
+            }
+        }
+        out.trim_end().to_string()
+    }
+
+    /// Counts tokens in a text — the unit of Table 1's "Tokens (M)"
+    /// column.
+    pub fn count_tokens(&self, text: &str) -> usize {
+        self.encode(text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &[&str] = &[
+        "the nested miller compensation opamp uses two miller capacitors",
+        "the miller capacitor controls the dominant pole",
+        "a three stage opamp has three transconductance stages",
+    ];
+
+    #[test]
+    fn roundtrip_on_training_text() {
+        let tok = BpeTokenizer::train(CORPUS, 200);
+        for text in CORPUS {
+            let ids = tok.encode(text);
+            assert_eq!(tok.decode(&ids), *text);
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_unseen_text_with_known_chars() {
+        let tok = BpeTokenizer::train(CORPUS, 200);
+        let text = "stage capacitor pole";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn merges_reduce_token_count() {
+        let small = BpeTokenizer::train(CORPUS, 30); // almost chars only
+        let large = BpeTokenizer::train(CORPUS, 300); // many merges
+        let text = "miller compensation capacitors";
+        assert!(
+            large.count_tokens(text) < small.count_tokens(text),
+            "{} vs {}",
+            large.count_tokens(text),
+            small.count_tokens(text)
+        );
+        assert!(large.merge_count() > small.merge_count());
+    }
+
+    #[test]
+    fn unknown_characters_fall_back_to_unk() {
+        let tok = BpeTokenizer::train(CORPUS, 100);
+        let ids = tok.encode("ωζ"); // characters never seen
+        assert!(!ids.is_empty());
+        assert!(tok.decode(&ids).contains("<unk>"));
+    }
+
+    #[test]
+    fn lowercasing_is_applied() {
+        let tok = BpeTokenizer::train(CORPUS, 100);
+        assert_eq!(tok.encode("MILLER"), tok.encode("miller"));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BpeTokenizer::train(CORPUS, 150);
+        let b = BpeTokenizer::train(CORPUS, 150);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_panics() {
+        BpeTokenizer::train(CORPUS, 0);
+    }
+
+    #[test]
+    fn vocab_contains_unk() {
+        let tok = BpeTokenizer::train(CORPUS, 50);
+        assert!(tok.vocab_size() >= 2);
+        assert!(tok.decode(&[tok.vocab_size() as u32]).contains("<unk>"));
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Error type for numerical routines in `artisan-math`.
+///
+/// Every fallible public function in this crate returns this error so that
+/// callers can distinguish dimension bugs from genuine numerical breakdown
+/// (singular matrices, non-convergence).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Matrix/vector dimensions are incompatible with the requested
+    /// operation. Contains a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// The matrix is singular (or numerically singular) to working
+    /// precision; contains the pivot index where elimination broke down.
+    Singular(usize),
+    /// The matrix handed to the Cholesky factorization is not positive
+    /// definite; contains the index of the failing leading minor.
+    NotPositiveDefinite(usize),
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the final iteration.
+        residual: f64,
+    },
+    /// The input is empty or degenerate (e.g. a zero polynomial handed to
+    /// the root finder).
+    DegenerateInput(&'static str),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            MathError::Singular(k) => write!(f, "matrix is singular at pivot {k}"),
+            MathError::NotPositiveDefinite(k) => {
+                write!(f, "matrix is not positive definite at leading minor {k}")
+            }
+            MathError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} steps (residual {residual:.3e})"
+            ),
+            MathError::DegenerateInput(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MathError::Singular(3);
+        assert!(e.to_string().contains("pivot 3"));
+        let e = MathError::NoConvergence {
+            iterations: 17,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("17"));
+        let e = MathError::DimensionMismatch("3x4 vs 5".into());
+        assert!(e.to_string().contains("3x4"));
+        let e = MathError::NotPositiveDefinite(2);
+        assert!(e.to_string().contains("minor 2"));
+        let e = MathError::DegenerateInput("zero polynomial");
+        assert!(e.to_string().contains("zero polynomial"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

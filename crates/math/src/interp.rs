@@ -1,0 +1,194 @@
+//! Polynomial interpolation through point evaluations.
+//!
+//! The pole extractor in `artisan-sim` cannot form `det(G + sC)`
+//! symbolically, but it *can* evaluate the determinant at arbitrary complex
+//! frequencies via LU. Because the determinant of an `n`-node network with
+//! `m` capacitors is a polynomial of degree ≤ min(n, m), evaluating it at
+//! `d + 1` distinct points and interpolating recovers the exact
+//! coefficients. Newton's divided-difference form is used for numerical
+//! stability with the logarithmically spread sample points circuits demand.
+
+use crate::{Complex64, MathError, Polynomial, Result};
+
+/// Interpolates the unique degree ≤ `points.len() − 1` polynomial through
+/// `(x, y)` pairs, returning power-basis coefficients.
+///
+/// # Errors
+///
+/// - [`MathError::DegenerateInput`] when `points` is empty.
+/// - [`MathError::DimensionMismatch`] when two sample abscissae coincide.
+///
+/// # Example
+///
+/// ```
+/// use artisan_math::{Complex64, interp::newton_interpolate};
+///
+/// # fn main() -> artisan_math::Result<()> {
+/// // Sample y = 1 + 2x at x = 0, 1.
+/// let pts = [
+///     (Complex64::from_real(0.0), Complex64::from_real(1.0)),
+///     (Complex64::from_real(1.0), Complex64::from_real(3.0)),
+/// ];
+/// let p = newton_interpolate(&pts)?;
+/// assert!((p.eval(Complex64::from_real(5.0)).re - 11.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_interpolate(points: &[(Complex64, Complex64)]) -> Result<Polynomial> {
+    if points.is_empty() {
+        return Err(MathError::DegenerateInput("no interpolation points"));
+    }
+    let n = points.len();
+    // Divided-difference table, computed in place.
+    let xs: Vec<Complex64> = points.iter().map(|p| p.0).collect();
+    let mut coef: Vec<Complex64> = points.iter().map(|p| p.1).collect();
+    for level in 1..n {
+        for i in (level..n).rev() {
+            let dx = xs[i] - xs[i - level];
+            if dx == Complex64::ZERO {
+                return Err(MathError::DimensionMismatch(format!(
+                    "duplicate interpolation abscissa at indices {} and {}",
+                    i - level,
+                    i
+                )));
+            }
+            coef[i] = (coef[i] - coef[i - 1]) / dx;
+        }
+    }
+
+    // Expand the Newton form c₀ + c₁(x−x₀) + c₂(x−x₀)(x−x₁) + … into the
+    // power basis by Horner-style accumulation from the top.
+    let mut poly = vec![Complex64::ZERO; n];
+    let mut acc = vec![Complex64::ZERO; n];
+    acc[0] = coef[n - 1];
+    let mut acc_len = 1;
+    for k in (0..n - 1).rev() {
+        // acc(x) := acc(x)·(x − x_k) + c_k
+        let mut next = vec![Complex64::ZERO; acc_len + 1];
+        for (d, &a) in acc.iter().take(acc_len).enumerate() {
+            next[d + 1] += a;
+            next[d] -= a * xs[k];
+        }
+        next[0] += coef[k];
+        acc_len += 1;
+        acc[..acc_len].copy_from_slice(&next[..acc_len]);
+    }
+    poly[..acc_len].copy_from_slice(&acc[..acc_len]);
+    Ok(Polynomial::new(poly))
+}
+
+/// Generates `count` sample abscissae for determinant interpolation:
+/// real points log-spaced between `lo` and `hi` decades, alternating signs
+/// are avoided (circuit determinants are evaluated on the negative real
+/// axis where they are well-conditioned and never vanish for passive RC
+/// networks).
+pub fn log_spaced_real_points(lo: f64, hi: f64, count: usize) -> Vec<Complex64> {
+    assert!(count >= 1, "need at least one sample point");
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    if count == 1 {
+        return vec![Complex64::from_real(-lo)];
+    }
+    let l0 = lo.ln();
+    let l1 = hi.ln();
+    (0..count)
+        .map(|k| {
+            let t = k as f64 / (count - 1) as f64;
+            Complex64::from_real(-(l0 + t * (l1 - l0)).exp())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn interpolates_constant() {
+        let p = newton_interpolate(&[(c(2.0, 0.0), c(7.0, 0.0))]).unwrap();
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.eval(c(100.0, 0.0)), c(7.0, 0.0));
+    }
+
+    #[test]
+    fn interpolates_cubic_exactly() {
+        // p(x) = 1 - x + 2x³
+        let truth = Polynomial::from_real(&[1.0, -1.0, 0.0, 2.0]);
+        let xs = [-2.0, -1.0, 0.5, 3.0];
+        let pts: Vec<(Complex64, Complex64)> = xs
+            .iter()
+            .map(|&x| (c(x, 0.0), truth.eval(c(x, 0.0))))
+            .collect();
+        let p = newton_interpolate(&pts).unwrap();
+        for probe in [-5.0, 0.0, 1.7, 10.0] {
+            let s = c(probe, 0.0);
+            assert!((p.eval(s) - truth.eval(s)).abs() < 1e-9, "at {probe}");
+        }
+    }
+
+    #[test]
+    fn interpolates_complex_valued_samples() {
+        // p(x) = jx + 1
+        let pts = [
+            (c(0.0, 0.0), c(1.0, 0.0)),
+            (c(1.0, 0.0), c(1.0, 1.0)),
+        ];
+        let p = newton_interpolate(&pts).unwrap();
+        assert!((p.eval(c(3.0, 0.0)) - c(1.0, 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_abscissae_rejected() {
+        let pts = [
+            (c(1.0, 0.0), c(0.0, 0.0)),
+            (c(1.0, 0.0), c(1.0, 0.0)),
+        ];
+        assert!(matches!(
+            newton_interpolate(&pts),
+            Err(MathError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            newton_interpolate(&[]),
+            Err(MathError::DegenerateInput(_))
+        ));
+    }
+
+    #[test]
+    fn log_points_are_negative_and_distinct() {
+        let pts = log_spaced_real_points(1.0, 1e9, 12);
+        assert_eq!(pts.len(), 12);
+        for w in pts.windows(2) {
+            assert!(w[0].re < 0.0 && w[1].re < 0.0);
+            assert!(w[0].re != w[1].re);
+        }
+        assert!((pts[0].re + 1.0).abs() < 1e-12);
+        assert!((pts[11].re + 1e9).abs() / 1e9 < 1e-12);
+    }
+
+    #[test]
+    fn single_log_point() {
+        let pts = log_spaced_real_points(10.0, 100.0, 1);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].re + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_with_log_points_recovers_wide_polynomial() {
+        // Coefficients spanning decades, like a determinant with pF caps.
+        let truth = Polynomial::from_real(&[1e-6, 1e-9, 1e-15]);
+        let xs = log_spaced_real_points(1e2, 1e8, 3);
+        let pts: Vec<(Complex64, Complex64)> =
+            xs.iter().map(|&x| (x, truth.eval(x))).collect();
+        let p = newton_interpolate(&pts).unwrap();
+        let probe = c(-3.3e5, 0.0);
+        let rel = (p.eval(probe) - truth.eval(probe)).abs() / truth.eval(probe).abs();
+        assert!(rel < 1e-9, "relative error {rel}");
+    }
+}

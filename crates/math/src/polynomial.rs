@@ -1,0 +1,471 @@
+use crate::{Complex64, MathError, Result};
+use std::fmt;
+
+/// A polynomial with complex coefficients, `c₀ + c₁·s + … + c_n·sⁿ`.
+///
+/// Network determinants `det(G + sC)` are polynomials in the Laplace
+/// variable `s`; their roots are the natural frequencies (poles) of the
+/// circuit. The simulator recovers those polynomials by interpolation
+/// ([`crate::interp`]) and finds their roots with the Durand–Kerner method
+/// ([`Polynomial::roots`]).
+///
+/// Coefficients are stored lowest degree first. The representation is kept
+/// normalized: the highest-degree stored coefficient is nonzero (except for
+/// the zero polynomial, stored as a single zero coefficient).
+///
+/// # Example
+///
+/// ```
+/// use artisan_math::Polynomial;
+///
+/// // (s + 1)(s + 2) = 2 + 3s + s²
+/// let p = Polynomial::from_real(&[2.0, 3.0, 1.0]);
+/// let roots = p.roots(1e-10, 500).expect("converges");
+/// let mut res: Vec<f64> = roots.iter().map(|r| r.re).collect();
+/// res.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+/// assert!((res[0] + 2.0).abs() < 1e-8 && (res[1] + 1.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<Complex64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from complex coefficients, lowest degree first.
+    /// Trailing (numerically) zero coefficients are trimmed relative to the
+    /// largest coefficient magnitude.
+    pub fn new(coeffs: Vec<Complex64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Creates a polynomial from real coefficients, lowest degree first.
+    pub fn from_real(coeffs: &[f64]) -> Self {
+        Polynomial::new(coeffs.iter().map(|&c| Complex64::from_real(c)).collect())
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial {
+            coeffs: vec![Complex64::ZERO],
+        }
+    }
+
+    /// Builds the monic polynomial with the given roots:
+    /// `Π (s − rootᵢ)`.
+    pub fn from_roots(roots: &[Complex64]) -> Self {
+        let mut coeffs = vec![Complex64::ONE];
+        for &r in roots {
+            // multiply by (s - r)
+            let mut next = vec![Complex64::ZERO; coeffs.len() + 1];
+            for (k, &c) in coeffs.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] -= c * r;
+            }
+            coeffs = next;
+        }
+        Polynomial::new(coeffs)
+    }
+
+    fn normalize(&mut self) {
+        if self.coeffs.is_empty() {
+            self.coeffs.push(Complex64::ZERO);
+            return;
+        }
+        // Trim only true zeros: circuit determinants legitimately carry
+        // leading coefficients twenty decades below the constant term
+        // (products of picofarad capacitances), so a magnitude-relative
+        // trim would silently drop real poles. Callers that know their
+        // noise floor use [`Polynomial::trimmed`].
+        while self.coeffs.len() > 1
+            && self
+                .coeffs
+                .last()
+                .map_or(false, |c| c.abs() < f64::MIN_POSITIVE)
+        {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Returns a copy with trailing coefficients of relative magnitude
+    /// ≤ `rel_tol · max|cᵢ|` removed — used after determinant
+    /// interpolation, where the top coefficients may be pure numerical
+    /// noise.
+    pub fn trimmed(&self, rel_tol: f64) -> Polynomial {
+        let max_mag = self.coeffs.iter().map(|c| c.abs()).fold(0.0_f64, f64::max);
+        let tol = max_mag * rel_tol;
+        let mut coeffs = self.coeffs.clone();
+        while coeffs.len() > 1 && coeffs.last().map_or(false, |c| c.abs() <= tol) {
+            coeffs.pop();
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Degree of the polynomial (0 for constants, including the zero
+    /// polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Returns true if this is (numerically) the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.len() == 1 && self.coeffs[0] == Complex64::ZERO
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `s` with Horner's scheme.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * s + c;
+        }
+        acc
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * ((k + 1) as f64))
+                .collect(),
+        )
+    }
+
+    /// All complex roots via the Durand–Kerner (Weierstrass) simultaneous
+    /// iteration.
+    ///
+    /// Circuit determinant polynomials have root magnitudes spanning many
+    /// decades (poles from Hz to GHz), so the iteration runs on a
+    /// magnitude-scaled copy of the polynomial and rescales the converged
+    /// roots back.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::DegenerateInput`] for the zero polynomial.
+    /// - [`MathError::NoConvergence`] if the simultaneous iteration fails
+    ///   to reach `tol` within `max_iter` sweeps.
+    pub fn roots(&self, tol: f64, max_iter: usize) -> Result<Vec<Complex64>> {
+        if self.is_zero() {
+            return Err(MathError::DegenerateInput(
+                "zero polynomial has no well-defined roots",
+            ));
+        }
+        let n = self.degree();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Scale s = σ·t so that the transformed polynomial has roots near
+        // the unit circle: σ is the geometric-mean root magnitude estimate
+        // |c₀ / c_n|^(1/n).
+        let c0 = self.coeffs[0].abs();
+        let cn = self.coeffs[n].abs();
+        let sigma = if c0 > 0.0 && cn > 0.0 {
+            (c0 / cn).powf(1.0 / n as f64)
+        } else {
+            1.0
+        };
+        let sigma = if sigma.is_finite() && sigma > 0.0 {
+            sigma
+        } else {
+            1.0
+        };
+        // q(t) = p(σ·t): coefficient k scales by σ^k. Normalize to monic.
+        let mut q: Vec<Complex64> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c * sigma.powi(k as i32))
+            .collect();
+        let lead = q[n];
+        for c in q.iter_mut() {
+            *c = *c / lead;
+        }
+
+        // Durand–Kerner with the standard non-real, non-root-of-unity seed.
+        let seed = Complex64::new(0.4, 0.9);
+        let mut z: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let mut w = Complex64::ONE;
+                for _ in 0..k {
+                    w *= seed;
+                }
+                w
+            })
+            .collect();
+
+        let eval_q = |s: Complex64| -> Complex64 {
+            let mut acc = Complex64::ZERO;
+            for &c in q.iter().rev() {
+                acc = acc * s + c;
+            }
+            acc
+        };
+
+        let mut last_delta = f64::INFINITY;
+        for _iter in 0..max_iter {
+            let mut delta: f64 = 0.0;
+            for i in 0..n {
+                let mut denom = Complex64::ONE;
+                for j in 0..n {
+                    if i != j {
+                        denom *= z[i] - z[j];
+                    }
+                }
+                if denom == Complex64::ZERO {
+                    // Perturb coincident estimates and retry next sweep.
+                    z[i] += Complex64::new(1e-8, 1e-8);
+                    delta = f64::INFINITY;
+                    continue;
+                }
+                let correction = eval_q(z[i]) / denom;
+                z[i] -= correction;
+                // Relative step size: widely scaled roots need a
+                // magnitude-aware convergence criterion.
+                delta = delta.max(correction.abs() / z[i].abs().max(1e-300));
+            }
+            last_delta = delta;
+            if delta < tol.max(1e-14) {
+                let polished = Self::polish(&q, &z);
+                return Ok(polished.into_iter().map(|r| r * sigma).collect());
+            }
+        }
+        Err(MathError::NoConvergence {
+            iterations: max_iter,
+            residual: last_delta,
+        })
+    }
+
+    /// Newton-polishes each root estimate of the monic polynomial `q`
+    /// (coefficients lowest-degree first). Durand–Kerner stalls at ~1e-6
+    /// relative accuracy when roots span many decades; a handful of Newton
+    /// steps restores full double precision for simple roots and never
+    /// makes an estimate worse (steps that increase |q| are rejected).
+    fn polish(q: &[Complex64], z: &[Complex64]) -> Vec<Complex64> {
+        let eval = |s: Complex64| -> (Complex64, Complex64) {
+            // Horner for value and derivative simultaneously.
+            let mut p = Complex64::ZERO;
+            let mut dp = Complex64::ZERO;
+            for &c in q.iter().rev() {
+                dp = dp * s + p;
+                p = p * s + c;
+            }
+            (p, dp)
+        };
+        z.iter()
+            .map(|&r0| {
+                let mut r = r0;
+                let (mut pv, _) = eval(r);
+                for _ in 0..40 {
+                    let (p, dp) = eval(r);
+                    if dp == Complex64::ZERO {
+                        break;
+                    }
+                    let step = p / dp;
+                    let cand = r - step;
+                    let (pc, _) = eval(cand);
+                    if pc.abs() >= pv.abs() {
+                        break;
+                    }
+                    r = cand;
+                    pv = pc;
+                    if step.abs() <= 1e-16 * r.abs().max(1e-300) {
+                        break;
+                    }
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// Real-axis roots only (|imaginary part| below `im_tol` relative to
+    /// magnitude), sorted ascending — convenient for dominant-pole queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Polynomial::roots`].
+    pub fn real_roots(&self, tol: f64, max_iter: usize, im_tol: f64) -> Result<Vec<f64>> {
+        let mut out: Vec<f64> = self
+            .roots(tol, max_iter)?
+            .into_iter()
+            .filter(|r| r.im.abs() <= im_tol * r.abs().max(1.0))
+            .map(|r| r.re)
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).expect("root ordering"));
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate() {
+            if c.abs() == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if k == 0 {
+                write!(f, "({c})")?;
+            } else if k == 1 {
+                write!(f, "({c})s")?;
+            } else {
+                write!(f, "({c})s^{k}")?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn sort_by_re(mut v: Vec<Complex64>) -> Vec<Complex64> {
+        v.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        v
+    }
+
+    #[test]
+    fn degree_and_normalization() {
+        let p = Polynomial::from_real(&[1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert!(Polynomial::from_real(&[0.0]).is_zero());
+        assert_eq!(Polynomial::zero().degree(), 0);
+    }
+
+    #[test]
+    fn tiny_leading_coefficients_survive_normalization() {
+        // A determinant with pF-scale capacitor products must keep its
+        // top coefficient even though it is ~17 decades below c0.
+        let p = Polynomial::from_real(&[1e17, 1e15, 1e9, 1.0]);
+        assert_eq!(p.degree(), 3);
+    }
+
+    #[test]
+    fn trimmed_drops_noise_coefficients() {
+        let p = Polynomial::from_real(&[1.0, 1.0, 1e-15]);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.trimmed(1e-12).degree(), 1);
+        // Trim never empties the polynomial.
+        assert_eq!(Polynomial::from_real(&[1e-20]).trimmed(1.0).degree(), 0);
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::from_real(&[1.0, -3.0, 2.0]); // 1 - 3s + 2s²
+        assert_eq!(p.eval(c(2.0, 0.0)), c(3.0, 0.0));
+        assert_eq!(p.eval(Complex64::ZERO), c(1.0, 0.0));
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::from_real(&[5.0, 1.0, 3.0]); // 5 + s + 3s²
+        let d = p.derivative(); // 1 + 6s
+        assert_eq!(d.coeffs(), &[c(1.0, 0.0), c(6.0, 0.0)]);
+        assert!(Polynomial::from_real(&[7.0]).derivative().is_zero());
+    }
+
+    #[test]
+    fn from_roots_expands_correctly() {
+        // (s-1)(s+2) = s² + s - 2
+        let p = Polynomial::from_roots(&[c(1.0, 0.0), c(-2.0, 0.0)]);
+        assert_eq!(p.coeffs(), &[c(-2.0, 0.0), c(1.0, 0.0), c(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        let p = Polynomial::from_real(&[6.0, 5.0, 1.0]); // (s+2)(s+3)
+        let roots = sort_by_re(p.roots(1e-12, 500).unwrap());
+        assert!((roots[0].re + 3.0).abs() < 1e-9);
+        assert!((roots[1].re + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        let p = Polynomial::from_real(&[5.0, 2.0, 1.0]); // roots -1 ± 2j
+        let roots = p.roots(1e-12, 500).unwrap();
+        for r in &roots {
+            assert!((r.re + 1.0).abs() < 1e-9);
+            assert!((r.im.abs() - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn widely_scaled_roots_converge() {
+        // Roots at -1e2, -1e6, -1e9 — the magnitude span of real opamp poles.
+        let p = Polynomial::from_roots(&[c(-1e2, 0.0), c(-1e6, 0.0), c(-1e9, 0.0)]);
+        let mut roots: Vec<f64> = p.roots(1e-10, 2000).unwrap().iter().map(|r| r.re).collect();
+        roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((roots[0] / -1e9 - 1.0).abs() < 1e-6);
+        assert!((roots[1] / -1e6 - 1.0).abs() < 1e-6);
+        assert!((roots[2] / -1e2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        assert!(Polynomial::from_real(&[3.0]).roots(1e-10, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_polynomial_is_degenerate() {
+        assert!(matches!(
+            Polynomial::zero().roots(1e-10, 100),
+            Err(MathError::DegenerateInput(_))
+        ));
+    }
+
+    #[test]
+    fn real_roots_filters_complex_pairs() {
+        // (s+1)(s² + 1): real root -1, complex pair ±j
+        let p = Polynomial::from_roots(&[c(-1.0, 0.0), c(0.0, 1.0), c(0.0, -1.0)]);
+        let rr = p.real_roots(1e-12, 500, 1e-6).unwrap();
+        assert_eq!(rr.len(), 1);
+        assert!((rr[0] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Polynomial::from_real(&[1.0, 0.0, 2.0]);
+        let s = p.to_string();
+        assert!(s.contains("s^2"), "{s}");
+    }
+
+    #[test]
+    fn roots_reproduce_polynomial_property() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..6);
+            let true_roots: Vec<Complex64> = (0..n)
+                .map(|_| c(rng.gen_range(-5.0..-0.1), rng.gen_range(-3.0..3.0)))
+                .collect();
+            let p = Polynomial::from_roots(&true_roots);
+            let found = p.roots(1e-12, 2000).unwrap();
+            // Every found root should evaluate to ~0.
+            for r in &found {
+                assert!(p.eval(*r).abs() < 1e-6, "residual at root {r}");
+            }
+            assert_eq!(found.len(), true_roots.len());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! BOBO [12]: Bayesian optimization of opamp topology in continuous
+//! space via the graph embedding of [`crate::embedding`].
+//!
+//! The loop: an initial random design of experiments, then GP-fit +
+//! expected-improvement proposals until the simulation budget is
+//! exhausted. Every candidate costs one (Spectre-equivalent) simulation
+//! and one optimizer step — which is exactly why Table 3 charges BOBO
+//! hours where Artisan needs minutes.
+
+use crate::bo::propose;
+use crate::embedding::{decode, DIM};
+use crate::gp::GpHyperParams;
+use crate::objective::{evaluate, Objective, OptResult};
+use artisan_circuit::sample::SampleRanges;
+use artisan_circuit::Topology;
+use artisan_sim::{Simulator, Spec};
+use rand::Rng;
+
+/// BOBO configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoboConfig {
+    /// Total simulation budget per trial (the paper's runs imply
+    /// several hundred).
+    pub budget: usize,
+    /// Random initial samples before the GP takes over.
+    pub initial_samples: usize,
+    /// Acquisition candidate-pool size.
+    pub pool: usize,
+    /// GP hyperparameters.
+    pub gp: GpHyperParams,
+    /// Sliding-window cap on the GP training set: the Cholesky fit is
+    /// O(n³), so the surrogate sees the most recent `gp_window` points
+    /// plus the incumbent best — standard large-budget BO practice.
+    pub gp_window: usize,
+}
+
+impl Default for BoboConfig {
+    fn default() -> Self {
+        BoboConfig {
+            budget: 450,
+            initial_samples: 50,
+            pool: 400,
+            gp: GpHyperParams {
+                lengthscale: 0.45,
+                signal_variance: 1.0,
+                noise_variance: 1e-3,
+            },
+            gp_window: 160,
+        }
+    }
+}
+
+/// The BOBO optimizer.
+#[derive(Debug, Clone)]
+pub struct Bobo {
+    config: BoboConfig,
+    ranges: SampleRanges,
+}
+
+impl Bobo {
+    /// Creates the optimizer.
+    pub fn new(config: BoboConfig) -> Self {
+        Bobo {
+            config,
+            ranges: SampleRanges::default(),
+        }
+    }
+
+    /// Runs one optimization trial.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        spec: &Spec,
+        sim: &mut Simulator,
+        rng: &mut R,
+    ) -> OptResult {
+        let cl = spec.cl.value();
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut best: Option<(f64, Topology, crate::objective::Evaluation)> = None;
+
+        for k in 0..self.config.budget {
+            let x: Vec<f64> = if k < self.config.initial_samples {
+                (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect()
+            } else {
+                sim.ledger_mut().record_optimizer_step();
+                // Sliding window: recent points plus the incumbent best.
+                let window = self.config.gp_window.max(2);
+                let start = xs.len().saturating_sub(window);
+                let mut wx: Vec<Vec<f64>> = xs[start..].to_vec();
+                let mut wy: Vec<f64> = ys[start..].to_vec();
+                if let Some(best_idx) = ys
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                    .map(|(i, _)| i)
+                {
+                    if best_idx < start {
+                        wx.push(xs[best_idx].clone());
+                        wy.push(ys[best_idx]);
+                    }
+                }
+                propose(&wx, &wy, DIM, self.config.pool, self.config.gp, rng)
+            };
+            let topo = decode(&x, cl, &self.ranges);
+            let eval = evaluate(&topo, spec, sim);
+            // GP targets: squash feasible FoM into a bounded scale so a
+            // single huge FoM does not flatten the surrogate.
+            let y = if eval.score > 0.0 {
+                1.0 + eval.score.ln_1p() * 0.1
+            } else {
+                eval.score.max(-10.0) / 10.0
+            };
+            if best
+                .as_ref()
+                .map_or(true, |(s, _, _)| eval.score > *s)
+            {
+                best = Some((eval.score, topo, eval.clone()));
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+
+        match best {
+            Some((_, topology, eval)) => OptResult {
+                success: eval.feasible,
+                performance: eval.performance,
+                topology: Some(topology),
+                evaluations: self.config.budget,
+            },
+            None => OptResult {
+                success: false,
+                topology: None,
+                performance: None,
+                evaluations: self.config.budget,
+            },
+        }
+    }
+}
+
+impl Objective for Bobo {
+    fn optimize(
+        &mut self,
+        spec: &Spec,
+        sim: &mut Simulator,
+        rng: &mut dyn rand::RngCore,
+    ) -> OptResult {
+        self.run(spec, sim, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> BoboConfig {
+        BoboConfig {
+            budget: 40,
+            initial_samples: 15,
+            pool: 60,
+            ..BoboConfig::default()
+        }
+    }
+
+    #[test]
+    fn respects_budget_and_bills_simulations() {
+        let mut sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = Bobo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng);
+        assert_eq!(r.evaluations, 40);
+        assert_eq!(sim.ledger().simulations(), 40);
+        assert!(sim.ledger().optimizer_steps() > 0);
+    }
+
+    #[test]
+    fn returns_the_best_seen_candidate() {
+        let mut sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Bobo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng);
+        assert!(r.topology.is_some());
+        // Success is not guaranteed at this budget, but the result must
+        // be internally consistent.
+        if r.success {
+            assert!(r.performance.is_some());
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            Bobo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng).success
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn tiny_budget_rarely_succeeds_on_g4() {
+        // The shape behind Table 3: the low-power corner defeats random
+        // exploration.
+        let mut successes = 0;
+        for seed in 0..5 {
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            if Bobo::new(tiny()).run(&Spec::g4(), &mut sim, &mut rng).success {
+                successes += 1;
+            }
+        }
+        assert!(successes <= 1, "G-4 succeeded {successes}/5 at tiny budget");
+    }
+}

@@ -1,0 +1,198 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! The surrogate model inside the BOBO baseline: fit on
+//! (embedding, objective) pairs, predict posterior mean/variance for
+//! expected-improvement acquisition. Solves come from the Cholesky
+//! factorization in `artisan-math`.
+
+use artisan_math::{cholesky::Cholesky, DMatrix, MathError};
+
+/// GP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpHyperParams {
+    /// RBF lengthscale (shared across dimensions).
+    pub lengthscale: f64,
+    /// Signal variance σ_f².
+    pub signal_variance: f64,
+    /// Observation noise variance σ_n².
+    pub noise_variance: f64,
+}
+
+impl Default for GpHyperParams {
+    fn default() -> Self {
+        GpHyperParams {
+            lengthscale: 0.3,
+            signal_variance: 1.0,
+            noise_variance: 1e-4,
+        }
+    }
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    hp: GpHyperParams,
+    x: Vec<Vec<f64>>,
+    /// α = K⁻¹·(y − mean), for the posterior mean.
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    y_mean: f64,
+    y_scale: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], hp: &GpHyperParams) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum();
+    hp.signal_variance * (-0.5 * d2 / (hp.lengthscale * hp.lengthscale)).exp()
+}
+
+impl GaussianProcess {
+    /// Fits the GP on observations `(x, y)`. Targets are internally
+    /// standardized for conditioning.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::DimensionMismatch`] for empty data or ragged rows.
+    /// - [`MathError::NotPositiveDefinite`] if the kernel matrix cannot
+    ///   be factorized even after jitter (pathological duplicates).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], hp: GpHyperParams) -> Result<Self, MathError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(MathError::DimensionMismatch(format!(
+                "{} inputs vs {} targets",
+                x.len(),
+                y.len()
+            )));
+        }
+        let dim = x[0].len();
+        if x.iter().any(|r| r.len() != dim) {
+            return Err(MathError::DimensionMismatch(
+                "ragged input rows".to_string(),
+            ));
+        }
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_scale = {
+            let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+            var.sqrt().max(1e-9)
+        };
+        let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+
+        let mut k = DMatrix::from_fn(n, n, |i, j| rbf(&x[i], &x[j], &hp));
+        k.add_diagonal(hp.noise_variance.max(1e-10));
+        // Progressive jitter on factorization failure.
+        let chol = match Cholesky::new(&k) {
+            Ok(c) => c,
+            Err(_) => {
+                k.add_diagonal(1e-6);
+                Cholesky::new(&k)?
+            }
+        };
+        let alpha = chol.solve(&yn)?;
+        Ok(GaussianProcess {
+            hp,
+            x: x.to_vec(),
+            alpha,
+            chol,
+            y_mean,
+            y_scale,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when fitted on no points (cannot happen through [`Self::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Posterior mean and variance at a query point.
+    pub fn predict(&self, query: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| rbf(xi, query, &self.hp)).collect();
+        let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        // var = k(x,x) − ‖L⁻¹k*‖²
+        let v = self
+            .chol
+            .solve_lower(&kstar)
+            .expect("dimension matches training size");
+        let explained: f64 = v.iter().map(|t| t * t).sum();
+        let var_n = (self.hp.signal_variance - explained).max(1e-12);
+        (
+            mean_n * self.y_scale + self.y_mean,
+            var_n * self.y_scale * self.y_scale,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|k| vec![k as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|p| (4.0 * p[0]).sin()).collect();
+        let gp = GaussianProcess::fit(&x, &y, GpHyperParams::default()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.05, "{m} vs {yi}");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1]];
+        let y = vec![0.0, 0.1];
+        let gp = GaussianProcess::fit(&x, &y, GpHyperParams::default()).unwrap();
+        let (_, v_near) = gp.predict(&[0.05]);
+        let (_, v_far) = gp.predict(&[2.0]);
+        assert!(v_far > 10.0 * v_near, "near {v_near} far {v_far}");
+    }
+
+    #[test]
+    fn prediction_between_points_is_smooth() {
+        let x = grid_1d(10);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+        let gp = GaussianProcess::fit(&x, &y, GpHyperParams::default()).unwrap();
+        let (m, _) = gp.predict(&[0.55]);
+        assert!((m - 0.3025).abs() < 0.05, "{m}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(GaussianProcess::fit(&[], &[], GpHyperParams::default()).is_err());
+        assert!(
+            GaussianProcess::fit(&[vec![0.0]], &[1.0, 2.0], GpHyperParams::default()).is_err()
+        );
+        assert!(GaussianProcess::fit(
+            &[vec![0.0], vec![0.0, 1.0]],
+            &[1.0, 2.0],
+            GpHyperParams::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GaussianProcess::fit(&x, &y, GpHyperParams::default()).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn standardization_handles_large_targets() {
+        let x = grid_1d(5);
+        let y: Vec<f64> = x.iter().map(|p| 1e6 + 1e5 * p[0]).collect();
+        let gp = GaussianProcess::fit(&x, &y, GpHyperParams::default()).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.05e6).abs() / 1.05e6 < 0.02, "{m}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Off-the-shelf LLM baselines (GPT-4, Llama2) with the error modes the
+//! paper documents in Fig. 7.
+//!
+//! The paper reports that both models "consistently fail to design
+//! opamps in any instance", and its chat logs show *why*:
+//!
+//! - **GPT-4** recommends the right topology (NMC) but derives the
+//!   dominant pole incorrectly (`p1 = gm3/CL`), which mis-sizes every
+//!   stage, and suggests MPMC for the 1 nF load — an architecture that
+//!   cannot drive it;
+//! - **Llama2** offers generic advice (voltage-follower stages,
+//!   resistor formulas irrelevant to compensation).
+//!
+//! These agents reproduce those documented behaviours as *mechanism*:
+//! they emit concrete (wrong) designs which the simulator then fails,
+//! rather than being hard-coded to lose.
+
+use crate::objective::{Objective, OptResult};
+use artisan_circuit::{
+    ConnectionParams, ConnectionType, Placement, Position, Skeleton, StageParams, Topology,
+};
+use artisan_sim::{Simulator, Spec};
+use std::f64::consts::PI;
+
+/// Which off-the-shelf model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffTheShelfLlm {
+    /// GPT-4: plausible architecture, wrong quantitative derivation.
+    Gpt4,
+    /// Llama2-7b-chat: generic, unquantified advice.
+    Llama2,
+}
+
+/// The GPT-4 baseline agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gpt4Baseline;
+
+impl Gpt4Baseline {
+    /// Produces GPT-4's design for a spec, following Fig. 7's A0–A9:
+    /// it *names* NMC, but its zero-pole analysis is wrong — "the
+    /// dominant pole is determined by the output stage and the load:
+    /// p1 = gm3/CL". Believing the load pole dominates, it sizes the
+    /// output stage to put `gm3/(2π·CL)` at the target GBW and places
+    /// **no internal Miller compensation at all** (in its model the
+    /// higher poles are "due to compensation" that the load already
+    /// provides). Three uncompensated high-gain stages collapse the
+    /// phase margin.
+    pub fn design(&self, spec: &Spec) -> (Topology, Vec<String>) {
+        let cl = spec.cl.value();
+        // Wrong derivation: set the "dominant" load pole at the GBW.
+        let gm3 = 2.0 * PI * spec.gbw_min_hz * cl;
+        let gm1 = gm3; // "symmetric stages simplify the analysis"
+        let gm2 = gm3;
+        let skeleton = Skeleton::new(
+            StageParams::from_gm_and_gain(gm1, 60.0),
+            StageParams::from_gm_and_gain(gm2, 60.0),
+            StageParams::from_gm_and_gain(gm3, 60.0),
+            1e6,
+            cl,
+        );
+        let mut topo = Topology::new(skeleton);
+        // For large loads GPT-4 suggests MPMC: an extra multipath gm
+        // stage instead of damping — it cannot rescue the output pole.
+        if cl > 100e-12 {
+            topo.place(Placement::new(
+                Position::InToN2,
+                ConnectionType::PosGm,
+                ConnectionParams::gm(gm1),
+            ))
+            .expect("legal placement");
+        }
+        let log = vec![
+            "A0: NMC: Nested Miller Compensation is particularly effective for multi-stage \
+             amplifiers, providing better PM and frequency compensation in three-stage cases."
+                .to_string(),
+            "A1: The dominant pole is determined by the output stage and the load: \
+             p1 = gm3/CL. Non-dominant poles are higher due to compensation."
+                .to_string(),
+            "A9: Increase the compensation capacitance values to handle a larger load, \
+             which may impact bandwidth. Consider the multi-path Miller compensation \
+             (MPMC) technique to add a new path for the compensation."
+                .to_string(),
+        ];
+        (topo, log)
+    }
+}
+
+impl Objective for Gpt4Baseline {
+    fn optimize(
+        &mut self,
+        spec: &Spec,
+        sim: &mut Simulator,
+        _rng: &mut dyn rand::RngCore,
+    ) -> OptResult {
+        let (topo, _) = self.design(spec);
+        sim.ledger_mut().record_llm_step();
+        let eval = crate::objective::evaluate(&topo, spec, sim);
+        OptResult {
+            success: eval.feasible,
+            performance: eval.performance,
+            topology: Some(topo),
+            evaluations: 1,
+        }
+    }
+}
+
+/// The Llama2-7b-chat baseline agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Llama2Baseline;
+
+impl Llama2Baseline {
+    /// Produces Llama2's design: "Stage 1: current feedback opamp…
+    /// Stage 2: voltage follower… Stage 3: voltage follower" — i.e.
+    /// near-unity-gain buffers after the first stage, with no
+    /// compensation at all. The cascade cannot reach 85 dB.
+    pub fn design(&self, spec: &Spec) -> (Topology, Vec<String>) {
+        let cl = spec.cl.value();
+        let skeleton = Skeleton::new(
+            StageParams::from_gm_and_gain(100e-6, 40.0),
+            // Voltage followers: intrinsic gain ≈ 1.
+            StageParams::from_gm_and_gain(100e-6, 1.0),
+            StageParams::from_gm_and_gain(100e-6, 1.0),
+            1e6,
+            cl,
+        );
+        let topo = Topology::new(skeleton);
+        let log = vec![
+            "A0: You can use a multi-stage opamp architecture… Stage 1: current feedback \
+             opamp… Stage 2: voltage follower… Stage 3: voltage follower."
+                .to_string(),
+            "A1: z = (R1+R2)/(2*R3) and p = (R1+R2)/(2*R3), where R1 and R2 are feedback \
+             resistors, and R3 is the input impedance."
+                .to_string(),
+            "A9: Increase the Miller capacitance values… Adjust the transconductance \
+             ratios of the three stages… Increase the number of stages."
+                .to_string(),
+        ];
+        (topo, log)
+    }
+}
+
+impl Objective for Llama2Baseline {
+    fn optimize(
+        &mut self,
+        spec: &Spec,
+        sim: &mut Simulator,
+        _rng: &mut dyn rand::RngCore,
+    ) -> OptResult {
+        let (topo, _) = self.design(spec);
+        sim.ledger_mut().record_llm_step();
+        let eval = crate::objective::evaluate(&topo, spec, sim);
+        OptResult {
+            success: eval.feasible,
+            performance: eval.performance,
+            topology: Some(topo),
+            evaluations: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gpt4_fails_every_table2_group() {
+        let mut agent = Gpt4Baseline;
+        for (name, spec) in Spec::table2() {
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let r = agent.optimize(&spec, &mut sim, &mut rng);
+            assert!(!r.success, "{name}: GPT-4 unexpectedly succeeded");
+        }
+    }
+
+    #[test]
+    fn llama2_fails_every_table2_group() {
+        let mut agent = Llama2Baseline;
+        for (name, spec) in Spec::table2() {
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let r = agent.optimize(&spec, &mut sim, &mut rng);
+            assert!(!r.success, "{name}: Llama2 unexpectedly succeeded");
+        }
+    }
+
+    #[test]
+    fn gpt4_recommends_nmc_but_misderives() {
+        let (topo, log) = Gpt4Baseline.design(&Spec::g1());
+        // The wrong pole model leaves the design uncompensated.
+        assert_eq!(topo.connection_at(Position::N1ToOut), ConnectionType::Open);
+        assert!(log[1].contains("p1 = gm3/CL"));
+    }
+
+    #[test]
+    fn gpt4_adds_mpmc_path_for_large_loads() {
+        let (topo, log) = Gpt4Baseline.design(&Spec::g5());
+        assert_eq!(topo.connection_at(Position::InToN2), ConnectionType::PosGm);
+        assert!(log[2].contains("MPMC"));
+    }
+
+    #[test]
+    fn llama2_design_has_follower_stages() {
+        let (topo, log) = Llama2Baseline.design(&Spec::g1());
+        // Intrinsic gain 1 ⇒ ro = 1/gm.
+        let ro2 = topo.skeleton.stage2.ro.value();
+        assert!((ro2 - 1.0 / 100e-6 * 1.0).abs() / ro2 < 1e-9);
+        assert!(log[0].contains("voltage follower"));
+        // And the gain is hopeless.
+        assert!(topo.skeleton.dc_gain() < 100.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Logarithmic AC sweeps with unwrapped phase.
+
+use crate::mna::MnaSystem;
+use crate::Result;
+use artisan_math::Complex64;
+use std::f64::consts::PI;
+
+/// One point of an AC sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcPoint {
+    /// Frequency in Hz.
+    pub freq: f64,
+    /// Complex transfer function value at this frequency.
+    pub h: Complex64,
+    /// Unwrapped phase in degrees, continuous along the sweep and
+    /// referenced to the DC phase (0° at the first point).
+    pub phase_rel: f64,
+}
+
+impl AcPoint {
+    /// Gain magnitude in dB at this point.
+    pub fn gain_db(&self) -> f64 {
+        20.0 * self.h.abs().log10()
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Start frequency in Hz.
+    pub f_start: f64,
+    /// Stop frequency in Hz.
+    pub f_stop: f64,
+    /// Points per decade.
+    pub points_per_decade: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            f_start: 1e-2,
+            f_stop: 1e9,
+            points_per_decade: 40,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The sweep's frequency grid.
+    pub fn frequencies(&self) -> Vec<f64> {
+        assert!(
+            self.f_start > 0.0 && self.f_stop > self.f_start,
+            "sweep needs 0 < f_start < f_stop"
+        );
+        let decades = (self.f_stop / self.f_start).log10();
+        let n = ((decades * self.points_per_decade as f64).ceil() as usize).max(2);
+        let l0 = self.f_start.log10();
+        let l1 = self.f_stop.log10();
+        (0..=n)
+            .map(|k| 10.0_f64.powf(l0 + (l1 - l0) * k as f64 / n as f64))
+            .collect()
+    }
+}
+
+/// Runs an AC sweep: solves the MNA system at each grid frequency and
+/// unwraps the phase (removing ±360° jumps so that phase margin can be
+/// read off directly).
+///
+/// # Errors
+///
+/// Propagates solver failures at any frequency point.
+pub fn sweep(sys: &MnaSystem, config: &SweepConfig) -> Result<Vec<AcPoint>> {
+    let freqs = config.frequencies();
+    let mut points = Vec::with_capacity(freqs.len());
+    let mut prev_raw: Option<f64> = None;
+    let mut offset = 0.0;
+    let mut first_phase = 0.0;
+    for (k, f) in freqs.iter().enumerate() {
+        let h = sys.transfer(Complex64::jomega(2.0 * PI * f))?;
+        let raw = h.arg().to_degrees();
+        if let Some(p) = prev_raw {
+            // Unwrap: assume < 180° of true phase change between grid
+            // points (guaranteed by a dense log grid).
+            let mut delta = raw - p;
+            while delta > 180.0 {
+                delta -= 360.0;
+                offset -= 360.0;
+            }
+            while delta < -180.0 {
+                delta += 360.0;
+                offset += 360.0;
+            }
+        }
+        prev_raw = Some(raw);
+        let unwrapped = raw + offset;
+        if k == 0 {
+            first_phase = unwrapped;
+        }
+        points.push(AcPoint {
+            freq: *f,
+            h,
+            phase_rel: unwrapped - first_phase,
+        });
+    }
+    Ok(points)
+}
+
+/// Finds the unity-gain crossing by log-linear interpolation between the
+/// two sweep points that bracket |H| = 1. Returns `(frequency, phase_rel)`
+/// at the crossing, or `None` if the gain never crosses unity (from above)
+/// inside the band.
+pub fn unity_crossing(points: &[AcPoint]) -> Option<(f64, f64)> {
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let (ga, gb) = (a.h.abs(), b.h.abs());
+        if ga >= 1.0 && gb < 1.0 {
+            // Interpolate in (log f, dB) space.
+            let (da, db) = (20.0 * ga.log10(), 20.0 * gb.log10());
+            let t = if (da - db).abs() < 1e-15 {
+                0.5
+            } else {
+                da / (da - db)
+            };
+            let lf = a.freq.log10() + t * (b.freq.log10() - a.freq.log10());
+            let phase = a.phase_rel + t * (b.phase_rel - a.phase_rel);
+            return Some((10.0_f64.powf(lf), phase));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_circuit::Netlist;
+
+    fn single_pole(gain: f64, fp: f64) -> MnaSystem {
+        // gm·R = gain, pole at fp via C = 1/(2πR·fp)
+        let r = 10e3;
+        let gm = gain / r;
+        let c = 1.0 / (2.0 * PI * r * fp);
+        let text = format!("* sp\nG1 out 0 in 0 {gm}\nR1 out 0 {r}\nC1 out 0 {c}\n.end\n");
+        MnaSystem::new(&Netlist::parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn frequency_grid_is_logarithmic_and_bounded() {
+        let cfg = SweepConfig {
+            f_start: 1.0,
+            f_stop: 1e6,
+            points_per_decade: 10,
+        };
+        let f = cfg.frequencies();
+        assert!((f[0] - 1.0).abs() < 1e-9);
+        assert!((f.last().unwrap() - 1e6).abs() / 1e6 < 1e-9);
+        // Log spacing: constant ratio.
+        let r0 = f[1] / f[0];
+        let r1 = f[2] / f[1];
+        assert!((r0 - r1).abs() / r0 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep")]
+    fn bad_grid_panics() {
+        SweepConfig {
+            f_start: 0.0,
+            f_stop: 1.0,
+            points_per_decade: 10,
+        }
+        .frequencies();
+    }
+
+    #[test]
+    fn single_pole_unity_crossing_at_gbw() {
+        // gain 1000, pole 1 kHz → GBW ≈ 1 MHz.
+        let sys = single_pole(1000.0, 1e3);
+        let pts = sweep(
+            &sys,
+            &SweepConfig {
+                f_start: 1.0,
+                f_stop: 1e8,
+                points_per_decade: 40,
+            },
+        )
+        .unwrap();
+        let (f_u, phase) = unity_crossing(&pts).unwrap();
+        assert!((f_u / 1e6 - 1.0).abs() < 0.01, "GBW {f_u}");
+        // Single-pole: −90° of relative phase at crossing → PM 90°.
+        assert!((phase + 90.0).abs() < 1.5, "phase {phase}");
+    }
+
+    #[test]
+    fn phase_is_continuous() {
+        let sys = single_pole(1000.0, 1e3);
+        let pts = sweep(&sys, &SweepConfig::default()).unwrap();
+        for w in pts.windows(2) {
+            assert!((w[1].phase_rel - w[0].phase_rel).abs() < 60.0);
+        }
+        assert_eq!(pts[0].phase_rel, 0.0);
+    }
+
+    #[test]
+    fn no_crossing_for_sub_unity_gain() {
+        let sys = single_pole(0.5, 1e3);
+        let pts = sweep(&sys, &SweepConfig::default()).unwrap();
+        assert!(unity_crossing(&pts).is_none());
+    }
+
+    #[test]
+    fn gain_db_helper() {
+        let p = AcPoint {
+            freq: 1.0,
+            h: Complex64::from_real(10.0),
+            phase_rel: 0.0,
+        };
+        assert!((p.gain_db() - 20.0).abs() < 1e-12);
+    }
+}

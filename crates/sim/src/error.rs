@@ -1,0 +1,89 @@
+use artisan_math::MathError;
+use std::fmt;
+
+/// Error type for simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix is singular or ill-conditioned at some frequency —
+    /// the circuit is degenerate (floating node, zero-resistance loop).
+    IllConditioned {
+        /// Frequency in Hz at which the solve broke down (0.0 for the DC
+        /// operating solve).
+        frequency: f64,
+    },
+    /// The gain never crosses unity within the swept band, so GBW and PM
+    /// are undefined.
+    NoUnityCrossing,
+    /// The circuit has at least one right-half-plane pole; AC metrics are
+    /// meaningless because the network is unstable.
+    Unstable {
+        /// Real part of the most unstable pole (rad/s).
+        worst_pole_re: f64,
+    },
+    /// A numerical kernel failed.
+    Math(MathError),
+    /// The netlist cannot be simulated as given.
+    BadNetlist(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllConditioned { frequency } => {
+                write!(f, "MNA system is singular near {frequency} Hz")
+            }
+            SimError::NoUnityCrossing => {
+                write!(f, "gain never crosses unity in the swept band")
+            }
+            SimError::Unstable { worst_pole_re } => {
+                write!(
+                    f,
+                    "circuit is unstable (right-half-plane pole, Re = {worst_pole_re:.3e} rad/s)"
+                )
+            }
+            SimError::Math(e) => write!(f, "numerical failure: {e}"),
+            SimError::BadNetlist(msg) => write!(f, "bad netlist: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for SimError {
+    fn from(e: MathError) -> Self {
+        SimError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SimError::NoUnityCrossing.to_string().contains("unity"));
+        assert!(SimError::IllConditioned { frequency: 10.0 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::Unstable { worst_pole_re: 1e3 }
+            .to_string()
+            .contains("unstable"));
+        assert!(SimError::BadNetlist("no output".into())
+            .to_string()
+            .contains("no output"));
+    }
+
+    #[test]
+    fn math_error_is_source() {
+        use std::error::Error;
+        let e = SimError::from(MathError::Singular(2));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,290 @@
+//! Modified Nodal Analysis over the complex field.
+//!
+//! The network equation is `Y(s)·v = i(s)` with `Y(s) = G + sC`. The input
+//! node is an ideal AC source at 1 V∠0°, handled by source elimination:
+//! its row is dropped (the source supplies whatever current KCL demands)
+//! and its column contributions move to the right-hand side.
+
+use crate::error::SimError;
+use crate::Result;
+use artisan_circuit::{Element, Netlist, Node};
+use artisan_math::{lu::LuDecomposition, CMatrix, Complex64};
+use std::collections::HashMap;
+
+/// An assembled MNA system for one netlist, reusable across frequencies.
+///
+/// Construction indexes the unknown nodes once; each call to
+/// [`MnaSystem::solve`] stamps `G + sC` and LU-solves.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Topology;
+/// use artisan_sim::mna::MnaSystem;
+/// use artisan_math::Complex64;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let netlist = Topology::nmc_example().elaborate()?;
+/// let sys = MnaSystem::new(&netlist)?;
+/// let h0 = sys.transfer(Complex64::ZERO)?; // DC gain (signed)
+/// assert!(h0.abs() > 1e4); // ≥ 80 dB
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    elements: Vec<Element>,
+    index: HashMap<Node, usize>,
+    out_index: usize,
+    dim: usize,
+}
+
+impl MnaSystem {
+    /// Indexes the netlist's unknown nodes and validates that an output
+    /// node exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadNetlist`] when the netlist has no `out` node
+    /// or no elements.
+    pub fn new(netlist: &Netlist) -> Result<Self> {
+        if netlist.element_count() == 0 {
+            return Err(SimError::BadNetlist("netlist is empty".into()));
+        }
+        let unknowns = netlist.unknown_nodes();
+        let index: HashMap<Node, usize> = unknowns
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(k, n)| (n, k))
+            .collect();
+        let out_index = *index
+            .get(&Node::Output)
+            .ok_or_else(|| SimError::BadNetlist("netlist has no `out` node".into()))?;
+        Ok(MnaSystem {
+            elements: netlist.elements().to_vec(),
+            index,
+            out_index,
+            dim: unknowns.len(),
+        })
+    }
+
+    /// Number of unknown node voltages.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Assembles `Y(s)` and the source-eliminated right-hand side for unit
+    /// input drive.
+    pub fn assemble(&self, s: Complex64) -> (CMatrix, Vec<Complex64>) {
+        let mut y = CMatrix::zeros(self.dim, self.dim);
+        let mut rhs = vec![Complex64::ZERO; self.dim];
+        let v_in = Complex64::ONE;
+
+        // Adds `val` at (row=node r, col=node c) with source elimination:
+        // ground rows/cols vanish, the input column feeds the RHS, and the
+        // input row is skipped (the source balances its own KCL).
+        let mut add = |r: Node, c: Node, val: Complex64| {
+            let Some(&ri) = self.index.get(&r) else {
+                return;
+            };
+            match c {
+                Node::Ground => {}
+                Node::Input => rhs[ri] -= val * v_in,
+                other => {
+                    let ci = self.index[&other];
+                    y.stamp(ri, ci, val);
+                }
+            }
+        };
+
+        for e in &self.elements {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    let g = Complex64::from_real(1.0 / ohms.value());
+                    add(*a, *a, g);
+                    add(*a, *b, -g);
+                    add(*b, *b, g);
+                    add(*b, *a, -g);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    let g = s * Complex64::from_real(farads.value());
+                    add(*a, *a, g);
+                    add(*a, *b, -g);
+                    add(*b, *b, g);
+                    add(*b, *a, -g);
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                    ..
+                } => {
+                    let g = Complex64::from_real(gm.value());
+                    // I = gm·(v(cp) − v(cn)) leaves out_p, enters out_n.
+                    add(*out_p, *ctrl_p, g);
+                    add(*out_p, *ctrl_n, -g);
+                    add(*out_n, *ctrl_p, -g);
+                    add(*out_n, *ctrl_n, g);
+                }
+            }
+        }
+        (y, rhs)
+    }
+
+    /// Solves for all node voltages at complex frequency `s` under unit
+    /// input drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllConditioned`] when `Y(s)` is singular.
+    pub fn solve(&self, s: Complex64) -> Result<Vec<Complex64>> {
+        let (y, rhs) = self.assemble(s);
+        let lu = LuDecomposition::new(y).map_err(|_| SimError::IllConditioned {
+            frequency: s.im / (2.0 * std::f64::consts::PI),
+        })?;
+        Ok(lu.solve(&rhs)?)
+    }
+
+    /// The transfer function `H(s) = v(out)/v(in)` at `s` (signed complex
+    /// value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MnaSystem::solve`] failures.
+    pub fn transfer(&self, s: Complex64) -> Result<Complex64> {
+        Ok(self.solve(s)?[self.out_index])
+    }
+
+    /// Evaluates the network determinant `det(Y(s))` — the denominator of
+    /// every network function; its roots are the circuit's poles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] only for internal dimension bugs.
+    pub fn determinant(&self, s: Complex64) -> Result<Complex64> {
+        let (y, _) = self.assemble(s);
+        Ok(artisan_math::lu::det(y)?)
+    }
+
+    /// Evaluates the Cramer numerator for the output node: `det(Y(s))`
+    /// with the output column replaced by the right-hand side. The ratio
+    /// numerator/determinant equals `H(s)`; its roots are the zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] only for internal dimension bugs.
+    pub fn numerator(&self, s: Complex64) -> Result<Complex64> {
+        let (mut y, rhs) = self.assemble(s);
+        for r in 0..self.dim {
+            y[(r, self.out_index)] = rhs[r];
+        }
+        Ok(artisan_math::lu::det(y)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_circuit::{Netlist, Topology};
+    use std::f64::consts::PI;
+
+    /// Single-pole RC low-pass driven through a unity-gm stage:
+    /// H(0) = −gm·R, pole at 1/(2πRC).
+    fn rc_stage(r: f64, c: f64, gm: f64) -> Netlist {
+        let text = format!(
+            "* rc stage\nG1 out 0 in 0 {gm}\nR1 out 0 {r}\nC1 out 0 {c}\n.end\n"
+        );
+        Netlist::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn dc_gain_of_rc_stage_is_minus_gm_r() {
+        let sys = MnaSystem::new(&rc_stage(10e3, 1e-9, 1e-3)).unwrap();
+        let h0 = sys.transfer(Complex64::ZERO).unwrap();
+        assert!((h0.re + 10.0).abs() < 1e-9, "{h0}");
+        assert!(h0.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_stage_rolls_off_3db_at_pole() {
+        let (r, c) = (10e3, 1e-9);
+        let fp = 1.0 / (2.0 * PI * r * c);
+        let sys = MnaSystem::new(&rc_stage(r, c, 1e-3)).unwrap();
+        let h = sys.transfer(Complex64::jomega(2.0 * PI * fp)).unwrap();
+        let expected = 10.0 / 2.0_f64.sqrt();
+        assert!((h.abs() - expected).abs() / expected < 1e-9);
+        // Phase: 180° (inversion) − 45° at the pole.
+        let phase = h.arg().to_degrees();
+        assert!((phase - 135.0).abs() < 1e-6, "phase {phase}");
+    }
+
+    #[test]
+    fn voltage_divider_through_input_column() {
+        // in -R1- out -R2- gnd: H = R2/(R1+R2), no VCCS involved.
+        let n = Netlist::parse("* div\nR1 in out 1k\nR2 out 0 3k\n.end\n").unwrap();
+        let sys = MnaSystem::new(&n).unwrap();
+        let h = sys.transfer(Complex64::ZERO).unwrap();
+        assert!((h.re - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmc_example_dc_gain_matches_formula() {
+        let topo = Topology::nmc_example();
+        let netlist = topo.elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        let h0 = sys.transfer(Complex64::ZERO).unwrap();
+        let expected = topo.skeleton.dc_gain();
+        // Overall polarity is positive: (−A1)(+A2)(−A3) = +A1·A2·A3.
+        assert!(h0.re > 0.0);
+        assert!((h0.re - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn determinant_and_numerator_reproduce_transfer() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        let s = Complex64::jomega(2.0 * PI * 12.3e3);
+        let h_direct = sys.transfer(s).unwrap();
+        let h_cramer = sys.numerator(s).unwrap() / sys.determinant(s).unwrap();
+        assert!((h_direct - h_cramer).abs() / h_direct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let n = Netlist::new("empty", vec![]);
+        assert!(matches!(
+            MnaSystem::new(&n),
+            Err(SimError::BadNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn netlist_without_output_rejected() {
+        let n = Netlist::parse("* no out\nR1 n1 0 1k\n.end\n").unwrap();
+        assert!(matches!(MnaSystem::new(&n), Err(SimError::BadNetlist(_))));
+    }
+
+    #[test]
+    fn floating_node_is_ill_conditioned_at_dc() {
+        // n1 connects only through capacitors: G is singular at s = 0.
+        let n = Netlist::parse("* float\nC1 in n1 1p\nC2 n1 out 1p\nR1 out 0 1k\n.end\n")
+            .unwrap();
+        let sys = MnaSystem::new(&n).unwrap();
+        assert!(matches!(
+            sys.transfer(Complex64::ZERO),
+            Err(SimError::IllConditioned { .. })
+        ));
+        // But solvable at AC.
+        assert!(sys.transfer(Complex64::jomega(1e3)).is_ok());
+    }
+
+    #[test]
+    fn dim_counts_unknowns() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        assert_eq!(sys.dim(), 3); // n1, n2, out
+    }
+}

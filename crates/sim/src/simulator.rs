@@ -1,0 +1,276 @@
+use crate::ac::{sweep, unity_crossing, SweepConfig};
+use crate::cost::CostLedger;
+use crate::error::SimError;
+use crate::metrics::{Performance, PowerModel};
+use crate::mna::MnaSystem;
+use crate::poles::{pole_zero, PoleZero, PoleZeroConfig};
+use crate::Result;
+use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
+use artisan_circuit::{Netlist, Topology};
+use artisan_math::Complex64;
+
+/// Analysis configuration: sweep band, pole extraction, and power model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalysisConfig {
+    /// AC sweep settings.
+    pub sweep: SweepConfig,
+    /// Pole/zero extraction settings.
+    pub pole_zero: PoleZeroConfig,
+    /// Static power model.
+    pub power: PowerModel,
+    /// When true, an unstable circuit is an error; when false the report
+    /// carries `stable = false` with AC metrics left as measured.
+    pub reject_unstable: bool,
+}
+
+/// Everything one analysis produces: metrics, poles/zeros, stability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// The four metrics + FoM.
+    pub performance: Performance,
+    /// Extracted poles and zeros.
+    pub pole_zero: PoleZero,
+    /// True when all poles are in the left half-plane.
+    pub stable: bool,
+}
+
+/// The simulator façade: analyzes netlists/topologies and bills each run
+/// to its internal [`CostLedger`].
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Topology;
+/// use artisan_sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = Simulator::new();
+/// let report = sim.analyze_topology(&Topology::nmc_example())?;
+/// assert!(report.stable);
+/// assert_eq!(sim.ledger().simulations(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    config: AnalysisConfig,
+    ledger: CostLedger,
+}
+
+impl Simulator {
+    /// A simulator with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A simulator with explicit configuration.
+    pub fn with_config(config: AnalysisConfig) -> Self {
+        Simulator {
+            config,
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The accumulated cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Resets the cost ledger (e.g. between experiment trials).
+    pub fn reset_ledger(&mut self) {
+        self.ledger = CostLedger::new();
+    }
+
+    /// Mutable access to the ledger, so callers (agents, optimizers) can
+    /// bill their own LLM/optimizer steps to the same time account.
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// Analyzes a topology: elaborate, then [`Simulator::analyze_netlist`]
+    /// with the topology-aware power model and the topology's load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and analysis failures.
+    pub fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        let netlist = topo
+            .elaborate()
+            .map_err(|e| SimError::BadNetlist(e.to_string()))?;
+        let power = self.config.power.power_of_topology(topo);
+        self.analyze_inner(&netlist, topo.skeleton.cl.value(), Some(power))
+    }
+
+    /// Analyzes a flat netlist. The load capacitance (for FoM) is taken
+    /// from the `CL` element; power comes from the netlist power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadNetlist`] when no `CL` element exists, plus
+    /// all analysis failures.
+    pub fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        let cl = netlist
+            .find("CL")
+            .map(|e| e.value())
+            .ok_or_else(|| SimError::BadNetlist("netlist has no CL load element".into()))?;
+        self.analyze_inner(netlist, cl, None)
+    }
+
+    fn analyze_inner(
+        &mut self,
+        netlist: &Netlist,
+        cl: f64,
+        power_override: Option<Watts>,
+    ) -> Result<AnalysisReport> {
+        self.ledger.record_simulation();
+        let sys = MnaSystem::new(netlist)?;
+
+        // Stability first: metrics of an unstable network are fiction.
+        let pz = pole_zero(&sys, netlist, &self.config.pole_zero)?;
+        let stable = pz.is_stable();
+        if !stable && self.config.reject_unstable {
+            return Err(SimError::Unstable {
+                worst_pole_re: pz.worst_pole_re(),
+            });
+        }
+
+        // DC gain: exact s = 0 solve, falling back to the sweep floor for
+        // networks with capacitively-coupled (DC-floating) internal nodes.
+        let h0 = match sys.transfer(Complex64::ZERO) {
+            Ok(h) => h,
+            Err(SimError::IllConditioned { .. }) => sys.transfer(Complex64::jomega(
+                2.0 * std::f64::consts::PI * self.config.sweep.f_start,
+            ))?,
+            Err(e) => return Err(e),
+        };
+        if h0.abs() <= 0.0 || !h0.is_finite() {
+            return Err(SimError::BadNetlist("zero or non-finite DC gain".into()));
+        }
+        let gain = Decibels::from_ratio(h0.abs());
+
+        let points = sweep(&sys, &self.config.sweep)?;
+        let (gbw_hz, phase_at_unity) =
+            unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
+        // Phase margin: 180° + relative phase accumulated from DC.
+        let pm = 180.0 + phase_at_unity;
+
+        let power = power_override.unwrap_or_else(|| self.config.power.power_of_netlist(netlist));
+
+        let performance = Performance {
+            gain,
+            gbw: Hertz(gbw_hz),
+            pm: Degrees(pm),
+            power,
+            fom: Performance::fom_of(gbw_hz, cl, power.value()),
+        };
+        Ok(AnalysisReport {
+            performance,
+            pole_zero: pz,
+            stable,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_circuit::Topology;
+
+    #[test]
+    fn nmc_example_meets_g1_shape() {
+        let mut sim = Simulator::new();
+        let report = sim.analyze_topology(&Topology::nmc_example()).unwrap();
+        let p = &report.performance;
+        // The paper's worked example: ~118 dB, ~1 MHz, PM ≈ 60°, ~50 µW.
+        assert!(p.gain.value() > 100.0, "gain {}", p.gain);
+        assert!(
+            p.gbw.value() > 0.5e6 && p.gbw.value() < 2e6,
+            "gbw {}",
+            p.gbw
+        );
+        assert!(p.pm.value() > 45.0 && p.pm.value() < 90.0, "pm {}", p.pm);
+        assert!(p.power.value() < 120e-6, "power {}", p.power);
+        assert!(report.stable);
+    }
+
+    #[test]
+    fn dfc_example_drives_1nf() {
+        let mut sim = Simulator::new();
+        let report = sim.analyze_topology(&Topology::dfc_example()).unwrap();
+        assert!(report.stable, "poles {:?}", report.pole_zero.poles);
+        assert!(report.performance.pm.value() > 30.0, "{}", report.performance);
+    }
+
+    #[test]
+    fn nmc_without_compensation_is_underdamped_or_fails() {
+        // Stripping both Miller caps from the NMC example leaves three
+        // uncompensated high-gain stages: PM collapses (or the crossing
+        // region rings). The simulator must expose this, not hide it.
+        let mut topo = Topology::nmc_example();
+        topo.clear_position(artisan_circuit::Position::N1ToOut);
+        topo.clear_position(artisan_circuit::Position::N2ToOut);
+        let mut sim = Simulator::new();
+        match sim.analyze_topology(&topo) {
+            Ok(report) => assert!(
+                report.performance.pm.value() < 45.0,
+                "uncompensated PM {}",
+                report.performance.pm
+            ),
+            Err(SimError::NoUnityCrossing) | Err(SimError::IllConditioned { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn ledger_counts_analyses() {
+        let mut sim = Simulator::new();
+        let t = Topology::nmc_example();
+        sim.analyze_topology(&t).unwrap();
+        sim.analyze_topology(&t).unwrap();
+        assert_eq!(sim.ledger().simulations(), 2);
+        sim.reset_ledger();
+        assert_eq!(sim.ledger().simulations(), 0);
+    }
+
+    #[test]
+    fn analyze_netlist_requires_cl() {
+        let n = artisan_circuit::Netlist::parse("* x\nG1 out 0 in 0 1m\nR1 out 0 10k\n.end\n")
+            .unwrap();
+        let mut sim = Simulator::new();
+        assert!(matches!(
+            sim.analyze_netlist(&n),
+            Err(SimError::BadNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_netlist_from_text_roundtrip() {
+        let topo = Topology::nmc_example();
+        let text = topo.elaborate().unwrap().to_text();
+        let netlist = artisan_circuit::Netlist::parse(&text).unwrap();
+        let mut sim = Simulator::new();
+        let report = sim.analyze_netlist(&netlist).unwrap();
+        assert!(report.performance.gain.value() > 100.0);
+    }
+
+    #[test]
+    fn reject_unstable_config() {
+        let n = artisan_circuit::Netlist::parse(
+            "* unstable\nG1 0 out out 0 1m\nR1 out 0 10k\nC1 out 0 1p\nR2 in out 1meg\nCL out 0 1p\n.end\n",
+        )
+        .unwrap();
+        let mut sim = Simulator::with_config(AnalysisConfig {
+            reject_unstable: true,
+            ..AnalysisConfig::default()
+        });
+        assert!(matches!(
+            sim.analyze_netlist(&n),
+            Err(SimError::Unstable { .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the simulator: physical invariants that must
+//! hold over the whole sampled design space.
+
+use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::{Netlist, Topology};
+use artisan_math::Complex64;
+use artisan_sim::mna::MnaSystem;
+use artisan_sim::poles::{pole_zero, PoleZeroConfig};
+use artisan_sim::{SimError, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Passive RC networks are unconditionally stable: every pole of a
+    /// random resistor/capacitor ladder lies in the closed left
+    /// half-plane.
+    #[test]
+    fn passive_networks_are_stable(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Build a random RC ladder: in -R- x0 -R- x1 … -R- out, with a
+        // random shunt R or C at every internal node.
+        let stages = rng.gen_range(2..5);
+        let mut text = String::from("* rc ladder\n");
+        let mut prev = "in".to_string();
+        for k in 0..stages {
+            let node = if k == stages - 1 { "out".to_string() } else { format!("x{k}") };
+            let r = rng.gen_range(1e2..1e6);
+            text.push_str(&format!("R{k} {prev} {node} {r}\n"));
+            let c = rng.gen_range(1e-13..1e-9);
+            text.push_str(&format!("C{k} {node} 0 {c:e}\n"));
+            prev = node;
+        }
+        text.push_str("Rload out 0 1meg\n.end\n");
+        let netlist = Netlist::parse(&text).expect("generated netlist parses");
+        let sys = MnaSystem::new(&netlist).expect("builds");
+        let pz = pole_zero(&sys, &netlist, &PoleZeroConfig::default()).expect("extracts");
+        prop_assert!(pz.is_stable(), "unstable passive network: {:?}", pz.poles);
+        // And the DC transfer of a resistive ladder is in (0, 1].
+        let h0 = sys.transfer(Complex64::ZERO).expect("solves");
+        prop_assert!(h0.re > 0.0 && h0.re <= 1.0 + 1e-9, "{h0}");
+    }
+
+    /// The MNA solution satisfies its own system: ‖Y·v − i‖ is tiny at a
+    /// random frequency for random sampled topologies.
+    #[test]
+    fn mna_solution_satisfies_kcl(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = topo.elaborate().expect("valid");
+        let sys = MnaSystem::new(&netlist).expect("builds");
+        let f = 10f64.powf(rng.gen_range(0.0..8.0));
+        let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+        if let Ok(v) = sys.solve(s) {
+            let (y, rhs) = sys.assemble(s);
+            let yv = y.mul_vec(&v).expect("dims");
+            let res: f64 = yv.iter().zip(&rhs)
+                .map(|(a, b)| (*a - *b).abs_sq()).sum::<f64>().sqrt();
+            let scale: f64 = rhs.iter().map(|b| b.abs_sq()).sum::<f64>().sqrt().max(1e-12);
+            prop_assert!(res / scale < 1e-7, "residual {res}");
+        }
+    }
+
+    /// H(−jω) is the conjugate of H(jω) — real networks have Hermitian
+    /// transfer functions.
+    #[test]
+    fn transfer_is_hermitian(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = topo.elaborate().expect("valid");
+        let sys = MnaSystem::new(&netlist).expect("builds");
+        let w = 10f64.powf(rng.gen_range(2.0..8.0));
+        if let (Ok(hp), Ok(hm)) = (
+            sys.transfer(Complex64::jomega(w)),
+            sys.transfer(Complex64::jomega(-w)),
+        ) {
+            prop_assert!((hp - hm.conj()).abs() <= 1e-9 * hp.abs().max(1e-9));
+        }
+    }
+
+    /// The simulator never reports success-grade metrics for an unstable
+    /// network: either `stable` is false or every pole is in the LHP.
+    #[test]
+    fn stability_flag_is_consistent(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let mut sim = Simulator::new();
+        match sim.analyze_topology(&topo) {
+            Ok(report) => {
+                prop_assert_eq!(report.stable, report.pole_zero.is_stable());
+            }
+            Err(SimError::NoUnityCrossing)
+            | Err(SimError::IllConditioned { .. })
+            | Err(SimError::Math(_))
+            | Err(SimError::BadNetlist(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}
+
+/// Deterministic spot-check kept outside proptest: the paper's example
+/// circuit is analyzed identically every time (regression guard for the
+/// whole stack).
+#[test]
+fn nmc_example_metrics_are_reproducible() {
+    let mut sim = Simulator::new();
+    let a = sim.analyze_topology(&Topology::nmc_example()).expect("ok");
+    let b = sim.analyze_topology(&Topology::nmc_example()).expect("ok");
+    assert_eq!(a.performance, b.performance);
+    assert_eq!(a.pole_zero, b.pole_zero);
+}

@@ -1,0 +1,34 @@
+//! Quickstart: design one opamp for the paper's G-1 specification and
+//! print everything Artisan produces — the chat transcript (Fig. 7
+//! style), the ToT decision trace, the verified metrics, the behavioural
+//! netlist, and the transistor-level mapping (Fig. 6(c)/(d)).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use artisan::prelude::*;
+
+fn main() {
+    // The fast configuration skips LLM training (the knowledge-base
+    // fallback produces the same designs); see `trained_designer.rs`
+    // for the full DAPT+SFT pipeline.
+    let mut artisan = Artisan::new(ArtisanOptions::fast());
+    let spec = Spec::g1();
+    println!("=== Specification (Table 2, G-1) ===\n{spec}\n");
+
+    let outcome = artisan.design(&spec, 0);
+
+    println!("=== Chat transcript ===\n{}", outcome.design.transcript);
+    println!("=== ToT decision trace ===\n{}", outcome.design.tot_trace);
+
+    if let Some(report) = &outcome.design.report {
+        println!("=== Verified performance ===\n{}\n", report.performance);
+        println!("Success: {}", outcome.design.success);
+        println!(
+            "Design time (testbed-equivalent): {}",
+            artisan::sim::cost::format_testbed_time(outcome.testbed_seconds)
+        );
+    }
+
+    println!("\n=== Behavioural netlist ===\n{}", outcome.design.netlist_text);
+    println!("=== Transistor-level netlist (gm/Id mapping) ===\n{}", outcome.transistor_netlist);
+}
