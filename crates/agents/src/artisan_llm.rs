@@ -65,7 +65,12 @@ impl ArtisanLlmAgent {
 
     /// Trains the underlying [`DomainLm`] on the opamp dataset: DAPT on
     /// the pre-training documents, SFT on the fine-tuning pairs.
-    pub fn train(dataset: &OpampDataset, vocab_budget: usize, order: usize, noise: NoiseModel) -> Self {
+    pub fn train(
+        dataset: &OpampDataset,
+        vocab_budget: usize,
+        order: usize,
+        noise: NoiseModel,
+    ) -> Self {
         let mut lm = DomainLm::new(vocab_budget, order);
         lm.pretrain(&dataset.pretraining_documents());
         lm.fine_tune(&dataset.fine_tuning_pairs());
@@ -122,8 +127,7 @@ impl ArtisanLlmAgent {
     /// Samples whether this design session contains a blunder, and if
     /// so, the gross factor to apply to one parameter.
     pub fn sample_blunder<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
-        if self.noise.blunder_rate > 0.0 && rng.gen_bool(self.noise.blunder_rate.clamp(0.0, 1.0))
-        {
+        if self.noise.blunder_rate > 0.0 && rng.gen_bool(self.noise.blunder_rate.clamp(0.0, 1.0)) {
             // A wrong-by-construction factor: the kind of error a
             // mis-retrieved formula produces (e.g. dropping the factor 4
             // of the Butterworth relation, or squaring a ratio).
@@ -146,7 +150,10 @@ mod tests {
         let agent = ArtisanLlmAgent::untrained(NoiseModel::noiseless());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(!agent.is_trained());
-        assert_eq!(agent.rationale("anything", "FALLBACK", &mut rng), "FALLBACK");
+        assert_eq!(
+            agent.rationale("anything", "FALLBACK", &mut rng),
+            "FALLBACK"
+        );
     }
 
     #[test]

@@ -155,15 +155,14 @@ impl<'a> Parser<'a> {
             let is_part = c.is_ascii_digit()
                 || c == '.'
                 || c.is_ascii_alphabetic()
-                || ((c == '+' || c == '-')
-                    && matches!(self.src[self.pos - 1] as char, 'e' | 'E'));
+                || ((c == '+' || c == '-') && matches!(self.src[self.pos - 1] as char, 'e' | 'E'));
             if !is_part {
                 break;
             }
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-        parse_si(text).ok_or_else(|| CalcError {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]);
+        parse_si(&text).ok_or_else(|| CalcError {
             position: start,
             message: format!("cannot parse number `{text}`"),
         })
@@ -174,7 +173,7 @@ impl<'a> Parser<'a> {
         while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_alphanumeric() {
             self.pos += 1;
         }
-        let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        let name = String::from_utf8_lossy(&self.src[start..self.pos]);
         match name.to_ascii_lowercase().as_str() {
             "pi" => Ok(std::f64::consts::PI),
             "e" => Ok(std::f64::consts::E),

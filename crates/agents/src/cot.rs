@@ -56,6 +56,7 @@ pub struct CotResult {
 
 /// Runs the eight-step flow for `architecture` at `target`, narrating
 /// into `transcript`. One LLM exchange is appended per step.
+#[allow(clippy::expect_used)] // recipe placements and {:e}-formatted expressions cannot fail
 pub fn run_design_flow<R: Rng + ?Sized>(
     agent: &ArtisanLlmAgent,
     architecture: Architecture,
@@ -164,10 +165,7 @@ pub fn run_design_flow<R: Rng + ?Sized>(
                     .expect("well-formed expression");
                 transcript.tool(
                     idx,
-                    format!(
-                        "calculator: 8*pi*GBW*CL = {}S",
-                        format_si(gm3_exact)
-                    ),
+                    format!("calculator: 8*pi*GBW*CL = {}S", format_si(gm3_exact)),
                 );
                 let mut text = format!(
                     "Setting GBW = {}Hz: gm3 = 8*pi*GBW*CL = {}S. With Cm1 = {}F we get \
@@ -179,7 +177,10 @@ pub fn run_design_flow<R: Rng + ?Sized>(
                     format_si(gm2),
                 );
                 if let Some(c2) = cm2 {
-                    text.push_str(&format!(" The inner Miller capacitor is Cm2 = {}F.", format_si(c2)));
+                    text.push_str(&format!(
+                        " The inner Miller capacitor is Cm2 = {}F.",
+                        format_si(c2)
+                    ));
                 }
                 if let Some((gm4, cm3)) = dfc {
                     text.push_str(&format!(
@@ -191,8 +192,7 @@ pub fn run_design_flow<R: Rng + ?Sized>(
                 text
             }
             DesignStep::GainAllocation => {
-                let (a1, a2, a3) =
-                    artisan_circuit::design::intrinsic_gains_for(target.gain_db);
+                let (a1, a2, a3) = artisan_circuit::design::intrinsic_gains_for(target.gain_db);
                 format!(
                     "Allocate intrinsic gains A1 = {a1}, A2 = {a2}, A3 = {a3} (boosted by \
                      {:.2} from feedback) so the DC gain product clears {:.0}dB.",
@@ -386,10 +386,7 @@ mod tests {
             &mut rng,
         );
         let exact = nmc_parameters(&g1_target());
-        assert!(
-            (a.topology.skeleton.stage3.gm.value() - exact.gm3.value()).abs()
-                > 1e-9
-        );
+        assert!((a.topology.skeleton.stage3.gm.value() - exact.gm3.value()).abs() > 1e-9);
     }
 
     #[test]
@@ -429,10 +426,8 @@ mod tests {
         };
         assert!((cm1_of(&shrunk.topology) / cm1_of(&base.topology) - 0.5).abs() < 1e-9);
         // gm1 follows, preserving GBW.
-        let gbw_base =
-            base.topology.skeleton.stage1.gm.value() / cm1_of(&base.topology);
-        let gbw_shrunk =
-            shrunk.topology.skeleton.stage1.gm.value() / cm1_of(&shrunk.topology);
+        let gbw_base = base.topology.skeleton.stage1.gm.value() / cm1_of(&base.topology);
+        let gbw_shrunk = shrunk.topology.skeleton.stage1.gm.value() / cm1_of(&shrunk.topology);
         assert!((gbw_base - gbw_shrunk).abs() / gbw_base < 1e-9);
     }
 }

@@ -9,7 +9,7 @@ use crate::knowledge::{Architecture, Modification};
 use crate::prompter::Prompter;
 use crate::tot::TotTrace;
 use artisan_circuit::design::DesignTarget;
-use artisan_circuit::Topology;
+use artisan_circuit::{Netlist, Topology};
 use artisan_dataset::OpampDataset;
 use artisan_sim::{AnalysisReport, Simulator, Spec};
 use rand::Rng;
@@ -65,6 +65,19 @@ pub struct DesignOutcome {
     pub architecture: Architecture,
     /// The final behavioural netlist text.
     pub netlist_text: String,
+}
+
+/// Runs the electrical-rule checker over an elaborated netlist and, when
+/// any Error-severity rule fires, renders the diagnostics as repair-hint
+/// text for the dialogue. Clean (or warnings-only) netlists yield `None`
+/// and proceed straight to simulation.
+fn erc_repair_hints(netlist: &Netlist) -> Option<String> {
+    let report = artisan_lint::lint(netlist);
+    if report.has_errors() {
+        Some(report.render())
+    } else {
+        None
+    }
 }
 
 /// The Artisan agent: an [`ArtisanLlmAgent`] plus the ToT/CoT
@@ -178,8 +191,19 @@ impl ArtisanAgent {
                 sim.ledger_mut().record_llm_step();
             }
 
-            // Verification (a billed simulation).
-            let (failures, report): (Vec<&str>, Option<AnalysisReport>) =
+            // ERC gate before the simulation-feedback step: a netlist
+            // that is structurally broken never reaches the simulator;
+            // its diagnostics become repair hints in the dialogue.
+            let erc_hints = match cot.topology.elaborate() {
+                Ok(netlist) => erc_repair_hints(&netlist),
+                Err(e) => Some(format!("elaboration failed: {e}")),
+            };
+
+            // Verification (a billed simulation) — skipped when the ERC
+            // already rejected the netlist.
+            let (failures, report): (Vec<&str>, Option<AnalysisReport>) = if erc_hints.is_some() {
+                (vec!["PM"], None)
+            } else {
                 match sim.analyze_topology(&cot.topology) {
                     Ok(report) => {
                         let check = spec.check(&report.performance);
@@ -190,10 +214,10 @@ impl ArtisanAgent {
                         (fails, Some(report))
                     }
                     Err(_) => (vec!["PM"], None),
-                };
+                }
+            };
 
-            let success = failures.is_empty()
-                && report.as_ref().map(|r| r.stable).unwrap_or(false);
+            let success = failures.is_empty() && report.as_ref().map(|r| r.stable).unwrap_or(false);
             if let Some(r) = report {
                 let keep = match &best {
                     None => true,
@@ -209,8 +233,10 @@ impl ArtisanAgent {
 
             // ToT modification (the Q9-style feedback exchange).
             let q = transcript.question(Prompter::feedback_question(&failures, spec));
-            let Some(modification) =
-                tot_trace.decide_modification(architecture, &failures, spec)
+            if let Some(hints) = &erc_hints {
+                transcript.tool(q, format!("erc: {hints}"));
+            }
+            let Some(modification) = tot_trace.decide_modification(architecture, &failures, spec)
             else {
                 transcript.answer(q, "No applicable modification strategy remains.");
                 break;
@@ -355,6 +381,38 @@ mod tests {
         assert!(
             (12..=20).contains(&successes),
             "success {successes}/20 outside the paper band"
+        );
+    }
+
+    #[test]
+    fn erc_hints_are_none_for_recipe_netlists() {
+        // Every recipe topology elaborates to a lint-clean netlist, so
+        // the dialogue hook stays silent on the normal path.
+        for topo in [Topology::nmc_example(), Topology::dfc_example()] {
+            let netlist = topo.elaborate().expect("recipe elaborates");
+            assert_eq!(erc_repair_hints(&netlist), None);
+        }
+    }
+
+    #[test]
+    fn erc_hints_render_diagnostics_for_broken_netlists() {
+        // A capacitor ladder with no DC path to n1: the ERC rejects it
+        // and the rendered hints carry the stable rule codes the agent
+        // dialogue surfaces as a tool turn.
+        let netlist = Netlist::parse(
+            "* float\nG1 out 0 in 0 1m\nC1 out n1 1p\nC2 n1 0 1p\nR1 out 0 1k\nCL out 0 1p\n.end\n",
+        )
+        .expect("parses");
+        let hints = erc_repair_hints(&netlist).expect("erc fires");
+        assert!(hints.contains("ERC006"), "{hints}");
+    }
+
+    #[test]
+    fn clean_session_transcript_has_no_erc_tool_turns() {
+        let (outcome, _) = run(&Spec::g1(), 0);
+        assert!(
+            !outcome.transcript.to_string().contains("erc:"),
+            "unexpected ERC turn in a clean session"
         );
     }
 

@@ -179,7 +179,8 @@ pub fn select_modification(
     spec: &Spec,
 ) -> Option<Modification> {
     let failing = |m: &str| failures.contains(&m);
-    if (failing("Power") || failing("PM")) && spec.cl.value() > 100e-12
+    if (failing("Power") || failing("PM"))
+        && spec.cl.value() > 100e-12
         && current != Architecture::DfcNmc
     {
         return Some(Modification::SwitchToDfc);

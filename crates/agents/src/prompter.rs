@@ -80,9 +80,7 @@ impl Prompter {
             DesignStep::ZeroPoleAnalysis => {
                 "Based on the process, please analyze the zero-pole distributions.".to_string()
             }
-            DesignStep::PoleAllocation => {
-                "How should these poles be allocated?".to_string()
-            }
+            DesignStep::PoleAllocation => "How should these poles be allocated?".to_string(),
             DesignStep::ParameterSolving => {
                 "Please solve the main design parameters from these equations.".to_string()
             }
@@ -95,9 +93,7 @@ impl Prompter {
             DesignStep::NetlistEmission => {
                 "Design completed. Please give the final netlist.".to_string()
             }
-            DesignStep::Verification => {
-                "How is the design verified?".to_string()
-            }
+            DesignStep::Verification => "How is the design verified?".to_string(),
         }
     }
 

@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release -p artisan-bench --bin ablations [--trials 10]`
 
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use artisan_agents::artisan_llm::NoiseModel;
 use artisan_agents::{AgentConfig, ArtisanAgent};
 use artisan_bench::arg_or;
@@ -58,7 +61,10 @@ fn main() {
     let mut sim = Simulator::new();
     let butterworth = nmc_topology(&target);
     let report = sim.analyze_topology(&butterworth).expect("analyzes");
-    println!("Butterworth (gm3 = 8π·GBW·CL + safety): {}", report.performance);
+    println!(
+        "Butterworth (gm3 = 8π·GBW·CL + safety): {}",
+        report.performance
+    );
     let mut naive = butterworth.clone();
     let naive_gm3 = 2.0 * PI * target.gbw_hz * target.cl;
     naive.skeleton.stage3.gm = Siemens(naive_gm3);
@@ -96,8 +102,7 @@ fn main() {
             ..DatasetConfig::tiny()
         };
         let ds = OpampDataset::build(&cfg, 5);
-        let distinct: std::collections::BTreeSet<&String> =
-            ds.netlist_tuple_docs.iter().collect();
+        let distinct: std::collections::BTreeSet<&String> = ds.netlist_tuple_docs.iter().collect();
         println!(
             "augment_copies = {copies}: {} docs, {} distinct",
             ds.netlist_tuple_docs.len(),

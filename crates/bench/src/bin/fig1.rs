@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release -p artisan-bench --bin fig1`
 
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use artisan_circuit::{Skeleton, Topology};
 
 fn main() {
@@ -27,5 +30,11 @@ fn main() {
     println!("  load: RL = {}, CL = {}\n", skeleton.rl, skeleton.cl);
 
     println!("elaborated skeleton netlist:");
-    print!("{}", Topology::new(skeleton).elaborate().expect("valid").to_text());
+    print!(
+        "{}",
+        Topology::new(skeleton)
+            .elaborate()
+            .expect("valid")
+            .to_text()
+    );
 }

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release -p artisan-bench --bin fig3 [--seed 42]`
 
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use artisan_bench::arg_or;
 use artisan_circuit::sample::{sample_topology, SampleRanges};
 use artisan_circuit::{Netlist, NetlistTuple, Topology};
@@ -17,7 +20,10 @@ fn main() {
     let tuple = NetlistTuple::from_topology(&topo);
 
     println!("=== netlist_i (structure) ===\n{}", tuple.netlist_text());
-    println!("=== description_i (structural semantics) ===\n{}\n", tuple.description());
+    println!(
+        "=== description_i (structural semantics) ===\n{}\n",
+        tuple.description()
+    );
 
     let parsed = Netlist::parse(tuple.netlist_text()).expect("own emission parses");
     println!(

@@ -16,7 +16,12 @@ fn main() {
 
     println!("=== bottom level: the CoT design flow (NMC) ===");
     for (k, step) in DesignStep::ALL.iter().enumerate() {
-        println!("step {}: {:<20} — {}", k + 1, step.name(), Prompter::question_for(*step));
+        println!(
+            "step {}: {:<20} — {}",
+            k + 1,
+            step.name(),
+            Prompter::question_for(*step)
+        );
     }
 
     println!("\n=== live trace on G-1 ===");

@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release -p artisan-bench --bin fig6 [--quick]`
 
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use artisan_bench::quick_mode;
 use artisan_circuit::describe;
 use artisan_core::{Artisan, ArtisanOptions};

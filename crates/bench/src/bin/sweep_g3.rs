@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release -p artisan-bench --bin sweep_g3`
 
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use artisan_circuit::units::{Farads, Siemens};
 use artisan_circuit::{
     ConnectionParams, ConnectionType, Placement, Position, Skeleton, StageParams, Topology,

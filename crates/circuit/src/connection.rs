@@ -154,7 +154,10 @@ impl ConnectionType {
 
     /// Parses a mnemonic back into its type.
     pub fn from_code(code: &str) -> Option<ConnectionType> {
-        ConnectionType::ALL.iter().copied().find(|t| t.code() == code)
+        ConnectionType::ALL
+            .iter()
+            .copied()
+            .find(|t| t.code() == code)
     }
 
     /// True for connections built only from R and C.
@@ -219,8 +222,18 @@ impl ConnectionType {
 
     /// True when the elaborated network needs a transconductance value.
     pub fn needs_gm(self) -> bool {
-        self.is_active() && !matches!(self, ConnectionType::BufferedC | ConnectionType::BufferedSeriesRc | ConnectionType::CurrentBufferedC | ConnectionType::CurrentBufferedSeriesRc)
-            || matches!(self, ConnectionType::CurrentBufferedC | ConnectionType::CurrentBufferedSeriesRc)
+        self.is_active()
+            && !matches!(
+                self,
+                ConnectionType::BufferedC
+                    | ConnectionType::BufferedSeriesRc
+                    | ConnectionType::CurrentBufferedC
+                    | ConnectionType::CurrentBufferedSeriesRc
+            )
+            || matches!(
+                self,
+                ConnectionType::CurrentBufferedC | ConnectionType::CurrentBufferedSeriesRc
+            )
     }
 
     /// Additional static bias current drawn by the connection, as a
@@ -324,7 +337,10 @@ impl ConnectionParams {
 
 /// Elaborates a placed connection into primitive elements between `a` and
 /// `b`, allocating internal nodes as needed. `prefix` namespaces instance
-/// labels (e.g. `"p1"` yields `Rp1`, `Cp1a`, …).
+/// labels (e.g. `"p1"` yields `Rp1`, `Ccp1`, `Gp1`, …). Connection
+/// capacitors are labelled `Cc` so they can never collide with the
+/// skeleton's parasitic capacitors `Cp1`–`Cp3` (positions `p1`–`p3`
+/// would otherwise both produce a `Cp3`).
 ///
 /// The elaborations follow the small-signal conventions of Fig. 1(b):
 /// auxiliary gm stages carry a lumped output resistance
@@ -379,17 +395,17 @@ pub fn elaborate(
     match conn {
         Ct::Open => Vec::new(),
         Ct::Resistor => vec![resistor(format!("R{prefix}"), a, b, r)],
-        Ct::MillerCapacitor => vec![capacitor(format!("C{prefix}"), a, b, c)],
+        Ct::MillerCapacitor => vec![capacitor(format!("Cc{prefix}"), a, b, c)],
         Ct::SeriesRc => {
             let x = alloc.fresh();
             vec![
                 resistor(format!("R{prefix}"), a, x, r),
-                capacitor(format!("C{prefix}"), x, b, c),
+                capacitor(format!("Cc{prefix}"), x, b, c),
             ]
         }
         Ct::ParallelRc => vec![
             resistor(format!("R{prefix}"), a, b, r),
-            capacitor(format!("C{prefix}"), a, b, c),
+            capacitor(format!("Cc{prefix}"), a, b, c),
         ],
         Ct::PosGm => vec![
             noninverting(format!("G{prefix}"), a, b, gm),
@@ -422,7 +438,7 @@ pub fn elaborate(
             vec![
                 stage,
                 resistor(format!("Rg{prefix}"), x, Node::Ground, ro_of(gm)),
-                capacitor(format!("C{prefix}"), x, b, c),
+                capacitor(format!("Cc{prefix}"), x, b, c),
             ]
         }
         Ct::PosGmParallelC | Ct::NegGmParallelC => {
@@ -434,7 +450,7 @@ pub fn elaborate(
             vec![
                 stage,
                 resistor(format!("Rg{prefix}"), b, Node::Ground, ro_of(gm)),
-                capacitor(format!("C{prefix}"), a, b, c),
+                capacitor(format!("Cc{prefix}"), a, b, c),
             ]
         }
         Ct::PosGmParallelRc | Ct::NegGmParallelRc => {
@@ -447,7 +463,7 @@ pub fn elaborate(
                 stage,
                 resistor(format!("Rg{prefix}"), b, Node::Ground, ro_of(gm)),
                 resistor(format!("R{prefix}"), a, b, r),
-                capacitor(format!("C{prefix}"), a, b, c),
+                capacitor(format!("Cc{prefix}"), a, b, c),
             ]
         }
         Ct::BufferedC => {
@@ -462,7 +478,7 @@ pub fn elaborate(
                     ctrl_n: x,
                     gm: Siemens(BUFFER_GM),
                 },
-                capacitor(format!("C{prefix}"), x, b, c),
+                capacitor(format!("Cc{prefix}"), x, b, c),
             ]
         }
         Ct::BufferedSeriesRc => {
@@ -478,13 +494,13 @@ pub fn elaborate(
                     gm: Siemens(BUFFER_GM),
                 },
                 resistor(format!("R{prefix}"), x, y, r),
-                capacitor(format!("C{prefix}"), y, b, c),
+                capacitor(format!("Cc{prefix}"), y, b, c),
             ]
         }
         Ct::CurrentBufferedC => {
             let x = alloc.fresh();
             vec![
-                capacitor(format!("C{prefix}"), a, x, c),
+                capacitor(format!("Cc{prefix}"), a, x, c),
                 // Common-gate input impedance 1/gm at the buffer node…
                 resistor(format!("Rb{prefix}"), x, Node::Ground, 1.0 / gm),
                 // …whose current is forwarded into b.
@@ -496,7 +512,7 @@ pub fn elaborate(
             let y = alloc.fresh();
             vec![
                 resistor(format!("R{prefix}"), a, y, r),
-                capacitor(format!("C{prefix}"), y, x, c),
+                capacitor(format!("Cc{prefix}"), y, x, c),
                 resistor(format!("Rb{prefix}"), x, Node::Ground, 1.0 / gm),
                 inverting(format!("G{prefix}"), x, b, gm),
             ]
@@ -520,10 +536,10 @@ pub fn elaborate(
             ];
             if conn == Ct::DfcWithR {
                 let y = alloc.fresh();
-                elems.push(capacitor(format!("C{prefix}"), d, y, c));
+                elems.push(capacitor(format!("Cc{prefix}"), d, y, c));
                 elems.push(resistor(format!("R{prefix}"), y, a, r));
             } else {
-                elems.push(capacitor(format!("C{prefix}"), d, a, c));
+                elems.push(capacitor(format!("Cc{prefix}"), d, a, c));
             }
             elems
         }
@@ -547,7 +563,7 @@ pub fn elaborate(
             let x = alloc.fresh();
             vec![
                 resistor(format!("Ra{prefix}"), a, x, r),
-                capacitor(format!("C{prefix}"), x, Node::Ground, c),
+                capacitor(format!("Cc{prefix}"), x, Node::Ground, c),
                 resistor(format!("Rb{prefix}"), x, b, r),
             ]
         }
@@ -582,7 +598,10 @@ mod tests {
 
     #[test]
     fn passive_active_partition() {
-        let passive = ConnectionType::ALL.iter().filter(|t| t.is_passive()).count();
+        let passive = ConnectionType::ALL
+            .iter()
+            .filter(|t| t.is_passive())
+            .count();
         let active = ConnectionType::ALL.iter().filter(|t| t.is_active()).count();
         assert_eq!(passive + active, 25);
         assert_eq!(passive, 6);
@@ -616,7 +635,7 @@ mod tests {
         );
         assert_eq!(elems.len(), 1);
         assert_eq!(elems[0].value(), 4e-12);
-        assert_eq!(elems[0].label(), "Cm1");
+        assert_eq!(elems[0].label(), "Ccm1");
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn recognize_architecture(topo: &Topology) -> Option<String> {
     let outer_miller = matches!(outer, Ct::MillerCapacitor | Ct::SeriesRc);
     let inner_miller = matches!(inner, Ct::MillerCapacitor | Ct::SeriesRc);
     let has_dfc = matches!(shunt1, Ct::Dfc | Ct::DfcWithR)
-        || matches!(topo.connection_at(Position::ShuntN2), Ct::Dfc | Ct::DfcWithR);
+        || matches!(
+            topo.connection_at(Position::ShuntN2),
+            Ct::Dfc | Ct::DfcWithR
+        );
 
     if outer_miller && inner_miller {
         Some(
@@ -163,7 +166,9 @@ pub fn connection_role(conn: ConnectionType) -> &'static str {
             "non-inverting transconductance stage coupled through a series capacitor"
         }
         Ct::NegGmSeriesC => "inverting transconductance stage coupled through a series capacitor",
-        Ct::PosGmParallelC => "non-inverting transconductance stage with a parallel bypass capacitor",
+        Ct::PosGmParallelC => {
+            "non-inverting transconductance stage with a parallel bypass capacitor"
+        }
         Ct::NegGmParallelC => "inverting transconductance stage with a parallel bypass capacitor",
         Ct::PosGmParallelRc => "non-inverting transconductance stage with a parallel RC network",
         Ct::NegGmParallelRc => "inverting transconductance stage with a parallel RC network",
@@ -244,8 +249,10 @@ mod tests {
             assert!(!connection_role(t).is_empty());
         }
         // Roles are distinct enough to disambiguate the structure.
-        let roles: std::collections::BTreeSet<&str> =
-            ConnectionType::ALL.iter().map(|&t| connection_role(t)).collect();
+        let roles: std::collections::BTreeSet<&str> = ConnectionType::ALL
+            .iter()
+            .map(|&t| connection_role(t))
+            .collect();
         assert_eq!(roles.len(), 25);
     }
 

@@ -125,6 +125,7 @@ pub fn intrinsic_gains_for(gain_db: f64) -> (f64, f64, f64) {
 
 /// Builds the complete NMC topology for a target: skeleton stages from
 /// the recipe plus the two nested Miller capacitors.
+#[allow(clippy::expect_used)] // fixed recipe; placements legal by construction
 pub fn nmc_topology(target: &DesignTarget) -> Topology {
     let p = nmc_parameters(target);
     let (a1, a2, a3) = intrinsic_gains_for(target.gain_db);
@@ -206,6 +207,7 @@ pub fn dfc_parameters(target: &DesignTarget) -> DfcParameters {
 }
 
 /// Builds the DFC-modified topology for a large-load target.
+#[allow(clippy::expect_used)] // fixed recipe; placements legal by construction
 pub fn dfc_topology(target: &DesignTarget) -> Topology {
     let p = dfc_parameters(target);
     let (a1, a2, a3) = intrinsic_gains_for(target.gain_db);

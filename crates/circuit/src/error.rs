@@ -78,7 +78,9 @@ mod tests {
             value: -1.0,
         };
         assert!(e.to_string().contains("-1"));
-        assert!(CircuitError::UnknownNode("x9".into()).to_string().contains("x9"));
+        assert!(CircuitError::UnknownNode("x9".into())
+            .to_string()
+            .contains("x9"));
         assert!(CircuitError::DuplicatePlacement("P1".into())
             .to_string()
             .contains("P1"));

@@ -62,11 +62,7 @@ impl Netlist {
 
     /// The set of all nodes referenced, sorted.
     pub fn nodes(&self) -> Vec<Node> {
-        let set: BTreeSet<Node> = self
-            .elements
-            .iter()
-            .flat_map(|e| e.nodes())
-            .collect();
+        let set: BTreeSet<Node> = self.elements.iter().flat_map(|e| e.nodes()).collect();
         set.into_iter().collect()
     }
 
@@ -137,10 +133,12 @@ impl Netlist {
                 })
             };
             let first = tokens[0];
+            // Tokens come from `split_whitespace`, so they are never
+            // empty; the default char falls into the unsupported-kind arm.
             let kind = first
                 .chars()
                 .next()
-                .expect("non-empty token")
+                .unwrap_or_default()
                 .to_ascii_uppercase();
             match kind {
                 'R' | 'C' => {

@@ -228,8 +228,14 @@ mod tests {
 
     #[test]
     fn shunts_reject_bare_gm() {
-        assert!(!PositionRules::allows(Position::ShuntN1, ConnectionType::NegGm));
-        assert!(PositionRules::allows(Position::ShuntN1, ConnectionType::SeriesRc));
+        assert!(!PositionRules::allows(
+            Position::ShuntN1,
+            ConnectionType::NegGm
+        ));
+        assert!(PositionRules::allows(
+            Position::ShuntN1,
+            ConnectionType::SeriesRc
+        ));
     }
 
     #[test]
@@ -252,7 +258,9 @@ mod tests {
 
     #[test]
     fn engineering_names_mention_roles() {
-        assert!(Position::N1ToOut.engineering_name().contains("compensation"));
+        assert!(Position::N1ToOut
+            .engineering_name()
+            .contains("compensation"));
         assert!(Position::InToOut.engineering_name().contains("feedforward"));
     }
 }

@@ -80,6 +80,7 @@ pub fn sample_topology<R: Rng + ?Sized>(rng: &mut R, ranges: &SampleRanges, cl: 
             continue;
         }
         let params = sample_params(rng, conn, ranges);
+        #[allow(clippy::expect_used)] // drawn from the position's legal set
         topo.place(Placement::new(pos, conn, params))
             .expect("sampled connection is legal by construction");
     }
@@ -107,7 +108,7 @@ pub fn sample_connection<R: Rng + ?Sized>(rng: &mut R, pos: Position) -> Connect
             return *c;
         }
     }
-    *legal.last().expect("legal set is never empty")
+    legal.last().copied().unwrap_or(ConnectionType::Open)
 }
 
 /// Samples the component values a connection type requires.
@@ -170,7 +171,11 @@ mod tests {
             }
         }
         assert!(open > 60, "open sampled {open} times");
-        assert!(other.len() > 8, "only {} distinct non-open types", other.len());
+        assert!(
+            other.len() > 8,
+            "only {} distinct non-open types",
+            other.len()
+        );
     }
 
     #[test]

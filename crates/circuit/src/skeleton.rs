@@ -110,7 +110,13 @@ pub struct Skeleton {
 
 impl Skeleton {
     /// Builds a skeleton with the given stages and load.
-    pub fn new(stage1: StageParams, stage2: StageParams, stage3: StageParams, rl: f64, cl: f64) -> Self {
+    pub fn new(
+        stage1: StageParams,
+        stage2: StageParams,
+        stage3: StageParams,
+        rl: f64,
+        cl: f64,
+    ) -> Self {
         Skeleton {
             stage1,
             stage2,
@@ -160,8 +166,7 @@ impl Skeleton {
     /// DC open-loop gain magnitude `gm1·gm2·gm3·Ro1·Ro2·(Ro3 ∥ RL)` —
     /// the `Av` of the paper's A2 chat-log step.
     pub fn dc_gain(&self) -> f64 {
-        let ro3_par_rl =
-            1.0 / (1.0 / self.stage3.ro.value() + 1.0 / self.rl.value());
+        let ro3_par_rl = 1.0 / (1.0 / self.stage3.ro.value() + 1.0 / self.rl.value());
         self.stage1.gm.value()
             * self.stage2.gm.value()
             * self.stage3.gm.value()
@@ -176,84 +181,84 @@ impl Skeleton {
     /// [`crate::Element::Vccs`]): `G1` inverts (in→n1), `G2` is
     /// non-inverting (n1→n2), `G3` inverts (n2→out).
     pub fn elements(&self) -> Vec<Element> {
-        let mut elems = Vec::with_capacity(11);
-        // Stage 1: inverting, in → n1.
-        elems.push(Element::Vccs {
-            label: "G1".into(),
-            out_p: Node::N1,
-            out_n: Node::Ground,
-            ctrl_p: Node::Input,
-            ctrl_n: Node::Ground,
-            gm: self.stage1.gm,
-        });
-        elems.push(Element::Resistor {
-            label: "Ro1".into(),
-            a: Node::N1,
-            b: Node::Ground,
-            ohms: self.stage1.ro,
-        });
-        elems.push(Element::Capacitor {
-            label: "Cp1".into(),
-            a: Node::N1,
-            b: Node::Ground,
-            farads: self.stage1.cp,
-        });
-        // Stage 2: non-inverting, n1 → n2.
-        elems.push(Element::Vccs {
-            label: "G2".into(),
-            out_p: Node::Ground,
-            out_n: Node::N2,
-            ctrl_p: Node::N1,
-            ctrl_n: Node::Ground,
-            gm: self.stage2.gm,
-        });
-        elems.push(Element::Resistor {
-            label: "Ro2".into(),
-            a: Node::N2,
-            b: Node::Ground,
-            ohms: self.stage2.ro,
-        });
-        elems.push(Element::Capacitor {
-            label: "Cp2".into(),
-            a: Node::N2,
-            b: Node::Ground,
-            farads: self.stage2.cp,
-        });
-        // Stage 3: inverting, n2 → out.
-        elems.push(Element::Vccs {
-            label: "G3".into(),
-            out_p: Node::Output,
-            out_n: Node::Ground,
-            ctrl_p: Node::N2,
-            ctrl_n: Node::Ground,
-            gm: self.stage3.gm,
-        });
-        elems.push(Element::Resistor {
-            label: "Ro3".into(),
-            a: Node::Output,
-            b: Node::Ground,
-            ohms: self.stage3.ro,
-        });
-        elems.push(Element::Capacitor {
-            label: "Cp3".into(),
-            a: Node::Output,
-            b: Node::Ground,
-            farads: self.stage3.cp,
-        });
-        // Load.
-        elems.push(Element::Resistor {
-            label: "RL".into(),
-            a: Node::Output,
-            b: Node::Ground,
-            ohms: self.rl,
-        });
-        elems.push(Element::Capacitor {
-            label: "CL".into(),
-            a: Node::Output,
-            b: Node::Ground,
-            farads: self.cl,
-        });
-        elems
+        vec![
+            // Stage 1: inverting, in → n1.
+            Element::Vccs {
+                label: "G1".into(),
+                out_p: Node::N1,
+                out_n: Node::Ground,
+                ctrl_p: Node::Input,
+                ctrl_n: Node::Ground,
+                gm: self.stage1.gm,
+            },
+            Element::Resistor {
+                label: "Ro1".into(),
+                a: Node::N1,
+                b: Node::Ground,
+                ohms: self.stage1.ro,
+            },
+            Element::Capacitor {
+                label: "Cp1".into(),
+                a: Node::N1,
+                b: Node::Ground,
+                farads: self.stage1.cp,
+            },
+            // Stage 2: non-inverting, n1 → n2.
+            Element::Vccs {
+                label: "G2".into(),
+                out_p: Node::Ground,
+                out_n: Node::N2,
+                ctrl_p: Node::N1,
+                ctrl_n: Node::Ground,
+                gm: self.stage2.gm,
+            },
+            Element::Resistor {
+                label: "Ro2".into(),
+                a: Node::N2,
+                b: Node::Ground,
+                ohms: self.stage2.ro,
+            },
+            Element::Capacitor {
+                label: "Cp2".into(),
+                a: Node::N2,
+                b: Node::Ground,
+                farads: self.stage2.cp,
+            },
+            // Stage 3: inverting, n2 → out.
+            Element::Vccs {
+                label: "G3".into(),
+                out_p: Node::Output,
+                out_n: Node::Ground,
+                ctrl_p: Node::N2,
+                ctrl_n: Node::Ground,
+                gm: self.stage3.gm,
+            },
+            Element::Resistor {
+                label: "Ro3".into(),
+                a: Node::Output,
+                b: Node::Ground,
+                ohms: self.stage3.ro,
+            },
+            Element::Capacitor {
+                label: "Cp3".into(),
+                a: Node::Output,
+                b: Node::Ground,
+                farads: self.stage3.cp,
+            },
+            // Load.
+            Element::Resistor {
+                label: "RL".into(),
+                a: Node::Output,
+                b: Node::Ground,
+                ohms: self.rl,
+            },
+            Element::Capacitor {
+                label: "CL".into(),
+                a: Node::Output,
+                b: Node::Ground,
+                farads: self.cl,
+            },
+        ]
     }
 }
 
@@ -306,7 +311,9 @@ mod tests {
         let elems = Skeleton::default().elements();
         assert_eq!(elems.len(), 11);
         let labels: Vec<&str> = elems.iter().map(|e| e.label()).collect();
-        for want in ["G1", "G2", "G3", "Ro1", "Ro2", "Ro3", "Cp1", "Cp2", "Cp3", "RL", "CL"] {
+        for want in [
+            "G1", "G2", "G3", "Ro1", "Ro2", "Ro3", "Cp1", "Cp2", "Cp3", "RL", "CL",
+        ] {
             assert!(labels.contains(&want), "missing {want}");
         }
     }
@@ -319,9 +326,9 @@ mod tests {
             elems
                 .iter()
                 .find_map(|e| match e {
-                    Element::Vccs { label: l, out_p, .. } if l == label => {
-                        Some(*out_p != Node::Ground)
-                    }
+                    Element::Vccs {
+                        label: l, out_p, ..
+                    } if l == label => Some(*out_p != Node::Ground),
                     _ => None,
                 })
                 .expect("stage exists")

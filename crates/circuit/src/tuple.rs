@@ -35,6 +35,7 @@ impl NetlistTuple {
     ///
     /// Panics if the topology fails validation; construct tuples only
     /// from validated topologies (the generator samples only legal ones).
+    #[allow(clippy::expect_used)] // the documented panic contract above
     pub fn from_topology(topo: &Topology) -> Self {
         let netlist = topo
             .elaborate()

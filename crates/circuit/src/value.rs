@@ -96,13 +96,10 @@ pub fn parse_si(text: &str) -> Option<f64> {
         let is_num = c.is_ascii_digit()
             || c == '.'
             || ((c == '+' || c == '-') && (i == 0 || matches!(bytes[i - 1] as char, 'e' | 'E')))
-            || ((c == 'e' || c == 'E')
-                && seen_digit
-                && i + 1 < bytes.len()
-                && {
-                    let nxt = bytes[i + 1] as char;
-                    nxt.is_ascii_digit() || nxt == '+' || nxt == '-'
-                });
+            || ((c == 'e' || c == 'E') && seen_digit && i + 1 < bytes.len() && {
+                let nxt = bytes[i + 1] as char;
+                nxt.is_ascii_digit() || nxt == '+' || nxt == '-'
+            });
         if c.is_ascii_digit() {
             seen_digit = true;
         }

@@ -337,8 +337,14 @@ mod tests {
             .cell(Method::Artisan, "G-1")
             .unwrap()
             .mean_testbed_seconds();
-        let bobo_t = table.cell(Method::Bobo, "G-1").unwrap().mean_testbed_seconds();
-        assert!(bobo_t > 2.0 * artisan_t, "bobo {bobo_t} artisan {artisan_t}");
+        let bobo_t = table
+            .cell(Method::Bobo, "G-1")
+            .unwrap()
+            .mean_testbed_seconds();
+        assert!(
+            bobo_t > 2.0 * artisan_t,
+            "bobo {bobo_t} artisan {artisan_t}"
+        );
     }
 
     #[test]

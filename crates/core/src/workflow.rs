@@ -136,7 +136,11 @@ mod tests {
         assert!(outcome.transistor_netlist.contains("M1"));
         assert!(outcome.ledger.llm_steps() >= 9);
         // Minutes, not hours.
-        assert!(outcome.testbed_seconds < 1800.0, "{}", outcome.testbed_seconds);
+        assert!(
+            outcome.testbed_seconds < 1800.0,
+            "{}",
+            outcome.testbed_seconds
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ const TASKS: &[(&str, &str)] = &[
 
 /// Generates `count` instruction pairs by sampling (with replacement)
 /// from the task pool and numbering the variants for diversity.
+#[allow(clippy::expect_used)] // the const task pool is non-empty
 pub fn generate_alpaca<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<(String, String)> {
     (0..count)
         .map(|k| {

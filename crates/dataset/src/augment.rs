@@ -27,6 +27,7 @@ const SYNONYMS: &[&[&str]] = &[
 
 /// Applies synonym substitution with probability `rate` per replaceable
 /// word.
+#[allow(clippy::expect_used)] // the const synonym groups are non-empty
 pub fn substitute_synonyms<R: Rng + ?Sized>(text: &str, rate: f64, rng: &mut R) -> String {
     let mut out: Vec<String> = Vec::new();
     for word in text.split(' ') {
@@ -40,10 +41,7 @@ pub fn substitute_synonyms<R: Rng + ?Sized>(text: &str, rate: f64, rng: &mut R) 
                 if group.contains(&stripped.as_str()) {
                     let pick = group.choose(rng).expect("non-empty group");
                     if *pick != stripped {
-                        let tail: String = lower
-                            .chars()
-                            .skip(stripped.len())
-                            .collect();
+                        let tail: String = lower.chars().skip(stripped.len()).collect();
                         replaced = Some(format!("{pick}{tail}"));
                     }
                     break;

@@ -126,11 +126,7 @@ impl OpampDataset {
         self.design_qa
             .iter()
             .map(|p| (p.question.as_str(), p.answer.as_str()))
-            .chain(
-                self.alpaca
-                    .iter()
-                    .map(|(q, a)| (q.as_str(), a.as_str())),
-            )
+            .chain(self.alpaca.iter().map(|(q, a)| (q.as_str(), a.as_str())))
             .collect()
     }
 

@@ -70,6 +70,7 @@ const PREFIXES: &[&str] = &[
 ];
 
 /// Generates one corpus document of roughly `sentences` sentences.
+#[allow(clippy::expect_used)] // the const template pools are non-empty
 pub fn generate_document<R: Rng + ?Sized>(rng: &mut R, sentences: usize) -> String {
     let mut doc = String::from(*PREFIXES.choose(rng).expect("non-empty prefix pool"));
     doc.push(' ');

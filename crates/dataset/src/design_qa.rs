@@ -31,7 +31,10 @@ impl QaPair {
 
     /// Renders as training text.
     pub fn to_training_text(&self) -> String {
-        format!("### Question\n{}\n### Answer\n{}", self.question, self.answer)
+        format!(
+            "### Question\n{}\n### Answer\n{}",
+            self.question, self.answer
+        )
     }
 }
 
@@ -174,16 +177,13 @@ pub fn dfc_modification_document(target: &DesignTarget) -> Vec<QaPair> {
 
 /// Samples a design target in the Table 2 envelope.
 pub fn sample_target<R: Rng + ?Sized>(rng: &mut R) -> DesignTarget {
-    let cl = *[10e-12, 10e-12, 10e-12, 100e-12, 1e-9]
-        .iter()
-        .nth(rng.gen_range(0..5))
-        .expect("non-empty");
+    let cl = [10e-12, 10e-12, 10e-12, 100e-12, 1e-9][rng.gen_range(0..5)];
     DesignTarget {
         gbw_hz: artisan_circuit::sample::log_uniform(rng, 0.5e6, 8e6),
         cl,
         rl: 1e6,
-        gain_db: *[85.0, 95.0, 110.0].iter().nth(rng.gen_range(0..3)).expect("non-empty"),
-        power_budget_w: *[50e-6, 250e-6].iter().nth(rng.gen_range(0..2)).expect("non-empty"),
+        gain_db: [85.0, 95.0, 110.0][rng.gen_range(0..3)],
+        power_budget_w: [50e-6, 250e-6][rng.gen_range(0..2)],
     }
 }
 
@@ -260,7 +260,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let pairs = generate_design_qa(&mut rng, 40);
         assert!(
-            pairs.iter().any(|p| p.answer.contains("damping-factor-control")),
+            pairs
+                .iter()
+                .any(|p| p.answer.contains("damping-factor-control")),
             "no DFC documents sampled"
         );
     }

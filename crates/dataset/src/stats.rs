@@ -39,17 +39,11 @@ impl Table1 {
         let ds = OpampDataset::build(&config, seed);
 
         // Train the token accountant on a corpus sample.
-        let sample: Vec<&str> = ds
-            .corpus
-            .iter()
-            .take(20)
-            .map(String::as_str)
-            .collect();
+        let sample: Vec<&str> = ds.corpus.iter().take(20).map(String::as_str).collect();
         let tok = BpeTokenizer::train(&sample, 2000);
 
-        let count_docs = |docs: &[String]| -> usize {
-            docs.iter().map(|d| tok.count_tokens(d)).sum()
-        };
+        let count_docs =
+            |docs: &[String]| -> usize { docs.iter().map(|d| tok.count_tokens(d)).sum() };
         let corpus_tokens = count_docs(&ds.corpus);
         let tuple_tokens = count_docs(&ds.netlist_tuple_docs);
         let alpaca_tokens: usize = ds
@@ -178,7 +172,13 @@ mod tests {
     fn display_renders_all_rows() {
         let t = Table1::measure(4000, 7);
         let s = t.to_string();
-        for needle in ["Collected corpus", "NetlistTuple", "Alpaca", "DesignQA", "Total"] {
+        for needle in [
+            "Collected corpus",
+            "NetlistTuple",
+            "Alpaca",
+            "DesignQA",
+            "Total",
+        ] {
             assert!(s.contains(needle), "missing {needle}:\n{s}");
         }
     }

@@ -112,6 +112,7 @@ pub fn map_topology(topo: &Topology, nmos: &LookupTable) -> TransistorCircuit {
 /// Panics if the requested `gm/Id` is unreachable in the lookup table —
 /// callers choose the inversion level, and choosing one past the
 /// weak-inversion asymptote is a programming error.
+#[allow(clippy::expect_used)] // the documented panic contract above
 pub fn map_topology_with(
     topo: &Topology,
     nmos: &LookupTable,

@@ -44,12 +44,7 @@ impl DeviceSize {
 /// assert!(dev.id > 10e-6 && dev.id < 30e-6); // ≈ 16.7 µA
 /// assert!(dev.w_um > 0.0);
 /// ```
-pub fn size_stage(
-    gm: f64,
-    gm_over_id: f64,
-    l_um: f64,
-    table: &LookupTable,
-) -> Option<DeviceSize> {
+pub fn size_stage(gm: f64, gm_over_id: f64, l_um: f64, table: &LookupTable) -> Option<DeviceSize> {
     if gm <= 0.0 || gm_over_id <= 0.0 || l_um <= 0.0 {
         return None;
     }

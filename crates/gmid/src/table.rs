@@ -95,10 +95,7 @@ impl LookupTable {
             .position(|w| w[0].gm_over_id >= gm_over_id && gm_over_id >= w[1].gm_over_id)?;
         let (a, b) = (&self.rows[idx], &self.rows[idx + 1]);
         let t = (a.gm_over_id.ln() - gm_over_id.ln()) / (a.gm_over_id.ln() - b.gm_over_id.ln());
-        Some(
-            (a.current_density.ln() + t * (b.current_density.ln() - a.current_density.ln()))
-                .exp(),
-        )
+        Some((a.current_density.ln() + t * (b.current_density.ln() - a.current_density.ln())).exp())
     }
 
     /// Interpolates `gm/Id` at an inversion coefficient. Returns `None`
@@ -138,7 +135,10 @@ mod tests {
         for &ic in &[0.0123, 0.77, 3.3, 55.0] {
             let interp = t.gm_over_id_at_ic(ic).unwrap();
             let exact = tech.gm_over_id(ic);
-            assert!((interp - exact).abs() / exact < 1e-3, "{ic}: {interp} vs {exact}");
+            assert!(
+                (interp - exact).abs() / exact < 1e-3,
+                "{ic}: {interp} vs {exact}"
+            );
         }
     }
 

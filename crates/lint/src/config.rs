@@ -1,0 +1,83 @@
+use crate::diagnostic::{Rule, Severity};
+
+/// Which rules a [`crate::Linter`] runs.
+///
+/// Defaults to all rules. [`LintConfig::errors_only`] is the
+/// configuration the simulator uses as its admission gate: warnings are
+/// advisory and must never block a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    enabled: [bool; Rule::ALL.len()],
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            enabled: [true; Rule::ALL.len()],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Every rule enabled.
+    pub fn all() -> Self {
+        LintConfig::default()
+    }
+
+    /// Only the `Error`-severity rules — the simulator's admission
+    /// gate.
+    pub fn errors_only() -> Self {
+        let mut cfg = LintConfig::default();
+        for r in Rule::ALL {
+            if r.severity() != Severity::Error {
+                cfg.enabled[r.index()] = false;
+            }
+        }
+        cfg
+    }
+
+    /// Disables one rule.
+    pub fn without(mut self, rule: Rule) -> Self {
+        self.enabled[rule.index()] = false;
+        self
+    }
+
+    /// Enables one rule.
+    pub fn with(mut self, rule: Rule) -> Self {
+        self.enabled[rule.index()] = true;
+        self
+    }
+
+    /// Whether `rule` runs under this configuration.
+    pub fn is_enabled(&self, rule: Rule) -> bool {
+        self.enabled[rule.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let cfg = LintConfig::default();
+        assert!(Rule::ALL.into_iter().all(|r| cfg.is_enabled(r)));
+    }
+
+    #[test]
+    fn errors_only_drops_warnings() {
+        let cfg = LintConfig::errors_only();
+        assert!(cfg.is_enabled(Rule::FloatingNode));
+        assert!(!cfg.is_enabled(Rule::SelfLoop));
+        assert!(!cfg.is_enabled(Rule::ParallelDuplicate));
+    }
+
+    #[test]
+    fn with_and_without_toggle() {
+        let cfg = LintConfig::errors_only().with(Rule::SelfLoop);
+        assert!(cfg.is_enabled(Rule::SelfLoop));
+        let cfg = cfg.without(Rule::SelfLoop).without(Rule::FloatingNode);
+        assert!(!cfg.is_enabled(Rule::SelfLoop));
+        assert!(!cfg.is_enabled(Rule::FloatingNode));
+    }
+}

@@ -1,0 +1,291 @@
+use artisan_circuit::Node;
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` diagnostics mark netlists whose MNA system is structurally
+/// singular or otherwise unsimulatable; `Warning` marks constructs that
+/// simulate but are almost certainly mistakes; `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious but simulatable.
+    Warning,
+    /// The netlist cannot be simulated meaningfully.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports (`"error"`, `"warning"`,
+    /// `"info"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The electrical rules, each with a stable `ERCnnn` code.
+///
+/// Codes are append-only: a rule keeps its code forever so downstream
+/// tooling (and dialogue transcripts) can rely on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// ERC001: no element terminal touches ground.
+    MissingGround,
+    /// ERC002: the `out` node never appears.
+    MissingOutput,
+    /// ERC003: the `in` node never appears.
+    InputUnused,
+    /// ERC004: a node whose MNA row or column is structurally zero at
+    /// every frequency.
+    FloatingNode,
+    /// ERC005: a VCCS senses a node no element drives.
+    DanglingControl,
+    /// ERC006: a node (or resistive island) with no DC path to ground
+    /// or the driven input.
+    NoDcPath,
+    /// ERC007: two elements share one instance label.
+    DuplicateLabel,
+    /// ERC008: a resistor or capacitor with a non-positive or
+    /// non-finite value.
+    NonPositiveValue,
+    /// ERC009: a VCCS with non-positive or non-finite transconductance.
+    DegenerateVccs,
+    /// ERC010: a dead-end node with a single conductive attachment.
+    DanglingNode,
+    /// ERC011: two elements of the same kind in parallel with equal
+    /// value.
+    ParallelDuplicate,
+    /// ERC012: an element whose terminals short together, contributing
+    /// nothing.
+    SelfLoop,
+    /// ERC013: nodes forming an island detached from the signal path.
+    IsolatedIsland,
+}
+
+impl Rule {
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 13] = [
+        Rule::MissingGround,
+        Rule::MissingOutput,
+        Rule::InputUnused,
+        Rule::FloatingNode,
+        Rule::DanglingControl,
+        Rule::NoDcPath,
+        Rule::DuplicateLabel,
+        Rule::NonPositiveValue,
+        Rule::DegenerateVccs,
+        Rule::DanglingNode,
+        Rule::ParallelDuplicate,
+        Rule::SelfLoop,
+        Rule::IsolatedIsland,
+    ];
+
+    /// The stable diagnostic code (`"ERC001"` …).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::MissingGround => "ERC001",
+            Rule::MissingOutput => "ERC002",
+            Rule::InputUnused => "ERC003",
+            Rule::FloatingNode => "ERC004",
+            Rule::DanglingControl => "ERC005",
+            Rule::NoDcPath => "ERC006",
+            Rule::DuplicateLabel => "ERC007",
+            Rule::NonPositiveValue => "ERC008",
+            Rule::DegenerateVccs => "ERC009",
+            Rule::DanglingNode => "ERC010",
+            Rule::ParallelDuplicate => "ERC011",
+            Rule::SelfLoop => "ERC012",
+            Rule::IsolatedIsland => "ERC013",
+        }
+    }
+
+    /// The kebab-case rule name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::MissingGround => "missing-ground",
+            Rule::MissingOutput => "missing-output",
+            Rule::InputUnused => "input-unused",
+            Rule::FloatingNode => "floating-node",
+            Rule::DanglingControl => "dangling-vccs-control",
+            Rule::NoDcPath => "no-dc-path-to-ground",
+            Rule::DuplicateLabel => "duplicate-label",
+            Rule::NonPositiveValue => "non-positive-value",
+            Rule::DegenerateVccs => "degenerate-vccs",
+            Rule::DanglingNode => "dangling-node",
+            Rule::ParallelDuplicate => "parallel-duplicate",
+            Rule::SelfLoop => "self-loop",
+            Rule::IsolatedIsland => "isolated-island",
+        }
+    }
+
+    /// The severity diagnostics from this rule carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::MissingGround
+            | Rule::MissingOutput
+            | Rule::InputUnused
+            | Rule::FloatingNode
+            | Rule::DanglingControl
+            | Rule::NoDcPath
+            | Rule::DuplicateLabel
+            | Rule::NonPositiveValue
+            | Rule::DegenerateVccs => Severity::Error,
+            Rule::DanglingNode
+            | Rule::ParallelDuplicate
+            | Rule::SelfLoop
+            | Rule::IsolatedIsland => Severity::Warning,
+        }
+    }
+
+    /// Looks a rule up by its `ERCnnn` code.
+    pub fn from_code(code: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.code() == code)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// Where in the netlist a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The netlist as a whole.
+    Netlist,
+    /// One node.
+    Node(Node),
+    /// One element instance, by label.
+    Element(String),
+    /// A set of nodes (e.g. an island).
+    Nodes(Vec<Node>),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Netlist => write!(f, "netlist"),
+            Span::Node(n) => write!(f, "node {n}"),
+            Span::Element(label) => write!(f, "element {label}"),
+            Span::Nodes(ns) => {
+                write!(f, "nodes ")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One finding of the electrical-rule checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Optional repair hint, phrased for the design dialogue.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(rule: Rule, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub(crate) fn suggest(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// The stable `ERCnnn` code of the rule that fired.
+    pub fn code(&self) -> &'static str {
+        self.rule.code()
+    }
+
+    /// Renders the diagnostic as one human-readable line.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{}[{}] {}: {}",
+            self.severity,
+            self.code(),
+            self.span,
+            self.message
+        );
+        if let Some(s) = &self.suggestion {
+            line.push_str(&format!(" (hint: {s})"));
+        }
+        line
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes[0], "ERC001");
+        assert_eq!(codes.len(), 13);
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 13, "duplicate rule codes");
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Rule::from_code("ERC999"), None);
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn render_mentions_code_and_span() {
+        let d =
+            Diagnostic::new(Rule::FloatingNode, Span::Node(Node::N1), "boom").suggest("connect it");
+        let line = d.render();
+        assert!(line.contains("ERC004"), "{line}");
+        assert!(line.contains("node n1"), "{line}");
+        assert!(line.contains("hint: connect it"), "{line}");
+    }
+}

@@ -1,0 +1,228 @@
+use crate::diagnostic::{Diagnostic, Severity, Span};
+use std::fmt;
+
+/// The outcome of linting one netlist: every diagnostic that fired,
+/// errors first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub(crate) fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        LintReport { diagnostics }
+    }
+
+    /// All diagnostics, errors first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// True when nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one `Error`-severity diagnostic fired.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The `Error`-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Stable codes of the error diagnostics, deduplicated, in code
+    /// order.
+    pub fn error_codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.errors().map(|d| d.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// One-line summary, e.g. `"2 errors, 1 warning"` or `"clean"`.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        let plural = |n: usize, what: &str| match n {
+            0 => None,
+            1 => Some(format!("1 {what}")),
+            n => Some(format!("{n} {what}s")),
+        };
+        [
+            plural(self.count(Severity::Error), "error"),
+            plural(self.count(Severity::Warning), "warning"),
+            plural(self.count(Severity::Info), "info note"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ")
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("erc: {}", self.summary());
+        for d in &self.diagnostics {
+            out.push_str("\n  ");
+            out.push_str(&d.render());
+        }
+        out
+    }
+
+    /// Machine-readable JSON
+    /// (`{"summary":…,"errors":…,"warnings":…,"diagnostics":[…]}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"summary\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            json_string(&self.summary()),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&diagnostic_json(d));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+fn diagnostic_json(d: &Diagnostic) -> String {
+    let span = match &d.span {
+        Span::Netlist => "{\"kind\":\"netlist\"}".to_string(),
+        Span::Node(n) => format!("{{\"kind\":\"node\",\"node\":{}}}", json_string(&n.name())),
+        Span::Element(label) => {
+            format!("{{\"kind\":\"element\",\"label\":{}}}", json_string(label))
+        }
+        Span::Nodes(ns) => format!(
+            "{{\"kind\":\"nodes\",\"nodes\":[{}]}}",
+            ns.iter()
+                .map(|n| json_string(&n.name()))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    };
+    let mut out = format!(
+        "{{\"code\":{},\"rule\":{},\"severity\":{},\"span\":{span},\"message\":{}",
+        json_string(d.code()),
+        json_string(d.rule.name()),
+        json_string(d.severity.name()),
+        json_string(&d.message),
+    );
+    if let Some(s) = &d.suggestion {
+        out.push_str(&format!(",\"suggestion\":{}", json_string(s)));
+    }
+    out.push('}');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Rule;
+    use artisan_circuit::Node;
+
+    fn sample() -> LintReport {
+        LintReport::new(vec![
+            Diagnostic::new(Rule::FloatingNode, Span::Node(Node::N1), "float \"q\"")
+                .suggest("fix\nit"),
+            Diagnostic::new(Rule::SelfLoop, Span::Element("R1".into()), "loop"),
+        ])
+    }
+
+    #[test]
+    fn summary_counts_by_severity() {
+        let r = sample();
+        assert_eq!(r.summary(), "1 error, 1 warning");
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.error_codes(), vec!["ERC004"]);
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = LintReport::default();
+        assert!(r.is_clean());
+        assert!(!r.has_errors());
+        assert_eq!(r.summary(), "clean");
+        assert_eq!(
+            r.to_json(),
+            "{\"summary\":\"clean\",\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let json = sample().to_json();
+        assert!(json.contains("\"code\":\"ERC004\""), "{json}");
+        assert!(json.contains("float \\\"q\\\""), "{json}");
+        assert!(json.contains("\"suggestion\":\"fix\\nit\""), "{json}");
+        assert!(
+            json.contains("\"span\":{\"kind\":\"element\",\"label\":\"R1\"}"),
+            "{json}"
+        );
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn render_lists_each_diagnostic() {
+        let text = sample().render();
+        assert!(text.starts_with("erc: 1 error, 1 warning"), "{text}");
+        // Summary line + one line per diagnostic (the first carries an
+        // embedded newline in its suggestion, so it spans two).
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(text.contains("warning[ERC012]"), "{text}");
+    }
+}

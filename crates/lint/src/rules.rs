@@ -1,0 +1,557 @@
+//! The rule implementations.
+//!
+//! All rules run off one structural pass over the element list
+//! (`NodeStats`) plus two union-find sweeps (DC connectivity and
+//! whole-netlist connectivity), so a full lint is `O(elements ×
+//! α(nodes))` — microseconds even for generously sized netlists, and
+//! safe to run on every candidate inside the agent design loop.
+
+use crate::config::LintConfig;
+use crate::diagnostic::{Diagnostic, Rule, Span};
+use crate::report::LintReport;
+use artisan_circuit::{Element, Netlist, Node};
+use std::collections::BTreeMap;
+
+/// Whether a node has its own MNA unknown (everything except the
+/// eliminated ground reference and the driven input).
+fn is_unknown(n: Node) -> bool {
+    !matches!(n, Node::Ground | Node::Input)
+}
+
+/// Structural attachment counts for one node, accumulated over the
+/// element list. "Live" VCCS attachments are the ones that actually
+/// stamp a matrix entry: a VCCS with `out_p == out_n` or `ctrl_p ==
+/// ctrl_n` cancels its own contribution, and entries only exist in rows
+/// and columns belonging to unknown nodes.
+#[derive(Debug, Default, Clone)]
+struct NodeStats {
+    /// Resistor/capacitor terminal attachments (self-loops excluded).
+    rc: usize,
+    /// VCCS output-terminal attachments (self-cancelling ones excluded).
+    vccs_out: usize,
+    /// VCCS outputs here whose control pair references an unknown node,
+    /// i.e. this node's MNA *row* has a structural entry.
+    vccs_out_live: usize,
+    /// VCCS controls here whose output pair references an unknown node,
+    /// i.e. this node's MNA *column* has a structural entry.
+    vccs_ctrl_live: usize,
+    /// Times this node is referenced as a VCCS control terminal.
+    ctrl_refs: usize,
+}
+
+/// Disjoint-set forest over node indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Everything the rules need, computed in one pass.
+struct Analysis<'n> {
+    netlist: &'n Netlist,
+    nodes: Vec<Node>,
+    index: BTreeMap<Node, usize>,
+    stats: Vec<NodeStats>,
+}
+
+impl<'n> Analysis<'n> {
+    fn new(netlist: &'n Netlist) -> Self {
+        let nodes = netlist.nodes();
+        let index: BTreeMap<Node, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut stats = vec![NodeStats::default(); nodes.len()];
+        for e in netlist.elements() {
+            match e {
+                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                    if a != b {
+                        stats[index[a]].rc += 1;
+                        stats[index[b]].rc += 1;
+                    }
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    ..
+                } => {
+                    let out_live = out_p != out_n;
+                    let ctrl_live = ctrl_p != ctrl_n;
+                    // Rows of the output pair gain entries in the
+                    // columns of the control pair (and vice versa) only
+                    // when neither pair cancels itself.
+                    let ctrl_hits_unknown =
+                        ctrl_live && (is_unknown(*ctrl_p) || is_unknown(*ctrl_n));
+                    let out_hits_unknown = out_live && (is_unknown(*out_p) || is_unknown(*out_n));
+                    if out_live {
+                        for o in [*out_p, *out_n] {
+                            let s = &mut stats[index[&o]];
+                            s.vccs_out += 1;
+                            if ctrl_hits_unknown {
+                                s.vccs_out_live += 1;
+                            }
+                        }
+                    }
+                    for c in [*ctrl_p, *ctrl_n] {
+                        let s = &mut stats[index[&c]];
+                        s.ctrl_refs += 1;
+                        if ctrl_live && out_hits_unknown {
+                            s.vccs_ctrl_live += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Analysis {
+            netlist,
+            nodes,
+            index,
+            stats,
+        }
+    }
+
+    fn stat(&self, n: Node) -> &NodeStats {
+        &self.stats[self.index[&n]]
+    }
+
+    fn has_node(&self, n: Node) -> bool {
+        self.index.contains_key(&n)
+    }
+
+    /// A node whose MNA row or column is structurally zero at every
+    /// frequency — the matrix is singular no matter what values the
+    /// elements carry.
+    fn is_floating(&self, n: Node) -> bool {
+        if !is_unknown(n) {
+            return false;
+        }
+        let s = self.stat(n);
+        if s.rc > 0 {
+            return false;
+        }
+        // Zero row: nothing conductive and no live VCCS output.
+        // Zero column: nothing conductive and no live VCCS control.
+        s.vccs_out_live == 0 || s.vccs_ctrl_live == 0
+    }
+
+    /// Union-find over DC-conductive coupling: resistor edges, plus the
+    /// self-conductance a VCCS develops when an output terminal doubles
+    /// as a control terminal (the unity-gain buffer idiom — its `gm`
+    /// stamps the node's own diagonal, tying it to the other control
+    /// node at DC).
+    fn dc_components(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.nodes.len());
+        for e in self.netlist.elements() {
+            match e {
+                Element::Resistor { a, b, .. } => {
+                    if a != b {
+                        uf.union(self.index[a], self.index[b]);
+                    }
+                }
+                Element::Capacitor { .. } => {}
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    ..
+                } => {
+                    if out_p == out_n || ctrl_p == ctrl_n {
+                        continue;
+                    }
+                    for shared in [*out_p, *out_n] {
+                        if shared == *ctrl_p || shared == *ctrl_n {
+                            for c in [*ctrl_p, *ctrl_n] {
+                                if c != shared {
+                                    uf.union(self.index[&shared], self.index[&c]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        uf
+    }
+
+    /// Union-find over every element's full terminal clique (controls
+    /// included), with ground excluded as a connector so that "tied to
+    /// ground" does not count as "part of the signal path".
+    fn signal_components(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.nodes.len());
+        for e in self.netlist.elements() {
+            let terminals = e.nodes();
+            for (i, a) in terminals.iter().enumerate() {
+                for b in &terminals[i + 1..] {
+                    if a != b && *a != Node::Ground && *b != Node::Ground {
+                        uf.union(self.index[a], self.index[b]);
+                    }
+                }
+            }
+        }
+        uf
+    }
+}
+
+/// Runs every enabled rule over `netlist`.
+pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
+    let analysis = Analysis::new(netlist);
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let enabled = |r: Rule| config.is_enabled(r);
+
+    // ERC001/002/003 — global presence checks.
+    if enabled(Rule::MissingGround) && !analysis.has_node(Node::Ground) {
+        out.push(
+            Diagnostic::new(
+                Rule::MissingGround,
+                Span::Netlist,
+                "no element terminal connects to ground (node 0); the nodal \
+                 equations have no reference and the system is singular",
+            )
+            .suggest("tie at least one load, bias, or compensation path to node 0"),
+        );
+    }
+    if enabled(Rule::MissingOutput) && !analysis.has_node(Node::Output) {
+        out.push(
+            Diagnostic::new(
+                Rule::MissingOutput,
+                Span::Netlist,
+                "the netlist never references the output node `out`, so no \
+                 transfer function can be measured",
+            )
+            .suggest("route the final stage and the load to `out`"),
+        );
+    }
+    if enabled(Rule::InputUnused) && !analysis.has_node(Node::Input) {
+        out.push(
+            Diagnostic::new(
+                Rule::InputUnused,
+                Span::Netlist,
+                "the netlist never references the input node `in`; the \
+                 response to the driven source is identically zero",
+            )
+            .suggest("sense `in` with the first-stage transconductor"),
+        );
+    }
+
+    // ERC004 — structurally floating nodes. Remember them so ERC006
+    // does not pile a second error onto the same node.
+    let mut floating = vec![false; analysis.nodes.len()];
+    if enabled(Rule::FloatingNode) {
+        for (i, &n) in analysis.nodes.iter().enumerate() {
+            if analysis.is_floating(n) {
+                floating[i] = true;
+                out.push(
+                    Diagnostic::new(
+                        Rule::FloatingNode,
+                        Span::Node(n),
+                        format!(
+                            "node {n} has no resistive or capacitive attachment \
+                             and no complete VCCS drive/sense pair; its nodal \
+                             equation is structurally empty at every frequency"
+                        ),
+                    )
+                    .suggest(format!(
+                        "attach a resistor or capacitor to {n}, or delete the \
+                         element(s) referencing it"
+                    )),
+                );
+            }
+        }
+    }
+
+    // ERC005 — VCCS controls sensing undriven nodes.
+    if enabled(Rule::DanglingControl) {
+        for e in netlist.elements() {
+            if let Element::Vccs {
+                label,
+                ctrl_p,
+                ctrl_n,
+                ..
+            } = e
+            {
+                for c in [*ctrl_p, *ctrl_n] {
+                    if !is_unknown(c) {
+                        continue;
+                    }
+                    let s = analysis.stat(c);
+                    if s.rc == 0 && s.vccs_out == 0 {
+                        out.push(
+                            Diagnostic::new(
+                                Rule::DanglingControl,
+                                Span::Element(label.clone()),
+                                format!(
+                                    "VCCS {label} senses node {c}, but nothing \
+                                     drives that node — the controlling voltage \
+                                     is undefined"
+                                ),
+                            )
+                            .suggest(format!(
+                                "connect {c} to a driven point of the circuit or \
+                                 re-reference the control terminals"
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ERC006 — DC reachability. A resistive island (or lone
+    // capacitor-coupled node) with no DC route to ground or the driven
+    // input leaves the conductance matrix singular at s = 0.
+    if enabled(Rule::NoDcPath) {
+        let mut uf = analysis.dc_components();
+        let grounded: Vec<usize> = analysis
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !is_unknown(**n))
+            .map(|(i, _)| i)
+            .collect();
+        let grounded_roots: Vec<usize> = grounded.iter().map(|&i| uf.find(i)).collect();
+        for (i, &n) in analysis.nodes.iter().enumerate() {
+            if !is_unknown(n) || floating[i] {
+                continue;
+            }
+            let root = uf.find(i);
+            if !grounded_roots.contains(&root) {
+                out.push(
+                    Diagnostic::new(
+                        Rule::NoDcPath,
+                        Span::Node(n),
+                        format!(
+                            "node {n} has no DC path to ground or the input; \
+                             the conductance matrix is singular at DC"
+                        ),
+                    )
+                    .suggest(format!(
+                        "give {n} a resistive path (shunt resistor, buffer, or \
+                         stage output) to a biased node"
+                    )),
+                );
+            }
+        }
+    }
+
+    // ERC007 — duplicate instance labels.
+    if enabled(Rule::DuplicateLabel) {
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in netlist.elements() {
+            *seen.entry(e.label()).or_insert(0) += 1;
+        }
+        for (label, count) in seen {
+            if count > 1 {
+                out.push(
+                    Diagnostic::new(
+                        Rule::DuplicateLabel,
+                        Span::Element(label.to_string()),
+                        format!("instance label {label} is used by {count} elements"),
+                    )
+                    .suggest("rename the duplicates so every instance is addressable"),
+                );
+            }
+        }
+    }
+
+    // ERC008/009 — value sanity.
+    for e in netlist.elements() {
+        let v = e.value();
+        let bad = !(v.is_finite() && v > 0.0);
+        match e {
+            Element::Resistor { label, .. } | Element::Capacitor { label, .. } => {
+                if bad && enabled(Rule::NonPositiveValue) {
+                    out.push(
+                        Diagnostic::new(
+                            Rule::NonPositiveValue,
+                            Span::Element(label.clone()),
+                            format!(
+                                "element {label} has non-physical value {v}; \
+                                 passive values must be finite and positive"
+                            ),
+                        )
+                        .suggest("recompute the sizing step that produced this value"),
+                    );
+                }
+            }
+            Element::Vccs { label, .. } => {
+                if bad && enabled(Rule::DegenerateVccs) {
+                    out.push(
+                        Diagnostic::new(
+                            Rule::DegenerateVccs,
+                            Span::Element(label.clone()),
+                            format!(
+                                "VCCS {label} has transconductance {v}; gm must \
+                                 be finite and positive (polarity belongs in the \
+                                 terminal order)"
+                            ),
+                        )
+                        .suggest("recompute gm from the GBW relation, keeping it positive"),
+                    );
+                }
+            }
+        }
+    }
+
+    // ERC010 — dead-end nodes.
+    if enabled(Rule::DanglingNode) {
+        for &n in &analysis.nodes {
+            if !is_unknown(n) || n == Node::Output {
+                continue;
+            }
+            let s = analysis.stat(n);
+            if s.rc + s.vccs_out == 1 && s.ctrl_refs == 0 {
+                out.push(
+                    Diagnostic::new(
+                        Rule::DanglingNode,
+                        Span::Node(n),
+                        format!(
+                            "node {n} is a dead end: one conductive attachment \
+                             and nothing sensing it"
+                        ),
+                    )
+                    .suggest(format!("complete the path through {n} or remove it")),
+                );
+            }
+        }
+    }
+
+    // ERC011 — exact parallel duplicates.
+    if enabled(Rule::ParallelDuplicate) {
+        let mut seen: BTreeMap<String, &str> = BTreeMap::new();
+        for e in netlist.elements() {
+            let key = match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    format!("R {lo} {hi} {:x}", ohms.value().to_bits())
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    format!("C {lo} {hi} {:x}", farads.value().to_bits())
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                    ..
+                } => format!(
+                    "G {out_p} {out_n} {ctrl_p} {ctrl_n} {:x}",
+                    gm.value().to_bits()
+                ),
+            };
+            if let Some(first) = seen.get(key.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Rule::ParallelDuplicate,
+                        Span::Element(e.label().to_string()),
+                        format!(
+                            "element {} exactly duplicates {first} (same kind, \
+                             terminals, and value)",
+                            e.label()
+                        ),
+                    )
+                    .suggest("merge the pair into one element with the combined value"),
+                );
+            } else {
+                seen.insert(key, e.label());
+            }
+        }
+    }
+
+    // ERC012 — self-shorted elements.
+    if enabled(Rule::SelfLoop) {
+        for e in netlist.elements() {
+            let degenerate = match e {
+                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => a == b,
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    ..
+                } => out_p == out_n || ctrl_p == ctrl_n,
+            };
+            if degenerate {
+                out.push(
+                    Diagnostic::new(
+                        Rule::SelfLoop,
+                        Span::Element(e.label().to_string()),
+                        format!(
+                            "element {} shorts its own terminals together and \
+                             contributes nothing to the circuit",
+                            e.label()
+                        ),
+                    )
+                    .suggest("remove the element or fix its terminal assignment"),
+                );
+            }
+        }
+    }
+
+    // ERC013 — islands detached from the in→out signal path.
+    if enabled(Rule::IsolatedIsland) {
+        let mut uf = analysis.signal_components();
+        let anchors: Vec<usize> = analysis
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Node::Input | Node::Output))
+            .map(|(i, _)| i)
+            .collect();
+        let anchor_roots: Vec<usize> = anchors.iter().map(|&i| uf.find(i)).collect();
+        let mut islands: BTreeMap<usize, Vec<Node>> = BTreeMap::new();
+        for (i, &n) in analysis.nodes.iter().enumerate() {
+            if n == Node::Ground {
+                continue;
+            }
+            let root = uf.find(i);
+            if !anchor_roots.contains(&root) {
+                islands.entry(root).or_default().push(n);
+            }
+        }
+        for nodes in islands.into_values() {
+            let list = nodes
+                .iter()
+                .map(|n| n.name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    Rule::IsolatedIsland,
+                    Span::Nodes(nodes),
+                    format!(
+                        "nodes {list} form an island with no connection to the \
+                         in→out signal path"
+                    ),
+                )
+                .suggest("wire the island into the signal path or delete it"),
+            );
+        }
+    }
+
+    // Errors first, then warnings; stable order within a severity.
+    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(&b.rule)));
+    LintReport::new(out)
+}

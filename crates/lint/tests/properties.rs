@@ -1,0 +1,70 @@
+//! Property tests: every netlist the topology layer can legitimately
+//! produce must pass the ERC admission gate.
+
+use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::Topology;
+use artisan_lint::{lint, Linter};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn example_topologies_are_fully_clean() {
+    for (name, topo) in [
+        ("nmc", Topology::nmc_example()),
+        ("dfc", Topology::dfc_example()),
+    ] {
+        let netlist = match topo.elaborate() {
+            Ok(n) => n,
+            Err(e) => panic!("{name}: elaborate failed: {e}"),
+        };
+        let report = lint(&netlist);
+        assert!(
+            report.is_clean(),
+            "{name}: expected clean, got:\n{}",
+            report.render()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any legally sampled topology elaborates into a netlist free of
+    /// Error-severity diagnostics: the admission gate never rejects a
+    /// netlist the generator can actually produce.
+    #[test]
+    fn sampled_topologies_pass_the_admission_gate(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = match topo.elaborate() {
+            Ok(n) => n,
+            Err(e) => panic!("seed {seed}: elaborate failed: {e}"),
+        };
+        let report = Linter::errors_only().lint(&netlist);
+        prop_assert!(
+            !report.has_errors(),
+            "seed {}: {}\n{}",
+            seed,
+            report.render(),
+            netlist.to_text()
+        );
+    }
+
+    /// The JSON report stays structurally balanced for arbitrary
+    /// sampled netlists (cheap well-formedness invariant without a
+    /// JSON parser in the dependency tree).
+    #[test]
+    fn json_report_is_balanced(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = match topo.elaborate() {
+            Ok(n) => n,
+            Err(e) => panic!("seed {seed}: elaborate failed: {e}"),
+        };
+        let json = lint(&netlist).to_json();
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        prop_assert_eq!(json.matches('[').count(), json.matches(']').count());
+        prop_assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

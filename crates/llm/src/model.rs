@@ -80,6 +80,7 @@ impl DomainLm {
     ///
     /// Panics if called before [`DomainLm::pretrain`] — the paper's
     /// pipeline order is DAPT then SFT.
+    #[allow(clippy::expect_used)] // the documented panic contract above
     pub fn fine_tune(&mut self, qa_pairs: &[(&str, &str)]) {
         let tokenizer = self
             .tokenizer
@@ -144,10 +145,7 @@ impl DomainLm {
         let chosen = if temperature <= 0.0 || hits.len() == 1 {
             &hits[0]
         } else {
-            let weights: Vec<f64> = hits
-                .iter()
-                .map(|h| (h.score / temperature).exp())
-                .collect();
+            let weights: Vec<f64> = hits.iter().map(|h| (h.score / temperature).exp()).collect();
             let total: f64 = weights.iter().sum();
             let mut draw = rng.gen_range(0.0..total);
             let mut pick = hits.len() - 1;
@@ -230,11 +228,19 @@ mod tests {
         let lm = trained();
         let mut rng = StdRng::seed_from_u64(0);
         let a = lm
-            .answer("what architecture for a small capacitive load?", 0.0, &mut rng)
+            .answer(
+                "what architecture for a small capacitive load?",
+                0.0,
+                &mut rng,
+            )
             .unwrap();
         assert!(a.text.contains("nested miller"), "{}", a.text);
         let a = lm
-            .answer("we must drive a huge capacitive load, what now?", 0.0, &mut rng)
+            .answer(
+                "we must drive a huge capacitive load, what now?",
+                0.0,
+                &mut rng,
+            )
             .unwrap();
         assert!(a.text.contains("damping factor"), "{}", a.text);
         let a = lm.answer("pole allocation ratio?", 0.0, &mut rng).unwrap();
@@ -264,7 +270,11 @@ mod tests {
         let mut distinct = std::collections::BTreeSet::new();
         for _ in 0..50 {
             let a = lm
-                .answer("how should the opamp poles and load be handled?", 1.0, &mut rng)
+                .answer(
+                    "how should the opamp poles and load be handled?",
+                    1.0,
+                    &mut rng,
+                )
                 .unwrap();
             distinct.insert(a.matched_pair);
         }

@@ -93,10 +93,7 @@ impl NgramLm {
     /// `order − 1` entries of `context` are used).
     pub fn prob(&self, context: &[u32], token: u32) -> f64 {
         // Unigram floor with add-α smoothing.
-        let uni_count = self.counts[0]
-            .get(&vec![token])
-            .copied()
-            .unwrap_or(0) as f64;
+        let uni_count = self.counts[0].get(&vec![token]).copied().unwrap_or(0) as f64;
         let total = self.tokens_seen as f64;
         let mut p = (uni_count + self.alpha) / (total + self.alpha * self.vocab_size as f64);
 
@@ -150,14 +147,11 @@ impl NgramLm {
             return None;
         }
         if temperature <= 0.0 {
-            return support
-                .into_iter()
-                .max_by(|&a, &b| {
-                    self.prob(context, a)
-                        .partial_cmp(&self.prob(context, b))
-                        .expect("finite probabilities")
-                        .then(b.cmp(&a))
-                });
+            return support.into_iter().max_by(|&a, &b| {
+                self.prob(context, a)
+                    .total_cmp(&self.prob(context, b))
+                    .then(b.cmp(&a))
+            });
         }
         let weights: Vec<f64> = support
             .iter()

@@ -165,12 +165,7 @@ impl TfIdfIndex {
             })
             .filter(|h| h.score > 0.0)
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
-                .then(a.doc_id.cmp(&b.doc_id))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
         hits.truncate(k);
         hits
     }
@@ -182,7 +177,9 @@ mod tests {
 
     fn sample_index() -> TfIdfIndex {
         let mut idx = TfIdfIndex::new();
-        idx.add_document("nested miller compensation controls the dominant pole of a three stage opamp");
+        idx.add_document(
+            "nested miller compensation controls the dominant pole of a three stage opamp",
+        );
         idx.add_document("the damping factor control block drives large capacitive loads");
         idx.add_document("bayesian optimization tunes circuit parameters with gaussian processes");
         idx.finalize();

@@ -58,10 +58,8 @@ impl BpeTokenizer {
         }
 
         // Base vocabulary: all single symbols seen.
-        let mut vocab_set: std::collections::BTreeSet<String> = word_freq
-            .keys()
-            .flat_map(|w| w.iter().cloned())
-            .collect();
+        let mut vocab_set: std::collections::BTreeSet<String> =
+            word_freq.keys().flat_map(|w| w.iter().cloned()).collect();
 
         let mut merges = Vec::new();
         while vocab_set.len() < vocab_budget {
@@ -77,7 +75,6 @@ impl BpeTokenizer {
             // Deterministic tie-break: highest frequency, then lexicographic.
             let Some((best, best_freq)) = pair_freq
                 .into_iter()
-                .map(|(p, f)| (p, f))
                 .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
             else {
                 break;

@@ -104,13 +104,13 @@ impl CMatrix {
             )));
         }
         let mut out = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (a, b) in row.iter().zip(x) {
                 acc += *a * *b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         Ok(out)
     }
@@ -213,9 +213,8 @@ mod tests {
 
     #[test]
     fn swap_rows_works_in_both_orders() {
-        let mut m =
-            CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)])
-                .unwrap();
+        let mut m = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)])
+            .unwrap();
         m.swap_rows(0, 1);
         assert_eq!(m[(0, 0)], c(3.0, 0.0));
         m.swap_rows(1, 0);

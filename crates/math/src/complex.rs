@@ -172,6 +172,9 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    // Division via the reciprocal is the numerically scaled form, not a
+    // typo'd operator.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -285,7 +288,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (1.0, 1.0), (-3.0, -7.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (1.0, 1.0),
+            (-3.0, -7.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex64::new(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z, 1e-12), "sqrt failed for {z}");

@@ -132,20 +132,14 @@ mod tests {
     #[test]
     fn interpolates_complex_valued_samples() {
         // p(x) = jx + 1
-        let pts = [
-            (c(0.0, 0.0), c(1.0, 0.0)),
-            (c(1.0, 0.0), c(1.0, 1.0)),
-        ];
+        let pts = [(c(0.0, 0.0), c(1.0, 0.0)), (c(1.0, 0.0), c(1.0, 1.0))];
         let p = newton_interpolate(&pts).unwrap();
         assert!((p.eval(c(3.0, 0.0)) - c(1.0, 3.0)).abs() < 1e-12);
     }
 
     #[test]
     fn duplicate_abscissae_rejected() {
-        let pts = [
-            (c(1.0, 0.0), c(0.0, 0.0)),
-            (c(1.0, 0.0), c(1.0, 0.0)),
-        ];
+        let pts = [(c(1.0, 0.0), c(0.0, 0.0)), (c(1.0, 0.0), c(1.0, 0.0))];
         assert!(matches!(
             newton_interpolate(&pts),
             Err(MathError::DimensionMismatch(_))
@@ -184,8 +178,7 @@ mod tests {
         // Coefficients spanning decades, like a determinant with pF caps.
         let truth = Polynomial::from_real(&[1e-6, 1e-9, 1e-15]);
         let xs = log_spaced_real_points(1e2, 1e8, 3);
-        let pts: Vec<(Complex64, Complex64)> =
-            xs.iter().map(|&x| (x, truth.eval(x))).collect();
+        let pts: Vec<(Complex64, Complex64)> = xs.iter().map(|&x| (x, truth.eval(x))).collect();
         let p = newton_interpolate(&pts).unwrap();
         let probe = c(-3.3e5, 0.0);
         let rel = (p.eval(probe) - truth.eval(probe)).abs() / truth.eval(probe).abs();

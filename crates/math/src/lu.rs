@@ -117,18 +117,20 @@ impl LuDecomposition {
         // Apply permutation and forward-substitute L·y = P·b.
         let mut x: Vec<Complex64> = (0..n).map(|k| b[self.perm[k]]).collect();
         for r in 1..n {
-            let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[(r, c)] * x[c];
-            }
+            let acc = x
+                .iter()
+                .enumerate()
+                .take(r)
+                .fold(x[r], |acc, (c, &xc)| acc - self.lu[(r, c)] * xc);
             x[r] = acc;
         }
         // Back-substitute U·x = y.
         for r in (0..n).rev() {
-            let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(r, c)] * x[c];
-            }
+            let acc = x
+                .iter()
+                .enumerate()
+                .skip(r + 1)
+                .fold(x[r], |acc, (c, &xc)| acc - self.lu[(r, c)] * xc);
             x[r] = acc / self.lu[(r, r)];
         }
         Ok(x)

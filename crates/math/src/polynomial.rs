@@ -82,7 +82,7 @@ impl Polynomial {
             && self
                 .coeffs
                 .last()
-                .map_or(false, |c| c.abs() < f64::MIN_POSITIVE)
+                .is_some_and(|c| c.abs() < f64::MIN_POSITIVE)
         {
             self.coeffs.pop();
         }
@@ -96,7 +96,7 @@ impl Polynomial {
         let max_mag = self.coeffs.iter().map(|c| c.abs()).fold(0.0_f64, f64::max);
         let tol = max_mag * rel_tol;
         let mut coeffs = self.coeffs.clone();
-        while coeffs.len() > 1 && coeffs.last().map_or(false, |c| c.abs() <= tol) {
+        while coeffs.len() > 1 && coeffs.last().is_some_and(|c| c.abs() <= tol) {
             coeffs.pop();
         }
         Polynomial::new(coeffs)
@@ -188,7 +188,7 @@ impl Polynomial {
             .collect();
         let lead = q[n];
         for c in q.iter_mut() {
-            *c = *c / lead;
+            *c /= lead;
         }
 
         // Durand–Kerner with the standard non-real, non-root-of-unity seed.
@@ -300,7 +300,7 @@ impl Polynomial {
             .filter(|r| r.im.abs() <= im_tol * r.abs().max(1.0))
             .map(|r| r.re)
             .collect();
-        out.sort_by(|a, b| a.partial_cmp(b).expect("root ordering"));
+        out.sort_by(f64::total_cmp);
         Ok(out)
     }
 }
@@ -422,7 +422,10 @@ mod tests {
 
     #[test]
     fn constant_polynomial_has_no_roots() {
-        assert!(Polynomial::from_real(&[3.0]).roots(1e-10, 100).unwrap().is_empty());
+        assert!(Polynomial::from_real(&[3.0])
+            .roots(1e-10, 100)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

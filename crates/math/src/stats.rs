@@ -31,7 +31,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("comparable samples"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -62,7 +62,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("comparable samples"));
+    v.sort_by(f64::total_cmp);
     if v.len() == 1 {
         return Some(v[0]);
     }

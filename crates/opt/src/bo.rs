@@ -50,10 +50,7 @@ pub fn propose<R: Rng + ?Sized>(
     let Ok(gp) = GaussianProcess::fit(history_x, history_y, hp) else {
         return random_point(rng);
     };
-    let best = history_y
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = history_y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut best_candidate = random_point(rng);
     let mut best_ei = f64::NEG_INFINITY;
     for _ in 0..pool {

@@ -67,12 +67,7 @@ impl Bobo {
     }
 
     /// Runs one optimization trial.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        spec: &Spec,
-        sim: &mut Simulator,
-        rng: &mut R,
-    ) -> OptResult {
+    pub fn run<R: Rng + ?Sized>(&self, spec: &Spec, sim: &mut Simulator, rng: &mut R) -> OptResult {
         let cl = spec.cl.value();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
@@ -91,7 +86,7 @@ impl Bobo {
                 if let Some(best_idx) = ys
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                 {
                     if best_idx < start {
@@ -110,10 +105,7 @@ impl Bobo {
             } else {
                 eval.score.max(-10.0) / 10.0
             };
-            if best
-                .as_ref()
-                .map_or(true, |(s, _, _)| eval.score > *s)
-            {
+            if best.as_ref().is_none_or(|(s, _, _)| eval.score > *s) {
                 best = Some((eval.score, topo, eval.clone()));
             }
             xs.push(x);
@@ -191,7 +183,9 @@ mod tests {
         let run = |seed| {
             let mut sim = Simulator::new();
             let mut rng = StdRng::seed_from_u64(seed);
-            Bobo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng).success
+            Bobo::new(tiny())
+                .run(&Spec::g1(), &mut sim, &mut rng)
+                .success
         };
         assert_eq!(run(7), run(7));
     }
@@ -204,7 +198,10 @@ mod tests {
         for seed in 0..5 {
             let mut sim = Simulator::new();
             let mut rng = StdRng::seed_from_u64(seed);
-            if Bobo::new(tiny()).run(&Spec::g4(), &mut sim, &mut rng).success {
+            if Bobo::new(tiny())
+                .run(&Spec::g4(), &mut sim, &mut rng)
+                .success
+            {
                 successes += 1;
             }
         }

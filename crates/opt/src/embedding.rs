@@ -65,6 +65,7 @@ pub fn decode(x: &[f64], cl: f64, ranges: &SampleRanges) -> Topology {
                 .needs_gm()
                 .then(|| Siemens(log_decode(x[k * 4 + 3], ranges.gm.0, ranges.gm.1))),
         };
+        #[allow(clippy::expect_used)] // decode maps into each position's legal set
         topo.place(Placement::new(*pos, conn, params))
             .expect("decoded connection is legal by construction");
     }

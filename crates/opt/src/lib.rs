@@ -43,5 +43,5 @@ pub mod rlbo;
 
 pub use bobo::{Bobo, BoboConfig};
 pub use llm_baselines::{Gpt4Baseline, Llama2Baseline, OffTheShelfLlm};
-pub use objective::{OptResult, Objective};
+pub use objective::{Objective, OptResult};
 pub use rlbo::{Rlbo, RlboConfig};

@@ -56,12 +56,7 @@ impl Rlbo {
     }
 
     /// Runs one optimization trial.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        spec: &Spec,
-        sim: &mut Simulator,
-        rng: &mut R,
-    ) -> OptResult {
+    pub fn run<R: Rng + ?Sized>(&self, spec: &Spec, sim: &mut Simulator, rng: &mut R) -> OptResult {
         let cl = spec.cl.value();
         // Policy: logits per position over its legal types.
         let legal: Vec<Vec<ConnectionType>> = Position::ALL
@@ -104,7 +99,7 @@ impl Rlbo {
                 let eval = evaluate(&topo, spec, sim);
                 used += 1;
                 episode_best = episode_best.max(eval.score);
-                if best.as_ref().map_or(true, |(s, _, _)| eval.score > *s) {
+                if best.as_ref().is_none_or(|(s, _, _)| eval.score > *s) {
                     best = Some((eval.score, topo, eval));
                 }
             }
@@ -120,8 +115,8 @@ impl Rlbo {
                 baseline_initialized = true;
             }
             let advantage = reward - baseline;
-            baseline = self.config.baseline_beta * baseline
-                + (1.0 - self.config.baseline_beta) * reward;
+            baseline =
+                self.config.baseline_beta * baseline + (1.0 - self.config.baseline_beta) * reward;
             sim.ledger_mut().record_optimizer_step();
 
             for ((pos_logits, _), &choice) in logits.iter_mut().zip(&legal).zip(&choices) {
@@ -180,6 +175,7 @@ impl Rlbo {
                 continue;
             }
             let params = sample_params(rng, conn, &self.ranges);
+            #[allow(clippy::expect_used)] // indices drawn from the legal set
             topo.place(Placement::new(*pos, conn, params))
                 .expect("policy choices are legal by construction");
         }
@@ -227,7 +223,9 @@ mod tests {
         let run = |seed| {
             let mut sim = Simulator::new();
             let mut rng = StdRng::seed_from_u64(seed);
-            Rlbo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng).success
+            Rlbo::new(tiny())
+                .run(&Spec::g1(), &mut sim, &mut rng)
+                .success
         };
         assert_eq!(run(3), run(3));
     }

@@ -1,5 +1,75 @@
+use artisan_lint::{Diagnostic, LintReport};
 use artisan_math::MathError;
 use std::fmt;
+
+/// Why a netlist was rejected before simulation, with any ERC
+/// diagnostics that triggered the rejection.
+///
+/// Constructible from a bare message (`"no CL".into()`) so ad-hoc
+/// rejections stay one-liners, or from a [`LintReport`] via
+/// [`BadNetlistReport::from_lint`] so structural rejections carry their
+/// machine-readable [`Diagnostic`]s to the caller (the agent dialogue
+/// turns them into repair hints).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BadNetlistReport {
+    /// Human-readable reason.
+    pub message: String,
+    /// ERC diagnostics attached to the rejection (empty for ad-hoc
+    /// rejections such as a missing `CL`).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl BadNetlistReport {
+    /// Wraps the error diagnostics of a lint report.
+    pub fn from_lint(context: &str, report: &LintReport) -> Self {
+        BadNetlistReport {
+            message: format!("{context}: {}", report.summary()),
+            diagnostics: report.diagnostics().to_vec(),
+        }
+    }
+
+    /// Renders the message plus one line per diagnostic.
+    pub fn render(&self) -> String {
+        let mut out = self.message.clone();
+        for d in &self.diagnostics {
+            out.push_str("\n  ");
+            out.push_str(&d.render());
+        }
+        out
+    }
+}
+
+impl From<String> for BadNetlistReport {
+    fn from(message: String) -> Self {
+        BadNetlistReport {
+            message,
+            diagnostics: Vec::new(),
+        }
+    }
+}
+
+impl From<&str> for BadNetlistReport {
+    fn from(message: &str) -> Self {
+        BadNetlistReport::from(message.to_string())
+    }
+}
+
+impl fmt::Display for BadNetlistReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if !self.diagnostics.is_empty() {
+            write!(f, " [{}]", self.codes().join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl BadNetlistReport {
+    /// The stable codes of the attached diagnostics, in report order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.diagnostics.iter().map(|d| d.code()).collect()
+    }
+}
 
 /// Error type for simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +92,9 @@ pub enum SimError {
     },
     /// A numerical kernel failed.
     Math(MathError),
-    /// The netlist cannot be simulated as given.
-    BadNetlist(String),
+    /// The netlist cannot be simulated as given; carries the ERC
+    /// diagnostics when the rejection came from the lint gate.
+    BadNetlist(BadNetlistReport),
 }
 
 impl fmt::Display for SimError {
@@ -42,7 +113,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Math(e) => write!(f, "numerical failure: {e}"),
-            SimError::BadNetlist(msg) => write!(f, "bad netlist: {msg}"),
+            SimError::BadNetlist(report) => write!(f, "bad netlist: {report}"),
         }
     }
 }
@@ -85,5 +156,20 @@ mod tests {
         use std::error::Error;
         let e = SimError::from(MathError::Singular(2));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_netlist_report_from_lint_carries_diagnostics() {
+        let netlist = artisan_circuit::Netlist::parse(
+            "* float\nG1 out 0 in 0 1m\nR1 out 0 1k\nC1 out n1 1p\nC2 n1 0 1p\n.end\n",
+        )
+        .unwrap_or_else(|e| panic!("parse: {e}"));
+        let lint = artisan_lint::Linter::errors_only().lint(&netlist);
+        let report = BadNetlistReport::from_lint("rejected", &lint);
+        assert!(!report.diagnostics.is_empty());
+        assert!(report.codes().contains(&"ERC006"), "{:?}", report.codes());
+        let display = SimError::BadNetlist(report.clone()).to_string();
+        assert!(display.contains("ERC006"), "{display}");
+        assert!(report.render().lines().count() > 1, "{}", report.render());
     }
 }

@@ -49,7 +49,7 @@ pub mod poles;
 pub mod spec;
 pub mod variation;
 
-pub use error::SimError;
+pub use error::{BadNetlistReport, SimError};
 pub use metrics::{Performance, PowerModel};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};
 pub use spec::{Spec, SpecCheck, SpecReport};

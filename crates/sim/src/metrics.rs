@@ -94,10 +94,7 @@ impl PowerModel {
         let mut id_total = 0.0;
         for e in netlist.elements() {
             if let Element::Vccs {
-                ctrl_p,
-                ctrl_n,
-                gm,
-                ..
+                ctrl_p, ctrl_n, gm, ..
             } = e
             {
                 let senses_input = matches!(ctrl_p, artisan_circuit::Node::Input)
@@ -183,9 +180,8 @@ mod tests {
             ..PowerModel::default()
         };
         assert!(
-            (double.power_of_topology(&topo).value()
-                - 2.0 * base.power_of_topology(&topo).value())
-            .abs()
+            (double.power_of_topology(&topo).value() - 2.0 * base.power_of_topology(&topo).value())
+                .abs()
                 < 1e-12
         );
     }

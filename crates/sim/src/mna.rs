@@ -76,7 +76,15 @@ impl MnaSystem {
 
     /// Assembles `Y(s)` and the source-eliminated right-hand side for unit
     /// input drive.
-    pub fn assemble(&self, s: Complex64) -> (CMatrix, Vec<Complex64>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadNetlist`] if an element references a node
+    /// absent from the unknown index — impossible for systems built by
+    /// [`MnaSystem::new`] from a consistent netlist, but kept as an
+    /// error (not a panic) so the solver can never bring a design loop
+    /// down.
+    pub fn assemble(&self, s: Complex64) -> Result<(CMatrix, Vec<Complex64>)> {
         let mut y = CMatrix::zeros(self.dim, self.dim);
         let mut rhs = vec![Complex64::ZERO; self.dim];
         let v_in = Complex64::ONE;
@@ -84,35 +92,47 @@ impl MnaSystem {
         // Adds `val` at (row=node r, col=node c) with source elimination:
         // ground rows/cols vanish, the input column feeds the RHS, and the
         // input row is skipped (the source balances its own KCL).
-        let mut add = |r: Node, c: Node, val: Complex64| {
-            let Some(&ri) = self.index.get(&r) else {
-                return;
+        let mut add = |r: Node, c: Node, val: Complex64| -> Result<()> {
+            let ri = match self.index.get(&r) {
+                Some(&ri) => ri,
+                None if matches!(r, Node::Ground | Node::Input) => return Ok(()),
+                None => {
+                    return Err(SimError::BadNetlist(
+                        format!("element references node `{r}` missing from the MNA index").into(),
+                    ))
+                }
             };
             match c {
                 Node::Ground => {}
                 Node::Input => rhs[ri] -= val * v_in,
-                other => {
-                    let ci = self.index[&other];
-                    y.stamp(ri, ci, val);
-                }
+                other => match self.index.get(&other) {
+                    Some(&ci) => y.stamp(ri, ci, val),
+                    None => {
+                        return Err(SimError::BadNetlist(
+                            format!("element references node `{other}` missing from the MNA index")
+                                .into(),
+                        ))
+                    }
+                },
             }
+            Ok(())
         };
 
         for e in &self.elements {
             match e {
                 Element::Resistor { a, b, ohms, .. } => {
                     let g = Complex64::from_real(1.0 / ohms.value());
-                    add(*a, *a, g);
-                    add(*a, *b, -g);
-                    add(*b, *b, g);
-                    add(*b, *a, -g);
+                    add(*a, *a, g)?;
+                    add(*a, *b, -g)?;
+                    add(*b, *b, g)?;
+                    add(*b, *a, -g)?;
                 }
                 Element::Capacitor { a, b, farads, .. } => {
                     let g = s * Complex64::from_real(farads.value());
-                    add(*a, *a, g);
-                    add(*a, *b, -g);
-                    add(*b, *b, g);
-                    add(*b, *a, -g);
+                    add(*a, *a, g)?;
+                    add(*a, *b, -g)?;
+                    add(*b, *b, g)?;
+                    add(*b, *a, -g)?;
                 }
                 Element::Vccs {
                     out_p,
@@ -124,14 +144,14 @@ impl MnaSystem {
                 } => {
                     let g = Complex64::from_real(gm.value());
                     // I = gm·(v(cp) − v(cn)) leaves out_p, enters out_n.
-                    add(*out_p, *ctrl_p, g);
-                    add(*out_p, *ctrl_n, -g);
-                    add(*out_n, *ctrl_p, -g);
-                    add(*out_n, *ctrl_n, g);
+                    add(*out_p, *ctrl_p, g)?;
+                    add(*out_p, *ctrl_n, -g)?;
+                    add(*out_n, *ctrl_p, -g)?;
+                    add(*out_n, *ctrl_n, g)?;
                 }
             }
         }
-        (y, rhs)
+        Ok((y, rhs))
     }
 
     /// Solves for all node voltages at complex frequency `s` under unit
@@ -141,7 +161,7 @@ impl MnaSystem {
     ///
     /// Returns [`SimError::IllConditioned`] when `Y(s)` is singular.
     pub fn solve(&self, s: Complex64) -> Result<Vec<Complex64>> {
-        let (y, rhs) = self.assemble(s);
+        let (y, rhs) = self.assemble(s)?;
         let lu = LuDecomposition::new(y).map_err(|_| SimError::IllConditioned {
             frequency: s.im / (2.0 * std::f64::consts::PI),
         })?;
@@ -165,7 +185,7 @@ impl MnaSystem {
     ///
     /// Returns [`SimError::Math`] only for internal dimension bugs.
     pub fn determinant(&self, s: Complex64) -> Result<Complex64> {
-        let (y, _) = self.assemble(s);
+        let (y, _) = self.assemble(s)?;
         Ok(artisan_math::lu::det(y)?)
     }
 
@@ -177,7 +197,7 @@ impl MnaSystem {
     ///
     /// Returns [`SimError::Math`] only for internal dimension bugs.
     pub fn numerator(&self, s: Complex64) -> Result<Complex64> {
-        let (mut y, rhs) = self.assemble(s);
+        let (mut y, rhs) = self.assemble(s)?;
         for r in 0..self.dim {
             y[(r, self.out_index)] = rhs[r];
         }
@@ -194,9 +214,7 @@ mod tests {
     /// Single-pole RC low-pass driven through a unity-gm stage:
     /// H(0) = −gm·R, pole at 1/(2πRC).
     fn rc_stage(r: f64, c: f64, gm: f64) -> Netlist {
-        let text = format!(
-            "* rc stage\nG1 out 0 in 0 {gm}\nR1 out 0 {r}\nC1 out 0 {c}\n.end\n"
-        );
+        let text = format!("* rc stage\nG1 out 0 in 0 {gm}\nR1 out 0 {r}\nC1 out 0 {c}\n.end\n");
         Netlist::parse(&text).unwrap()
     }
 
@@ -255,10 +273,7 @@ mod tests {
     #[test]
     fn empty_netlist_rejected() {
         let n = Netlist::new("empty", vec![]);
-        assert!(matches!(
-            MnaSystem::new(&n),
-            Err(SimError::BadNetlist(_))
-        ));
+        assert!(matches!(MnaSystem::new(&n), Err(SimError::BadNetlist(_))));
     }
 
     #[test]
@@ -270,8 +285,7 @@ mod tests {
     #[test]
     fn floating_node_is_ill_conditioned_at_dc() {
         // n1 connects only through capacitors: G is singular at s = 0.
-        let n = Netlist::parse("* float\nC1 in n1 1p\nC2 n1 out 1p\nR1 out 0 1k\n.end\n")
-            .unwrap();
+        let n = Netlist::parse("* float\nC1 in n1 1p\nC2 n1 out 1p\nR1 out 0 1k\n.end\n").unwrap();
         let sys = MnaSystem::new(&n).unwrap();
         assert!(matches!(
             sys.transfer(Complex64::ZERO),

@@ -31,7 +31,10 @@ impl PoleZero {
 
     /// The real part of the most right-lying pole (rad/s).
     pub fn worst_pole_re(&self) -> f64 {
-        self.poles.iter().map(|p| p.re).fold(f64::NEG_INFINITY, f64::max)
+        self.poles
+            .iter()
+            .map(|p| p.re)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The dominant (smallest-magnitude) pole, if any.
@@ -39,13 +42,13 @@ impl PoleZero {
         self.poles
             .iter()
             .copied()
-            .min_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite poles"))
+            .min_by(|a, b| a.abs().total_cmp(&b.abs()))
     }
 
     /// Poles sorted by ascending magnitude.
     pub fn poles_by_magnitude(&self) -> Vec<Complex64> {
         let mut p = self.poles.clone();
-        p.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite poles"));
+        p.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
         p
     }
 }
@@ -88,18 +91,16 @@ pub fn transfer_polynomials(
     config: &PoleZeroConfig,
 ) -> Result<(Polynomial, Polynomial)> {
     // Degree bound: one power of s per capacitor, capped by matrix size.
-    let degree = netlist.capacitor_count().min(sys.dim() + netlist.capacitor_count());
+    let degree = netlist
+        .capacitor_count()
+        .min(sys.dim() + netlist.capacitor_count());
     let n_samples = degree + 1;
     let xs = interp::log_spaced_real_points(config.omega_lo, config.omega_hi, n_samples);
 
-    let den_pts: Result<Vec<(Complex64, Complex64)>> = xs
-        .iter()
-        .map(|&s| Ok((s, sys.determinant(s)?)))
-        .collect();
-    let num_pts: Result<Vec<(Complex64, Complex64)>> = xs
-        .iter()
-        .map(|&s| Ok((s, sys.numerator(s)?)))
-        .collect();
+    let den_pts: Result<Vec<(Complex64, Complex64)>> =
+        xs.iter().map(|&s| Ok((s, sys.determinant(s)?))).collect();
+    let num_pts: Result<Vec<(Complex64, Complex64)>> =
+        xs.iter().map(|&s| Ok((s, sys.numerator(s)?))).collect();
 
     let den = interp::newton_interpolate(&den_pts?)?.trimmed(config.trim_tol);
     let num = interp::newton_interpolate(&num_pts?)?.trimmed(config.trim_tol);

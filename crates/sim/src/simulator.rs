@@ -1,6 +1,6 @@
 use crate::ac::{sweep, unity_crossing, SweepConfig};
 use crate::cost::CostLedger;
-use crate::error::SimError;
+use crate::error::{BadNetlistReport, SimError};
 use crate::metrics::{Performance, PowerModel};
 use crate::mna::MnaSystem;
 use crate::poles::{pole_zero, PoleZero, PoleZeroConfig};
@@ -101,7 +101,7 @@ impl Simulator {
     pub fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
         let netlist = topo
             .elaborate()
-            .map_err(|e| SimError::BadNetlist(e.to_string()))?;
+            .map_err(|e| SimError::BadNetlist(e.to_string().into()))?;
         let power = self.config.power.power_of_topology(topo);
         self.analyze_inner(&netlist, topo.skeleton.cl.value(), Some(power))
     }
@@ -128,6 +128,20 @@ impl Simulator {
         power_override: Option<Watts>,
     ) -> Result<AnalysisReport> {
         self.ledger.record_simulation();
+
+        // ERC admission gate: reject structurally broken netlists with
+        // actionable diagnostics instead of letting them surface later
+        // as opaque numerical failures (a floating node would otherwise
+        // become an `IllConditioned` somewhere mid-sweep). Only
+        // Error-severity rules run here — warnings never block.
+        let gate = artisan_lint::Linter::errors_only().lint(netlist);
+        if gate.has_errors() {
+            return Err(SimError::BadNetlist(BadNetlistReport::from_lint(
+                "electrical-rule check failed",
+                &gate,
+            )));
+        }
+
         let sys = MnaSystem::new(netlist)?;
 
         // Stability first: metrics of an unstable network are fiction.
@@ -154,8 +168,7 @@ impl Simulator {
         let gain = Decibels::from_ratio(h0.abs());
 
         let points = sweep(&sys, &self.config.sweep)?;
-        let (gbw_hz, phase_at_unity) =
-            unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
+        let (gbw_hz, phase_at_unity) = unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
         // Phase margin: 180° + relative phase accumulated from DC.
         let pm = 180.0 + phase_at_unity;
 
@@ -203,7 +216,11 @@ mod tests {
         let mut sim = Simulator::new();
         let report = sim.analyze_topology(&Topology::dfc_example()).unwrap();
         assert!(report.stable, "poles {:?}", report.pole_zero.poles);
-        assert!(report.performance.pm.value() > 30.0, "{}", report.performance);
+        assert!(
+            report.performance.pm.value() > 30.0,
+            "{}",
+            report.performance
+        );
     }
 
     #[test]
@@ -239,8 +256,8 @@ mod tests {
 
     #[test]
     fn analyze_netlist_requires_cl() {
-        let n = artisan_circuit::Netlist::parse("* x\nG1 out 0 in 0 1m\nR1 out 0 10k\n.end\n")
-            .unwrap();
+        let n =
+            artisan_circuit::Netlist::parse("* x\nG1 out 0 in 0 1m\nR1 out 0 10k\n.end\n").unwrap();
         let mut sim = Simulator::new();
         assert!(matches!(
             sim.analyze_netlist(&n),
@@ -256,6 +273,25 @@ mod tests {
         let mut sim = Simulator::new();
         let report = sim.analyze_netlist(&netlist).unwrap();
         assert!(report.performance.gain.value() > 100.0);
+    }
+
+    #[test]
+    fn floating_node_is_rejected_by_the_erc_gate() {
+        // n1 hangs between two capacitors: singular at DC. The gate
+        // must turn this into a BadNetlist carrying ERC diagnostics —
+        // not an IllConditioned from deep inside the sweep.
+        let n = artisan_circuit::Netlist::parse(
+            "* float\nG1 out 0 in 0 1m\nC1 out n1 1p\nC2 n1 0 1p\nR1 out 0 1k\nCL out 0 1p\n.end\n",
+        )
+        .unwrap();
+        let mut sim = Simulator::new();
+        match sim.analyze_netlist(&n) {
+            Err(SimError::BadNetlist(report)) => {
+                assert!(!report.diagnostics.is_empty(), "{report}");
+                assert!(report.codes().contains(&"ERC006"), "{:?}", report.codes());
+            }
+            other => panic!("expected BadNetlist with diagnostics, got {other:?}"),
+        }
     }
 
     #[test]

@@ -34,7 +34,13 @@ pub struct Spec {
 
 impl Spec {
     /// Builds a spec from raw values.
-    pub fn new(gain_min_db: f64, gbw_min_hz: f64, pm_min_deg: f64, power_max_w: f64, cl: f64) -> Self {
+    pub fn new(
+        gain_min_db: f64,
+        gbw_min_hz: f64,
+        pm_min_deg: f64,
+        power_max_w: f64,
+        cl: f64,
+    ) -> Self {
         Spec {
             gain_min_db,
             gbw_min_hz,
@@ -172,7 +178,7 @@ impl SpecReport {
         self.checks
             .iter()
             .filter(|c| !c.pass)
-            .min_by(|a, b| a.margin.partial_cmp(&b.margin).expect("finite margins"))
+            .min_by(|a, b| a.margin.total_cmp(&b.margin))
     }
 }
 

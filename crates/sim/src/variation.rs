@@ -92,6 +92,7 @@ pub fn scaled(topo: &Topology, param: VariedParam, factor: f64) -> Topology {
                 }
                 _ => unreachable!("outer match restricts the variants"),
             }
+            #[allow(clippy::expect_used)] // same position, same type: always legal
             t.place(p).expect("re-placing the same position is legal");
         }
     }
@@ -237,8 +238,7 @@ mod tests {
         let topo = Topology::nmc_example();
         let scaled_topo = scaled(&topo, VariedParam::StageGm(2), 2.0);
         assert!(
-            (scaled_topo.skeleton.stage3.gm.value() - 2.0 * topo.skeleton.stage3.gm.value())
-                .abs()
+            (scaled_topo.skeleton.stage3.gm.value() - 2.0 * topo.skeleton.stage3.gm.value()).abs()
                 < 1e-15
         );
         assert_eq!(scaled_topo.skeleton.stage1, topo.skeleton.stage1);
@@ -260,12 +260,20 @@ mod tests {
             .expect("gm1 row");
         // Slightly above 1 because the crossing sits near the
         // non-dominant poles; well away from 0 or 2.
-        assert!((gm1.gbw - 1.0).abs() < 0.3, "gm1→GBW sensitivity {}", gm1.gbw);
+        assert!(
+            (gm1.gbw - 1.0).abs() < 0.3,
+            "gm1→GBW sensitivity {}",
+            gm1.gbw
+        );
         let cm1 = s
             .iter()
             .find(|r| r.param == VariedParam::PlacementC(0))
             .expect("cm1 row");
-        assert!((cm1.gbw + 1.0).abs() < 0.3, "cm1→GBW sensitivity {}", cm1.gbw);
+        assert!(
+            (cm1.gbw + 1.0).abs() < 0.3,
+            "cm1→GBW sensitivity {}",
+            cm1.gbw
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ proptest! {
         let f = 10f64.powf(rng.gen_range(0.0..8.0));
         let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
         if let Ok(v) = sys.solve(s) {
-            let (y, rhs) = sys.assemble(s);
+            let (y, rhs) = sys.assemble(s).expect("assemble");
             let yv = y.mul_vec(&v).expect("dims");
             let res: f64 = yv.iter().zip(&rhs)
                 .map(|(a, b)| (*a - *b).abs_sq()).sum::<f64>().sqrt();

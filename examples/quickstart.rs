@@ -29,6 +29,12 @@ fn main() {
         );
     }
 
-    println!("\n=== Behavioural netlist ===\n{}", outcome.design.netlist_text);
-    println!("=== Transistor-level netlist (gm/Id mapping) ===\n{}", outcome.transistor_netlist);
+    println!(
+        "\n=== Behavioural netlist ===\n{}",
+        outcome.design.netlist_text
+    );
+    println!(
+        "=== Transistor-level netlist (gm/Id mapping) ===\n{}",
+        outcome.transistor_netlist
+    );
 }

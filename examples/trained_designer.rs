@@ -47,12 +47,19 @@ fn main() {
     if let Some(report) = &outcome.design.report {
         println!("{}", report.performance);
     }
-    println!("success: {} in {} iteration(s)", outcome.design.success, outcome.design.iterations);
+    println!(
+        "success: {} in {} iteration(s)",
+        outcome.design.success, outcome.design.iterations
+    );
 
     // Show the retrieved architecture rationale (A0).
-    if let Some(turn) = outcome.design.transcript.turns().iter().find(|t| {
-        matches!(t.speaker, artisan::agents::Speaker::ArtisanLlm) && t.index == 0
-    }) {
+    if let Some(turn) = outcome
+        .design
+        .transcript
+        .turns()
+        .iter()
+        .find(|t| matches!(t.speaker, artisan::agents::Speaker::ArtisanLlm) && t.index == 0)
+    {
         println!("\nA0 (retrieved from DesignQA): {}", turn.text);
     }
 }

@@ -32,6 +32,7 @@
 //! | [`math`] | complex linear algebra, polynomials, statistics |
 //! | [`circuit`] | topologies, netlists, `NetlistTuple`, design recipes |
 //! | [`sim`] | MNA AC simulator, metrics, poles/zeros, specs, cost model |
+//! | [`lint`] | static electrical-rule checker (ERC) with stable codes |
 //! | [`gmid`] | gm/Id tables, sizing, transistor mapping |
 //! | [`llm`] | tokenizer, n-gram LM, retrieval, `DomainLm` |
 //! | [`dataset`] | corpus/NetlistTuple/DesignQA/Alpaca generators, Table 1 |
@@ -47,6 +48,7 @@ pub use artisan_circuit as circuit;
 pub use artisan_core as core;
 pub use artisan_dataset as dataset;
 pub use artisan_gmid as gmid;
+pub use artisan_lint as lint;
 pub use artisan_llm as llm;
 pub use artisan_math as math;
 pub use artisan_opt as opt;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use artisan_circuit::{Netlist, NetlistTuple, Topology};
     pub use artisan_core::{Artisan, ArtisanOptions, Method, Table3};
     pub use artisan_dataset::{DatasetConfig, OpampDataset, Table1};
+    pub use artisan_lint::{LintReport, Linter};
     pub use artisan_sim::{Simulator, Spec};
 }
 
@@ -69,6 +72,7 @@ mod tests {
         let _ = crate::math::Complex64::ONE;
         let _ = crate::circuit::Topology::default();
         let _ = crate::sim::Spec::g1();
+        let _ = crate::lint::Linter::default();
         let _ = crate::gmid::LookupTable::default_nmos();
         let _ = crate::llm::DomainLm::new(16, 2);
         let _ = crate::dataset::DatasetConfig::tiny();

@@ -179,7 +179,10 @@ fn pole_extraction_consistent_with_ac_response() {
         .expect("ac solve")
         .abs();
     let drop_db = 20.0 * (h0 / hp).log10();
-    assert!((drop_db - 3.01).abs() < 0.3, "roll-off at p1 was {drop_db} dB");
+    assert!(
+        (drop_db - 3.01).abs() < 0.3,
+        "roll-off at p1 was {drop_db} dB"
+    );
 }
 
 /// gm/Id mapping is consistent with the behavioural power model.

@@ -1,0 +1,324 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the proptest 1.x API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, range and
+//! tuple strategies, `prop::num::f64::NORMAL`, `prop::collection::vec`,
+//! [`test_runner::ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure
+//! persistence: each test runs `cases` deterministic iterations (seeded
+//! from the test name), and a failing case panics with the ordinary
+//! assertion message. That keeps the harness tiny while preserving the
+//! tests' coverage of the sampled space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of sampled values.
+///
+/// `sample` takes `&self` so one strategy value can drive every case of
+/// a test run.
+pub trait Strategy {
+    /// The type of the values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy applying `f` to every sampled value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Namespaced built-in strategies, mirroring `proptest::prop`.
+pub mod prop {
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            use crate::Strategy;
+            use rand::rngs::StdRng;
+            use rand::RngCore;
+
+            /// Strategy over normal (finite, non-subnormal) `f64`
+            /// values of either sign, uniform over the bit patterns of
+            /// valid sign/exponent/mantissa combinations.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalF64;
+
+            /// Mirror of `proptest::num::f64::NORMAL`.
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+
+                fn sample(&self, rng: &mut StdRng) -> f64 {
+                    let sign = rng.next_u64() & (1 << 63);
+                    // Exponent in [1, 2046]: excludes zero/subnormal
+                    // (0) and inf/NaN (2047).
+                    let exp = 1 + rng.next_u64() % 2046;
+                    let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                    f64::from_bits(sign | (exp << 52) | mantissa)
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy over vectors with element strategy `S` and a length
+        /// drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// Mirror of `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How many cases each property test runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[doc(hidden)]
+pub fn __fresh_rng(name: &str) -> StdRng {
+    StdRng::seed_from_u64(__seed_for(name))
+}
+
+/// Declares property tests (mirror of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::__fresh_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                // The closure gives `prop_assume!` an early-exit `return`
+                // that skips just this case.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($config:expr;) => {};
+}
+
+/// Assertion inside a property test (plain `assert!` here — no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds and assume/assert plumbing
+        /// works end to end.
+        #[test]
+        fn ranges_sample_in_bounds(x in 0u64..100, y in -1.5f64..2.5) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        /// prop_map transforms samples; tuples compose.
+        #[test]
+        fn map_and_tuples(pair in (0u32..10, 5u32..6).prop_map(|(a, b)| a + b)) {
+            prop_assert!((5..15).contains(&pair));
+        }
+
+        /// prop_assume skips cases without failing.
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        /// NORMAL yields finite values only.
+        #[test]
+        fn normal_is_finite(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x != 0.0);
+        }
+
+        /// Collection strategy respects the size range.
+        #[test]
+        fn vec_strategy_len(xs in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+            prop_assert!((2..50).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|v| (-1e3..1e3).contains(v)));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::__seed_for("a"), crate::__seed_for("b"));
+        assert_eq!(crate::__seed_for("a"), crate::__seed_for("a"));
+    }
+}
