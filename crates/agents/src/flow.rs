@@ -11,7 +11,7 @@ use crate::tot::TotTrace;
 use artisan_circuit::design::DesignTarget;
 use artisan_circuit::{Netlist, Topology};
 use artisan_dataset::OpampDataset;
-use artisan_sim::{AnalysisReport, Simulator, Spec};
+use artisan_sim::{AnalysisReport, SimBackend, Spec};
 use rand::Rng;
 
 /// Configuration of the Artisan agent.
@@ -21,6 +21,13 @@ pub struct AgentConfig {
     pub noise: NoiseModel,
     /// Maximum ToT modification iterations after the first design.
     pub max_iterations: usize,
+    /// Immediate re-simulation attempts when the backend fails with a
+    /// *transient* error ([`artisan_sim::SimError::is_transient`]) or a
+    /// poisoned (non-finite) report. Each retry bills another
+    /// simulation; against the deterministic plain simulator the retry
+    /// path is never taken on the happy path, so noiseless results are
+    /// unchanged.
+    pub sim_retries: usize,
 }
 
 impl AgentConfig {
@@ -30,6 +37,7 @@ impl AgentConfig {
         AgentConfig {
             noise: NoiseModel::noiseless(),
             max_iterations: 3,
+            sim_retries: 1,
         }
     }
 
@@ -41,6 +49,7 @@ impl AgentConfig {
         AgentConfig {
             noise: NoiseModel::paper_default(),
             max_iterations: 1,
+            sim_retries: 1,
         }
     }
 }
@@ -118,6 +127,12 @@ impl ArtisanAgent {
         &self.llm
     }
 
+    /// The agent's configuration (supervisors use it to bound the
+    /// worst-case cost of one design attempt).
+    pub fn config(&self) -> AgentConfig {
+        self.config
+    }
+
     /// Derives the initial design target from a spec: GBW margin over
     /// the floor (smaller when the spec is already aggressive or the
     /// power budget is tight) and the spec's gain/load/budget.
@@ -141,11 +156,13 @@ impl ArtisanAgent {
     }
 
     /// Runs the full design session for `spec`, billing LLM exchanges
-    /// and simulations to `sim`'s ledger.
-    pub fn design<R: Rng + ?Sized>(
+    /// and simulations to `sim`'s ledger. Generic over the backend, so
+    /// the same loop runs against the plain [`artisan_sim::Simulator`],
+    /// a fault-injected wrapper, or any other [`SimBackend`].
+    pub fn design<B: SimBackend + ?Sized, R: Rng + ?Sized>(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut B,
         rng: &mut R,
     ) -> DesignOutcome {
         let mut transcript = ChatTranscript::new();
@@ -172,7 +189,15 @@ impl ArtisanAgent {
         // modification iterations.
         let blunder = self.llm.sample_blunder(rng);
 
-        let mut best: Option<(Topology, AnalysisReport, bool)> = None;
+        // Best-so-far across iterations: prefer a spec-clearing report,
+        // then the report missing the fewest constraints.
+        struct BestSoFar {
+            topology: Topology,
+            report: AnalysisReport,
+            success: bool,
+            failure_count: usize,
+        }
+        let mut best: Option<BestSoFar> = None;
         let mut iterations = 0;
 
         for attempt in 0..=self.config.max_iterations {
@@ -200,41 +225,90 @@ impl ArtisanAgent {
             };
 
             // Verification (a billed simulation) — skipped when the ERC
-            // already rejected the netlist.
+            // already rejected the netlist. A transient backend failure
+            // or a poisoned (non-finite) report is retried immediately
+            // within the configured budget; whatever the simulator
+            // ultimately reports is labelled by *how* it failed, not
+            // collapsed into a fake phase-margin miss.
+            let mut sim_note: Option<String> = None;
             let (failures, report): (Vec<&str>, Option<AnalysisReport>) = if erc_hints.is_some() {
-                (vec!["PM"], None)
+                (vec!["Netlist"], None)
             } else {
-                match sim.analyze_topology(&cot.topology) {
-                    Ok(report) => {
-                        let check = spec.check(&report.performance);
-                        let mut fails: Vec<&str> = check.failures();
-                        if !report.stable && fails.is_empty() {
-                            fails.push("PM");
+                let mut retries = 0;
+                loop {
+                    match sim.analyze_topology(&cot.topology) {
+                        Ok(r) if !r.performance.is_finite() => {
+                            // Poisoned metrics (+∞ passes a `>` check):
+                            // the report must never reach spec.check.
+                            if retries < self.config.sim_retries {
+                                retries += 1;
+                                continue;
+                            }
+                            sim_note = Some(format!(
+                                "report discarded: non-finite metrics ({}) after {} attempt(s)",
+                                r.performance,
+                                retries + 1
+                            ));
+                            break (vec!["SimFault"], None);
                         }
-                        (fails, Some(report))
+                        Ok(r) => {
+                            if retries > 0 {
+                                sim_note =
+                                    Some(format!("recovered after {retries} retried attempt(s)"));
+                            }
+                            let check = spec.check(&r.performance);
+                            let mut fails: Vec<&str> = check.failures();
+                            if !r.stable && fails.is_empty() {
+                                fails.push("PM");
+                            }
+                            break (fails, Some(r));
+                        }
+                        Err(e) if e.is_transient() && retries < self.config.sim_retries => {
+                            retries += 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            sim_note = Some(format!(
+                                "simulation failed after {} attempt(s): {e}",
+                                retries + 1
+                            ));
+                            break (vec![e.failure_label()], None);
+                        }
                     }
-                    Err(_) => (vec!["PM"], None),
                 }
             };
 
             let success = failures.is_empty() && report.as_ref().map(|r| r.stable).unwrap_or(false);
             if let Some(r) = report {
-                let keep = match &best {
+                let replace = match &best {
                     None => true,
-                    Some((_, _, prev_success)) => success && !prev_success,
+                    Some(prev) => {
+                        (success && !prev.success)
+                            || (success == prev.success && failures.len() < prev.failure_count)
+                    }
                 };
-                if keep || best.is_none() {
-                    best = Some((cot.topology.clone(), r, success));
+                if replace {
+                    best = Some(BestSoFar {
+                        topology: cot.topology.clone(),
+                        report: r,
+                        success,
+                        failure_count: failures.len(),
+                    });
                 }
             }
             if success || attempt == self.config.max_iterations {
                 break;
             }
 
-            // ToT modification (the Q9-style feedback exchange).
+            // ToT modification (the Q9-style feedback exchange). ERC
+            // diagnostics and simulator fault notes surface as tool
+            // turns on the feedback exchange.
             let q = transcript.question(Prompter::feedback_question(&failures, spec));
             if let Some(hints) = &erc_hints {
                 transcript.tool(q, format!("erc: {hints}"));
+            }
+            if let Some(note) = &sim_note {
+                transcript.tool(q, format!("sim: {note}"));
             }
             let Some(modification) = tot_trace.decide_modification(architecture, &failures, spec)
             else {
@@ -265,11 +339,16 @@ impl ArtisanAgent {
                 Modification::WidenPoleSpacing => {
                     adjustments.pole_spread *= 1.4;
                 }
+                Modification::RepairNetlist => {
+                    // Drop every accumulated adjustment and re-emit the
+                    // recipe netlist from its defaults.
+                    adjustments = FlowAdjustments::default();
+                }
             }
         }
 
         let (topology, report, success) = match best {
-            Some((t, r, s)) => (t, Some(r), s),
+            Some(b) => (b.topology, Some(b.report), b.success),
             None => {
                 // Even simulation failed on every attempt: emit the last
                 // recipe topology as the (failed) result.
@@ -306,8 +385,81 @@ impl ArtisanAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use artisan_math::MathError;
+    use artisan_sim::cost::CostLedger;
+    use artisan_sim::{SimError, Simulator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::VecDeque;
+
+    /// One scripted backend response for a verification call.
+    enum Script {
+        /// Fail with this error (bills the simulation like a real run).
+        Fail(SimError),
+        /// Return the real report with metrics poisoned to +∞/NaN.
+        Poison,
+        /// Return this exact report.
+        Report(AnalysisReport),
+    }
+
+    /// Test backend: pops one scripted response per analysis call; an
+    /// exhausted script delegates to the real simulator.
+    struct ScriptedBackend {
+        inner: Simulator,
+        script: VecDeque<Script>,
+    }
+
+    impl ScriptedBackend {
+        fn new(script: Vec<Script>) -> Self {
+            ScriptedBackend {
+                inner: Simulator::new(),
+                script: script.into(),
+            }
+        }
+    }
+
+    impl SimBackend for ScriptedBackend {
+        fn analyze_topology(&mut self, topo: &Topology) -> artisan_sim::Result<AnalysisReport> {
+            match self.script.pop_front() {
+                Some(Script::Fail(e)) => {
+                    self.inner.ledger_mut().record_simulation();
+                    Err(e)
+                }
+                Some(Script::Poison) => {
+                    let mut r = self.inner.analyze_topology(topo)?;
+                    r.performance.gain = artisan_circuit::units::Decibels(f64::INFINITY);
+                    r.performance.pm = artisan_circuit::units::Degrees(f64::INFINITY);
+                    r.performance.fom = f64::NAN;
+                    Ok(r)
+                }
+                Some(Script::Report(r)) => {
+                    self.inner.ledger_mut().record_simulation();
+                    Ok(r)
+                }
+                None => self.inner.analyze_topology(topo),
+            }
+        }
+
+        fn analyze_netlist(&mut self, netlist: &Netlist) -> artisan_sim::Result<AnalysisReport> {
+            self.inner.analyze_netlist(netlist)
+        }
+
+        fn ledger(&self) -> &CostLedger {
+            self.inner.ledger()
+        }
+
+        fn ledger_mut(&mut self) -> &mut CostLedger {
+            self.inner.ledger_mut()
+        }
+    }
+
+    fn run_scripted(script: Vec<Script>) -> (DesignOutcome, ScriptedBackend) {
+        let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+        let mut sim = ScriptedBackend::new(script);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+        (outcome, sim)
+    }
 
     fn run(spec: &Spec, seed: u64) -> (DesignOutcome, Simulator) {
         let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
@@ -413,6 +565,214 @@ mod tests {
         assert!(
             !outcome.transcript.to_string().contains("erc:"),
             "unexpected ERC turn in a clean session"
+        );
+    }
+
+    #[test]
+    fn transient_illconditioned_is_retried_and_recovers() {
+        let (outcome, sim) = run_scripted(vec![Script::Fail(SimError::IllConditioned {
+            frequency: 1e3,
+        })]);
+        assert!(outcome.success);
+        assert_eq!(outcome.iterations, 1);
+        // The failed call plus the successful retry are both billed.
+        assert_eq!(sim.ledger().simulations(), 2);
+    }
+
+    #[test]
+    fn transient_math_fault_is_retried_and_recovers() {
+        let (outcome, sim) =
+            run_scripted(vec![Script::Fail(SimError::Math(MathError::Singular(3)))]);
+        assert!(outcome.success);
+        assert_eq!(sim.ledger().simulations(), 2);
+    }
+
+    #[test]
+    fn persistent_illconditioned_routes_to_netlist_repair() {
+        // Every call fails: retries exhaust, the failure is labelled
+        // IllConditioned (not "PM"), and ToT picks the netlist repair.
+        let script = (0..20)
+            .map(|_| Script::Fail(SimError::IllConditioned { frequency: 0.0 }))
+            .collect();
+        let (outcome, _) = run_scripted(script);
+        assert!(!outcome.success);
+        assert!(outcome.report.is_none());
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("singular"), "{text}");
+        assert!(text.contains("sim: simulation failed"), "{text}");
+        assert!(!text.contains("misses the following metrics: PM"), "{text}");
+        assert!(
+            outcome
+                .tot_trace
+                .nodes()
+                .iter()
+                .any(|n| n.chosen.contains("RepairNetlist")),
+            "{}",
+            outcome.tot_trace
+        );
+    }
+
+    #[test]
+    fn persistent_math_fault_breaks_without_fake_modification() {
+        // A pure backend fault has no architectural fix: after the
+        // retry budget the session stops instead of looping on
+        // compensation tweaks that cannot help.
+        let script = (0..20)
+            .map(|_| Script::Fail(SimError::Math(MathError::Singular(0))))
+            .collect();
+        let (outcome, sim) = run_scripted(script);
+        assert!(!outcome.success);
+        assert_eq!(outcome.iterations, 1);
+        // One attempt: the original call plus one retry.
+        assert_eq!(sim.ledger().simulations(), 2);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("backend failed"), "{text}");
+        assert!(text.contains("No applicable modification"), "{text}");
+    }
+
+    #[test]
+    fn no_unity_crossing_raises_the_gbw_target() {
+        // Not transient: no immediate retry; the modification table
+        // retargets GBW and the second iteration succeeds.
+        let (outcome, sim) = run_scripted(vec![Script::Fail(SimError::NoUnityCrossing)]);
+        assert!(outcome.success);
+        assert_eq!(outcome.iterations, 2);
+        assert_eq!(sim.ledger().simulations(), 2);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("never crosses unity"), "{text}");
+        assert!(
+            outcome
+                .tot_trace
+                .nodes()
+                .iter()
+                .any(|n| n.chosen.contains("IncreaseGbwTarget")),
+            "{}",
+            outcome.tot_trace
+        );
+    }
+
+    #[test]
+    fn unstable_error_widens_pole_spacing() {
+        let (outcome, _) = run_scripted(vec![Script::Fail(SimError::Unstable {
+            worst_pole_re: 1e4,
+        })]);
+        assert!(outcome.success);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("unstable"), "{text}");
+        assert!(
+            outcome
+                .tot_trace
+                .nodes()
+                .iter()
+                .any(|n| n.chosen.contains("WidenPoleSpacing")),
+            "{}",
+            outcome.tot_trace
+        );
+    }
+
+    #[test]
+    fn bad_netlist_error_routes_to_repair_and_recovers() {
+        let (outcome, _) = run_scripted(vec![Script::Fail(SimError::BadNetlist(
+            "synthetic rejection".into(),
+        ))]);
+        assert!(outcome.success);
+        assert_eq!(outcome.iterations, 2);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("electrical-rule"), "{text}");
+        assert!(
+            outcome
+                .tot_trace
+                .nodes()
+                .iter()
+                .any(|n| n.chosen.contains("RepairNetlist")),
+            "{}",
+            outcome.tot_trace
+        );
+    }
+
+    #[test]
+    fn poisoned_report_never_counts_as_success() {
+        // Every analysis returns +∞ gain / NaN FoM — a report that would
+        // *pass* a naive spec check. Sanitization must discard it.
+        let script = (0..20).map(|_| Script::Poison).collect();
+        let (outcome, _) = run_scripted(script);
+        assert!(!outcome.success);
+        assert!(outcome.report.is_none(), "poisoned report leaked through");
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("non-finite"), "{text}");
+    }
+
+    #[test]
+    fn single_poisoned_report_is_retried_away() {
+        let (outcome, sim) = run_scripted(vec![Script::Poison]);
+        assert!(outcome.success);
+        assert!(outcome
+            .report
+            .as_ref()
+            .is_some_and(|r| r.performance.is_finite()));
+        assert_eq!(sim.ledger().simulations(), 2);
+    }
+
+    #[test]
+    fn best_so_far_keeps_the_report_with_fewest_failures() {
+        // Attempt 1 misses two metrics, attempt 2 misses one: the final
+        // outcome must carry attempt 2's report (the seed's keep logic
+        // never replaced a failing report with a better failing one).
+        let mut probe = Simulator::new();
+        let template = probe
+            .analyze_topology(&Topology::nmc_example())
+            .unwrap_or_else(|e| panic!("template: {e}"));
+        let mut two_fails = template.clone();
+        two_fails.performance.gain = artisan_circuit::units::Decibels(50.0);
+        two_fails.performance.gbw = artisan_circuit::units::Hertz(0.1e6);
+        let mut one_fail = template.clone();
+        one_fail.performance.gain = artisan_circuit::units::Decibels(50.0);
+
+        let mut agent = ArtisanAgent::untrained(AgentConfig {
+            noise: NoiseModel::noiseless(),
+            max_iterations: 1,
+            sim_retries: 0,
+        });
+        let mut sim =
+            ScriptedBackend::new(vec![Script::Report(two_fails), Script::Report(one_fail)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+        assert!(!outcome.success);
+        let report = outcome.report.unwrap_or_else(|| panic!("report kept"));
+        // Attempt 2's GBW (the template's ~1 MHz), not attempt 1's 0.1 MHz.
+        assert!(
+            report.performance.gbw.value() > 0.5e6,
+            "kept the worse report: {}",
+            report.performance
+        );
+    }
+
+    #[test]
+    fn best_so_far_never_downgrades_to_more_failures() {
+        let mut probe = Simulator::new();
+        let template = probe
+            .analyze_topology(&Topology::nmc_example())
+            .unwrap_or_else(|e| panic!("template: {e}"));
+        let mut one_fail = template.clone();
+        one_fail.performance.gain = artisan_circuit::units::Decibels(50.0);
+        let mut two_fails = template.clone();
+        two_fails.performance.gain = artisan_circuit::units::Decibels(50.0);
+        two_fails.performance.gbw = artisan_circuit::units::Hertz(0.1e6);
+
+        let mut agent = ArtisanAgent::untrained(AgentConfig {
+            noise: NoiseModel::noiseless(),
+            max_iterations: 1,
+            sim_retries: 0,
+        });
+        let mut sim =
+            ScriptedBackend::new(vec![Script::Report(one_fail), Script::Report(two_fails)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+        let report = outcome.report.unwrap_or_else(|| panic!("report kept"));
+        assert!(
+            report.performance.gbw.value() > 0.5e6,
+            "downgraded to the worse report: {}",
+            report.performance
         );
     }
 

@@ -140,6 +140,11 @@ pub enum Modification {
     ShrinkCompensation,
     /// Spread the pole ratio (phase-margin shortfall).
     WidenPoleSpacing,
+    /// Re-emit the netlist from the architecture recipe with default
+    /// compensation settings (structural ERC rejection or a degenerate
+    /// system — no amount of compensation tuning fixes a broken
+    /// netlist).
+    RepairNetlist,
 }
 
 impl Modification {
@@ -166,6 +171,11 @@ impl Modification {
                 widen the non-dominant pole spacing by increasing the output-stage \
                 transconductance"
                 .to_string(),
+            Modification::RepairNetlist => "the netlist is structurally broken (ERC \
+                rejection or a degenerate system matrix); no compensation tweak can fix \
+                it — re-emit the netlist from the architecture recipe with default \
+                compensation settings, following the rule-checker diagnostics"
+                .to_string(),
         }
     }
 }
@@ -179,11 +189,33 @@ pub fn select_modification(
     spec: &Spec,
 ) -> Option<Modification> {
     let failing = |m: &str| failures.contains(&m);
-    if (failing("Power") || failing("PM"))
+    // Structural failures first: when the netlist itself is broken (ERC
+    // rejection, elaboration failure, singular MNA system) every other
+    // observation is noise, and compensation tweaks cannot help.
+    if failing("Netlist") || failing("IllConditioned") {
+        return Some(Modification::RepairNetlist);
+    }
+    // A pure backend/numerical fault carries no design signal at all:
+    // there is no architectural modification to make. Callers retry or
+    // escalate to their supervisor instead.
+    if failing("SimFault") && failures.len() == 1 {
+        return None;
+    }
+    // Simulator-level diagnoses map onto the metric strategies: no unity
+    // crossing within the band means the bandwidth target is far too
+    // low; a right-half-plane pole is the extreme phase-margin failure
+    // and shares PM's routing (including the large-load DFC escape).
+    if failing("NoUnityCrossing") {
+        return Some(Modification::IncreaseGbwTarget { factor: 2.0 });
+    }
+    if (failing("Power") || failing("PM") || failing("Unstable"))
         && spec.cl.value() > 100e-12
         && current != Architecture::DfcNmc
     {
         return Some(Modification::SwitchToDfc);
+    }
+    if failing("Unstable") {
+        return Some(Modification::WidenPoleSpacing);
     }
     if failing("Gain") {
         return Some(Modification::RaiseIntrinsicGain);
@@ -247,6 +279,64 @@ mod tests {
             Some(Modification::WidenPoleSpacing)
         );
         assert_eq!(select_modification(Architecture::Nmc, &[], &g1), None);
+    }
+
+    #[test]
+    fn structural_failures_route_to_netlist_repair() {
+        let g1 = Spec::g1();
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Netlist"], &g1),
+            Some(Modification::RepairNetlist)
+        );
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["IllConditioned"], &g1),
+            Some(Modification::RepairNetlist)
+        );
+        // Structural repair outranks everything else reported alongside.
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Gain", "Netlist"], &g1),
+            Some(Modification::RepairNetlist)
+        );
+    }
+
+    #[test]
+    fn simulator_diagnoses_map_to_metric_strategies() {
+        let g1 = Spec::g1();
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["NoUnityCrossing"], &g1),
+            Some(Modification::IncreaseGbwTarget { factor: 2.0 })
+        );
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Unstable"], &g1),
+            Some(Modification::WidenPoleSpacing)
+        );
+        // On an ultra-large load an unstable design escapes to DFC, like
+        // a plain PM failure would.
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["Unstable"], &Spec::g5()),
+            Some(Modification::SwitchToDfc)
+        );
+    }
+
+    #[test]
+    fn pure_backend_fault_has_no_architectural_fix() {
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["SimFault"], &Spec::g1()),
+            None
+        );
+        // …but a backend fault alongside a real metric failure defers to
+        // the metric strategy.
+        assert_eq!(
+            select_modification(Architecture::Nmc, &["SimFault", "Gain"], &Spec::g1()),
+            Some(Modification::RaiseIntrinsicGain)
+        );
+    }
+
+    #[test]
+    fn repair_netlist_rationale_mentions_erc() {
+        let r = Modification::RepairNetlist.rationale();
+        assert!(r.contains("ERC"), "{r}");
+        assert!(r.contains("re-emit"), "{r}");
     }
 
     #[test]

@@ -101,7 +101,28 @@ impl Prompter {
     /// exchange): reacts to the failing metrics in the answer, as the
     /// in-context GPT-4 prompter does.
     pub fn feedback_question(failures: &[&str], spec: &Spec) -> String {
-        if failures.contains(&"Power") && spec.cl.value() > 100e-12 {
+        let failing = |m: &str| failures.contains(&m);
+        if failing("Netlist") {
+            "The emitted netlist was rejected by the electrical-rule check before \
+             simulation. How should the netlist be repaired?"
+                .to_string()
+        } else if failing("IllConditioned") {
+            "The simulator reports a singular (ill-conditioned) system matrix — the \
+             circuit is degenerate as drawn. How should the netlist be repaired?"
+                .to_string()
+        } else if failing("SimFault") && failures.len() == 1 {
+            "The simulation backend failed without producing a report (numerical \
+             fault). Should the design be re-verified or the session escalated?"
+                .to_string()
+        } else if failing("NoUnityCrossing") {
+            "Simulation shows the gain never crosses unity in the swept band, so GBW \
+             and PM are undefined. How should the design be modified?"
+                .to_string()
+        } else if failing("Unstable") {
+            "Simulation shows a right-half-plane pole: the design is unstable. How \
+             should the design be modified?"
+                .to_string()
+        } else if failing("Power") && spec.cl.value() > 100e-12 {
             format!(
                 "When CL = {}, the above design suffers from excessive output-stage \
                  power. How should the topology be modified?",
@@ -150,5 +171,25 @@ mod tests {
         assert!(q.contains("1nF"), "{q}");
         let q = Prompter::feedback_question(&["Gain"], &Spec::g1());
         assert!(q.contains("Gain"), "{q}");
+    }
+
+    #[test]
+    fn feedback_distinguishes_simulator_failures() {
+        let g1 = Spec::g1();
+        let q = Prompter::feedback_question(&["Netlist"], &g1);
+        assert!(q.contains("electrical-rule"), "{q}");
+        let q = Prompter::feedback_question(&["IllConditioned"], &g1);
+        assert!(q.contains("singular"), "{q}");
+        let q = Prompter::feedback_question(&["SimFault"], &g1);
+        assert!(q.contains("backend failed"), "{q}");
+        let q = Prompter::feedback_question(&["NoUnityCrossing"], &g1);
+        assert!(q.contains("unity"), "{q}");
+        let q = Prompter::feedback_question(&["Unstable"], &g1);
+        assert!(q.contains("unstable"), "{q}");
+        // None of them claim a phase-margin miss.
+        for label in ["Netlist", "IllConditioned", "SimFault"] {
+            let q = Prompter::feedback_question(&[label], &g1);
+            assert!(!q.contains("PM"), "{label}: {q}");
+        }
     }
 }

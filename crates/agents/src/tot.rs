@@ -76,6 +76,7 @@ impl TotTrace {
                 "increase the GBW design target".to_string(),
                 "shrink the Miller compensation".to_string(),
                 "widen the pole spacing".to_string(),
+                "re-emit the netlist from the recipe".to_string(),
             ],
             chosen: format!("{m:?}"),
             rationale: m.rationale(),

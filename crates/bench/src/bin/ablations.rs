@@ -33,6 +33,7 @@ fn main() {
         let config = AgentConfig {
             noise: NoiseModel::paper_default(),
             max_iterations: iterations,
+            ..AgentConfig::noiseless()
         };
         print!("max_iterations = {iterations}: ");
         let mut agent = ArtisanAgent::untrained(config);

@@ -6,8 +6,9 @@
 use artisan_agents::{AgentConfig, ArtisanAgent, DesignOutcome};
 use artisan_dataset::{DatasetConfig, OpampDataset};
 use artisan_gmid::{map_topology, LookupTable};
+use artisan_resilience::{SessionReport, Supervisor};
 use artisan_sim::cost::{CostLedger, CostModel};
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{SimBackend, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -106,11 +107,26 @@ impl Artisan {
         &self.agent
     }
 
-    /// Runs one design session for `spec` with an explicit trial seed.
+    /// Runs one design session for `spec` with an explicit trial seed
+    /// against the plain deterministic simulator.
     pub fn design(&mut self, spec: &Spec, seed: u64) -> ArtisanOutcome {
         let mut sim = Simulator::new();
+        self.design_with(spec, &mut sim, seed)
+    }
+
+    /// Runs one design session against a caller-supplied simulation
+    /// backend — the plain [`Simulator`], a fault-injected wrapper, or
+    /// any other [`SimBackend`]. The ledger snapshot in the outcome is
+    /// read back from the backend, so injected latency penalties appear
+    /// in the reported testbed time.
+    pub fn design_with<B: SimBackend + ?Sized>(
+        &mut self,
+        spec: &Spec,
+        sim: &mut B,
+        seed: u64,
+    ) -> ArtisanOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
-        let design = self.agent.design(spec, &mut sim, &mut rng);
+        let design = self.agent.design(spec, sim, &mut rng);
         let transistor_netlist = map_topology(&design.topology, &self.nmos_table).to_spice();
         let ledger = *sim.ledger();
         let testbed_seconds = ledger.testbed_seconds(&self.options.cost_model);
@@ -120,6 +136,21 @@ impl Artisan {
             ledger,
             testbed_seconds,
         }
+    }
+
+    /// Runs one *supervised* design session: the supervisor retries
+    /// failed attempts with billed backoff, enforces its session
+    /// budget, and independently validates the result (see
+    /// `artisan-resilience`). The framework's own (possibly trained)
+    /// agent runs the attempts.
+    pub fn design_supervised<B: SimBackend + ?Sized>(
+        &mut self,
+        spec: &Spec,
+        sim: &mut B,
+        supervisor: &Supervisor,
+        seed: u64,
+    ) -> SessionReport {
+        supervisor.run_with_agent(&mut self.agent, spec, sim, seed)
     }
 }
 
@@ -165,6 +196,28 @@ mod tests {
         // corpus (NMC rationale phrasing).
         let text = outcome.design.transcript.to_string();
         assert!(text.to_lowercase().contains("nested miller"), "{text}");
+    }
+
+    #[test]
+    fn supervised_workflow_succeeds_on_clean_backend() {
+        let mut artisan = Artisan::new(ArtisanOptions::fast());
+        let mut sim = Simulator::new();
+        let report = artisan.design_supervised(&Spec::g1(), &mut sim, &Supervisor::default(), 0);
+        assert!(report.success, "{report}");
+        assert!(!report.degraded);
+        assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn supervised_workflow_survives_fault_injection() {
+        use artisan_resilience::{FaultPlan, FaultySim};
+        let mut artisan = Artisan::new(ArtisanOptions::fast());
+        let supervisor = Supervisor::default();
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(1, 0.3));
+        let report = artisan.design_supervised(&Spec::g1(), &mut sim, &supervisor, 1);
+        assert!(!(report.success && report.degraded));
+        assert!(report.simulations <= supervisor.budget.max_simulations);
+        assert!(report.llm_steps <= supervisor.budget.max_llm_steps);
     }
 
     #[test]

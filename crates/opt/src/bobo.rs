@@ -13,7 +13,7 @@ use crate::gp::GpHyperParams;
 use crate::objective::{evaluate, Objective, OptResult};
 use artisan_circuit::sample::SampleRanges;
 use artisan_circuit::Topology;
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{SimBackend, Spec};
 use rand::Rng;
 
 /// BOBO configuration.
@@ -66,8 +66,13 @@ impl Bobo {
         }
     }
 
-    /// Runs one optimization trial.
-    pub fn run<R: Rng + ?Sized>(&self, spec: &Spec, sim: &mut Simulator, rng: &mut R) -> OptResult {
+    /// Runs one optimization trial against any simulation backend.
+    pub fn run<B: SimBackend + ?Sized, R: Rng + ?Sized>(
+        &self,
+        spec: &Spec,
+        sim: &mut B,
+        rng: &mut R,
+    ) -> OptResult {
         let cl = spec.cl.value();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
@@ -133,7 +138,7 @@ impl Objective for Bobo {
     fn optimize(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut dyn SimBackend,
         rng: &mut dyn rand::RngCore,
     ) -> OptResult {
         self.run(spec, sim, rng)
@@ -143,6 +148,7 @@ impl Objective for Bobo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use artisan_sim::Simulator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -19,7 +19,7 @@ use crate::objective::{Objective, OptResult};
 use artisan_circuit::{
     ConnectionParams, ConnectionType, Placement, Position, Skeleton, StageParams, Topology,
 };
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{SimBackend, Spec};
 use std::f64::consts::PI;
 
 /// Which off-the-shelf model to simulate.
@@ -90,7 +90,7 @@ impl Objective for Gpt4Baseline {
     fn optimize(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut dyn SimBackend,
         _rng: &mut dyn rand::RngCore,
     ) -> OptResult {
         let (topo, _) = self.design(spec);
@@ -144,7 +144,7 @@ impl Objective for Llama2Baseline {
     fn optimize(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut dyn SimBackend,
         _rng: &mut dyn rand::RngCore,
     ) -> OptResult {
         let (topo, _) = self.design(spec);
@@ -162,6 +162,7 @@ impl Objective for Llama2Baseline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use artisan_sim::Simulator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -2,7 +2,7 @@
 //! subject to the Table 2 spec constraints.
 
 use artisan_circuit::Topology;
-use artisan_sim::{Performance, Simulator, Spec};
+use artisan_sim::{Performance, SimBackend, Spec};
 
 /// Scalarized objective value for one evaluated candidate.
 ///
@@ -45,10 +45,14 @@ pub struct Evaluation {
     pub feasible: bool,
 }
 
-/// Evaluates one topology under a spec, billing the simulation.
-pub fn evaluate(topo: &Topology, spec: &Spec, sim: &mut Simulator) -> Evaluation {
+/// Evaluates one topology under a spec, billing the simulation. Generic
+/// over the backend so optimizers run unchanged against the plain
+/// simulator or a fault-injected wrapper; a non-finite (poisoned) report
+/// is treated like a failed simulation rather than let +∞ metrics win
+/// the feasibility check.
+pub fn evaluate<B: SimBackend + ?Sized>(topo: &Topology, spec: &Spec, sim: &mut B) -> Evaluation {
     match sim.analyze_topology(topo) {
-        Ok(report) => {
+        Ok(report) if report.performance.is_finite() => {
             let feasible = spec.check(&report.performance).success() && report.stable;
             Evaluation {
                 score: score(&report.performance, spec, report.stable),
@@ -56,7 +60,7 @@ pub fn evaluate(topo: &Topology, spec: &Spec, sim: &mut Simulator) -> Evaluation
                 feasible,
             }
         }
-        Err(_) => Evaluation {
+        Ok(_) | Err(_) => Evaluation {
             score: -10.0,
             performance: None,
             feasible: false,
@@ -65,13 +69,14 @@ pub fn evaluate(topo: &Topology, spec: &Spec, sim: &mut Simulator) -> Evaluation
 }
 
 /// Trait implemented by every Table 3 method: run a design attempt under
-/// a budget and report the outcome.
+/// a budget and report the outcome. Takes a `dyn` backend so one trait
+/// object covers the plain simulator and every wrapper.
 pub trait Objective {
     /// Runs the method against `spec`, billing all work to `sim`.
     fn optimize(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut dyn SimBackend,
         rng: &mut dyn rand::RngCore,
     ) -> OptResult;
 }
@@ -93,6 +98,7 @@ pub struct OptResult {
 mod tests {
     use super::*;
     use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
+    use artisan_sim::Simulator;
 
     fn perf(gain: f64, gbw: f64, pm: f64, power: f64) -> Performance {
         Performance {

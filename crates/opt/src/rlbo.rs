@@ -12,7 +12,7 @@ use artisan_circuit::sample::{sample_params, SampleRanges};
 use artisan_circuit::{
     ConnectionType, Placement, Position, PositionRules, Skeleton, StageParams, Topology,
 };
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{SimBackend, Spec};
 use rand::Rng;
 
 /// RLBO configuration.
@@ -55,8 +55,13 @@ impl Rlbo {
         }
     }
 
-    /// Runs one optimization trial.
-    pub fn run<R: Rng + ?Sized>(&self, spec: &Spec, sim: &mut Simulator, rng: &mut R) -> OptResult {
+    /// Runs one optimization trial against any simulation backend.
+    pub fn run<B: SimBackend + ?Sized, R: Rng + ?Sized>(
+        &self,
+        spec: &Spec,
+        sim: &mut B,
+        rng: &mut R,
+    ) -> OptResult {
         let cl = spec.cl.value();
         // Policy: logits per position over its legal types.
         let legal: Vec<Vec<ConnectionType>> = Position::ALL
@@ -187,7 +192,7 @@ impl Objective for Rlbo {
     fn optimize(
         &mut self,
         spec: &Spec,
-        sim: &mut Simulator,
+        sim: &mut dyn SimBackend,
         rng: &mut dyn rand::RngCore,
     ) -> OptResult {
         self.run(spec, sim, rng)
@@ -197,6 +202,7 @@ impl Objective for Rlbo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use artisan_sim::Simulator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

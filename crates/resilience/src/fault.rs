@@ -1,0 +1,431 @@
+//! Deterministic fault injection over any simulation backend.
+//!
+//! [`FaultySim`] sits between a caller and an inner [`SimBackend`] and
+//! decides, per analysis call, whether to corrupt it. Every decision is
+//! a pure hash of `(plan.seed, call index)` — no hidden RNG state — so
+//! the same plan against the same call sequence injects the same faults,
+//! which is what makes chaos tests and postmortem replays exact.
+
+use artisan_circuit::{Netlist, Topology};
+use artisan_math::MathError;
+use artisan_sim::cost::CostLedger;
+use artisan_sim::{AnalysisReport, Result, SimBackend, SimError};
+
+/// What kind of corruption a call suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The solve failed as a singular/ill-conditioned system
+    /// ([`SimError::IllConditioned`]) — transient, retryable.
+    IllConditioned,
+    /// A numerical kernel failed ([`SimError::Math`]) — transient.
+    MathFault,
+    /// The backend claimed the gain never crossed unity
+    /// ([`SimError::NoUnityCrossing`]).
+    NoUnityCrossing,
+    /// The backend rejected the netlist ([`SimError::BadNetlist`]).
+    BadNetlist,
+    /// The analysis "succeeded" but its metrics came back NaN/∞
+    /// poisoned — the nastiest failure, because a +∞ gain *passes* a
+    /// naive `>` spec check.
+    PoisonedReport,
+    /// The call stalled: extra testbed seconds billed to the ledger,
+    /// result otherwise untouched.
+    Latency,
+}
+
+impl FaultKind {
+    /// Short stable name for logs and notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::IllConditioned => "ill-conditioned",
+            FaultKind::MathFault => "math-fault",
+            FaultKind::NoUnityCrossing => "no-unity-crossing",
+            FaultKind::BadNetlist => "bad-netlist",
+            FaultKind::PoisonedReport => "poisoned-report",
+            FaultKind::Latency => "latency",
+        }
+    }
+}
+
+/// One injected fault, recorded for the session log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Zero-based analysis-call index the fault hit.
+    pub call: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-driven schedule of faults.
+///
+/// Rates are per-call probabilities in `[0, 1]`, evaluated from
+/// independent hash draws: a call first rolls for latency (additive —
+/// the call still proceeds), then for an injected error, then for
+/// report poisoning. `persistent_from` switches the plan from
+/// *transient* faults to a *persistent* outage: from that call index on,
+/// every analysis fails, which is how a dead license server or a
+/// crashed solver farm presents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every per-call decision.
+    pub seed: u64,
+    /// Probability a call fails with an injected [`SimError`].
+    pub error_rate: f64,
+    /// Probability a successful call's report comes back NaN/∞ poisoned.
+    pub nan_rate: f64,
+    /// Probability a call is hit by a latency spike.
+    pub latency_rate: f64,
+    /// Extra testbed seconds one latency spike bills.
+    pub latency_seconds: f64,
+    /// When set, every call at or after this index fails (persistent
+    /// outage), regardless of `error_rate`.
+    pub persistent_from: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults at all: the wrapper is a transparent pass-through.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            error_rate: 0.0,
+            nan_rate: 0.0,
+            latency_rate: 0.0,
+            latency_seconds: 0.0,
+            persistent_from: None,
+        }
+    }
+
+    /// A flaky testbed: errors, poisoned reports, and 10-second stalls,
+    /// each at `rate` per call.
+    pub fn flaky(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate: rate,
+            nan_rate: rate,
+            latency_rate: rate,
+            latency_seconds: 10.0,
+            persistent_from: None,
+        }
+    }
+
+    /// Every report comes back NaN/∞ poisoned — the adversarial case
+    /// the chaos suite uses to prove poisoned metrics can never be
+    /// reported as success.
+    pub fn poisoned(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate: 0.0,
+            nan_rate: 1.0,
+            latency_rate: 0.0,
+            latency_seconds: 0.0,
+            persistent_from: None,
+        }
+    }
+
+    /// A testbed that dies permanently at call `from`.
+    pub fn outage_from(seed: u64, from: u64) -> Self {
+        FaultPlan {
+            seed,
+            error_rate: 0.0,
+            nan_rate: 0.0,
+            latency_rate: 0.0,
+            latency_seconds: 0.0,
+            persistent_from: Some(from),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed pure hash of one word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, call, salt)`.
+fn unit(seed: u64, call: u64, salt: u64) -> f64 {
+    let h = mix(seed ^ mix(call ^ mix(salt)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fault-injecting wrapper around any simulation backend.
+///
+/// Injected errors still bill one simulation to the ledger — a failed
+/// Spectre run consumes testbed time all the same — and latency spikes
+/// bill [`FaultPlan::latency_seconds`] as penalty seconds. Injected
+/// faults are appended to [`FaultySim::fault_log`] and surfaced as
+/// human-readable notes through [`SimBackend::drain_fault_notes`], so a
+/// supervisor observes them through the trait without downcasting.
+#[derive(Debug, Clone)]
+pub struct FaultySim<B> {
+    inner: B,
+    plan: FaultPlan,
+    calls: u64,
+    log: Vec<FaultRecord>,
+    notes: Vec<String>,
+}
+
+impl<B: SimBackend> FaultySim<B> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultySim {
+            inner,
+            plan,
+            calls: 0,
+            log: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Analysis calls seen so far (including faulted ones).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Every fault injected so far, in call order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Borrow of the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the inner backend, discarding the fault state.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn record(&mut self, call: u64, kind: FaultKind) {
+        self.log.push(FaultRecord { call, kind });
+        self.notes
+            .push(format!("injected {} at call {call}", kind.name()));
+    }
+
+    /// Rolls the per-call dice: bills latency if drawn, then returns the
+    /// corruption (if any) for this call.
+    fn decide(&mut self) -> (u64, Option<FaultKind>) {
+        let call = self.calls;
+        self.calls += 1;
+        let p = self.plan;
+        if p.latency_rate > 0.0 && unit(p.seed, call, 1) < p.latency_rate {
+            self.inner
+                .ledger_mut()
+                .record_penalty_seconds(p.latency_seconds);
+            self.record(call, FaultKind::Latency);
+        }
+        if p.persistent_from.is_some_and(|from| call >= from) {
+            return (call, Some(FaultKind::IllConditioned));
+        }
+        if p.error_rate > 0.0 && unit(p.seed, call, 2) < p.error_rate {
+            let kind = match mix(p.seed ^ mix(call ^ 0x5eed)) % 4 {
+                0 => FaultKind::IllConditioned,
+                1 => FaultKind::MathFault,
+                2 => FaultKind::NoUnityCrossing,
+                _ => FaultKind::BadNetlist,
+            };
+            return (call, Some(kind));
+        }
+        if p.nan_rate > 0.0 && unit(p.seed, call, 3) < p.nan_rate {
+            return (call, Some(FaultKind::PoisonedReport));
+        }
+        (call, None)
+    }
+
+    /// Turns a drawn fault into the injected error, billing the wasted
+    /// simulation.
+    fn inject_error(&mut self, call: u64, kind: FaultKind) -> SimError {
+        self.inner.ledger_mut().record_simulation();
+        self.record(call, kind);
+        match kind {
+            FaultKind::MathFault => SimError::Math(MathError::Singular(call as usize)),
+            FaultKind::NoUnityCrossing => SimError::NoUnityCrossing,
+            FaultKind::BadNetlist => {
+                SimError::BadNetlist("fault injection: netlist corrupted in transit".into())
+            }
+            // IllConditioned doubles as the persistent-outage error.
+            _ => SimError::IllConditioned { frequency: 0.0 },
+        }
+    }
+
+    fn poison(&mut self, call: u64, mut report: AnalysisReport) -> AnalysisReport {
+        self.record(call, FaultKind::PoisonedReport);
+        // The dangerous direction: +∞ *passes* `>` spec constraints, so
+        // an unsanitized consumer would call this design a success.
+        report.performance.gain = artisan_circuit::units::Decibels(f64::INFINITY);
+        report.performance.pm = artisan_circuit::units::Degrees(f64::INFINITY);
+        report.performance.fom = f64::NAN;
+        report
+    }
+}
+
+impl<B: SimBackend> SimBackend for FaultySim<B> {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        let (call, fault) = self.decide();
+        match fault {
+            None => self.inner.analyze_topology(topo),
+            Some(FaultKind::PoisonedReport) => {
+                let r = self.inner.analyze_topology(topo)?;
+                Ok(self.poison(call, r))
+            }
+            Some(kind) => Err(self.inject_error(call, kind)),
+        }
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        let (call, fault) = self.decide();
+        match fault {
+            None => self.inner.analyze_netlist(netlist),
+            Some(FaultKind::PoisonedReport) => {
+                let r = self.inner.analyze_netlist(netlist)?;
+                Ok(self.poison(call, r))
+            }
+            Some(kind) => Err(self.inject_error(call, kind)),
+        }
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        self.inner.ledger_mut()
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.notes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_sim::Simulator;
+
+    fn nmc() -> Topology {
+        Topology::nmc_example()
+    }
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let mut plain = Simulator::new();
+        let expected = plain
+            .analyze_topology(&nmc())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut faulty = FaultySim::new(Simulator::new(), FaultPlan::none());
+        let got = faulty
+            .analyze_topology(&nmc())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(expected.performance, got.performance);
+        assert!(faulty.fault_log().is_empty());
+        assert_eq!(faulty.calls(), 1);
+        assert_eq!(faulty.ledger().simulations(), 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(seed, 0.4));
+            for _ in 0..32 {
+                let _ = sim.analyze_topology(&nmc());
+            }
+            sim.fault_log().to_vec()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds, identical schedule");
+    }
+
+    #[test]
+    fn flaky_plan_injects_all_kinds_eventually() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(3, 0.5));
+        for _ in 0..200 {
+            let _ = sim.analyze_topology(&nmc());
+        }
+        let kinds: Vec<FaultKind> = sim.fault_log().iter().map(|r| r.kind).collect();
+        for kind in [
+            FaultKind::IllConditioned,
+            FaultKind::MathFault,
+            FaultKind::NoUnityCrossing,
+            FaultKind::BadNetlist,
+            FaultKind::PoisonedReport,
+            FaultKind::Latency,
+        ] {
+            assert!(kinds.contains(&kind), "{} never injected", kind.name());
+        }
+    }
+
+    #[test]
+    fn poisoned_plan_returns_nonfinite_reports() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::poisoned(0));
+        let r = sim
+            .analyze_topology(&nmc())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(!r.performance.is_finite());
+        assert!(r.performance.gain.value().is_infinite());
+    }
+
+    #[test]
+    fn outage_kills_every_call_after_onset() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::outage_from(0, 2));
+        assert!(sim.analyze_topology(&nmc()).is_ok());
+        assert!(sim.analyze_topology(&nmc()).is_ok());
+        for _ in 0..5 {
+            let e = sim.analyze_topology(&nmc());
+            assert!(matches!(e, Err(SimError::IllConditioned { .. })), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn latency_bills_penalty_seconds_not_wall_clock() {
+        let plan = FaultPlan {
+            latency_rate: 1.0,
+            latency_seconds: 25.0,
+            ..FaultPlan::none()
+        };
+        let mut sim = FaultySim::new(Simulator::new(), plan);
+        let _ = sim.analyze_topology(&nmc());
+        assert_eq!(sim.ledger().penalty_seconds(), 25.0);
+        let _ = sim.analyze_topology(&nmc());
+        assert_eq!(sim.ledger().penalty_seconds(), 50.0);
+    }
+
+    #[test]
+    fn injected_errors_still_bill_a_simulation() {
+        let plan = FaultPlan {
+            error_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut sim = FaultySim::new(Simulator::new(), plan);
+        assert!(sim.analyze_topology(&nmc()).is_err());
+        assert_eq!(sim.ledger().simulations(), 1);
+    }
+
+    #[test]
+    fn notes_drain_through_the_trait() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::poisoned(0));
+        let _ = sim.analyze_topology(&nmc());
+        let notes = sim.drain_fault_notes();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("poisoned-report"), "{}", notes[0]);
+        assert!(sim.drain_fault_notes().is_empty(), "notes drained twice");
+    }
+
+    #[test]
+    fn netlist_path_faults_identically() {
+        let netlist = nmc().elaborate().unwrap_or_else(|e| panic!("{e}"));
+        let plan = FaultPlan {
+            error_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut sim = FaultySim::new(Simulator::new(), plan);
+        assert!(sim.analyze_netlist(&netlist).is_err());
+        assert_eq!(sim.fault_log().len(), 1);
+    }
+}

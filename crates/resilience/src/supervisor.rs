@@ -1,0 +1,461 @@
+//! Supervised design sessions: retry, backoff, budget, degradation.
+//!
+//! A [`Supervisor`] runs [`ArtisanAgent::design`] attempts against any
+//! [`SimBackend`] until one validates, the [`RetryPolicy`] is spent, or
+//! the [`SessionBudget`] cannot worst-case afford another attempt. The
+//! result is a [`SessionReport`]: a structured record of what happened
+//! (attempts, observed faults, backoff, budget stops) plus the best
+//! outcome seen.
+//!
+//! Two invariants the chaos suite leans on:
+//!
+//! - **Budgets are pre-flight enforced.** Before each attempt the
+//!   supervisor projects the attempt's *worst-case* cost from the
+//!   agent's configuration; an attempt that could overrun the
+//!   simulation or LLM-step budget never starts, so the final ledger
+//!   never exceeds those caps.
+//! - **Success is independently validated.** The supervisor re-checks
+//!   the best outcome itself — report present, metrics finite, spec
+//!   satisfied, stable — so a NaN/∞-poisoned report can never be
+//!   reported as `success = true` no matter what the agent concluded.
+//!
+//! Backoff is billed to the cost ledger as testbed-equivalent penalty
+//! seconds rather than slept on the wall clock: a supervised session is
+//! a deterministic function of its seeds, and replaying it (or running
+//! thousands of them in a chaos sweep) costs no real time.
+
+use artisan_agents::{AgentConfig, ArtisanAgent, DesignOutcome};
+use artisan_sim::cost::CostModel;
+use artisan_sim::{SimBackend, Spec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// When and how hard to retry a failed design attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum design attempts per session (≥ 1).
+    pub max_attempts: usize,
+    /// Testbed seconds billed before the second attempt.
+    pub backoff_base_seconds: f64,
+    /// Multiplier applied to the backoff after each further attempt.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_seconds: 30.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff billed after `failed_attempts` attempts have failed
+    /// (exponential: base · factor^(failed_attempts − 1)).
+    pub fn backoff_seconds(&self, failed_attempts: usize) -> f64 {
+        if failed_attempts == 0 {
+            return 0.0;
+        }
+        self.backoff_base_seconds * self.backoff_factor.powi(failed_attempts as i32 - 1)
+    }
+}
+
+/// Hard caps on what one supervised session may consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionBudget {
+    /// Maximum billed simulations.
+    pub max_simulations: usize,
+    /// Maximum billed LLM exchanges.
+    pub max_llm_steps: usize,
+    /// Maximum testbed-equivalent seconds (simulations + LLM steps +
+    /// penalties, under the supervisor's cost model).
+    pub max_testbed_seconds: f64,
+}
+
+impl Default for SessionBudget {
+    /// Roomy enough for [`RetryPolicy::default`]'s three noiseless
+    /// attempts: ~1 h of testbed time.
+    fn default() -> Self {
+        SessionBudget {
+            max_simulations: 48,
+            max_llm_steps: 160,
+            max_testbed_seconds: 3600.0,
+        }
+    }
+}
+
+/// One entry in the session's event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// An attempt began.
+    AttemptStarted {
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// An attempt finished.
+    AttemptFinished {
+        /// 1-based attempt number.
+        attempt: usize,
+        /// Whether the attempt's outcome passed independent validation.
+        validated: bool,
+    },
+    /// A fault note drained from the backend during the attempt.
+    FaultObserved {
+        /// The backend's note text.
+        note: String,
+    },
+    /// Backoff billed before the next attempt.
+    Backoff {
+        /// Attempt that just failed.
+        after_attempt: usize,
+        /// Testbed seconds billed.
+        seconds: f64,
+    },
+    /// The session stopped because the budget could not worst-case
+    /// afford the next attempt.
+    BudgetExhausted {
+        /// Which cap stopped it.
+        reason: String,
+    },
+}
+
+/// The structured record of one supervised session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Whether the best outcome passed independent validation (finite
+    /// metrics, every spec constraint, stable).
+    pub success: bool,
+    /// True when the session delivers a best-so-far result *without*
+    /// success: the retry/budget envelope was exhausted and the caller
+    /// is getting the least-bad design, not a validated one.
+    pub degraded: bool,
+    /// Design attempts actually run.
+    pub attempts: usize,
+    /// Faults observed across all attempts (backend notes).
+    pub faults_observed: usize,
+    /// The event log, in order.
+    pub events: Vec<SessionEvent>,
+    /// The best design outcome seen (None only when no attempt ran or
+    /// every attempt died without a report).
+    pub outcome: Option<DesignOutcome>,
+    /// Billed simulations at session end.
+    pub simulations: usize,
+    /// Billed LLM exchanges at session end.
+    pub llm_steps: usize,
+    /// Testbed-equivalent seconds at session end (includes backoff and
+    /// injected-latency penalties).
+    pub testbed_seconds: f64,
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "session: {} in {} attempt(s), {} fault(s) observed, {} sims, {} LLM steps, {:.1}s testbed",
+            if self.success {
+                "success"
+            } else if self.degraded {
+                "degraded"
+            } else {
+                "failed"
+            },
+            self.attempts,
+            self.faults_observed,
+            self.simulations,
+            self.llm_steps,
+            self.testbed_seconds,
+        )
+    }
+}
+
+/// Runs design sessions under retry and budget control.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Supervisor {
+    /// Retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Session budget.
+    pub budget: SessionBudget,
+    /// Cost model used to project and report testbed seconds.
+    pub cost_model: CostModel,
+}
+
+/// Worst-case cost of one design attempt under `config`: every
+/// iteration re-simulates through the full retry budget, and every
+/// iteration spends its 8 CoT exchanges plus the feedback exchange on
+/// top of Q0.
+fn worst_case_attempt(config: &AgentConfig) -> (usize, usize) {
+    let iterations = config.max_iterations + 1;
+    let sims = iterations * (1 + config.sim_retries);
+    let llm_steps = 1 + iterations * 9;
+    (sims, llm_steps)
+}
+
+/// Independent validation: the supervisor trusts the simulator's
+/// numbers, not the agent's flag.
+fn validate(spec: &Spec, outcome: &DesignOutcome) -> bool {
+    outcome.report.as_ref().is_some_and(|r| {
+        r.stable && r.performance.is_finite() && spec.check(&r.performance).success()
+    })
+}
+
+/// How many spec constraints an outcome misses (∞ when it has no
+/// usable report).
+fn failure_count(spec: &Spec, outcome: &DesignOutcome) -> usize {
+    match &outcome.report {
+        Some(r) if r.performance.is_finite() => spec.check(&r.performance).failures().len(),
+        _ => usize::MAX,
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with an explicit retry policy and budget.
+    pub fn new(retry: RetryPolicy, budget: SessionBudget) -> Self {
+        Supervisor {
+            retry,
+            budget,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Runs a session with a fresh untrained noiseless agent — the
+    /// common chaos-testing entry point.
+    pub fn run<B: SimBackend + ?Sized>(
+        &self,
+        spec: &Spec,
+        sim: &mut B,
+        seed: u64,
+    ) -> SessionReport {
+        let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+        self.run_with_agent(&mut agent, spec, sim, seed)
+    }
+
+    /// Runs a session with a caller-supplied agent (trained or not).
+    /// Attempt `k` derives its RNG from `seed` and `k`, so a session is
+    /// reproducible end to end from `(seed, plan, config)`.
+    pub fn run_with_agent<B: SimBackend + ?Sized>(
+        &self,
+        agent: &mut ArtisanAgent,
+        spec: &Spec,
+        sim: &mut B,
+        seed: u64,
+    ) -> SessionReport {
+        let (attempt_sims, attempt_llm) = worst_case_attempt(&agent.config());
+        let mut events = Vec::new();
+        let mut best: Option<(usize, DesignOutcome)> = None;
+        let mut success = false;
+        let mut attempts = 0;
+        let mut faults_observed = 0;
+
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            // Pre-flight: never start an attempt the budget cannot
+            // worst-case afford.
+            let ledger = sim.ledger();
+            let projected_seconds = ledger.testbed_seconds(&self.cost_model)
+                + attempt_sims as f64 * self.cost_model.seconds_per_simulation
+                + attempt_llm as f64 * self.cost_model.seconds_per_llm_step;
+            let stop = if ledger.simulations() as usize + attempt_sims > self.budget.max_simulations
+            {
+                Some("simulations")
+            } else if ledger.llm_steps() as usize + attempt_llm > self.budget.max_llm_steps {
+                Some("llm-steps")
+            } else if projected_seconds > self.budget.max_testbed_seconds {
+                Some("testbed-seconds")
+            } else {
+                None
+            };
+            if let Some(cap) = stop {
+                events.push(SessionEvent::BudgetExhausted {
+                    reason: format!("next attempt could exceed the {cap} cap"),
+                });
+                break;
+            }
+
+            attempts = attempt;
+            events.push(SessionEvent::AttemptStarted { attempt });
+            let mut rng = StdRng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37));
+            let outcome = agent.design(spec, sim, &mut rng);
+            for note in sim.drain_fault_notes() {
+                faults_observed += 1;
+                events.push(SessionEvent::FaultObserved { note });
+            }
+            let validated = validate(spec, &outcome);
+            events.push(SessionEvent::AttemptFinished { attempt, validated });
+
+            let fails = failure_count(spec, &outcome);
+            if best.as_ref().is_none_or(|(prev, _)| fails < *prev) {
+                best = Some((fails, outcome));
+            }
+            if validated {
+                success = true;
+                break;
+            }
+            if attempt < self.retry.max_attempts {
+                let seconds = self.retry.backoff_seconds(attempt);
+                if seconds > 0.0 {
+                    sim.ledger_mut().record_penalty_seconds(seconds);
+                    events.push(SessionEvent::Backoff {
+                        after_attempt: attempt,
+                        seconds,
+                    });
+                }
+            }
+        }
+
+        let ledger = sim.ledger();
+        let outcome = best.map(|(_, o)| o);
+        SessionReport {
+            success,
+            degraded: !success && outcome.is_some(),
+            attempts,
+            faults_observed,
+            events,
+            outcome,
+            simulations: ledger.simulations() as usize,
+            llm_steps: ledger.llm_steps() as usize,
+            testbed_seconds: ledger.testbed_seconds(&self.cost_model),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultySim};
+    use artisan_sim::Simulator;
+
+    #[test]
+    fn clean_backend_succeeds_first_attempt() {
+        let mut sim = Simulator::new();
+        let report = Supervisor::default().run(&Spec::g1(), &mut sim, 0);
+        assert!(report.success, "{report}");
+        assert!(!report.degraded);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.faults_observed, 0);
+        assert!(report.outcome.is_some());
+        assert!(!report
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Backoff { .. })));
+    }
+
+    #[test]
+    fn flaky_backend_recovers_within_retries() {
+        // A moderately flaky backend: across seeds the supervisor must
+        // recover to success in the large majority of sessions.
+        let mut successes = 0;
+        for seed in 0..20 {
+            let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(seed, 0.25));
+            let report = Supervisor::default().run(&Spec::g1(), &mut sim, seed);
+            if report.success {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 15,
+            "only {successes}/20 flaky sessions recovered"
+        );
+    }
+
+    #[test]
+    fn poisoned_backend_never_reports_success() {
+        for seed in 0..10 {
+            let mut sim = FaultySim::new(Simulator::new(), FaultPlan::poisoned(seed));
+            let report = Supervisor::default().run(&Spec::g1(), &mut sim, seed);
+            assert!(!report.success, "seed {seed}: poisoned session succeeded");
+            assert!(report.faults_observed > 0);
+        }
+    }
+
+    #[test]
+    fn outage_session_is_degraded_or_failed_with_budget_intact() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::outage_from(0, 0));
+        let supervisor = Supervisor::default();
+        let report = supervisor.run(&Spec::g1(), &mut sim, 0);
+        assert!(!report.success);
+        assert!(report.outcome.is_none() || report.degraded);
+        assert!(report.simulations <= supervisor.budget.max_simulations);
+        assert!(report.llm_steps <= supervisor.budget.max_llm_steps);
+    }
+
+    #[test]
+    fn backoff_is_billed_as_testbed_time() {
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::outage_from(0, 0));
+        let report = Supervisor::default().run(&Spec::g1(), &mut sim, 0);
+        assert!(report.attempts >= 2, "{report}");
+        // 30s + 60s of exponential backoff on the default policy.
+        assert!(
+            sim.ledger().penalty_seconds() >= 90.0,
+            "penalties: {}",
+            sim.ledger().penalty_seconds()
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Backoff { seconds, .. } if *seconds == 30.0)));
+    }
+
+    #[test]
+    fn tiny_budget_stops_before_the_first_attempt() {
+        let budget = SessionBudget {
+            max_simulations: 1,
+            max_llm_steps: 5,
+            max_testbed_seconds: 10.0,
+        };
+        let mut sim = Simulator::new();
+        let report = Supervisor::new(RetryPolicy::default(), budget).run(&Spec::g1(), &mut sim, 0);
+        assert_eq!(report.attempts, 0);
+        assert!(!report.success && !report.degraded);
+        assert!(report.outcome.is_none());
+        assert!(matches!(
+            report.events.first(),
+            Some(SessionEvent::BudgetExhausted { .. })
+        ));
+        assert_eq!(sim.ledger().simulations(), 0);
+    }
+
+    #[test]
+    fn budget_stops_mid_session_and_keeps_best_so_far() {
+        // Enough budget for roughly one attempt, against a dead backend:
+        // the session must stop on BudgetExhausted, not loop.
+        let budget = SessionBudget {
+            max_simulations: 10,
+            max_llm_steps: 60,
+            max_testbed_seconds: 3000.0,
+        };
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::outage_from(0, 0));
+        let report = Supervisor::new(RetryPolicy::default(), budget).run(&Spec::g1(), &mut sim, 0);
+        assert!(!report.success);
+        assert!(report.attempts >= 1);
+        assert!(report.simulations <= budget.max_simulations);
+        assert!(report.llm_steps <= budget.max_llm_steps);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn session_is_reproducible_from_seeds() {
+        let run = || {
+            let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(5, 0.3));
+            Supervisor::default().run(&Spec::g1(), &mut sim, 9)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.testbed_seconds, b.testbed_seconds);
+    }
+
+    #[test]
+    fn display_summarizes_the_session() {
+        let mut sim = Simulator::new();
+        let report = Supervisor::default().run(&Spec::g1(), &mut sim, 0);
+        let s = report.to_string();
+        assert!(s.contains("success"), "{s}");
+        assert!(s.contains("attempt"), "{s}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Chaos suite: supervised sessions under randomized fault plans.
+//!
+//! Each property samples a fault plan and runs a full supervised design
+//! session against it. The invariants are the crate's contract:
+//!
+//! 1. the session never panics (any panic fails the test),
+//! 2. it stops within its budget (pre-flight enforcement),
+//! 3. `success` and `degraded` are truthful — `success` implies a
+//!    finite, stable, spec-clearing report; `degraded` implies a
+//!    best-so-far outcome without success,
+//! 4. a NaN/∞-poisoned backend can never produce `success = true`.
+//!
+//! Case count follows `PROPTEST_CASES` (default 256); the CI `chaos`
+//! job raises it and sweeps `CHAOS_SEED_OFFSET` so each matrix leg
+//! exercises a disjoint window of fault-plan seeds.
+
+use artisan_resilience::{FaultPlan, FaultySim, RetryPolicy, SessionBudget, Supervisor};
+use artisan_sim::{Simulator, Spec};
+use proptest::prelude::*;
+
+/// Shifts every sampled seed by a per-CI-leg window.
+fn offset(seed: u64) -> u64 {
+    let leg: u64 = std::env::var("CHAOS_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    seed.wrapping_add(leg.wrapping_mul(1_000_000_007))
+}
+
+fn supervisor() -> Supervisor {
+    Supervisor::new(
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_seconds: 30.0,
+            backoff_factor: 2.0,
+        },
+        SessionBudget {
+            max_simulations: 24,
+            max_llm_steps: 120,
+            max_testbed_seconds: 7200.0,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn chaos_sessions_respect_budget_and_report_truthfully(
+        seed in 0u64..1_000_000,
+        error_rate in 0.0f64..0.6,
+        nan_rate in 0.0f64..0.6,
+        latency_rate in 0.0f64..0.5,
+    ) {
+        let seed = offset(seed);
+        let plan = FaultPlan {
+            seed,
+            error_rate,
+            nan_rate,
+            latency_rate,
+            latency_seconds: 15.0,
+            persistent_from: None,
+        };
+        let mut sim = FaultySim::new(Simulator::new(), plan);
+        let sup = supervisor();
+        let report = sup.run(&Spec::g1(), &mut sim, seed);
+
+        // (2) budget: the pre-flight projection makes these hard caps.
+        prop_assert!(report.simulations <= sup.budget.max_simulations);
+        prop_assert!(report.llm_steps <= sup.budget.max_llm_steps);
+        prop_assert!(report.attempts <= sup.retry.max_attempts);
+
+        // (3) truthfulness.
+        prop_assert!(!(report.success && report.degraded));
+        if report.success {
+            let validated = report.outcome.as_ref().and_then(|o| o.report.as_ref());
+            prop_assert!(validated.is_some());
+            if let Some(r) = validated {
+                prop_assert!(r.performance.is_finite());
+                prop_assert!(r.stable);
+                prop_assert!(Spec::g1().check(&r.performance).success());
+            }
+        }
+        if report.degraded {
+            prop_assert!(report.outcome.is_some());
+        }
+        // A kept report is always sanitized, success or not.
+        if let Some(r) = report.outcome.as_ref().and_then(|o| o.report.as_ref()) {
+            prop_assert!(r.performance.is_finite());
+        }
+    }
+
+    /// (4) the adversarial case: every report poisoned to +∞/NaN.
+    #[test]
+    fn poisoned_sessions_never_report_success(seed in 0u64..1_000_000) {
+        let seed = offset(seed);
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::poisoned(seed));
+        let report = supervisor().run(&Spec::g1(), &mut sim, seed);
+        prop_assert!(!report.success, "poisoned session claimed success: {report}");
+        if let Some(r) = report.outcome.as_ref().and_then(|o| o.report.as_ref()) {
+            prop_assert!(r.performance.is_finite(), "poisoned report leaked: {}", r.performance);
+        }
+    }
+
+    /// Persistent outages: the session must stop on retries or budget,
+    /// never loop, and never claim success once the outage starts at
+    /// call zero.
+    #[test]
+    fn outage_sessions_stop_cleanly(seed in 0u64..1_000_000, from in 0u64..6) {
+        let seed = offset(seed);
+        let mut sim = FaultySim::new(Simulator::new(), FaultPlan::outage_from(seed, from));
+        let sup = supervisor();
+        let report = sup.run(&Spec::g1(), &mut sim, seed);
+        prop_assert!(report.simulations <= sup.budget.max_simulations);
+        prop_assert!(report.llm_steps <= sup.budget.max_llm_steps);
+        prop_assert!(report.attempts <= sup.retry.max_attempts);
+        if from == 0 {
+            prop_assert!(!report.success, "no call ever succeeded, yet: {report}");
+        }
+    }
+
+    /// Sessions are pure functions of their seeds: identical plan +
+    /// session seed replays to the identical report.
+    #[test]
+    fn chaos_sessions_replay_exactly(seed in 0u64..1_000_000, rate in 0.0f64..0.5) {
+        let seed = offset(seed);
+        let run = || {
+            let mut sim = FaultySim::new(Simulator::new(), FaultPlan::flaky(seed, rate));
+            supervisor().run(&Spec::g1(), &mut sim, seed)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.faults_observed, b.faults_observed);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.testbed_seconds, b.testbed_seconds);
+    }
+}

@@ -1,0 +1,134 @@
+//! The simulation-backend contract.
+//!
+//! Everything that consumes simulation results — the agent design loop,
+//! the `artisan-core` workflow, the black-box optimizers — talks to a
+//! [`SimBackend`] rather than to the concrete [`Simulator`]. That is
+//! what makes resilience composable: a fault-injecting wrapper, a
+//! budget-enforcing wrapper, or a remote backend all slot in without the
+//! consumers changing, and a supervised session can observe the faults a
+//! wrapper injected through [`SimBackend::drain_fault_notes`].
+
+use crate::cost::CostLedger;
+use crate::simulator::{AnalysisReport, Simulator};
+use crate::Result;
+use artisan_circuit::{Netlist, Topology};
+
+/// A source of AC analysis results with a cost ledger.
+///
+/// The trait is object-safe, so budget- and fault-wrappers can be
+/// stacked behind `&mut dyn SimBackend` where generics are inconvenient
+/// (e.g. the [`crate::Simulator`]-agnostic `Objective` trait in
+/// `artisan-opt`).
+pub trait SimBackend {
+    /// Analyzes an elaborated topology (billing one simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and analysis failures as [`crate::SimError`].
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport>;
+
+    /// Analyzes a flat netlist (billing one simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures as [`crate::SimError`].
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport>;
+
+    /// The accumulated cost ledger.
+    fn ledger(&self) -> &CostLedger;
+
+    /// Mutable ledger access, so callers can bill their own LLM or
+    /// optimizer steps to the same testbed-time account.
+    fn ledger_mut(&mut self) -> &mut CostLedger;
+
+    /// Human-readable records of backend faults observed since the last
+    /// drain. The plain simulator never has any; fault-injecting or
+    /// flaky remote backends report each injected/observed fault here so
+    /// supervisors can put them in the session report.
+    fn drain_fault_notes(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+impl SimBackend for Simulator {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        Simulator::analyze_topology(self, topo)
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        Simulator::analyze_netlist(self, netlist)
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        Simulator::ledger(self)
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        Simulator::ledger_mut(self)
+    }
+}
+
+impl<B: SimBackend + ?Sized> SimBackend for &mut B {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        (**self).analyze_topology(topo)
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        (**self).analyze_netlist(netlist)
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        (**self).ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        (**self).ledger_mut()
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<String> {
+        (**self).drain_fault_notes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_generic<B: SimBackend + ?Sized>(sim: &mut B) -> AnalysisReport {
+        sim.analyze_topology(&Topology::nmc_example())
+            .unwrap_or_else(|e| panic!("nmc example analyzes: {e}"))
+    }
+
+    #[test]
+    fn simulator_implements_the_backend_contract() {
+        let mut sim = Simulator::new();
+        let report = analyze_generic(&mut sim);
+        assert!(report.stable);
+        assert_eq!(SimBackend::ledger(&sim).simulations(), 1);
+        assert!(sim.drain_fault_notes().is_empty());
+    }
+
+    #[test]
+    fn trait_objects_and_reborrows_work() {
+        let mut sim = Simulator::new();
+        {
+            let dyn_sim: &mut dyn SimBackend = &mut sim;
+            let report = analyze_generic(dyn_sim);
+            assert!(report.performance.gain.value() > 80.0);
+        }
+        // &mut B is itself a backend, so generic helpers can reborrow.
+        let report = analyze_generic(&mut &mut sim);
+        assert!(report.stable);
+        assert_eq!(sim.ledger().simulations(), 2);
+    }
+
+    #[test]
+    fn backend_matches_inherent_simulator_results() {
+        let topo = Topology::nmc_example();
+        let mut a = Simulator::new();
+        let mut b = Simulator::new();
+        let inherent = a.analyze_topology(&topo).map(|r| r.performance);
+        let via_trait = SimBackend::analyze_topology(&mut b, &topo).map(|r| r.performance);
+        assert_eq!(inherent, via_trait);
+    }
+}

@@ -47,11 +47,12 @@ impl Default for CostModel {
 /// let t = ledger.testbed_seconds(&CostModel::default());
 /// assert!(t > 60.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostLedger {
     simulations: u64,
     llm_steps: u64,
     optimizer_steps: u64,
+    penalty_seconds: f64,
 }
 
 impl CostLedger {
@@ -75,6 +76,17 @@ impl CostLedger {
         self.optimizer_steps += 1;
     }
 
+    /// Bills raw testbed seconds outside the per-operation unit costs:
+    /// simulated backend latency, retry backoff, queueing. Billing these
+    /// as testbed time (never wall clock) keeps supervised sessions
+    /// exactly replayable. Non-finite or negative amounts are ignored —
+    /// a poisoned penalty must not corrupt the whole account.
+    pub fn record_penalty_seconds(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.penalty_seconds += seconds;
+        }
+    }
+
     /// Number of simulations billed.
     pub fn simulations(&self) -> u64 {
         self.simulations
@@ -90,11 +102,17 @@ impl CostLedger {
         self.optimizer_steps
     }
 
+    /// Raw penalty seconds billed (latency, backoff).
+    pub fn penalty_seconds(&self) -> f64 {
+        self.penalty_seconds
+    }
+
     /// Total testbed-equivalent seconds under `model`.
     pub fn testbed_seconds(&self, model: &CostModel) -> f64 {
         self.simulations as f64 * model.seconds_per_simulation
             + self.llm_steps as f64 * model.seconds_per_llm_step
             + self.optimizer_steps as f64 * model.seconds_per_optimizer_step
+            + self.penalty_seconds
     }
 
     /// Merges another ledger into this one.
@@ -102,6 +120,7 @@ impl CostLedger {
         self.simulations += other.simulations;
         self.llm_steps += other.llm_steps;
         self.optimizer_steps += other.optimizer_steps;
+        self.penalty_seconds += other.penalty_seconds;
     }
 }
 
@@ -111,7 +130,11 @@ impl fmt::Display for CostLedger {
             f,
             "{} sims, {} LLM steps, {} optimizer steps",
             self.simulations, self.llm_steps, self.optimizer_steps
-        )
+        )?;
+        if self.penalty_seconds > 0.0 {
+            write!(f, ", {:.1}s penalties", self.penalty_seconds)?;
+        }
+        Ok(())
     }
 }
 
@@ -185,6 +208,25 @@ mod tests {
         assert_eq!(format_testbed_time(4.55 * 3600.0), "4.55h");
         assert_eq!(format_testbed_time(7.68 * 60.0), "7.68m");
         assert_eq!(format_testbed_time(12.0), "12.0s");
+    }
+
+    #[test]
+    fn penalty_seconds_bill_raw_testbed_time() {
+        let mut l = CostLedger::new();
+        l.record_penalty_seconds(12.5);
+        l.record_penalty_seconds(2.5);
+        // Poisoned or negative penalties are dropped, not absorbed.
+        l.record_penalty_seconds(f64::NAN);
+        l.record_penalty_seconds(f64::INFINITY);
+        l.record_penalty_seconds(-100.0);
+        assert_eq!(l.penalty_seconds(), 15.0);
+        let t = l.testbed_seconds(&CostModel::default());
+        assert!((t - 15.0).abs() < 1e-12, "{t}");
+        let mut other = CostLedger::new();
+        other.record_penalty_seconds(5.0);
+        l.absorb(&other);
+        assert_eq!(l.penalty_seconds(), 20.0);
+        assert!(l.to_string().contains("20.0s penalties"), "{l}");
     }
 
     #[test]

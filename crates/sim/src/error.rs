@@ -97,6 +97,33 @@ pub enum SimError {
     BadNetlist(BadNetlistReport),
 }
 
+impl SimError {
+    /// Whether a retry against the same backend might plausibly clear
+    /// the failure. Conditioning and numerical-kernel failures can be
+    /// environmental (a flaky or overloaded backend); a rejected
+    /// netlist, a missing unity crossing, or a right-half-plane pole are
+    /// deterministic properties of the design itself, and retrying them
+    /// only burns budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::IllConditioned { .. } | SimError::Math(_))
+    }
+
+    /// The stable failure label for this error, as used in feedback
+    /// questions and the ToT modification table. These live in the same
+    /// namespace as the spec-metric labels (`"Gain"`, `"GBW"`, `"PM"`,
+    /// `"Power"`) but name *how the simulation failed* instead of
+    /// pretending a phase-margin miss occurred.
+    pub fn failure_label(&self) -> &'static str {
+        match self {
+            SimError::IllConditioned { .. } => "IllConditioned",
+            SimError::NoUnityCrossing => "NoUnityCrossing",
+            SimError::Unstable { .. } => "Unstable",
+            SimError::Math(_) => "SimFault",
+            SimError::BadNetlist(_) => "Netlist",
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -149,6 +176,25 @@ mod tests {
         assert!(SimError::BadNetlist("no output".into())
             .to_string()
             .contains("no output"));
+    }
+
+    #[test]
+    fn transient_classification_and_labels_are_stable() {
+        let cases: [(SimError, &str, bool); 5] = [
+            (
+                SimError::IllConditioned { frequency: 0.0 },
+                "IllConditioned",
+                true,
+            ),
+            (SimError::Math(MathError::Singular(1)), "SimFault", true),
+            (SimError::NoUnityCrossing, "NoUnityCrossing", false),
+            (SimError::Unstable { worst_pole_re: 1.0 }, "Unstable", false),
+            (SimError::BadNetlist("x".into()), "Netlist", false),
+        ];
+        for (e, label, transient) in cases {
+            assert_eq!(e.failure_label(), label, "{e}");
+            assert_eq!(e.is_transient(), transient, "{e}");
+        }
     }
 
     #[test]

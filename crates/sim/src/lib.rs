@@ -42,6 +42,7 @@ mod error;
 mod simulator;
 
 pub mod ac;
+pub mod backend;
 pub mod cost;
 pub mod metrics;
 pub mod mna;
@@ -49,6 +50,7 @@ pub mod poles;
 pub mod spec;
 pub mod variation;
 
+pub use backend::SimBackend;
 pub use error::{BadNetlistReport, SimError};
 pub use metrics::{Performance, PowerModel};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};

@@ -28,6 +28,18 @@ impl Performance {
         let power_mw = power_watts * 1e3;
         gbw_mhz * cl_pf / power_mw
     }
+
+    /// Whether every metric is a finite number. A report carrying NaN or
+    /// ±∞ anywhere is poisoned — `+∞` *passes* a `>` spec constraint, so
+    /// consumers must sanitize with this before `Spec::check` can be
+    /// trusted.
+    pub fn is_finite(&self) -> bool {
+        self.gain.value().is_finite()
+            && self.gbw.value().is_finite()
+            && self.pm.value().is_finite()
+            && self.power.value().is_finite()
+            && self.fom.is_finite()
+    }
 }
 
 impl fmt::Display for Performance {
@@ -154,6 +166,29 @@ mod tests {
         bare.clear_position(artisan_circuit::Position::ShuntN1);
         let without = PowerModel::default().power_of_topology(&bare).value();
         assert!(with_aux > without);
+    }
+
+    #[test]
+    fn poisoned_performance_is_not_finite() {
+        let clean = Performance {
+            gain: Decibels(100.0),
+            gbw: Hertz(1e6),
+            pm: Degrees(60.0),
+            power: Watts(50e-6),
+            fom: 200.0,
+        };
+        assert!(clean.is_finite());
+        // +∞ gain would *pass* a `>` spec check — exactly the poisoning
+        // a fault-injected backend produces.
+        let mut p = clean;
+        p.gain = Decibels(f64::INFINITY);
+        assert!(!p.is_finite());
+        let mut p = clean;
+        p.pm = Degrees(f64::NAN);
+        assert!(!p.is_finite());
+        let mut p = clean;
+        p.fom = f64::NAN;
+        assert!(!p.is_finite());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! | [`dataset`] | corpus/NetlistTuple/DesignQA/Alpaca generators, Table 1 |
 //! | [`agents`] | prompter, Artisan-LLM, ToT/CoT, calculator, transcripts |
 //! | [`opt`] | BOBO, RLBO, GPT-4/Llama2 baselines |
+//! | [`resilience`] | fault-injected backends, supervised sessions, budgets |
 //! | [`core`] | the `Artisan` workflow and the Table 3 experiment runner |
 
 #![forbid(unsafe_code)]
@@ -52,6 +53,7 @@ pub use artisan_lint as lint;
 pub use artisan_llm as llm;
 pub use artisan_math as math;
 pub use artisan_opt as opt;
+pub use artisan_resilience as resilience;
 pub use artisan_sim as sim;
 
 /// The most common imports, re-exported flat.
@@ -61,7 +63,8 @@ pub mod prelude {
     pub use artisan_core::{Artisan, ArtisanOptions, Method, Table3};
     pub use artisan_dataset::{DatasetConfig, OpampDataset, Table1};
     pub use artisan_lint::{LintReport, Linter};
-    pub use artisan_sim::{Simulator, Spec};
+    pub use artisan_resilience::{FaultPlan, FaultySim, SessionReport, Supervisor};
+    pub use artisan_sim::{SimBackend, Simulator, Spec};
 }
 
 #[cfg(test)]
@@ -78,6 +81,7 @@ mod tests {
         let _ = crate::dataset::DatasetConfig::tiny();
         let _ = crate::agents::AgentConfig::noiseless();
         let _ = crate::opt::BoboConfig::default();
+        let _ = crate::resilience::Supervisor::default();
         let _ = crate::core::ArtisanOptions::fast();
     }
 }

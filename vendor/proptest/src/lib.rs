@@ -183,8 +183,15 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 256 cases, overridable with the `PROPTEST_CASES` environment
+        /// variable — the same knob real proptest reads, used by the CI
+        /// chaos job to raise coverage without recompiling.
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 }
