@@ -1,10 +1,79 @@
 //! Property-based tests for the agents crate.
 
+use artisan_agents::artisan_llm::NoiseModel;
 use artisan_agents::calculator::evaluate;
 use artisan_agents::{AgentConfig, ArtisanAgent};
-use artisan_sim::{Simulator, Spec};
+use artisan_circuit::{Netlist, Topology};
+use artisan_sim::cost::CostLedger;
+use artisan_sim::{AnalysisReport, SimBackend, SimError, Simulator, Spec};
 use proptest::prelude::*;
 use rand::SeedableRng;
+
+/// A backend that fails the first `failures_left` analysis calls with a
+/// transient `IllConditioned` error (billing each like a real run, as a
+/// flaky testbed would), then delegates to the real simulator.
+struct FlakyCounted {
+    inner: Simulator,
+    failures_left: usize,
+}
+
+impl FlakyCounted {
+    fn new(failures: usize) -> Self {
+        FlakyCounted {
+            inner: Simulator::new(),
+            failures_left: failures,
+        }
+    }
+}
+
+impl SimBackend for FlakyCounted {
+    fn analyze_topology(&mut self, topo: &Topology) -> artisan_sim::Result<AnalysisReport> {
+        if self.failures_left > 0 {
+            self.failures_left -= 1;
+            self.inner.ledger_mut().record_simulation();
+            return Err(SimError::IllConditioned { frequency: 1e3 });
+        }
+        self.inner.analyze_topology(topo)
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> artisan_sim::Result<AnalysisReport> {
+        self.inner.analyze_netlist(netlist)
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        self.inner.ledger_mut()
+    }
+}
+
+/// The agent loop's documented retry accounting: per iteration, the
+/// initial verification call plus up to `sim_retries` immediate retries
+/// on transient failures, every call billed. Returns the predicted
+/// `(billed simulations, iterations, success)` for a backend with `f`
+/// transient failures in front of a clean simulator.
+fn predicted_accounting(mut f: usize, max_iterations: usize, retries: usize) -> (u64, usize, bool) {
+    let per_iteration = retries + 1;
+    let mut billed = 0u64;
+    for iteration in 1..=(max_iterations + 1) {
+        if f >= per_iteration {
+            // Every call this iteration fails; retries exhaust.
+            billed += per_iteration as u64;
+            f -= per_iteration;
+            if iteration == max_iterations + 1 {
+                return (billed, iteration, false);
+            }
+        } else {
+            // `f` failures, then the real simulator reports and the
+            // noiseless G-1 recipe validates.
+            billed += f as u64 + 1;
+            return (billed, iteration, true);
+        }
+    }
+    (billed, max_iterations + 1, false)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -42,6 +111,64 @@ proptest! {
             let expected: f64 = rendered.parse::<f64>().expect("parses") * scale * 2.0;
             prop_assert!(((got - expected) / expected).abs() < 1e-9, "{expr}");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Retry accounting holds on the agent loop itself: against a
+    /// backend that always fails transiently, billed simulations equal
+    /// attempts × (1 + sim_retries) exactly — every retry is billed,
+    /// and no iteration takes more than its configured retry budget.
+    #[test]
+    fn exhausted_retries_bill_attempts_times_retries(
+        max_iterations in 0usize..4,
+        sim_retries in 0usize..4,
+    ) {
+        let config = AgentConfig {
+            noise: NoiseModel::noiseless(),
+            max_iterations,
+            sim_retries,
+        };
+        let mut agent = ArtisanAgent::untrained(config);
+        // More failures than the whole session can consume.
+        let mut sim = FlakyCounted::new(usize::MAX);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+        prop_assert!(!outcome.success);
+        prop_assert_eq!(outcome.iterations, max_iterations + 1);
+        prop_assert_eq!(
+            sim.ledger().simulations(),
+            ((max_iterations + 1) * (sim_retries + 1)) as u64,
+            "attempts × (1 + retries) simulations must be billed"
+        );
+    }
+
+    /// With a finite number of transient failures in front of a clean
+    /// simulator, the ledger matches the accounting model call for
+    /// call: failures spill across iterations through the ToT repair
+    /// path, and recovery bills exactly one successful call.
+    #[test]
+    fn finite_transient_failures_match_predicted_accounting(
+        failures in 0usize..14,
+        max_iterations in 0usize..4,
+        sim_retries in 0usize..4,
+    ) {
+        let config = AgentConfig {
+            noise: NoiseModel::noiseless(),
+            max_iterations,
+            sim_retries,
+        };
+        let (sims, iterations, success) =
+            predicted_accounting(failures, max_iterations, sim_retries);
+        let mut agent = ArtisanAgent::untrained(config);
+        let mut sim = FlakyCounted::new(failures);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let outcome = agent.design(&Spec::g1(), &mut sim, &mut rng);
+        prop_assert_eq!(outcome.success, success);
+        prop_assert_eq!(outcome.iterations, iterations);
+        prop_assert_eq!(sim.ledger().simulations(), sims);
     }
 }
 

@@ -1,0 +1,88 @@
+//! The parallel simulation engine's kernels: cached G/C-split assembly
+//! vs the legacy per-point element walk, workspace-reusing solves vs
+//! per-point allocation, and the AC sweep at several worker counts.
+
+use artisan_circuit::Topology;
+use artisan_math::lu::LuDecomposition;
+use artisan_math::{Complex64, ThreadPool};
+use artisan_sim::ac::{sweep_with_pool, SweepConfig};
+use artisan_sim::mna::MnaSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+fn nmc_system() -> (MnaSystem, Vec<f64>) {
+    let netlist = Topology::nmc_example().elaborate().expect("valid");
+    let sys = MnaSystem::new(&netlist).expect("builds");
+    let freqs = SweepConfig::default().frequencies().expect("grid");
+    (sys, freqs)
+}
+
+/// Pure assembly: Y(s) + rhs(s) over the whole default grid, cached
+/// fused scale-add vs the legacy element walk.
+fn bench_assembly(c: &mut Criterion) {
+    let (sys, freqs) = nmc_system();
+    c.bench_function("assemble/cached_gc_split", |b| {
+        b.iter(|| {
+            for &f in &freqs {
+                black_box(
+                    sys.assemble(Complex64::jomega(2.0 * PI * f))
+                        .expect("assembles"),
+                );
+            }
+        })
+    });
+    c.bench_function("assemble/legacy_walk", |b| {
+        b.iter(|| {
+            for &f in &freqs {
+                black_box(
+                    sys.assemble_legacy(Complex64::jomega(2.0 * PI * f))
+                        .expect("assembles"),
+                );
+            }
+        })
+    });
+}
+
+/// Full per-point solves over the grid: one reused workspace vs the
+/// legacy walk + a fresh LU allocation per point.
+fn bench_solve(c: &mut Criterion) {
+    let (sys, freqs) = nmc_system();
+    c.bench_function("sweep_solve/cached_workspace", |b| {
+        b.iter(|| {
+            let mut ws = sys.workspace();
+            for &f in &freqs {
+                black_box(
+                    sys.transfer_with(Complex64::jomega(2.0 * PI * f), &mut ws)
+                        .expect("solves"),
+                );
+            }
+        })
+    });
+    c.bench_function("sweep_solve/legacy_alloc_per_point", |b| {
+        b.iter(|| {
+            for &f in &freqs {
+                let (y, rhs) = sys
+                    .assemble_legacy(Complex64::jomega(2.0 * PI * f))
+                    .expect("assembles");
+                let lu = LuDecomposition::new(y).expect("factors");
+                black_box(lu.solve(&rhs).expect("solves"));
+            }
+        })
+    });
+}
+
+/// The whole sweep (solves + phase unwrap) at pinned worker counts.
+fn bench_sweep_workers(c: &mut Criterion) {
+    let (sys, _) = nmc_system();
+    let cfg = SweepConfig::default();
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::with_workers(workers);
+        c.bench_function(&format!("ac_sweep/workers_{workers}"), |b| {
+            b.iter(|| black_box(sweep_with_pool(&sys, &cfg, &pool).expect("sweeps")))
+        });
+    }
+}
+
+criterion_group!(benches, bench_assembly, bench_solve, bench_sweep_workers);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Emits `BENCH_sim.json`: machine-readable numbers for the parallel
+//! simulation engine — assembly and solve throughput (cached G/C split
+//! vs the legacy per-point element walk), whole-sweep throughput per
+//! worker count, and scheduler session throughput per worker count,
+//! each with its speedup over one worker.
+//!
+//! Run with:
+//!   `cargo run --release -p artisan-bench --bin bench_report [--reps 40] [--sessions 8] [--out BENCH_sim.json]`
+//!
+//! `--quick` cuts the repetition budget 4× for CI smoke runs. The
+//! multithreaded speedups are only meaningful on a multi-core host, so
+//! the report records the host's `available_parallelism` alongside.
+
+// Experiment driver: aborting on a failed setup step is the idiom here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use artisan_bench::{arg_or, quick_mode};
+use artisan_circuit::Topology;
+use artisan_math::lu::LuDecomposition;
+use artisan_math::{Complex64, ThreadPool};
+use artisan_resilience::{Scheduler, Supervisor};
+use artisan_sim::ac::{sweep_with_pool, SweepConfig};
+use artisan_sim::mna::MnaSystem;
+use artisan_sim::{Simulator, Spec};
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `routine` over `reps` repetitions and returns events/second,
+/// where one repetition covers `events_per_rep` events.
+fn rate<F: FnMut()>(reps: usize, events_per_rep: usize, mut routine: F) -> f64 {
+    // Warm-up, not measured.
+    routine();
+    let start = Instant::now();
+    for _ in 0..reps {
+        routine();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (reps * events_per_rep) as f64 / secs.max(1e-12)
+}
+
+fn main() {
+    let divisor = if quick_mode() { 4 } else { 1 };
+    let reps: usize = (arg_or("--reps", 40usize) / divisor).max(1);
+    let n_sessions: usize = arg_or("--sessions", 8usize);
+    let out_path: String = arg_or("--out", "BENCH_sim.json".to_string());
+
+    let netlist = Topology::nmc_example().elaborate().expect("valid");
+    let sys = MnaSystem::new(&netlist).expect("builds");
+    let cfg = SweepConfig::default();
+    let freqs = cfg.frequencies().expect("grid");
+    let n_points = freqs.len();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_env = std::env::var(artisan_math::pool::THREADS_ENV).ok();
+
+    // --- assembly: cached fused scale-add vs legacy element walk ---
+    let asm_cached = rate(reps, n_points, || {
+        for &f in &freqs {
+            black_box(
+                sys.assemble(Complex64::jomega(2.0 * PI * f))
+                    .expect("assembles"),
+            );
+        }
+    });
+    let asm_legacy = rate(reps, n_points, || {
+        for &f in &freqs {
+            black_box(
+                sys.assemble_legacy(Complex64::jomega(2.0 * PI * f))
+                    .expect("assembles"),
+            );
+        }
+    });
+
+    // --- full solves: reused workspace vs walk + fresh LU per point ---
+    let solve_cached = rate(reps, n_points, || {
+        let mut ws = sys.workspace();
+        for &f in &freqs {
+            black_box(
+                sys.transfer_with(Complex64::jomega(2.0 * PI * f), &mut ws)
+                    .expect("solves"),
+            );
+        }
+    });
+    let solve_legacy = rate(reps, n_points, || {
+        for &f in &freqs {
+            let (y, rhs) = sys
+                .assemble_legacy(Complex64::jomega(2.0 * PI * f))
+                .expect("assembles");
+            let lu = LuDecomposition::new(y).expect("factors");
+            black_box(lu.solve(&rhs).expect("solves"));
+        }
+    });
+
+    // --- whole sweep and scheduler batch, per worker count ---
+    let worker_counts: Vec<usize> = {
+        let mut w = vec![1, 2, 4, host_parallelism];
+        w.sort_unstable();
+        w.dedup();
+        w
+    };
+
+    let sweep_rates: Vec<(usize, f64)> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let pool = ThreadPool::with_workers(workers);
+            let r = rate(reps, n_points, || {
+                black_box(sweep_with_pool(&sys, &cfg, &pool).expect("sweeps"));
+            });
+            (workers, r)
+        })
+        .collect();
+
+    let session_reps = (reps / 8).max(1);
+    let scheduler_rates: Vec<(usize, f64)> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let scheduler =
+                Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(workers));
+            let r = rate(session_reps, n_sessions, || {
+                let backends: Vec<Simulator> = (0..n_sessions).map(|_| Simulator::new()).collect();
+                let sessions = scheduler.run_batch(&Spec::g1(), backends, 2024);
+                assert!(sessions.iter().all(|s| s.report.success));
+                black_box(sessions);
+            });
+            (workers, r)
+        })
+        .collect();
+
+    let fmt_scaling = |rates: &[(usize, f64)], unit: &str| -> String {
+        let base = rates.iter().find(|(w, _)| *w == 1).map_or(1.0, |&(_, r)| r);
+        rates
+            .iter()
+            .map(|&(w, r)| {
+                format!(
+                    "    {{ \"workers\": {w}, \"{unit}\": {r:.1}, \"speedup_vs_1_thread\": {:.3} }}",
+                    r / base
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ]\n}}\n",
+        threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
+        asm_cached / asm_legacy,
+        solve_cached / solve_legacy,
+        fmt_scaling(&sweep_rates, "sweeps_points_per_sec"),
+        fmt_scaling(&scheduler_rates, "sessions_per_sec"),
+    );
+
+    std::fs::write(&out_path, &json).expect("writes report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

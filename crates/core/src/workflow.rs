@@ -6,9 +6,9 @@
 use artisan_agents::{AgentConfig, ArtisanAgent, DesignOutcome};
 use artisan_dataset::{DatasetConfig, OpampDataset};
 use artisan_gmid::{map_topology, LookupTable};
-use artisan_resilience::{SessionReport, Supervisor};
+use artisan_resilience::{ScheduledSession, Scheduler, SessionReport, Supervisor};
 use artisan_sim::cost::{CostLedger, CostModel};
-use artisan_sim::{SimBackend, Simulator, Spec};
+use artisan_sim::{ParallelSimBackend, SimBackend, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -152,6 +152,22 @@ impl Artisan {
     ) -> SessionReport {
         supervisor.run_with_agent(&mut self.agent, spec, sim, seed)
     }
+
+    /// Runs one supervised session per backend concurrently, each with
+    /// a clone of the framework's (possibly trained) agent, its own
+    /// isolated ledger, and a seed derived from `base_seed` and the
+    /// session index. The scheduler's thread pool sets the concurrency
+    /// (`ARTISAN_THREADS` for [`Scheduler::new`]); results are identical
+    /// for every worker count and come back in backend order.
+    pub fn design_batch<B: ParallelSimBackend>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        scheduler: &Scheduler,
+        base_seed: u64,
+    ) -> Vec<ScheduledSession<B>> {
+        scheduler.run_batch_with_agent(&self.agent, spec, backends, base_seed)
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +234,28 @@ mod tests {
         assert!(!(report.success && report.degraded));
         assert!(report.simulations <= supervisor.budget.max_simulations);
         assert!(report.llm_steps <= supervisor.budget.max_llm_steps);
+    }
+
+    #[test]
+    fn batch_design_matches_serial_supervised_sessions() {
+        use artisan_math::ThreadPool;
+        let artisan = Artisan::new(ArtisanOptions::fast());
+        let supervisor = Supervisor::default();
+        let scheduler = Scheduler::with_pool(supervisor, ThreadPool::with_workers(3));
+        let backends: Vec<Simulator> = (0..4).map(|_| Simulator::new()).collect();
+        let sessions = artisan.design_batch(&Spec::g1(), backends, &scheduler, 17);
+        assert_eq!(sessions.len(), 4);
+        for s in &sessions {
+            // Each concurrent session equals the serial supervised run
+            // with the same seed on a fresh backend and agent clone.
+            let mut solo = Artisan::new(ArtisanOptions::fast());
+            let mut sim = Simulator::new();
+            let serial = solo.design_supervised(&Spec::g1(), &mut sim, &supervisor, s.seed);
+            assert_eq!(s.report.success, serial.success, "session {}", s.session);
+            assert_eq!(s.report.attempts, serial.attempts);
+            assert_eq!(s.report.events, serial.events);
+            assert_eq!(s.report.simulations, serial.simulations);
+        }
     }
 
     #[test]

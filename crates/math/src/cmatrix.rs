@@ -115,6 +115,28 @@ impl CMatrix {
         Ok(out)
     }
 
+    /// Overwrites `self` with `g + s·c` in one fused pass — the
+    /// per-frequency MNA assembly `Y(s) = G + sC` without touching any
+    /// element list or hash map. All three matrices must share the same
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when shapes differ.
+    pub fn assign_scale_add(&mut self, g: &CMatrix, c: &CMatrix, s: Complex64) -> Result<()> {
+        if self.rows != g.rows || self.cols != g.cols || self.rows != c.rows || self.cols != c.cols
+        {
+            return Err(MathError::DimensionMismatch(format!(
+                "scale-add over {}x{}, {}x{}, {}x{} matrices",
+                self.rows, self.cols, g.rows, g.cols, c.rows, c.cols
+            )));
+        }
+        for ((y, gv), cv) in self.data.iter_mut().zip(&g.data).zip(&c.data) {
+            *y = *gv + s * *cv;
+        }
+        Ok(())
+    }
+
     /// Swaps two rows in place (used by partial pivoting).
     pub(crate) fn swap_rows(&mut self, a: usize, b: usize) {
         if a == b {
@@ -221,6 +243,37 @@ mod tests {
         assert_eq!(m[(0, 0)], c(1.0, 0.0));
         m.swap_rows(1, 1); // no-op
         assert_eq!(m[(1, 1)], c(4.0, 0.0));
+    }
+
+    #[test]
+    fn assign_scale_add_fuses_g_and_sc() {
+        let g = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(2.0, 0.0), c(3.0, 0.0), c(4.0, 0.0)])
+            .unwrap();
+        let cap = CMatrix::from_rows(2, 2, &[c(0.5, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(1.5, 0.0)])
+            .unwrap();
+        let s = c(0.0, 2.0);
+        let mut y = CMatrix::zeros(2, 2);
+        y.assign_scale_add(&g, &cap, s).unwrap();
+        assert_eq!(y[(0, 0)], c(1.0, 1.0));
+        assert_eq!(y[(0, 1)], c(2.0, 0.0));
+        assert_eq!(y[(1, 1)], c(4.0, 3.0));
+        // Overwrites, never accumulates: a second call gives the same Y.
+        let first = y.clone();
+        y.assign_scale_add(&g, &cap, s).unwrap();
+        assert_eq!(y, first);
+    }
+
+    #[test]
+    fn assign_scale_add_rejects_shape_mismatch() {
+        let g = CMatrix::zeros(2, 2);
+        let cap = CMatrix::zeros(3, 3);
+        let mut y = CMatrix::zeros(2, 2);
+        assert!(matches!(
+            y.assign_scale_add(&g, &cap, Complex64::ONE),
+            Err(MathError::DimensionMismatch(_))
+        ));
+        let mut y3 = CMatrix::zeros(3, 3);
+        assert!(y3.assign_scale_add(&g, &g, Complex64::ONE).is_err());
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   extraction from interpolated network determinants,
 //! - [`interp`] — Newton divided-difference interpolation used to recover
 //!   the determinant polynomial from point evaluations,
-//! - [`stats`] — summary statistics for the experiment harness.
+//! - [`stats`] — summary statistics for the experiment harness,
+//! - [`ThreadPool`] — a std-only scoped-thread pool for order-preserving
+//!   parallel maps (the AC sweep's per-frequency solves and the
+//!   resilience scheduler's session fan-out), sized by
+//!   `available_parallelism` and overridable with `ARTISAN_THREADS`.
 //!
 //! Everything is implemented from first principles; the only dependency is
 //! `rand` for the root-finder's seed perturbations and test helpers.
@@ -43,6 +47,7 @@ mod polynomial;
 pub mod cholesky;
 pub mod interp;
 pub mod lu;
+pub mod pool;
 pub mod stats;
 
 pub use cmatrix::CMatrix;
@@ -50,6 +55,7 @@ pub use complex::Complex64;
 pub use dmatrix::DMatrix;
 pub use error::MathError;
 pub use polynomial::Polynomial;
+pub use pool::ThreadPool;
 
 /// Convenient alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, MathError>;

@@ -49,50 +49,8 @@ impl LuDecomposition {
     ///   singularity is *not* an error; the caller can inspect
     ///   [`LuDecomposition::min_pivot_magnitude`].)
     pub fn new(mut a: CMatrix) -> Result<Self> {
-        if !a.is_square() {
-            return Err(MathError::DimensionMismatch(format!(
-                "LU requires a square matrix, got {}x{}",
-                a.rows(),
-                a.cols()
-            )));
-        }
-        let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivot: largest magnitude in column k at or below row k.
-            let mut pivot_row = k;
-            let mut pivot_mag = a[(k, k)].abs_sq();
-            for r in (k + 1)..n {
-                let mag = a[(r, k)].abs_sq();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = r;
-                }
-            }
-            if pivot_mag == 0.0 {
-                return Err(MathError::Singular(k));
-            }
-            if pivot_row != k {
-                a.swap_rows(pivot_row, k);
-                perm.swap(pivot_row, k);
-                sign = -sign;
-            }
-            let pivot = a[(k, k)];
-            let pivot_inv = pivot.recip();
-            for r in (k + 1)..n {
-                let factor = a[(r, k)] * pivot_inv;
-                a[(r, k)] = factor;
-                if factor != Complex64::ZERO {
-                    for c in (k + 1)..n {
-                        let u_kc = a[(k, c)];
-                        a[(r, c)] -= factor * u_kc;
-                    }
-                }
-            }
-        }
-
+        let mut perm = Vec::new();
+        let sign = factor_in_place(&mut a, &mut perm)?;
         Ok(LuDecomposition { lu: a, perm, sign })
     }
 
@@ -107,32 +65,8 @@ impl LuDecomposition {
     ///
     /// Returns [`MathError::DimensionMismatch`] when `b.len() != dim()`.
     pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>> {
-        let n = self.dim();
-        if b.len() != n {
-            return Err(MathError::DimensionMismatch(format!(
-                "rhs has {} entries for a {n}-dim system",
-                b.len()
-            )));
-        }
-        // Apply permutation and forward-substitute L·y = P·b.
-        let mut x: Vec<Complex64> = (0..n).map(|k| b[self.perm[k]]).collect();
-        for r in 1..n {
-            let acc = x
-                .iter()
-                .enumerate()
-                .take(r)
-                .fold(x[r], |acc, (c, &xc)| acc - self.lu[(r, c)] * xc);
-            x[r] = acc;
-        }
-        // Back-substitute U·x = y.
-        for r in (0..n).rev() {
-            let acc = x
-                .iter()
-                .enumerate()
-                .skip(r + 1)
-                .fold(x[r], |acc, (c, &xc)| acc - self.lu[(r, c)] * xc);
-            x[r] = acc / self.lu[(r, r)];
-        }
+        let mut x = Vec::new();
+        solve_factored(&self.lu, &self.perm, b, &mut x)?;
         Ok(x)
     }
 
@@ -152,6 +86,118 @@ impl LuDecomposition {
             .map(|k| self.lu[(k, k)].abs())
             .fold(f64::INFINITY, f64::min)
     }
+}
+
+/// Factors `a` in place using Gaussian elimination with partial (row)
+/// pivoting, writing the permutation into `perm` (reused without
+/// reallocating once it has capacity) and returning the permutation
+/// sign. This is the zero-allocation core behind
+/// [`LuDecomposition::new`]: hot paths such as the per-frequency AC
+/// solve call it directly on a caller-owned workspace matrix instead of
+/// constructing a fresh decomposition per point.
+///
+/// After a successful return, `a` holds L (below the diagonal, unit
+/// diagonal implied) and U (on and above) in pivoted row order, ready
+/// for [`solve_factored`].
+///
+/// # Errors
+///
+/// - [`MathError::DimensionMismatch`] if `a` is not square.
+/// - [`MathError::Singular`] if a pivot column is exactly zero (`a` is
+///   left partially factored and must not be solved against).
+pub fn factor_in_place(a: &mut CMatrix, perm: &mut Vec<usize>) -> Result<f64> {
+    if !a.is_square() {
+        return Err(MathError::DimensionMismatch(format!(
+            "LU requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    perm.clear();
+    perm.extend(0..n);
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_mag = a[(k, k)].abs_sq();
+        for r in (k + 1)..n {
+            let mag = a[(r, k)].abs_sq();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag == 0.0 {
+            return Err(MathError::Singular(k));
+        }
+        if pivot_row != k {
+            a.swap_rows(pivot_row, k);
+            perm.swap(pivot_row, k);
+            sign = -sign;
+        }
+        let pivot = a[(k, k)];
+        let pivot_inv = pivot.recip();
+        for r in (k + 1)..n {
+            let factor = a[(r, k)] * pivot_inv;
+            a[(r, k)] = factor;
+            if factor != Complex64::ZERO {
+                for c in (k + 1)..n {
+                    let u_kc = a[(k, c)];
+                    a[(r, c)] -= factor * u_kc;
+                }
+            }
+        }
+    }
+    Ok(sign)
+}
+
+/// Solves `A·x = b` against a matrix previously factored by
+/// [`factor_in_place`] (or the `lu` field of a [`LuDecomposition`]),
+/// writing the solution into `x`. `x` is cleared and refilled, so a
+/// caller looping over many right-hand sides reuses one buffer with no
+/// per-solve allocation.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] when `b.len()` or
+/// `perm.len()` disagree with the factored dimension.
+pub fn solve_factored(
+    lu: &CMatrix,
+    perm: &[usize],
+    b: &[Complex64],
+    x: &mut Vec<Complex64>,
+) -> Result<()> {
+    let n = lu.rows();
+    if b.len() != n || perm.len() != n {
+        return Err(MathError::DimensionMismatch(format!(
+            "rhs has {} entries and perm {} for a {n}-dim system",
+            b.len(),
+            perm.len()
+        )));
+    }
+    // Apply permutation and forward-substitute L·y = P·b.
+    x.clear();
+    x.extend(perm.iter().map(|&k| b[k]));
+    for r in 1..n {
+        let acc = x
+            .iter()
+            .enumerate()
+            .take(r)
+            .fold(x[r], |acc, (c, &xc)| acc - lu[(r, c)] * xc);
+        x[r] = acc;
+    }
+    // Back-substitute U·x = y.
+    for r in (0..n).rev() {
+        let acc = x
+            .iter()
+            .enumerate()
+            .skip(r + 1)
+            .fold(x[r], |acc, (c, &xc)| acc - lu[(r, c)] * xc);
+        x[r] = acc / lu[(r, r)];
+    }
+    Ok(())
 }
 
 /// One-shot convenience: factor `a` and solve for a single right-hand side.
@@ -298,6 +344,60 @@ mod tests {
         .unwrap();
         let lu = LuDecomposition::new(a).unwrap();
         assert!(lu.min_pivot_magnitude() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_api_matches_decomposition_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 4, 9] {
+            let a = random_matrix(n, &mut rng);
+            let b: Vec<Complex64> = (0..n)
+                .map(|_| c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let via_decomp = LuDecomposition::new(a.clone()).unwrap().solve(&b).unwrap();
+            let mut ws = a.clone();
+            let mut perm = Vec::new();
+            factor_in_place(&mut ws, &mut perm).unwrap();
+            let mut x = Vec::new();
+            solve_factored(&ws, &perm, &b, &mut x).unwrap();
+            assert_eq!(via_decomp, x, "n={n}");
+        }
+    }
+
+    #[test]
+    fn workspace_buffers_are_reusable_across_systems() {
+        // One perm + one solution vector across differently-pivoted
+        // systems: results stay correct, buffers stay valid.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut perm = Vec::new();
+        let mut x = Vec::new();
+        for _ in 0..5 {
+            let a = random_matrix(6, &mut rng);
+            let b: Vec<Complex64> = (0..6)
+                .map(|_| c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut ws = a.clone();
+            factor_in_place(&mut ws, &mut perm).unwrap();
+            solve_factored(&ws, &perm, &b, &mut x).unwrap();
+            let ax = a.mul_vec(&x).unwrap();
+            let residual: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (*p - *q).abs_sq())
+                .sum::<f64>()
+                .sqrt();
+            assert!(residual < 1e-10, "residual={residual}");
+        }
+    }
+
+    #[test]
+    fn solve_factored_rejects_bad_perm_length() {
+        let mut ws = CMatrix::identity(3);
+        let mut perm = Vec::new();
+        factor_in_place(&mut ws, &mut perm).unwrap();
+        let mut x = Vec::new();
+        let b = [Complex64::ONE; 3];
+        assert!(solve_factored(&ws, &perm[..2], &b, &mut x).is_err());
     }
 
     #[test]

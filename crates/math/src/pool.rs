@@ -1,0 +1,254 @@
+//! A from-scratch scoped-thread worker pool (std-only, no rayon).
+//!
+//! The AC sweep solves an independent linear system per frequency point
+//! and the scheduler runs independent supervised sessions — both are
+//! embarrassingly parallel maps. This module provides exactly that
+//! shape: [`ThreadPool::par_map_indexed`] fans a slice out over
+//! `std::thread::scope` workers and returns results in input order, so
+//! callers stay deterministic regardless of thread count.
+//!
+//! Worker count comes from `std::thread::available_parallelism()`,
+//! overridable with the `ARTISAN_THREADS` environment variable;
+//! `ARTISAN_THREADS=1` short-circuits to a plain sequential loop (no
+//! threads spawned at all), which test suites use to pin determinism
+//! and CI uses to exercise the fallback path.
+//!
+//! Work is distributed dynamically: workers pull the next index from a
+//! shared atomic counter, so a slow item (an ill-conditioned solve, a
+//! long session) never stalls the items behind it on the same worker.
+//! [`ThreadPool::par_map_with`] additionally gives every worker one
+//! reusable scratch value, created once per worker — the AC sweep uses
+//! it to reuse one LU workspace across all frequency points a worker
+//! handles instead of allocating per point.
+//!
+//! # Example
+//!
+//! ```
+//! use artisan_math::ThreadPool;
+//!
+//! let pool = ThreadPool::with_workers(4);
+//! let squares = pool.par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // input order, any thread count
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Environment variable overriding the worker count (`1` forces the
+/// sequential fallback).
+pub const THREADS_ENV: &str = "ARTISAN_THREADS";
+
+/// A fixed-width scoped-thread pool for order-preserving parallel maps.
+///
+/// The pool is a plain value (no OS resources held between calls):
+/// each `par_map_*` call spawns its workers inside a
+/// [`std::thread::scope`] and joins them before returning, so borrowed
+/// inputs need no `'static` lifetimes and a panic in any worker
+/// propagates to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool sized from the environment: `ARTISAN_THREADS` when set to
+    /// a positive integer, otherwise the machine's available
+    /// parallelism (1 when that cannot be determined).
+    pub fn from_env() -> Self {
+        let workers = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        ThreadPool { workers }
+    }
+
+    /// A pool with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. `f` receives the item's index alongside the item.
+    pub fn par_map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.par_map_with(items, || (), |i, item, ()| f(i, item))
+    }
+
+    /// Like [`ThreadPool::par_map_indexed`], but gives each worker one
+    /// scratch value built by `scratch`, created once per worker and
+    /// reused across every item that worker processes.
+    ///
+    /// With one worker (or ≤ 1 item) this is a plain sequential loop —
+    /// no threads, one scratch value — so `ARTISAN_THREADS=1` runs are
+    /// structurally identical to a hand-written `for` loop.
+    pub fn par_map_with<T, U, S, C, F>(&self, items: &[T], scratch: C, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        C: Fn() -> S + Sync,
+        F: Fn(usize, &T, &mut S) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            let mut s = scratch();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item, &mut s))
+                .collect();
+        }
+
+        // Dynamic distribution: each worker pulls the next unclaimed
+        // index, tags its result with it, and the merge below restores
+        // input order — output is independent of scheduling.
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, U)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut s = scratch();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i], &mut s)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+
+        let mut pairs: Vec<(usize, U)> = parts.into_iter().flatten().collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = ThreadPool::with_workers(workers).par_map_indexed(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = ThreadPool::with_workers(3).par_map_indexed(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::with_workers(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map_indexed(&[7], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Each worker counts how many items it processed into its own
+        // scratch; the per-item outputs carry the running count, which
+        // can exceed 1 only if the scratch persisted across items.
+        let items: Vec<u32> = (0..100).collect();
+        let counts = ThreadPool::with_workers(2).par_map_with(
+            &items,
+            || 0usize,
+            |_, _, seen: &mut usize| {
+                *seen += 1;
+                *seen
+            },
+        );
+        let max = counts.iter().copied().max().unwrap_or(0);
+        assert!(max > 1, "scratch never survived across items: {counts:?}");
+        // And across exactly two workers, the two final counts sum to 100.
+        assert_eq!(counts.len(), 100);
+    }
+
+    #[test]
+    fn one_worker_is_a_plain_sequential_loop() {
+        // A non-Sync-unfriendly scratch (Cell) still works sequentially,
+        // and the scratch factory runs exactly once.
+        let items: Vec<u64> = (0..10).collect();
+        let calls = AtomicUsize::new(0);
+        let got = ThreadPool::with_workers(1).par_map_with(
+            &items,
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |_, &x, acc| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // Running prefix sums prove one scratch crossed the whole slice.
+        assert_eq!(got, vec![0, 1, 3, 6, 10, 15, 21, 28, 36, 45]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_reported() {
+        assert_eq!(ThreadPool::with_workers(0).workers(), 1);
+        assert_eq!(ThreadPool::with_workers(5).workers(), 5);
+    }
+
+    #[test]
+    fn env_override_controls_from_env() {
+        // Serialized within this test: set, read, restore.
+        let prior = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(ThreadPool::from_env().workers(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(ThreadPool::from_env().workers() >= 1);
+        match prior {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let items: Vec<f64> = (0..500).map(|k| k as f64 * 0.37).collect();
+        let seq = ThreadPool::with_workers(1).par_map_indexed(&items, |i, &x| x.sin() + i as f64);
+        let par = ThreadPool::with_workers(7).par_map_indexed(&items, |i, &x| x.sin() + i as f64);
+        assert_eq!(seq, par); // bit-identical, not approximately equal
+    }
+}

@@ -17,6 +17,11 @@
 //!   observed faults, retries, backoff, and whether the result is
 //!   `degraded` (best-so-far after the budget ran out) — and that never
 //!   reports success for a non-finite or spec-violating design.
+//! - [`Scheduler`] fans batches of supervised sessions out over a
+//!   std-only thread pool ([`artisan_math::ThreadPool`], sized by
+//!   `ARTISAN_THREADS`). Each session owns its backend and seed, so
+//!   ledgers stay isolated and a batch produces identical
+//!   [`SessionReport`]s for every worker count.
 //!
 //! Backoff and injected latency are billed as *testbed-equivalent
 //! seconds* on the [`artisan_sim::cost::CostLedger`], never slept on
@@ -41,7 +46,9 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod scheduler;
 pub mod supervisor;
 
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultySim};
+pub use scheduler::{ScheduledSession, Scheduler};
 pub use supervisor::{RetryPolicy, SessionBudget, SessionEvent, SessionReport, Supervisor};

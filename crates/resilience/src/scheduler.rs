@@ -1,0 +1,264 @@
+//! Multi-session scheduling: N supervised sessions over a thread pool.
+//!
+//! A [`Scheduler`] fans a batch of supervised design sessions out over
+//! an [`artisan_math::ThreadPool`]. Each session gets its own backend
+//! from the caller-supplied pool of [`ParallelSimBackend`]s — so every
+//! session's cost ledger is isolated, exactly as if it had run alone —
+//! plus its own seed derived from the batch seed and its session index.
+//!
+//! Determinism is load-bearing: session `k` always receives seed
+//! [`Scheduler::session_seed`]`(base_seed, k)` and backend `k`, the
+//! thread pool restores input order, and no state is shared between
+//! sessions. A batch therefore produces *identical* [`SessionReport`]s
+//! for any worker count, including the `ARTISAN_THREADS=1` sequential
+//! fallback — the chaos suite pins this.
+
+use crate::supervisor::{SessionReport, Supervisor};
+use artisan_agents::{AgentConfig, ArtisanAgent};
+use artisan_math::ThreadPool;
+use artisan_sim::{ParallelSimBackend, Spec};
+use std::sync::{Mutex, PoisonError};
+
+/// One scheduled session's result: the report plus the session's own
+/// backend, handed back so callers can inspect its isolated ledger.
+#[derive(Debug)]
+pub struct ScheduledSession<B> {
+    /// 0-based session index (stable across worker counts).
+    pub session: usize,
+    /// The seed this session ran with.
+    pub seed: u64,
+    /// The supervised session's report.
+    pub report: SessionReport,
+    /// The backend the session ran against, with its final ledger.
+    pub backend: B,
+}
+
+/// Runs batches of supervised sessions concurrently.
+///
+/// # Example
+///
+/// ```
+/// use artisan_resilience::Scheduler;
+/// use artisan_sim::{Simulator, Spec};
+///
+/// let scheduler = Scheduler::default();
+/// let backends = (0..3).map(|_| Simulator::new()).collect();
+/// let sessions = scheduler.run_batch(&Spec::g1(), backends, 7);
+/// assert_eq!(sessions.len(), 3);
+/// assert!(sessions.iter().all(|s| s.report.success));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scheduler {
+    /// The per-session retry/budget policy.
+    pub supervisor: Supervisor,
+    pool: ThreadPool,
+}
+
+/// Uncontended by construction — exactly one worker touches each cell —
+/// so a poisoned lock only means a previous session panicked, and the
+/// panic is already propagating through the pool join.
+fn lock<B>(cell: &Mutex<B>) -> std::sync::MutexGuard<'_, B> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// A scheduler over the environment-sized thread pool
+    /// (`ARTISAN_THREADS`, see [`ThreadPool::from_env`]).
+    pub fn new(supervisor: Supervisor) -> Self {
+        Scheduler {
+            supervisor,
+            pool: ThreadPool::from_env(),
+        }
+    }
+
+    /// A scheduler with an explicit thread pool (tests pin worker
+    /// counts through this).
+    pub fn with_pool(supervisor: Supervisor, pool: ThreadPool) -> Self {
+        Scheduler { supervisor, pool }
+    }
+
+    /// The thread pool sessions are fanned out over.
+    pub fn pool(&self) -> ThreadPool {
+        self.pool
+    }
+
+    /// The seed session `k` of a batch runs with: a fixed bijective mix
+    /// of the batch seed and the session index, independent of worker
+    /// count and scheduling order.
+    pub fn session_seed(base_seed: u64, session: usize) -> u64 {
+        base_seed ^ (session as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs one supervised session per backend, each with a fresh
+    /// untrained noiseless agent — the chaos-testing entry point,
+    /// mirroring [`Supervisor::run`]. Results come back in backend
+    /// order regardless of worker count.
+    pub fn run_batch<B: ParallelSimBackend>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+    ) -> Vec<ScheduledSession<B>> {
+        self.run_batch_inner(spec, backends, base_seed, || {
+            ArtisanAgent::untrained(AgentConfig::noiseless())
+        })
+    }
+
+    /// Like [`Scheduler::run_batch`], but every session runs a clone of
+    /// the caller's (possibly trained) agent — mirroring
+    /// [`Supervisor::run_with_agent`].
+    pub fn run_batch_with_agent<B: ParallelSimBackend>(
+        &self,
+        agent: &ArtisanAgent,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+    ) -> Vec<ScheduledSession<B>> {
+        self.run_batch_inner(spec, backends, base_seed, || agent.clone())
+    }
+
+    fn run_batch_inner<B, F>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+        make_agent: F,
+    ) -> Vec<ScheduledSession<B>>
+    where
+        B: ParallelSimBackend,
+        F: Fn() -> ArtisanAgent + Sync,
+    {
+        let cells: Vec<Mutex<B>> = backends.into_iter().map(Mutex::new).collect();
+        let reports: Vec<SessionReport> = self.pool.par_map_indexed(&cells, |k, cell| {
+            let mut agent = make_agent();
+            let mut backend = lock(cell);
+            self.supervisor.run_with_agent(
+                &mut agent,
+                spec,
+                &mut *backend,
+                Self::session_seed(base_seed, k),
+            )
+        });
+        cells
+            .into_iter()
+            .zip(reports)
+            .enumerate()
+            .map(|(k, (cell, report))| ScheduledSession {
+                session: k,
+                seed: Self::session_seed(base_seed, k),
+                report,
+                backend: cell.into_inner().unwrap_or_else(PoisonError::into_inner),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultySim};
+    use artisan_sim::{SimBackend, Simulator};
+
+    fn field_equal(a: &SessionReport, b: &SessionReport) -> bool {
+        a.success == b.success
+            && a.degraded == b.degraded
+            && a.attempts == b.attempts
+            && a.faults_observed == b.faults_observed
+            && a.events == b.events
+            && a.simulations == b.simulations
+            && a.llm_steps == b.llm_steps
+            && a.testbed_seconds == b.testbed_seconds
+    }
+
+    #[test]
+    fn batch_over_clean_backends_all_succeed_in_order() {
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(4));
+        let backends: Vec<Simulator> = (0..6).map(|_| Simulator::new()).collect();
+        let sessions = scheduler.run_batch(&Spec::g1(), backends, 11);
+        assert_eq!(sessions.len(), 6);
+        for (k, s) in sessions.iter().enumerate() {
+            assert_eq!(s.session, k);
+            assert_eq!(s.seed, Scheduler::session_seed(11, k));
+            assert!(s.report.success, "session {k}: {}", s.report);
+        }
+    }
+
+    #[test]
+    fn each_session_matches_a_solo_supervisor_run() {
+        // Ledger isolation: a scheduled session must be byte-for-byte
+        // the session a lone Supervisor would run with the same seed
+        // and its own fresh backend.
+        let supervisor = Supervisor::default();
+        let scheduler = Scheduler::with_pool(supervisor, ThreadPool::with_workers(3));
+        let backends: Vec<Simulator> = (0..4).map(|_| Simulator::new()).collect();
+        let sessions = scheduler.run_batch(&Spec::g1(), backends, 42);
+        for s in &sessions {
+            let mut solo_sim = Simulator::new();
+            let solo = supervisor.run(&Spec::g1(), &mut solo_sim, s.seed);
+            assert!(field_equal(&s.report, &solo), "session {}", s.session);
+            assert_eq!(
+                s.backend.ledger().simulations(),
+                solo_sim.ledger().simulations()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_identical_for_any_worker_count() {
+        let run = |workers| {
+            let scheduler =
+                Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(workers));
+            let backends: Vec<FaultySim<Simulator>> = (0..5)
+                .map(|k| FaultySim::new(Simulator::new(), FaultPlan::flaky(k, 0.3)))
+                .collect();
+            scheduler.run_batch(&Spec::g1(), backends, 99)
+        };
+        let baseline = run(1);
+        for workers in [2, 4, 8] {
+            let batch = run(workers);
+            assert_eq!(batch.len(), baseline.len());
+            for (a, b) in batch.iter().zip(&baseline) {
+                assert!(
+                    field_equal(&a.report, &b.report),
+                    "workers {workers}, session {}",
+                    a.session
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_seeds_are_distinct_within_a_batch() {
+        let seeds: Vec<u64> = (0..64).map(|k| Scheduler::session_seed(7, k)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let scheduler = Scheduler::default();
+        let sessions = scheduler.run_batch(&Spec::g1(), Vec::<Simulator>::new(), 0);
+        assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn faulty_backends_keep_their_own_ledgers() {
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
+        let backends = vec![
+            FaultySim::new(Simulator::new(), FaultPlan::outage_from(0, 0)),
+            FaultySim::new(Simulator::new(), FaultPlan::flaky(3, 0.1)),
+        ];
+        let sessions = scheduler.run_batch(&Spec::g1(), backends, 5);
+        // The outage session fails without success; its retries (and
+        // backoff penalties) never leak into the healthy session's
+        // ledger.
+        assert!(!sessions[0].report.success);
+        assert!(sessions[0].backend.ledger().penalty_seconds() > 0.0);
+        assert_eq!(
+            sessions[1].backend.ledger().simulations() as usize,
+            sessions[1].report.simulations
+        );
+    }
+}

@@ -1,8 +1,17 @@
 //! Logarithmic AC sweeps with unwrapped phase.
+//!
+//! Every frequency point is an independent linear solve, so the sweep
+//! splits into a parallel solve phase (fanned out over an
+//! [`artisan_math::ThreadPool`], one reusable [`MnaWorkspace`] per
+//! worker) and a sequential O(n) phase-unwrap post-pass. The parallel
+//! path produces bit-identical results to the sequential one: every
+//! point's arithmetic is self-contained and the unwrap runs over the
+//! index-ordered solutions either way.
 
-use crate::mna::MnaSystem;
+use crate::error::SimError;
+use crate::mna::{MnaSystem, MnaWorkspace};
 use crate::Result;
-use artisan_math::Complex64;
+use artisan_math::{Complex64, ThreadPool};
 use std::f64::consts::PI;
 
 /// One point of an AC sweep.
@@ -47,40 +56,85 @@ impl Default for SweepConfig {
 
 impl SweepConfig {
     /// The sweep's frequency grid.
-    pub fn frequencies(&self) -> Vec<f64> {
-        assert!(
-            self.f_start > 0.0 && self.f_stop > self.f_start,
-            "sweep needs 0 < f_start < f_stop"
-        );
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSweep`] unless `0 < f_start < f_stop`,
+    /// so a malformed grid surfaces as a recoverable simulation failure
+    /// instead of bringing a design loop down.
+    pub fn frequencies(&self) -> Result<Vec<f64>> {
+        if !(self.f_start > 0.0 && self.f_stop > self.f_start) {
+            return Err(SimError::InvalidSweep {
+                f_start: self.f_start,
+                f_stop: self.f_stop,
+            });
+        }
         let decades = (self.f_stop / self.f_start).log10();
         let n = ((decades * self.points_per_decade as f64).ceil() as usize).max(2);
         let l0 = self.f_start.log10();
         let l1 = self.f_stop.log10();
-        (0..=n)
+        Ok((0..=n)
             .map(|k| 10.0_f64.powf(l0 + (l1 - l0) * k as f64 / n as f64))
-            .collect()
+            .collect())
     }
 }
 
 /// Runs an AC sweep: solves the MNA system at each grid frequency and
 /// unwraps the phase (removing ±360° jumps so that phase margin can be
-/// read off directly).
+/// read off directly). Parallelism comes from the environment
+/// ([`ThreadPool::from_env`], honouring `ARTISAN_THREADS`); use
+/// [`sweep_with_pool`] to pin an explicit worker count.
 ///
 /// # Errors
 ///
-/// Propagates solver failures at any frequency point.
+/// Propagates solver failures at any frequency point and rejects
+/// malformed sweep grids.
 pub fn sweep(sys: &MnaSystem, config: &SweepConfig) -> Result<Vec<AcPoint>> {
-    let freqs = config.frequencies();
+    sweep_with_pool(sys, config, &ThreadPool::from_env())
+}
+
+/// [`sweep`] with an explicit thread pool. Results are bit-identical for
+/// every worker count: the per-point solves are independent (each worker
+/// reuses one [`MnaWorkspace`], fully overwritten per point) and the
+/// phase unwrap runs sequentially over the index-ordered solutions.
+///
+/// # Errors
+///
+/// Propagates the failure at the lowest failing frequency and rejects
+/// malformed sweep grids.
+pub fn sweep_with_pool(
+    sys: &MnaSystem,
+    config: &SweepConfig,
+    pool: &ThreadPool,
+) -> Result<Vec<AcPoint>> {
+    let freqs = config.frequencies()?;
+    // Solve phase: embarrassingly parallel, one workspace per worker.
+    let solved: Vec<Result<Complex64>> = pool.par_map_with(
+        &freqs,
+        || sys.workspace(),
+        |_, f, ws: &mut MnaWorkspace| sys.transfer_with(Complex64::jomega(2.0 * PI * f), ws),
+    );
+    // Deterministic error propagation: the lowest failing index wins,
+    // exactly as the sequential loop would report.
+    let mut hs = Vec::with_capacity(solved.len());
+    for h in solved {
+        hs.push(h?);
+    }
+    Ok(unwrap_points(&freqs, &hs))
+}
+
+/// The sequential phase-unwrap post-pass: removes ±360° jumps between
+/// adjacent points (assuming < 180° of true phase change per grid step,
+/// guaranteed by a dense log grid) and references everything to the
+/// first point's phase.
+fn unwrap_points(freqs: &[f64], hs: &[Complex64]) -> Vec<AcPoint> {
     let mut points = Vec::with_capacity(freqs.len());
     let mut prev_raw: Option<f64> = None;
     let mut offset = 0.0;
     let mut first_phase = 0.0;
-    for (k, f) in freqs.iter().enumerate() {
-        let h = sys.transfer(Complex64::jomega(2.0 * PI * f))?;
+    for (k, (&f, &h)) in freqs.iter().zip(hs).enumerate() {
         let raw = h.arg().to_degrees();
         if let Some(p) = prev_raw {
-            // Unwrap: assume < 180° of true phase change between grid
-            // points (guaranteed by a dense log grid).
             let mut delta = raw - p;
             while delta > 180.0 {
                 delta -= 360.0;
@@ -97,12 +151,12 @@ pub fn sweep(sys: &MnaSystem, config: &SweepConfig) -> Result<Vec<AcPoint>> {
             first_phase = unwrapped;
         }
         points.push(AcPoint {
-            freq: *f,
+            freq: f,
             h,
             phase_rel: unwrapped - first_phase,
         });
     }
-    Ok(points)
+    points
 }
 
 /// Finds the unity-gain crossing by log-linear interpolation between the
@@ -150,7 +204,7 @@ mod tests {
             f_stop: 1e6,
             points_per_decade: 10,
         };
-        let f = cfg.frequencies();
+        let f = cfg.frequencies().unwrap();
         assert!((f[0] - 1.0).abs() < 1e-9);
         assert!((f.last().unwrap() - 1e6).abs() / 1e6 < 1e-9);
         // Log spacing: constant ratio.
@@ -160,14 +214,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep")]
-    fn bad_grid_panics() {
-        SweepConfig {
+    fn bad_grid_is_an_error_not_a_panic() {
+        let err = SweepConfig {
             f_start: 0.0,
             f_stop: 1.0,
             points_per_decade: 10,
         }
-        .frequencies();
+        .frequencies()
+        .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidSweep { f_start, .. } if f_start == 0.0),
+            "{err}"
+        );
+        assert_eq!(err.failure_label(), "Sweep");
+        assert!(!err.is_transient());
+        // Inverted bounds are rejected the same way, and the sweep
+        // driver surfaces the error instead of panicking.
+        let inverted = SweepConfig {
+            f_start: 10.0,
+            f_stop: 1.0,
+            points_per_decade: 10,
+        };
+        assert!(inverted.frequencies().is_err());
+        let sys = single_pole(10.0, 1e3);
+        assert!(matches!(
+            sweep(&sys, &inverted),
+            Err(SimError::InvalidSweep { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let sys = single_pole(1000.0, 1e3);
+        let cfg = SweepConfig::default();
+        let seq = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(1)).unwrap();
+        for workers in [2, 3, 8] {
+            let par = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(workers)).unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
     }
 
     #[test]

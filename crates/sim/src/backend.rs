@@ -68,6 +68,18 @@ impl SimBackend for Simulator {
     }
 }
 
+/// A [`SimBackend`] that may cross thread boundaries.
+///
+/// The multi-session scheduler in `artisan-resilience` hands each
+/// supervised session its own backend and fans the sessions out over a
+/// thread pool, which requires `Send`. The blanket impl makes every
+/// `Send` backend (the plain [`Simulator`], fault-injecting wrappers
+/// around it, …) a `ParallelSimBackend` automatically — single-threaded
+/// consumers keep using [`SimBackend`] and nothing changes for them.
+pub trait ParallelSimBackend: SimBackend + Send {}
+
+impl<B: SimBackend + Send + ?Sized> ParallelSimBackend for B {}
+
 impl<B: SimBackend + ?Sized> SimBackend for &mut B {
     fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
         (**self).analyze_topology(topo)

@@ -90,6 +90,14 @@ pub enum SimError {
         /// Real part of the most unstable pole (rad/s).
         worst_pole_re: f64,
     },
+    /// The requested AC sweep grid is malformed (needs
+    /// `0 < f_start < f_stop`), so no frequency list can be built.
+    InvalidSweep {
+        /// Requested start frequency in Hz.
+        f_start: f64,
+        /// Requested stop frequency in Hz.
+        f_stop: f64,
+    },
     /// A numerical kernel failed.
     Math(MathError),
     /// The netlist cannot be simulated as given; carries the ERC
@@ -118,6 +126,7 @@ impl SimError {
             SimError::IllConditioned { .. } => "IllConditioned",
             SimError::NoUnityCrossing => "NoUnityCrossing",
             SimError::Unstable { .. } => "Unstable",
+            SimError::InvalidSweep { .. } => "Sweep",
             SimError::Math(_) => "SimFault",
             SimError::BadNetlist(_) => "Netlist",
         }
@@ -137,6 +146,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "circuit is unstable (right-half-plane pole, Re = {worst_pole_re:.3e} rad/s)"
+                )
+            }
+            SimError::InvalidSweep { f_start, f_stop } => {
+                write!(
+                    f,
+                    "sweep needs 0 < f_start < f_stop, got [{f_start}, {f_stop}] Hz"
                 )
             }
             SimError::Math(e) => write!(f, "numerical failure: {e}"),
@@ -180,7 +195,7 @@ mod tests {
 
     #[test]
     fn transient_classification_and_labels_are_stable() {
-        let cases: [(SimError, &str, bool); 5] = [
+        let cases: [(SimError, &str, bool); 6] = [
             (
                 SimError::IllConditioned { frequency: 0.0 },
                 "IllConditioned",
@@ -190,6 +205,14 @@ mod tests {
             (SimError::NoUnityCrossing, "NoUnityCrossing", false),
             (SimError::Unstable { worst_pole_re: 1.0 }, "Unstable", false),
             (SimError::BadNetlist("x".into()), "Netlist", false),
+            (
+                SimError::InvalidSweep {
+                    f_start: 0.0,
+                    f_stop: 1.0,
+                },
+                "Sweep",
+                false,
+            ),
         ];
         for (e, label, transient) in cases {
             assert_eq!(e.failure_label(), label, "{e}");

@@ -50,7 +50,7 @@ pub mod poles;
 pub mod spec;
 pub mod variation;
 
-pub use backend::SimBackend;
+pub use backend::{ParallelSimBackend, SimBackend};
 pub use error::{BadNetlistReport, SimError};
 pub use metrics::{Performance, PowerModel};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};

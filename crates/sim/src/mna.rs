@@ -4,17 +4,39 @@
 //! node is an ideal AC source at 1 V∠0°, handled by source elimination:
 //! its row is dropped (the source supplies whatever current KCL demands)
 //! and its column contributions move to the right-hand side.
+//!
+//! Assembly is split from solving: [`MnaSystem::new`] walks the element
+//! list exactly once, stamping the frequency-independent `G` and `C`
+//! matrices (and the matching right-hand-side halves) at construction.
+//! Per-frequency assembly is then the single fused pass
+//! `Y = G + s·C` — no element walk, no hash-map lookups — and the hot
+//! solve path ([`MnaSystem::solve_with`]) factors into a caller-provided
+//! [`MnaWorkspace`] so an AC sweep allocates nothing per point.
 
 use crate::error::SimError;
 use crate::Result;
 use artisan_circuit::{Element, Netlist, Node};
-use artisan_math::{lu::LuDecomposition, CMatrix, Complex64};
+use artisan_math::{lu, CMatrix, Complex64};
 use std::collections::HashMap;
+
+/// Reusable per-solve scratch: the assembled `Y`, the right-hand side,
+/// the pivot permutation, and the solution vector. Build one with
+/// [`MnaSystem::workspace`] and feed it to [`MnaSystem::solve_with`] /
+/// [`MnaSystem::transfer_with`]; a sweep (or a pool worker) reuses one
+/// workspace across all its frequency points.
+#[derive(Debug, Clone)]
+pub struct MnaWorkspace {
+    y: CMatrix,
+    rhs: Vec<Complex64>,
+    perm: Vec<usize>,
+    x: Vec<Complex64>,
+}
 
 /// An assembled MNA system for one netlist, reusable across frequencies.
 ///
-/// Construction indexes the unknown nodes once; each call to
-/// [`MnaSystem::solve`] stamps `G + sC` and LU-solves.
+/// Construction indexes the unknown nodes and stamps the `G`/`C` split
+/// once; each call to [`MnaSystem::solve`] combines `Y(s) = G + sC` and
+/// LU-solves.
 ///
 /// # Example
 ///
@@ -37,16 +59,62 @@ pub struct MnaSystem {
     index: HashMap<Node, usize>,
     out_index: usize,
     dim: usize,
+    /// Frequency-independent conductance stamps (resistors, VCCS).
+    g: CMatrix,
+    /// Capacitance stamps; contributes `s·C` to `Y(s)`.
+    c: CMatrix,
+    /// RHS contributions from conductances on the input column.
+    rhs_g: Vec<Complex64>,
+    /// RHS contributions from capacitances on the input column
+    /// (scaled by `s` at assembly).
+    rhs_c: Vec<Complex64>,
+}
+
+/// Adds `val` at (row=node r, col=node c) with source elimination:
+/// ground rows/cols vanish, the input column feeds the RHS (unit input
+/// drive), and the input row is skipped (the source balances its own
+/// KCL).
+fn stamp_into(
+    index: &HashMap<Node, usize>,
+    m: &mut CMatrix,
+    rhs: &mut [Complex64],
+    r: Node,
+    c: Node,
+    val: Complex64,
+) -> Result<()> {
+    let ri = match index.get(&r) {
+        Some(&ri) => ri,
+        None if matches!(r, Node::Ground | Node::Input) => return Ok(()),
+        None => {
+            return Err(SimError::BadNetlist(
+                format!("element references node `{r}` missing from the MNA index").into(),
+            ))
+        }
+    };
+    match c {
+        Node::Ground => {}
+        Node::Input => rhs[ri] -= val,
+        other => match index.get(&other) {
+            Some(&ci) => m.stamp(ri, ci, val),
+            None => {
+                return Err(SimError::BadNetlist(
+                    format!("element references node `{other}` missing from the MNA index").into(),
+                ))
+            }
+        },
+    }
+    Ok(())
 }
 
 impl MnaSystem {
-    /// Indexes the netlist's unknown nodes and validates that an output
-    /// node exists.
+    /// Indexes the netlist's unknown nodes, validates that an output
+    /// node exists, and stamps the `G`/`C` matrices once.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadNetlist`] when the netlist has no `out` node
-    /// or no elements.
+    /// Returns [`SimError::BadNetlist`] when the netlist has no `out`
+    /// node, no elements, or an element references a node missing from
+    /// the unknown index.
     pub fn new(netlist: &Netlist) -> Result<Self> {
         if netlist.element_count() == 0 {
             return Err(SimError::BadNetlist("netlist is empty".into()));
@@ -61,78 +129,29 @@ impl MnaSystem {
         let out_index = *index
             .get(&Node::Output)
             .ok_or_else(|| SimError::BadNetlist("netlist has no `out` node".into()))?;
-        Ok(MnaSystem {
-            elements: netlist.elements().to_vec(),
-            index,
-            out_index,
-            dim: unknowns.len(),
-        })
-    }
+        let dim = unknowns.len();
 
-    /// Number of unknown node voltages.
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// Assembles `Y(s)` and the source-eliminated right-hand side for unit
-    /// input drive.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::BadNetlist`] if an element references a node
-    /// absent from the unknown index — impossible for systems built by
-    /// [`MnaSystem::new`] from a consistent netlist, but kept as an
-    /// error (not a panic) so the solver can never bring a design loop
-    /// down.
-    pub fn assemble(&self, s: Complex64) -> Result<(CMatrix, Vec<Complex64>)> {
-        let mut y = CMatrix::zeros(self.dim, self.dim);
-        let mut rhs = vec![Complex64::ZERO; self.dim];
-        let v_in = Complex64::ONE;
-
-        // Adds `val` at (row=node r, col=node c) with source elimination:
-        // ground rows/cols vanish, the input column feeds the RHS, and the
-        // input row is skipped (the source balances its own KCL).
-        let mut add = |r: Node, c: Node, val: Complex64| -> Result<()> {
-            let ri = match self.index.get(&r) {
-                Some(&ri) => ri,
-                None if matches!(r, Node::Ground | Node::Input) => return Ok(()),
-                None => {
-                    return Err(SimError::BadNetlist(
-                        format!("element references node `{r}` missing from the MNA index").into(),
-                    ))
-                }
-            };
-            match c {
-                Node::Ground => {}
-                Node::Input => rhs[ri] -= val * v_in,
-                other => match self.index.get(&other) {
-                    Some(&ci) => y.stamp(ri, ci, val),
-                    None => {
-                        return Err(SimError::BadNetlist(
-                            format!("element references node `{other}` missing from the MNA index")
-                                .into(),
-                        ))
-                    }
-                },
-            }
-            Ok(())
-        };
-
-        for e in &self.elements {
+        // The one-time element walk: conductances into G, capacitances
+        // into C, each with its half of the source-eliminated RHS.
+        let mut g = CMatrix::zeros(dim, dim);
+        let mut c = CMatrix::zeros(dim, dim);
+        let mut rhs_g = vec![Complex64::ZERO; dim];
+        let mut rhs_c = vec![Complex64::ZERO; dim];
+        for e in netlist.elements() {
             match e {
                 Element::Resistor { a, b, ohms, .. } => {
-                    let g = Complex64::from_real(1.0 / ohms.value());
-                    add(*a, *a, g)?;
-                    add(*a, *b, -g)?;
-                    add(*b, *b, g)?;
-                    add(*b, *a, -g)?;
+                    let v = Complex64::from_real(1.0 / ohms.value());
+                    stamp_into(&index, &mut g, &mut rhs_g, *a, *a, v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *a, *b, -v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *b, *b, v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *b, *a, -v)?;
                 }
                 Element::Capacitor { a, b, farads, .. } => {
-                    let g = s * Complex64::from_real(farads.value());
-                    add(*a, *a, g)?;
-                    add(*a, *b, -g)?;
-                    add(*b, *b, g)?;
-                    add(*b, *a, -g)?;
+                    let v = Complex64::from_real(farads.value());
+                    stamp_into(&index, &mut c, &mut rhs_c, *a, *a, v)?;
+                    stamp_into(&index, &mut c, &mut rhs_c, *a, *b, -v)?;
+                    stamp_into(&index, &mut c, &mut rhs_c, *b, *b, v)?;
+                    stamp_into(&index, &mut c, &mut rhs_c, *b, *a, -v)?;
                 }
                 Element::Vccs {
                     out_p,
@@ -142,16 +161,147 @@ impl MnaSystem {
                     gm,
                     ..
                 } => {
-                    let g = Complex64::from_real(gm.value());
+                    let v = Complex64::from_real(gm.value());
                     // I = gm·(v(cp) − v(cn)) leaves out_p, enters out_n.
-                    add(*out_p, *ctrl_p, g)?;
-                    add(*out_p, *ctrl_n, -g)?;
-                    add(*out_n, *ctrl_p, -g)?;
-                    add(*out_n, *ctrl_n, g)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *out_p, *ctrl_p, v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *out_p, *ctrl_n, -v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *out_n, *ctrl_p, -v)?;
+                    stamp_into(&index, &mut g, &mut rhs_g, *out_n, *ctrl_n, v)?;
+                }
+            }
+        }
+
+        Ok(MnaSystem {
+            elements: netlist.elements().to_vec(),
+            index,
+            out_index,
+            dim,
+            g,
+            c,
+            rhs_g,
+            rhs_c,
+        })
+    }
+
+    /// Number of unknown node voltages.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// A fresh solve workspace sized for this system.
+    pub fn workspace(&self) -> MnaWorkspace {
+        MnaWorkspace {
+            y: CMatrix::zeros(self.dim, self.dim),
+            rhs: vec![Complex64::ZERO; self.dim],
+            perm: Vec::with_capacity(self.dim),
+            x: Vec::with_capacity(self.dim),
+        }
+    }
+
+    /// The source-eliminated right-hand side at `s`:
+    /// `rhs_g + s·rhs_c` for unit input drive.
+    fn rhs_at(&self, s: Complex64, rhs: &mut [Complex64]) {
+        for ((out, &g), &c) in rhs.iter_mut().zip(&self.rhs_g).zip(&self.rhs_c) {
+            *out = g + s * c;
+        }
+    }
+
+    /// Assembles `Y(s)` and the source-eliminated right-hand side for
+    /// unit input drive from the cached `G`/`C` split — one fused
+    /// scale-add, no element walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] only for internal dimension bugs
+    /// (impossible for systems built by [`MnaSystem::new`]); element
+    /// consistency is validated at construction.
+    pub fn assemble(&self, s: Complex64) -> Result<(CMatrix, Vec<Complex64>)> {
+        let mut y = CMatrix::zeros(self.dim, self.dim);
+        y.assign_scale_add(&self.g, &self.c, s)?;
+        let mut rhs = vec![Complex64::ZERO; self.dim];
+        self.rhs_at(s, &mut rhs);
+        Ok((y, rhs))
+    }
+
+    /// The legacy per-point assembly: re-walks the element list and
+    /// stamps `G + sC` through the node index at every call, exactly as
+    /// the solver did before the `G`/`C` split. Retained only as the
+    /// baseline for the `sim_sweep` benchmark and the cached-vs-legacy
+    /// equivalence tests — production paths use [`MnaSystem::assemble`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadNetlist`] if an element references a node
+    /// absent from the unknown index — impossible for systems built by
+    /// [`MnaSystem::new`], which validates the same walk at
+    /// construction.
+    pub fn assemble_legacy(&self, s: Complex64) -> Result<(CMatrix, Vec<Complex64>)> {
+        let mut y = CMatrix::zeros(self.dim, self.dim);
+        let mut rhs = vec![Complex64::ZERO; self.dim];
+        for e in &self.elements {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    let v = Complex64::from_real(1.0 / ohms.value());
+                    stamp_into(&self.index, &mut y, &mut rhs, *a, *a, v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *a, *b, -v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *b, *b, v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *b, *a, -v)?;
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    let v = s * Complex64::from_real(farads.value());
+                    stamp_into(&self.index, &mut y, &mut rhs, *a, *a, v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *a, *b, -v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *b, *b, v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *b, *a, -v)?;
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                    ..
+                } => {
+                    let v = Complex64::from_real(gm.value());
+                    stamp_into(&self.index, &mut y, &mut rhs, *out_p, *ctrl_p, v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *out_p, *ctrl_n, -v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *out_n, *ctrl_p, -v)?;
+                    stamp_into(&self.index, &mut y, &mut rhs, *out_n, *ctrl_n, v)?;
                 }
             }
         }
         Ok((y, rhs))
+    }
+
+    /// Solves for all node voltages at complex frequency `s` using a
+    /// caller-provided workspace — the zero-allocation hot path behind
+    /// AC sweeps. Returns a borrow of the workspace's solution vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllConditioned`] when `Y(s)` is singular.
+    pub fn solve_with<'w>(
+        &self,
+        s: Complex64,
+        ws: &'w mut MnaWorkspace,
+    ) -> Result<&'w [Complex64]> {
+        ws.y.assign_scale_add(&self.g, &self.c, s)?;
+        self.rhs_at(s, &mut ws.rhs);
+        lu::factor_in_place(&mut ws.y, &mut ws.perm).map_err(|_| SimError::IllConditioned {
+            frequency: s.im / (2.0 * std::f64::consts::PI),
+        })?;
+        lu::solve_factored(&ws.y, &ws.perm, &ws.rhs, &mut ws.x)?;
+        Ok(&ws.x)
+    }
+
+    /// The transfer function `H(s) = v(out)/v(in)` at `s`, solved
+    /// through a caller-provided workspace (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MnaSystem::solve_with`] failures.
+    pub fn transfer_with(&self, s: Complex64, ws: &mut MnaWorkspace) -> Result<Complex64> {
+        Ok(self.solve_with(s, ws)?[self.out_index])
     }
 
     /// Solves for all node voltages at complex frequency `s` under unit
@@ -161,11 +311,9 @@ impl MnaSystem {
     ///
     /// Returns [`SimError::IllConditioned`] when `Y(s)` is singular.
     pub fn solve(&self, s: Complex64) -> Result<Vec<Complex64>> {
-        let (y, rhs) = self.assemble(s)?;
-        let lu = LuDecomposition::new(y).map_err(|_| SimError::IllConditioned {
-            frequency: s.im / (2.0 * std::f64::consts::PI),
-        })?;
-        Ok(lu.solve(&rhs)?)
+        let mut ws = self.workspace();
+        self.solve_with(s, &mut ws)?;
+        Ok(ws.x)
     }
 
     /// The transfer function `H(s) = v(out)/v(in)` at `s` (signed complex
@@ -293,6 +441,72 @@ mod tests {
         ));
         // But solvable at AC.
         assert!(sys.transfer(Complex64::jomega(1e3)).is_ok());
+    }
+
+    #[test]
+    fn cached_assembly_matches_legacy_walk() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        for f in [0.0, 1.0, 1e3, 1e6, 1e9] {
+            let s = Complex64::jomega(2.0 * PI * f);
+            let (yc, rhs_c) = sys.assemble(s).unwrap();
+            let (yl, rhs_l) = sys.assemble_legacy(s).unwrap();
+            for r in 0..sys.dim() {
+                for c in 0..sys.dim() {
+                    let (a, b) = (yc[(r, c)], yl[(r, c)]);
+                    let scale = a.abs().max(b.abs()).max(1.0);
+                    assert!(
+                        (a - b).abs() / scale < 1e-12,
+                        "Y({r},{c}) at f={f}: {a} vs {b}"
+                    );
+                }
+                let (a, b) = (rhs_c[r], rhs_l[r]);
+                let scale = a.abs().max(b.abs()).max(1.0);
+                assert!(
+                    (a - b).abs() / scale < 1e-12,
+                    "rhs[{r}] at f={f}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_solve_matches_allocating_solve_bitwise() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        let mut ws = sys.workspace();
+        // One workspace reused across all points must match a fresh
+        // allocation per point exactly — same arithmetic, same bits.
+        for f in [1.0, 1e3, 1e6, 1e9] {
+            let s = Complex64::jomega(2.0 * PI * f);
+            let fresh = sys.solve(s).unwrap();
+            let reused = sys.solve_with(s, &mut ws).unwrap();
+            assert_eq!(reused, fresh.as_slice());
+            let h = sys.transfer_with(s, &mut ws).unwrap();
+            assert_eq!(h, sys.transfer(s).unwrap());
+        }
+    }
+
+    #[test]
+    fn workspace_survives_a_failed_solve() {
+        // A singular point must not poison the workspace for later points.
+        let n = Netlist::parse("* float\nC1 in n1 1p\nC2 n1 out 1p\nR1 out 0 1k\n.end\n").unwrap();
+        let sys = MnaSystem::new(&n).unwrap();
+        let mut ws = sys.workspace();
+        assert!(sys.transfer_with(Complex64::ZERO, &mut ws).is_err());
+        let s = Complex64::jomega(2.0 * PI * 1e3);
+        assert_eq!(
+            sys.transfer_with(s, &mut ws).unwrap(),
+            sys.transfer(s).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_element_node_rejected_at_construction() {
+        // `unknown_nodes` should cover every referenced node, but the
+        // stamping path still reports (not panics) if it ever cannot.
+        let n = Netlist::parse("* ok\nR1 in out 1k\nR2 out 0 1k\n.end\n").unwrap();
+        assert!(MnaSystem::new(&n).is_ok());
     }
 
     #[test]

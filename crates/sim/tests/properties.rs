@@ -3,7 +3,8 @@
 
 use artisan_circuit::sample::{sample_topology, SampleRanges};
 use artisan_circuit::{Netlist, Topology};
-use artisan_math::Complex64;
+use artisan_math::{Complex64, ThreadPool};
+use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::mna::MnaSystem;
 use artisan_sim::poles::{pole_zero, PoleZeroConfig};
 use artisan_sim::{SimError, Simulator};
@@ -77,6 +78,62 @@ proptest! {
             sys.transfer(Complex64::jomega(-w)),
         ) {
             prop_assert!((hp - hm.conj()).abs() <= 1e-9 * hp.abs().max(1e-9));
+        }
+    }
+
+    /// The parallel sweep is bit-identical to the sequential one on
+    /// random sampled topologies, for every worker count: same
+    /// frequencies, same complex transfer values, same unwrapped phase,
+    /// down to the last bit. When the sequential sweep fails, the
+    /// parallel one reports the same failure (lowest failing index
+    /// wins).
+    #[test]
+    fn parallel_sweep_is_bit_identical_on_random_netlists(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = topo.elaborate().expect("valid");
+        let sys = MnaSystem::new(&netlist).expect("builds");
+        let cfg = SweepConfig { f_start: 1.0, f_stop: 1e8, points_per_decade: 8 };
+        let seq = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(1));
+        for workers in [2usize, 3, 8] {
+            let par = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(workers));
+            match (&seq, &par) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "workers = {}", workers),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(format!("{a}"), format!("{b}"), "workers = {}", workers);
+                }
+                _ => prop_assert!(
+                    false,
+                    "sequential {:?} vs parallel ({} workers) {:?} disagree on success",
+                    seq.is_ok(), workers, par.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// The cached G/C-split assembly agrees with the legacy per-point
+    /// element walk on random sampled topologies, at random
+    /// frequencies, to floating-point round-off.
+    #[test]
+    fn cached_assembly_matches_legacy_on_random_netlists(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let netlist = topo.elaborate().expect("valid");
+        let sys = MnaSystem::new(&netlist).expect("builds");
+        let f = 10f64.powf(rng.gen_range(0.0..9.0));
+        let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+        let (y_new, rhs_new) = sys.assemble(s).expect("cached assembles");
+        let (y_old, rhs_old) = sys.assemble_legacy(s).expect("legacy assembles");
+        let y_scale = y_old.frobenius_norm().max(1e-30);
+        for r in 0..y_old.rows() {
+            for c in 0..y_old.cols() {
+                let (a, b) = (y_new[(r, c)], y_old[(r, c)]);
+                prop_assert!((a - b).abs() <= 1e-12 * y_scale, "{a} vs {b} at f = {f}");
+            }
+        }
+        let r_scale: f64 = rhs_old.iter().map(|v| v.abs()).fold(1e-30, f64::max);
+        for (a, b) in rhs_new.iter().zip(&rhs_old) {
+            prop_assert!((*a - *b).abs() <= 1e-12 * r_scale, "{a} vs {b} at f = {f}");
         }
     }
 

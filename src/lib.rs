@@ -63,8 +63,11 @@ pub mod prelude {
     pub use artisan_core::{Artisan, ArtisanOptions, Method, Table3};
     pub use artisan_dataset::{DatasetConfig, OpampDataset, Table1};
     pub use artisan_lint::{LintReport, Linter};
-    pub use artisan_resilience::{FaultPlan, FaultySim, SessionReport, Supervisor};
-    pub use artisan_sim::{SimBackend, Simulator, Spec};
+    pub use artisan_math::ThreadPool;
+    pub use artisan_resilience::{
+        FaultPlan, FaultySim, ScheduledSession, Scheduler, SessionReport, Supervisor,
+    };
+    pub use artisan_sim::{ParallelSimBackend, SimBackend, Simulator, Spec};
 }
 
 #[cfg(test)]
