@@ -28,6 +28,13 @@ pub struct AgentConfig {
     /// path is never taken on the happy path, so noiseless results are
     /// unchanged.
     pub sim_retries: usize,
+    /// When true, the Q0 architecture decision simulates the buildable
+    /// sibling candidates through [`SimBackend::analyze_batch`] and
+    /// picks the one missing the fewest spec constraints
+    /// ([`crate::TotTrace::decide_architecture_scored`]). Bills two
+    /// extra simulations per attempt, so it is opt-in: supervisors
+    /// project worst-case attempt cost from this flag.
+    pub score_architectures: bool,
 }
 
 impl AgentConfig {
@@ -38,6 +45,7 @@ impl AgentConfig {
             noise: NoiseModel::noiseless(),
             max_iterations: 3,
             sim_retries: 1,
+            score_architectures: false,
         }
     }
 
@@ -50,6 +58,7 @@ impl AgentConfig {
             noise: NoiseModel::paper_default(),
             max_iterations: 1,
             sim_retries: 1,
+            score_architectures: false,
         }
     }
 }
@@ -168,9 +177,16 @@ impl ArtisanAgent {
         let mut transcript = ChatTranscript::new();
         let mut tot_trace = TotTrace::new();
 
-        // Q0/A0: spec in, architecture recommendation out.
+        // Q0/A0: spec in, architecture recommendation out. With
+        // sibling scoring on, the candidates are batch-simulated at the
+        // initial design target before the branch is chosen.
         let q0 = transcript.question(Prompter::initial_question(spec));
-        let mut architecture = tot_trace.decide_architecture(spec);
+        let initial_target = Self::initial_target(spec);
+        let mut architecture = if self.config.score_architectures {
+            tot_trace.decide_architecture_scored(spec, &initial_target, sim)
+        } else {
+            tot_trace.decide_architecture(spec)
+        };
         let a0 = self.llm.rationale(
             &Prompter::initial_question(spec),
             &tot_trace
@@ -183,7 +199,7 @@ impl ArtisanAgent {
         transcript.answer(q0, a0);
         sim.ledger_mut().record_llm_step();
 
-        let mut target = Self::initial_target(spec);
+        let mut target = initial_target;
         let mut adjustments = FlowAdjustments::default();
         // One blunder draw per session: a wrong belief persists across
         // modification iterations.
@@ -497,6 +513,34 @@ mod tests {
     }
 
     #[test]
+    fn scored_architecture_selection_matches_survey_on_table2() {
+        // Opt-in sibling scoring picks the same architectures as the
+        // survey heuristic on the paper's groups, still succeeds, and
+        // bills exactly two extra simulations for the Q0 batch.
+        for (name, spec) in Spec::table2() {
+            let config = AgentConfig {
+                score_architectures: true,
+                ..AgentConfig::noiseless()
+            };
+            let mut agent = ArtisanAgent::untrained(config);
+            let mut sim = Simulator::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let outcome = agent.design(&spec, &mut sim, &mut rng);
+            assert!(outcome.success, "{name} failed with scoring on");
+            let (baseline, base_sim) = run(&spec, 0);
+            assert_eq!(outcome.architecture, baseline.architecture, "{name}");
+            assert_eq!(
+                sim.ledger().simulations(),
+                base_sim.ledger().simulations() + 2,
+                "{name}: Q0 batch bills one sim per sibling"
+            );
+            assert_eq!(sim.ledger().batched_solves(), 2, "{name}");
+            let q0 = &outcome.tot_trace.nodes()[0];
+            assert!(q0.question.contains("sibling-scored"), "{name}");
+        }
+    }
+
+    #[test]
     fn ledger_bills_llm_steps_and_sims() {
         let (outcome, sim) = run(&Spec::g1(), 0);
         assert!(sim.ledger().llm_steps() >= 9); // Q0 + 8 CoT steps
@@ -732,6 +776,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             max_iterations: 1,
             sim_retries: 0,
+            score_architectures: false,
         });
         let mut sim =
             ScriptedBackend::new(vec![Script::Report(two_fails), Script::Report(one_fail)]);
@@ -763,6 +808,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             max_iterations: 1,
             sim_retries: 0,
+            score_architectures: false,
         });
         let mut sim =
             ScriptedBackend::new(vec![Script::Report(one_fail), Script::Report(two_fails)]);

@@ -130,6 +130,7 @@ proptest! {
             noise: NoiseModel::noiseless(),
             max_iterations,
             sim_retries,
+            score_architectures: false,
         };
         let mut agent = ArtisanAgent::untrained(config);
         // More failures than the whole session can consume.
@@ -159,6 +160,7 @@ proptest! {
             noise: NoiseModel::noiseless(),
             max_iterations,
             sim_retries,
+            score_architectures: false,
         };
         let (sims, iterations, success) =
             predicted_accounting(failures, max_iterations, sim_retries);

@@ -1,15 +1,22 @@
 //! The parallel simulation engine's kernels: cached G/C-split assembly
 //! vs the legacy per-point element walk, workspace-reusing solves vs
-//! per-point allocation, and the AC sweep at several worker counts.
+//! per-point allocation, the AC sweep at several worker counts, the
+//! batched candidate fan-out vs the serial analysis loop, and the
+//! content-addressed cache (miss vs hit).
 
+use artisan_circuit::sample::{sample_topology, SampleRanges};
 use artisan_circuit::Topology;
 use artisan_math::lu::LuDecomposition;
 use artisan_math::{Complex64, ThreadPool};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::mna::MnaSystem;
+use artisan_sim::{CachedSim, SimBackend, SimCache, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::f64::consts::PI;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn nmc_system() -> (MnaSystem, Vec<f64>) {
     let netlist = Topology::nmc_example().elaborate().expect("valid");
@@ -84,5 +91,58 @@ fn bench_sweep_workers(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_assembly, bench_solve, bench_sweep_workers);
+/// The candidate batch (sibling-scoring / optimizer-DoE shape): the
+/// serial analysis loop vs `analyze_batch` at pinned worker counts.
+fn bench_batch_workers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut topos = vec![Topology::nmc_example(), Topology::dfc_example()];
+    topos.extend((0..6).map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12)));
+    c.bench_function("analyze_batch/serial_loop", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            for t in &topos {
+                black_box(sim.analyze_topology(t).ok());
+            }
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::with_workers(workers);
+        c.bench_function(&format!("analyze_batch/workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new();
+                black_box(sim.analyze_batch_with_pool(&topos, &pool));
+            })
+        });
+    }
+}
+
+/// The content-addressed cache: a full analysis (miss) vs a memoized
+/// hand-back (hit) of the identical topology.
+fn bench_sim_cache(c: &mut Criterion) {
+    let topo = Topology::nmc_example();
+    c.bench_function("sim_cache/miss_full_analysis", |b| {
+        b.iter(|| {
+            let mut sim = CachedSim::new(Simulator::new(), SimCache::shared(16));
+            black_box(sim.analyze_topology(&topo).expect("analyzes"));
+        })
+    });
+    let cache = SimCache::shared(16);
+    let mut warm = CachedSim::new(Simulator::new(), Arc::clone(&cache));
+    warm.analyze_topology(&topo).expect("warms the cache");
+    c.bench_function("sim_cache/hit_memoized", |b| {
+        b.iter(|| {
+            black_box(warm.analyze_topology(&topo).expect("hits"));
+        })
+    });
+    assert!(cache.stats().hits > 0, "hit leg never hit the cache");
+}
+
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_solve,
+    bench_sweep_workers,
+    bench_batch_workers,
+    bench_sim_cache
+);
 criterion_main!(benches);

@@ -15,15 +15,19 @@
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use artisan_bench::{arg_or, quick_mode};
+use artisan_circuit::sample::{sample_topology, SampleRanges};
 use artisan_circuit::Topology;
 use artisan_math::lu::LuDecomposition;
 use artisan_math::{Complex64, ThreadPool};
 use artisan_resilience::{Scheduler, Supervisor};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::mna::MnaSystem;
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{CachedSim, SimCache, Simulator, Spec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::f64::consts::PI;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Times `routine` over `reps` repetitions and returns events/second,
@@ -126,6 +130,90 @@ fn main() {
         })
         .collect();
 
+    // --- batched analyze_batch fan-out, per worker count ---
+    // Distinct candidates, the sibling-scoring / optimizer-DoE shape:
+    // the two recipe examples plus sampled random topologies.
+    let batch_topos: Vec<Topology> = {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = vec![Topology::nmc_example(), Topology::dfc_example()];
+        t.extend((0..6).map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12)));
+        t
+    };
+    let serial_reports: Vec<Option<artisan_sim::Performance>> = batch_topos
+        .iter()
+        .map(|t| {
+            Simulator::new()
+                .analyze_topology(t)
+                .ok()
+                .map(|r| r.performance)
+        })
+        .collect();
+    let batch_rates: Vec<(usize, f64)> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let pool = ThreadPool::with_workers(workers);
+            // Bit-identity guard: the fan-out must reproduce the serial
+            // reports exactly before its throughput means anything.
+            let check: Vec<Option<artisan_sim::Performance>> = Simulator::new()
+                .analyze_batch_with_pool(&batch_topos, &pool)
+                .into_iter()
+                .map(|r| r.ok().map(|rep| rep.performance))
+                .collect();
+            assert_eq!(check, serial_reports, "batch diverged at {workers} workers");
+            let r = rate(reps, batch_topos.len(), || {
+                let mut sim = Simulator::new();
+                black_box(sim.analyze_batch_with_pool(&batch_topos, &pool));
+            });
+            (workers, r)
+        })
+        .collect();
+
+    // --- content-addressed cache on a repeated-netlist workload ---
+    // The same supervised G-1 session run n_sessions times: first
+    // uncached (every analysis pays full testbed cost), then with one
+    // shared cache (later sessions hit). Reports must be identical;
+    // only the billed seconds drop.
+    let supervisor = Supervisor::default();
+    let session_perf = |report: &artisan_resilience::SessionReport| {
+        report
+            .outcome
+            .as_ref()
+            .and_then(|o| o.report.as_ref())
+            .map(|r| r.performance)
+    };
+    let mut uncached_seconds = 0.0;
+    let mut uncached_perfs = Vec::new();
+    for _ in 0..n_sessions {
+        let mut sim = Simulator::new();
+        let report = supervisor.run(&Spec::g1(), &mut sim, 2024);
+        assert!(report.success, "uncached cache-bench session failed");
+        uncached_seconds += report.testbed_seconds;
+        uncached_perfs.push(session_perf(&report));
+    }
+    let cache = SimCache::shared(4096);
+    let mut cached_seconds = 0.0;
+    let mut cached_perfs = Vec::new();
+    let mut cached_hits = 0usize;
+    for _ in 0..n_sessions {
+        let mut sim = CachedSim::new(Simulator::new(), Arc::clone(&cache));
+        let report = supervisor.run(&Spec::g1(), &mut sim, 2024);
+        assert!(report.success, "cached cache-bench session failed");
+        cached_seconds += report.testbed_seconds;
+        cached_perfs.push(session_perf(&report));
+        cached_hits += report.cache_hits;
+    }
+    assert_eq!(
+        cached_perfs, uncached_perfs,
+        "cache changed a session's reported design"
+    );
+    let cache_stats = cache.stats();
+    assert!(cache_stats.hits > 0, "repeated workload never hit");
+    assert!(
+        cached_seconds < uncached_seconds,
+        "cache did not reduce billed seconds"
+    );
+    assert_eq!(cached_hits as u64, cache_stats.hits);
+
     let fmt_scaling = |rates: &[(usize, f64)], unit: &str| -> String {
         let base = rates.iter().find(|(w, _)| *w == 1).map_or(1.0, |&(_, r)| r);
         rates
@@ -141,12 +229,18 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }}\n}}\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
         asm_cached / asm_legacy,
         solve_cached / solve_legacy,
         fmt_scaling(&sweep_rates, "sweeps_points_per_sec"),
+        batch_topos.len(),
+        fmt_scaling(&batch_rates, "batched_analyses_per_sec"),
         fmt_scaling(&scheduler_rates, "sessions_per_sec"),
+        uncached_seconds - cached_seconds,
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.hit_rate(),
     );
 
     std::fs::write(&out_path, &json).expect("writes report");

@@ -29,3 +29,8 @@ pub mod workflow;
 
 pub use experiment::{GroupResult, Method, Table3, TrialRecord};
 pub use workflow::{Artisan, ArtisanOptions, ArtisanOutcome};
+
+// The content-addressed simulation cache, re-exported so façade users
+// can share one cache across `Artisan::design_batch` sessions without
+// depending on `artisan-sim` directly.
+pub use artisan_sim::{CacheStats, CachedSim, SimCache};

@@ -259,6 +259,32 @@ mod tests {
     }
 
     #[test]
+    fn batch_design_with_a_shared_cache_is_cheaper_and_identical() {
+        use artisan_math::ThreadPool;
+        use artisan_sim::{CachedSim, SimCache};
+        // One worker pins session order so the hit/miss ledger split is
+        // deterministic; the cache spans all four sessions.
+        let artisan = Artisan::new(ArtisanOptions::fast());
+        let supervisor = Supervisor::default();
+        let scheduler = Scheduler::with_pool(supervisor, ThreadPool::with_workers(1));
+        let plain: Vec<Simulator> = (0..4).map(|_| Simulator::new()).collect();
+        let baseline = artisan.design_batch(&Spec::g1(), plain, &scheduler, 23);
+        let cache = SimCache::shared(512);
+        let cached_backends: Vec<CachedSim<Simulator>> = (0..4)
+            .map(|_| CachedSim::new(Simulator::new(), std::sync::Arc::clone(&cache)))
+            .collect();
+        let cached = artisan.design_batch(&Spec::g1(), cached_backends, &scheduler, 23);
+        for (a, b) in cached.iter().zip(&baseline) {
+            assert_eq!(a.report.success, b.report.success, "session {}", a.session);
+            assert_eq!(a.report.events, b.report.events, "session {}", a.session);
+        }
+        assert!(cache.stats().hits > 0, "{}", cache.stats());
+        let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
+        let warm: f64 = cached.iter().map(|s| s.report.testbed_seconds).sum();
+        assert!(warm < cold, "warm {warm}s >= cold {cold}s");
+    }
+
+    #[test]
     fn transistor_netlist_accompanies_every_outcome() {
         let mut artisan = Artisan::new(ArtisanOptions::fast());
         for (_, spec) in Spec::table2() {

@@ -10,7 +10,7 @@
 use crate::bo::propose;
 use crate::embedding::{decode, DIM};
 use crate::gp::GpHyperParams;
-use crate::objective::{evaluate, Objective, OptResult};
+use crate::objective::{evaluate_batch, Evaluation, Objective, OptResult};
 use artisan_circuit::sample::SampleRanges;
 use artisan_circuit::Topology;
 use artisan_sim::{SimBackend, Spec};
@@ -76,33 +76,17 @@ impl Bobo {
         let cl = spec.cl.value();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
-        let mut best: Option<(f64, Topology, crate::objective::Evaluation)> = None;
+        let mut best: Option<(f64, Topology, Evaluation)> = None;
 
-        for k in 0..self.config.budget {
-            let x: Vec<f64> = if k < self.config.initial_samples {
-                (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect()
-            } else {
-                sim.ledger_mut().record_optimizer_step();
-                // Sliding window: recent points plus the incumbent best.
-                let window = self.config.gp_window.max(2);
-                let start = xs.len().saturating_sub(window);
-                let mut wx: Vec<Vec<f64>> = xs[start..].to_vec();
-                let mut wy: Vec<f64> = ys[start..].to_vec();
-                if let Some(best_idx) = ys
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                {
-                    if best_idx < start {
-                        wx.push(xs[best_idx].clone());
-                        wy.push(ys[best_idx]);
-                    }
-                }
-                propose(&wx, &wy, DIM, self.config.pool, self.config.gp, rng)
-            };
-            let topo = decode(&x, cl, &self.ranges);
-            let eval = evaluate(&topo, spec, sim);
+        // Absorbs one evaluated candidate exactly as the serial loop
+        // did: squash the GP target, track the incumbent, then record
+        // the point.
+        let absorb = |x: Vec<f64>,
+                      topo: Topology,
+                      eval: Evaluation,
+                      xs: &mut Vec<Vec<f64>>,
+                      ys: &mut Vec<f64>,
+                      best: &mut Option<(f64, Topology, Evaluation)>| {
             // GP targets: squash feasible FoM into a bounded scale so a
             // single huge FoM does not flatten the surrogate.
             let y = if eval.score > 0.0 {
@@ -111,10 +95,57 @@ impl Bobo {
                 eval.score.max(-10.0) / 10.0
             };
             if best.as_ref().is_none_or(|(s, _, _)| eval.score > *s) {
-                best = Some((eval.score, topo, eval.clone()));
+                *best = Some((eval.score, topo, eval));
             }
             xs.push(x);
             ys.push(y);
+        };
+
+        // Phase 1 — initial design of experiments. The draws are
+        // independent of any evaluation, so the whole DoE can be drawn
+        // up front (identical RNG stream) and fanned out through one
+        // `analyze_batch` call; absorbing in index order reproduces the
+        // serial trajectory bit for bit.
+        let doe = self.config.initial_samples.min(self.config.budget);
+        let doe_xs: Vec<Vec<f64>> = (0..doe)
+            .map(|_| (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let doe_topos: Vec<Topology> = doe_xs.iter().map(|x| decode(x, cl, &self.ranges)).collect();
+        let evals = evaluate_batch(&doe_topos, spec, sim);
+        for ((x, topo), eval) in doe_xs.into_iter().zip(doe_topos).zip(evals) {
+            absorb(x, topo, eval, &mut xs, &mut ys, &mut best);
+        }
+
+        // Phase 2 — GP proposals, inherently sequential: each proposal
+        // conditions on every previous observation.
+        for _ in doe..self.config.budget {
+            sim.ledger_mut().record_optimizer_step();
+            // Sliding window: recent points plus the incumbent best.
+            let window = self.config.gp_window.max(2);
+            let start = xs.len().saturating_sub(window);
+            let mut wx: Vec<Vec<f64>> = xs[start..].to_vec();
+            let mut wy: Vec<f64> = ys[start..].to_vec();
+            if let Some(best_idx) = ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+            {
+                if best_idx < start {
+                    wx.push(xs[best_idx].clone());
+                    wy.push(ys[best_idx]);
+                }
+            }
+            let x = propose(&wx, &wy, DIM, self.config.pool, self.config.gp, rng);
+            let topo = decode(&x, cl, &self.ranges);
+            let eval = evaluate_batch(std::slice::from_ref(&topo), spec, sim)
+                .pop()
+                .unwrap_or_else(|| Evaluation {
+                    score: -10.0,
+                    performance: None,
+                    feasible: false,
+                });
+            absorb(x, topo, eval, &mut xs, &mut ys, &mut best);
         }
 
         match best {
@@ -194,6 +225,45 @@ mod tests {
                 .success
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn batched_doe_matches_the_serial_loop() {
+        use crate::objective::evaluate;
+        // Pure-DoE config: every candidate goes through the one
+        // analyze_batch fan-out. The result must equal a hand-written
+        // serial loop drawing the same RNG stream.
+        let config = BoboConfig {
+            budget: 12,
+            initial_samples: 12,
+            ..tiny()
+        };
+        let spec = Spec::g1();
+        let mut sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Bobo::new(config).run(&spec, &mut sim, &mut rng);
+
+        let ranges = SampleRanges::default();
+        let mut ref_sim = Simulator::new();
+        let mut ref_rng = StdRng::seed_from_u64(3);
+        let mut best: Option<(f64, crate::objective::Evaluation)> = None;
+        for _ in 0..12 {
+            let x: Vec<f64> = (0..DIM).map(|_| ref_rng.gen_range(0.0..1.0)).collect();
+            let topo = decode(&x, spec.cl.value(), &ranges);
+            let eval = evaluate(&topo, &spec, &mut ref_sim);
+            if best.as_ref().is_none_or(|(s, _)| eval.score > *s) {
+                best = Some((eval.score, eval));
+            }
+        }
+        let (_, expected) = best.unwrap_or_else(|| panic!("reference loop evaluated"));
+        assert_eq!(r.performance, expected.performance);
+        assert_eq!(r.success, expected.feasible);
+        assert_eq!(
+            sim.ledger().simulations(),
+            ref_sim.ledger().simulations(),
+            "batching must not change billed simulations"
+        );
+        assert_eq!(sim.ledger().batched_solves(), 12);
     }
 
     #[test]

@@ -68,6 +68,38 @@ pub fn evaluate<B: SimBackend + ?Sized>(topo: &Topology, spec: &Spec, sim: &mut 
     }
 }
 
+/// Evaluates many independent candidates in one [`SimBackend::analyze_batch`]
+/// call, returning one [`Evaluation`] per topology in input order. The
+/// per-candidate mapping is exactly [`evaluate`]'s, and the backend
+/// contract guarantees batch results identical to the serial loop — so
+/// optimizers can swap their inner evaluation loops for this without
+/// changing a single trajectory, while a parallel backend fans the
+/// solves over its thread pool.
+pub fn evaluate_batch<B: SimBackend + ?Sized>(
+    topos: &[Topology],
+    spec: &Spec,
+    sim: &mut B,
+) -> Vec<Evaluation> {
+    sim.analyze_batch(topos)
+        .into_iter()
+        .map(|result| match result {
+            Ok(report) if report.performance.is_finite() => {
+                let feasible = spec.check(&report.performance).success() && report.stable;
+                Evaluation {
+                    score: score(&report.performance, spec, report.stable),
+                    performance: Some(report.performance),
+                    feasible,
+                }
+            }
+            Ok(_) | Err(_) => Evaluation {
+                score: -10.0,
+                performance: None,
+                feasible: false,
+            },
+        })
+        .collect()
+}
+
 /// Trait implemented by every Table 3 method: run a design attempt under
 /// a budget and report the outcome. Takes a `dyn` backend so one trait
 /// object covers the plain simulator and every wrapper.
@@ -137,6 +169,32 @@ mod tests {
         assert!(e.feasible, "{e:?}");
         assert!(e.score > 0.0);
         assert_eq!(sim.ledger().simulations(), 1);
+    }
+
+    #[test]
+    fn evaluate_batch_matches_the_serial_loop() {
+        let mut bare = Topology::nmc_example();
+        bare.clear_position(artisan_circuit::Position::N1ToOut);
+        bare.clear_position(artisan_circuit::Position::N2ToOut);
+        let topos = vec![Topology::nmc_example(), Topology::dfc_example(), bare];
+        let mut serial_sim = Simulator::new();
+        let serial: Vec<Evaluation> = topos
+            .iter()
+            .map(|t| evaluate(t, &Spec::g1(), &mut serial_sim))
+            .collect();
+        let mut batch_sim = Simulator::new();
+        let batch = evaluate_batch(&topos, &Spec::g1(), &mut batch_sim);
+        assert_eq!(batch.len(), serial.len());
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_eq!(b.score, s.score);
+            assert_eq!(b.performance, s.performance);
+            assert_eq!(b.feasible, s.feasible);
+        }
+        assert_eq!(
+            batch_sim.ledger().simulations(),
+            serial_sim.ledger().simulations()
+        );
+        assert_eq!(batch_sim.ledger().batched_solves(), topos.len() as u64);
     }
 
     #[test]

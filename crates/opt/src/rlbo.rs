@@ -7,7 +7,7 @@
 //! advantage. This mirrors TOTAL's topology-level RL with parameter
 //! sampling in the inner loop.
 
-use crate::objective::{evaluate, Objective, OptResult};
+use crate::objective::{evaluate_batch, Objective, OptResult};
 use artisan_circuit::sample::{sample_params, SampleRanges};
 use artisan_circuit::{
     ConnectionType, Placement, Position, PositionRules, Skeleton, StageParams, Topology,
@@ -95,14 +95,22 @@ impl Rlbo {
             }
 
             // Inner loop: several parameter draws for this structure.
+            // Building a topology draws the RNG but evaluating it does
+            // not, so all of the episode's draws happen up front (same
+            // RNG stream as the serial loop) and the evaluations fan
+            // out through one `analyze_batch` call; absorbing in index
+            // order reproduces the serial trajectory exactly.
+            let draws = self
+                .config
+                .params_per_structure
+                .min(self.config.budget - used);
+            let topos: Vec<Topology> = (0..draws)
+                .map(|_| self.build(&choices, &legal, cl, rng))
+                .collect();
+            let evals = evaluate_batch(&topos, spec, sim);
+            used += draws;
             let mut episode_best = f64::NEG_INFINITY;
-            for _ in 0..self.config.params_per_structure {
-                if used >= self.config.budget {
-                    break;
-                }
-                let topo = self.build(&choices, &legal, cl, rng);
-                let eval = evaluate(&topo, spec, sim);
-                used += 1;
+            for (topo, eval) in topos.into_iter().zip(evals) {
                 episode_best = episode_best.max(eval.score);
                 if best.as_ref().is_none_or(|(s, _, _)| eval.score > *s) {
                     best = Some((eval.score, topo, eval));
@@ -222,6 +230,17 @@ mod tests {
         assert_eq!(r.evaluations, 40);
         assert_eq!(sim.ledger().simulations(), 40);
         assert!(sim.ledger().optimizer_steps() >= 10);
+    }
+
+    #[test]
+    fn inner_loop_goes_through_the_batched_path() {
+        let mut sim = Simulator::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = Rlbo::new(tiny()).run(&Spec::g1(), &mut sim, &mut rng);
+        // Every evaluation is fanned out via analyze_batch, and batching
+        // never changes the billed simulation count.
+        assert_eq!(sim.ledger().batched_solves(), r.evaluations as u64);
+        assert_eq!(sim.ledger().simulations(), r.evaluations as u64);
     }
 
     #[test]

@@ -5,6 +5,20 @@
 //! a pure hash of `(plan.seed, call index)` — no hidden RNG state — so
 //! the same plan against the same call sequence injects the same faults,
 //! which is what makes chaos tests and postmortem replays exact.
+//!
+//! # Stacking with the simulation cache
+//!
+//! When combining with `artisan_sim::CachedSim`, stack the fault layer
+//! **outside**: `FaultySim<CachedSim<B>>`. Every analysis call then
+//! still reaches the fault layer and advances the per-call dice exactly
+//! once, so fault call-indices — and therefore chaos exact replay — are
+//! unaffected by which calls the cache happens to serve. The inverted
+//! stacking, `CachedSim<FaultySim<B>>`, is unsupported: a cache hit
+//! would skip the inner fault roll, shifting every later decision, and
+//! a first-call report could be memoized and replayed past faults that
+//! were meant to perturb it. For the same reason `FaultySim` keeps the
+//! trait's *serial-loop* `analyze_batch` (made explicit below): batch
+//! items must roll the dice one call at a time, in input order.
 
 use artisan_circuit::{Netlist, Topology};
 use artisan_math::MathError;
@@ -291,6 +305,17 @@ impl<B: SimBackend> SimBackend for FaultySim<B> {
         }
     }
 
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        // Deliberately the serial loop, NOT a forward to the inner
+        // backend's batch override: each item must roll the fault dice
+        // exactly once, in input order, so call indices — and chaos
+        // exact replay — match hand-written iteration over
+        // `analyze_topology`. The inner backend's parallel fan-out is
+        // only reachable below the fault layer, where it cannot reorder
+        // decisions (see the module docs on stacking).
+        topos.iter().map(|t| self.analyze_topology(t)).collect()
+    }
+
     fn ledger(&self) -> &CostLedger {
         self.inner.ledger()
     }
@@ -427,5 +452,57 @@ mod tests {
         let mut sim = FaultySim::new(Simulator::new(), plan);
         assert!(sim.analyze_netlist(&netlist).is_err());
         assert_eq!(sim.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn batch_faulting_matches_serial_faulting() {
+        // The batch path must advance the fault dice exactly like the
+        // hand-written loop: same outcomes, same call indices, same log.
+        let topos = vec![nmc(), Topology::dfc_example(), nmc(), nmc()];
+        let shape = |r: &Result<AnalysisReport>| match r {
+            Ok(rep) => format!("ok finite={}", rep.performance.is_finite()),
+            Err(e) => format!("err {e}"),
+        };
+        let mut serial = FaultySim::new(Simulator::new(), FaultPlan::flaky(21, 0.6));
+        let serial_out: Vec<String> = topos
+            .iter()
+            .map(|t| shape(&serial.analyze_topology(t)))
+            .collect();
+        let mut batch = FaultySim::new(Simulator::new(), FaultPlan::flaky(21, 0.6));
+        let batch_out: Vec<String> = batch.analyze_batch(&topos).iter().map(shape).collect();
+        assert_eq!(batch_out, serial_out);
+        assert_eq!(batch.fault_log(), serial.fault_log());
+        assert_eq!(batch.calls(), serial.calls());
+    }
+
+    #[test]
+    fn fault_schedule_survives_an_inner_cache() {
+        // FaultySim<CachedSim<B>> is the supported stacking: the dice
+        // roll before the cache can answer, so hits and misses below
+        // must not perturb the fault schedule.
+        use artisan_sim::{CachedSim, SimCache};
+        let run = |cache: Option<std::sync::Arc<SimCache>>| {
+            let mut sim: Box<dyn SimBackend> = match cache {
+                Some(c) => Box::new(FaultySim::new(
+                    CachedSim::new(Simulator::new(), c),
+                    FaultPlan::flaky(7, 0.5),
+                )),
+                None => Box::new(FaultySim::new(Simulator::new(), FaultPlan::flaky(7, 0.5))),
+            };
+            let mut outcomes = Vec::new();
+            for _ in 0..24 {
+                outcomes.push(match sim.analyze_topology(&nmc()) {
+                    Ok(r) => format!("ok finite={}", r.performance.is_finite()),
+                    Err(e) => format!("err {e}"),
+                });
+            }
+            (outcomes, sim.drain_fault_notes())
+        };
+        let cache = SimCache::shared(64);
+        let cached = run(Some(std::sync::Arc::clone(&cache)));
+        let plain = run(None);
+        assert_eq!(cached, plain, "cache below the fault layer changed faults");
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "repeat workload never hit: {stats}");
     }
 }

@@ -244,6 +244,45 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_across_sessions_cuts_billed_time() {
+        // One Arc<SimCache> behind every session's CachedSim: later
+        // sessions re-use earlier sessions' analyses. One worker pins
+        // the session order so the hit/miss ledger split (and therefore
+        // the per-session billed seconds) is deterministic.
+        use artisan_sim::{CachedSim, SimCache};
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(1));
+        let plain: Vec<Simulator> = (0..4).map(|_| Simulator::new()).collect();
+        let baseline = scheduler.run_batch(&Spec::g1(), plain, 17);
+        let cache = SimCache::shared(512);
+        let cached_backends: Vec<CachedSim<Simulator>> = (0..4)
+            .map(|_| CachedSim::new(Simulator::new(), std::sync::Arc::clone(&cache)))
+            .collect();
+        let cached = scheduler.run_batch(&Spec::g1(), cached_backends, 17);
+        for (a, b) in cached.iter().zip(&baseline) {
+            assert_eq!(a.report.success, b.report.success, "session {}", a.session);
+            let perf = |r: &SessionReport| {
+                r.outcome
+                    .as_ref()
+                    .and_then(|o| o.report.as_ref())
+                    .map(|rep| rep.performance)
+            };
+            assert_eq!(
+                perf(&a.report),
+                perf(&b.report),
+                "session {}: cache changed the design",
+                a.session
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "no cross-session reuse: {stats}");
+        let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
+        let warm: f64 = cached.iter().map(|s| s.report.testbed_seconds).sum();
+        assert!(warm < cold, "warm batch {warm}s >= cold batch {cold}s");
+        let total_hits: usize = cached.iter().map(|s| s.report.cache_hits).sum();
+        assert_eq!(total_hits as u64, stats.hits);
+    }
+
+    #[test]
     fn faulty_backends_keep_their_own_ledgers() {
         let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
         let backends = vec![

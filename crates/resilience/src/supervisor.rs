@@ -145,6 +145,12 @@ pub struct SessionReport {
     pub simulations: usize,
     /// Billed LLM exchanges at session end.
     pub llm_steps: usize,
+    /// Simulation-cache hits at session end (analyses served from a
+    /// `CachedSim` at retrieval cost instead of full testbed seconds).
+    pub cache_hits: usize,
+    /// Analyses that went through a batched `analyze_batch` fan-out at
+    /// session end (informational; each is still billed as one sim).
+    pub batched_solves: usize,
     /// Testbed-equivalent seconds at session end (includes backoff and
     /// injected-latency penalties).
     pub testbed_seconds: f64,
@@ -167,7 +173,14 @@ impl fmt::Display for SessionReport {
             self.simulations,
             self.llm_steps,
             self.testbed_seconds,
-        )
+        )?;
+        if self.cache_hits > 0 {
+            write!(f, ", {} cache hit(s)", self.cache_hits)?;
+        }
+        if self.batched_solves > 0 {
+            write!(f, ", {} batched solve(s)", self.batched_solves)?;
+        }
+        Ok(())
     }
 }
 
@@ -185,10 +198,12 @@ pub struct Supervisor {
 /// Worst-case cost of one design attempt under `config`: every
 /// iteration re-simulates through the full retry budget, and every
 /// iteration spends its 8 CoT exchanges plus the feedback exchange on
-/// top of Q0.
+/// top of Q0. Sibling-scored architecture selection additionally
+/// batch-simulates its two candidates once per attempt.
 fn worst_case_attempt(config: &AgentConfig) -> (usize, usize) {
     let iterations = config.max_iterations + 1;
-    let sims = iterations * (1 + config.sim_retries);
+    let scoring_sims = if config.score_architectures { 2 } else { 0 };
+    let sims = iterations * (1 + config.sim_retries) + scoring_sims;
     let llm_steps = 1 + iterations * 9;
     (sims, llm_steps)
 }
@@ -315,6 +330,8 @@ impl Supervisor {
             outcome,
             simulations: ledger.simulations() as usize,
             llm_steps: ledger.llm_steps() as usize,
+            cache_hits: ledger.cache_hits() as usize,
+            batched_solves: ledger.batched_solves() as usize,
             testbed_seconds: ledger.testbed_seconds(&self.cost_model),
         }
     }
@@ -448,6 +465,35 @@ mod tests {
         assert_eq!(a.attempts, b.attempts);
         assert_eq!(a.events, b.events);
         assert_eq!(a.testbed_seconds, b.testbed_seconds);
+    }
+
+    #[test]
+    fn cached_sessions_report_hits_and_cheaper_testbed_time() {
+        use artisan_sim::{CachedSim, SimCache};
+        let cache = SimCache::shared(256);
+        let supervisor = Supervisor::default();
+        let mut cold = CachedSim::new(Simulator::new(), std::sync::Arc::clone(&cache));
+        let first = supervisor.run(&Spec::g1(), &mut cold, 0);
+        assert!(first.success, "{first}");
+        // Same spec + seed against a warmed shared cache: every analysis
+        // is a hit, the outcome is identical, and billed time drops.
+        let mut warm = CachedSim::new(Simulator::new(), cache);
+        let second = supervisor.run(&Spec::g1(), &mut warm, 0);
+        assert!(second.success, "{second}");
+        assert!(second.cache_hits > 0, "{second}");
+        assert!(
+            second.testbed_seconds < first.testbed_seconds,
+            "warm {} >= cold {}",
+            second.testbed_seconds,
+            first.testbed_seconds
+        );
+        let (a, b) = (first.outcome.as_ref(), second.outcome.as_ref());
+        assert_eq!(
+            a.and_then(|o| o.report.as_ref()).map(|r| r.performance),
+            b.and_then(|o| o.report.as_ref()).map(|r| r.performance),
+            "cached session changed the reported design"
+        );
+        assert!(second.to_string().contains("cache hit"), "{second}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use artisan_math::ThreadPool;
 use artisan_resilience::{
     FaultPlan, FaultySim, RetryPolicy, Scheduler, SessionBudget, SessionReport, Supervisor,
 };
-use artisan_sim::{Simulator, Spec};
+use artisan_sim::{CachedSim, SimCache, Simulator, Spec};
 use proptest::prelude::*;
 
 /// Shifts every sampled seed by a per-CI-leg window.
@@ -189,5 +189,39 @@ proptest! {
         prop_assert_eq!(a.faults_observed, b.faults_observed);
         prop_assert_eq!(a.events, b.events);
         prop_assert_eq!(a.testbed_seconds, b.testbed_seconds);
+    }
+
+    /// The supported cache stacking — `FaultySim<CachedSim<B>>` — keeps
+    /// sessions exact-replayable: the fault dice roll *above* the
+    /// cache, so hits below never shift the schedule, and with a fresh
+    /// per-run cache the hit/miss ledger split is itself a pure
+    /// function of the seed. The cached session must also walk the same
+    /// event trace as the uncached one.
+    #[test]
+    fn cached_chaos_sessions_replay_exactly(seed in 0u64..1_000_000, rate in 0.0f64..0.5) {
+        let seed = offset(seed);
+        let run = || {
+            let mut sim = FaultySim::new(
+                CachedSim::new(Simulator::new(), SimCache::shared(256)),
+                FaultPlan::flaky(seed, rate),
+            );
+            supervisor().run(&Spec::g1(), &mut sim, seed)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.faults_observed, b.faults_observed);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.cache_hits, b.cache_hits);
+        prop_assert_eq!(a.testbed_seconds, b.testbed_seconds);
+        // Same fault schedule and decisions as the uncached session;
+        // only the billed seconds may differ (hits bill retrieval).
+        let mut plain = FaultySim::new(Simulator::new(), FaultPlan::flaky(seed, rate));
+        let reference = supervisor().run(&Spec::g1(), &mut plain, seed);
+        prop_assert_eq!(a.success, reference.success);
+        prop_assert_eq!(a.attempts, reference.attempts);
+        prop_assert_eq!(a.faults_observed, reference.faults_observed);
+        prop_assert_eq!(&a.events, &reference.events);
     }
 }

@@ -34,6 +34,22 @@ pub trait SimBackend {
     /// Propagates analysis failures as [`crate::SimError`].
     fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport>;
 
+    /// Analyzes many independent topologies, returning one result per
+    /// input in input order, billing one simulation each.
+    ///
+    /// The default implementation is the plain serial loop over
+    /// [`SimBackend::analyze_topology`] — semantics, billing, and
+    /// per-call ordering are exactly those of hand-written iteration,
+    /// which is what wrapper backends with per-call state (fault
+    /// injection dice) rely on. Backends with real fan-out (the
+    /// [`Simulator`] over the `artisan-math` thread pool, remote
+    /// batch services) override this with a parallel implementation
+    /// whose *results and ledger totals* must stay identical to the
+    /// serial loop.
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        topos.iter().map(|t| self.analyze_topology(t)).collect()
+    }
+
     /// The accumulated cost ledger.
     fn ledger(&self) -> &CostLedger;
 
@@ -59,6 +75,12 @@ impl SimBackend for Simulator {
         Simulator::analyze_netlist(self, netlist)
     }
 
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        // The real parallel fan-out (thread pool at netlist
+        // granularity), bit-identical to the serial default.
+        Simulator::analyze_batch(self, topos)
+    }
+
     fn ledger(&self) -> &CostLedger {
         Simulator::ledger(self)
     }
@@ -80,26 +102,47 @@ pub trait ParallelSimBackend: SimBackend + Send {}
 
 impl<B: SimBackend + Send + ?Sized> ParallelSimBackend for B {}
 
-impl<B: SimBackend + ?Sized> SimBackend for &mut B {
-    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
-        (**self).analyze_topology(topo)
-    }
+/// Implements [`SimBackend`] for deref-style wrappers (`&mut B`,
+/// `Box<B>`, …) by forwarding the *complete* method set to `(**self)`.
+///
+/// All delegating impls are generated from this single list, so adding
+/// a method to the trait forces exactly one edit here — a wrapper can
+/// no longer silently fall back to a default impl (which, before this
+/// macro, would have made `&mut FaultySim` swallow fault notes or route
+/// `analyze_batch` around an override).
+macro_rules! forward_sim_backend {
+    ($(impl<$B:ident> SimBackend for $ty:ty;)+) => {$(
+        impl<$B: SimBackend + ?Sized> SimBackend for $ty {
+            fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+                (**self).analyze_topology(topo)
+            }
 
-    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
-        (**self).analyze_netlist(netlist)
-    }
+            fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+                (**self).analyze_netlist(netlist)
+            }
 
-    fn ledger(&self) -> &CostLedger {
-        (**self).ledger()
-    }
+            fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+                (**self).analyze_batch(topos)
+            }
 
-    fn ledger_mut(&mut self) -> &mut CostLedger {
-        (**self).ledger_mut()
-    }
+            fn ledger(&self) -> &CostLedger {
+                (**self).ledger()
+            }
 
-    fn drain_fault_notes(&mut self) -> Vec<String> {
-        (**self).drain_fault_notes()
-    }
+            fn ledger_mut(&mut self) -> &mut CostLedger {
+                (**self).ledger_mut()
+            }
+
+            fn drain_fault_notes(&mut self) -> Vec<String> {
+                (**self).drain_fault_notes()
+            }
+        }
+    )+};
+}
+
+forward_sim_backend! {
+    impl<B> SimBackend for &mut B;
+    impl<B> SimBackend for Box<B>;
 }
 
 #[cfg(test)]
@@ -132,6 +175,59 @@ mod tests {
         let report = analyze_generic(&mut &mut sim);
         assert!(report.stable);
         assert_eq!(sim.ledger().simulations(), 2);
+    }
+
+    #[test]
+    fn boxed_backends_forward_every_method() {
+        let mut sim: Box<dyn SimBackend> = Box::new(Simulator::new());
+        let report = analyze_generic(&mut sim);
+        assert!(report.stable);
+        let batch = sim.analyze_batch(&[Topology::nmc_example(), Topology::dfc_example()]);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|r| r.is_ok()));
+        assert_eq!(sim.ledger().simulations(), 3);
+        assert!(sim.drain_fault_notes().is_empty());
+    }
+
+    #[test]
+    fn default_batch_is_the_serial_loop() {
+        // A minimal backend that never overrides analyze_batch: the
+        // default must call analyze_topology once per input, in order.
+        struct Counting {
+            inner: Simulator,
+            calls: Vec<usize>,
+        }
+        impl SimBackend for Counting {
+            fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+                self.calls.push(topo.placements().len());
+                self.inner.analyze_topology(topo)
+            }
+            fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+                self.inner.analyze_netlist(netlist)
+            }
+            fn ledger(&self) -> &CostLedger {
+                self.inner.ledger()
+            }
+            fn ledger_mut(&mut self) -> &mut CostLedger {
+                self.inner.ledger_mut()
+            }
+        }
+        let mut counting = Counting {
+            inner: Simulator::new(),
+            calls: Vec::new(),
+        };
+        let topos = [Topology::nmc_example(), Topology::dfc_example()];
+        let serial: Vec<_> = topos
+            .iter()
+            .map(|t| Simulator::new().analyze_topology(t).map(|r| r.performance))
+            .collect();
+        let batch: Vec<_> = counting
+            .analyze_batch(&topos)
+            .into_iter()
+            .map(|r| r.map(|r| r.performance))
+            .collect();
+        assert_eq!(batch, serial);
+        assert_eq!(counting.calls.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,651 @@
+//! Content-addressed simulation memoization.
+//!
+//! [`SimCache`] is a sharded, `Send + Sync`, capacity-bounded LRU map
+//! from [`NetlistFingerprint`] to [`AnalysisReport`], and
+//! [`CachedSim<B>`] is the [`SimBackend`] wrapper that consults it
+//! before delegating to the inner backend. A hit returns the memoized
+//! report byte-for-byte and bills one *cache hit* to the ledger
+//! ([`crate::cost::CostModel::seconds_per_cache_hit`], a lookup cost)
+//! instead of a full simulation — redundant re-analysis in the agent
+//! retry loop, ToT branch scoring, and the BOBO/RLBO inner loops stops
+//! costing testbed time.
+//!
+//! # Correctness rules
+//!
+//! - Only `Ok` reports with **finite** metrics are ever inserted:
+//!   errors and poisoned (NaN/∞) reports always come from the real
+//!   backend, so a transient fault can never be replayed forever out of
+//!   the cache.
+//! - The fingerprint covers the element multiset, entry path, and — via
+//!   the wrapper's salt — the analysis configuration. The salt default
+//!   for [`CachedSim::for_simulator`] is
+//!   [`crate::fingerprint::config_salt`] of the simulator's config, so
+//!   one shared cache can serve differently-configured simulators
+//!   without cross-talk. [`CachedSim::new`] uses salt 0; give every
+//!   distinct inner configuration its own salt (or its own cache) when
+//!   constructing wrappers manually.
+//!
+//! # Stacking rule with fault injection
+//!
+//! Compose `FaultySim<CachedSim<B>>` — faults **outside** the cache.
+//! A fault wrapper rolls its deterministic per-call dice on every
+//! analysis call; with the cache inside, every call still reaches the
+//! fault layer first, so fault call-indices (and therefore chaos
+//! exact-replay) are unchanged by cache hits. The inverted stacking,
+//! `CachedSim<FaultySim<B>>`, would both (a) skip inner calls on hits,
+//! shifting every later fault decision, and (b) risk memoizing a report
+//! whose cost profile the fault layer meant to perturb. The resilience
+//! crate's chaos tests pin the supported order.
+//!
+//! # Sharing across sessions
+//!
+//! The cache is shared by cloning an `Arc<SimCache>` into each
+//! session's wrapper (see `artisan_resilience::Scheduler`). Report
+//! *values* stay deterministic — a cached report is identical to the
+//! recomputed one — but which session pays the miss depends on
+//! cross-session timing, so per-session ledger splits are only
+//! deterministic with per-session caches (or one worker).
+//!
+//! The `ARTISAN_SIM_CACHE` environment variable (`0`/`false`/`off`)
+//! disables caching for wrappers built with [`CachedSim::from_env`] or
+//! [`CachedSim::for_simulator`]; CI runs a leg with the cache off to
+//! catch cached/uncached divergence.
+
+use crate::backend::SimBackend;
+use crate::cost::CostLedger;
+use crate::fingerprint::{config_salt, NetlistFingerprint};
+use crate::simulator::{AnalysisReport, Simulator};
+use crate::Result;
+use artisan_circuit::{Netlist, Topology};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable that disables the simulation cache when set to
+/// `0`, `false`, `off`, or `no` (case-insensitive).
+pub const CACHE_ENV: &str = "ARTISAN_SIM_CACHE";
+
+/// Whether the environment enables the simulation cache (the default).
+pub fn cache_enabled_from_env() -> bool {
+    match std::env::var(CACHE_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Number of independently locked shards. Fingerprints are uniformly
+/// mixed, so lane-0 modulo the shard count spreads keys evenly; 16
+/// shards keep contention negligible for any realistic session fan-out.
+const SHARD_COUNT: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    report: AnalysisReport,
+    /// Monotonic recency stamp (per shard); smallest = least recent.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<NetlistFingerprint, Entry>,
+    clock: u64,
+}
+
+/// Counters describing a cache's lifetime behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a memoized report.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Successful insertions (including overwrites).
+    pub insertions: u64,
+    /// Reports currently resident.
+    pub entries: usize,
+    /// Maximum resident reports.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {}/{} entries, {} evictions",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.capacity,
+            self.evictions,
+        )
+    }
+}
+
+/// A sharded, capacity-bounded LRU cache of analysis reports, keyed by
+/// [`NetlistFingerprint`]. `Send + Sync`: share one instance across all
+/// sessions of a batch via [`SimCache::shared`].
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Topology;
+/// use artisan_sim::cache::{CachedSim, SimCache};
+/// use artisan_sim::{SimBackend, Simulator};
+///
+/// let cache = SimCache::shared(256);
+/// let mut sim = CachedSim::new(Simulator::new(), cache.clone());
+/// let topo = Topology::nmc_example();
+/// let first = sim.analyze_topology(&topo).unwrap();
+/// let second = sim.analyze_topology(&topo).unwrap();
+/// assert_eq!(first, second); // bit-identical memoized report
+/// assert_eq!(sim.ledger().simulations(), 1);
+/// assert_eq!(sim.ledger().cache_hits(), 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SimCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// Recovers the shard guard even if another thread panicked while
+/// holding the lock — the map is always internally consistent (every
+/// mutation is a single insert/remove), so poisoning carries no danger.
+fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl SimCache {
+    /// A cache holding at most `capacity` reports (rounded up to a
+    /// multiple of the shard count; at least one per shard).
+    pub fn new(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
+        SimCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// An `Arc`-wrapped cache, ready to clone into per-session wrappers.
+    pub fn shared(capacity: usize) -> Arc<SimCache> {
+        Arc::new(SimCache::new(capacity))
+    }
+
+    /// Total capacity in reports.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARD_COUNT
+    }
+
+    /// Reports currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+
+    /// Whether the cache holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock(s).map.is_empty())
+    }
+
+    /// Drops every resident report (stats are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            lock(shard).map.clear();
+        }
+    }
+
+    /// Lifetime hit/miss/eviction counters plus occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity(),
+        }
+    }
+
+    fn shard_for(&self, key: NetlistFingerprint) -> &Mutex<Shard> {
+        let idx = (key.lanes()[0] % SHARD_COUNT as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Looks up a memoized report, refreshing its recency on a hit.
+    pub fn get(&self, key: NetlistFingerprint) -> Option<AnalysisReport> {
+        let mut shard = lock(self.shard_for(key));
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let report = entry.report.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a report, evicting the least-recently
+    /// used entry of the target shard when it is full.
+    pub fn insert(&self, key: NetlistFingerprint, report: AnalysisReport) {
+        let mut shard = lock(self.shard_for(key));
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
+            // LRU eviction: scan for the smallest stamp. Shards are
+            // small (capacity / SHARD_COUNT), so O(n) is fine here.
+            if let Some(&victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { report, stamp });
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for SimCache {
+    /// A generously sized default (4096 reports ≈ a full BOBO trial's
+    /// working set, a few MB at most).
+    fn default() -> Self {
+        SimCache::new(4096)
+    }
+}
+
+/// A memoizing [`SimBackend`] wrapper around any inner backend.
+///
+/// See the [module docs](self) for the correctness rules, the
+/// fault-stacking rule, and the sharing caveats.
+#[derive(Debug, Clone)]
+pub struct CachedSim<B> {
+    inner: B,
+    cache: Arc<SimCache>,
+    salt: u64,
+    enabled: bool,
+}
+
+impl<B: SimBackend> CachedSim<B> {
+    /// Wraps `inner` with caching unconditionally enabled and salt 0.
+    /// Use [`CachedSim::with_salt`] (or a dedicated cache) when sharing
+    /// one cache across differently-configured inner backends.
+    pub fn new(inner: B, cache: Arc<SimCache>) -> Self {
+        CachedSim {
+            inner,
+            cache,
+            salt: 0,
+            enabled: true,
+        }
+    }
+
+    /// Wraps `inner`, honouring the [`CACHE_ENV`] kill-switch: with
+    /// `ARTISAN_SIM_CACHE=0` every call passes straight through to the
+    /// inner backend. Production entry points use this constructor so
+    /// one environment variable can rule the cache out of any run.
+    pub fn from_env(inner: B, cache: Arc<SimCache>) -> Self {
+        CachedSim {
+            enabled: cache_enabled_from_env(),
+            ..CachedSim::new(inner, cache)
+        }
+    }
+
+    /// Overrides the fingerprint salt (keyspace partition within a
+    /// shared cache).
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Whether lookups/insertions are active (false only under the
+    /// [`CACHE_ENV`] kill-switch).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Borrow of the inner backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The shared cache behind this wrapper.
+    pub fn cache(&self) -> &Arc<SimCache> {
+        &self.cache
+    }
+
+    fn lookup(&mut self, fp: NetlistFingerprint) -> Option<AnalysisReport> {
+        let report = self.cache.get(fp)?;
+        self.inner.ledger_mut().record_cache_hit();
+        Some(report)
+    }
+
+    fn store(&self, fp: NetlistFingerprint, result: &Result<AnalysisReport>) {
+        // Only finite Ok reports are cacheable: errors and poisoned
+        // metrics must re-run on the real backend every time.
+        if let Ok(report) = result {
+            if report.performance.is_finite() {
+                self.cache.insert(fp, report.clone());
+            }
+        }
+    }
+}
+
+impl CachedSim<Simulator> {
+    /// Wraps a [`Simulator`] with the environment-gated cache, salting
+    /// fingerprints with a digest of the simulator's analysis
+    /// configuration — the supported way to share one cache across
+    /// simulators that may have different configs.
+    pub fn for_simulator(sim: Simulator, cache: Arc<SimCache>) -> Self {
+        let salt = config_salt(sim.config());
+        CachedSim::from_env(sim, cache).with_salt(salt)
+    }
+}
+
+impl<B: SimBackend> SimBackend for CachedSim<B> {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        if !self.enabled {
+            return self.inner.analyze_topology(topo);
+        }
+        // A non-elaborating topology has no identity; it takes the real
+        // error path (and is billed there) every time.
+        let Some(fp) = NetlistFingerprint::of_topology(topo) else {
+            return self.inner.analyze_topology(topo);
+        };
+        let fp = fp.with_salt(self.salt);
+        if let Some(report) = self.lookup(fp) {
+            return Ok(report);
+        }
+        let result = self.inner.analyze_topology(topo);
+        self.store(fp, &result);
+        result
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        if !self.enabled {
+            return self.inner.analyze_netlist(netlist);
+        }
+        let fp = NetlistFingerprint::of_netlist(netlist).with_salt(self.salt);
+        if let Some(report) = self.lookup(fp) {
+            return Ok(report);
+        }
+        let result = self.inner.analyze_netlist(netlist);
+        self.store(fp, &result);
+        result
+    }
+
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        if !self.enabled {
+            return self.inner.analyze_batch(topos);
+        }
+        // Partition hits from misses, forward the misses as one smaller
+        // batch (keeping the inner backend's parallel fan-out), then
+        // merge in input order. Duplicate misses within one batch are
+        // simulated per occurrence — same cost as the serial loop.
+        let fps: Vec<Option<NetlistFingerprint>> = topos
+            .iter()
+            .map(|t| NetlistFingerprint::of_topology(t).map(|fp| fp.with_salt(self.salt)))
+            .collect();
+        let mut out: Vec<Option<Result<AnalysisReport>>> = fps
+            .iter()
+            .map(|fp| fp.and_then(|fp| self.lookup(fp)).map(Ok))
+            .collect();
+        let miss_idx: Vec<usize> = (0..topos.len()).filter(|&i| out[i].is_none()).collect();
+        if !miss_idx.is_empty() {
+            let miss_topos: Vec<Topology> = miss_idx.iter().map(|&i| topos[i].clone()).collect();
+            let miss_results = self.inner.analyze_batch(&miss_topos);
+            for (&i, result) in miss_idx.iter().zip(miss_results) {
+                if let Some(fp) = fps[i] {
+                    self.store(fp, &result);
+                }
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| Err(crate::SimError::BadNetlist("batch merge hole".into())))
+            })
+            .collect()
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        self.inner.ledger_mut()
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<String> {
+        self.inner.drain_fault_notes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_circuit::Topology;
+
+    fn cached() -> CachedSim<Simulator> {
+        CachedSim::new(Simulator::new(), SimCache::shared(64))
+    }
+
+    #[test]
+    fn hit_returns_identical_report_and_bills_the_cache_account() {
+        let mut sim = cached();
+        let topo = Topology::nmc_example();
+        let first = sim
+            .analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let second = sim
+            .analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(first, second);
+        assert_eq!(sim.ledger().simulations(), 1);
+        assert_eq!(sim.ledger().cache_hits(), 1);
+        let model = crate::cost::CostModel::default();
+        let uncached_twice = 2.0 * model.seconds_per_simulation;
+        assert!(sim.ledger().testbed_seconds(&model) < uncached_twice);
+    }
+
+    #[test]
+    fn netlist_path_is_cached_separately() {
+        let mut sim = cached();
+        let topo = Topology::nmc_example();
+        let netlist = topo.elaborate().unwrap_or_else(|e| panic!("{e}"));
+        sim.analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        // Different entry path ⇒ different fingerprint ⇒ a miss.
+        sim.analyze_netlist(&netlist)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(sim.ledger().simulations(), 2);
+        // Now both paths hit.
+        sim.analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        sim.analyze_netlist(&netlist)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(sim.ledger().simulations(), 2);
+        assert_eq!(sim.ledger().cache_hits(), 2);
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        let mut sim = cached();
+        // No CL element: analyze_netlist fails every time, and every
+        // failure reaches the real backend (and its ledger).
+        let n = Netlist::parse("* x\nG1 out 0 in 0 1m\nR1 out 0 10k\n.end\n")
+            .unwrap_or_else(|e| panic!("{e}"));
+        for _ in 0..3 {
+            assert!(sim.analyze_netlist(&n).is_err());
+        }
+        assert_eq!(sim.ledger().cache_hits(), 0);
+        assert!(sim.cache().is_empty());
+    }
+
+    #[test]
+    fn shared_cache_spans_wrappers() {
+        let cache = SimCache::shared(64);
+        let topo = Topology::dfc_example();
+        let mut a = CachedSim::new(Simulator::new(), cache.clone());
+        let ra = a.analyze_topology(&topo).unwrap_or_else(|e| panic!("{e}"));
+        let mut b = CachedSim::new(Simulator::new(), cache.clone());
+        let rb = b.analyze_topology(&topo).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(ra, rb);
+        assert_eq!(a.ledger().simulations(), 1);
+        assert_eq!(b.ledger().simulations(), 0);
+        assert_eq!(b.ledger().cache_hits(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn different_salts_do_not_share_entries() {
+        let cache = SimCache::shared(64);
+        let topo = Topology::nmc_example();
+        let mut a = CachedSim::new(Simulator::new(), cache.clone()).with_salt(1);
+        let mut b = CachedSim::new(Simulator::new(), cache.clone()).with_salt(2);
+        a.analyze_topology(&topo).unwrap_or_else(|e| panic!("{e}"));
+        b.analyze_topology(&topo).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(b.ledger().simulations(), 1, "salted entry leaked across");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let cache = SimCache::new(SHARD_COUNT); // one entry per shard
+        let netlist = Topology::nmc_example()
+            .elaborate()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let report = {
+            let mut s = Simulator::new();
+            s.analyze_netlist(&netlist)
+                .unwrap_or_else(|e| panic!("{e}"))
+        };
+        let base = NetlistFingerprint::of_netlist(&netlist);
+        // Salted keys are uniformly spread; pushing far more keys than
+        // capacity must evict, never grow past the bound.
+        for salt in 0..200u64 {
+            cache.insert(base.with_salt(salt), report.clone());
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().evictions > 0);
+        // Recency is honoured within a shard: insert two keys into one
+        // shard of a tiny cache, touch the first, insert a third that
+        // lands in the same shard — the untouched second should go.
+        let keys: Vec<NetlistFingerprint> = (0..2000u64)
+            .map(|s| base.with_salt(s.wrapping_mul(0x9E37_79B9)))
+            .filter(|k| k.lanes()[0] % SHARD_COUNT as u64 == 0)
+            .take(3)
+            .collect();
+        assert_eq!(keys.len(), 3, "need three same-shard keys");
+        let small = SimCache::new(1); // shard capacity 1 → immediate eviction
+        small.insert(keys[0], report.clone());
+        small.insert(keys[1], report.clone());
+        assert!(small.get(keys[0]).is_none() || small.get(keys[1]).is_none());
+    }
+
+    #[test]
+    fn kill_switch_disables_lookup_and_insert() {
+        let mut sim = cached();
+        sim.enabled = false;
+        let topo = Topology::nmc_example();
+        sim.analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        sim.analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(sim.ledger().simulations(), 2);
+        assert_eq!(sim.ledger().cache_hits(), 0);
+        assert!(sim.cache().is_empty());
+    }
+
+    #[test]
+    fn env_gate_parses_disabling_values() {
+        // Serialized within this one test: set, read, restore.
+        let prior = std::env::var(CACHE_ENV).ok();
+        for off in ["0", "false", "OFF", " no "] {
+            std::env::set_var(CACHE_ENV, off);
+            assert!(!cache_enabled_from_env(), "{off:?} should disable");
+        }
+        for on in ["1", "true", "anything-else"] {
+            std::env::set_var(CACHE_ENV, on);
+            assert!(cache_enabled_from_env(), "{on:?} should enable");
+        }
+        match prior {
+            Some(v) => std::env::set_var(CACHE_ENV, v),
+            None => std::env::remove_var(CACHE_ENV),
+        }
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_in_input_order() {
+        let mut sim = cached();
+        let nmc = Topology::nmc_example();
+        let dfc = Topology::dfc_example();
+        // Warm only the NMC entry.
+        let warm = sim.analyze_topology(&nmc).unwrap_or_else(|e| panic!("{e}"));
+        let batch = sim.analyze_batch(&[dfc.clone(), nmc.clone(), dfc.clone()]);
+        assert_eq!(batch.len(), 3);
+        let mid = batch[1].as_ref().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(*mid, warm, "hit must return the memoized report in place");
+        // DFC appeared twice as a miss: both occurrences simulated.
+        assert_eq!(sim.ledger().simulations(), 3);
+        assert_eq!(sim.ledger().cache_hits(), 1);
+        // A rerun of the same batch is all hits.
+        let rerun = sim.analyze_batch(&[dfc, nmc, Topology::nmc_example()]);
+        assert!(rerun.iter().all(|r| r.is_ok()));
+        assert_eq!(sim.ledger().simulations(), 3);
+        assert_eq!(sim.ledger().cache_hits(), 4);
+    }
+
+    #[test]
+    fn stats_display_reads_well() {
+        let cache = SimCache::new(32);
+        let s = cache.stats().to_string();
+        assert!(s.contains("hit rate"), "{s}");
+    }
+}

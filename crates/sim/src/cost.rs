@@ -22,6 +22,12 @@ pub struct CostModel {
     pub seconds_per_llm_step: f64,
     /// One optimizer internal update (GP fit / policy gradient step).
     pub seconds_per_optimizer_step: f64,
+    /// One memoized result served from the simulation cache: no Spectre
+    /// run, just a lookup and metric hand-back. Far below
+    /// [`CostModel::seconds_per_simulation`] — the whole point of the
+    /// cache account is that a hit is billed at retrieval cost, not at
+    /// full testbed cost.
+    pub seconds_per_cache_hit: f64,
 }
 
 impl Default for CostModel {
@@ -30,6 +36,7 @@ impl Default for CostModel {
             seconds_per_simulation: 36.0,
             seconds_per_llm_step: 40.0,
             seconds_per_optimizer_step: 1.5,
+            seconds_per_cache_hit: 0.5,
         }
     }
 }
@@ -52,6 +59,8 @@ pub struct CostLedger {
     simulations: u64,
     llm_steps: u64,
     optimizer_steps: u64,
+    cache_hits: u64,
+    batched_solves: u64,
     penalty_seconds: f64,
 }
 
@@ -74,6 +83,23 @@ impl CostLedger {
     /// Bills one optimizer-internal step.
     pub fn record_optimizer_step(&mut self) {
         self.optimizer_steps += 1;
+    }
+
+    /// Bills one memoized analysis served from the simulation cache.
+    /// Cache hits have their own account precisely so they are *not*
+    /// billed as full simulations — a hit costs
+    /// [`CostModel::seconds_per_cache_hit`], not
+    /// [`CostModel::seconds_per_simulation`].
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Records `n` analyses routed through a parallel batched solve.
+    /// Informational only: batched solves are already billed as
+    /// individual simulations, so this counter carries no extra cost —
+    /// it lets reports distinguish fanned-out work from serial loops.
+    pub fn record_batched_solves(&mut self, n: u64) {
+        self.batched_solves += n;
     }
 
     /// Bills raw testbed seconds outside the per-operation unit costs:
@@ -102,6 +128,18 @@ impl CostLedger {
         self.optimizer_steps
     }
 
+    /// Number of cache hits billed.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of analyses that went through a parallel batched solve
+    /// (informational; each one is also counted in
+    /// [`CostLedger::simulations`]).
+    pub fn batched_solves(&self) -> u64 {
+        self.batched_solves
+    }
+
     /// Raw penalty seconds billed (latency, backoff).
     pub fn penalty_seconds(&self) -> f64 {
         self.penalty_seconds
@@ -112,6 +150,7 @@ impl CostLedger {
         self.simulations as f64 * model.seconds_per_simulation
             + self.llm_steps as f64 * model.seconds_per_llm_step
             + self.optimizer_steps as f64 * model.seconds_per_optimizer_step
+            + self.cache_hits as f64 * model.seconds_per_cache_hit
             + self.penalty_seconds
     }
 
@@ -120,6 +159,8 @@ impl CostLedger {
         self.simulations += other.simulations;
         self.llm_steps += other.llm_steps;
         self.optimizer_steps += other.optimizer_steps;
+        self.cache_hits += other.cache_hits;
+        self.batched_solves += other.batched_solves;
         self.penalty_seconds += other.penalty_seconds;
     }
 }
@@ -131,6 +172,12 @@ impl fmt::Display for CostLedger {
             "{} sims, {} LLM steps, {} optimizer steps",
             self.simulations, self.llm_steps, self.optimizer_steps
         )?;
+        if self.cache_hits > 0 {
+            write!(f, ", {} cache hits", self.cache_hits)?;
+        }
+        if self.batched_solves > 0 {
+            write!(f, ", {} batched solves", self.batched_solves)?;
+        }
         if self.penalty_seconds > 0.0 {
             write!(f, ", {:.1}s penalties", self.penalty_seconds)?;
         }
@@ -234,5 +281,43 @@ mod tests {
         let mut l = CostLedger::new();
         l.record_simulation();
         assert!(l.to_string().contains("1 sims"));
+        // The cache/batch accounts only appear once used.
+        assert!(!l.to_string().contains("cache hits"));
+        l.record_cache_hit();
+        l.record_batched_solves(4);
+        assert!(l.to_string().contains("1 cache hits"), "{l}");
+        assert!(l.to_string().contains("4 batched solves"), "{l}");
+    }
+
+    #[test]
+    fn cache_hits_bill_retrieval_not_simulation_cost() {
+        let model = CostModel::default();
+        let mut hit = CostLedger::new();
+        hit.record_cache_hit();
+        let mut sim = CostLedger::new();
+        sim.record_simulation();
+        let (t_hit, t_sim) = (hit.testbed_seconds(&model), sim.testbed_seconds(&model));
+        assert!(
+            (t_hit - model.seconds_per_cache_hit).abs() < 1e-12,
+            "{t_hit}"
+        );
+        assert!(t_hit < t_sim / 10.0, "hit {t_hit} vs sim {t_sim}");
+        assert_eq!(hit.cache_hits(), 1);
+        assert_eq!(hit.simulations(), 0);
+    }
+
+    #[test]
+    fn batched_solves_are_free_and_absorbed() {
+        let model = CostModel::default();
+        let mut l = CostLedger::new();
+        l.record_batched_solves(8);
+        assert_eq!(l.batched_solves(), 8);
+        assert_eq!(l.testbed_seconds(&model), 0.0);
+        let mut other = CostLedger::new();
+        other.record_batched_solves(2);
+        other.record_cache_hit();
+        l.absorb(&other);
+        assert_eq!(l.batched_solves(), 10);
+        assert_eq!(l.cache_hits(), 1);
     }
 }

@@ -18,7 +18,11 @@
 //! - [`variation`] — metric sensitivities and Monte-Carlo yield under
 //!   parameter spread,
 //! - [`cost`] — the Spectre-equivalent cost ledger behind Table 3's
-//!   "Time" column.
+//!   "Time" column,
+//! - [`fingerprint`] — canonical, order-insensitive structural hashes
+//!   of netlists/topologies (content-addressed simulation identity),
+//! - [`cache`] — the sharded LRU [`SimCache`] and the memoizing
+//!   [`CachedSim`] backend wrapper that bills hits at retrieval cost.
 //!
 //! # Example
 //!
@@ -43,7 +47,9 @@ mod simulator;
 
 pub mod ac;
 pub mod backend;
+pub mod cache;
 pub mod cost;
+pub mod fingerprint;
 pub mod metrics;
 pub mod mna;
 pub mod poles;
@@ -51,7 +57,9 @@ pub mod spec;
 pub mod variation;
 
 pub use backend::{ParallelSimBackend, SimBackend};
+pub use cache::{CacheStats, CachedSim, SimCache};
 pub use error::{BadNetlistReport, SimError};
+pub use fingerprint::NetlistFingerprint;
 pub use metrics::{Performance, PowerModel};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};
 pub use spec::{Spec, SpecCheck, SpecReport};

@@ -1,4 +1,4 @@
-use crate::ac::{sweep, unity_crossing, SweepConfig};
+use crate::ac::{sweep_with_pool, unity_crossing, SweepConfig};
 use crate::cost::CostLedger;
 use crate::error::{BadNetlistReport, SimError};
 use crate::metrics::{Performance, PowerModel};
@@ -7,7 +7,7 @@ use crate::poles::{pole_zero, PoleZero, PoleZeroConfig};
 use crate::Result;
 use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
 use artisan_circuit::{Netlist, Topology};
-use artisan_math::Complex64;
+use artisan_math::{Complex64, ThreadPool};
 
 /// Analysis configuration: sweep band, pole extraction, and power model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -121,6 +121,50 @@ impl Simulator {
         self.analyze_inner(netlist, cl, None)
     }
 
+    /// Analyzes many independent topologies in parallel at netlist
+    /// granularity over the environment-sized thread pool
+    /// (`ARTISAN_THREADS`), billing one simulation per candidate.
+    /// Results are returned in input order and are bit-identical to a
+    /// serial loop of [`Simulator::analyze_topology`] calls.
+    pub fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        self.analyze_batch_with_pool(topos, &ThreadPool::from_env())
+    }
+
+    /// [`Simulator::analyze_batch`] with an explicit pool — test suites
+    /// use it to pin serial/parallel equivalence per worker count.
+    pub fn analyze_batch_with_pool(
+        &mut self,
+        topos: &[Topology],
+        pool: &ThreadPool,
+    ) -> Vec<Result<AnalysisReport>> {
+        // Bill everything up front: one simulation per candidate no
+        // matter how it fares (exactly what the serial loop bills, in
+        // deterministic order), plus the informational batch counter.
+        for _ in topos {
+            self.ledger.record_simulation();
+        }
+        self.ledger.record_batched_solves(topos.len() as u64);
+        let config = self.config;
+        // Fan out at *netlist* granularity; each candidate's inner
+        // sweep runs on one worker. Sweeps are bit-identical for any
+        // worker count, so the reports match the serial path exactly
+        // while avoiding nested thread fan-out.
+        let inner = ThreadPool::with_workers(1);
+        pool.par_map_indexed(topos, |_, topo| {
+            let netlist = topo
+                .elaborate()
+                .map_err(|e| SimError::BadNetlist(e.to_string().into()))?;
+            let power = config.power.power_of_topology(topo);
+            Self::compute_report(
+                &config,
+                &netlist,
+                topo.skeleton.cl.value(),
+                Some(power),
+                &inner,
+            )
+        })
+    }
+
     fn analyze_inner(
         &mut self,
         netlist: &Netlist,
@@ -128,7 +172,25 @@ impl Simulator {
         power_override: Option<Watts>,
     ) -> Result<AnalysisReport> {
         self.ledger.record_simulation();
+        Self::compute_report(
+            &self.config,
+            netlist,
+            cl,
+            power_override,
+            &ThreadPool::from_env(),
+        )
+    }
 
+    /// The pure analysis pipeline: no billing, no `&mut self` — the
+    /// shape that lets [`Simulator::analyze_batch_with_pool`] fan
+    /// independent candidates over worker threads.
+    fn compute_report(
+        config: &AnalysisConfig,
+        netlist: &Netlist,
+        cl: f64,
+        power_override: Option<Watts>,
+        pool: &ThreadPool,
+    ) -> Result<AnalysisReport> {
         // ERC admission gate: reject structurally broken netlists with
         // actionable diagnostics instead of letting them surface later
         // as opaque numerical failures (a floating node would otherwise
@@ -145,9 +207,9 @@ impl Simulator {
         let sys = MnaSystem::new(netlist)?;
 
         // Stability first: metrics of an unstable network are fiction.
-        let pz = pole_zero(&sys, netlist, &self.config.pole_zero)?;
+        let pz = pole_zero(&sys, netlist, &config.pole_zero)?;
         let stable = pz.is_stable();
-        if !stable && self.config.reject_unstable {
+        if !stable && config.reject_unstable {
             return Err(SimError::Unstable {
                 worst_pole_re: pz.worst_pole_re(),
             });
@@ -158,7 +220,7 @@ impl Simulator {
         let h0 = match sys.transfer(Complex64::ZERO) {
             Ok(h) => h,
             Err(SimError::IllConditioned { .. }) => sys.transfer(Complex64::jomega(
-                2.0 * std::f64::consts::PI * self.config.sweep.f_start,
+                2.0 * std::f64::consts::PI * config.sweep.f_start,
             ))?,
             Err(e) => return Err(e),
         };
@@ -167,12 +229,12 @@ impl Simulator {
         }
         let gain = Decibels::from_ratio(h0.abs());
 
-        let points = sweep(&sys, &self.config.sweep)?;
+        let points = sweep_with_pool(&sys, &config.sweep, pool)?;
         let (gbw_hz, phase_at_unity) = unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
         // Phase margin: 180° + relative phase accumulated from DC.
         let pm = 180.0 + phase_at_unity;
 
-        let power = power_override.unwrap_or_else(|| self.config.power.power_of_netlist(netlist));
+        let power = power_override.unwrap_or_else(|| config.power.power_of_netlist(netlist));
 
         let performance = Performance {
             gain,
@@ -252,6 +314,38 @@ mod tests {
         assert_eq!(sim.ledger().simulations(), 2);
         sim.reset_ledger();
         assert_eq!(sim.ledger().simulations(), 0);
+    }
+
+    #[test]
+    fn batch_matches_serial_for_every_worker_count() {
+        let mut topos = vec![Topology::nmc_example(), Topology::dfc_example()];
+        // An uncompensated variant that may fail: error slots must line
+        // up with the serial loop too.
+        let mut bare = Topology::nmc_example();
+        bare.clear_position(artisan_circuit::Position::N1ToOut);
+        bare.clear_position(artisan_circuit::Position::N2ToOut);
+        topos.push(bare);
+
+        let serial: Vec<_> = topos
+            .iter()
+            .map(|t| {
+                Simulator::new()
+                    .analyze_topology(t)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        for workers in [1, 2, 8] {
+            let mut sim = Simulator::new();
+            let batch: Vec<_> = sim
+                .analyze_batch_with_pool(&topos, &artisan_math::ThreadPool::with_workers(workers))
+                .into_iter()
+                .map(|r| r.map_err(|e| e.to_string()))
+                .collect();
+            assert_eq!(batch, serial, "workers = {workers}");
+            // Ledger totals match the serial loop: one sim per candidate.
+            assert_eq!(sim.ledger().simulations(), topos.len() as u64);
+            assert_eq!(sim.ledger().batched_solves(), topos.len() as u64);
+        }
     }
 
     #[test]

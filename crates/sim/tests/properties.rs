@@ -7,7 +7,7 @@ use artisan_math::{Complex64, ThreadPool};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::mna::MnaSystem;
 use artisan_sim::poles::{pole_zero, PoleZeroConfig};
-use artisan_sim::{SimError, Simulator};
+use artisan_sim::{CachedSim, SimBackend, SimCache, SimError, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,6 +134,79 @@ proptest! {
         let r_scale: f64 = rhs_old.iter().map(|v| v.abs()).fold(1e-30, f64::max);
         for (a, b) in rhs_new.iter().zip(&rhs_old) {
             prop_assert!((*a - *b).abs() <= 1e-12 * r_scale, "{a} vs {b} at f = {f}");
+        }
+    }
+
+    /// A `CachedSim` wrapper is report-transparent on random sampled
+    /// topologies: cold (miss) and warm (hit) results are identical to
+    /// the bare simulator's, on both the topology and the netlist path,
+    /// and a warm analysis bills the cache account instead of a
+    /// simulation.
+    #[test]
+    fn cached_reports_are_identical_to_bare_simulator(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let shape = |r: &artisan_sim::Result<artisan_sim::AnalysisReport>| match r {
+            Ok(rep) => format!("{:?} stable={}", rep.performance, rep.stable),
+            Err(e) => format!("err {e}"),
+        };
+        let mut bare = Simulator::new();
+        let expected = bare.analyze_topology(&topo);
+        let mut cached = CachedSim::new(Simulator::new(), SimCache::shared(64));
+        let cold = cached.analyze_topology(&topo);
+        let warm = cached.analyze_topology(&topo);
+        prop_assert_eq!(shape(&cold), shape(&expected));
+        prop_assert_eq!(shape(&warm), shape(&expected));
+        let cacheable = matches!(&expected, Ok(r) if r.performance.is_finite());
+        if cacheable {
+            prop_assert_eq!(cached.ledger().cache_hits(), 1);
+            prop_assert_eq!(cached.ledger().simulations(), 1);
+        } else {
+            prop_assert_eq!(
+                cached.ledger().cache_hits(), 0,
+                "only finite Ok reports may be cached"
+            );
+        }
+        // The netlist path keys separately but must be just as
+        // transparent.
+        if let Ok(netlist) = topo.elaborate() {
+            let expected_net = shape(&SimBackend::analyze_netlist(&mut bare, &netlist));
+            let cold_net = shape(&SimBackend::analyze_netlist(&mut cached, &netlist));
+            let warm_net = shape(&SimBackend::analyze_netlist(&mut cached, &netlist));
+            prop_assert_eq!(&cold_net, &expected_net);
+            prop_assert_eq!(&warm_net, &expected_net);
+        }
+    }
+
+    /// `analyze_batch` equals the hand-written serial loop on random
+    /// sampled topologies for every worker count: same reports, same
+    /// billed simulations.
+    #[test]
+    fn batch_equals_serial_for_any_worker_count(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..5);
+        let topos: Vec<Topology> = (0..n)
+            .map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12))
+            .collect();
+        let shape = |r: artisan_sim::Result<artisan_sim::AnalysisReport>| match r {
+            Ok(rep) => format!("{:?} stable={}", rep.performance, rep.stable),
+            Err(e) => format!("err {e}"),
+        };
+        let mut serial_sim = Simulator::new();
+        let serial: Vec<String> = topos
+            .iter()
+            .map(|t| shape(serial_sim.analyze_topology(t)))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let mut sim = Simulator::new();
+            let batch: Vec<String> = sim
+                .analyze_batch_with_pool(&topos, &ThreadPool::with_workers(workers))
+                .into_iter()
+                .map(shape)
+                .collect();
+            prop_assert_eq!(&batch, &serial, "workers = {}", workers);
+            prop_assert_eq!(sim.ledger().simulations(), n as u64);
+            prop_assert_eq!(sim.ledger().batched_solves(), n as u64);
         }
     }
 

@@ -67,7 +67,9 @@ pub mod prelude {
     pub use artisan_resilience::{
         FaultPlan, FaultySim, ScheduledSession, Scheduler, SessionReport, Supervisor,
     };
-    pub use artisan_sim::{ParallelSimBackend, SimBackend, Simulator, Spec};
+    pub use artisan_sim::{
+        CacheStats, CachedSim, ParallelSimBackend, SimBackend, SimCache, Simulator, Spec,
+    };
 }
 
 #[cfg(test)]
