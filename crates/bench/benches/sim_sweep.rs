@@ -137,12 +137,42 @@ fn bench_sim_cache(c: &mut Criterion) {
     assert!(cache.stats().hits > 0, "hit leg never hit the cache");
 }
 
+/// The persistent snapshot: serializing a populated cache to the
+/// version-1 byte format and restoring it, as the warm-start path does
+/// once per process.
+fn bench_snapshot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let cache = SimCache::shared(256);
+    let mut sim = CachedSim::new(Simulator::new(), Arc::clone(&cache));
+    let mut filled = 0usize;
+    while filled < 32 {
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        if sim.analyze_topology(&topo).is_ok() {
+            filled += 1;
+        }
+    }
+    let entries = cache.len();
+    assert!(entries > 0, "snapshot bench cache stayed empty");
+    c.bench_function("snapshot/save_bytes", |b| {
+        b.iter(|| black_box(cache.snapshot_bytes(0)))
+    });
+    let bytes = cache.snapshot_bytes(0);
+    c.bench_function("snapshot/load_bytes", |b| {
+        b.iter(|| {
+            let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 256, 0);
+            assert!(outcome.warning.is_none());
+            black_box(loaded);
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_assembly,
     bench_solve,
     bench_sweep_workers,
     bench_batch_workers,
-    bench_sim_cache
+    bench_sim_cache,
+    bench_snapshot
 );
 criterion_main!(benches);

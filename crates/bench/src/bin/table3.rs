@@ -5,15 +5,26 @@
 //! `artisan-sim::cost`). Also prints the §4.2 speedup headline.
 //!
 //! Run with:
-//!   `cargo run --release -p artisan-bench --bin table3 [--trials 10] [--quick]`
+//!   `cargo run --release -p artisan-bench --bin table3 [--trials 10] [--quick] [--cache N] [--supervised]`
 //!
 //! `--quick` cuts the baseline budgets 10× for a fast smoke run.
+//! `--cache N` runs every trial against one shared simulation cache of
+//! `N` fingerprints (0, the default, runs uncached) and appends the
+//! cache accounting below the table; with `ARTISAN_SIM_CACHE_DIR` set,
+//! the cache is warm-started from that directory's snapshot and saved
+//! back at the end. `--supervised` runs the Artisan rows as supervised
+//! sessions and prints each trial's session cost line.
 
 use artisan_bench::{arg_or, quick_mode};
 use artisan_core::experiment::{ExperimentConfig, Table3};
+use artisan_resilience::Supervisor;
+use artisan_sim::fingerprint::config_salt;
+use artisan_sim::{AnalysisConfig, SimCache};
 
 fn main() {
     let trials: usize = arg_or("--trials", 10);
+    let cache_capacity: usize = arg_or("--cache", 0);
+    let supervised = std::env::args().any(|a| a == "--supervised");
     let mut config = ExperimentConfig {
         trials,
         seed: arg_or("--seed", 2024),
@@ -28,6 +39,36 @@ fn main() {
             ..artisan_core::ArtisanOptions::paper_default()
         };
     }
-    let table = Table3::run(&config);
+    if supervised {
+        config.supervision = Some(Supervisor::default());
+    }
+    let table = if cache_capacity > 0 {
+        // Trials run on `CachedSim::for_simulator`, whose fingerprint
+        // salt is the default analysis config's salt — the same salt
+        // keys the persistent snapshot.
+        let salt = config_salt(&AnalysisConfig::default());
+        let (cache, preload) = SimCache::from_env(cache_capacity, salt);
+        if let Some(warning) = &preload.warning {
+            eprintln!("cache snapshot warning: {warning}");
+        }
+        if preload.entries_loaded > 0 {
+            eprintln!(
+                "warm-started from {} cached entries",
+                preload.entries_loaded
+            );
+        }
+        let table = Table3::run_with_cache(&config, Some(std::sync::Arc::clone(&cache)));
+        match cache.save_to_env_dir(salt) {
+            Some(Ok(saved)) => eprintln!(
+                "saved {} cache entries ({} bytes)",
+                saved.entries_saved, saved.bytes
+            ),
+            Some(Err(err)) => eprintln!("cache snapshot save failed: {err}"),
+            None => {}
+        }
+        table
+    } else {
+        Table3::run(&config)
+    };
     println!("{table}");
 }

@@ -6,11 +6,13 @@
 use crate::workflow::{Artisan, ArtisanOptions};
 use artisan_opt::objective::Objective;
 use artisan_opt::{Bobo, BoboConfig, Gpt4Baseline, Llama2Baseline, Rlbo, RlboConfig};
+use artisan_resilience::{SessionReport, Supervisor};
 use artisan_sim::cost::{format_testbed_time, CostModel};
-use artisan_sim::{Performance, Simulator, Spec};
+use artisan_sim::{CacheStats, CachedSim, Performance, SimBackend, SimCache, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The five compared methods of §4.1.1.
@@ -59,6 +61,15 @@ pub struct TrialRecord {
     pub performance: Option<Performance>,
     /// Testbed-equivalent seconds billed.
     pub testbed_seconds: f64,
+    /// Simulations served from the shared cache (0 when uncached).
+    pub cache_hits: usize,
+    /// Cache hits that waited on another trial's in-flight simulation.
+    pub coalesced_waits: usize,
+    /// Matrix solves bundled into batched G/C assemblies.
+    pub batched_solves: usize,
+    /// The full supervised-session report, when the experiment ran with
+    /// a [`Supervisor`] (Artisan rows only).
+    pub session: Option<SessionReport>,
 }
 
 /// Aggregated results of one (method, group) cell of Table 3.
@@ -105,6 +116,26 @@ impl GroupResult {
         }
         self.trials.iter().map(|t| t.testbed_seconds).sum::<f64>() / self.trials.len() as f64
     }
+
+    /// Cache hits summed over the cell's trials.
+    pub fn total_cache_hits(&self) -> usize {
+        self.trials.iter().map(|t| t.cache_hits).sum()
+    }
+
+    /// Coalesced waits summed over the cell's trials.
+    pub fn total_coalesced_waits(&self) -> usize {
+        self.trials.iter().map(|t| t.coalesced_waits).sum()
+    }
+
+    /// Batched solves summed over the cell's trials.
+    pub fn total_batched_solves(&self) -> usize {
+        self.trials.iter().map(|t| t.batched_solves).sum()
+    }
+
+    /// Billed testbed seconds summed over the cell's trials.
+    pub fn total_testbed_seconds(&self) -> f64 {
+        self.trials.iter().map(|t| t.testbed_seconds).sum()
+    }
 }
 
 /// Experiment configuration.
@@ -122,6 +153,13 @@ pub struct ExperimentConfig {
     pub artisan: ArtisanOptions,
     /// Cost model for the Time column.
     pub cost_model: CostModel,
+    /// Capacity of a shared, content-addressed simulation cache every
+    /// trial runs against. `None` (the default) runs each trial on a
+    /// bare [`Simulator`], exactly as the paper's testbed would.
+    pub sim_cache: Option<usize>,
+    /// When set, the Artisan rows run as *supervised* sessions (retry,
+    /// backoff, budget) and each trial carries its [`SessionReport`].
+    pub supervision: Option<Supervisor>,
 }
 
 impl Default for ExperimentConfig {
@@ -133,6 +171,8 @@ impl Default for ExperimentConfig {
             rlbo: RlboConfig::default(),
             artisan: ArtisanOptions::paper_default(),
             cost_model: CostModel::default(),
+            sim_cache: None,
+            supervision: None,
         }
     }
 }
@@ -156,17 +196,113 @@ impl ExperimentConfig {
             },
             artisan: ArtisanOptions::fast(),
             cost_model: CostModel::default(),
+            sim_cache: None,
+            supervision: None,
+        }
+    }
+
+    /// The same configuration with a shared simulation cache of
+    /// `capacity` fingerprints.
+    #[must_use]
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.sim_cache = Some(capacity);
+        self
+    }
+
+    /// The same configuration with supervised Artisan sessions.
+    #[must_use]
+    pub fn with_supervision(mut self, supervisor: Supervisor) -> Self {
+        self.supervision = Some(supervisor);
+        self
+    }
+}
+
+/// Runs one trial of `method` against a caller-supplied backend. The
+/// backend's ledger is read back into the record, so cache hits,
+/// coalesced waits, and batched solves survive into Table 3.
+fn trial<B: SimBackend>(
+    method: Method,
+    spec: &Spec,
+    config: &ExperimentConfig,
+    artisan: &mut Artisan,
+    sim: &mut B,
+    seed: u64,
+) -> TrialRecord {
+    match method {
+        Method::Artisan => {
+            if let Some(supervisor) = &config.supervision {
+                let report = artisan.design_supervised(spec, sim, supervisor, seed);
+                TrialRecord {
+                    success: report.success,
+                    performance: report
+                        .outcome
+                        .as_ref()
+                        .and_then(|o| o.report.as_ref())
+                        .map(|r| r.performance),
+                    testbed_seconds: report.testbed_seconds,
+                    cache_hits: report.cache_hits,
+                    coalesced_waits: report.coalesced_waits,
+                    batched_solves: report.batched_solves,
+                    session: Some(report),
+                }
+            } else {
+                let outcome = artisan.design_with(spec, sim, seed);
+                TrialRecord {
+                    success: outcome.design.success,
+                    performance: outcome.design.report.map(|r| r.performance),
+                    testbed_seconds: outcome.testbed_seconds,
+                    cache_hits: outcome.ledger.cache_hits() as usize,
+                    coalesced_waits: outcome.ledger.coalesced_waits() as usize,
+                    batched_solves: outcome.ledger.batched_solves() as usize,
+                    session: None,
+                }
+            }
+        }
+        other => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = match other {
+                Method::Bobo => Bobo::new(config.bobo).run(spec, sim, &mut rng),
+                Method::Rlbo => Rlbo::new(config.rlbo).run(spec, sim, &mut rng),
+                Method::Gpt4 => Gpt4Baseline.optimize(spec, sim, &mut rng),
+                Method::Llama2 => Llama2Baseline.optimize(spec, sim, &mut rng),
+                Method::Artisan => unreachable!("handled above"),
+            };
+            let ledger = *sim.ledger();
+            TrialRecord {
+                success: result.success,
+                performance: result.performance,
+                testbed_seconds: ledger.testbed_seconds(&config.cost_model),
+                cache_hits: ledger.cache_hits() as usize,
+                coalesced_waits: ledger.coalesced_waits() as usize,
+                batched_solves: ledger.batched_solves() as usize,
+                session: None,
+            }
         }
     }
 }
 
-/// Runs one (method, group) cell.
+/// Runs one (method, group) cell on per-trial bare simulators.
 pub fn run_cell(
     method: Method,
     group_name: &'static str,
     spec: &Spec,
     config: &ExperimentConfig,
     artisan: &mut Artisan,
+) -> GroupResult {
+    run_cell_with_cache(method, group_name, spec, config, artisan, None)
+}
+
+/// Runs one (method, group) cell. When `cache` is given, every trial
+/// runs on a fresh [`CachedSim`] sharing that cache (each trial keeps
+/// its own ledger, so per-trial billing stays isolated); otherwise each
+/// trial gets a bare [`Simulator`].
+pub fn run_cell_with_cache(
+    method: Method,
+    group_name: &'static str,
+    spec: &Spec,
+    config: &ExperimentConfig,
+    artisan: &mut Artisan,
+    cache: Option<&Arc<SimCache>>,
 ) -> GroupResult {
     let mut trials = Vec::with_capacity(config.trials);
     for k in 0..config.trials {
@@ -176,30 +312,14 @@ pub fn run_cell(
             .wrapping_add(k as u64 * 7919)
             ^ (group_name.len() as u64)
             ^ ((method as u64) << 32);
-        let record = match method {
-            Method::Artisan => {
-                let outcome = artisan.design(spec, seed);
-                TrialRecord {
-                    success: outcome.design.success,
-                    performance: outcome.design.report.map(|r| r.performance),
-                    testbed_seconds: outcome.testbed_seconds,
-                }
+        let record = match cache {
+            Some(cache) => {
+                let mut sim = CachedSim::for_simulator(Simulator::new(), Arc::clone(cache));
+                trial(method, spec, config, artisan, &mut sim, seed)
             }
-            other => {
+            None => {
                 let mut sim = Simulator::new();
-                let mut rng = StdRng::seed_from_u64(seed);
-                let result = match other {
-                    Method::Bobo => Bobo::new(config.bobo).run(spec, &mut sim, &mut rng),
-                    Method::Rlbo => Rlbo::new(config.rlbo).run(spec, &mut sim, &mut rng),
-                    Method::Gpt4 => Gpt4Baseline.optimize(spec, &mut sim, &mut rng),
-                    Method::Llama2 => Llama2Baseline.optimize(spec, &mut sim, &mut rng),
-                    Method::Artisan => unreachable!("handled above"),
-                };
-                TrialRecord {
-                    success: result.success,
-                    performance: result.performance,
-                    testbed_seconds: sim.ledger().testbed_seconds(&config.cost_model),
-                }
+                trial(method, spec, config, artisan, &mut sim, seed)
             }
         };
         trials.push(record);
@@ -216,23 +336,42 @@ pub fn run_cell(
 pub struct Table3 {
     /// All (method, group) cells, method-major in the paper's order.
     pub cells: Vec<GroupResult>,
+    /// Aggregate statistics of the shared simulation cache, when the
+    /// experiment ran with one.
+    pub cache_stats: Option<CacheStats>,
     /// Wall-clock time the whole experiment took to compute.
     pub wall_seconds: f64,
 }
 
 impl Table3 {
-    /// Runs the full experiment.
+    /// Runs the full experiment. A cache capacity in
+    /// [`ExperimentConfig::sim_cache`] builds a fresh shared cache for
+    /// the run; use [`Table3::run_with_cache`] to supply a warm one.
     pub fn run(config: &ExperimentConfig) -> Table3 {
+        Table3::run_with_cache(config, config.sim_cache.map(SimCache::shared))
+    }
+
+    /// Runs the full experiment against a caller-supplied shared cache
+    /// (possibly warm-started from a snapshot); `None` runs uncached.
+    pub fn run_with_cache(config: &ExperimentConfig, cache: Option<Arc<SimCache>>) -> Table3 {
         let start = Instant::now();
         let mut artisan = Artisan::new(config.artisan.clone());
         let mut cells = Vec::new();
         for method in Method::ALL {
             for (group, spec) in Spec::table2() {
-                cells.push(run_cell(method, group, &spec, config, &mut artisan));
+                cells.push(run_cell_with_cache(
+                    method,
+                    group,
+                    &spec,
+                    config,
+                    &mut artisan,
+                    cache.as_ref(),
+                ));
             }
         }
         Table3 {
             cells,
+            cache_stats: cache.map(|c| c.stats()),
             wall_seconds: start.elapsed().as_secs_f64(),
         }
     }
@@ -305,6 +444,41 @@ impl fmt::Display for Table3 {
                  optimization baselines."
             )?;
         }
+        if let Some(stats) = &self.cache_stats {
+            writeln!(f, "Shared sim cache: {stats}")?;
+            for cell in &self.cells {
+                let (hits, waits, batched) = (
+                    cell.total_cache_hits(),
+                    cell.total_coalesced_waits(),
+                    cell.total_batched_solves(),
+                );
+                if hits + waits + batched > 0 {
+                    writeln!(
+                        f,
+                        "  {:<8} {:<5} {} cache hit(s), {} coalesced wait(s), \
+                         {} batched solve(s), {} billed",
+                        cell.method.name(),
+                        cell.group,
+                        hits,
+                        waits,
+                        batched,
+                        format_testbed_time(cell.total_testbed_seconds()),
+                    )?;
+                }
+            }
+        }
+        for cell in &self.cells {
+            for (k, t) in cell.trials.iter().enumerate() {
+                if let Some(session) = &t.session {
+                    writeln!(
+                        f,
+                        "  {:<8} {:<5} trial {k}: {session}",
+                        cell.method.name(),
+                        cell.group,
+                    )?;
+                }
+            }
+        }
         writeln!(f, "(computed in {:.1}s wall-clock)", self.wall_seconds)
     }
 }
@@ -358,6 +532,100 @@ mod tests {
     }
 
     #[test]
+    fn cached_experiment_matches_uncached_and_bills_less() {
+        let uncached = Table3::run(&ExperimentConfig::smoke(2));
+        let cached = Table3::run(&ExperimentConfig::smoke(2).with_cache(4096));
+        assert!(uncached.cache_stats.is_none());
+        let stats = cached.cache_stats.as_ref().unwrap_or_else(|| {
+            panic!("cached run lost its stats");
+        });
+        // Under the ARTISAN_SIM_CACHE=0 kill-switch the cached run is a
+        // pure pass-through; the transparency checks below still apply,
+        // but nothing hits and nothing gets cheaper.
+        let enabled = artisan_sim::cache::cache_enabled_from_env();
+        if enabled {
+            assert!(stats.hits > 0, "repeated trials never hit: {stats}");
+        }
+
+        // Same outcomes and metrics, cell for cell: the cache must be
+        // observationally transparent.
+        assert_eq!(uncached.cells.len(), cached.cells.len());
+        let mut cached_total = 0.0;
+        let mut uncached_total = 0.0;
+        let mut total_hits = 0;
+        for (a, b) in uncached.cells.iter().zip(&cached.cells) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.group, b.group);
+            assert_eq!(
+                a.success_rate(),
+                b.success_rate(),
+                "{} {}",
+                a.group,
+                b.group
+            );
+            assert_eq!(
+                a.mean_over_successes(|p| p.fom),
+                b.mean_over_successes(|p| p.fom),
+                "{} {}",
+                a.method.name(),
+                a.group
+            );
+            assert!(
+                b.mean_testbed_seconds() <= a.mean_testbed_seconds() + 1e-9,
+                "{} {}: cached {} > uncached {}",
+                a.method.name(),
+                a.group,
+                b.mean_testbed_seconds(),
+                a.mean_testbed_seconds()
+            );
+            uncached_total += a.total_testbed_seconds();
+            cached_total += b.total_testbed_seconds();
+            total_hits += b.total_cache_hits();
+        }
+        if enabled {
+            assert!(
+                cached_total < uncached_total,
+                "cached {cached_total} !< uncached {uncached_total}"
+            );
+        }
+        // Per-trial ledgers agree with the aggregate cache counters.
+        assert_eq!(total_hits as u64, stats.hits + stats.coalesced);
+
+        // The rendered table surfaces the aggregate and per-cell lines.
+        let text = cached.to_string();
+        assert!(text.contains("Shared sim cache:"), "{text}");
+        if enabled {
+            assert!(text.contains("cache hit(s)"), "{text}");
+        }
+    }
+
+    #[test]
+    fn supervised_experiment_carries_session_reports() {
+        let config = ExperimentConfig::smoke(1).with_supervision(Supervisor::default());
+        let table = Table3::run(&config);
+        for group in ["G-1", "G-2", "G-3", "G-4", "G-5"] {
+            let cell = table
+                .cell(Method::Artisan, group)
+                .unwrap_or_else(|| panic!("missing Artisan {group}"));
+            for t in &cell.trials {
+                let session = t
+                    .session
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("supervised trial lost its report"));
+                assert_eq!(session.success, t.success);
+                assert_eq!(session.testbed_seconds, t.testbed_seconds);
+            }
+            // Baseline rows stay unsupervised.
+            let bobo = table
+                .cell(Method::Bobo, group)
+                .unwrap_or_else(|| panic!("missing BOBO {group}"));
+            assert!(bobo.trials.iter().all(|t| t.session.is_none()));
+        }
+        let text = table.to_string();
+        assert!(text.contains("trial 0: session:"), "{text}");
+    }
+
+    #[test]
     fn mean_over_successes_ignores_failures() {
         use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
         let perf = Performance {
@@ -375,6 +643,10 @@ mod tests {
                     success: true,
                     performance: Some(perf),
                     testbed_seconds: 100.0,
+                    cache_hits: 0,
+                    coalesced_waits: 0,
+                    batched_solves: 0,
+                    session: None,
                 },
                 TrialRecord {
                     success: false,
@@ -383,6 +655,10 @@ mod tests {
                         ..perf
                     }),
                     testbed_seconds: 300.0,
+                    cache_hits: 0,
+                    coalesced_waits: 0,
+                    batched_solves: 0,
+                    session: None,
                 },
             ],
         };

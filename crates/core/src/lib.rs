@@ -27,7 +27,9 @@
 pub mod experiment;
 pub mod workflow;
 
-pub use experiment::{GroupResult, Method, Table3, TrialRecord};
+pub use experiment::{
+    run_cell, run_cell_with_cache, ExperimentConfig, GroupResult, Method, Table3, TrialRecord,
+};
 pub use workflow::{Artisan, ArtisanOptions, ArtisanOutcome};
 
 // The content-addressed simulation cache, re-exported so façade users

@@ -283,6 +283,57 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_shared_cache_sessions_conserve_accounting() {
+        // Multi-worker sharing: the hit/miss/coalesced split across
+        // sessions is timing-dependent, but the conservation laws are
+        // not — designs match the uncached baseline, every session
+        // ledger line sums to the cache's global counters, and the
+        // batch never bills more than the cold baseline.
+        use artisan_sim::{CachedSim, SimCache};
+        const SESSIONS: usize = 6;
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(4));
+        let plain: Vec<Simulator> = (0..SESSIONS).map(|_| Simulator::new()).collect();
+        let baseline = scheduler.run_batch(&Spec::g1(), plain, 23);
+        let cache = SimCache::shared(512);
+        let cached_backends: Vec<CachedSim<Simulator>> = (0..SESSIONS)
+            .map(|_| CachedSim::new(Simulator::new(), std::sync::Arc::clone(&cache)))
+            .collect();
+        let cached = scheduler.run_batch(&Spec::g1(), cached_backends, 23);
+        let perf = |r: &SessionReport| {
+            r.outcome
+                .as_ref()
+                .and_then(|o| o.report.as_ref())
+                .map(|rep| rep.performance)
+        };
+        for (a, b) in cached.iter().zip(&baseline) {
+            assert_eq!(a.report.success, b.report.success, "session {}", a.session);
+            assert_eq!(perf(&a.report), perf(&b.report), "session {}", a.session);
+        }
+        let stats = cache.stats();
+        let total_hits: u64 = cached.iter().map(|s| s.report.cache_hits as u64).sum();
+        let total_waits: u64 = cached.iter().map(|s| s.report.coalesced_waits as u64).sum();
+        // Session-billed hits include coalesced waits; the cache splits
+        // them into `hits` and `coalesced`.
+        assert_eq!(total_hits, stats.hits + stats.coalesced);
+        assert_eq!(total_waits, stats.coalesced);
+        // Every analysis request is served exactly once per session:
+        // simulated or billed as a (possibly coalesced) hit. The cached
+        // run's designs match the baseline, so the request sequences
+        // match too.
+        for (a, b) in cached.iter().zip(&baseline) {
+            assert_eq!(
+                a.report.simulations + a.report.cache_hits,
+                b.report.simulations,
+                "session {}",
+                a.session
+            );
+        }
+        let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
+        let warm: f64 = cached.iter().map(|s| s.report.testbed_seconds).sum();
+        assert!(warm < cold, "warm batch {warm}s >= cold batch {cold}s");
+    }
+
+    #[test]
     fn faulty_backends_keep_their_own_ledgers() {
         let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
         let backends = vec![

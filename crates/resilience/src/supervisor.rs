@@ -148,6 +148,11 @@ pub struct SessionReport {
     /// Simulation-cache hits at session end (analyses served from a
     /// `CachedSim` at retrieval cost instead of full testbed seconds).
     pub cache_hits: usize,
+    /// Single-flight coalesced waits at session end: analyses this
+    /// session received from another session's in-flight computation
+    /// (informational; each is also billed in
+    /// [`SessionReport::cache_hits`]).
+    pub coalesced_waits: usize,
     /// Analyses that went through a batched `analyze_batch` fan-out at
     /// session end (informational; each is still billed as one sim).
     pub batched_solves: usize,
@@ -177,6 +182,9 @@ impl fmt::Display for SessionReport {
         if self.cache_hits > 0 {
             write!(f, ", {} cache hit(s)", self.cache_hits)?;
         }
+        if self.coalesced_waits > 0 {
+            write!(f, ", {} coalesced wait(s)", self.coalesced_waits)?;
+        }
         if self.batched_solves > 0 {
             write!(f, ", {} batched solve(s)", self.batched_solves)?;
         }
@@ -185,7 +193,7 @@ impl fmt::Display for SessionReport {
 }
 
 /// Runs design sessions under retry and budget control.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Supervisor {
     /// Retry/backoff policy.
     pub retry: RetryPolicy,
@@ -193,6 +201,20 @@ pub struct Supervisor {
     pub budget: SessionBudget,
     /// Cost model used to project and report testbed seconds.
     pub cost_model: CostModel,
+}
+
+impl Default for Supervisor {
+    /// Default policies and budget with the environment-aware cost
+    /// model, so `ARTISAN_CACHE_HIT_SECONDS` reaches every supervised
+    /// session without plumbing. The environment is constant within a
+    /// process, so replay determinism is unaffected.
+    fn default() -> Self {
+        Supervisor {
+            retry: RetryPolicy::default(),
+            budget: SessionBudget::default(),
+            cost_model: CostModel::from_env(),
+        }
+    }
 }
 
 /// Worst-case cost of one design attempt under `config`: every
@@ -331,6 +353,7 @@ impl Supervisor {
             simulations: ledger.simulations() as usize,
             llm_steps: ledger.llm_steps() as usize,
             cache_hits: ledger.cache_hits() as usize,
+            coalesced_waits: ledger.coalesced_waits() as usize,
             batched_solves: ledger.batched_solves() as usize,
             testbed_seconds: ledger.testbed_seconds(&self.cost_model),
         }

@@ -224,4 +224,44 @@ proptest! {
         prop_assert_eq!(a.faults_observed, reference.faults_observed);
         prop_assert_eq!(&a.events, &reference.events);
     }
+
+    /// Persistence keeps chaos sessions exact: a session warm-started
+    /// from a snapshot of a prior identical session's cache walks the
+    /// same event trace with the same outcomes, observes the same
+    /// faults (the dice roll above the cache), and bills no more
+    /// testbed time than the cold run — the snapshot round-trip can
+    /// change billing only in the cheaper direction.
+    #[test]
+    fn snapshot_warm_started_chaos_sessions_stay_exact(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.5,
+        salt in 0u64..1_000,
+    ) {
+        let seed = offset(seed);
+        let run = |cache: std::sync::Arc<SimCache>| {
+            let mut sim = FaultySim::new(
+                CachedSim::new(Simulator::new(), cache),
+                FaultPlan::flaky(seed, rate),
+            );
+            supervisor().run(&Spec::g1(), &mut sim, seed)
+        };
+        let cold_cache = SimCache::shared(256);
+        let cold = run(std::sync::Arc::clone(&cold_cache));
+        // Snapshot → bytes → fresh cache, as a second process would.
+        let bytes = cold_cache.snapshot_bytes(salt);
+        let (warm_cache, outcome) = SimCache::from_snapshot_bytes(&bytes, 256, salt);
+        prop_assert!(outcome.warning.is_none(), "{:?}", outcome.warning);
+        prop_assert_eq!(outcome.entries_loaded, cold_cache.len());
+        let warm = run(std::sync::Arc::new(warm_cache));
+        prop_assert_eq!(cold.success, warm.success);
+        prop_assert_eq!(cold.degraded, warm.degraded);
+        prop_assert_eq!(cold.attempts, warm.attempts);
+        prop_assert_eq!(cold.faults_observed, warm.faults_observed);
+        prop_assert_eq!(&cold.events, &warm.events);
+        // Warm start can only convert simulations into hits.
+        prop_assert!(warm.simulations <= cold.simulations);
+        prop_assert!(warm.cache_hits >= cold.cache_hits);
+        prop_assert!(warm.testbed_seconds <= cold.testbed_seconds + 1e-9,
+            "warm {} > cold {}", warm.testbed_seconds, cold.testbed_seconds);
+    }
 }

@@ -50,6 +50,38 @@
 //! disables caching for wrappers built with [`CachedSim::from_env`] or
 //! [`CachedSim::for_simulator`]; CI runs a leg with the cache off to
 //! catch cached/uncached divergence.
+//!
+//! # Single-flight miss coalescing
+//!
+//! When several sessions sharing one `Arc<SimCache>` miss on the *same*
+//! fingerprint concurrently, exactly one of them (the **leader**)
+//! performs the inner analysis while the rest block on a per-key
+//! in-flight cell and receive the leader's report when it lands. A
+//! coalesced waiter bills a cache hit (plus an informational
+//! [`CostLedger::record_coalesced_wait`]) — it never paid for a
+//! simulation, so it must not be billed for one. If the leader's
+//! analysis fails (errors are never cached), waiters fall back to their
+//! own inner analysis rather than re-queueing, so progress is always
+//! guaranteed. The batch path ([`SimBackend::analyze_batch`]) claims
+//! leadership for its misses without ever *waiting* on a foreign leader
+//! — two batches blocking on each other's keys would deadlock — so
+//! cross-batch duplicate misses may still simulate twice; only the
+//! blocking single-analysis path coalesces.
+//!
+//! Coalescing changes no report value and no aggregate count of inner
+//! analyses; like miss billing in general, *which* session records the
+//! miss versus the coalesced hit depends on cross-session timing (see
+//! "Sharing across sessions" above).
+//!
+//! # Persistence
+//!
+//! [`persist`] adds a versioned, checksummed, atomically-written binary
+//! snapshot format (`SimCache::save_to` / `SimCache::load_from`) plus
+//! `ARTISAN_SIM_CACHE_DIR` wiring so repeated process invocations
+//! warm-start from disk. See the module docs for the format and the
+//! invalidation rules.
+
+pub mod persist;
 
 use crate::backend::SimBackend;
 use crate::cost::CostLedger;
@@ -57,10 +89,11 @@ use crate::fingerprint::{config_salt, NetlistFingerprint};
 use crate::simulator::{AnalysisReport, Simulator};
 use crate::Result;
 use artisan_circuit::{Netlist, Topology};
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Environment variable that disables the simulation cache when set to
 /// `0`, `false`, `off`, or `no` (case-insensitive).
@@ -100,8 +133,12 @@ struct Shard {
 pub struct CacheStats {
     /// Lookups that returned a memoized report.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing (each miss either led or bypassed an
+    /// in-flight computation; coalesced waits are counted separately).
     pub misses: u64,
+    /// Lookups that blocked on another session's in-flight analysis of
+    /// the same key and received its report — single-flight coalescing.
+    pub coalesced: u64,
     /// Entries displaced by the capacity bound.
     pub evictions: u64,
     /// Successful insertions (including overwrites).
@@ -113,13 +150,17 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits over lookups, in `[0, 1]` (0 when nothing was looked up).
+    /// Memoized serves (hits + coalesced waits) over all lookups, in
+    /// `[0, 1]` (0 when nothing was looked up). A coalesced wait counts
+    /// as a serve: the caller received a memoized report without paying
+    /// for a simulation.
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.hits + self.misses;
+        let served = self.hits + self.coalesced;
+        let lookups = served + self.misses;
         if lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / lookups as f64
+            served as f64 / lookups as f64
         }
     }
 }
@@ -135,7 +176,108 @@ impl fmt::Display for CacheStats {
             self.entries,
             self.capacity,
             self.evictions,
-        )
+        )?;
+        if self.coalesced > 0 {
+            write!(f, ", {} coalesced", self.coalesced)?;
+        }
+        Ok(())
+    }
+}
+
+/// State of one in-flight computation: `Pending` while the leader runs,
+/// then `Done` with the leader's cacheable report (`None` when the
+/// leader failed or produced an uncacheable result).
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Option<AnalysisReport>),
+}
+
+/// A per-key in-flight cell: waiters block on the condvar until the
+/// leader flips the state to `Done`.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
+    }
+}
+
+/// Outcome of [`SimCache::begin`]: either the cache served a report, or
+/// the caller was elected leader and owns a [`FlightGuard`] it must
+/// complete, or it must bypass the cache after a failed leader.
+#[derive(Debug)]
+pub enum Lookup<'a> {
+    /// The key was resident: a plain cache hit.
+    Hit(AnalysisReport),
+    /// Another session was already computing this key; this caller
+    /// blocked until the leader finished and received its report.
+    Joined(AnalysisReport),
+    /// This caller is the leader: it must perform the inner analysis
+    /// and [`FlightGuard::complete`] the flight (dropping the guard
+    /// without completing releases waiters empty-handed).
+    Lead(FlightGuard<'a>),
+    /// The leader's analysis failed (failures are never cached), so
+    /// this caller should run its own inner analysis directly without
+    /// re-entering the single-flight protocol — that guarantees
+    /// termination even under repeated failures.
+    Bypass,
+}
+
+/// Leadership token for one in-flight key. Completing it publishes the
+/// leader's result to every coalesced waiter and (when cacheable)
+/// inserts it into the cache; dropping it without completing wakes
+/// waiters with no result, sending them down the bypass path — so a
+/// panicking leader can never strand its waiters.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a SimCache,
+    key: NetlistFingerprint,
+    open: bool,
+}
+
+impl FlightGuard<'_> {
+    /// The fingerprint this flight is computing.
+    pub fn key(&self) -> NetlistFingerprint {
+        self.key
+    }
+
+    /// Publishes the leader's result: `Some(report)` is inserted into
+    /// the cache and handed to every waiter (who bill cache hits);
+    /// `None` (failed or uncacheable analysis) releases waiters down
+    /// the bypass path.
+    pub fn complete(mut self, report: Option<AnalysisReport>) {
+        self.finish(report);
+    }
+
+    fn finish(&mut self, report: Option<AnalysisReport>) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        if let Some(report) = &report {
+            // Insert before deregistering: a lookup racing between the
+            // registry removal and the shard insert must still hit.
+            self.cache.insert(self.key, report.clone());
+        }
+        let flight = lock(&self.cache.in_flight).remove(&self.key);
+        if let Some(flight) = flight {
+            *lock(&flight.state) = FlightState::Done(report);
+            flight.done.notify_all();
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.finish(None);
     }
 }
 
@@ -164,17 +306,23 @@ impl fmt::Display for CacheStats {
 pub struct SimCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    /// Keys currently being computed by a single-flight leader.
+    in_flight: Mutex<HashMap<NetlistFingerprint, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    /// Gauge of callers currently blocked on an in-flight leader; lets
+    /// tests (and diagnostics) observe coalescing deterministically.
+    waiting: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
 }
 
-/// Recovers the shard guard even if another thread panicked while
-/// holding the lock — the map is always internally consistent (every
-/// mutation is a single insert/remove), so poisoning carries no danger.
-fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
-    shard
+/// Recovers the guard even if another thread panicked while holding the
+/// lock — every protected structure here is mutated in single
+/// insert/remove/assign steps, so poisoning carries no danger.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -189,8 +337,11 @@ impl SimCache {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             shard_capacity,
+            in_flight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            waiting: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
         }
@@ -228,6 +379,7 @@ impl SimCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             entries: self.len(),
@@ -235,28 +387,130 @@ impl SimCache {
         }
     }
 
+    /// Number of callers currently blocked on an in-flight leader. A
+    /// live gauge, not a lifetime counter — it returns to zero when the
+    /// leaders land. Exposed so tests can hold a leader until every
+    /// expected waiter has coalesced.
+    pub fn waiting(&self) -> usize {
+        self.waiting.load(Ordering::SeqCst) as usize
+    }
+
+    /// Number of keys currently being computed by single-flight leaders.
+    pub fn in_flight_keys(&self) -> usize {
+        lock(&self.in_flight).len()
+    }
+
     fn shard_for(&self, key: NetlistFingerprint) -> &Mutex<Shard> {
         let idx = (key.lanes()[0] % SHARD_COUNT as u64) as usize;
         &self.shards[idx]
     }
 
-    /// Looks up a memoized report, refreshing its recency on a hit.
-    pub fn get(&self, key: NetlistFingerprint) -> Option<AnalysisReport> {
+    /// Resident-entry lookup that counts a hit (and refreshes recency)
+    /// when found but records nothing on absence — the single-flight
+    /// protocol decides whether an absence is a miss or a coalesced
+    /// wait.
+    fn probe(&self, key: NetlistFingerprint) -> Option<AnalysisReport> {
         let mut shard = lock(self.shard_for(key));
         shard.clock += 1;
         let stamp = shard.clock;
-        match shard.map.get_mut(&key) {
-            Some(entry) => {
-                entry.stamp = stamp;
-                let report = entry.report.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(report)
-            }
+        let entry = shard.map.get_mut(&key)?;
+        entry.stamp = stamp;
+        let report = entry.report.clone();
+        drop(shard);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
+    /// Looks up a memoized report, refreshing its recency on a hit.
+    /// Never blocks on in-flight computations (see [`SimCache::begin`]
+    /// for the coalescing entry point).
+    pub fn get(&self, key: NetlistFingerprint) -> Option<AnalysisReport> {
+        match self.probe(key) {
+            Some(report) => Some(report),
             None => {
-                drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// Single-flight lookup. Returns [`Lookup::Hit`] for a resident
+    /// key; otherwise either elects this caller leader for the key
+    /// ([`Lookup::Lead`] — perform the analysis, then
+    /// [`FlightGuard::complete`]) or blocks until the current leader
+    /// lands and returns [`Lookup::Joined`] with its report
+    /// ([`Lookup::Bypass`] when the leader failed).
+    pub fn begin(&self, key: NetlistFingerprint) -> Lookup<'_> {
+        if let Some(report) = self.probe(key) {
+            return Lookup::Hit(report);
+        }
+        let flight = {
+            let mut registry = lock(&self.in_flight);
+            // Re-probe under the registry lock: a leader completing
+            // between the shard probe above and this lock has already
+            // inserted its report and deregistered — claiming
+            // leadership now would re-simulate a resident key.
+            if let Some(report) = self.probe(key) {
+                return Lookup::Hit(report);
+            }
+            match registry.entry(key) {
+                MapEntry::Occupied(entry) => Arc::clone(entry.get()),
+                MapEntry::Vacant(slot) => {
+                    slot.insert(Flight::new());
+                    drop(registry);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Lead(FlightGuard {
+                        cache: self,
+                        key,
+                        open: true,
+                    });
+                }
+            }
+        };
+        // Coalesce: block until the leader publishes. No cache lock is
+        // held here, so the leader (and unrelated lookups) make
+        // progress while we wait.
+        self.waiting.fetch_add(1, Ordering::SeqCst);
+        let mut state = lock(&flight.state);
+        while matches!(*state, FlightState::Pending) {
+            state = flight
+                .done
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let outcome = match &*state {
+            FlightState::Done(report) => report.clone(),
+            FlightState::Pending => unreachable!("wait loop exits only on Done"),
+        };
+        drop(state);
+        self.waiting.fetch_sub(1, Ordering::SeqCst);
+        match outcome {
+            Some(report) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Lookup::Joined(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Bypass
+            }
+        }
+    }
+
+    /// Non-blocking leadership claim for the batch path: returns a
+    /// guard when no leader is in flight for `key`, `None` when one is
+    /// (the caller should simulate independently rather than block —
+    /// two batches waiting on each other's keys would deadlock). Does
+    /// not count a miss; batch callers account misses themselves.
+    fn try_lead(&self, key: NetlistFingerprint) -> Option<FlightGuard<'_>> {
+        match lock(&self.in_flight).entry(key) {
+            MapEntry::Occupied(_) => None,
+            MapEntry::Vacant(slot) => {
+                slot.insert(Flight::new());
+                Some(FlightGuard {
+                    cache: self,
+                    key,
+                    open: true,
+                })
             }
         }
     }
@@ -366,13 +620,62 @@ impl<B: SimBackend> CachedSim<B> {
     }
 
     fn store(&self, fp: NetlistFingerprint, result: &Result<AnalysisReport>) {
-        // Only finite Ok reports are cacheable: errors and poisoned
-        // metrics must re-run on the real backend every time.
-        if let Ok(report) = result {
-            if report.performance.is_finite() {
-                self.cache.insert(fp, report.clone());
-            }
+        if let Some(report) = cacheable(result) {
+            self.cache.insert(fp, report);
         }
+    }
+
+    /// Single-flight wrapper around one inner analysis: resolves the
+    /// lookup through [`SimCache::begin`], runs `analyze` only when
+    /// this caller leads (or must bypass a failed leader), and settles
+    /// the ledger accounts.
+    fn coalesced_analyze(
+        &mut self,
+        fp: NetlistFingerprint,
+        analyze: impl Fn(&mut B) -> Result<AnalysisReport>,
+    ) -> Result<AnalysisReport> {
+        // Clone the Arc so the flight guard borrows the cache itself,
+        // not `self` — the inner backend needs `&mut self.inner` while
+        // the guard is live.
+        let cache = Arc::clone(&self.cache);
+        let result = match cache.begin(fp) {
+            Lookup::Hit(report) => {
+                self.inner.ledger_mut().record_cache_hit();
+                Ok(report)
+            }
+            Lookup::Joined(report) => {
+                // The leader paid for the simulation; a coalesced
+                // waiter bills retrieval cost like any other hit, plus
+                // the informational coalesced-wait count.
+                let ledger = self.inner.ledger_mut();
+                ledger.record_cache_hit();
+                ledger.record_coalesced_wait();
+                Ok(report)
+            }
+            Lookup::Lead(guard) => {
+                let result = analyze(&mut self.inner);
+                guard.complete(cacheable(&result));
+                result
+            }
+            Lookup::Bypass => {
+                // The leader failed; run our own analysis outside the
+                // single-flight protocol (a success still populates
+                // the cache through the ordinary insert path).
+                let result = analyze(&mut self.inner);
+                self.store(fp, &result);
+                result
+            }
+        };
+        result
+    }
+}
+
+/// The cacheable payload of a result: only finite `Ok` reports — errors
+/// and poisoned (NaN/∞) metrics must re-run on the real backend.
+fn cacheable(result: &Result<AnalysisReport>) -> Option<AnalysisReport> {
+    match result {
+        Ok(report) if report.performance.is_finite() => Some(report.clone()),
+        _ => None,
     }
 }
 
@@ -398,12 +701,7 @@ impl<B: SimBackend> SimBackend for CachedSim<B> {
             return self.inner.analyze_topology(topo);
         };
         let fp = fp.with_salt(self.salt);
-        if let Some(report) = self.lookup(fp) {
-            return Ok(report);
-        }
-        let result = self.inner.analyze_topology(topo);
-        self.store(fp, &result);
-        result
+        self.coalesced_analyze(fp, |inner| inner.analyze_topology(topo))
     }
 
     fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
@@ -411,12 +709,7 @@ impl<B: SimBackend> SimBackend for CachedSim<B> {
             return self.inner.analyze_netlist(netlist);
         }
         let fp = NetlistFingerprint::of_netlist(netlist).with_salt(self.salt);
-        if let Some(report) = self.lookup(fp) {
-            return Ok(report);
-        }
-        let result = self.inner.analyze_netlist(netlist);
-        self.store(fp, &result);
-        result
+        self.coalesced_analyze(fp, |inner| inner.analyze_netlist(netlist))
     }
 
     fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
@@ -437,14 +730,39 @@ impl<B: SimBackend> SimBackend for CachedSim<B> {
             .collect();
         let miss_idx: Vec<usize> = (0..topos.len()).filter(|&i| out[i].is_none()).collect();
         if !miss_idx.is_empty() {
+            // Claim single-flight leadership for each distinct missed
+            // key without blocking (waiting on a foreign leader from a
+            // batch could deadlock two batches against each other), so
+            // concurrent single-analysis callers coalesce onto this
+            // batch's solves instead of duplicating them.
+            let cache = Arc::clone(&self.cache);
+            let mut guards: HashMap<NetlistFingerprint, FlightGuard<'_>> = HashMap::new();
+            for &i in &miss_idx {
+                if let Some(fp) = fps[i] {
+                    if let MapEntry::Vacant(slot) = guards.entry(fp) {
+                        if let Some(guard) = cache.try_lead(fp) {
+                            slot.insert(guard);
+                        }
+                    }
+                }
+            }
             let miss_topos: Vec<Topology> = miss_idx.iter().map(|&i| topos[i].clone()).collect();
             let miss_results = self.inner.analyze_batch(&miss_topos);
             for (&i, result) in miss_idx.iter().zip(miss_results) {
                 if let Some(fp) = fps[i] {
-                    self.store(fp, &result);
+                    match guards.remove(&fp) {
+                        // Leading this key: completing the flight both
+                        // inserts the report and releases any waiters.
+                        Some(guard) => guard.complete(cacheable(&result)),
+                        None => self.store(fp, &result),
+                    }
                 }
                 out[i] = Some(result);
             }
+            // Duplicate occurrences already completed their key's
+            // flight above; any guard left here had no result (holes)
+            // and is released empty by drop.
+            drop(guards);
         }
         out.into_iter()
             .map(|r| {
@@ -647,5 +965,172 @@ mod tests {
         let cache = SimCache::new(32);
         let s = cache.stats().to_string();
         assert!(s.contains("hit rate"), "{s}");
+    }
+
+    /// Inner backend that parks the single-flight *leader* (the first
+    /// inner call overall) until every other session is observed
+    /// blocked on its in-flight cell — makes the coalescing split fully
+    /// deterministic. Later calls (e.g. a bypass after a failed leader)
+    /// pass straight through: their waiters are already gone.
+    struct GatedSim {
+        inner: Simulator,
+        cache: Arc<SimCache>,
+        calls: Arc<AtomicU64>,
+        expect_waiters: usize,
+    }
+
+    impl GatedSim {
+        fn gate(&self) {
+            if self.calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                while self.cache.waiting() < self.expect_waiters {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    impl SimBackend for GatedSim {
+        fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+            self.gate();
+            self.inner.analyze_topology(topo)
+        }
+
+        fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+            self.gate();
+            self.inner.analyze_netlist(netlist)
+        }
+
+        fn ledger(&self) -> &CostLedger {
+            self.inner.ledger()
+        }
+
+        fn ledger_mut(&mut self) -> &mut CostLedger {
+            self.inner.ledger_mut()
+        }
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_misses_exactly() {
+        const SESSIONS: usize = 4;
+        let cache = SimCache::shared(64);
+        let calls = Arc::new(AtomicU64::new(0));
+        let topo = Topology::nmc_example();
+        let serial = Simulator::new()
+            .analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let reports: Vec<(AnalysisReport, CostLedger)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let calls = Arc::clone(&calls);
+                    let topo = topo.clone();
+                    scope.spawn(move || {
+                        let gated = GatedSim {
+                            inner: Simulator::new(),
+                            cache: Arc::clone(&cache),
+                            calls,
+                            // The leader waits for all other sessions.
+                            expect_waiters: SESSIONS - 1,
+                        };
+                        let mut sim = CachedSim::new(gated, cache);
+                        let report = sim
+                            .analyze_topology(&topo)
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        (report, *sim.ledger())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| panic!("session panicked")))
+                .collect()
+        });
+        // Exactly one inner analysis; every report identical to serial.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        for (report, _) in &reports {
+            assert_eq!(*report, serial);
+        }
+        // One leader billed the simulation; the other sessions billed
+        // cache hits with coalesced waits.
+        let sims: u64 = reports.iter().map(|(_, l)| l.simulations()).sum();
+        let hits: u64 = reports.iter().map(|(_, l)| l.cache_hits()).sum();
+        let waits: u64 = reports.iter().map(|(_, l)| l.coalesced_waits()).sum();
+        assert_eq!(sims, 1);
+        assert_eq!(hits, (SESSIONS - 1) as u64);
+        assert_eq!(waits, (SESSIONS - 1) as u64);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced, (SESSIONS - 1) as u64);
+        assert_eq!(stats.hits, 0);
+        assert!(stats.hit_rate() > 0.7, "{stats}");
+        // The gauge returns to idle.
+        assert_eq!(cache.waiting(), 0);
+        assert_eq!(cache.in_flight_keys(), 0);
+    }
+
+    #[test]
+    fn failed_leader_releases_waiters_down_the_bypass_path() {
+        // No CL element ⇒ the analysis errors; errors are never cached,
+        // so the waiter must run (and fail) its own inner analysis.
+        let netlist = Netlist::parse("* x\nG1 out 0 in 0 1m\nR1 out 0 10k\n.end\n")
+            .unwrap_or_else(|e| panic!("{e}"));
+        let cache = SimCache::shared(64);
+        let calls = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                let netlist = netlist.clone();
+                scope.spawn(move || {
+                    let gated = GatedSim {
+                        inner: Simulator::new(),
+                        cache: Arc::clone(&cache),
+                        calls,
+                        expect_waiters: 1,
+                    };
+                    let mut sim = CachedSim::new(gated, cache);
+                    assert!(sim.analyze_netlist(&netlist).is_err());
+                    assert_eq!(sim.ledger().cache_hits(), 0);
+                });
+            }
+        });
+        // Both sessions reached the real backend: the leader failed and
+        // the waiter bypassed rather than hanging or caching the error.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().coalesced, 0);
+        assert_eq!(cache.in_flight_keys(), 0);
+    }
+
+    #[test]
+    fn batch_leaders_publish_to_concurrent_single_analyses() {
+        // A batch claims non-blocking leadership for its misses, so a
+        // concurrent single analysis of the same topology coalesces
+        // onto the batch's solve instead of duplicating it.
+        let cache = SimCache::shared(64);
+        let calls = Arc::new(AtomicU64::new(0));
+        let topo = Topology::nmc_example();
+        let batch_reports = {
+            let mut sim = CachedSim::new(
+                GatedSim {
+                    inner: Simulator::new(),
+                    cache: Arc::clone(&cache),
+                    calls: Arc::clone(&calls),
+                    expect_waiters: 0,
+                },
+                Arc::clone(&cache),
+            );
+            sim.analyze_batch(std::slice::from_ref(&topo))
+        };
+        let report = batch_reports[0].as_ref().unwrap_or_else(|e| panic!("{e}"));
+        // After the batch completes its flights, a single analysis hits.
+        let mut sim = CachedSim::new(Simulator::new(), Arc::clone(&cache));
+        let single = sim
+            .analyze_topology(&topo)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(single, *report);
+        assert_eq!(sim.ledger().cache_hits(), 1);
+        assert_eq!(cache.in_flight_keys(), 0, "batch must deregister flights");
     }
 }

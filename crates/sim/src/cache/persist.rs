@@ -1,0 +1,688 @@
+//! Disk persistence for [`SimCache`]: a versioned, checksummed,
+//! atomically-written binary snapshot so repeated process invocations
+//! warm-start instead of re-paying testbed seconds for netlists already
+//! solved.
+//!
+//! # Snapshot format (version 1, all integers/floats little-endian)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `b"ARTSNSC1"` |
+//! | 8      | 4    | format version (`u32`, currently 1) |
+//! | 12     | 8    | config salt (`u64`) — see invalidation below |
+//! | 20     | 8    | entry count (`u64`) |
+//! | 28     | …    | entries, sorted by fingerprint |
+//! | end−8  | 8    | FNV-1a 64 checksum of every preceding byte |
+//!
+//! Each entry is the exact [`NetlistFingerprint::to_bytes`] key (16
+//! bytes) followed by the report: five `f64` bit patterns (gain, gbw,
+//! pm, power, fom), one stability byte, then pole and zero lists (a
+//! `u32` count followed by `(re, im)` `f64` pairs each). Floats are
+//! written as [`f64::to_bits`] so a load/save cycle is bit-exact.
+//!
+//! Entries are written in **sorted fingerprint order**, never hash-map
+//! iteration order, so two caches holding the same reports produce
+//! byte-identical snapshots regardless of insertion history or process
+//! (property-tested in `crates/sim/tests/properties.rs`).
+//!
+//! # Invalidation rules — reject, never mis-serve
+//!
+//! A snapshot is loaded **only** when all of the following hold, and
+//! otherwise yields an *empty* cache plus a diagnostic warning (never a
+//! panic, never a partial load):
+//!
+//! - the trailing checksum matches (rejects truncation and bit flips),
+//! - the magic matches (rejects foreign files),
+//! - the format version matches (rejects snapshots from other code
+//!   generations whose layout may differ),
+//! - the header config salt equals the caller's expected salt (rejects
+//!   snapshots taken under a different analysis configuration — the
+//!   resident keys would silently mis-serve reports for the wrong
+//!   sweep), and
+//! - every decoded report has finite metrics (the in-memory cache's
+//!   own admission rule).
+//!
+//! # Atomicity
+//!
+//! [`SimCache::save_to`] writes to a process-unique temporary file in
+//! the destination directory and `rename`s it into place, so a reader
+//! (or a concurrent saver) only ever observes either the old complete
+//! snapshot or the new complete snapshot — never a partial file.
+//!
+//! # Environment wiring
+//!
+//! When [`CACHE_DIR_ENV`] (`ARTISAN_SIM_CACHE_DIR`) names a directory,
+//! [`SimCache::from_env`] loads `<dir>/artisan-sim-cache.bin` (empty
+//! cache when absent) and [`SimCache::save_to_env_dir`] writes it back,
+//! giving experiment runners cross-process warm starts with two calls.
+
+use super::{lock, SimCache};
+use crate::fingerprint::NetlistFingerprint;
+use crate::metrics::Performance;
+use crate::poles::PoleZero;
+use crate::simulator::AnalysisReport;
+use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
+use artisan_math::Complex64;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment variable naming the directory that holds the persistent
+/// cache snapshot (see [`SimCache::from_env`]).
+pub const CACHE_DIR_ENV: &str = "ARTISAN_SIM_CACHE_DIR";
+
+/// File name of the snapshot inside the [`CACHE_DIR_ENV`] directory.
+pub const SNAPSHOT_FILE: &str = "artisan-sim-cache.bin";
+
+/// Leading magic of every snapshot file.
+const MAGIC: &[u8; 8] = b"ARTSNSC1";
+
+/// Current snapshot format version. Bump on any layout change: version
+/// mismatches load as empty, never as garbage.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header length: magic + version + salt + entry count.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Trailing checksum length.
+const CHECKSUM_LEN: usize = 8;
+
+/// Result of writing a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// Reports serialized into the snapshot.
+    pub entries_saved: usize,
+    /// Total snapshot size in bytes.
+    pub bytes: usize,
+}
+
+/// Result of reading a snapshot. `warning` is `Some` exactly when a
+/// present file was rejected (corrupt, truncated, foreign, stale); a
+/// *missing* file is a normal cold start and carries no warning.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadOutcome {
+    /// Reports restored into the cache.
+    pub entries_loaded: usize,
+    /// Diagnostic for a rejected snapshot (the cache loads empty).
+    pub warning: Option<String>,
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free corruption
+/// detection (not cryptographic; the snapshot is a local cache, not a
+/// trust boundary).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_bits().to_le_bytes());
+}
+
+fn push_complex_list(out: &mut Vec<u8>, list: &[Complex64]) {
+    // Pole/zero lists are tiny (circuit order ≈ 10); u32 is generous.
+    out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+    for c in list {
+        push_f64(out, c.re);
+        push_f64(out, c.im);
+    }
+}
+
+fn encode_entry(out: &mut Vec<u8>, key: NetlistFingerprint, report: &AnalysisReport) {
+    out.extend_from_slice(&key.to_bytes());
+    push_f64(out, report.performance.gain.0);
+    push_f64(out, report.performance.gbw.0);
+    push_f64(out, report.performance.pm.0);
+    push_f64(out, report.performance.power.0);
+    push_f64(out, report.performance.fom);
+    out.push(u8::from(report.stable));
+    push_complex_list(out, &report.pole_zero.poles);
+    push_complex_list(out, &report.pole_zero.zeros);
+}
+
+/// Bounded little-endian reader over the snapshot payload. Every read
+/// is length-checked so a malformed count can never panic or
+/// over-allocate.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| format!("unexpected end of snapshot at byte {}", self.pos))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(f64::from_bits(u64::from_le_bytes(buf)))
+    }
+
+    fn complex_list(&mut self) -> Result<Vec<Complex64>, String> {
+        let count = self.u32()? as usize;
+        // Each complex needs 16 bytes; reject counts the remaining
+        // payload cannot possibly satisfy before allocating.
+        if count.saturating_mul(16) > self.bytes.len().saturating_sub(self.pos) {
+            return Err(format!("pole/zero count {count} exceeds snapshot payload"));
+        }
+        let mut list = Vec::with_capacity(count);
+        for _ in 0..count {
+            let re = self.f64()?;
+            let im = self.f64()?;
+            list.push(Complex64 { re, im });
+        }
+        Ok(list)
+    }
+
+    fn entry(&mut self) -> Result<(NetlistFingerprint, AnalysisReport), String> {
+        let mut key_bytes = [0u8; 16];
+        key_bytes.copy_from_slice(self.take(16)?);
+        let key = NetlistFingerprint::from_bytes(key_bytes);
+        let performance = Performance {
+            gain: Decibels(self.f64()?),
+            gbw: Hertz(self.f64()?),
+            pm: Degrees(self.f64()?),
+            power: Watts(self.f64()?),
+            fom: self.f64()?,
+        };
+        let stable = match self.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("invalid stability byte {other}")),
+        };
+        let poles = self.complex_list()?;
+        let zeros = self.complex_list()?;
+        if !performance.is_finite() {
+            return Err("snapshot entry has non-finite metrics".into());
+        }
+        Ok((
+            key,
+            AnalysisReport {
+                performance,
+                pole_zero: PoleZero { poles, zeros },
+                stable,
+            },
+        ))
+    }
+}
+
+fn decode(
+    bytes: &[u8],
+    expected_salt: u64,
+) -> Result<Vec<(NetlistFingerprint, AnalysisReport)>, String> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(format!(
+            "snapshot too short ({} bytes) — truncated?",
+            bytes.len()
+        ));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    let mut checksum = [0u8; 8];
+    checksum.copy_from_slice(tail);
+    let stored = u64::from_le_bytes(checksum);
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — corrupt or truncated snapshot"
+        ));
+    }
+    let mut reader = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    if reader.take(8)? != MAGIC {
+        return Err("not an artisan sim-cache snapshot (bad magic)".into());
+    }
+    let version = reader.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "snapshot format version {version} != supported {FORMAT_VERSION}"
+        ));
+    }
+    let mut salt_bytes = [0u8; 8];
+    salt_bytes.copy_from_slice(reader.take(8)?);
+    let salt = u64::from_le_bytes(salt_bytes);
+    if salt != expected_salt {
+        return Err(format!(
+            "snapshot config salt {salt:#018x} != expected {expected_salt:#018x} — taken under a different analysis configuration"
+        ));
+    }
+    let mut count_bytes = [0u8; 8];
+    count_bytes.copy_from_slice(reader.take(8)?);
+    let count = u64::from_le_bytes(count_bytes);
+    let mut entries = Vec::new();
+    for i in 0..count {
+        let entry = reader
+            .entry()
+            .map_err(|e| format!("entry {i}/{count}: {e}"))?;
+        entries.push(entry);
+    }
+    if reader.pos != body.len() {
+        return Err(format!(
+            "{} trailing bytes after {count} entries",
+            body.len() - reader.pos
+        ));
+    }
+    Ok(entries)
+}
+
+/// The snapshot directory named by [`CACHE_DIR_ENV`], if set (and
+/// non-empty).
+pub fn snapshot_dir_from_env() -> Option<PathBuf> {
+    match std::env::var(CACHE_DIR_ENV) {
+        Ok(dir) if !dir.trim().is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// The full snapshot path under the [`CACHE_DIR_ENV`] directory, if
+/// set.
+pub fn snapshot_path_from_env() -> Option<PathBuf> {
+    snapshot_dir_from_env().map(|dir| dir.join(SNAPSHOT_FILE))
+}
+
+/// Per-process counter distinguishing concurrent temp files from the
+/// same process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl SimCache {
+    /// Serializes every resident report into the version-1 snapshot
+    /// format under `config_salt`. Deterministic: entries are sorted by
+    /// fingerprint, so equal contents give equal bytes regardless of
+    /// insertion order or process.
+    pub fn snapshot_bytes(&self, config_salt: u64) -> Vec<u8> {
+        let mut entries: Vec<(NetlistFingerprint, AnalysisReport)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                lock(shard)
+                    .map
+                    .iter()
+                    .map(|(&key, entry)| (key, entry.report.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by_key(|(key, _)| *key);
+        let mut out = Vec::with_capacity(HEADER_LEN + CHECKSUM_LEN + entries.len() * 128);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&config_salt.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, report) in &entries {
+            encode_entry(&mut out, *key, report);
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Restores a cache of `capacity` from snapshot bytes. Any
+    /// rejection (see the [module docs](self)) yields an empty cache
+    /// plus a warning — never a panic, never a partially-trusted load.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        capacity: usize,
+        config_salt: u64,
+    ) -> (SimCache, LoadOutcome) {
+        let cache = SimCache::new(capacity);
+        match decode(bytes, config_salt) {
+            Ok(entries) => {
+                let count = entries.len();
+                for (key, report) in entries {
+                    cache.insert(key, report);
+                }
+                (
+                    cache,
+                    LoadOutcome {
+                        entries_loaded: count,
+                        warning: None,
+                    },
+                )
+            }
+            Err(reason) => (
+                SimCache::new(capacity),
+                LoadOutcome {
+                    entries_loaded: 0,
+                    warning: Some(format!("sim-cache snapshot rejected: {reason}")),
+                },
+            ),
+        }
+    }
+
+    /// Atomically writes the snapshot to `path`: the bytes land in a
+    /// process-unique temp file in the same directory, then a `rename`
+    /// publishes them, so concurrent readers and savers never observe a
+    /// partial file. The parent directory is created if missing.
+    pub fn save_to(&self, path: &Path, config_salt: u64) -> io::Result<SaveOutcome> {
+        let bytes = self.snapshot_bytes(config_salt);
+        // Count from the snapshot itself — the live cache may move
+        // under a concurrent insert between the two reads.
+        let mut count = [0u8; 8];
+        count.copy_from_slice(&bytes[20..28]);
+        let entries_saved = u64::from_le_bytes(count) as usize;
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(dir) = dir {
+            fs::create_dir_all(dir)?;
+        }
+        let temp_name = format!(
+            ".{}.tmp-{}-{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| SNAPSHOT_FILE.to_owned()),
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let temp_path = match dir {
+            Some(dir) => dir.join(&temp_name),
+            None => PathBuf::from(&temp_name),
+        };
+        let result = (|| {
+            let mut file = fs::File::create(&temp_path)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&temp_path, path)
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the original error is what matters.
+            let _ = fs::remove_file(&temp_path);
+        }
+        result.map(|()| SaveOutcome {
+            entries_saved,
+            bytes: bytes.len(),
+        })
+    }
+
+    /// Loads a snapshot from `path` into a fresh cache of `capacity`.
+    /// A missing file is a normal cold start (empty cache, no warning);
+    /// an unreadable or rejected file loads empty with a diagnostic.
+    pub fn load_from(path: &Path, capacity: usize, config_salt: u64) -> (SimCache, LoadOutcome) {
+        match fs::read(path) {
+            Ok(bytes) => SimCache::from_snapshot_bytes(&bytes, capacity, config_salt),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                (SimCache::new(capacity), LoadOutcome::default())
+            }
+            Err(err) => (
+                SimCache::new(capacity),
+                LoadOutcome {
+                    entries_loaded: 0,
+                    warning: Some(format!(
+                        "sim-cache snapshot unreadable ({}): {err}",
+                        path.display()
+                    )),
+                },
+            ),
+        }
+    }
+
+    /// A shared cache warm-started from the [`CACHE_DIR_ENV`] snapshot
+    /// when that variable names a directory, or cold otherwise. Pair
+    /// with [`SimCache::save_to_env_dir`] at the end of the run.
+    pub fn from_env(capacity: usize, config_salt: u64) -> (Arc<SimCache>, LoadOutcome) {
+        match snapshot_path_from_env() {
+            Some(path) => {
+                let (cache, outcome) = SimCache::load_from(&path, capacity, config_salt);
+                (Arc::new(cache), outcome)
+            }
+            None => (SimCache::shared(capacity), LoadOutcome::default()),
+        }
+    }
+
+    /// Saves the snapshot into the [`CACHE_DIR_ENV`] directory; `None`
+    /// when the variable is unset (nothing to do).
+    pub fn save_to_env_dir(&self, config_salt: u64) -> Option<io::Result<SaveOutcome>> {
+        snapshot_path_from_env().map(|path| self.save_to(&path, config_salt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedSim;
+    use crate::{SimBackend, Simulator};
+    use artisan_circuit::Topology;
+    use std::sync::atomic::AtomicU32;
+
+    /// A unique scratch directory per call, under the system temp dir
+    /// (no tempfile crate in this workspace).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "artisan-persist-{tag}-{}-{}",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+        dir
+    }
+
+    fn warmed_cache() -> SimCache {
+        let cache = SimCache::new(64);
+        let mut sim = Simulator::new();
+        for topo in [Topology::nmc_example(), Topology::dfc_example()] {
+            let report = sim
+                .analyze_topology(&topo)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let fp = NetlistFingerprint::of_topology(&topo).unwrap_or_else(|| panic!("no fp"));
+            cache.insert(fp, report);
+        }
+        cache
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join(SNAPSHOT_FILE);
+        let cache = warmed_cache();
+        let saved = cache.save_to(&path, 7).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(saved.entries_saved, 2);
+        let (loaded, outcome) = SimCache::load_from(&path, 64, 7);
+        assert_eq!(outcome.entries_loaded, 2);
+        assert!(outcome.warning.is_none(), "{outcome:?}");
+        // Every original entry is served bit-identically.
+        for topo in [Topology::nmc_example(), Topology::dfc_example()] {
+            let fp = NetlistFingerprint::of_topology(&topo).unwrap_or_else(|| panic!("no fp"));
+            let original = cache.get(fp).unwrap_or_else(|| panic!("missing original"));
+            let restored = loaded.get(fp).unwrap_or_else(|| panic!("missing restored"));
+            assert_eq!(original, restored);
+        }
+        // save → load → save is byte-identical.
+        assert_eq!(cache.snapshot_bytes(7), loaded.snapshot_bytes(7));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_silent_cold_start() {
+        let dir = scratch_dir("missing");
+        let (cache, outcome) = SimCache::load_from(&dir.join("nope.bin"), 16, 0);
+        assert!(cache.is_empty());
+        assert_eq!(outcome, LoadOutcome::default());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_snapshot_loads_empty_with_warning() {
+        let cache = warmed_cache();
+        let bytes = cache.snapshot_bytes(0);
+        // Every truncation point — mid-header, mid-entry, mid-checksum —
+        // must reject cleanly.
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
+            let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes[..cut], 64, 0);
+            assert!(loaded.is_empty(), "cut at {cut} must load empty");
+            let warning = outcome
+                .warning
+                .unwrap_or_else(|| panic!("cut {cut}: no warning"));
+            assert!(warning.contains("rejected"), "{warning}");
+            assert_eq!(outcome.entries_loaded, 0);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let cache = warmed_cache();
+        let bytes = cache.snapshot_bytes(3);
+        // Flip one bit in every byte position (first bit only, to keep
+        // the test fast at ~1k decodes) — FNV-1a catches each.
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            let (loaded, outcome) = SimCache::from_snapshot_bytes(&corrupt, 64, 3);
+            assert!(loaded.is_empty(), "flip at byte {i} must load empty");
+            assert!(outcome.warning.is_some(), "flip at byte {i} must warn");
+        }
+    }
+
+    #[test]
+    fn wrong_version_and_wrong_salt_are_rejected() {
+        let cache = warmed_cache();
+        // Wrong version: rewrite the version field and re-checksum so
+        // only the version check can reject it.
+        let mut bytes = cache.snapshot_bytes(5);
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let body_len = bytes.len() - CHECKSUM_LEN;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 64, 5);
+        assert!(loaded.is_empty());
+        let warning = outcome
+            .warning
+            .unwrap_or_else(|| panic!("no version warning"));
+        assert!(warning.contains("version"), "{warning}");
+        // Wrong salt: a pristine snapshot under a different expected
+        // salt must be rejected as foreign.
+        let bytes = cache.snapshot_bytes(5);
+        let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 64, 6);
+        assert!(loaded.is_empty());
+        let warning = outcome.warning.unwrap_or_else(|| panic!("no salt warning"));
+        assert!(warning.contains("salt"), "{warning}");
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_panicked() {
+        // A checksum-valid file with the wrong magic is "foreign".
+        let mut bytes = b"NOTACACHExxxxxxxxxxxxxxxxxxx".to_vec();
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 16, 0);
+        assert!(loaded.is_empty());
+        let warning = outcome.warning.unwrap_or_else(|| panic!("no warning"));
+        assert!(warning.contains("magic"), "{warning}");
+    }
+
+    #[test]
+    fn hostile_entry_count_cannot_over_allocate() {
+        // Claim u64::MAX entries with an otherwise-valid header: the
+        // bounded reader must reject at the first short read, not
+        // allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 16, 0);
+        assert!(loaded.is_empty());
+        assert!(outcome.warning.is_some());
+    }
+
+    #[test]
+    fn concurrent_saves_never_expose_a_partial_file() {
+        let dir = scratch_dir("concurrent");
+        let path = dir.join(SNAPSHOT_FILE);
+        let cache = warmed_cache();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        cache.save_to(&path, 1).unwrap_or_else(|e| panic!("{e}"));
+                        // Interleaved loads must always see a complete
+                        // snapshot: 2 entries, no warning.
+                        let (loaded, outcome) = SimCache::load_from(&path, 64, 1);
+                        assert!(outcome.warning.is_none(), "{outcome:?}");
+                        assert_eq!(loaded.len(), 2);
+                    }
+                });
+            }
+        });
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn env_wiring_round_trips_through_a_directory() {
+        // The only test touching CACHE_DIR_ENV (set, use, restore) —
+        // splitting it would race under the parallel test runner.
+        let dir = scratch_dir("env");
+        let prior = std::env::var(CACHE_DIR_ENV).ok();
+        // Unset: a plain cold shared cache, and nothing to save.
+        std::env::remove_var(CACHE_DIR_ENV);
+        let (cache, outcome) = SimCache::from_env(32, 0);
+        assert!(cache.is_empty());
+        assert_eq!(outcome, LoadOutcome::default());
+        assert!(cache.save_to_env_dir(0).is_none());
+        std::env::set_var(CACHE_DIR_ENV, &dir);
+        let salt = 11u64;
+        let (cold, outcome) = SimCache::from_env(64, salt);
+        assert!(cold.is_empty());
+        assert!(outcome.warning.is_none());
+        // Warm the cache through a wrapper, then persist.
+        let mut sim = CachedSim::new(Simulator::new(), Arc::clone(&cold));
+        sim.analyze_topology(&Topology::nmc_example())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let saved = cold
+            .save_to_env_dir(salt)
+            .unwrap_or_else(|| panic!("env dir set but no save"))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(saved.entries_saved, 1);
+        // A second "process" warm-starts from the same directory.
+        let (warm, outcome) = SimCache::from_env(64, salt);
+        assert_eq!(outcome.entries_loaded, 1);
+        let mut sim2 = CachedSim::new(Simulator::new(), Arc::clone(&warm));
+        let report = sim2
+            .analyze_topology(&Topology::nmc_example())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(sim2.ledger().simulations(), 0, "warm start must hit");
+        assert_eq!(sim2.ledger().cache_hits(), 1);
+        assert_eq!(
+            report,
+            sim.analyze_topology(&Topology::nmc_example())
+                .unwrap_or_else(|e| panic!("{e}"))
+        );
+        match prior {
+            Some(v) => std::env::set_var(CACHE_DIR_ENV, v),
+            None => std::env::remove_var(CACHE_DIR_ENV),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,6 +13,11 @@
 
 use std::fmt;
 
+/// Environment variable overriding [`CostModel::seconds_per_cache_hit`]
+/// for models built with [`CostModel::from_env`]. Values must parse as
+/// non-negative finite seconds; anything else is ignored.
+pub const CACHE_HIT_SECONDS_ENV: &str = "ARTISAN_CACHE_HIT_SECONDS";
+
 /// Testbed-equivalent unit costs, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
@@ -41,6 +46,64 @@ impl Default for CostModel {
     }
 }
 
+impl CostModel {
+    /// Validates one unit cost: only non-negative finite seconds are
+    /// accepted; anything else keeps `current` (a poisoned knob must
+    /// not corrupt the whole account, mirroring
+    /// [`CostLedger::record_penalty_seconds`]).
+    fn valid_or(current: f64, proposed: f64) -> f64 {
+        if proposed.is_finite() && proposed >= 0.0 {
+            proposed
+        } else {
+            current
+        }
+    }
+
+    /// Builder override for the per-simulation cost (validated).
+    #[must_use]
+    pub fn with_simulation_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_simulation = Self::valid_or(self.seconds_per_simulation, seconds);
+        self
+    }
+
+    /// Builder override for the per-LLM-step cost (validated).
+    #[must_use]
+    pub fn with_llm_step_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_llm_step = Self::valid_or(self.seconds_per_llm_step, seconds);
+        self
+    }
+
+    /// Builder override for the per-optimizer-step cost (validated).
+    #[must_use]
+    pub fn with_optimizer_step_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_optimizer_step = Self::valid_or(self.seconds_per_optimizer_step, seconds);
+        self
+    }
+
+    /// Builder override for the cache-hit retrieval cost. Rejects
+    /// negative, NaN, and infinite values (the prior value is kept), so
+    /// a bad override can never produce negative or non-finite bills.
+    #[must_use]
+    pub fn with_cache_hit_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_cache_hit = Self::valid_or(self.seconds_per_cache_hit, seconds);
+        self
+    }
+
+    /// The default model with any [`CACHE_HIT_SECONDS_ENV`] override
+    /// applied. Unparseable, negative, or non-finite values are
+    /// silently ignored — the default survives a bad environment.
+    pub fn from_env() -> Self {
+        let model = CostModel::default();
+        match std::env::var(CACHE_HIT_SECONDS_ENV) {
+            Ok(raw) => match raw.trim().parse::<f64>() {
+                Ok(seconds) => model.with_cache_hit_seconds(seconds),
+                Err(_) => model,
+            },
+            Err(_) => model,
+        }
+    }
+}
+
 /// A mutable ledger of billable operations for one design run.
 ///
 /// # Example
@@ -60,6 +123,7 @@ pub struct CostLedger {
     llm_steps: u64,
     optimizer_steps: u64,
     cache_hits: u64,
+    coalesced_waits: u64,
     batched_solves: u64,
     penalty_seconds: f64,
 }
@@ -92,6 +156,15 @@ impl CostLedger {
     /// [`CostModel::seconds_per_simulation`].
     pub fn record_cache_hit(&mut self) {
         self.cache_hits += 1;
+    }
+
+    /// Records one single-flight coalesced wait: this session blocked
+    /// on another session's in-flight analysis of the same fingerprint
+    /// and received its report. Informational only — the wait is billed
+    /// through [`CostLedger::record_cache_hit`] (retrieval cost), which
+    /// the caller records alongside this counter.
+    pub fn record_coalesced_wait(&mut self) {
+        self.coalesced_waits += 1;
     }
 
     /// Records `n` analyses routed through a parallel batched solve.
@@ -133,6 +206,12 @@ impl CostLedger {
         self.cache_hits
     }
 
+    /// Number of single-flight coalesced waits (informational; each one
+    /// is also counted — and billed — in [`CostLedger::cache_hits`]).
+    pub fn coalesced_waits(&self) -> u64 {
+        self.coalesced_waits
+    }
+
     /// Number of analyses that went through a parallel batched solve
     /// (informational; each one is also counted in
     /// [`CostLedger::simulations`]).
@@ -160,6 +239,7 @@ impl CostLedger {
         self.llm_steps += other.llm_steps;
         self.optimizer_steps += other.optimizer_steps;
         self.cache_hits += other.cache_hits;
+        self.coalesced_waits += other.coalesced_waits;
         self.batched_solves += other.batched_solves;
         self.penalty_seconds += other.penalty_seconds;
     }
@@ -174,6 +254,9 @@ impl fmt::Display for CostLedger {
         )?;
         if self.cache_hits > 0 {
             write!(f, ", {} cache hits", self.cache_hits)?;
+        }
+        if self.coalesced_waits > 0 {
+            write!(f, ", {} coalesced waits", self.coalesced_waits)?;
         }
         if self.batched_solves > 0 {
             write!(f, ", {} batched solves", self.batched_solves)?;
@@ -304,6 +387,66 @@ mod tests {
         assert!(t_hit < t_sim / 10.0, "hit {t_hit} vs sim {t_sim}");
         assert_eq!(hit.cache_hits(), 1);
         assert_eq!(hit.simulations(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_unit_costs() {
+        let model = CostModel::default()
+            .with_cache_hit_seconds(0.05)
+            .with_simulation_seconds(20.0);
+        assert_eq!(model.seconds_per_cache_hit, 0.05);
+        assert_eq!(model.seconds_per_simulation, 20.0);
+        // Negative, NaN, and infinite overrides keep the prior value.
+        let kept = model
+            .with_cache_hit_seconds(-1.0)
+            .with_cache_hit_seconds(f64::NAN)
+            .with_cache_hit_seconds(f64::INFINITY)
+            .with_llm_step_seconds(f64::NEG_INFINITY)
+            .with_optimizer_step_seconds(-0.1);
+        assert_eq!(kept.seconds_per_cache_hit, 0.05);
+        assert_eq!(kept.seconds_per_llm_step, 40.0);
+        assert_eq!(kept.seconds_per_optimizer_step, 1.5);
+        // Zero is a legal cost (a free cache hit).
+        assert_eq!(kept.with_cache_hit_seconds(0.0).seconds_per_cache_hit, 0.0);
+    }
+
+    #[test]
+    fn cache_hit_seconds_env_override_is_validated() {
+        // Serialized within this one test: set, read, restore.
+        let prior = std::env::var(CACHE_HIT_SECONDS_ENV).ok();
+        std::env::set_var(CACHE_HIT_SECONDS_ENV, " 0.125 ");
+        assert_eq!(CostModel::from_env().seconds_per_cache_hit, 0.125);
+        for bad in ["-2.0", "NaN", "inf", "not-a-number", ""] {
+            std::env::set_var(CACHE_HIT_SECONDS_ENV, bad);
+            let model = CostModel::from_env();
+            assert_eq!(
+                model.seconds_per_cache_hit,
+                CostModel::default().seconds_per_cache_hit,
+                "{bad:?} should be ignored"
+            );
+        }
+        std::env::remove_var(CACHE_HIT_SECONDS_ENV);
+        assert_eq!(CostModel::from_env(), CostModel::default());
+        match prior {
+            Some(v) => std::env::set_var(CACHE_HIT_SECONDS_ENV, v),
+            None => std::env::remove_var(CACHE_HIT_SECONDS_ENV),
+        }
+    }
+
+    #[test]
+    fn coalesced_waits_are_informational_and_absorbed() {
+        let model = CostModel::default();
+        let mut l = CostLedger::new();
+        l.record_cache_hit();
+        l.record_coalesced_wait();
+        assert_eq!(l.coalesced_waits(), 1);
+        // A coalesced wait is billed through its cache hit, nothing more.
+        assert_eq!(l.testbed_seconds(&model), model.seconds_per_cache_hit);
+        assert!(l.to_string().contains("1 coalesced waits"), "{l}");
+        let mut other = CostLedger::new();
+        other.record_coalesced_wait();
+        l.absorb(&other);
+        assert_eq!(l.coalesced_waits(), 2);
     }
 
     #[test]

@@ -185,6 +185,28 @@ impl NetlistFingerprint {
         self.lanes
     }
 
+    /// The fingerprint's exact 16-byte wire form (little-endian lanes).
+    /// This is the key encoding used by the persistent snapshot format
+    /// ([`crate::cache::persist`]); [`NetlistFingerprint::from_bytes`]
+    /// inverts it exactly.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&self.lanes[0].to_le_bytes());
+        bytes[8..].copy_from_slice(&self.lanes[1].to_le_bytes());
+        bytes
+    }
+
+    /// Rebuilds a fingerprint from its [`NetlistFingerprint::to_bytes`]
+    /// wire form.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        let mut lane = [0u8; 8];
+        lane.copy_from_slice(&bytes[..8]);
+        let lo = u64::from_le_bytes(lane);
+        lane.copy_from_slice(&bytes[8..]);
+        let hi = u64::from_le_bytes(lane);
+        NetlistFingerprint { lanes: [lo, hi] }
+    }
+
     /// Folds an arbitrary salt (e.g. an analysis-configuration digest)
     /// into both lanes, producing a distinct but equally well-mixed
     /// fingerprint. Equal inputs + equal salts ⇒ equal outputs.

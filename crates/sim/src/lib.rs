@@ -57,6 +57,7 @@ pub mod spec;
 pub mod variation;
 
 pub use backend::{ParallelSimBackend, SimBackend};
+pub use cache::persist::{LoadOutcome, SaveOutcome};
 pub use cache::{CacheStats, CachedSim, SimCache};
 pub use error::{BadNetlistReport, SimError};
 pub use fingerprint::NetlistFingerprint;

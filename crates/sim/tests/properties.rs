@@ -210,6 +210,75 @@ proptest! {
         }
     }
 
+    /// Fingerprint byte serialization round-trips exactly for random
+    /// netlists under random salts — the snapshot key encoding loses
+    /// nothing.
+    #[test]
+    fn fingerprint_bytes_roundtrip(seed in 0u64..2000, salt in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        if let Some(fp) = artisan_sim::NetlistFingerprint::of_topology(&topo) {
+            let salted = fp.with_salt(salt);
+            for key in [fp, salted] {
+                let back = artisan_sim::NetlistFingerprint::from_bytes(key.to_bytes());
+                prop_assert_eq!(back, key);
+                prop_assert_eq!(back.lanes(), key.lanes());
+            }
+        }
+        if let Ok(netlist) = topo.elaborate() {
+            let fp = artisan_sim::NetlistFingerprint::of_netlist(&netlist);
+            prop_assert_eq!(
+                artisan_sim::NetlistFingerprint::from_bytes(fp.to_bytes()),
+                fp
+            );
+        }
+    }
+
+    /// Snapshot bytes are a pure function of cache *contents*: caches
+    /// filled with the same entries in different orders (hash-map
+    /// iteration order, shard history) serialize byte-identically, and
+    /// save → load → save is a byte-level fixed point.
+    #[test]
+    fn snapshot_bytes_are_insertion_order_independent(
+        seed in 0u64..500,
+        salt in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..6);
+        let mut entries = Vec::new();
+        let mut sim = Simulator::new();
+        for _ in 0..n {
+            let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+            let (Some(fp), Ok(report)) = (
+                artisan_sim::NetlistFingerprint::of_topology(&topo),
+                sim.analyze_topology(&topo),
+            ) else {
+                continue;
+            };
+            if report.performance.is_finite() {
+                entries.push((fp, report));
+            }
+        }
+        let forward = SimCache::new(256);
+        for (fp, report) in &entries {
+            forward.insert(*fp, report.clone());
+        }
+        let backward = SimCache::new(256);
+        for (fp, report) in entries.iter().rev() {
+            backward.insert(*fp, report.clone());
+        }
+        let bytes = forward.snapshot_bytes(salt);
+        prop_assert_eq!(&bytes, &backward.snapshot_bytes(salt));
+        // save → load → save byte identity.
+        let (loaded, outcome) = SimCache::from_snapshot_bytes(&bytes, 256, salt);
+        prop_assert!(outcome.warning.is_none(), "{:?}", outcome.warning);
+        prop_assert_eq!(loaded.snapshot_bytes(salt), bytes);
+        // And the loaded cache serves every entry bit-identically.
+        for (fp, report) in &entries {
+            prop_assert_eq!(loaded.get(*fp).as_ref(), Some(report));
+        }
+    }
+
     /// The simulator never reports success-grade metrics for an unstable
     /// network: either `stable` is false or every pole is in the LHP.
     #[test]
