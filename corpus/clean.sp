@@ -1,0 +1,15 @@
+* clean three-stage opamp (NMC, paper Fig. 7 A3 values)
+G1 n1 0 in 0 25.12u
+Ro1 n1 0 4.7771meg
+Cp1 n1 0 37.536f
+G2 0 n2 n1 0 37.68u
+Ro2 n2 0 2.6539meg
+Cp2 n2 0 41.304f
+G3 out 0 n2 0 251.2u
+Ro3 out 0 398.0892k
+Cp3 out 0 105.36f
+RL out 0 1meg
+CL out 0 10p
+Ccp3 n1 out 4p
+Ccp4 n2 out 3p
+.end

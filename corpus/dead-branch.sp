@@ -1,0 +1,7 @@
+* series-dangling branch: R2-R3 chain hangs off out and carries no current (ERC102)
+G1 out 0 in 0 1m
+R1 out 0 1k
+R2 out n1 1k
+R3 n1 n2 1k
+CL out 0 10p
+.end

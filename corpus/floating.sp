@@ -1,0 +1,7 @@
+* floating internal node: n1 is reachable only through capacitors (ERC006)
+G1 out 0 in 0 1m
+R1 out 0 1k
+C1 out n1 1p
+C2 n1 0 1p
+CL out 0 10p
+.end

@@ -1,0 +1,7 @@
+* reference-free island: {n1, n2} has no path to ground or input (ERC100)
+G1 out 0 in 0 1m
+R1 out 0 1k
+R2 n1 n2 1k
+C2 n1 n2 1p
+CL out 0 10p
+.end

@@ -1,0 +1,7 @@
+* severed signal path: nothing couples the input into the output side (ERC101)
+R1 in 0 1k
+G1 out 0 n1 0 1m
+R2 out 0 1k
+R3 n1 0 1k
+CL out 0 10p
+.end

@@ -1,0 +1,6 @@
+* degenerate short: a milliohm-class resistor acts as a wire (ERC103)
+G1 out 0 in 0 1m
+R1 out 0 1k
+R2 in out 1u
+CL out 0 10p
+.end

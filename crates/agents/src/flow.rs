@@ -11,7 +11,7 @@ use crate::tot::TotTrace;
 use artisan_circuit::design::DesignTarget;
 use artisan_circuit::{Netlist, Topology};
 use artisan_dataset::OpampDataset;
-use artisan_sim::{AnalysisReport, SimBackend, Spec};
+use artisan_sim::{AnalysisReport, SimBackend, SimError, Spec};
 use rand::Rng;
 
 /// Configuration of the Artisan agent.
@@ -247,6 +247,11 @@ impl ArtisanAgent {
             // ultimately reports is labelled by *how* it failed, not
             // collapsed into a fake phase-margin miss.
             let mut sim_note: Option<String> = None;
+            // ERC diagnostics carried by a backend rejection (the
+            // in-simulator gate, or a ScreenedSim wrapper turning the
+            // candidate away pre-simulation) — surfaced as repair hints
+            // exactly like the agent's own pre-flight ERC pass.
+            let mut backend_erc_hints: Option<String> = None;
             let (failures, report): (Vec<&str>, Option<AnalysisReport>) = if erc_hints.is_some() {
                 (vec!["Netlist"], None)
             } else {
@@ -284,6 +289,11 @@ impl ArtisanAgent {
                             continue;
                         }
                         Err(e) => {
+                            if let SimError::BadNetlist(rejection) = &e {
+                                if !rejection.diagnostics.is_empty() {
+                                    backend_erc_hints = Some(rejection.render());
+                                }
+                            }
                             sim_note = Some(format!(
                                 "simulation failed after {} attempt(s): {e}",
                                 retries + 1
@@ -321,6 +331,9 @@ impl ArtisanAgent {
             // turns on the feedback exchange.
             let q = transcript.question(Prompter::feedback_question(&failures, spec));
             if let Some(hints) = &erc_hints {
+                transcript.tool(q, format!("erc: {hints}"));
+            }
+            if let Some(hints) = &backend_erc_hints {
                 transcript.tool(q, format!("erc: {hints}"));
             }
             if let Some(note) = &sim_note {
@@ -483,6 +496,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let outcome = agent.design(spec, &mut sim, &mut rng);
         (outcome, sim)
+    }
+
+    #[test]
+    fn backend_erc_rejection_surfaces_repair_hints() {
+        // A screening wrapper (or the in-simulator gate) rejecting the
+        // candidate hands its diagnostics to the feedback exchange.
+        let island = Netlist::parse(
+            "* island\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 n1 n2 1k\nC2 n1 n2 1p\nCL out 0 10p\n.end\n",
+        )
+        .unwrap_or_else(|e| panic!("parse: {e}"));
+        let gate = artisan_lint::Linter::errors_only().lint(&island);
+        assert!(gate.has_errors());
+        let rejection =
+            artisan_sim::BadNetlistReport::from_lint("electrical-rule check failed", &gate);
+        let (outcome, _) =
+            run_scripted(vec![Script::Fail(SimError::BadNetlist(rejection.clone()))]);
+        let text = outcome.transcript.to_string();
+        assert!(text.contains("erc: electrical-rule check failed"), "{text}");
+        let code = rejection.codes()[0];
+        assert!(text.contains(code), "missing {code} in: {text}");
+        // The next iteration runs against the real simulator and
+        // recovers.
+        assert!(outcome.success);
+        assert!(outcome.iterations > 1);
     }
 
     #[test]

@@ -15,16 +15,18 @@
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use artisan_bench::{arg_or, quick_mode};
-use artisan_circuit::sample::{sample_topology, SampleRanges};
-use artisan_circuit::Topology;
+use artisan_circuit::sample::{mutate_netlist, sample_topology, SampleRanges};
+use artisan_circuit::{Netlist, Topology};
+use artisan_lint::Linter;
 use artisan_math::lu::LuDecomposition;
 use artisan_math::{Complex64, ThreadPool};
 use artisan_resilience::{Scheduler, Supervisor};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::cache::persist::snapshot_dir_from_env;
+use artisan_sim::cost::CostModel;
 use artisan_sim::fingerprint::config_salt;
 use artisan_sim::mna::MnaSystem;
-use artisan_sim::{AnalysisConfig, CachedSim, SimBackend, SimCache, Simulator, Spec};
+use artisan_sim::{AnalysisConfig, CachedSim, ScreenedSim, SimBackend, SimCache, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::f64::consts::PI;
@@ -367,6 +369,86 @@ fn main() {
         "served count off: {sf_stats}"
     );
 
+    // --- ERC screening: doomed candidates at screen cost, not sim cost ---
+    // A mixed candidate corpus, the join-phase shape: the legal recipe
+    // examples and sampled legal topologies, each base followed by
+    // randomly mutated (often structurally broken) neighbours, plus two
+    // hand-written doomed netlists (a reference-free island and a
+    // severed signal path) the screen is guaranteed to catch. The same
+    // corpus runs through the bare simulator and through the screened
+    // stack; every surviving report must be identical, and the billed
+    // testbed seconds must come out strictly lower.
+    let screen_corpus: Vec<Netlist> = {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ranges = SampleRanges::default();
+        let mut legal: Vec<Netlist> = vec![
+            Topology::nmc_example().elaborate().expect("valid"),
+            Topology::dfc_example().elaborate().expect("valid"),
+        ];
+        legal.extend((0..6).map(|_| {
+            sample_topology(&mut rng, &ranges, 10e-12)
+                .elaborate()
+                .expect("legal sample elaborates")
+        }));
+        let mut corpus = Vec::new();
+        for base in &legal {
+            corpus.push(base.clone());
+            for _ in 0..3 {
+                corpus.push(mutate_netlist(&mut rng, base));
+            }
+        }
+        corpus.push(
+            Netlist::parse(
+                "* island\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 n1 n2 1k\nC2 n1 n2 1p\nCL out 0 10p\n.end\n",
+            )
+            .expect("island netlist parses"),
+        );
+        corpus.push(
+            Netlist::parse(
+                "* severed\nR1 in 0 1k\nG1 out 0 n1 0 1m\nR2 out 0 1k\nR3 n1 0 1k\nCL out 0 10p\n.end\n",
+            )
+            .expect("severed netlist parses"),
+        );
+        corpus
+    };
+
+    let linter = Linter::errors_only();
+    let lint_rate = rate(reps, screen_corpus.len(), || {
+        for n in &screen_corpus {
+            black_box(linter.lint(n));
+        }
+    });
+
+    let cost_model = CostModel::default();
+    let mut bare_sim = Simulator::new();
+    let bare_decisions: Vec<Option<artisan_sim::Performance>> = screen_corpus
+        .iter()
+        .map(|n| bare_sim.analyze_netlist(n).ok().map(|r| r.performance))
+        .collect();
+    let unscreened_seconds = bare_sim.ledger().testbed_seconds(&cost_model);
+
+    let verdict_cache = SimCache::shared(4096);
+    let mut screened_sim = ScreenedSim::new(Simulator::new()).with_cache(verdict_cache);
+    let screened_decisions: Vec<Option<artisan_sim::Performance>> = screen_corpus
+        .iter()
+        .map(|n| screened_sim.analyze_netlist(n).ok().map(|r| r.performance))
+        .collect();
+    let screened_seconds = screened_sim.ledger().testbed_seconds(&cost_model);
+    assert_eq!(
+        screened_decisions, bare_decisions,
+        "screening changed a surviving report"
+    );
+    let screened_out = screened_sim.screened_out();
+    assert!(
+        screened_out >= 2,
+        "the hand-written doomed candidates were not screened"
+    );
+    assert!(
+        screened_seconds < unscreened_seconds,
+        "screening did not reduce billed seconds: {screened_seconds} !< {unscreened_seconds}"
+    );
+    let screened_out_rate = screened_out as f64 / screen_corpus.len() as f64;
+
     let fmt_scaling = |rates: &[(usize, f64)], unit: &str| -> String {
         let base = rates.iter().find(|(w, _)| *w == 1).map_or(1.0, |&(_, r)| r);
         rates
@@ -382,7 +464,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
         asm_cached / asm_legacy,
         solve_cached / solve_legacy,
@@ -398,6 +480,8 @@ fn main() {
         snapshot.len(),
         sf_stats.misses,
         sf_stats.hits + sf_stats.coalesced,
+        screen_corpus.len(),
+        unscreened_seconds - screened_seconds,
     );
 
     std::fs::write(&out_path, &json).expect("writes report");

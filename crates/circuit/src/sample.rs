@@ -9,6 +9,9 @@
 //! in the surveys the paper annotates.
 
 use crate::connection::{ConnectionParams, ConnectionType};
+use crate::element::Element;
+use crate::netlist::Netlist;
+use crate::node::Node;
 use crate::position::{Position, PositionRules};
 use crate::skeleton::{Skeleton, StageParams};
 use crate::topology::{Placement, Topology};
@@ -130,6 +133,116 @@ pub fn sample_params<R: Rng + ?Sized>(
     }
 }
 
+/// Applies 1–3 random mutations to a netlist: dropping an element,
+/// duplicating one under a fresh label, scaling a value by a decade or
+/// two, rewiring one terminal to another existing node, or bridging two
+/// existing nodes with a random R or C.
+///
+/// This is the fuzzing counterpart of [`sample_topology`]: sampled
+/// topologies are legal by construction, while mutated netlists roam the
+/// broken neighbourhood around them — floating nodes, reference-free
+/// islands, severed signal paths — which is exactly the population a
+/// static screening tier has to classify correctly.
+pub fn mutate_netlist<R: Rng + ?Sized>(rng: &mut R, netlist: &Netlist) -> Netlist {
+    let mut elements: Vec<Element> = netlist.elements().to_vec();
+    let mutations = rng.gen_range(1..=3);
+    for i in 0..mutations {
+        let nodes = {
+            let set: std::collections::BTreeSet<Node> =
+                elements.iter().flat_map(|e| e.nodes()).collect();
+            set.into_iter().collect::<Vec<Node>>()
+        };
+        match rng.gen_range(0u8..5) {
+            // Drop one element.
+            0 if elements.len() > 1 => {
+                let at = rng.gen_range(0..elements.len());
+                elements.remove(at);
+            }
+            // Duplicate one element under a fresh label.
+            1 if !elements.is_empty() => {
+                let at = rng.gen_range(0..elements.len());
+                let mut dup = elements[at].clone();
+                // Keep the leading type letter: the parser dispatches on it.
+                let fresh = format!("{}m{i}", dup.label());
+                match &mut dup {
+                    Element::Resistor { label, .. }
+                    | Element::Capacitor { label, .. }
+                    | Element::Vccs { label, .. } => *label = fresh,
+                }
+                elements.push(dup);
+            }
+            // Scale one value by 10^±(1..=2).
+            2 if !elements.is_empty() => {
+                let at = rng.gen_range(0..elements.len());
+                let exp = rng.gen_range(1..=2) as f64;
+                let factor = if rng.gen_bool(0.5) {
+                    10f64.powf(exp)
+                } else {
+                    10f64.powf(-exp)
+                };
+                match &mut elements[at] {
+                    Element::Resistor { ohms, .. } => *ohms = Ohms(ohms.value() * factor),
+                    Element::Capacitor { farads, .. } => {
+                        *farads = Farads(farads.value() * factor);
+                    }
+                    Element::Vccs { gm, .. } => *gm = Siemens(gm.value() * factor),
+                }
+            }
+            // Rewire one terminal to a random existing node.
+            3 if !elements.is_empty() && !nodes.is_empty() => {
+                let at = rng.gen_range(0..elements.len());
+                let to = nodes[rng.gen_range(0..nodes.len())];
+                match &mut elements[at] {
+                    Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                        if rng.gen_bool(0.5) {
+                            *a = to;
+                        } else {
+                            *b = to;
+                        }
+                    }
+                    Element::Vccs {
+                        out_p,
+                        out_n,
+                        ctrl_p,
+                        ctrl_n,
+                        ..
+                    } => {
+                        let term = [out_p, out_n, ctrl_p, ctrl_n];
+                        let pick = rng.gen_range(0..term.len());
+                        if let Some(t) = term.into_iter().nth(pick) {
+                            *t = to;
+                        }
+                    }
+                }
+            }
+            // Bridge two existing nodes with a random R or C.
+            _ if nodes.len() >= 2 => {
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                let ranges = SampleRanges::default();
+                let bridge = if rng.gen_bool(0.5) {
+                    Element::Resistor {
+                        label: format!("Rbr{i}"),
+                        a,
+                        b,
+                        ohms: Ohms(log_uniform(rng, ranges.r.0, ranges.r.1)),
+                    }
+                } else {
+                    Element::Capacitor {
+                        label: format!("Cbr{i}"),
+                        a,
+                        b,
+                        farads: Farads(log_uniform(rng, ranges.c.0, ranges.c.1)),
+                    }
+                };
+                elements.push(bridge);
+            }
+            _ => {}
+        }
+    }
+    Netlist::new(format!("{} (mutated)", netlist.title()), elements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +305,33 @@ mod tests {
     fn log_uniform_rejects_bad_range() {
         let mut rng = StdRng::seed_from_u64(5);
         log_uniform(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    fn mutate_netlist_is_deterministic_and_stays_parseable() {
+        let base = Topology::nmc_example().elaborate().expect("elaborates");
+        let a = mutate_netlist(&mut StdRng::seed_from_u64(11), &base);
+        let b = mutate_netlist(&mut StdRng::seed_from_u64(11), &base);
+        assert_eq!(a, b);
+        for seed in 0..50 {
+            let m = mutate_netlist(&mut StdRng::seed_from_u64(seed), &base);
+            assert!(!m.elements().is_empty(), "seed {seed} emptied the netlist");
+            // Round-trips through the SPICE-like text form.
+            let text = m.to_text();
+            Netlist::parse(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn mutate_netlist_actually_mutates() {
+        let base = Topology::nmc_example().elaborate().expect("elaborates");
+        let changed = (0..20)
+            .filter(|seed| {
+                let m = mutate_netlist(&mut StdRng::seed_from_u64(*seed), &base);
+                m.elements() != base.elements()
+            })
+            .count();
+        assert!(changed >= 15, "only {changed}/20 seeds changed the netlist");
     }
 
     #[test]

@@ -174,6 +174,23 @@ impl Topology {
             .sum()
     }
 
+    /// A short, human-readable identifier for diagnostics: the recognized
+    /// architecture name (falling back to `"custom three-stage"`) plus the
+    /// placement list, e.g. `"NMC [p4=c2, p5=c2]"`.
+    pub fn ident(&self) -> String {
+        let arch = crate::describe::recognize_architecture(self)
+            .unwrap_or_else(|| "custom three-stage".to_string());
+        if self.placements.is_empty() {
+            return format!("{arch} (bare skeleton)");
+        }
+        let placed: Vec<String> = self
+            .placements
+            .iter()
+            .map(|p| format!("{}={}", p.position.id(), p.connection.code()))
+            .collect();
+        format!("{arch} [{}]", placed.join(", "))
+    }
+
     /// Elaborates the topology into a flat [`Netlist`].
     ///
     /// # Errors
@@ -344,6 +361,15 @@ mod tests {
         .unwrap();
         let err = t.validate().unwrap_err();
         assert!(matches!(err, CircuitError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn ident_names_architecture_and_placements() {
+        let nmc = Topology::nmc_example().ident();
+        assert!(nmc.contains('['), "{nmc}");
+        assert!(nmc.contains('='), "{nmc}");
+        let bare = Topology::default().ident();
+        assert!(bare.ends_with("(bare skeleton)"), "{bare}");
     }
 
     #[test]

@@ -285,6 +285,43 @@ mod tests {
     }
 
     #[test]
+    fn batch_design_through_the_screened_stack_is_identical() {
+        use artisan_math::ThreadPool;
+        use artisan_sim::{CachedSim, ScreenedSim, SimCache};
+        // The production screening stack — screen outside the shared
+        // cache — slots into design_batch like any other backend. The
+        // agent's candidates are all structurally legal, so the screen
+        // must admit every one: same decisions and event traces as the
+        // plain batch, zero screen rejects, and the cache still saves.
+        let artisan = Artisan::new(ArtisanOptions::fast());
+        let supervisor = Supervisor::default();
+        let scheduler = Scheduler::with_pool(supervisor, ThreadPool::with_workers(1));
+        let plain: Vec<Simulator> = (0..3).map(|_| Simulator::new()).collect();
+        let baseline = artisan.design_batch(&Spec::g1(), plain, &scheduler, 29);
+        let cache = SimCache::shared(512);
+        let screened_backends: Vec<ScreenedSim<CachedSim<Simulator>>> = (0..3)
+            .map(|_| {
+                ScreenedSim::new(CachedSim::new(
+                    Simulator::new(),
+                    std::sync::Arc::clone(&cache),
+                ))
+                .with_cache(std::sync::Arc::clone(&cache))
+            })
+            .collect();
+        let screened = artisan.design_batch(&Spec::g1(), screened_backends, &scheduler, 29);
+        for (a, b) in screened.iter().zip(&baseline) {
+            assert_eq!(a.report.success, b.report.success, "session {}", a.session);
+            assert_eq!(a.report.events, b.report.events, "session {}", a.session);
+        }
+        let rejects: u64 = screened.iter().map(|s| s.backend.screened_out()).sum();
+        assert_eq!(rejects, 0, "a legal candidate was screened out");
+        assert!(cache.stats().hits > 0, "{}", cache.stats());
+        let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
+        let warm: f64 = screened.iter().map(|s| s.report.testbed_seconds).sum();
+        assert!(warm < cold, "warm {warm}s >= cold {cold}s");
+    }
+
+    #[test]
     fn transistor_netlist_accompanies_every_outcome() {
         let mut artisan = Artisan::new(ArtisanOptions::fast());
         for (_, spec) in Spec::table2() {

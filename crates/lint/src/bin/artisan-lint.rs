@@ -1,0 +1,222 @@
+//! `artisan-lint` — batch ERC for netlist corpora.
+//!
+//! Lints every `.sp` file named on the command line (directories are
+//! searched recursively), printing either the human-readable report or
+//! the stable `artisan-erc/1` JSON, and exits non-zero when any file
+//! carries Error-severity diagnostics — the CI contract.
+//!
+//! ```text
+//! artisan-lint [--json] [--errors-only] [--no-fail] <PATH>...
+//! ```
+
+use artisan_circuit::Netlist;
+use artisan_lint::{Linter, JSON_SCHEMA};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+artisan-lint: graph-based electrical-rule checking for netlist corpora
+
+USAGE:
+    artisan-lint [OPTIONS] <PATH>...
+
+ARGS:
+    <PATH>...        .sp netlist files, or directories searched
+                     recursively for .sp files
+
+OPTIONS:
+    --json           emit one artisan-erc/1 JSON object per file on
+                     stdout (an array), instead of human-readable text
+    --errors-only    run only Error-severity rules (the simulator's
+                     admission gate configuration)
+    --no-fail        always exit 0, even when errors are found
+    -h, --help       print this help
+";
+
+struct Options {
+    json: bool,
+    errors_only: bool,
+    no_fail: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        errors_only: false,
+        no_fail: false,
+        paths: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--errors-only" => opts.errors_only = true,
+            "--no-fail" => opts.no_fail = true,
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err("no input paths given".to_string());
+    }
+    Ok(opts)
+}
+
+/// Collects `.sp` files: explicit files verbatim, directories
+/// recursively, deterministically sorted.
+fn collect_netlists(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            walk(path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(format!("{}: no such file or directory", path.display()));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|ext| ext == "sp") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The per-file outcome: a lint report, or a parse failure (which CI
+/// treats as an error like any other).
+enum Outcome {
+    Report(artisan_lint::LintReport),
+    ParseError(String),
+}
+
+impl Outcome {
+    fn failed(&self) -> bool {
+        match self {
+            Outcome::Report(r) => r.has_errors(),
+            Outcome::ParseError(_) => true,
+        }
+    }
+
+    fn to_json(&self, file: &Path) -> String {
+        match self {
+            Outcome::Report(r) => format!(
+                "{{\"file\":{},\"report\":{}}}",
+                json_escape(&file.display().to_string()),
+                r.to_json()
+            ),
+            Outcome::ParseError(e) => format!(
+                "{{\"file\":{},\"schema\":{},\"parse_error\":{}}}",
+                json_escape(&file.display().to_string()),
+                json_escape(JSON_SCHEMA),
+                json_escape(e)
+            ),
+        }
+    }
+
+    fn render(&self, file: &Path) -> String {
+        match self {
+            Outcome::Report(r) => format!("{}: {}", file.display(), r.render()),
+            Outcome::ParseError(e) => format!("{}: parse error: {e}", file.display()),
+        }
+    }
+}
+
+fn lint_file(linter: &Linter, file: &Path) -> Outcome {
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => return Outcome::ParseError(e.to_string()),
+    };
+    match Netlist::parse(&text) {
+        Ok(netlist) => Outcome::Report(linter.lint(&netlist)),
+        Err(e) => Outcome::ParseError(e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("artisan-lint: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_netlists(&opts.paths) {
+        Ok(files) => files,
+        Err(message) => {
+            eprintln!("artisan-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("artisan-lint: no .sp files found under the given paths");
+        return ExitCode::from(2);
+    }
+
+    let linter = if opts.errors_only {
+        Linter::errors_only()
+    } else {
+        Linter::default()
+    };
+    let outcomes: Vec<(PathBuf, Outcome)> = files
+        .iter()
+        .map(|f| (f.clone(), lint_file(&linter, f)))
+        .collect();
+    let failures = outcomes.iter().filter(|(_, o)| o.failed()).count();
+
+    if opts.json {
+        let body: Vec<String> = outcomes.iter().map(|(f, o)| o.to_json(f)).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for (file, outcome) in &outcomes {
+            println!("{}", outcome.render(file));
+        }
+        println!(
+            "artisan-lint: {} file(s), {} with errors",
+            outcomes.len(),
+            failures
+        );
+    }
+
+    if failures > 0 && !opts.no_fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -71,11 +71,31 @@ pub enum Rule {
     SelfLoop,
     /// ERC013: nodes forming an island detached from the signal path.
     IsolatedIsland,
+    /// ERC100: a connected component with no coupling of any kind to
+    /// ground or the driven input — the MNA matrix is provably singular
+    /// at every frequency (graph pass:
+    /// `CircuitGraph::singular_islands`).
+    SingularityPredicted,
+    /// ERC101: input and output both exist but share no signal
+    /// component, so the transfer function is identically zero.
+    NoSignalPath,
+    /// ERC102: a series-dangling branch of two or more nodes that leaf
+    /// peeling removes entirely — it carries no current.
+    DeadBranch,
+    /// ERC103: a resistor so small it acts as a short and invites
+    /// pathological pivots.
+    DegenerateShort,
+    /// ERC104: the spread of a value family (conductances or
+    /// capacitances) exceeds what double-precision LU digests.
+    ConditioningSpread,
+    /// ERC105: an active circuit with no closed feedback loop around
+    /// any VCCS — open-loop operation is advisory, not an error.
+    OpenLoop,
 }
 
 impl Rule {
     /// Every rule, in code order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 19] = [
         Rule::MissingGround,
         Rule::MissingOutput,
         Rule::InputUnused,
@@ -89,6 +109,12 @@ impl Rule {
         Rule::ParallelDuplicate,
         Rule::SelfLoop,
         Rule::IsolatedIsland,
+        Rule::SingularityPredicted,
+        Rule::NoSignalPath,
+        Rule::DeadBranch,
+        Rule::DegenerateShort,
+        Rule::ConditioningSpread,
+        Rule::OpenLoop,
     ];
 
     /// The stable diagnostic code (`"ERC001"` …).
@@ -107,6 +133,12 @@ impl Rule {
             Rule::ParallelDuplicate => "ERC011",
             Rule::SelfLoop => "ERC012",
             Rule::IsolatedIsland => "ERC013",
+            Rule::SingularityPredicted => "ERC100",
+            Rule::NoSignalPath => "ERC101",
+            Rule::DeadBranch => "ERC102",
+            Rule::DegenerateShort => "ERC103",
+            Rule::ConditioningSpread => "ERC104",
+            Rule::OpenLoop => "ERC105",
         }
     }
 
@@ -126,6 +158,12 @@ impl Rule {
             Rule::ParallelDuplicate => "parallel-duplicate",
             Rule::SelfLoop => "self-loop",
             Rule::IsolatedIsland => "isolated-island",
+            Rule::SingularityPredicted => "predicted-singular-matrix",
+            Rule::NoSignalPath => "no-signal-path",
+            Rule::DeadBranch => "dead-series-branch",
+            Rule::DegenerateShort => "degenerate-short",
+            Rule::ConditioningSpread => "conditioning-spread",
+            Rule::OpenLoop => "open-loop",
         }
     }
 
@@ -140,11 +178,17 @@ impl Rule {
             | Rule::NoDcPath
             | Rule::DuplicateLabel
             | Rule::NonPositiveValue
-            | Rule::DegenerateVccs => Severity::Error,
+            | Rule::DegenerateVccs
+            | Rule::SingularityPredicted
+            | Rule::NoSignalPath => Severity::Error,
             Rule::DanglingNode
             | Rule::ParallelDuplicate
             | Rule::SelfLoop
-            | Rule::IsolatedIsland => Severity::Warning,
+            | Rule::IsolatedIsland
+            | Rule::DeadBranch
+            | Rule::DegenerateShort
+            | Rule::ConditioningSpread => Severity::Warning,
+            Rule::OpenLoop => Severity::Info,
         }
     }
 
@@ -233,6 +277,47 @@ impl Diagnostic {
         self.rule.code()
     }
 
+    /// The machine-readable form of one diagnostic — the stable schema
+    /// (`artisan-erc/1`) shared by [`crate::LintReport::to_json`], the
+    /// simulator's `BadNetlistReport`, and the `artisan-lint` CLI:
+    ///
+    /// ```json
+    /// {"code":"ERC004","rule":"floating-node","severity":"error",
+    ///  "span":{"kind":"node","node":"n1"},"message":"…",
+    ///  "suggestion":"…"}
+    /// ```
+    ///
+    /// `span.kind` is one of `netlist`, `node`, `element`, `nodes`;
+    /// `suggestion` is omitted when the rule offered none.
+    pub fn to_json(&self) -> String {
+        let span = match &self.span {
+            Span::Netlist => "{\"kind\":\"netlist\"}".to_string(),
+            Span::Node(n) => format!("{{\"kind\":\"node\",\"node\":{}}}", json_string(&n.name())),
+            Span::Element(label) => {
+                format!("{{\"kind\":\"element\",\"label\":{}}}", json_string(label))
+            }
+            Span::Nodes(ns) => format!(
+                "{{\"kind\":\"nodes\",\"nodes\":[{}]}}",
+                ns.iter()
+                    .map(|n| json_string(&n.name()))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        };
+        let mut out = format!(
+            "{{\"code\":{},\"rule\":{},\"severity\":{},\"span\":{span},\"message\":{}",
+            json_string(self.code()),
+            json_string(self.rule.name()),
+            json_string(self.severity.name()),
+            json_string(&self.message),
+        );
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(",\"suggestion\":{}", json_string(s)));
+        }
+        out.push('}');
+        out
+    }
+
     /// Renders the diagnostic as one human-readable line.
     pub fn render(&self) -> String {
         let mut line = format!(
@@ -255,6 +340,25 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,14 +367,37 @@ mod tests {
     fn codes_are_stable_and_unique() {
         let mut codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
         assert_eq!(codes[0], "ERC001");
-        assert_eq!(codes.len(), 13);
+        assert_eq!(codes[13], "ERC100");
+        assert_eq!(codes.len(), 19);
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 13, "duplicate rule codes");
+        assert_eq!(codes.len(), 19, "duplicate rule codes");
         for r in Rule::ALL {
             assert_eq!(Rule::from_code(r.code()), Some(r));
         }
         assert_eq!(Rule::from_code("ERC999"), None);
+    }
+
+    #[test]
+    fn screening_rules_have_the_documented_severities() {
+        assert_eq!(Rule::SingularityPredicted.severity(), Severity::Error);
+        assert_eq!(Rule::NoSignalPath.severity(), Severity::Error);
+        assert_eq!(Rule::DeadBranch.severity(), Severity::Warning);
+        assert_eq!(Rule::DegenerateShort.severity(), Severity::Warning);
+        assert_eq!(Rule::ConditioningSpread.severity(), Severity::Warning);
+        assert_eq!(Rule::OpenLoop.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn diagnostic_json_is_the_stable_schema() {
+        let d = Diagnostic::new(Rule::SingularityPredicted, Span::Nodes(vec![Node::N1]), "m")
+            .suggest("s");
+        assert_eq!(
+            d.to_json(),
+            "{\"code\":\"ERC100\",\"rule\":\"predicted-singular-matrix\",\
+             \"severity\":\"error\",\"span\":{\"kind\":\"nodes\",\"nodes\":[\"n1\"]},\
+             \"message\":\"m\",\"suggestion\":\"s\"}"
+        );
     }
 
     #[test]

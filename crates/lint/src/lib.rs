@@ -26,14 +26,46 @@
 
 mod config;
 mod diagnostic;
+pub mod graph;
 mod report;
 mod rules;
 
 pub use config::LintConfig;
 pub use diagnostic::{Diagnostic, Rule, Severity, Span};
-pub use report::LintReport;
+pub use graph::CircuitGraph;
+pub use report::{LintReport, JSON_SCHEMA};
 
 use artisan_circuit::{CircuitError, Netlist, Topology};
+use std::fmt;
+
+/// Why [`Linter::lint_topology`] could not produce a report: the
+/// topology failed to elaborate into a netlist. Carries the offending
+/// topology's identifier so a batch caller can say *which* candidate
+/// broke — callers must surface this, never treat it as "no
+/// diagnostics".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyLintError {
+    /// Identifier of the topology that failed ([`Topology::ident`]).
+    pub topology: String,
+    /// The underlying elaboration failure.
+    pub source: CircuitError,
+}
+
+impl fmt::Display for TopologyLintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology `{}` failed to elaborate: {}",
+            self.topology, self.source
+        )
+    }
+}
+
+impl std::error::Error for TopologyLintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Runs a configured set of ERC rules over netlists.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -67,9 +99,18 @@ impl Linter {
     ///
     /// # Errors
     ///
-    /// Returns the [`CircuitError`] if elaboration itself fails.
-    pub fn lint_topology(&self, topology: &Topology) -> Result<LintReport, CircuitError> {
-        Ok(self.lint(&topology.elaborate()?))
+    /// Returns a [`TopologyLintError`] naming the offending topology
+    /// when elaboration itself fails. An elaboration failure is *worse*
+    /// than any diagnostic — callers must not conflate it with a clean
+    /// report.
+    pub fn lint_topology(&self, topology: &Topology) -> Result<LintReport, TopologyLintError> {
+        match topology.elaborate() {
+            Ok(netlist) => Ok(self.lint(&netlist)),
+            Err(source) => Err(TopologyLintError {
+                topology: topology.ident(),
+                source,
+            }),
+        }
     }
 }
 
@@ -283,6 +324,120 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.rule == Rule::MissingGround));
+    }
+
+    #[test]
+    fn erc100_fires_on_reference_free_island() {
+        // n1–n2 couple resistively *and* capacitively but never touch
+        // ground or input: singular at every frequency.
+        let n = parse("* si\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 n1 n2 1k\nC1 n1 n2 1p\n.end\n");
+        let report = lint(&n);
+        let c = codes(&n);
+        assert!(c.contains(&"ERC100"), "{c:?}");
+        // The island-level error subsumes the per-node DC-path error
+        // and the signal-island warning.
+        assert!(!c.contains(&"ERC006"), "{c:?}");
+        assert!(!c.contains(&"ERC013"), "{c:?}");
+        let island = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code() == "ERC100")
+            .unwrap_or_else(|| panic!("no ERC100 in: {}", report.render()));
+        match &island.span {
+            Span::Nodes(ns) => assert_eq!(ns.len(), 2, "{ns:?}"),
+            other => panic!("unexpected span {other:?}"),
+        }
+        // Error severity: the admission gate must reject it.
+        assert!(Linter::errors_only().lint(&n).has_errors());
+    }
+
+    #[test]
+    fn erc101_fires_when_input_cannot_reach_output() {
+        let n = parse("* np\nR1 in 0 1k\nG1 out 0 n1 0 1m\nR2 out 0 1k\nR3 n1 0 1k\n.end\n");
+        let c = codes(&n);
+        assert!(c.contains(&"ERC101"), "{c:?}");
+        assert!(Linter::errors_only().lint(&n).has_errors());
+    }
+
+    #[test]
+    fn erc102_fires_on_series_dangling_branch() {
+        let n = parse("* db\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 out n1 1k\nR3 n1 n2 1k\n.end\n");
+        let report = lint(&n);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code() == "ERC102"),
+            "{}",
+            report.render()
+        );
+        // A dangling branch simulates (the stub is just dead weight).
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn erc103_fires_on_milliohm_resistor() {
+        let n = parse("* sh\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 in out 1u\n.end\n");
+        let report = lint(&n);
+        assert!(
+            report.diagnostics().iter().any(|d| d.code() == "ERC103"),
+            "{}",
+            report.render()
+        );
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn erc104_fires_on_pathological_value_spread() {
+        let n = parse("* cs\nG1 out 0 in 0 1m\nR1 out 0 1k\nR2 in out 1e16\n.end\n");
+        let report = lint(&n);
+        let diag = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code() == "ERC104")
+            .unwrap_or_else(|| panic!("no ERC104 in: {}", report.render()));
+        assert!(diag.message.contains("R2"), "{}", diag.message);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn erc105_notes_open_loop_operation() {
+        // One forward stage, grounded load, nothing feeding back.
+        let report = lint(&parse(SOUND));
+        let open = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code() == "ERC105")
+            .unwrap_or_else(|| panic!("no ERC105 in: {}", report.render()));
+        assert_eq!(open.severity, Severity::Info);
+        // A Miller loop silences the advisory.
+        let closed = parse(
+            "* ml\nG1 n1 0 in 0 1m\nR1 n1 0 10k\nG2 out 0 n1 0 1m\nR2 out 0 10k\nC1 n1 out 1p\n.end\n",
+        );
+        assert!(
+            lint(&closed)
+                .diagnostics()
+                .iter()
+                .all(|d| d.code() != "ERC105"),
+            "{}",
+            lint(&closed).render()
+        );
+    }
+
+    #[test]
+    fn lint_topology_reports_the_offending_topology() {
+        let linter = Linter::default();
+        let good = linter.lint_topology(&Topology::nmc_example());
+        assert!(matches!(good, Ok(ref r) if r.is_clean()), "{good:?}");
+
+        // A topology that validates at placement time but fails to
+        // elaborate: poison a skeleton value.
+        let mut topo = Topology::nmc_example();
+        topo.skeleton.cl = artisan_circuit::units::Farads(f64::NAN);
+        match linter.lint_topology(&topo) {
+            Err(e) => {
+                assert!(!e.topology.is_empty());
+                assert!(e.to_string().contains(&e.topology), "{e}");
+            }
+            Ok(r) => panic!("poisoned topology linted clean: {}", r.render()),
+        }
     }
 
     #[test]

@@ -1,5 +1,11 @@
-use crate::diagnostic::{Diagnostic, Severity, Span};
+use crate::diagnostic::{json_string, Diagnostic, Severity};
 use std::fmt;
+
+/// Identifier of the machine-readable diagnostic schema emitted by
+/// [`LintReport::to_json`], [`Diagnostic::to_json`], the simulator's
+/// `BadNetlistReport`, and the `artisan-lint` CLI. Bump only with an
+/// accompanying migration note in `DESIGN.md`.
+pub const JSON_SCHEMA: &str = "artisan-erc/1";
 
 /// The outcome of linting one netlist: every diagnostic that fired,
 /// errors first.
@@ -83,21 +89,25 @@ impl LintReport {
         out
     }
 
-    /// Machine-readable JSON
-    /// (`{"summary":…,"errors":…,"warnings":…,"diagnostics":[…]}`).
+    /// Machine-readable JSON in the [`JSON_SCHEMA`] format
+    /// (`{"schema":…,"summary":…,"errors":…,"warnings":…,"infos":…,
+    /// "diagnostics":[…]}`); each diagnostic uses
+    /// [`Diagnostic::to_json`].
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"summary\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            "\"schema\":{},\"summary\":{},\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            json_string(JSON_SCHEMA),
             json_string(&self.summary()),
             self.count(Severity::Error),
             self.count(Severity::Warning),
+            self.count(Severity::Info),
         ));
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&diagnostic_json(d));
+            out.push_str(&d.to_json());
         }
         out.push_str("]}");
         out
@@ -110,59 +120,13 @@ impl fmt::Display for LintReport {
     }
 }
 
-fn diagnostic_json(d: &Diagnostic) -> String {
-    let span = match &d.span {
-        Span::Netlist => "{\"kind\":\"netlist\"}".to_string(),
-        Span::Node(n) => format!("{{\"kind\":\"node\",\"node\":{}}}", json_string(&n.name())),
-        Span::Element(label) => {
-            format!("{{\"kind\":\"element\",\"label\":{}}}", json_string(label))
-        }
-        Span::Nodes(ns) => format!(
-            "{{\"kind\":\"nodes\",\"nodes\":[{}]}}",
-            ns.iter()
-                .map(|n| json_string(&n.name()))
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
-    };
-    let mut out = format!(
-        "{{\"code\":{},\"rule\":{},\"severity\":{},\"span\":{span},\"message\":{}",
-        json_string(d.code()),
-        json_string(d.rule.name()),
-        json_string(d.severity.name()),
-        json_string(&d.message),
-    );
-    if let Some(s) = &d.suggestion {
-        out.push_str(&format!(",\"suggestion\":{}", json_string(s)));
-    }
-    out.push('}');
-    out
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::diagnostic::Rule;
     use artisan_circuit::Node;
+
+    use crate::diagnostic::Span;
 
     fn sample() -> LintReport {
         LintReport::new(vec![
@@ -189,7 +153,8 @@ mod tests {
         assert_eq!(r.summary(), "clean");
         assert_eq!(
             r.to_json(),
-            "{\"summary\":\"clean\",\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+            "{\"schema\":\"artisan-erc/1\",\"summary\":\"clean\",\"errors\":0,\
+             \"warnings\":0,\"infos\":0,\"diagnostics\":[]}"
         );
     }
 

@@ -1,226 +1,38 @@
 //! The rule implementations.
 //!
-//! All rules run off one structural pass over the element list
-//! (`NodeStats`) plus two union-find sweeps (DC connectivity and
-//! whole-netlist connectivity), so a full lint is `O(elements ×
-//! α(nodes))` — microseconds even for generously sized netlists, and
-//! safe to run on every candidate inside the agent design loop.
+//! All rules run off one [`CircuitGraph`] built per lint: a structural
+//! pass over the element list (node attachment statistics plus the
+//! typed edge list) feeding union-find sweeps (DC connectivity,
+//! signal-path connectivity, full-coupling connectivity) and the
+//! graph-level dataflow passes (feedback cycles, dead-branch peeling,
+//! conditioning). A full lint is `O(elements × α(nodes))` plus one
+//! bounded reachability search per live VCCS edge — microseconds even
+//! for generously sized netlists, and safe to run on every candidate
+//! inside the agent design loop.
 
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, Rule, Span};
+use crate::graph::{is_unknown, CircuitGraph};
 use crate::report::LintReport;
 use artisan_circuit::{Element, Netlist, Node};
 use std::collections::BTreeMap;
 
-/// Whether a node has its own MNA unknown (everything except the
-/// eliminated ground reference and the driven input).
-fn is_unknown(n: Node) -> bool {
-    !matches!(n, Node::Ground | Node::Input)
-}
+/// Conditioning threshold for ERC104: a value family spanning more than
+/// this ratio leaves fewer than ~4 decimal digits of headroom in an f64
+/// LU factorization — legal, but worth flagging before the sweep.
+const CONDITIONING_SPREAD_LIMIT: f64 = 1e12;
 
-/// Structural attachment counts for one node, accumulated over the
-/// element list. "Live" VCCS attachments are the ones that actually
-/// stamp a matrix entry: a VCCS with `out_p == out_n` or `ctrl_p ==
-/// ctrl_n` cancels its own contribution, and entries only exist in rows
-/// and columns belonging to unknown nodes.
-#[derive(Debug, Default, Clone)]
-struct NodeStats {
-    /// Resistor/capacitor terminal attachments (self-loops excluded).
-    rc: usize,
-    /// VCCS output-terminal attachments (self-cancelling ones excluded).
-    vccs_out: usize,
-    /// VCCS outputs here whose control pair references an unknown node,
-    /// i.e. this node's MNA *row* has a structural entry.
-    vccs_out_live: usize,
-    /// VCCS controls here whose output pair references an unknown node,
-    /// i.e. this node's MNA *column* has a structural entry.
-    vccs_ctrl_live: usize,
-    /// Times this node is referenced as a VCCS control terminal.
-    ctrl_refs: usize,
-}
-
-/// Disjoint-set forest over node indices.
-struct UnionFind {
-    parent: Vec<usize>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n).collect(),
-        }
-    }
-
-    fn find(&mut self, mut i: usize) -> usize {
-        while self.parent[i] != i {
-            self.parent[i] = self.parent[self.parent[i]];
-            i = self.parent[i];
-        }
-        i
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra] = rb;
-        }
-    }
-}
-
-/// Everything the rules need, computed in one pass.
-struct Analysis<'n> {
-    netlist: &'n Netlist,
-    nodes: Vec<Node>,
-    index: BTreeMap<Node, usize>,
-    stats: Vec<NodeStats>,
-}
-
-impl<'n> Analysis<'n> {
-    fn new(netlist: &'n Netlist) -> Self {
-        let nodes = netlist.nodes();
-        let index: BTreeMap<Node, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
-        let mut stats = vec![NodeStats::default(); nodes.len()];
-        for e in netlist.elements() {
-            match e {
-                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
-                    if a != b {
-                        stats[index[a]].rc += 1;
-                        stats[index[b]].rc += 1;
-                    }
-                }
-                Element::Vccs {
-                    out_p,
-                    out_n,
-                    ctrl_p,
-                    ctrl_n,
-                    ..
-                } => {
-                    let out_live = out_p != out_n;
-                    let ctrl_live = ctrl_p != ctrl_n;
-                    // Rows of the output pair gain entries in the
-                    // columns of the control pair (and vice versa) only
-                    // when neither pair cancels itself.
-                    let ctrl_hits_unknown =
-                        ctrl_live && (is_unknown(*ctrl_p) || is_unknown(*ctrl_n));
-                    let out_hits_unknown = out_live && (is_unknown(*out_p) || is_unknown(*out_n));
-                    if out_live {
-                        for o in [*out_p, *out_n] {
-                            let s = &mut stats[index[&o]];
-                            s.vccs_out += 1;
-                            if ctrl_hits_unknown {
-                                s.vccs_out_live += 1;
-                            }
-                        }
-                    }
-                    for c in [*ctrl_p, *ctrl_n] {
-                        let s = &mut stats[index[&c]];
-                        s.ctrl_refs += 1;
-                        if ctrl_live && out_hits_unknown {
-                            s.vccs_ctrl_live += 1;
-                        }
-                    }
-                }
-            }
-        }
-        Analysis {
-            netlist,
-            nodes,
-            index,
-            stats,
-        }
-    }
-
-    fn stat(&self, n: Node) -> &NodeStats {
-        &self.stats[self.index[&n]]
-    }
-
-    fn has_node(&self, n: Node) -> bool {
-        self.index.contains_key(&n)
-    }
-
-    /// A node whose MNA row or column is structurally zero at every
-    /// frequency — the matrix is singular no matter what values the
-    /// elements carry.
-    fn is_floating(&self, n: Node) -> bool {
-        if !is_unknown(n) {
-            return false;
-        }
-        let s = self.stat(n);
-        if s.rc > 0 {
-            return false;
-        }
-        // Zero row: nothing conductive and no live VCCS output.
-        // Zero column: nothing conductive and no live VCCS control.
-        s.vccs_out_live == 0 || s.vccs_ctrl_live == 0
-    }
-
-    /// Union-find over DC-conductive coupling: resistor edges, plus the
-    /// self-conductance a VCCS develops when an output terminal doubles
-    /// as a control terminal (the unity-gain buffer idiom — its `gm`
-    /// stamps the node's own diagonal, tying it to the other control
-    /// node at DC).
-    fn dc_components(&self) -> UnionFind {
-        let mut uf = UnionFind::new(self.nodes.len());
-        for e in self.netlist.elements() {
-            match e {
-                Element::Resistor { a, b, .. } => {
-                    if a != b {
-                        uf.union(self.index[a], self.index[b]);
-                    }
-                }
-                Element::Capacitor { .. } => {}
-                Element::Vccs {
-                    out_p,
-                    out_n,
-                    ctrl_p,
-                    ctrl_n,
-                    ..
-                } => {
-                    if out_p == out_n || ctrl_p == ctrl_n {
-                        continue;
-                    }
-                    for shared in [*out_p, *out_n] {
-                        if shared == *ctrl_p || shared == *ctrl_n {
-                            for c in [*ctrl_p, *ctrl_n] {
-                                if c != shared {
-                                    uf.union(self.index[&shared], self.index[&c]);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        uf
-    }
-
-    /// Union-find over every element's full terminal clique (controls
-    /// included), with ground excluded as a connector so that "tied to
-    /// ground" does not count as "part of the signal path".
-    fn signal_components(&self) -> UnionFind {
-        let mut uf = UnionFind::new(self.nodes.len());
-        for e in self.netlist.elements() {
-            let terminals = e.nodes();
-            for (i, a) in terminals.iter().enumerate() {
-                for b in &terminals[i + 1..] {
-                    if a != b && *a != Node::Ground && *b != Node::Ground {
-                        uf.union(self.index[a], self.index[b]);
-                    }
-                }
-            }
-        }
-        uf
-    }
-}
+/// ERC103 threshold: resistors below one milliohm act as shorts.
+const SHORT_THRESHOLD_OHMS: f64 = 1e-3;
 
 /// Runs every enabled rule over `netlist`.
 pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
-    let analysis = Analysis::new(netlist);
+    let graph = CircuitGraph::new(netlist);
     let mut out: Vec<Diagnostic> = Vec::new();
     let enabled = |r: Rule| config.is_enabled(r);
 
     // ERC001/002/003 — global presence checks.
-    if enabled(Rule::MissingGround) && !analysis.has_node(Node::Ground) {
+    if enabled(Rule::MissingGround) && !graph.has_node(Node::Ground) {
         out.push(
             Diagnostic::new(
                 Rule::MissingGround,
@@ -231,7 +43,7 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
             .suggest("tie at least one load, bias, or compensation path to node 0"),
         );
     }
-    if enabled(Rule::MissingOutput) && !analysis.has_node(Node::Output) {
+    if enabled(Rule::MissingOutput) && !graph.has_node(Node::Output) {
         out.push(
             Diagnostic::new(
                 Rule::MissingOutput,
@@ -242,7 +54,7 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
             .suggest("route the final stage and the load to `out`"),
         );
     }
-    if enabled(Rule::InputUnused) && !analysis.has_node(Node::Input) {
+    if enabled(Rule::InputUnused) && !graph.has_node(Node::Input) {
         out.push(
             Diagnostic::new(
                 Rule::InputUnused,
@@ -256,10 +68,10 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
 
     // ERC004 — structurally floating nodes. Remember them so ERC006
     // does not pile a second error onto the same node.
-    let mut floating = vec![false; analysis.nodes.len()];
+    let mut floating = vec![false; graph.nodes().len()];
     if enabled(Rule::FloatingNode) {
-        for (i, &n) in analysis.nodes.iter().enumerate() {
-            if analysis.is_floating(n) {
+        for (i, &n) in graph.nodes().iter().enumerate() {
+            if graph.is_floating(n) {
                 floating[i] = true;
                 out.push(
                     Diagnostic::new(
@@ -280,6 +92,62 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
         }
     }
 
+    // ERC100 — reference-free islands: provably singular at every
+    // frequency (see `CircuitGraph::singular_islands` for the proof).
+    // Remember the member nodes so ERC006 does not repeat the
+    // island-level error once per node.
+    let mut in_singular_island = vec![false; graph.nodes().len()];
+    if enabled(Rule::SingularityPredicted) {
+        for island in graph.singular_islands() {
+            for n in &island {
+                in_singular_island[graph.index[n]] = true;
+            }
+            let list = island
+                .iter()
+                .map(|n| n.name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    Rule::SingularityPredicted,
+                    Span::Nodes(island),
+                    format!(
+                        "nodes {list} form an island with no coupling of any \
+                         kind to ground or the input; the MNA matrix is \
+                         singular at every frequency and LU factorization is \
+                         guaranteed to fail"
+                    ),
+                )
+                .suggest(
+                    "connect the island to the rest of the circuit (a shunt \
+                     to ground suffices) or delete its elements",
+                ),
+            );
+        }
+    }
+
+    // ERC101 — no input→output signal path: the transfer function is
+    // identically zero, so the simulation is doomed even though the
+    // matrix may solve.
+    if enabled(Rule::NoSignalPath)
+        && graph.has_node(Node::Input)
+        && graph.has_node(Node::Output)
+        && !graph.has_signal_path()
+    {
+        out.push(
+            Diagnostic::new(
+                Rule::NoSignalPath,
+                Span::Netlist,
+                "no chain of shared elements couples the input to the output; \
+                 the transfer function is identically zero at every frequency",
+            )
+            .suggest(
+                "bridge the gap: sense `in` with a stage whose output chain \
+                 reaches `out`",
+            ),
+        );
+    }
+
     // ERC005 — VCCS controls sensing undriven nodes.
     if enabled(Rule::DanglingControl) {
         for e in netlist.elements() {
@@ -294,7 +162,7 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
                     if !is_unknown(c) {
                         continue;
                     }
-                    let s = analysis.stat(c);
+                    let s = graph.stat(c);
                     if s.rc == 0 && s.vccs_out == 0 {
                         out.push(
                             Diagnostic::new(
@@ -319,19 +187,22 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
 
     // ERC006 — DC reachability. A resistive island (or lone
     // capacitor-coupled node) with no DC route to ground or the driven
-    // input leaves the conductance matrix singular at s = 0.
+    // input leaves the conductance matrix singular at s = 0. Nodes
+    // already reported floating (ERC004) or inside a reference-free
+    // island (ERC100) are skipped — their rejection is already on
+    // record at a stronger severity of detail.
     if enabled(Rule::NoDcPath) {
-        let mut uf = analysis.dc_components();
-        let grounded: Vec<usize> = analysis
-            .nodes
+        let mut uf = graph.dc_components();
+        let grounded: Vec<usize> = graph
+            .nodes()
             .iter()
             .enumerate()
             .filter(|(_, n)| !is_unknown(**n))
             .map(|(i, _)| i)
             .collect();
         let grounded_roots: Vec<usize> = grounded.iter().map(|&i| uf.find(i)).collect();
-        for (i, &n) in analysis.nodes.iter().enumerate() {
-            if !is_unknown(n) || floating[i] {
+        for (i, &n) in graph.nodes().iter().enumerate() {
+            if !is_unknown(n) || floating[i] || in_singular_island[i] {
                 continue;
             }
             let root = uf.find(i);
@@ -415,11 +286,11 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
 
     // ERC010 — dead-end nodes.
     if enabled(Rule::DanglingNode) {
-        for &n in &analysis.nodes {
+        for &n in graph.nodes() {
             if !is_unknown(n) || n == Node::Output {
                 continue;
             }
-            let s = analysis.stat(n);
+            let s = graph.stat(n);
             if s.rc + s.vccs_out == 1 && s.ctrl_refs == 0 {
                 out.push(
                     Diagnostic::new(
@@ -432,6 +303,89 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
                     )
                     .suggest(format!("complete the path through {n} or remove it")),
                 );
+            }
+        }
+    }
+
+    // ERC102 — series-dangling branches: chains of two or more nodes
+    // the leaf-peeling pass removes entirely. The single-node case is
+    // ERC010's.
+    if enabled(Rule::DeadBranch) {
+        for branch in graph.dead_branches() {
+            let list = branch
+                .iter()
+                .map(|n| n.name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::new(
+                    Rule::DeadBranch,
+                    Span::Nodes(branch),
+                    format!(
+                        "nodes {list} form a series-dangling branch; peeling \
+                         its open end strands the rest, so the branch carries \
+                         no signal current"
+                    ),
+                )
+                .suggest("terminate the branch into the circuit or delete it"),
+            );
+        }
+    }
+
+    // ERC103 — short-circuit-degenerate resistors.
+    if enabled(Rule::DegenerateShort) {
+        for e in netlist.elements() {
+            if let Element::Resistor { label, ohms, .. } = e {
+                let v = ohms.value();
+                if v.is_finite() && v > 0.0 && v < SHORT_THRESHOLD_OHMS {
+                    out.push(
+                        Diagnostic::new(
+                            Rule::DegenerateShort,
+                            Span::Element(label.clone()),
+                            format!(
+                                "resistor {label} is {v:.3e} Ω — effectively a \
+                                 short circuit, which degrades pivot quality \
+                                 and usually marks a sizing blunder"
+                            ),
+                        )
+                        .suggest("merge the shorted nodes or recompute the resistance"),
+                    );
+                }
+            }
+        }
+    }
+
+    // ERC104 — pathological element-value spreads.
+    if enabled(Rule::ConditioningSpread) {
+        let cond = graph.conditioning();
+        for (family, spread) in [
+            ("conductance (1/R and gm)", &cond.conductance),
+            ("capacitance", &cond.capacitance),
+        ] {
+            if let Some(s) = spread {
+                if s.ratio() > CONDITIONING_SPREAD_LIMIT {
+                    out.push(
+                        Diagnostic::new(
+                            Rule::ConditioningSpread,
+                            Span::Netlist,
+                            format!(
+                                "the {family} family spans a ratio of {:.1e} \
+                                 (min {:.3e} at {}, max {:.3e} at {}); LU \
+                                 pivots lose most of their precision at this \
+                                 spread",
+                                s.ratio(),
+                                s.min,
+                                s.min_label,
+                                s.max,
+                                s.max_label
+                            ),
+                        )
+                        .suggest(format!(
+                            "re-size {} or {} to narrow the value range",
+                            s.min_label, s.max_label
+                        )),
+                    );
+                }
             }
         }
     }
@@ -510,11 +464,13 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
         }
     }
 
-    // ERC013 — islands detached from the in→out signal path.
+    // ERC013 — islands detached from the in→out signal path. Islands
+    // already rejected as reference-free (ERC100) are skipped: the
+    // error-severity diagnostic subsumes this warning.
     if enabled(Rule::IsolatedIsland) {
-        let mut uf = analysis.signal_components();
-        let anchors: Vec<usize> = analysis
-            .nodes
+        let mut uf = graph.signal_components();
+        let anchors: Vec<usize> = graph
+            .nodes()
             .iter()
             .enumerate()
             .filter(|(_, n)| matches!(n, Node::Input | Node::Output))
@@ -522,7 +478,7 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
             .collect();
         let anchor_roots: Vec<usize> = anchors.iter().map(|&i| uf.find(i)).collect();
         let mut islands: BTreeMap<usize, Vec<Node>> = BTreeMap::new();
-        for (i, &n) in analysis.nodes.iter().enumerate() {
+        for (i, &n) in graph.nodes().iter().enumerate() {
             if n == Node::Ground {
                 continue;
             }
@@ -532,6 +488,9 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
             }
         }
         for nodes in islands.into_values() {
+            if nodes.iter().all(|n| in_singular_island[graph.index[n]]) {
+                continue;
+            }
             let list = nodes
                 .iter()
                 .map(|n| n.name())
@@ -547,6 +506,39 @@ pub(crate) fn run(netlist: &Netlist, config: &LintConfig) -> LintReport {
                     ),
                 )
                 .suggest("wire the island into the signal path or delete it"),
+            );
+        }
+    }
+
+    // ERC105 — open-loop advisory: an active circuit whose VCCS edges
+    // close no directed cycle runs open-loop. Deliberate for some
+    // testbenches, so Info severity only.
+    if enabled(Rule::OpenLoop) {
+        let has_live_vccs = netlist.elements().iter().any(|e| {
+            matches!(
+                e,
+                Element::Vccs {
+                    out_p, out_n, ctrl_p, ctrl_n, ..
+                } if out_p != out_n && ctrl_p != ctrl_n
+            )
+        });
+        if graph.has_node(Node::Input)
+            && graph.has_node(Node::Output)
+            && has_live_vccs
+            && !graph.has_feedback_loop()
+        {
+            out.push(
+                Diagnostic::new(
+                    Rule::OpenLoop,
+                    Span::Netlist,
+                    "no directed cycle passes through any VCCS: the amplifier \
+                     runs open-loop (no compensation or feedback network \
+                     closes around a stage)",
+                )
+                .suggest(
+                    "if closed-loop behaviour is intended, add a feedback or \
+                     Miller compensation path around a gain stage",
+                ),
             );
         }
     }

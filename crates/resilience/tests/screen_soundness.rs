@@ -1,0 +1,145 @@
+//! Screening soundness under chaos: the pre-simulation ERC screen must
+//! stay decision-invisible when stacked under fault injection.
+//!
+//! The supported production stack is `FaultySim<ScreenedSim<CachedSim<B>>>`
+//! — faults outermost (the dice roll above everything), the screen
+//! outside the cache (rejected candidates never enter the report
+//! cache). These properties pin the two contracts that stacking adds on
+//! top of the sim-level soundness suite:
+//!
+//! 1. screened chaos sessions stay pure functions of their seed
+//!    (exact replay, like every other supported stack), and
+//! 2. the screen never changes a session's *decisions* — only its
+//!    bill. Event traces, outcomes and fault schedules match the
+//!    unscreened reference; billed testbed seconds may only shrink.
+//!
+//! Case count follows `PROPTEST_CASES` (default 256); the CI `chaos`
+//! job raises it and sweeps `CHAOS_SEED_OFFSET` so each matrix leg
+//! exercises a disjoint seed window.
+
+use artisan_circuit::sample::{mutate_netlist, sample_topology, SampleRanges};
+use artisan_circuit::{Netlist, Topology};
+use artisan_resilience::{FaultPlan, FaultySim, RetryPolicy, SessionBudget, Supervisor};
+use artisan_sim::{CachedSim, ScreenedSim, SimBackend, SimCache, Simulator, Spec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Shifts every sampled seed by a per-CI-leg window.
+fn offset(seed: u64) -> u64 {
+    let leg: u64 = std::env::var("CHAOS_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    seed.wrapping_add(leg.wrapping_mul(1_000_000_007))
+}
+
+fn supervisor() -> Supervisor {
+    Supervisor::new(
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_seconds: 30.0,
+            backoff_factor: 2.0,
+        },
+        SessionBudget {
+            max_simulations: 24,
+            max_llm_steps: 120,
+            max_testbed_seconds: 7200.0,
+        },
+    )
+}
+
+/// The full production stack: faults above, screen outside the cache.
+fn screened_stack(plan: FaultPlan) -> FaultySim<ScreenedSim<CachedSim<Simulator>>> {
+    let cache = SimCache::shared(256);
+    FaultySim::new(
+        ScreenedSim::new(CachedSim::new(Simulator::new(), Arc::clone(&cache))).with_cache(cache),
+        plan,
+    )
+}
+
+/// A netlist from the broken neighbourhood of the design space: a legal
+/// base put through 1–3 random structural/value mutations.
+fn broken_neighbourhood(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = if rng.gen_bool(0.5) {
+        Topology::nmc_example()
+    } else {
+        sample_topology(&mut rng, &SampleRanges::default(), 10e-12)
+    };
+    let netlist = base.elaborate().expect("legal base elaborates");
+    mutate_netlist(&mut rng, &netlist)
+}
+
+proptest! {
+    /// Screened chaos sessions are pure functions of their seed:
+    /// identical plan + session seed replays to the identical report,
+    /// with the screen in the stack.
+    #[test]
+    fn screened_chaos_sessions_replay_exactly(seed in 0u64..1_000_000, rate in 0.0f64..0.5) {
+        let seed = offset(seed);
+        let run = || {
+            let mut sim = screened_stack(FaultPlan::flaky(seed, rate));
+            supervisor().run(&Spec::g1(), &mut sim, seed)
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.faults_observed, b.faults_observed);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.cache_hits, b.cache_hits);
+        prop_assert_eq!(a.testbed_seconds, b.testbed_seconds);
+    }
+
+    /// The screen never changes what a session *decides* — only what it
+    /// pays. Against an unscreened reference with the identical fault
+    /// plan, the screened session walks the same event trace to the
+    /// same outcome, observes the same faults, and never bills more.
+    #[test]
+    fn screened_chaos_sessions_match_the_unscreened_schedule(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.5,
+    ) {
+        let seed = offset(seed);
+        let mut screened = screened_stack(FaultPlan::flaky(seed, rate));
+        let a = supervisor().run(&Spec::g1(), &mut screened, seed);
+        let mut plain = FaultySim::new(Simulator::new(), FaultPlan::flaky(seed, rate));
+        let b = supervisor().run(&Spec::g1(), &mut plain, seed);
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.faults_observed, b.faults_observed);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert!(
+            a.testbed_seconds <= b.testbed_seconds + 1e-9,
+            "screened session billed more: {} > {}", a.testbed_seconds, b.testbed_seconds
+        );
+    }
+
+    /// Per-candidate decision equivalence survives fault injection:
+    /// for netlists from the broken neighbourhood, the screened stack
+    /// and the bare-cached stack under the identical fault plan agree
+    /// call-for-call on accept/reject and on the error itself.
+    #[test]
+    fn screening_decisions_survive_fault_injection(
+        seed in 0u64..100_000,
+        rate in 0.0f64..0.6,
+    ) {
+        let seed = offset(seed);
+        let netlist = broken_neighbourhood(seed);
+        let plan = FaultPlan::flaky(seed, rate);
+
+        let mut screened = screened_stack(plan.clone());
+        let got = screened.analyze_netlist(&netlist);
+
+        let cache = SimCache::shared(256);
+        let mut plain = FaultySim::new(CachedSim::new(Simulator::new(), cache), plan);
+        let expected = plain.analyze_netlist(&netlist);
+
+        // Same fault dice (call index 0 in both stacks), same inner
+        // verdict underneath ⇒ byte-identical decisions.
+        prop_assert_eq!(format!("{got:?}"), format!("{expected:?}"));
+    }
+}

@@ -115,6 +115,12 @@ pub fn cache_enabled_from_env() -> bool {
 /// shards keep contention negligible for any realistic session fan-out.
 const SHARD_COUNT: usize = 16;
 
+/// Bound on the memoized lint-verdict map. Verdicts are tiny (an enum
+/// tag plus, for rejects, one diagnostic report), so a flat cap with
+/// wholesale clearing on overflow is cheaper than LRU bookkeeping and
+/// still keeps the hot screening loop allocation-free.
+const LINT_VERDICT_CAPACITY: usize = 4096;
+
 #[derive(Debug, Clone)]
 struct Entry {
     report: AnalysisReport,
@@ -316,6 +322,12 @@ pub struct SimCache {
     waiting: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    /// Memoized static-screening verdicts, keyed by lint-salted
+    /// fingerprints (see [`crate::screen`]). Kept apart from the report
+    /// shards: verdicts are not [`AnalysisReport`]s and must never
+    /// collide with them, and the lint namespace salt guarantees the key
+    /// spaces are disjoint anyway.
+    lint_verdicts: Mutex<HashMap<NetlistFingerprint, crate::screen::LintVerdict>>,
 }
 
 /// Recovers the guard even if another thread panicked while holding the
@@ -344,7 +356,28 @@ impl SimCache {
             waiting: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            lint_verdicts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The memoized screening verdict for `key`, if one is stored.
+    /// Keys must already carry the lint namespace salt (the
+    /// [`crate::screen::ScreenedSim`] wrapper applies it); this method
+    /// does no salting of its own.
+    pub fn lint_verdict(&self, key: NetlistFingerprint) -> Option<crate::screen::LintVerdict> {
+        lock(&self.lint_verdicts).get(&key).cloned()
+    }
+
+    /// Memoizes a screening verdict. Unlike analysis reports, *both*
+    /// outcomes are cacheable: a lint verdict is a pure function of the
+    /// netlist text, so a `Rejected` verdict can never be a transient
+    /// fault. When the bounded map is full it is cleared wholesale.
+    pub fn store_lint_verdict(&self, key: NetlistFingerprint, verdict: crate::screen::LintVerdict) {
+        let mut map = lock(&self.lint_verdicts);
+        if map.len() >= LINT_VERDICT_CAPACITY && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, verdict);
     }
 
     /// An `Arc`-wrapped cache, ready to clone into per-session wrappers.

@@ -33,6 +33,13 @@ pub struct CostModel {
     /// cache account is that a hit is billed at retrieval cost, not at
     /// full testbed cost.
     pub seconds_per_cache_hit: f64,
+    /// One static screening pass that rejects a candidate before any
+    /// Spectre run: netlist parse plus graph-based ERC. On the testbed
+    /// this is a lint invocation, orders of magnitude below
+    /// [`CostModel::seconds_per_simulation`] — the whole point of the
+    /// screening tier is that a doomed candidate costs a screen, not a
+    /// full simulation.
+    pub seconds_per_screen: f64,
 }
 
 impl Default for CostModel {
@@ -42,6 +49,7 @@ impl Default for CostModel {
             seconds_per_llm_step: 40.0,
             seconds_per_optimizer_step: 1.5,
             seconds_per_cache_hit: 0.5,
+            seconds_per_screen: 0.2,
         }
     }
 }
@@ -89,6 +97,14 @@ impl CostModel {
         self
     }
 
+    /// Builder override for the per-screen cost. Rejects negative, NaN,
+    /// and infinite values (the prior value is kept).
+    #[must_use]
+    pub fn with_screen_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_screen = Self::valid_or(self.seconds_per_screen, seconds);
+        self
+    }
+
     /// The default model with any [`CACHE_HIT_SECONDS_ENV`] override
     /// applied. Unparseable, negative, or non-finite values are
     /// silently ignored — the default survives a bad environment.
@@ -125,6 +141,7 @@ pub struct CostLedger {
     cache_hits: u64,
     coalesced_waits: u64,
     batched_solves: u64,
+    screen_rejects: u64,
     penalty_seconds: f64,
 }
 
@@ -175,6 +192,16 @@ impl CostLedger {
         self.batched_solves += n;
     }
 
+    /// Bills one candidate rejected by the static screening tier before
+    /// any simulation ran. A screen reject costs
+    /// [`CostModel::seconds_per_screen`], not
+    /// [`CostModel::seconds_per_simulation`] — the separate account is
+    /// what lets `bench_report` quantify the billed seconds the tier
+    /// saves.
+    pub fn record_screen_reject(&mut self) {
+        self.screen_rejects += 1;
+    }
+
     /// Bills raw testbed seconds outside the per-operation unit costs:
     /// simulated backend latency, retry backoff, queueing. Billing these
     /// as testbed time (never wall clock) keeps supervised sessions
@@ -219,6 +246,11 @@ impl CostLedger {
         self.batched_solves
     }
 
+    /// Number of candidates rejected by the screening tier.
+    pub fn screen_rejects(&self) -> u64 {
+        self.screen_rejects
+    }
+
     /// Raw penalty seconds billed (latency, backoff).
     pub fn penalty_seconds(&self) -> f64 {
         self.penalty_seconds
@@ -230,6 +262,7 @@ impl CostLedger {
             + self.llm_steps as f64 * model.seconds_per_llm_step
             + self.optimizer_steps as f64 * model.seconds_per_optimizer_step
             + self.cache_hits as f64 * model.seconds_per_cache_hit
+            + self.screen_rejects as f64 * model.seconds_per_screen
             + self.penalty_seconds
     }
 
@@ -241,6 +274,7 @@ impl CostLedger {
         self.cache_hits += other.cache_hits;
         self.coalesced_waits += other.coalesced_waits;
         self.batched_solves += other.batched_solves;
+        self.screen_rejects += other.screen_rejects;
         self.penalty_seconds += other.penalty_seconds;
     }
 }
@@ -260,6 +294,9 @@ impl fmt::Display for CostLedger {
         }
         if self.batched_solves > 0 {
             write!(f, ", {} batched solves", self.batched_solves)?;
+        }
+        if self.screen_rejects > 0 {
+            write!(f, ", {} screened out", self.screen_rejects)?;
         }
         if self.penalty_seconds > 0.0 {
             write!(f, ", {:.1}s penalties", self.penalty_seconds)?;
@@ -431,6 +468,31 @@ mod tests {
             Some(v) => std::env::set_var(CACHE_HIT_SECONDS_ENV, v),
             None => std::env::remove_var(CACHE_HIT_SECONDS_ENV),
         }
+    }
+
+    #[test]
+    fn screen_rejects_bill_screening_not_simulation_cost() {
+        let model = CostModel::default();
+        let mut l = CostLedger::new();
+        l.record_screen_reject();
+        assert_eq!(l.screen_rejects(), 1);
+        assert_eq!(l.simulations(), 0);
+        let t = l.testbed_seconds(&model);
+        assert!((t - model.seconds_per_screen).abs() < 1e-12, "{t}");
+        assert!(t < model.seconds_per_simulation / 100.0, "{t}");
+        assert!(l.to_string().contains("1 screened out"), "{l}");
+        let mut other = CostLedger::new();
+        other.record_screen_reject();
+        l.absorb(&other);
+        assert_eq!(l.screen_rejects(), 2);
+        // The builder validates like every other knob.
+        let m = model.with_screen_seconds(0.01);
+        assert_eq!(m.seconds_per_screen, 0.01);
+        assert_eq!(
+            m.with_screen_seconds(f64::NAN).seconds_per_screen,
+            0.01,
+            "NaN override must keep the prior value"
+        );
     }
 
     #[test]

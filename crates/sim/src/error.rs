@@ -28,6 +28,42 @@ impl BadNetlistReport {
         }
     }
 
+    /// Machine-readable JSON in the shared [`artisan_lint::JSON_SCHEMA`]
+    /// diagnostic format:
+    /// `{"schema":…,"message":…,"diagnostics":[…]}` with each diagnostic
+    /// rendered by [`Diagnostic::to_json`] — the same objects the
+    /// `artisan-lint` CLI and [`LintReport::to_json`] emit.
+    pub fn to_json(&self) -> String {
+        let escape = |s: &str| {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let mut out = format!(
+            "{{\"schema\":{},\"message\":{},\"diagnostics\":[",
+            escape(artisan_lint::JSON_SCHEMA),
+            escape(&self.message),
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders the message plus one line per diagnostic.
     pub fn render(&self) -> String {
         let mut out = self.message.clone();
@@ -240,5 +276,26 @@ mod tests {
         let display = SimError::BadNetlist(report.clone()).to_string();
         assert!(display.contains("ERC006"), "{display}");
         assert!(report.render().lines().count() > 1, "{}", report.render());
+    }
+
+    #[test]
+    fn bad_netlist_report_json_shares_the_lint_schema() {
+        let netlist = artisan_circuit::Netlist::parse(
+            "* float\nG1 out 0 in 0 1m\nR1 out 0 1k\nC1 out n1 1p\nC2 n1 0 1p\n.end\n",
+        )
+        .unwrap_or_else(|e| panic!("parse: {e}"));
+        let lint = artisan_lint::Linter::errors_only().lint(&netlist);
+        let report = BadNetlistReport::from_lint("rejected \"now\"", &lint);
+        let json = report.to_json();
+        assert!(
+            json.starts_with(&format!("{{\"schema\":\"{}\"", artisan_lint::JSON_SCHEMA)),
+            "{json}"
+        );
+        assert!(json.contains("rejected \\\"now\\\""), "{json}");
+        assert!(json.contains("\"code\":\"ERC006\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Ad-hoc rejections serialize with an empty diagnostics array.
+        let adhoc = BadNetlistReport::from("no CL").to_json();
+        assert!(adhoc.ends_with("\"diagnostics\":[]}"), "{adhoc}");
     }
 }

@@ -22,7 +22,9 @@
 //! - [`fingerprint`] — canonical, order-insensitive structural hashes
 //!   of netlists/topologies (content-addressed simulation identity),
 //! - [`cache`] — the sharded LRU [`SimCache`] and the memoizing
-//!   [`CachedSim`] backend wrapper that bills hits at retrieval cost.
+//!   [`CachedSim`] backend wrapper that bills hits at retrieval cost,
+//! - [`screen`] — the [`ScreenedSim`] wrapper that rejects statically
+//!   doomed candidates at lint cost before they bill a simulation.
 //!
 //! # Example
 //!
@@ -53,6 +55,7 @@ pub mod fingerprint;
 pub mod metrics;
 pub mod mna;
 pub mod poles;
+pub mod screen;
 pub mod spec;
 pub mod variation;
 
@@ -62,6 +65,7 @@ pub use cache::{CacheStats, CachedSim, SimCache};
 pub use error::{BadNetlistReport, SimError};
 pub use fingerprint::NetlistFingerprint;
 pub use metrics::{Performance, PowerModel};
+pub use screen::{screen_enabled_from_env, LintVerdict, ScreenedSim, SCREEN_ENV};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};
 pub use spec::{Spec, SpecCheck, SpecReport};
 

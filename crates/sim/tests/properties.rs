@@ -1,16 +1,30 @@
 //! Property-based tests for the simulator: physical invariants that must
 //! hold over the whole sampled design space.
 
-use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::sample::{mutate_netlist, sample_topology, SampleRanges};
 use artisan_circuit::{Netlist, Topology};
-use artisan_math::{Complex64, ThreadPool};
+use artisan_math::{Complex64, MathError, ThreadPool};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::mna::MnaSystem;
 use artisan_sim::poles::{pole_zero, PoleZeroConfig};
-use artisan_sim::{CachedSim, SimBackend, SimCache, SimError, Simulator};
+use artisan_sim::{CachedSim, ScreenedSim, SimBackend, SimCache, SimError, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A netlist from the broken neighbourhood of the design space: a legal
+/// base (the paper's NMC example or a sampled topology) put through
+/// 1–3 random structural/value mutations.
+fn broken_neighbourhood(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = if rng.gen_bool(0.5) {
+        Topology::nmc_example()
+    } else {
+        sample_topology(&mut rng, &SampleRanges::default(), 10e-12)
+    };
+    let netlist = base.elaborate().expect("legal base elaborates");
+    mutate_netlist(&mut rng, &netlist)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -295,6 +309,130 @@ proptest! {
             | Err(SimError::Math(_))
             | Err(SimError::BadNetlist(_)) => {}
             Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}
+
+// Case count for the screening-soundness block follows the
+// `PROPTEST_CASES` environment default (256), so the CI chaos matrix
+// can raise it without a code change.
+proptest! {
+    /// Screening soundness, forward direction: a netlist the
+    /// errors-only linter passes never hits an exactly singular LU —
+    /// the static gate admits nothing the factorization chokes on.
+    /// Exercised over the broken neighbourhood, where clean and doomed
+    /// candidates mix.
+    #[test]
+    fn lint_clean_netlists_never_hit_singular_lu(seed in 0u64..4000) {
+        let netlist = broken_neighbourhood(seed);
+        let gate = artisan_lint::Linter::errors_only().lint(&netlist);
+        // Structural construction failures in MnaSystem::new (no `out`
+        // node, empty netlist) are the lint's ERC00x territory and
+        // never reach LU; only factorization is under test here.
+        if let (false, Ok(sys)) = (gate.has_errors(), MnaSystem::new(&netlist)) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let f_random = 10f64.powf(rng.gen_range(0.0..9.0));
+            for f in [0.0, 1.0, f_random] {
+                let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+                if let Err(e) = sys.solve(s) {
+                    prop_assert!(
+                        !matches!(e, SimError::Math(MathError::Singular(_))),
+                        "lint-clean netlist hit singular LU at f = {f}: {e}\n{}",
+                        netlist.to_text()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Screening soundness, reverse direction: every `ERC100`
+    /// singularity prediction is real. The bare simulator rejects the
+    /// netlist, and — non-circularly — the flagged island's rows sum to
+    /// a (numerically) zero row of `G + sC` at every tested frequency:
+    /// the indicator vector is a left null vector, so exact-arithmetic
+    /// LU must fail.
+    #[test]
+    fn singularity_predictions_are_real(seed in 0u64..4000) {
+        let netlist = broken_neighbourhood(seed);
+        let report = artisan_lint::Linter::default().lint(&netlist);
+        let islands: Vec<Vec<artisan_circuit::Node>> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == "ERC100")
+            .filter_map(|d| match &d.span {
+                artisan_lint::Span::Nodes(ns) => Some(ns.clone()),
+                _ => None,
+            })
+            .collect();
+        if !islands.is_empty() {
+            prop_assert!(
+                Simulator::new().analyze_netlist(&netlist).is_err(),
+                "ERC100 fired but the bare simulator accepted:\n{}",
+                netlist.to_text()
+            );
+        }
+        let sys = match MnaSystem::new(&netlist) {
+            Ok(sys) if !islands.is_empty() => sys,
+            _ => return,
+        };
+        let unknowns = netlist.unknown_nodes();
+        for island in &islands {
+            let rows: Vec<usize> = island
+                .iter()
+                .map(|n| {
+                    unknowns
+                        .iter()
+                        .position(|u| u == n)
+                        .expect("island node is an unknown")
+                })
+                .collect();
+            for f in [0.0, 1.0, 1e6] {
+                let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+                let (y, _) = sys.assemble(s).expect("assembles");
+                let scale = rows
+                    .iter()
+                    .flat_map(|&r| (0..sys.dim()).map(move |c| (r, c)))
+                    .map(|(r, c)| y[(r, c)].abs())
+                    .fold(1e-300, f64::max);
+                for c in 0..sys.dim() {
+                    let sum = rows
+                        .iter()
+                        .fold(Complex64::ZERO, |acc, &r| acc + y[(r, c)]);
+                    prop_assert!(
+                        sum.abs() <= 1e-9 * scale,
+                        "island rows do not cancel in column {c} at f = {f}: |{sum:?}| vs scale {scale}\n{}",
+                        netlist.to_text()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The screening wrapper is decision-equivalent to the bare
+    /// simulator over the broken neighbourhood: identical reports,
+    /// identical errors — only the bill differs, and only on rejects.
+    #[test]
+    fn screened_backend_is_decision_equivalent_to_bare(seed in 0u64..4000) {
+        let netlist = broken_neighbourhood(seed);
+        let mut bare = Simulator::new();
+        let expected = SimBackend::analyze_netlist(&mut bare, &netlist);
+        let mut screened = ScreenedSim::new(Simulator::new());
+        let got = screened.analyze_netlist(&netlist);
+        prop_assert_eq!(&got, &expected, "netlist:\n{}", netlist.to_text());
+        if screened.screened_out() == 1 {
+            // A reject is billed as one screen and zero simulations,
+            // while the bare simulator paid for a full run before its
+            // own gate rejected.
+            prop_assert!(matches!(got, Err(SimError::BadNetlist(_))));
+            prop_assert_eq!(screened.ledger().simulations(), 0);
+            prop_assert_eq!(screened.ledger().screen_rejects(), 1);
+            prop_assert_eq!(bare.ledger().simulations(), 1);
+        } else {
+            prop_assert_eq!(
+                screened.ledger().simulations(),
+                bare.ledger().simulations()
+            );
+            prop_assert_eq!(screened.ledger().screen_rejects(), 0);
         }
     }
 }
