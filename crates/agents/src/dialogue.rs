@@ -49,6 +49,15 @@ impl ChatTranscript {
         Self::default()
     }
 
+    /// Rebuilds a transcript from previously recorded turns — the
+    /// session-journal restore path. `next_index` must be the exchange
+    /// count the original transcript had reached (see
+    /// [`ChatTranscript::exchange_count`]), so appended questions keep
+    /// numbering where the original left off.
+    pub fn from_parts(turns: Vec<ChatTurn>, next_index: usize) -> Self {
+        ChatTranscript { turns, next_index }
+    }
+
     /// Records a question; returns its exchange index.
     pub fn question(&mut self, text: impl Into<String>) -> usize {
         let index = self.next_index;

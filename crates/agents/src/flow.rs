@@ -64,7 +64,7 @@ impl AgentConfig {
 }
 
 /// Everything one design session produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignOutcome {
     /// Whether the final design clears every spec (simulator-confirmed).
     pub success: bool,

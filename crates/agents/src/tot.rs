@@ -37,6 +37,12 @@ impl TotTrace {
         Self::default()
     }
 
+    /// Rebuilds a trace from previously recorded nodes — the
+    /// session-journal restore path.
+    pub fn from_nodes(nodes: Vec<TotNode>) -> Self {
+        TotTrace { nodes }
+    }
+
     /// The recorded nodes.
     pub fn nodes(&self) -> &[TotNode] {
         &self.nodes

@@ -20,7 +20,9 @@ use artisan_circuit::{Netlist, Topology};
 use artisan_lint::Linter;
 use artisan_math::lu::LuDecomposition;
 use artisan_math::{Complex64, ThreadPool};
-use artisan_resilience::{Scheduler, Supervisor};
+use artisan_resilience::{
+    FaultPlan, FaultySim, JournalRecord, Scheduler, SessionJournal, Supervisor,
+};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::cache::persist::snapshot_dir_from_env;
 use artisan_sim::cost::CostModel;
@@ -449,6 +451,116 @@ fn main() {
     );
     let screened_out_rate = screened_out as f64 / screen_corpus.len() as f64;
 
+    // --- durable session journals: append overhead + crash resume ---
+    // The same batch of flaky supervised sessions three ways: detached
+    // (no journal, the reference), journaled from scratch (measures the
+    // write-ahead append overhead), and journaled again after one
+    // session's journal is cut back to its first attempt record — the
+    // exact on-disk state a crash mid-session leaves behind (every
+    // append is an atomic whole-file rewrite, so a crash always leaves
+    // a clean record prefix). The resumed leg must reproduce every
+    // report field-for-field while billing strictly fewer fresh testbed
+    // seconds than the clean leg.
+    let journal_dir =
+        std::env::temp_dir().join(format!("artisan-bench-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&journal_dir).ok();
+    std::fs::create_dir_all(&journal_dir).expect("journal dir");
+    let j_sessions = n_sessions.clamp(2, 4);
+    let j_scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
+    let j_backends = || -> Vec<FaultySim<Simulator>> {
+        (0..j_sessions)
+            .map(|k| FaultySim::new(Simulator::new(), FaultPlan::flaky(1000 + k as u64, 0.3)))
+            .collect()
+    };
+    let t_plain = Instant::now();
+    let j_plain = j_scheduler.run_batch(&Spec::g1(), j_backends(), 4242);
+    let plain_wall = t_plain.elapsed().as_secs_f64();
+    let clean_billed: f64 = j_plain
+        .iter()
+        .map(|s| s.backend.ledger().testbed_seconds(&cost_model))
+        .sum();
+    let t_journaled = Instant::now();
+    let j_first = j_scheduler.run_batch_journaled(&Spec::g1(), j_backends(), 4242, &journal_dir, 0);
+    let journaled_wall = t_journaled.elapsed().as_secs_f64();
+    for (k, w) in j_first.warnings() {
+        eprintln!("journal warning (session {k}): {w}");
+    }
+    for (a, b) in j_first.sessions.iter().zip(&j_plain) {
+        assert_eq!(
+            a.report, b.report,
+            "journaling changed session {}",
+            a.session
+        );
+    }
+    let journal_appends: u64 = j_first.journals.iter().map(|j| j.appends).sum();
+    let journal_bytes: u64 = j_first.journals.iter().map(|j| j.bytes_written).sum();
+    let journal_attempts: usize = j_first.sessions.iter().map(|s| s.report.attempts).sum();
+    let append_overhead_secs =
+        (journaled_wall - plain_wall).max(0.0) / (journal_appends.max(1) as f64);
+
+    // Crash the session with the most attempts: keep only its first
+    // attempt record (public-API rewrite, same bytes a mid-run kill
+    // leaves), so the resume leg both restores attempts and re-runs a
+    // genuine tail.
+    let victim = j_first
+        .sessions
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.report.attempts)
+        .map(|(k, _)| k)
+        .expect("batch is non-empty");
+    let victim_path = j_first.journals[victim].path.clone();
+    let victim_seed = j_first.sessions[victim].seed;
+    let (full, full_load) =
+        SessionJournal::open(&victim_path, j_first.plan_fingerprint, victim_seed);
+    assert!(
+        full_load.terminal,
+        "finished session's journal lost its verdict"
+    );
+    let kept = full
+        .attempt_records()
+        .next()
+        .expect("finished session journaled at least one attempt")
+        .clone();
+    std::fs::remove_file(&victim_path).expect("removes victim journal");
+    let (mut cut, _) = SessionJournal::open(&victim_path, j_first.plan_fingerprint, victim_seed);
+    cut.append(JournalRecord::Attempt(kept))
+        .expect("rewrites the crash-state journal");
+
+    let j_resumed =
+        j_scheduler.run_batch_journaled(&Spec::g1(), j_backends(), 4242, &journal_dir, 0);
+    for (k, w) in j_resumed.warnings() {
+        eprintln!("journal warning (resume, session {k}): {w}");
+    }
+    assert!(
+        j_resumed.warnings().is_empty(),
+        "resume leg rejected a journal"
+    );
+    for (a, b) in j_resumed.sessions.iter().zip(&j_plain) {
+        assert_eq!(
+            a.report, b.report,
+            "resumed session {} diverged from the clean reference",
+            a.session
+        );
+    }
+    assert_eq!(
+        j_resumed.resumed_terminal(),
+        j_sessions - 1,
+        "only the crashed session should re-run"
+    );
+    let attempts_restored = j_resumed.attempts_restored();
+    assert!(attempts_restored >= 1, "resume restored no attempts");
+    let resumed_billed: f64 = j_resumed
+        .sessions
+        .iter()
+        .map(|s| s.backend.ledger().testbed_seconds(&cost_model))
+        .sum();
+    assert!(
+        resumed_billed < clean_billed,
+        "resume was not cheaper: {resumed_billed} !< {clean_billed}"
+    );
+    std::fs::remove_dir_all(&journal_dir).ok();
+
     let fmt_scaling = |rates: &[(usize, f64)], unit: &str| -> String {
         let base = rates.iter().find(|(w, _)| *w == 1).map_or(1.0, |&(_, r)| r);
         rates
@@ -464,7 +576,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"journal\": {{\n    \"workload\": \"{j_sessions} flaky supervised G-1 sessions, crash-cut to one attempt then resumed\",\n    \"sessions\": {j_sessions},\n    \"attempts\": {journal_attempts},\n    \"appends\": {journal_appends},\n    \"bytes_per_append\": {:.1},\n    \"append_overhead_seconds_per_append\": {append_overhead_secs:.6},\n    \"billed_testbed_seconds_clean\": {clean_billed:.1},\n    \"billed_testbed_seconds_resumed\": {resumed_billed:.1},\n    \"attempts_restored\": {attempts_restored},\n    \"resumed_terminal\": {},\n    \"resume_strictly_cheaper\": true,\n    \"reports_identical\": true\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
         asm_cached / asm_legacy,
         solve_cached / solve_legacy,
@@ -480,6 +592,8 @@ fn main() {
         snapshot.len(),
         sf_stats.misses,
         sf_stats.hits + sf_stats.coalesced,
+        journal_bytes as f64 / journal_appends.max(1) as f64,
+        j_resumed.resumed_terminal(),
         screen_corpus.len(),
         unscreened_seconds - screened_seconds,
     );

@@ -5,7 +5,7 @@
 //! `artisan-sim::cost`). Also prints the §4.2 speedup headline.
 //!
 //! Run with:
-//!   `cargo run --release -p artisan-bench --bin table3 [--trials 10] [--quick] [--cache N] [--supervised]`
+//!   `cargo run --release -p artisan-bench --bin table3 [--trials 10] [--quick] [--cache N] [--supervised] [--fault-rate R] [--robustness R1,R2,...] [--journal DIR]`
 //!
 //! `--quick` cuts the baseline budgets 10× for a fast smoke run.
 //! `--cache N` runs every trial against one shared simulation cache of
@@ -14,17 +14,41 @@
 //! the cache is warm-started from that directory's snapshot and saved
 //! back at the end. `--supervised` runs the Artisan rows as supervised
 //! sessions and prints each trial's session cost line.
+//!
+//! Robustness (implies `--supervised`):
+//! `--fault-rate R` wraps every Artisan trial's backend in a
+//! deterministic `FaultySim` injecting transient errors/poison at rate
+//! `R`. `--robustness R1,R2,...` appends the robustness companion
+//! table (success rate and billed-cost inflation per swept fault rate).
+//!
+//! Durability (implies `--supervised`): `--journal DIR` (or the
+//! `ARTISAN_JOURNAL_DIR` environment variable) keeps a crash-safe
+//! write-ahead journal per Artisan trial under `DIR`; re-running the
+//! same configuration resumes finished sessions instead of re-buying
+//! them. Journal/snapshot load warnings are surfaced on stderr.
 
 use artisan_bench::{arg_or, quick_mode};
-use artisan_core::experiment::{ExperimentConfig, Table3};
-use artisan_resilience::Supervisor;
+use artisan_core::experiment::{ExperimentConfig, RobustnessReport, Table3};
+use artisan_resilience::{journal_dir_from_env, FaultPlan, Supervisor};
 use artisan_sim::fingerprint::config_salt;
 use artisan_sim::{AnalysisConfig, SimCache};
+use std::path::PathBuf;
 
 fn main() {
     let trials: usize = arg_or("--trials", 10);
     let cache_capacity: usize = arg_or("--cache", 0);
-    let supervised = std::env::args().any(|a| a == "--supervised");
+    let fault_rate: f64 = arg_or("--fault-rate", 0.0);
+    let robustness: String = arg_or("--robustness", String::new());
+    let journal_flag: String = arg_or("--journal", String::new());
+    let journal_dir: Option<PathBuf> = if journal_flag.is_empty() {
+        journal_dir_from_env()
+    } else {
+        Some(PathBuf::from(journal_flag))
+    };
+    let supervised = std::env::args().any(|a| a == "--supervised")
+        || fault_rate > 0.0
+        || !robustness.is_empty()
+        || journal_dir.is_some();
     let mut config = ExperimentConfig {
         trials,
         seed: arg_or("--seed", 2024),
@@ -41,6 +65,16 @@ fn main() {
     }
     if supervised {
         config.supervision = Some(Supervisor::default());
+    }
+    if fault_rate > 0.0 {
+        config.fault_plan = Some(FaultPlan::flaky(config.seed, fault_rate));
+    }
+    if let Some(dir) = &journal_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("journal dir {} unusable: {err}", dir.display());
+        } else {
+            config.journal_dir = Some(dir.clone());
+        }
     }
     let table = if cache_capacity > 0 {
         // Trials run on `CachedSim::for_simulator`, whose fingerprint
@@ -70,5 +104,21 @@ fn main() {
     } else {
         Table3::run(&config)
     };
+    for warning in table.journal_warnings() {
+        eprintln!("journal warning: {warning}");
+    }
     println!("{table}");
+    if !robustness.is_empty() {
+        let rates: Vec<f64> = robustness
+            .split(',')
+            .filter_map(|r| r.trim().parse().ok())
+            .filter(|r| *r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            eprintln!("--robustness parsed no positive rates from {robustness:?}");
+        } else {
+            println!("Robustness sweep (Artisan supervised, all groups):");
+            println!("{}", RobustnessReport::run(&config, &rates));
+        }
+    }
 }

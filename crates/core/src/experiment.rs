@@ -6,12 +6,16 @@
 use crate::workflow::{Artisan, ArtisanOptions};
 use artisan_opt::objective::Objective;
 use artisan_opt::{Bobo, BoboConfig, Gpt4Baseline, Llama2Baseline, Rlbo, RlboConfig};
-use artisan_resilience::{SessionReport, Supervisor};
+use artisan_resilience::{
+    faulted_plan_fingerprint, session_file_name, FaultPlan, FaultySim, JournalLoad, SessionJournal,
+    SessionReport, Supervisor,
+};
 use artisan_sim::cost::{format_testbed_time, CostModel};
 use artisan_sim::{CacheStats, CachedSim, Performance, SimBackend, SimCache, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -70,6 +74,10 @@ pub struct TrialRecord {
     /// The full supervised-session report, when the experiment ran with
     /// a [`Supervisor`] (Artisan rows only).
     pub session: Option<SessionReport>,
+    /// How the trial's write-ahead journal loaded, when the experiment
+    /// ran with [`ExperimentConfig::journal_dir`] (Artisan supervised
+    /// trials only). Carries resume state and any rejection warning.
+    pub journal: Option<JournalLoad>,
 }
 
 /// Aggregated results of one (method, group) cell of Table 3.
@@ -160,6 +168,15 @@ pub struct ExperimentConfig {
     /// When set, the Artisan rows run as *supervised* sessions (retry,
     /// backoff, budget) and each trial carries its [`SessionReport`].
     pub supervision: Option<Supervisor>,
+    /// When set (with supervision), every Artisan trial's backend is
+    /// wrapped in a [`FaultySim`] carrying this plan, reseeded per
+    /// trial (`plan.seed ^ trial seed`) so each trial rolls its own
+    /// deterministic fault dice — the Table 3 robustness columns.
+    pub fault_plan: Option<FaultPlan>,
+    /// When set (with supervision), every Artisan trial keeps a
+    /// crash-safe write-ahead journal under this directory and resumes
+    /// from it on re-run (see `artisan_resilience::journal`).
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -173,6 +190,8 @@ impl Default for ExperimentConfig {
             cost_model: CostModel::default(),
             sim_cache: None,
             supervision: None,
+            fault_plan: None,
+            journal_dir: None,
         }
     }
 }
@@ -198,6 +217,8 @@ impl ExperimentConfig {
             cost_model: CostModel::default(),
             sim_cache: None,
             supervision: None,
+            fault_plan: None,
+            journal_dir: None,
         }
     }
 
@@ -215,11 +236,37 @@ impl ExperimentConfig {
         self.supervision = Some(supervisor);
         self
     }
+
+    /// The same configuration with fault-injected Artisan trials
+    /// (implies supervision: a default [`Supervisor`] is installed when
+    /// none was configured).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        if self.supervision.is_none() {
+            self.supervision = Some(Supervisor::default());
+        }
+        self
+    }
+
+    /// The same configuration with journaled Artisan trials under
+    /// `dir` (implies supervision, as [`ExperimentConfig::with_faults`]).
+    #[must_use]
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        if self.supervision.is_none() {
+            self.supervision = Some(Supervisor::default());
+        }
+        self
+    }
 }
 
 /// Runs one trial of `method` against a caller-supplied backend. The
 /// backend's ledger is read back into the record, so cache hits,
-/// coalesced waits, and batched solves survive into Table 3.
+/// coalesced waits, and batched solves survive into Table 3. `fault`
+/// is the per-trial fault plan the backend was wrapped with (if any) —
+/// it participates in the journal-file identity, never in execution
+/// here.
 fn trial<B: SimBackend>(
     method: Method,
     spec: &Spec,
@@ -227,11 +274,32 @@ fn trial<B: SimBackend>(
     artisan: &mut Artisan,
     sim: &mut B,
     seed: u64,
+    fault: Option<FaultPlan>,
 ) -> TrialRecord {
     match method {
         Method::Artisan => {
             if let Some(supervisor) = &config.supervision {
-                let report = artisan.design_supervised(spec, sim, supervisor, seed);
+                let (report, journal) = match &config.journal_dir {
+                    Some(dir) => {
+                        let fingerprint = faulted_plan_fingerprint(
+                            spec,
+                            supervisor,
+                            &artisan.agent().config(),
+                            fault.as_ref(),
+                        );
+                        let path = dir.join(session_file_name(fingerprint, seed));
+                        let (mut journal, load) = SessionJournal::open(&path, fingerprint, seed);
+                        let report = artisan.design_supervised_journaled(
+                            spec,
+                            sim,
+                            supervisor,
+                            seed,
+                            &mut journal,
+                        );
+                        (report, Some(load))
+                    }
+                    None => (artisan.design_supervised(spec, sim, supervisor, seed), None),
+                };
                 TrialRecord {
                     success: report.success,
                     performance: report
@@ -244,6 +312,7 @@ fn trial<B: SimBackend>(
                     coalesced_waits: report.coalesced_waits,
                     batched_solves: report.batched_solves,
                     session: Some(report),
+                    journal,
                 }
             } else {
                 let outcome = artisan.design_with(spec, sim, seed);
@@ -255,6 +324,7 @@ fn trial<B: SimBackend>(
                     coalesced_waits: outcome.ledger.coalesced_waits() as usize,
                     batched_solves: outcome.ledger.batched_solves() as usize,
                     session: None,
+                    journal: None,
                 }
             }
         }
@@ -276,6 +346,7 @@ fn trial<B: SimBackend>(
                 coalesced_waits: ledger.coalesced_waits() as usize,
                 batched_solves: ledger.batched_solves() as usize,
                 session: None,
+                journal: None,
             }
         }
     }
@@ -312,14 +383,35 @@ pub fn run_cell_with_cache(
             .wrapping_add(k as u64 * 7919)
             ^ (group_name.len() as u64)
             ^ ((method as u64) << 32);
-        let record = match cache {
-            Some(cache) => {
-                let mut sim = CachedSim::for_simulator(Simulator::new(), Arc::clone(cache));
-                trial(method, spec, config, artisan, &mut sim, seed)
+        // Fault injection targets the supervised Artisan rows: each
+        // trial rolls its own dice via a per-trial reseed, and the
+        // supervisor absorbs the faults (retry/backoff/validation).
+        let fault = match (method, &config.supervision, config.fault_plan) {
+            (Method::Artisan, Some(_), Some(mut plan)) => {
+                plan.seed ^= seed;
+                Some(plan)
             }
-            None => {
+            _ => None,
+        };
+        let record = match (cache, fault) {
+            (Some(cache), Some(plan)) => {
+                let mut sim = FaultySim::new(
+                    CachedSim::for_simulator(Simulator::new(), Arc::clone(cache)),
+                    plan,
+                );
+                trial(method, spec, config, artisan, &mut sim, seed, Some(plan))
+            }
+            (Some(cache), None) => {
+                let mut sim = CachedSim::for_simulator(Simulator::new(), Arc::clone(cache));
+                trial(method, spec, config, artisan, &mut sim, seed, None)
+            }
+            (None, Some(plan)) => {
+                let mut sim = FaultySim::new(Simulator::new(), plan);
+                trial(method, spec, config, artisan, &mut sim, seed, Some(plan))
+            }
+            (None, None) => {
                 let mut sim = Simulator::new();
-                trial(method, spec, config, artisan, &mut sim, seed)
+                trial(method, spec, config, artisan, &mut sim, seed, None)
             }
         };
         trials.push(record);
@@ -404,6 +496,53 @@ impl Table3 {
         let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (!ratios.is_empty()).then_some((min, max))
     }
+
+    /// Journal warnings across all trials (rejected or truncated
+    /// session journals) — CLIs surface these on stderr.
+    pub fn journal_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            for (k, t) in cell.trials.iter().enumerate() {
+                if let Some(w) = t.journal.as_ref().and_then(|j| j.warning.as_ref()) {
+                    out.push(format!(
+                        "{} {} trial {k}: {w}",
+                        cell.method.name(),
+                        cell.group
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Completed attempts restored from session journals across all
+    /// trials — work a previous (possibly crashed) run already paid for.
+    pub fn journal_attempts_restored(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .filter_map(|t| t.journal.as_ref())
+            .map(|j| j.attempts_loaded)
+            .sum()
+    }
+
+    /// Trials resumed from a terminal journal record (nothing re-run).
+    pub fn journal_terminal_resumes(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .filter_map(|t| t.journal.as_ref())
+            .filter(|j| j.terminal)
+            .count()
+    }
+
+    /// Whether any trial ran with a journal.
+    pub fn journaled(&self) -> bool {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.trials)
+            .any(|t| t.journal.is_some())
+    }
 }
 
 impl fmt::Display for Table3 {
@@ -479,7 +618,139 @@ impl fmt::Display for Table3 {
                 }
             }
         }
+        if self.journaled() {
+            writeln!(
+                f,
+                "Session journals: {} attempt(s) restored, {} trial(s) resumed terminal",
+                self.journal_attempts_restored(),
+                self.journal_terminal_resumes(),
+            )?;
+            for w in self.journal_warnings() {
+                writeln!(f, "  journal warning: {w}")?;
+            }
+        }
         writeln!(f, "(computed in {:.1}s wall-clock)", self.wall_seconds)
+    }
+}
+
+/// One row of the Table 3 robustness sweep: the supervised Artisan
+/// success rate, observed faults, and billed-cost inflation at one
+/// injected fault rate (aggregated over every Table 2 group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRow {
+    /// Injected transient error/poison rate (0 = the clean baseline).
+    pub fault_rate: f64,
+    /// Successful trials at this rate.
+    pub successes: usize,
+    /// Trials run at this rate.
+    pub trials: usize,
+    /// Faults the supervisors observed (injected errors, poisoned
+    /// reports, latency spikes).
+    pub faults_observed: usize,
+    /// Mean billed testbed seconds per trial.
+    pub mean_testbed_seconds: f64,
+    /// Billed-cost inflation versus the clean baseline
+    /// (`mean_testbed_seconds / clean mean`), 1.0 for the baseline row.
+    pub cost_inflation: f64,
+}
+
+/// The robustness companion to Table 3: supervised Artisan sessions
+/// swept across injected fault rates, quantifying how gracefully
+/// success rate degrades and how much the retries/backoff inflate
+/// billed cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// One row per swept fault rate, clean baseline (rate 0) first.
+    pub rows: Vec<RobustnessRow>,
+}
+
+impl RobustnessReport {
+    /// Runs the sweep: a clean supervised baseline, then every positive
+    /// rate in `fault_rates` as a [`FaultPlan::flaky`] wrapper around
+    /// each trial's backend. Supervision comes from
+    /// `config.supervision` (default [`Supervisor`] when unset);
+    /// `config.journal_dir` and `config.sim_cache` are honoured.
+    pub fn run(config: &ExperimentConfig, fault_rates: &[f64]) -> RobustnessReport {
+        let supervisor = config.supervision.unwrap_or_default();
+        let mut artisan = Artisan::new(config.artisan.clone());
+        let mut rates = vec![0.0];
+        rates.extend(fault_rates.iter().copied().filter(|r| *r > 0.0));
+        let mut rows = Vec::with_capacity(rates.len());
+        let mut clean_mean = 0.0f64;
+        for rate in rates {
+            let mut cfg = config.clone();
+            cfg.supervision = Some(supervisor);
+            cfg.fault_plan = (rate > 0.0).then(|| FaultPlan::flaky(config.seed, rate));
+            let cache = cfg.sim_cache.map(SimCache::shared);
+            let mut successes = 0;
+            let mut trials = 0;
+            let mut faults_observed = 0;
+            let mut total_seconds = 0.0;
+            for (group, spec) in Spec::table2() {
+                let cell = run_cell_with_cache(
+                    Method::Artisan,
+                    group,
+                    &spec,
+                    &cfg,
+                    &mut artisan,
+                    cache.as_ref(),
+                );
+                let (s, n) = cell.success_rate();
+                successes += s;
+                trials += n;
+                faults_observed += cell
+                    .trials
+                    .iter()
+                    .filter_map(|t| t.session.as_ref())
+                    .map(|r| r.faults_observed)
+                    .sum::<usize>();
+                total_seconds += cell.total_testbed_seconds();
+            }
+            let mean = if trials > 0 {
+                total_seconds / trials as f64
+            } else {
+                0.0
+            };
+            if rate == 0.0 {
+                clean_mean = mean;
+            }
+            rows.push(RobustnessRow {
+                fault_rate: rate,
+                successes,
+                trials,
+                faults_observed,
+                mean_testbed_seconds: mean,
+                cost_inflation: if clean_mean > 0.0 {
+                    mean / clean_mean
+                } else {
+                    1.0
+                },
+            });
+        }
+        RobustnessReport { rows }
+    }
+}
+
+impl fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>7} {:>8} {:>10} {:>9}",
+            "FaultRate", "Succ.", "Faults", "MeanTime", "CostInfl"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>4}/{:<2} {:>8} {:>10} {:>8.2}x",
+                format!("{:.0}%", row.fault_rate * 100.0),
+                row.successes,
+                row.trials,
+                row.faults_observed,
+                format_testbed_time(row.mean_testbed_seconds),
+                row.cost_inflation,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -626,6 +897,96 @@ mod tests {
     }
 
     #[test]
+    fn faulted_cells_keep_sessions_and_observe_faults() {
+        let mut config = ExperimentConfig::smoke(2).with_supervision(Supervisor::default());
+        config = config.with_faults(FaultPlan::flaky(99, 0.5));
+        let mut artisan = Artisan::new(config.artisan.clone());
+        let spec = Spec::g1();
+        let cell = run_cell_with_cache(Method::Artisan, "G-1", &spec, &config, &mut artisan, None);
+        assert_eq!(cell.trials.len(), 2);
+        let faults: usize = cell
+            .trials
+            .iter()
+            .filter_map(|t| t.session.as_ref())
+            .map(|s| s.faults_observed)
+            .sum();
+        assert!(faults > 0, "flaky(0.5) plan injected no faults");
+        // Fault injection is deterministic: the same cell replays
+        // trial-for-trial.
+        let again = run_cell_with_cache(Method::Artisan, "G-1", &spec, &config, &mut artisan, None);
+        for (a, b) in cell.trials.iter().zip(&again.trials) {
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.testbed_seconds, b.testbed_seconds);
+            assert_eq!(a.session, b.session);
+        }
+        // Baseline rows never see the fault plan.
+        let bobo = run_cell_with_cache(Method::Bobo, "G-1", &spec, &config, &mut artisan, None);
+        assert!(bobo.trials.iter().all(|t| t.session.is_none()));
+    }
+
+    #[test]
+    fn robustness_report_degrades_gracefully() {
+        let config = ExperimentConfig::smoke(1).with_supervision(Supervisor::default());
+        let report = RobustnessReport::run(&config, &[0.4]);
+        assert_eq!(report.rows.len(), 2);
+        let clean = &report.rows[0];
+        assert_eq!(clean.fault_rate, 0.0);
+        assert_eq!(clean.trials, 5, "one trial per Table 2 group");
+        assert_eq!(clean.cost_inflation, 1.0);
+        let faulted = &report.rows[1];
+        assert_eq!(faulted.fault_rate, 0.4);
+        assert!(faulted.faults_observed > 0, "sweep observed no faults");
+        assert!(
+            faulted.successes <= clean.successes,
+            "faults cannot raise the success rate: {} > {}",
+            faulted.successes,
+            clean.successes
+        );
+        assert!(
+            faulted.cost_inflation >= 1.0,
+            "retries/backoff cannot deflate billed cost: {}",
+            faulted.cost_inflation
+        );
+        let text = report.to_string();
+        assert!(text.contains("CostInfl"), "{text}");
+        assert!(text.contains("40%"), "{text}");
+    }
+
+    #[test]
+    fn journaled_table3_resumes_terminal_sessions() {
+        let dir =
+            std::env::temp_dir().join(format!("artisan-table3-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+        let config = ExperimentConfig::smoke(1)
+            .with_supervision(Supervisor::default())
+            .with_journal_dir(&dir);
+        let first = Table3::run(&config);
+        assert!(first.journaled());
+        assert_eq!(first.journal_terminal_resumes(), 0);
+        assert!(
+            first.journal_warnings().is_empty(),
+            "{:?}",
+            first.journal_warnings()
+        );
+        let second = Table3::run(&config);
+        // Every Artisan supervised trial (5 groups × 1 trial) resumes
+        // from its terminal journal record instead of re-running.
+        assert_eq!(second.journal_terminal_resumes(), 5);
+        assert!(second.journal_warnings().is_empty());
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            for (ta, tb) in a.trials.iter().zip(&b.trials) {
+                assert_eq!(ta.success, tb.success);
+                assert_eq!(ta.testbed_seconds, tb.testbed_seconds);
+                assert_eq!(ta.session, tb.session);
+            }
+        }
+        let text = second.to_string();
+        assert!(text.contains("Session journals:"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mean_over_successes_ignores_failures() {
         use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
         let perf = Performance {
@@ -647,6 +1008,7 @@ mod tests {
                     coalesced_waits: 0,
                     batched_solves: 0,
                     session: None,
+                    journal: None,
                 },
                 TrialRecord {
                     success: false,
@@ -659,6 +1021,7 @@ mod tests {
                     coalesced_waits: 0,
                     batched_solves: 0,
                     session: None,
+                    journal: None,
                 },
             ],
         };

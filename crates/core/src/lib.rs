@@ -28,7 +28,8 @@ pub mod experiment;
 pub mod workflow;
 
 pub use experiment::{
-    run_cell, run_cell_with_cache, ExperimentConfig, GroupResult, Method, Table3, TrialRecord,
+    run_cell, run_cell_with_cache, ExperimentConfig, GroupResult, Method, RobustnessReport,
+    RobustnessRow, Table3, TrialRecord,
 };
 pub use workflow::{Artisan, ArtisanOptions, ArtisanOutcome};
 

@@ -6,7 +6,9 @@
 use artisan_agents::{AgentConfig, ArtisanAgent, DesignOutcome};
 use artisan_dataset::{DatasetConfig, OpampDataset};
 use artisan_gmid::{map_topology, LookupTable};
-use artisan_resilience::{ScheduledSession, Scheduler, SessionReport, Supervisor};
+use artisan_resilience::{
+    JournaledBatch, ScheduledSession, Scheduler, SessionJournal, SessionReport, Supervisor,
+};
 use artisan_sim::cost::{CostLedger, CostModel};
 use artisan_sim::{ParallelSimBackend, SimBackend, Simulator, Spec};
 use rand::rngs::StdRng;
@@ -168,6 +170,47 @@ impl Artisan {
     ) -> Vec<ScheduledSession<B>> {
         scheduler.run_batch_with_agent(&self.agent, spec, backends, base_seed)
     }
+
+    /// [`Artisan::design_supervised`] with crash-safe checkpointing:
+    /// every attempt boundary is appended to `journal`, and a journal
+    /// holding prior attempts fast-forwards past them (see
+    /// [`Supervisor::run_journaled`]).
+    pub fn design_supervised_journaled<B: SimBackend + ?Sized>(
+        &mut self,
+        spec: &Spec,
+        sim: &mut B,
+        supervisor: &Supervisor,
+        seed: u64,
+        journal: &mut SessionJournal,
+    ) -> SessionReport {
+        supervisor.run_journaled(&mut self.agent, spec, sim, seed, journal)
+    }
+
+    /// [`Artisan::design_batch`] with a per-session write-ahead journal
+    /// under `dir`: re-running the same batch against the same
+    /// directory after a crash resumes every session instead of
+    /// re-buying its completed attempts (see
+    /// [`Scheduler::run_batch_journaled`]). `extra_salt` folds any
+    /// extra behaviour-changing context (e.g. a fault-plan fingerprint)
+    /// into the journal-file identity.
+    pub fn design_batch_journaled<B: ParallelSimBackend>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        scheduler: &Scheduler,
+        base_seed: u64,
+        dir: &std::path::Path,
+        extra_salt: u64,
+    ) -> JournaledBatch<B> {
+        scheduler.run_batch_journaled_with_agent(
+            &self.agent,
+            spec,
+            backends,
+            base_seed,
+            dir,
+            extra_salt,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +362,30 @@ mod tests {
         let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
         let warm: f64 = screened.iter().map(|s| s.report.testbed_seconds).sum();
         assert!(warm < cold, "warm {warm}s >= cold {cold}s");
+    }
+
+    #[test]
+    fn journaled_batch_design_resumes_terminal_sessions_for_free() {
+        use artisan_math::ThreadPool;
+        let dir = std::env::temp_dir().join(format!("artisan-core-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+        let artisan = Artisan::new(ArtisanOptions::fast());
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
+        let make_backends = || -> Vec<Simulator> { (0..3).map(|_| Simulator::new()).collect() };
+        let plain = artisan.design_batch(&Spec::g1(), make_backends(), &scheduler, 13);
+        let first =
+            artisan.design_batch_journaled(&Spec::g1(), make_backends(), &scheduler, 13, &dir, 0);
+        assert_eq!(first.resumed_terminal(), 0);
+        let second =
+            artisan.design_batch_journaled(&Spec::g1(), make_backends(), &scheduler, 13, &dir, 0);
+        assert_eq!(second.resumed_terminal(), 3);
+        for ((a, b), p) in first.sessions.iter().zip(&second.sessions).zip(&plain) {
+            assert_eq!(a.report, b.report, "session {}", a.session);
+            assert_eq!(a.report.events, p.report.events, "session {}", a.session);
+            assert_eq!(b.report.simulations, p.report.simulations);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use artisan_circuit::{Netlist, Topology};
 use artisan_math::MathError;
 use artisan_sim::cost::CostLedger;
-use artisan_sim::{AnalysisReport, Result, SimBackend, SimError};
+use artisan_sim::{wire, AnalysisReport, Result, SimBackend, SimError};
 
 /// What kind of corruption a call suffered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +146,27 @@ impl FaultPlan {
             latency_seconds: 0.0,
             persistent_from: Some(from),
         }
+    }
+
+    /// FNV-64 fingerprint of every field (rates as `f64` bit patterns),
+    /// folded into the session-journal plan fingerprint so a journal
+    /// written under one fault schedule can never resume a session
+    /// running a different one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        wire::push_u64(&mut bytes, self.seed);
+        wire::push_f64(&mut bytes, self.error_rate);
+        wire::push_f64(&mut bytes, self.nan_rate);
+        wire::push_f64(&mut bytes, self.latency_rate);
+        wire::push_f64(&mut bytes, self.latency_seconds);
+        match self.persistent_from {
+            Some(from) => {
+                wire::push_u8(&mut bytes, 1);
+                wire::push_u64(&mut bytes, from);
+            }
+            None => wire::push_u8(&mut bytes, 0),
+        }
+        wire::fnv1a64(&bytes)
     }
 }
 
@@ -327,6 +348,18 @@ impl<B: SimBackend> SimBackend for FaultySim<B> {
     fn drain_fault_notes(&mut self) -> Vec<String> {
         std::mem::take(&mut self.notes)
     }
+
+    fn calls_made(&self) -> u64 {
+        self.calls
+    }
+
+    fn fast_forward_calls(&mut self, calls: u64) {
+        // The dice are a pure hash of (seed, call index): restoring the
+        // counter restores the entire future fault schedule. The
+        // journal resume path replays a crashed session's remaining
+        // attempts against exactly the faults they would have seen.
+        self.calls = calls;
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +506,51 @@ mod tests {
         assert_eq!(batch_out, serial_out);
         assert_eq!(batch.fault_log(), serial.fault_log());
         assert_eq!(batch.calls(), serial.calls());
+    }
+
+    #[test]
+    fn fast_forward_restores_the_fault_schedule() {
+        // Run 40 calls straight through, then replay the last 25 from a
+        // fresh wrapper fast-forwarded to call 15: the tail outcomes and
+        // fault records must match the uninterrupted run exactly.
+        let plan = FaultPlan::flaky(99, 0.5);
+        let shape = |r: Result<AnalysisReport>| match r {
+            Ok(rep) => format!("ok finite={}", rep.performance.is_finite()),
+            Err(e) => format!("err {e}"),
+        };
+        let mut clean = FaultySim::new(Simulator::new(), plan);
+        let clean_out: Vec<String> = (0..40)
+            .map(|_| shape(clean.analyze_topology(&nmc())))
+            .collect();
+        let mut resumed = FaultySim::new(Simulator::new(), plan);
+        resumed.fast_forward_calls(15);
+        assert_eq!(resumed.calls_made(), 15);
+        let tail: Vec<String> = (0..25)
+            .map(|_| shape(resumed.analyze_topology(&nmc())))
+            .collect();
+        assert_eq!(tail, clean_out[15..]);
+        let clean_tail: Vec<&FaultRecord> =
+            clean.fault_log().iter().filter(|r| r.call >= 15).collect();
+        let resumed_log: Vec<&FaultRecord> = resumed.fault_log().iter().collect();
+        assert_eq!(resumed_log, clean_tail);
+    }
+
+    #[test]
+    fn plan_fingerprint_separates_plans() {
+        let a = FaultPlan::flaky(1, 0.25);
+        assert_eq!(a.fingerprint(), FaultPlan::flaky(1, 0.25).fingerprint());
+        // Every field participates.
+        assert_ne!(a.fingerprint(), FaultPlan::flaky(2, 0.25).fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::flaky(1, 0.26).fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::none().fingerprint());
+        assert_ne!(
+            FaultPlan::outage_from(1, 5).fingerprint(),
+            FaultPlan::outage_from(1, 6).fingerprint()
+        );
+        // Some(0) and None must differ (the tag byte matters).
+        let mut zero_onset = FaultPlan::none();
+        zero_onset.persistent_from = Some(0);
+        assert_ne!(zero_onset.fingerprint(), FaultPlan::none().fingerprint());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   observed faults, retries, backoff, and whether the result is
 //!   `degraded` (best-so-far after the budget ran out) — and that never
 //!   reports success for a non-finite or spec-violating design.
+//! - [`SessionJournal`] makes supervised sessions crash-safe: every
+//!   attempt boundary is checkpointed to an append-only, checksummed
+//!   write-ahead journal, and a restarted process fast-forwards past
+//!   completed attempts instead of re-buying them (see
+//!   [`Supervisor::run_journaled`]).
 //! - [`Scheduler`] fans batches of supervised sessions out over a
 //!   std-only thread pool ([`artisan_math::ThreadPool`], sized by
 //!   `ARTISAN_THREADS`). Each session owns its backend and seed, so
@@ -46,9 +51,15 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod journal;
 pub mod scheduler;
 pub mod supervisor;
 
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultySim};
-pub use scheduler::{ScheduledSession, Scheduler};
+pub use journal::{
+    agent_config_salt, faulted_plan_fingerprint, journal_dir_from_env, plan_fingerprint, scan_dir,
+    session_file_name, AppendOutcome, AttemptRecord, JournalLoad, JournalOutcome, JournalRecord,
+    JournalScan, SessionJournal, JOURNAL_DIR_ENV,
+};
+pub use scheduler::{JournaledBatch, ScheduledSession, Scheduler};
 pub use supervisor::{RetryPolicy, SessionBudget, SessionEvent, SessionReport, Supervisor};

@@ -13,10 +13,14 @@
 //! for any worker count, including the `ARTISAN_THREADS=1` sequential
 //! fallback — the chaos suite pins this.
 
+use crate::journal::{
+    agent_config_salt, plan_fingerprint, session_file_name, JournalOutcome, SessionJournal,
+};
 use crate::supervisor::{SessionReport, Supervisor};
 use artisan_agents::{AgentConfig, ArtisanAgent};
 use artisan_math::ThreadPool;
 use artisan_sim::{ParallelSimBackend, Spec};
+use std::path::Path;
 use std::sync::{Mutex, PoisonError};
 
 /// One scheduled session's result: the report plus the session's own
@@ -31,6 +35,48 @@ pub struct ScheduledSession<B> {
     pub report: SessionReport,
     /// The backend the session ran against, with its final ledger.
     pub backend: B,
+}
+
+/// A journaled batch: the sessions plus what each session's journal
+/// observed (resume state, appended bytes, swallowed disk errors).
+#[derive(Debug)]
+pub struct JournaledBatch<B> {
+    /// The plan fingerprint every session's journal file is keyed by.
+    pub plan_fingerprint: u64,
+    /// The scheduled sessions, in backend order.
+    pub sessions: Vec<ScheduledSession<B>>,
+    /// Per-session journal outcome, parallel to
+    /// [`JournaledBatch::sessions`].
+    pub journals: Vec<JournalOutcome>,
+}
+
+impl<B> JournaledBatch<B> {
+    /// Sessions whose journal already held a terminal verdict (no work
+    /// re-run, report restored from disk).
+    pub fn resumed_terminal(&self) -> usize {
+        self.journals.iter().filter(|j| j.load.terminal).count()
+    }
+
+    /// Completed attempts restored across the batch (work the crash
+    /// did not lose).
+    pub fn attempts_restored(&self) -> usize {
+        self.journals.iter().map(|j| j.load.attempts_loaded).sum()
+    }
+
+    /// Every journal warning (rejected/truncated files) and swallowed
+    /// disk error, with the session index it belongs to.
+    pub fn warnings(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (k, j) in self.journals.iter().enumerate() {
+            if let Some(w) = &j.load.warning {
+                out.push((k, w.clone()));
+            }
+            for e in &j.io_errors {
+                out.push((k, format!("journal write failed: {e}")));
+            }
+        }
+        out
+    }
 }
 
 /// Runs batches of supervised sessions concurrently.
@@ -115,6 +161,109 @@ impl Scheduler {
         base_seed: u64,
     ) -> Vec<ScheduledSession<B>> {
         self.run_batch_inner(spec, backends, base_seed, || agent.clone())
+    }
+
+    /// Like [`Scheduler::run_batch`], but crash-safe: each session
+    /// keeps a write-ahead journal under `dir`, named
+    /// [`session_file_name`]`(fingerprint, session_seed)`. Re-running
+    /// the same batch against the same `dir` after a crash *is* the
+    /// recovery protocol — deterministic file names mean every session
+    /// reopens its predecessor's journal, fast-forwards past journaled
+    /// attempts, and sessions that already reached a terminal verdict
+    /// return the recorded report without touching their backend.
+    ///
+    /// `extra_salt` folds anything beyond `(spec, supervisor, agent
+    /// config)` that changes session behaviour into the plan
+    /// fingerprint — pass [`crate::fault::FaultPlan::fingerprint`] when
+    /// backends inject faults, 0 otherwise. The composition matches
+    /// [`crate::journal::faulted_plan_fingerprint`].
+    pub fn run_batch_journaled<B: ParallelSimBackend>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+        dir: &Path,
+        extra_salt: u64,
+    ) -> JournaledBatch<B> {
+        self.run_batch_journaled_inner(spec, backends, base_seed, dir, extra_salt, || {
+            ArtisanAgent::untrained(AgentConfig::noiseless())
+        })
+    }
+
+    /// [`Scheduler::run_batch_journaled`] with a clone of the caller's
+    /// (possibly trained) agent per session.
+    pub fn run_batch_journaled_with_agent<B: ParallelSimBackend>(
+        &self,
+        agent: &ArtisanAgent,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+        dir: &Path,
+        extra_salt: u64,
+    ) -> JournaledBatch<B> {
+        self.run_batch_journaled_inner(spec, backends, base_seed, dir, extra_salt, || agent.clone())
+    }
+
+    fn run_batch_journaled_inner<B, F>(
+        &self,
+        spec: &Spec,
+        backends: Vec<B>,
+        base_seed: u64,
+        dir: &Path,
+        extra_salt: u64,
+        make_agent: F,
+    ) -> JournaledBatch<B>
+    where
+        B: ParallelSimBackend,
+        F: Fn() -> ArtisanAgent + Sync,
+    {
+        let config = make_agent().config();
+        let fingerprint = plan_fingerprint(
+            spec,
+            &self.supervisor,
+            agent_config_salt(&config) ^ extra_salt.rotate_left(17),
+        );
+        let cells: Vec<Mutex<B>> = backends.into_iter().map(Mutex::new).collect();
+        let results: Vec<(SessionReport, JournalOutcome)> =
+            self.pool.par_map_indexed(&cells, |k, cell| {
+                let mut agent = make_agent();
+                let seed = Self::session_seed(base_seed, k);
+                let path = dir.join(session_file_name(fingerprint, seed));
+                let (mut journal, load) = SessionJournal::open(&path, fingerprint, seed);
+                let mut backend = lock(cell);
+                let report = self.supervisor.run_journaled(
+                    &mut agent,
+                    spec,
+                    &mut *backend,
+                    seed,
+                    &mut journal,
+                );
+                let outcome = JournalOutcome {
+                    path,
+                    load,
+                    appends: journal.appends(),
+                    bytes_written: journal.bytes_written(),
+                    encoded_len: journal.encoded_len(),
+                    io_errors: journal.io_errors().to_vec(),
+                };
+                (report, outcome)
+            });
+        let mut sessions = Vec::with_capacity(cells.len());
+        let mut journals = Vec::with_capacity(cells.len());
+        for (k, (cell, (report, outcome))) in cells.into_iter().zip(results).enumerate() {
+            sessions.push(ScheduledSession {
+                session: k,
+                seed: Self::session_seed(base_seed, k),
+                report,
+                backend: cell.into_inner().unwrap_or_else(PoisonError::into_inner),
+            });
+            journals.push(outcome);
+        }
+        JournaledBatch {
+            plan_fingerprint: fingerprint,
+            sessions,
+            journals,
+        }
     }
 
     fn run_batch_inner<B, F>(
@@ -331,6 +480,65 @@ mod tests {
         let cold: f64 = baseline.iter().map(|s| s.report.testbed_seconds).sum();
         let warm: f64 = cached.iter().map(|s| s.report.testbed_seconds).sum();
         assert!(warm < cold, "warm batch {warm}s >= cold batch {cold}s");
+    }
+
+    #[test]
+    fn journaled_batch_matches_plain_and_resumes_for_free() {
+        let dir = std::env::temp_dir().join(format!(
+            "artisan-sched-journal-{}-{}",
+            std::process::id(),
+            77
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{e}"));
+        let scheduler = Scheduler::with_pool(Supervisor::default(), ThreadPool::with_workers(2));
+        let make_backends = || -> Vec<FaultySim<Simulator>> {
+            (0..4)
+                .map(|k| FaultySim::new(Simulator::new(), FaultPlan::flaky(k as u64, 0.3)))
+                .collect()
+        };
+        let plain = scheduler.run_batch(&Spec::g1(), make_backends(), 31);
+        let salt = FaultPlan::flaky(0, 0.3).fingerprint();
+        let journaled = scheduler.run_batch_journaled(&Spec::g1(), make_backends(), 31, &dir, salt);
+        assert_eq!(journaled.resumed_terminal(), 0);
+        assert!(
+            journaled.warnings().is_empty(),
+            "{:?}",
+            journaled.warnings()
+        );
+        for (a, b) in journaled.sessions.iter().zip(&plain) {
+            assert!(
+                field_equal(&a.report, &b.report),
+                "session {}: journaling changed the session",
+                a.session
+            );
+        }
+        for j in &journaled.journals {
+            assert!(j.path.exists(), "{} missing", j.path.display());
+            assert!(j.appends >= 2, "attempt + terminal at minimum");
+        }
+        // Second run over the same dir: every session resumes from its
+        // terminal record — field-identical reports, untouched backends.
+        let resumed = scheduler.run_batch_journaled(&Spec::g1(), make_backends(), 31, &dir, salt);
+        assert_eq!(resumed.resumed_terminal(), 4);
+        for (a, b) in resumed.sessions.iter().zip(&plain) {
+            assert!(field_equal(&a.report, &b.report), "session {}", a.session);
+            assert_eq!(
+                a.backend.ledger().simulations(),
+                0,
+                "resumed session {} re-simulated",
+                a.session
+            );
+        }
+        for j in &resumed.journals {
+            assert_eq!(j.appends, 0, "terminal resume must not append");
+        }
+        // A different fault salt must not resume from these files: the
+        // fingerprint differs, so sessions run fresh in their own files.
+        let other = scheduler.run_batch_journaled(&Spec::g1(), make_backends(), 31, &dir, salt ^ 1);
+        assert_eq!(other.resumed_terminal(), 0);
+        assert_ne!(other.plan_fingerprint, resumed.plan_fingerprint);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

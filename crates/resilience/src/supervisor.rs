@@ -24,6 +24,7 @@
 //! a deterministic function of its seeds, and replaying it (or running
 //! thousands of them in a chaos sweep) costs no real time.
 
+use crate::journal::{AttemptRecord, JournalRecord, SessionJournal};
 use artisan_agents::{AgentConfig, ArtisanAgent, DesignOutcome};
 use artisan_sim::cost::CostModel;
 use artisan_sim::{SimBackend, Spec};
@@ -123,7 +124,7 @@ pub enum SessionEvent {
 }
 
 /// The structured record of one supervised session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Whether the best outcome passed independent validation (finite
     /// metrics, every spec constraint, stable).
@@ -279,14 +280,92 @@ impl Supervisor {
         sim: &mut B,
         seed: u64,
     ) -> SessionReport {
+        self.run_journaled(agent, spec, sim, seed, &mut SessionJournal::detached())
+    }
+
+    /// [`Supervisor::run_journaled`] with a fresh untrained noiseless
+    /// agent — the journaled sibling of [`Supervisor::run`].
+    pub fn run_journaled_default_agent<B: SimBackend + ?Sized>(
+        &self,
+        spec: &Spec,
+        sim: &mut B,
+        seed: u64,
+        journal: &mut SessionJournal,
+    ) -> SessionReport {
+        let mut agent = ArtisanAgent::untrained(AgentConfig::noiseless());
+        self.run_journaled(&mut agent, spec, sim, seed, journal)
+    }
+
+    /// Runs a session with crash-safe checkpointing: every attempt
+    /// boundary is appended to `journal`, and a journal that already
+    /// holds completed attempts is fast-forwarded instead of re-run —
+    /// restored events, best-so-far outcome, the cumulative cost
+    /// ledger, and the backend's analysis-call count (so a
+    /// deterministic fault-injecting backend resumes on the exact dice
+    /// it would have rolled). A journal whose last record is terminal
+    /// returns the recorded report without running anything.
+    ///
+    /// The unjournaled entry points delegate here with a
+    /// [`SessionJournal::detached`] journal, so a resumed session and
+    /// an uninterrupted one execute the *same* loop — the
+    /// field-identity guarantee is structural, not replicated logic.
+    /// Journal I/O failures never perturb the session; they accumulate
+    /// in [`SessionJournal::io_errors`].
+    ///
+    /// Caller contract: `sim` must be in the same state the journaled
+    /// session's backend was in at its last recorded boundary *modulo*
+    /// the restored ledger and call counter — i.e. a freshly
+    /// constructed backend of the same configuration. Stateful stacks
+    /// (a warm `CachedSim`) resume correctly in billing and events, but
+    /// exact cost equality additionally needs the companion cache
+    /// snapshot (see DESIGN.md §4.12).
+    pub fn run_journaled<B: SimBackend + ?Sized>(
+        &self,
+        agent: &mut ArtisanAgent,
+        spec: &Spec,
+        sim: &mut B,
+        seed: u64,
+        journal: &mut SessionJournal,
+    ) -> SessionReport {
+        if let Some(report) = journal.terminal() {
+            return report.clone();
+        }
         let (attempt_sims, attempt_llm) = worst_case_attempt(&agent.config());
         let mut events = Vec::new();
         let mut best: Option<(usize, DesignOutcome)> = None;
         let mut success = false;
         let mut attempts = 0;
         let mut faults_observed = 0;
+        let mut start_attempt = 1;
 
-        for attempt in 1..=self.retry.max_attempts.max(1) {
+        // Fast-forward past journaled attempts: rebuild the loop state
+        // they produced and restore the backend's billing + fault dice.
+        {
+            let restored: Vec<AttemptRecord> = journal.attempt_records().cloned().collect();
+            if let Some(last) = restored.last() {
+                for rec in &restored {
+                    faults_observed += rec
+                        .events
+                        .iter()
+                        .filter(|e| matches!(e, SessionEvent::FaultObserved { .. }))
+                        .count();
+                    events.extend(rec.events.iter().cloned());
+                    if let Some((fails, outcome)) = &rec.best {
+                        best = Some((*fails, outcome.clone()));
+                    }
+                }
+                attempts = last.attempt;
+                success = last.validated;
+                start_attempt = last.attempt + 1;
+                *sim.ledger_mut() = last.ledger;
+                sim.fast_forward_calls(last.backend_calls);
+            }
+        }
+
+        for attempt in start_attempt..=self.retry.max_attempts.max(1) {
+            if success {
+                break;
+            }
             // Pre-flight: never start an attempt the budget cannot
             // worst-case afford.
             let ledger = sim.ledger();
@@ -311,6 +390,7 @@ impl Supervisor {
             }
 
             attempts = attempt;
+            let events_before = events.len();
             events.push(SessionEvent::AttemptStarted { attempt });
             let mut rng = StdRng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37));
             let outcome = agent.design(spec, sim, &mut rng);
@@ -322,14 +402,13 @@ impl Supervisor {
             events.push(SessionEvent::AttemptFinished { attempt, validated });
 
             let fails = failure_count(spec, &outcome);
-            if best.as_ref().is_none_or(|(prev, _)| fails < *prev) {
+            let improved = best.as_ref().is_none_or(|(prev, _)| fails < *prev);
+            if improved {
                 best = Some((fails, outcome));
             }
             if validated {
                 success = true;
-                break;
-            }
-            if attempt < self.retry.max_attempts {
+            } else if attempt < self.retry.max_attempts {
                 let seconds = self.retry.backoff_seconds(attempt);
                 if seconds > 0.0 {
                     sim.ledger_mut().record_penalty_seconds(seconds);
@@ -339,11 +418,26 @@ impl Supervisor {
                     });
                 }
             }
+            // Attempt boundary: checkpoint the delta (after backoff
+            // billing, so the recorded ledger is the resume point).
+            if journal.is_recording() {
+                journal.append_best_effort(JournalRecord::Attempt(AttemptRecord {
+                    attempt,
+                    validated,
+                    events: events[events_before..].to_vec(),
+                    best: if improved { best.clone() } else { None },
+                    ledger: *sim.ledger(),
+                    backend_calls: sim.calls_made(),
+                }));
+            }
+            if validated {
+                break;
+            }
         }
 
         let ledger = sim.ledger();
         let outcome = best.map(|(_, o)| o);
-        SessionReport {
+        let report = SessionReport {
             success,
             degraded: !success && outcome.is_some(),
             attempts,
@@ -356,7 +450,11 @@ impl Supervisor {
             coalesced_waits: ledger.coalesced_waits() as usize,
             batched_solves: ledger.batched_solves() as usize,
             testbed_seconds: ledger.testbed_seconds(&self.cost_model),
+        };
+        if journal.is_recording() {
+            journal.append_best_effort(JournalRecord::Terminal(report.clone()));
         }
+        report
     }
 }
 

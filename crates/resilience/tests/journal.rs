@@ -1,0 +1,215 @@
+//! Crash-recovery property suite for the session write-ahead journal.
+//!
+//! Two families of properties pin the journal's contract:
+//!
+//! 1. **Kill/resume**: a session interrupted after *any* number of
+//!    checkpointed attempts and resumed on a fresh process produces a
+//!    [`SessionReport`] field-identical to the uninterrupted run, with
+//!    the backend making exactly the same total number of calls — the
+//!    resumed leg re-buys only the un-checkpointed tail, never the
+//!    restored prefix.
+//! 2. **Corruption**: arbitrary single-byte flips and truncations of
+//!    the on-disk journal never panic the loader and never change the
+//!    final report — a damaged journal degrades to a (possibly empty)
+//!    true prefix of the original, and the resumed session converges
+//!    to the same verdict at worst by re-running everything.
+//!
+//! Case count follows `PROPTEST_CASES` (default 256); the CI `chaos`
+//! job raises it and sweeps `CHAOS_SEED_OFFSET` (see `tests/chaos.rs`).
+
+use artisan_resilience::{
+    FaultPlan, FaultySim, JournalRecord, RetryPolicy, SessionBudget, SessionJournal, Supervisor,
+};
+use artisan_sim::{SimBackend, Simulator, Spec};
+use proptest::prelude::*;
+
+/// Shifts every sampled seed by a per-CI-leg window.
+fn offset(seed: u64) -> u64 {
+    let leg: u64 = std::env::var("CHAOS_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    seed.wrapping_add(leg.wrapping_mul(1_000_000_007))
+}
+
+fn supervisor() -> Supervisor {
+    Supervisor::new(
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_seconds: 30.0,
+            backoff_factor: 2.0,
+        },
+        SessionBudget {
+            max_simulations: 24,
+            max_llm_steps: 120,
+            max_testbed_seconds: 7200.0,
+        },
+    )
+}
+
+fn plan(seed: u64, error_rate: f64, nan_rate: f64, dead_on_arrival: bool) -> FaultPlan {
+    FaultPlan {
+        seed,
+        error_rate,
+        nan_rate,
+        latency_rate: 0.2,
+        latency_seconds: 10.0,
+        persistent_from: if dead_on_arrival { Some(0) } else { None },
+    }
+}
+
+/// An arbitrary but fixed plan fingerprint: these tests drive
+/// [`SessionJournal`] directly, so only self-consistency matters.
+const FP: u64 = 0xA11C_E0DE_CAFE_F00D;
+
+proptest! {
+    /// Kill the session after `cut` checkpointed attempts (any cut,
+    /// including zero and all-of-them), resume on a fresh backend, and
+    /// the report and total backend call count must be identical to the
+    /// uninterrupted run.
+    #[test]
+    fn kill_after_any_attempt_resumes_field_identical(
+        seed in 0u64..1_000_000,
+        error_rate in 0.0f64..0.6,
+        nan_rate in 0.0f64..0.6,
+        doa_sel in 0u32..4,
+        cut_sel in 0usize..16,
+    ) {
+        let seed = offset(seed);
+        let supervisor = supervisor();
+        let spec = Spec::g1();
+        let plan = plan(seed, error_rate, nan_rate, doa_sel == 0);
+
+        let mut reference_sim = FaultySim::new(Simulator::new(), plan);
+        let mut reference_journal = SessionJournal::in_memory(FP, seed);
+        let reference = supervisor.run_journaled_default_agent(
+            &spec, &mut reference_sim, seed, &mut reference_journal,
+        );
+        let reference_calls = reference_sim.calls_made();
+        let records: Vec<_> = reference_journal.attempt_records().cloned().collect();
+        prop_assert_eq!(records.len(), reference.attempts);
+
+        let cut = cut_sel % (records.len() + 1);
+        let mut resumed_journal = SessionJournal::in_memory(FP, seed);
+        for record in &records[..cut] {
+            resumed_journal
+                .append(JournalRecord::Attempt(record.clone()))
+                .unwrap_or_else(|e| panic!("in-memory append failed: {e}"));
+        }
+        let mut resumed_sim = FaultySim::new(Simulator::new(), plan);
+        let resumed = supervisor.run_journaled_default_agent(
+            &spec, &mut resumed_sim, seed, &mut resumed_journal,
+        );
+
+        prop_assert_eq!(&resumed, &reference);
+        // The resumed backend's cumulative call counter lands exactly
+        // where the uninterrupted run's did: the restored attempts were
+        // fast-forwarded, not re-simulated (a mis-resume would re-buy
+        // them and overshoot).
+        prop_assert_eq!(resumed_sim.calls_made(), reference_calls);
+        // And the resumed journal converges to the same record stream.
+        prop_assert_eq!(
+            resumed_journal.attempt_records().count(),
+            records.len()
+        );
+        prop_assert!(resumed_journal.terminal().is_some());
+    }
+
+    /// A journal holding the terminal verdict resumes without a single
+    /// backend call — the report comes straight off the journal.
+    #[test]
+    fn terminal_journal_resumes_for_free(
+        seed in 0u64..1_000_000,
+        error_rate in 0.0f64..0.6,
+        nan_rate in 0.0f64..0.6,
+    ) {
+        let seed = offset(seed);
+        let supervisor = supervisor();
+        let spec = Spec::g1();
+        let plan = plan(seed, error_rate, nan_rate, false);
+
+        let mut reference_sim = FaultySim::new(Simulator::new(), plan);
+        let mut journal = SessionJournal::in_memory(FP, seed);
+        let reference = supervisor.run_journaled_default_agent(
+            &spec, &mut reference_sim, seed, &mut journal,
+        );
+        prop_assert!(journal.terminal().is_some());
+
+        let mut resumed_sim = FaultySim::new(Simulator::new(), plan);
+        let resumed = supervisor.run_journaled_default_agent(
+            &spec, &mut resumed_sim, seed, &mut journal,
+        );
+        prop_assert_eq!(&resumed, &reference);
+        prop_assert_eq!(resumed_sim.calls_made(), 0);
+        prop_assert_eq!(resumed_sim.ledger().simulations(), 0);
+    }
+
+    /// Flip a byte, cut the tail, or both: the loader must never panic
+    /// and never mis-resume. Whatever survives is a true prefix of the
+    /// original record stream, so the resumed session always lands on
+    /// the uninterrupted run's exact report.
+    #[test]
+    fn corrupted_journal_never_panics_and_never_changes_the_result(
+        seed in 0u64..1_000_000,
+        error_rate in 0.0f64..0.6,
+        flip_sel in 0u32..4,
+        flip_at in 0usize..1_000_000,
+        truncate_sel in 0u32..4,
+        truncate_at in 0usize..1_000_000,
+    ) {
+        let seed = offset(seed);
+        // 3-in-4 odds each, independently: flip a byte, cut the tail.
+        let flip = (flip_sel > 0).then_some(flip_at);
+        let truncate = (truncate_sel > 0).then_some(truncate_at);
+        let supervisor = supervisor();
+        let spec = Spec::g1();
+        let plan = plan(seed, error_rate, 0.2, false);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "artisan-journal-prop-{}-{seed:x}-{:x}.wal",
+            std::process::id(),
+            flip.unwrap_or(0) ^ truncate.unwrap_or(0).rotate_left(13)
+        ));
+        std::fs::remove_file(&path).ok();
+
+        let mut reference_sim = FaultySim::new(Simulator::new(), plan);
+        let (mut journal, load) = SessionJournal::open(&path, FP, seed);
+        prop_assert!(load.warning.is_none());
+        let reference = supervisor.run_journaled_default_agent(
+            &spec, &mut reference_sim, seed, &mut journal,
+        );
+        prop_assert!(journal.io_errors().is_empty());
+
+        let mut bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("journal unreadable: {e}"));
+        if let Some(at) = flip {
+            let at = at % bytes.len();
+            bytes[at] ^= 0x41;
+        }
+        if let Some(at) = truncate {
+            bytes.truncate(at % (bytes.len() + 1));
+        }
+        std::fs::write(&path, &bytes)
+            .unwrap_or_else(|e| panic!("cannot write mutated journal: {e}"));
+
+        // Loading must not panic; what it salvages must be a true
+        // prefix of the reference stream.
+        let (mut damaged, _load) = SessionJournal::open(&path, FP, seed);
+        let salvaged = damaged.attempt_records().count();
+        prop_assert!(salvaged <= reference.attempts);
+        for (a, b) in damaged
+            .attempt_records()
+            .zip(journal.attempt_records())
+        {
+            prop_assert_eq!(a, b);
+        }
+
+        let mut resumed_sim = FaultySim::new(Simulator::new(), plan);
+        let resumed = supervisor.run_journaled_default_agent(
+            &spec, &mut resumed_sim, seed, &mut damaged,
+        );
+        prop_assert_eq!(&resumed, &reference);
+
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -64,6 +64,23 @@ pub trait SimBackend {
     fn drain_fault_notes(&mut self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Analysis calls this backend has served so far, for backends whose
+    /// behaviour depends on a per-call counter (deterministic fault
+    /// dice). Stateless backends return 0 — resume never needs to
+    /// restore anything for them.
+    fn calls_made(&self) -> u64 {
+        0
+    }
+
+    /// Fast-forwards the per-call counter to `calls`, as if that many
+    /// analyses had already been served. The journal resume path uses
+    /// this so a deterministic fault-injecting backend rolls the *same*
+    /// dice after a crash that it would have rolled uninterrupted.
+    /// Stateless backends ignore it.
+    fn fast_forward_calls(&mut self, calls: u64) {
+        let _ = calls;
+    }
 }
 
 impl SimBackend for Simulator {
@@ -135,6 +152,14 @@ macro_rules! forward_sim_backend {
 
             fn drain_fault_notes(&mut self) -> Vec<String> {
                 (**self).drain_fault_notes()
+            }
+
+            fn calls_made(&self) -> u64 {
+                (**self).calls_made()
+            }
+
+            fn fast_forward_calls(&mut self, calls: u64) {
+                (**self).fast_forward_calls(calls)
             }
         }
     )+};

@@ -58,11 +58,8 @@
 
 use super::{lock, SimCache};
 use crate::fingerprint::NetlistFingerprint;
-use crate::metrics::Performance;
-use crate::poles::PoleZero;
 use crate::simulator::AnalysisReport;
-use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
-use artisan_math::Complex64;
+use crate::wire::{self, fnv1a64, Reader};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -109,125 +106,23 @@ pub struct LoadOutcome {
     pub warning: Option<String>,
 }
 
-/// FNV-1a 64-bit over `bytes` — cheap, dependency-free corruption
-/// detection (not cryptographic; the snapshot is a local cache, not a
-/// trust boundary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-fn push_f64(out: &mut Vec<u8>, value: f64) {
-    out.extend_from_slice(&value.to_bits().to_le_bytes());
-}
-
-fn push_complex_list(out: &mut Vec<u8>, list: &[Complex64]) {
-    // Pole/zero lists are tiny (circuit order ≈ 10); u32 is generous.
-    out.extend_from_slice(&(list.len() as u32).to_le_bytes());
-    for c in list {
-        push_f64(out, c.re);
-        push_f64(out, c.im);
-    }
-}
-
 fn encode_entry(out: &mut Vec<u8>, key: NetlistFingerprint, report: &AnalysisReport) {
     out.extend_from_slice(&key.to_bytes());
-    push_f64(out, report.performance.gain.0);
-    push_f64(out, report.performance.gbw.0);
-    push_f64(out, report.performance.pm.0);
-    push_f64(out, report.performance.power.0);
-    push_f64(out, report.performance.fom);
-    out.push(u8::from(report.stable));
-    push_complex_list(out, &report.pole_zero.poles);
-    push_complex_list(out, &report.pole_zero.zeros);
+    wire::encode_report(out, report);
 }
 
-/// Bounded little-endian reader over the snapshot payload. Every read
-/// is length-checked so a malformed count can never panic or
-/// over-allocate.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&end| end <= self.bytes.len())
-            .ok_or_else(|| format!("unexpected end of snapshot at byte {}", self.pos))?;
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
+fn decode_entry(reader: &mut Reader<'_>) -> Result<(NetlistFingerprint, AnalysisReport), String> {
+    let mut key_bytes = [0u8; 16];
+    key_bytes.copy_from_slice(reader.take(16)?);
+    let key = NetlistFingerprint::from_bytes(key_bytes);
+    let report = reader.report()?;
+    // The in-memory cache's own admission rule — the shared wire codec
+    // round-trips non-finite reports (the journal needs that), the
+    // snapshot refuses to serve them.
+    if !report.performance.is_finite() {
+        return Err("snapshot entry has non-finite metrics".into());
     }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        let mut buf = [0u8; 4];
-        buf.copy_from_slice(self.take(4)?);
-        Ok(u32::from_le_bytes(buf))
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        let mut buf = [0u8; 8];
-        buf.copy_from_slice(self.take(8)?);
-        Ok(f64::from_bits(u64::from_le_bytes(buf)))
-    }
-
-    fn complex_list(&mut self) -> Result<Vec<Complex64>, String> {
-        let count = self.u32()? as usize;
-        // Each complex needs 16 bytes; reject counts the remaining
-        // payload cannot possibly satisfy before allocating.
-        if count.saturating_mul(16) > self.bytes.len().saturating_sub(self.pos) {
-            return Err(format!("pole/zero count {count} exceeds snapshot payload"));
-        }
-        let mut list = Vec::with_capacity(count);
-        for _ in 0..count {
-            let re = self.f64()?;
-            let im = self.f64()?;
-            list.push(Complex64 { re, im });
-        }
-        Ok(list)
-    }
-
-    fn entry(&mut self) -> Result<(NetlistFingerprint, AnalysisReport), String> {
-        let mut key_bytes = [0u8; 16];
-        key_bytes.copy_from_slice(self.take(16)?);
-        let key = NetlistFingerprint::from_bytes(key_bytes);
-        let performance = Performance {
-            gain: Decibels(self.f64()?),
-            gbw: Hertz(self.f64()?),
-            pm: Degrees(self.f64()?),
-            power: Watts(self.f64()?),
-            fom: self.f64()?,
-        };
-        let stable = match self.u8()? {
-            0 => false,
-            1 => true,
-            other => return Err(format!("invalid stability byte {other}")),
-        };
-        let poles = self.complex_list()?;
-        let zeros = self.complex_list()?;
-        if !performance.is_finite() {
-            return Err("snapshot entry has non-finite metrics".into());
-        }
-        Ok((
-            key,
-            AnalysisReport {
-                performance,
-                pole_zero: PoleZero { poles, zeros },
-                stable,
-            },
-        ))
-    }
+    Ok((key, report))
 }
 
 fn decode(
@@ -250,10 +145,7 @@ fn decode(
             "checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — corrupt or truncated snapshot"
         ));
     }
-    let mut reader = Reader {
-        bytes: body,
-        pos: 0,
-    };
+    let mut reader = Reader::new(body);
     if reader.take(8)? != MAGIC {
         return Err("not an artisan sim-cache snapshot (bad magic)".into());
     }
@@ -276,15 +168,13 @@ fn decode(
     let count = u64::from_le_bytes(count_bytes);
     let mut entries = Vec::new();
     for i in 0..count {
-        let entry = reader
-            .entry()
-            .map_err(|e| format!("entry {i}/{count}: {e}"))?;
+        let entry = decode_entry(&mut reader).map_err(|e| format!("entry {i}/{count}: {e}"))?;
         entries.push(entry);
     }
-    if reader.pos != body.len() {
+    if reader.remaining() != 0 {
         return Err(format!(
             "{} trailing bytes after {count} entries",
-            body.len() - reader.pos
+            reader.remaining()
         ));
     }
     Ok(entries)

@@ -11,6 +11,7 @@
 //! netlisting and overhead), and Artisan's 7–16 min over ≈ 10–20 QA steps
 //! plus a handful of verification sims implies ≈ 40 s per LLM exchange.
 
+use crate::wire;
 use std::fmt;
 
 /// Environment variable overriding [`CostModel::seconds_per_cache_hit`]
@@ -266,6 +267,47 @@ impl CostLedger {
             + self.penalty_seconds
     }
 
+    /// Appends the ledger in the shared [`wire`] format: seven `u64`
+    /// counters followed by the penalty-seconds `f64` bit pattern.
+    /// Bit-exact across a round trip, so a journaled ledger snapshot
+    /// resumes billing precisely where the crashed process stopped.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        wire::push_u64(out, self.simulations);
+        wire::push_u64(out, self.llm_steps);
+        wire::push_u64(out, self.optimizer_steps);
+        wire::push_u64(out, self.cache_hits);
+        wire::push_u64(out, self.coalesced_waits);
+        wire::push_u64(out, self.batched_solves);
+        wire::push_u64(out, self.screen_rejects);
+        wire::push_f64(out, self.penalty_seconds);
+    }
+
+    /// Reads a ledger written by [`CostLedger::encode_wire`].
+    ///
+    /// # Errors
+    ///
+    /// A diagnostic on truncation or a non-finite / negative penalty
+    /// account (a corrupt snapshot must not poison future bills).
+    pub fn decode_wire(reader: &mut wire::Reader<'_>) -> Result<CostLedger, String> {
+        let ledger = CostLedger {
+            simulations: reader.u64()?,
+            llm_steps: reader.u64()?,
+            optimizer_steps: reader.u64()?,
+            cache_hits: reader.u64()?,
+            coalesced_waits: reader.u64()?,
+            batched_solves: reader.u64()?,
+            screen_rejects: reader.u64()?,
+            penalty_seconds: reader.f64()?,
+        };
+        if !ledger.penalty_seconds.is_finite() || ledger.penalty_seconds < 0.0 {
+            return Err(format!(
+                "ledger penalty account is invalid ({})",
+                ledger.penalty_seconds
+            ));
+        }
+        Ok(ledger)
+    }
+
     /// Merges another ledger into this one.
     pub fn absorb(&mut self, other: &CostLedger) {
         self.simulations += other.simulations;
@@ -509,6 +551,39 @@ mod tests {
         other.record_coalesced_wait();
         l.absorb(&other);
         assert_eq!(l.coalesced_waits(), 2);
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let mut l = CostLedger::new();
+        for _ in 0..5 {
+            l.record_simulation();
+        }
+        l.record_llm_step();
+        l.record_optimizer_step();
+        l.record_cache_hit();
+        l.record_coalesced_wait();
+        l.record_batched_solves(3);
+        l.record_screen_reject();
+        l.record_penalty_seconds(2.625);
+        let mut bytes = Vec::new();
+        l.encode_wire(&mut bytes);
+        let mut reader = wire::Reader::new(&bytes);
+        let decoded = CostLedger::decode_wire(&mut reader).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(decoded, l);
+        assert_eq!(reader.remaining(), 0);
+        // Truncation at every cut point is an error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut reader = wire::Reader::new(&bytes[..cut]);
+            assert!(CostLedger::decode_wire(&mut reader).is_err(), "cut {cut}");
+        }
+        // A poisoned penalty account is rejected outright.
+        let mut bytes = Vec::new();
+        l.encode_wire(&mut bytes);
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut reader = wire::Reader::new(&bytes);
+        assert!(CostLedger::decode_wire(&mut reader).is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod poles;
 pub mod screen;
 pub mod spec;
 pub mod variation;
+pub mod wire;
 
 pub use backend::{ParallelSimBackend, SimBackend};
 pub use cache::persist::{LoadOutcome, SaveOutcome};

@@ -284,6 +284,14 @@ impl<B: SimBackend> SimBackend for ScreenedSim<B> {
     fn drain_fault_notes(&mut self) -> Vec<String> {
         self.inner.drain_fault_notes()
     }
+
+    fn calls_made(&self) -> u64 {
+        self.inner.calls_made()
+    }
+
+    fn fast_forward_calls(&mut self, calls: u64) {
+        self.inner.fast_forward_calls(calls)
+    }
 }
 
 #[cfg(test)]
