@@ -14,7 +14,7 @@
 // Experiment driver: aborting on a failed setup step is the idiom here.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use artisan_bench::{arg_or, quick_mode};
+use artisan_bench::{arg_or, netgen, quick_mode};
 use artisan_circuit::sample::{mutate_netlist, sample_topology, SampleRanges};
 use artisan_circuit::{Netlist, Topology};
 use artisan_lint::Linter;
@@ -27,14 +27,45 @@ use artisan_sim::ac::{sweep_with_pool, SweepConfig};
 use artisan_sim::cache::persist::snapshot_dir_from_env;
 use artisan_sim::cost::CostModel;
 use artisan_sim::fingerprint::config_salt;
-use artisan_sim::mna::MnaSystem;
+use artisan_sim::mna::{MnaMode, MnaSystem};
 use artisan_sim::{AnalysisConfig, CachedSim, ScreenedSim, SimBackend, SimCache, Simulator, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::f64::consts::PI;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Heap-allocation counter behind the zero-allocation assertion on the
+/// warmed sparse hot loop. Delegates straight to the system allocator;
+/// the count is a relaxed side effect.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: forwards every call unchanged to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Times `routine` over `reps` repetitions and returns events/second,
 /// where one repetition covers `events_per_rep` events.
@@ -451,6 +482,176 @@ fn main() {
     );
     let screened_out_rate = screened_out as f64 / screen_corpus.len() as f64;
 
+    // --- sparse MNA core: dense/sparse crossover on netgen ladders ---
+    // Solve throughput (assemble + factor + solve per point, reused
+    // workspace) forced dense vs forced sparse on the behavioural gain
+    // ladders, at dimensions below, at, and far above the crossover.
+    // Repetitions shrink with dimension so the dense O(dim³) reference
+    // legs stay bounded.
+    let sparse_cfg = SweepConfig {
+        f_start: 1.0,
+        f_stop: 1e8,
+        points_per_decade: 8,
+    };
+    let sparse_freqs = sparse_cfg.frequencies().expect("grid");
+    let sparse_rows: Vec<(usize, f64, f64, bool)> = netgen::CROSSOVER_DIMS
+        .iter()
+        .map(|&dim| {
+            let ladder = netgen::ladder(dim);
+            let dense_sys = MnaSystem::with_mode(&ladder, MnaMode::Dense).expect("dense builds");
+            let sparse_sys = MnaSystem::with_mode(&ladder, MnaMode::Sparse).expect("sparse builds");
+            // Agreement guard: throughput means nothing unless both
+            // modes produce the same transfer function.
+            {
+                let mut wd = dense_sys.workspace();
+                let mut wsp = sparse_sys.workspace();
+                for &f in &sparse_freqs {
+                    let s = Complex64::jomega(2.0 * PI * f);
+                    let hd = dense_sys.transfer_with(s, &mut wd).expect("dense solves");
+                    let hs = sparse_sys
+                        .transfer_with(s, &mut wsp)
+                        .expect("sparse solves");
+                    assert!(
+                        (hd - hs).abs() <= 1e-9 * hd.abs().max(1e-300),
+                        "dim {dim}, f {f}: dense {hd:?} vs sparse {hs:?}"
+                    );
+                }
+            }
+            let leg_reps = (reps * 8 / dim.max(8)).max(1);
+            let mut wd = dense_sys.workspace();
+            let dense_rate = rate(leg_reps, sparse_freqs.len(), || {
+                for &f in &sparse_freqs {
+                    black_box(
+                        dense_sys
+                            .transfer_with(Complex64::jomega(2.0 * PI * f), &mut wd)
+                            .expect("solves"),
+                    );
+                }
+            });
+            let mut wsp = sparse_sys.workspace();
+            let sparse_rate = rate(leg_reps, sparse_freqs.len(), || {
+                for &f in &sparse_freqs {
+                    black_box(
+                        sparse_sys
+                            .transfer_with(Complex64::jomega(2.0 * PI * f), &mut wsp)
+                            .expect("solves"),
+                    );
+                }
+            });
+            let auto_sparse = MnaSystem::new(&ladder).expect("auto builds").is_sparse();
+            (dim, dense_rate, sparse_rate, auto_sparse)
+        })
+        .collect();
+    for &(dim, dense_rate, sparse_rate, auto_sparse) in &sparse_rows {
+        if dim <= artisan_sim::SPARSE_MIN_DIM {
+            // Below the crossover the auto path stays dense — the
+            // pre-sparse hot path, so small circuits cannot regress.
+            assert!(
+                !auto_sparse || !artisan_sim::sparse_enabled_from_env(),
+                "dim {dim} auto-selected sparse below the crossover"
+            );
+        } else {
+            assert!(
+                sparse_rate >= 5.0 * dense_rate,
+                "dim {dim}: sparse {sparse_rate:.0}/s is not ≥5× dense {dense_rate:.0}/s"
+            );
+        }
+    }
+
+    // Zero allocations and exact symbolic reuse on the warmed sparse
+    // hot loop: after the first sweep lazily builds the scratch, a full
+    // second sweep must allocate nothing and run exactly one numeric
+    // factorization per point against the same symbolic analysis.
+    let hot_sys =
+        MnaSystem::with_mode(&netgen::ladder(120), MnaMode::Sparse).expect("hot ladder builds");
+    let hot_symbolic = Arc::clone(hot_sys.sparse_symbolic().expect("sparse symbolic"));
+    let mut hot_ws = hot_sys.workspace();
+    for &f in &sparse_freqs {
+        black_box(
+            hot_sys
+                .transfer_with(Complex64::jomega(2.0 * PI * f), &mut hot_ws)
+                .expect("solves"),
+        );
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let factors_before = hot_symbolic.numeric_factor_count();
+    for &f in &sparse_freqs {
+        black_box(
+            hot_sys
+                .transfer_with(Complex64::jomega(2.0 * PI * f), &mut hot_ws)
+                .expect("solves"),
+        );
+    }
+    let hot_loop_allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let hot_loop_factors = hot_symbolic.numeric_factor_count() - factors_before;
+    assert_eq!(
+        hot_loop_allocations, 0,
+        "warmed sparse hot loop allocated {hot_loop_allocations} times"
+    );
+    assert_eq!(
+        hot_loop_factors,
+        sparse_freqs.len() as u64,
+        "numeric factor ledger drifted: one factorization per point expected"
+    );
+
+    // Kill switch: `ARTISAN_SPARSE=0` must reproduce the default-path
+    // results — bit-identical AnalysisReports on the candidate corpus
+    // (small systems, dense either way by the crossover rule) and
+    // tolerance-identical sweeps on a ladder the auto path solves
+    // sparsely.
+    let saved_sparse_env = std::env::var(artisan_sim::SPARSE_ENV).ok();
+    std::env::remove_var(artisan_sim::SPARSE_ENV);
+    let corpus_reports_on: Vec<Option<artisan_sim::Performance>> = batch_topos
+        .iter()
+        .map(|t| {
+            Simulator::new()
+                .analyze_topology(t)
+                .ok()
+                .map(|r| r.performance)
+        })
+        .collect();
+    let lad50 = netgen::ladder(50);
+    let auto_on = MnaSystem::new(&lad50).expect("builds");
+    assert!(
+        auto_on.is_sparse(),
+        "dim-50 ladder should auto-select sparse"
+    );
+    let sweep_on =
+        sweep_with_pool(&auto_on, &sparse_cfg, &ThreadPool::with_workers(1)).expect("sweeps");
+    std::env::set_var(artisan_sim::SPARSE_ENV, "0");
+    let corpus_reports_off: Vec<Option<artisan_sim::Performance>> = batch_topos
+        .iter()
+        .map(|t| {
+            Simulator::new()
+                .analyze_topology(t)
+                .ok()
+                .map(|r| r.performance)
+        })
+        .collect();
+    let auto_off = MnaSystem::new(&lad50).expect("builds");
+    assert!(!auto_off.is_sparse(), "kill switch did not force dense");
+    let sweep_off =
+        sweep_with_pool(&auto_off, &sparse_cfg, &ThreadPool::with_workers(1)).expect("sweeps");
+    match saved_sparse_env {
+        Some(v) => std::env::set_var(artisan_sim::SPARSE_ENV, v),
+        None => std::env::remove_var(artisan_sim::SPARSE_ENV),
+    }
+    assert_eq!(
+        corpus_reports_on, corpus_reports_off,
+        "kill switch changed a candidate-corpus report"
+    );
+    assert_eq!(sweep_on.len(), sweep_off.len());
+    for (a, b) in sweep_on.iter().zip(&sweep_off) {
+        assert!(
+            (a.h - b.h).abs() <= 1e-9 * a.h.abs().max(1e-300),
+            "kill switch drifted the ladder sweep at f = {}: {:?} vs {:?}",
+            a.freq,
+            a.h,
+            b.h
+        );
+    }
+    let kill_switch_reports_identical = true;
+
     // --- durable session journals: append overhead + crash resume ---
     // The same batch of flaky supervised sessions three ways: detached
     // (no journal, the reference), journaled from scratch (measures the
@@ -561,6 +762,22 @@ fn main() {
     );
     std::fs::remove_dir_all(&journal_dir).ok();
 
+    let sparse_rows_json = sparse_rows
+        .iter()
+        .map(|&(dim, dense_rate, sparse_rate, auto_sparse)| {
+            format!(
+                "    {{ \"dim\": {dim}, \"dense_solves_per_sec\": {dense_rate:.1}, \"sparse_solves_per_sec\": {sparse_rate:.1}, \"speedup_sparse_vs_dense\": {:.3}, \"auto_mode\": \"{}\" }}",
+                sparse_rate / dense_rate,
+                if auto_sparse { "sparse" } else { "dense" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let speedup_at_dim50 = sparse_rows
+        .iter()
+        .find(|&&(dim, ..)| dim == 50)
+        .map_or(0.0, |&(_, d, s, _)| s / d);
+
     let fmt_scaling = |rates: &[(usize, f64)], unit: &str| -> String {
         let base = rates.iter().find(|(w, _)| *w == 1).map_or(1.0, |&(_, r)| r);
         rates
@@ -576,7 +793,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"journal\": {{\n    \"workload\": \"{j_sessions} flaky supervised G-1 sessions, crash-cut to one attempt then resumed\",\n    \"sessions\": {j_sessions},\n    \"attempts\": {journal_attempts},\n    \"appends\": {journal_appends},\n    \"bytes_per_append\": {:.1},\n    \"append_overhead_seconds_per_append\": {append_overhead_secs:.6},\n    \"billed_testbed_seconds_clean\": {clean_billed:.1},\n    \"billed_testbed_seconds_resumed\": {resumed_billed:.1},\n    \"attempts_restored\": {attempts_restored},\n    \"resumed_terminal\": {},\n    \"resume_strictly_cheaper\": true,\n    \"reports_identical\": true\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"journal\": {{\n    \"workload\": \"{j_sessions} flaky supervised G-1 sessions, crash-cut to one attempt then resumed\",\n    \"sessions\": {j_sessions},\n    \"attempts\": {journal_attempts},\n    \"appends\": {journal_appends},\n    \"bytes_per_append\": {:.1},\n    \"append_overhead_seconds_per_append\": {append_overhead_secs:.6},\n    \"billed_testbed_seconds_clean\": {clean_billed:.1},\n    \"billed_testbed_seconds_resumed\": {resumed_billed:.1},\n    \"attempts_restored\": {attempts_restored},\n    \"resumed_terminal\": {},\n    \"resume_strictly_cheaper\": true,\n    \"reports_identical\": true\n  }},\n  \"sparse\": {{\n    \"netlists\": \"behavioural gain ladders (netgen), forced dense vs forced sparse\",\n    \"grid_points\": {},\n    \"dims\": [\n{sparse_rows_json}\n  ],\n    \"speedup_at_dim50\": {speedup_at_dim50:.3},\n    \"hot_loop_allocations\": {hot_loop_allocations},\n    \"numeric_factors_per_sweep\": {hot_loop_factors},\n    \"symbolic_reuse_ok\": true,\n    \"kill_switch_reports_identical\": {kill_switch_reports_identical}\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
         asm_cached / asm_legacy,
         solve_cached / solve_legacy,
@@ -594,6 +811,7 @@ fn main() {
         sf_stats.hits + sf_stats.coalesced,
         journal_bytes as f64 / journal_appends.max(1) as f64,
         j_resumed.resumed_terminal(),
+        sparse_freqs.len(),
         screen_corpus.len(),
         unscreened_seconds - screened_seconds,
     );

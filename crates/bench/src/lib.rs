@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netgen;
+
 /// Parses a `--flag value` style argument from `std::env::args`.
 ///
 /// # Example

@@ -1,0 +1,147 @@
+//! Deterministic behavioural benchmark netlists for the sparse/dense
+//! MNA crossover study.
+//!
+//! The paper's own circuits top out at a handful of nodes (the NMC
+//! example eliminates to a 3×3 system), which is exactly where dense LU
+//! wins. To measure where the sparse CSR + symbolic-LU tier pays off,
+//! the benches need *structurally honest* larger networks: long
+//! behavioural gain ladders with local RC loads, occasional bridging
+//! capacitors, and long-range feedback resistors — the topology family
+//! a multi-stage compensation search walks through, scaled up to
+//! dimensions 20–200.
+//!
+//! Everything here is deterministic (no RNG): a generator call with the
+//! same `dim` always produces byte-identical netlist text, so bench
+//! legs and CI smoke runs compare like with like.
+
+use artisan_circuit::Netlist;
+
+/// Per-stage transconductance (S). With [`STAGE_R`] this sets the
+/// per-stage DC gain to `gm·R = 2`, keeping the end-to-end gain of even
+/// a 200-stage ladder within `f64` range (2^200 ≈ 1.6e60 ≪ 1.8e308).
+pub const STAGE_GM: f64 = 2.0e-4;
+
+/// Per-stage load resistance (Ω).
+pub const STAGE_R: f64 = 1.0e4;
+
+/// Per-stage load capacitance (F) — parasitic-pole territory, matching
+/// the recipe examples' `Cp` scale.
+pub const STAGE_C: f64 = 2.0e-12;
+
+/// Bridging (compensation-style) capacitance (F), stamped every
+/// [`BRIDGE_EVERY`] stages back across three stages.
+pub const BRIDGE_C: f64 = 5.0e-13;
+
+/// Long-range feedback resistance (Ω), stamped every [`FEEDBACK_EVERY`]
+/// stages back across five.
+pub const FEEDBACK_R: f64 = 1.0e6;
+
+/// A bridging capacitor lands on every stage index divisible by this.
+pub const BRIDGE_EVERY: usize = 3;
+
+/// A feedback resistor lands on every stage index divisible by this.
+pub const FEEDBACK_EVERY: usize = 5;
+
+/// Name of stage `k` of a `dim`-stage ladder: internal stages are
+/// `x{k}`, the last is `out` (the simulator's probe node).
+fn node(k: usize, dim: usize) -> String {
+    if k == dim - 1 {
+        "out".to_string()
+    } else {
+        format!("x{k}")
+    }
+}
+
+/// Netlist text of a `dim`-stage behavioural gain ladder.
+///
+/// Stage `k` is a VCCS driven from the previous node into node `k`,
+/// loaded by `R‖C` to ground. Every [`BRIDGE_EVERY`]-th stage gets a
+/// bridging capacitor back to stage `k−3`; every
+/// [`FEEDBACK_EVERY`]-th a feedback resistor back to stage `k−5`. The
+/// MNA system of the result has dimension `dim` (the driven input node
+/// is eliminated into the RHS) with `O(dim)` nonzeros — ~4 entries per
+/// row — so the dense solve is `O(dim³)` where the sparse one stays
+/// effectively linear.
+///
+/// # Panics
+///
+/// Panics if `dim < 2` (a ladder needs an internal node and `out`).
+#[must_use]
+pub fn ladder_text(dim: usize) -> String {
+    assert!(dim >= 2, "ladder needs at least 2 stages, got {dim}");
+    let mut text = format!("* behavioural gain ladder, {dim} stages\n");
+    let mut prev = "in".to_string();
+    for k in 0..dim {
+        let n = node(k, dim);
+        text.push_str(&format!("G{k} {n} 0 {prev} 0 {STAGE_GM:e}\n"));
+        text.push_str(&format!("R{k} {n} 0 {STAGE_R:e}\n"));
+        text.push_str(&format!("C{k} {n} 0 {STAGE_C:e}\n"));
+        if k % BRIDGE_EVERY == 0 && k >= BRIDGE_EVERY {
+            let back = node(k - BRIDGE_EVERY, dim);
+            text.push_str(&format!("Cb{k} {n} {back} {BRIDGE_C:e}\n"));
+        }
+        if k % FEEDBACK_EVERY == 0 && k >= FEEDBACK_EVERY {
+            let back = node(k - FEEDBACK_EVERY, dim);
+            text.push_str(&format!("Rf{k} {n} {back} {FEEDBACK_R:e}\n"));
+        }
+        prev = n;
+    }
+    text.push_str(".end\n");
+    text
+}
+
+/// Parses [`ladder_text`] into a [`Netlist`].
+///
+/// # Panics
+///
+/// Panics if the generated text fails to parse — a generator bug, not
+/// an input condition.
+#[must_use]
+// A parse failure here is a generator bug; benches should abort loudly.
+#[allow(clippy::expect_used)]
+pub fn ladder(dim: usize) -> Netlist {
+    Netlist::parse(&ladder_text(dim)).expect("generated ladder parses")
+}
+
+/// The dimension sweep the crossover benches walk: below, at, and well
+/// above the dense/sparse crossover.
+pub const CROSSOVER_DIMS: [usize; 4] = [8, 50, 120, 200];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artisan_sim::mna::{MnaMode, MnaSystem};
+
+    #[test]
+    fn ladders_are_deterministic_and_solve_in_both_modes() {
+        for dim in [2usize, 20, 50] {
+            assert_eq!(ladder_text(dim), ladder_text(dim), "dim {dim} text drifted");
+            let netlist = ladder(dim);
+            let dense = MnaSystem::with_mode(&netlist, MnaMode::Dense).expect("dense builds");
+            let sparse = MnaSystem::with_mode(&netlist, MnaMode::Sparse).expect("sparse builds");
+            assert_eq!(dense.dim(), dim, "source elimination leaves dim nodes");
+            let s = artisan_math::Complex64::jomega(2.0e6 * std::f64::consts::PI);
+            let hd = dense.transfer(s).expect("dense solves");
+            let hs = sparse.transfer(s).expect("sparse solves");
+            assert!(
+                (hd - hs).abs() <= 1e-9 * hd.abs().max(1e-300),
+                "dim {dim}: dense {hd:?} vs sparse {hs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladders_stay_sparse_as_they_grow() {
+        let netlist = ladder(200);
+        let sys = MnaSystem::with_mode(&netlist, MnaMode::Sparse).expect("builds");
+        let nnz = sys.sparse_nnz().expect("sparse");
+        assert!(
+            nnz * 4 <= 200 * 200,
+            "200-stage ladder not sparse enough: {nnz} nonzeros"
+        );
+        // And the transfer stays finite: gm·R = 2 per stage keeps even
+        // the 200-stage DC gain ≈ 2^200 far inside f64 range.
+        let h0 = sys.transfer(artisan_math::Complex64::ZERO).expect("solves");
+        assert!(h0.abs().is_finite() && h0.abs() > 1.0);
+    }
+}

@@ -48,6 +48,7 @@ pub mod cholesky;
 pub mod interp;
 pub mod lu;
 pub mod pool;
+pub mod sparse;
 pub mod stats;
 
 pub use cmatrix::CMatrix;
@@ -56,6 +57,7 @@ pub use dmatrix::DMatrix;
 pub use error::MathError;
 pub use polynomial::Polynomial;
 pub use pool::ThreadPool;
+pub use sparse::{CsrMatrix, SparseLuScratch, SparsityPattern, SymbolicLu};
 
 /// Convenient alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, MathError>;

@@ -1,0 +1,963 @@
+//! Sparse complex linear algebra for the MNA hot path.
+//!
+//! MNA matrices have a *fixed sparsity pattern per topology*: the set of
+//! nonzero `(row, col)` positions is decided by the element connectivity
+//! alone, while the AC sweep only changes the complex *values*
+//! (`Y(s) = G + sC`). This module exploits that split three ways:
+//!
+//! - [`SparsityPattern`] — an immutable CSR structure shared (via `Arc`)
+//!   by every matrix of the same topology, so the fused `Y = G + sC`
+//!   scale-add is a single zip over parallel value arrays with no index
+//!   translation ([`CsrMatrix::assign_scale_add`]).
+//! - [`SymbolicLu`] — a one-shot *symbolic* factorization: a
+//!   Markowitz/minimum-degree diagonal pivot ordering plus the full
+//!   fill-in analysis, computed once per pattern and reused by every
+//!   frequency point, every cache-miss candidate of the same topology,
+//!   and every PVT/corner variant. The symbolic object is immutable and
+//!   `Sync`; concurrent sweep workers share one `Arc<SymbolicLu>` and
+//!   keep private [`SparseLuScratch`] buffers.
+//! - [`SymbolicLu::factor_into`] / [`SymbolicLu::solve_factored`] — an
+//!   allocation-free numeric LU (Gilbert–Peierls row elimination on the
+//!   precomputed fill pattern) operating entirely in caller-owned
+//!   scratch, mirroring the faer `lu_in_place` + `MemStack` idiom that
+//!   [`crate::lu::factor_in_place`] already follows for the dense path.
+//!
+//! Pivoting is *static* (SPICE-style): the diagonal pivot order is fixed
+//! by the symbolic analysis and never revised numerically. A pivot that
+//! turns out to be exactly zero at some frequency reports
+//! [`MathError::Singular`]; callers that need the dense partial-pivot
+//! verdict (the simulator does, to keep `IllConditioned` decisions
+//! identical between paths) fall back to the dense factorization on that
+//! error.
+
+use crate::{CMatrix, Complex64, MathError, Result};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Immutable CSR sparsity structure: which `(row, col)` positions of an
+/// `n × n` matrix may hold nonzeros.
+///
+/// The full diagonal is always included (static diagonal pivoting needs
+/// it, and MNA matrices of well-posed circuits have structurally nonzero
+/// diagonals anyway). Column indices within each row are strictly
+/// ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Builds a pattern from coordinate entries (duplicates are merged,
+    /// the diagonal is added unconditionally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when any coordinate is
+    /// out of `0..n`.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Result<Self> {
+        let mut set: BTreeSet<(usize, usize)> = (0..n).map(|k| (k, k)).collect();
+        for &(r, c) in entries {
+            if r >= n || c >= n {
+                return Err(MathError::DimensionMismatch(format!(
+                    "pattern entry ({r}, {c}) outside a {n}x{n} matrix"
+                )));
+            }
+            set.insert((r, c));
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(set.len());
+        row_ptr.push(0);
+        let mut row = 0usize;
+        for (r, c) in set {
+            while row < r {
+                row_ptr.push(col_idx.len());
+                row += 1;
+            }
+            col_idx.push(c);
+        }
+        while row < n {
+            row_ptr.push(col_idx.len());
+            row += 1;
+        }
+        Ok(SparsityPattern {
+            n,
+            row_ptr,
+            col_idx,
+        })
+    }
+
+    /// Builds the union pattern of the structural nonzeros of several
+    /// dense square matrices of equal dimension — the MNA use case is
+    /// `union(G, C)` so both stamp matrices share one values layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the matrices are not
+    /// square or disagree in dimension.
+    pub fn union_of_dense(mats: &[&CMatrix]) -> Result<Self> {
+        let n = match mats.first() {
+            Some(m) => m.rows(),
+            None => 0,
+        };
+        let mut entries = Vec::new();
+        for m in mats {
+            if !m.is_square() || m.rows() != n {
+                return Err(MathError::DimensionMismatch(format!(
+                    "pattern union over {}x{} and {n}x{n} matrices",
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+            for r in 0..n {
+                for c in 0..n {
+                    if (*m)[(r, c)] != Complex64::ZERO {
+                        entries.push((r, c));
+                    }
+                }
+            }
+        }
+        SparsityPattern::from_entries(n, &entries)
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored positions (including the forced diagonal).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `r`, ascending.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Index into the values array for position `(r, c)`, if present.
+    #[inline]
+    pub fn position(&self, r: usize, c: usize) -> Option<usize> {
+        let lo = self.row_ptr[r];
+        self.row(r).binary_search(&c).ok().map(|off| lo + off)
+    }
+
+    /// Iterates all stored `(row, col, values_index)` triples.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.n).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1]).map(move |idx| (r, self.col_idx[idx], idx))
+        })
+    }
+}
+
+/// A complex CSR matrix: an `Arc`-shared [`SparsityPattern`] plus a flat
+/// values array parallel to the pattern's column indices.
+///
+/// Matrices sharing the *same* pattern object (pointer equality) can be
+/// combined entry-wise with no index arithmetic at all — see
+/// [`CsrMatrix::assign_scale_add`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    pattern: Arc<SparsityPattern>,
+    values: Vec<Complex64>,
+}
+
+impl CsrMatrix {
+    /// An all-zero matrix over `pattern`.
+    pub fn zeros(pattern: Arc<SparsityPattern>) -> Self {
+        let values = vec![Complex64::ZERO; pattern.nnz()];
+        CsrMatrix { pattern, values }
+    }
+
+    /// Captures the values of `dense` at the positions of `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `dense` has a
+    /// nonzero outside the pattern or disagrees in dimension — the
+    /// pattern would silently drop information otherwise.
+    pub fn from_dense(dense: &CMatrix, pattern: Arc<SparsityPattern>) -> Result<Self> {
+        let n = pattern.n();
+        if !dense.is_square() || dense.rows() != n {
+            return Err(MathError::DimensionMismatch(format!(
+                "{}x{} dense matrix vs {n}x{n} pattern",
+                dense.rows(),
+                dense.cols()
+            )));
+        }
+        for r in 0..n {
+            for c in 0..n {
+                if dense[(r, c)] != Complex64::ZERO && pattern.position(r, c).is_none() {
+                    return Err(MathError::DimensionMismatch(format!(
+                        "dense nonzero at ({r}, {c}) missing from the sparsity pattern"
+                    )));
+                }
+            }
+        }
+        let mut m = CsrMatrix::zeros(pattern);
+        for (r, c, idx) in m.pattern.entries() {
+            m.values[idx] = dense[(r, c)];
+        }
+        Ok(m)
+    }
+
+    /// The shared pattern.
+    #[inline]
+    pub fn pattern(&self) -> &Arc<SparsityPattern> {
+        &self.pattern
+    }
+
+    /// Flat values, parallel to the pattern's column indices.
+    #[inline]
+    pub fn values(&self) -> &[Complex64] {
+        &self.values
+    }
+
+    /// Mutable flat values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [Complex64] {
+        &mut self.values
+    }
+
+    /// Value at `(r, c)`; zero for positions outside the pattern.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Complex64 {
+        match self.pattern.position(r, c) {
+            Some(idx) => self.values[idx],
+            None => Complex64::ZERO,
+        }
+    }
+
+    /// Adds `value` at `(r, c)` — the nodal-analysis stamping primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `(r, c)` is outside
+    /// the pattern.
+    pub fn stamp(&mut self, r: usize, c: usize, value: Complex64) -> Result<()> {
+        match self.pattern.position(r, c) {
+            Some(idx) => {
+                self.values[idx] += value;
+                Ok(())
+            }
+            None => Err(MathError::DimensionMismatch(format!(
+                "stamp at ({r}, {c}) outside the sparsity pattern"
+            ))),
+        }
+    }
+
+    /// Overwrites `self` with `g + s·c` in one fused zip over the shared
+    /// values arrays — the per-frequency `Y(s) = G + sC` assembly with no
+    /// index translation. All three matrices must share the same pattern
+    /// object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the patterns are not
+    /// the same shared object.
+    pub fn assign_scale_add(&mut self, g: &CsrMatrix, c: &CsrMatrix, s: Complex64) -> Result<()> {
+        if !Arc::ptr_eq(&self.pattern, &g.pattern) || !Arc::ptr_eq(&self.pattern, &c.pattern) {
+            return Err(MathError::DimensionMismatch(
+                "scale-add over CSR matrices with different patterns".into(),
+            ));
+        }
+        for ((y, gv), cv) in self.values.iter_mut().zip(&g.values).zip(&c.values) {
+            *y = *gv + s * *cv;
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product `self · x` (tests and residual checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `x.len() != n`.
+    pub fn mul_vec(&self, x: &[Complex64]) -> Result<Vec<Complex64>> {
+        let n = self.pattern.n();
+        if x.len() != n {
+            return Err(MathError::DimensionMismatch(format!(
+                "matrix has {n} cols but vector has {} entries",
+                x.len()
+            )));
+        }
+        let mut out = vec![Complex64::ZERO; n];
+        for (r, c, idx) in self.pattern.entries() {
+            out[r] += self.values[idx] * x[c];
+        }
+        Ok(out)
+    }
+
+    /// Expands to a dense matrix (tests and the dense fallback).
+    pub fn to_dense(&self) -> CMatrix {
+        let n = self.pattern.n();
+        let mut m = CMatrix::zeros(n, n);
+        for (r, c, idx) in self.pattern.entries() {
+            m[(r, c)] = self.values[idx];
+        }
+        m
+    }
+}
+
+/// Caller-owned scratch for the numeric phase of [`SymbolicLu`]: L/U
+/// value arrays sized by the fill analysis, the dense scatter vector of
+/// the row elimination, and the permuted solve buffer. One scratch per
+/// worker thread; every buffer is allocated once at construction and the
+/// numeric factor/solve paths never allocate.
+#[derive(Debug, Clone)]
+pub struct SparseLuScratch {
+    l_vals: Vec<Complex64>,
+    u_vals: Vec<Complex64>,
+    inv_diag: Vec<Complex64>,
+    /// Dense scatter row; invariant: all-zero between
+    /// [`SymbolicLu::factor_into`] rows (and on error return), so no
+    /// per-row O(n) clear is ever needed.
+    x: Vec<Complex64>,
+    /// Permuted rhs / solution buffer for [`SymbolicLu::solve_factored`].
+    y: Vec<Complex64>,
+    factored: bool,
+}
+
+impl SparseLuScratch {
+    /// True once [`SymbolicLu::factor_into`] has succeeded and no later
+    /// factorization failed.
+    #[inline]
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+}
+
+/// One-shot symbolic LU factorization of a [`SparsityPattern`].
+///
+/// Construction ([`SymbolicLu::analyze`]) chooses a
+/// Markowitz/minimum-degree *diagonal* pivot ordering and computes the
+/// exact fill-in structure of `L` and `U` under that ordering. The
+/// numeric phase ([`SymbolicLu::factor_into`]) then runs a
+/// Gilbert–Peierls row elimination over the precomputed structure with
+/// zero allocations and zero structural decisions.
+///
+/// The ordering permutes rows and columns *symmetrically* (`P·A·Pᵀ`), so
+/// the determinant needs no sign bookkeeping: `det(A) = Π U_kk`.
+#[derive(Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    /// nnz of the analyzed pattern — numeric values arrays must match.
+    nnz: usize,
+    /// `perm[k]` = original row/col index eliminated at step `k`.
+    perm: Vec<usize>,
+    /// Scatter map of the permuted input rows: row `i` of `P·A·Pᵀ` holds
+    /// the original values at indices `a_src[a_ptr[i]..a_ptr[i+1]]`,
+    /// landing at permuted columns `a_pcol[..]`.
+    a_ptr: Vec<usize>,
+    a_pcol: Vec<usize>,
+    a_src: Vec<usize>,
+    /// Strictly-lower fill structure, columns ascending per row.
+    l_ptr: Vec<usize>,
+    l_col: Vec<usize>,
+    /// Upper structure; the *first* entry of each row is the diagonal,
+    /// the rest are ascending columns `> i`.
+    u_ptr: Vec<usize>,
+    u_col: Vec<usize>,
+    /// Number of numeric factorizations performed against this symbolic
+    /// object — the observable for "symbolic computed once, reused by
+    /// every sweep point / candidate / corner".
+    factor_count: AtomicU64,
+}
+
+impl SymbolicLu {
+    /// Computes the pivot ordering and fill structure for `pattern`.
+    ///
+    /// Cost is `O(n · fill)` with small constants — this runs once per
+    /// topology, never per frequency point.
+    pub fn analyze(pattern: &SparsityPattern) -> Self {
+        let n = pattern.n();
+        // --- Markowitz / minimum-degree ordering on the pattern graph. ---
+        let mut rows: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (r, c, _) in pattern.entries() {
+            rows[r].insert(c);
+            cols[c].insert(r);
+        }
+        let mut alive = vec![true; n];
+        let mut perm = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut best = usize::MAX;
+            let mut best_cost = usize::MAX;
+            let mut best_deg = usize::MAX;
+            for p in 0..n {
+                if !alive[p] {
+                    continue;
+                }
+                let (rd, cd) = (rows[p].len(), cols[p].len());
+                let cost = (rd - 1) * (cd - 1);
+                let deg = rd + cd;
+                if cost < best_cost || (cost == best_cost && deg < best_deg) {
+                    best = p;
+                    best_cost = cost;
+                    best_deg = deg;
+                }
+            }
+            let p = best;
+            perm.push(p);
+            alive[p] = false;
+            let row_p: Vec<usize> = rows[p].iter().copied().filter(|&j| j != p).collect();
+            let col_p: Vec<usize> = cols[p].iter().copied().filter(|&i| i != p).collect();
+            // Predict fill: eliminating p connects every in-neighbour to
+            // every out-neighbour.
+            for &i in &col_p {
+                for &j in &row_p {
+                    if rows[i].insert(j) {
+                        cols[j].insert(i);
+                    }
+                }
+            }
+            // Detach p from the remaining graph.
+            for &j in &row_p {
+                cols[j].remove(&p);
+            }
+            for &i in &col_p {
+                rows[i].remove(&p);
+            }
+            rows[p].clear();
+            cols[p].clear();
+        }
+        let mut inv_perm = vec![0usize; n];
+        for (k, &p) in perm.iter().enumerate() {
+            inv_perm[p] = k;
+        }
+
+        // --- Exact symbolic factorization under the fixed ordering. ---
+        let mut a_ptr = Vec::with_capacity(n + 1);
+        let mut a_pcol = Vec::new();
+        let mut a_src = Vec::new();
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_col = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_col = Vec::new();
+        a_ptr.push(0);
+        l_ptr.push(0);
+        u_ptr.push(0);
+        let mut mark = vec![false; n];
+        for i in 0..n {
+            let orig = perm[i];
+            for (off, &c) in pattern.row(orig).iter().enumerate() {
+                let idx = pattern.row_ptr[orig] + off;
+                let j = inv_perm[c];
+                a_pcol.push(j);
+                a_src.push(idx);
+                mark[j] = true;
+            }
+            a_ptr.push(a_pcol.len());
+            // Structure of permuted row i = A-row ∪ (U-rows of every k < i
+            // reached in the lower part). Ascending k order guarantees each
+            // lower entry is expanded exactly once, including fill created
+            // by earlier merges in this same row.
+            let l_start = l_col.len();
+            for k in 0..i {
+                if mark[k] {
+                    l_col.push(k);
+                    for &j in &u_col[u_ptr[k] + 1..u_ptr[k + 1]] {
+                        mark[j] = true;
+                    }
+                }
+            }
+            l_ptr.push(l_col.len());
+            debug_assert!(mark[i], "forced diagonal missing from pattern row");
+            let u_start = u_col.len();
+            u_col.push(i);
+            for (j, m) in mark.iter().enumerate().take(n).skip(i + 1) {
+                if *m {
+                    u_col.push(j);
+                }
+            }
+            u_ptr.push(u_col.len());
+            for &k in &l_col[l_start..] {
+                mark[k] = false;
+            }
+            for &j in &u_col[u_start..] {
+                mark[j] = false;
+            }
+        }
+
+        SymbolicLu {
+            n,
+            nnz: pattern.nnz(),
+            perm,
+            a_ptr,
+            a_pcol,
+            a_src,
+            l_ptr,
+            l_col,
+            u_ptr,
+            u_col,
+            factor_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Dimension of the analyzed pattern.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// nnz of the analyzed pattern (expected values-array length).
+    #[inline]
+    pub fn pattern_nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total stored L + U entries after fill-in (diagonals counted once,
+    /// in U).
+    #[inline]
+    pub fn fill_nnz(&self) -> usize {
+        self.l_col.len() + self.u_col.len()
+    }
+
+    /// The symmetric pivot ordering: step `k` eliminates original
+    /// row/column `perm()[k]`.
+    #[inline]
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// How many numeric factorizations have run against this symbolic
+    /// object (relaxed counter; exact once concurrent workers quiesce).
+    #[inline]
+    pub fn numeric_factor_count(&self) -> u64 {
+        self.factor_count.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a scratch sized for this symbolic factorization. Do this
+    /// once per worker; the numeric phases never allocate afterwards.
+    pub fn scratch(&self) -> SparseLuScratch {
+        SparseLuScratch {
+            l_vals: vec![Complex64::ZERO; self.l_col.len()],
+            u_vals: vec![Complex64::ZERO; self.u_col.len()],
+            inv_diag: vec![Complex64::ZERO; self.n],
+            x: vec![Complex64::ZERO; self.n],
+            y: vec![Complex64::ZERO; self.n],
+            factored: false,
+        }
+    }
+
+    #[inline]
+    fn check_scratch(&self, scratch: &SparseLuScratch) -> Result<()> {
+        if scratch.l_vals.len() != self.l_col.len()
+            || scratch.u_vals.len() != self.u_col.len()
+            || scratch.x.len() != self.n
+        {
+            return Err(MathError::DimensionMismatch(
+                "scratch was allocated for a different symbolic factorization".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Numeric factorization of the matrix whose values (over the
+    /// analyzed pattern) are `values`, entirely inside `scratch` —
+    /// no allocation, no structural work, no pivot search.
+    ///
+    /// # Errors
+    ///
+    /// - [`MathError::DimensionMismatch`] when `values` or `scratch`
+    ///   disagree with the analyzed pattern.
+    /// - [`MathError::Singular`] when a diagonal pivot is exactly zero
+    ///   under the static ordering (the scratch is left clean and can be
+    ///   reused; `is_factored()` reports `false`). Dense partial pivoting
+    ///   may still succeed on such a matrix — fall back if the verdict
+    ///   matters.
+    pub fn factor_into(&self, values: &[Complex64], scratch: &mut SparseLuScratch) -> Result<()> {
+        if values.len() != self.nnz {
+            return Err(MathError::DimensionMismatch(format!(
+                "{} values for a pattern with {} positions",
+                values.len(),
+                self.nnz
+            )));
+        }
+        self.check_scratch(scratch)?;
+        scratch.factored = false;
+        let x = &mut scratch.x;
+        for i in 0..self.n {
+            // Scatter permuted input row i (all other x entries are zero).
+            for t in self.a_ptr[i]..self.a_ptr[i + 1] {
+                x[self.a_pcol[t]] = values[self.a_src[t]];
+            }
+            // Eliminate against earlier U rows, ascending.
+            for t in self.l_ptr[i]..self.l_ptr[i + 1] {
+                let k = self.l_col[t];
+                let mult = x[k] * scratch.inv_diag[k];
+                scratch.l_vals[t] = mult;
+                x[k] = Complex64::ZERO;
+                if mult != Complex64::ZERO {
+                    for tt in self.u_ptr[k] + 1..self.u_ptr[k + 1] {
+                        x[self.u_col[tt]] -= mult * scratch.u_vals[tt];
+                    }
+                }
+            }
+            // Harvest U row i (diagonal first), restoring x to all-zero.
+            for tt in self.u_ptr[i]..self.u_ptr[i + 1] {
+                let j = self.u_col[tt];
+                scratch.u_vals[tt] = x[j];
+                x[j] = Complex64::ZERO;
+            }
+            let diag = scratch.u_vals[self.u_ptr[i]];
+            if diag.abs_sq() == 0.0 {
+                return Err(MathError::Singular(i));
+            }
+            scratch.inv_diag[i] = diag.recip();
+        }
+        scratch.factored = true;
+        self.factor_count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Solves `A·x = b` against the factorization held in `scratch`,
+    /// writing into `out` (cleared and refilled — a caller looping over
+    /// many right-hand sides reuses one buffer with no per-solve
+    /// allocation once capacity is established).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `b` disagrees with
+    /// the factored dimension or `scratch` holds no factorization.
+    pub fn solve_factored(
+        &self,
+        scratch: &mut SparseLuScratch,
+        b: &[Complex64],
+        out: &mut Vec<Complex64>,
+    ) -> Result<()> {
+        self.check_scratch(scratch)?;
+        if b.len() != self.n {
+            return Err(MathError::DimensionMismatch(format!(
+                "rhs has {} entries for a {}-dim system",
+                b.len(),
+                self.n
+            )));
+        }
+        if !scratch.factored {
+            return Err(MathError::DimensionMismatch(
+                "solve_factored called before a successful factor_into".into(),
+            ));
+        }
+        let y = &mut scratch.y;
+        // Forward-substitute L·y = P·b (y in permuted coordinates).
+        for i in 0..self.n {
+            let mut acc = b[self.perm[i]];
+            for t in self.l_ptr[i]..self.l_ptr[i + 1] {
+                acc -= scratch.l_vals[t] * y[self.l_col[t]];
+            }
+            y[i] = acc;
+        }
+        // Back-substitute U·z = y in place.
+        for i in (0..self.n).rev() {
+            let mut acc = y[i];
+            for t in self.u_ptr[i] + 1..self.u_ptr[i + 1] {
+                acc -= scratch.u_vals[t] * y[self.u_col[t]];
+            }
+            y[i] = acc * scratch.inv_diag[i];
+        }
+        // Un-permute: x[perm[i]] = z[i] (symmetric ordering).
+        out.clear();
+        out.resize(self.n, Complex64::ZERO);
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = y[i];
+        }
+        Ok(())
+    }
+
+    /// Determinant of the last matrix factored into `scratch`:
+    /// `Π U_kk` (the symmetric permutation contributes `sign² = 1`).
+    /// Returns zero when `scratch` holds no successful factorization —
+    /// matching the [`crate::lu::det`] convention for singular input.
+    pub fn det_factored(&self, scratch: &SparseLuScratch) -> Complex64 {
+        if !scratch.factored || scratch.u_vals.len() != self.u_col.len() {
+            return Complex64::ZERO;
+        }
+        let mut d = Complex64::ONE;
+        for i in 0..self.n {
+            d *= scratch.u_vals[self.u_ptr[i]];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn dense_from(n: usize, entries: &[(usize, usize, Complex64)]) -> CMatrix {
+        let mut m = CMatrix::zeros(n, n);
+        for &(r, col, v) in entries {
+            m[(r, col)] = v;
+        }
+        m
+    }
+
+    fn csr_of(dense: &CMatrix) -> CsrMatrix {
+        let pattern = Arc::new(SparsityPattern::union_of_dense(&[dense]).unwrap());
+        CsrMatrix::from_dense(dense, pattern).unwrap()
+    }
+
+    /// Random sparse-ish test matrix with a guaranteed dominant diagonal.
+    fn random_sparse(n: usize, fill: f64, rng: &mut StdRng) -> CMatrix {
+        let mut m = CMatrix::zeros(n, n);
+        for r in 0..n {
+            m[(r, r)] = c(rng.gen_range(1.0..4.0), rng.gen_range(-1.0..1.0));
+            for col in 0..n {
+                if col != r && rng.gen_range(0.0..1.0) < fill {
+                    m[(r, col)] = c(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn pattern_dedups_sorts_and_forces_diagonal() {
+        let p = SparsityPattern::from_entries(3, &[(0, 2), (0, 2), (2, 0)]).unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.nnz(), 5); // 3 diagonal + (0,2) + (2,0)
+        assert_eq!(p.row(0), &[0, 2]);
+        assert_eq!(p.row(1), &[1]);
+        assert_eq!(p.row(2), &[0, 2]);
+        assert!(p.position(0, 2).is_some());
+        assert!(p.position(2, 1).is_none());
+    }
+
+    #[test]
+    fn pattern_rejects_out_of_range() {
+        assert!(matches!(
+            SparsityPattern::from_entries(2, &[(0, 5)]),
+            Err(MathError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn union_pattern_covers_both_matrices() {
+        let g = dense_from(3, &[(0, 1, Complex64::ONE)]);
+        let cm = dense_from(3, &[(2, 0, Complex64::ONE)]);
+        let p = SparsityPattern::union_of_dense(&[&g, &cm]).unwrap();
+        assert!(p.position(0, 1).is_some());
+        assert!(p.position(2, 0).is_some());
+        assert!(p.position(1, 2).is_none());
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn csr_stamp_and_get_roundtrip() {
+        let p = Arc::new(SparsityPattern::from_entries(2, &[(0, 1)]).unwrap());
+        let mut m = CsrMatrix::zeros(Arc::clone(&p));
+        m.stamp(0, 1, c(2.0, -1.0)).unwrap();
+        m.stamp(0, 1, c(1.0, 0.0)).unwrap();
+        assert_eq!(m.get(0, 1), c(3.0, -1.0));
+        assert_eq!(m.get(1, 0), Complex64::ZERO);
+        assert!(m.stamp(1, 0, Complex64::ONE).is_err());
+    }
+
+    #[test]
+    fn from_dense_rejects_uncovered_nonzero() {
+        let dense = dense_from(2, &[(1, 0, Complex64::ONE)]);
+        let p = Arc::new(SparsityPattern::from_entries(2, &[]).unwrap());
+        assert!(CsrMatrix::from_dense(&dense, p).is_err());
+    }
+
+    #[test]
+    fn fused_scale_add_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gd = random_sparse(6, 0.3, &mut rng);
+        let cd = random_sparse(6, 0.3, &mut rng);
+        let p = Arc::new(SparsityPattern::union_of_dense(&[&gd, &cd]).unwrap());
+        let g = CsrMatrix::from_dense(&gd, Arc::clone(&p)).unwrap();
+        let cm = CsrMatrix::from_dense(&cd, Arc::clone(&p)).unwrap();
+        let mut y = CsrMatrix::zeros(Arc::clone(&p));
+        let s = c(0.0, 2.0e3);
+        y.assign_scale_add(&g, &cm, s).unwrap();
+        let mut yd = CMatrix::zeros(6, 6);
+        yd.assign_scale_add(&gd, &cd, s).unwrap();
+        for r in 0..6 {
+            for col in 0..6 {
+                assert_eq!(y.get(r, col), yd[(r, col)], "mismatch at ({r}, {col})");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_add_requires_shared_pattern() {
+        let p1 = Arc::new(SparsityPattern::from_entries(2, &[]).unwrap());
+        let p2 = Arc::new(SparsityPattern::from_entries(2, &[]).unwrap());
+        let g = CsrMatrix::zeros(Arc::clone(&p1));
+        let cm = CsrMatrix::zeros(p2);
+        let mut y = CsrMatrix::zeros(p1);
+        assert!(y.assign_scale_add(&g, &cm, Complex64::ONE).is_err());
+    }
+
+    #[test]
+    fn solve_matches_dense_lu_on_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..24);
+            let dense = random_sparse(n, 0.25, &mut rng);
+            let csr = csr_of(&dense);
+            let sym = SymbolicLu::analyze(csr.pattern());
+            let mut scratch = sym.scratch();
+            sym.factor_into(csr.values(), &mut scratch).unwrap();
+            let b: Vec<Complex64> = (0..n)
+                .map(|_| c(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut xs = Vec::new();
+            sym.solve_factored(&mut scratch, &b, &mut xs).unwrap();
+            let xd = lu::solve(dense, &b).unwrap();
+            for (a, e) in xs.iter().zip(&xd) {
+                assert!(
+                    (*a - *e).abs() < 1e-10,
+                    "trial {trial}: sparse {a:?} vs dense {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..16);
+            let dense = random_sparse(n, 0.3, &mut rng);
+            let csr = csr_of(&dense);
+            let sym = SymbolicLu::analyze(csr.pattern());
+            let mut scratch = sym.scratch();
+            sym.factor_into(csr.values(), &mut scratch).unwrap();
+            let ds = sym.det_factored(&scratch);
+            let dd = lu::det(dense).unwrap();
+            assert!(
+                (ds - dd).abs() <= 1e-9 * dd.abs().max(1.0),
+                "sparse det {ds:?} vs dense {dd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_pivot_reports_singular_and_scratch_survives() {
+        // [[0, 1], [1, 0]] — dense partial pivoting solves this, the
+        // static diagonal ordering cannot (pivot 0 is exactly zero).
+        let dense = dense_from(2, &[(0, 1, Complex64::ONE), (1, 0, Complex64::ONE)]);
+        let p = Arc::new(SparsityPattern::union_of_dense(&[&dense]).unwrap());
+        let csr = CsrMatrix::from_dense(&dense, Arc::clone(&p)).unwrap();
+        let sym = SymbolicLu::analyze(&p);
+        let mut scratch = sym.scratch();
+        assert!(matches!(
+            sym.factor_into(csr.values(), &mut scratch),
+            Err(MathError::Singular(_))
+        ));
+        assert!(!scratch.is_factored());
+        let mut out = Vec::new();
+        assert!(sym
+            .solve_factored(&mut scratch, &[Complex64::ONE; 2], &mut out)
+            .is_err());
+        assert_eq!(sym.det_factored(&scratch), Complex64::ZERO);
+        // The scatter invariant held through the failure: a well-posed
+        // matrix on the same pattern factors fine afterwards.
+        let good = dense_from(
+            2,
+            &[
+                (0, 0, c(2.0, 0.0)),
+                (1, 1, c(3.0, 0.0)),
+                (0, 1, Complex64::ONE),
+                (1, 0, Complex64::ONE),
+            ],
+        );
+        let csr2 = CsrMatrix::from_dense(&good, Arc::clone(&p)).unwrap();
+        sym.factor_into(csr2.values(), &mut scratch).unwrap();
+        sym.solve_factored(&mut scratch, &[c(5.0, 0.0), c(5.0, 0.0)], &mut out)
+            .unwrap();
+        let r = good.mul_vec(&out).unwrap();
+        assert!((r[0] - c(5.0, 0.0)).abs() < 1e-12);
+        assert!((r[1] - c(5.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_degree_keeps_arrow_matrix_fill_free() {
+        // Arrow matrix with a dense first row/col: natural order fills in
+        // completely; eliminating the arrow tip last keeps zero fill.
+        let n = 12;
+        let mut entries = Vec::new();
+        for k in 1..n {
+            entries.push((0, k, Complex64::ONE));
+            entries.push((k, 0, Complex64::ONE));
+        }
+        let entries: Vec<(usize, usize)> = entries.iter().map(|&(r, c2, _)| (r, c2)).collect();
+        let p = SparsityPattern::from_entries(n, &entries).unwrap();
+        let sym = SymbolicLu::analyze(&p);
+        // The tip must not be eliminated before the spokes (once only the
+        // tip and one spoke remain, the tie-break may order them either
+        // way — both are fill-free).
+        let tip_step = sym.perm().iter().position(|&p2| p2 == 0).unwrap();
+        assert!(tip_step >= n - 2, "tip eliminated at step {tip_step}");
+        // No fill: L holds the arrow column, U the diagonal + arrow row.
+        assert_eq!(sym.fill_nnz(), p.nnz());
+    }
+
+    #[test]
+    fn factor_counter_tracks_numeric_reuse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dense = random_sparse(8, 0.3, &mut rng);
+        let csr = csr_of(&dense);
+        let sym = SymbolicLu::analyze(csr.pattern());
+        assert_eq!(sym.numeric_factor_count(), 0);
+        let mut scratch = sym.scratch();
+        for _ in 0..5 {
+            sym.factor_into(csr.values(), &mut scratch).unwrap();
+        }
+        assert_eq!(sym.numeric_factor_count(), 5);
+    }
+
+    #[test]
+    fn scratch_from_wrong_symbolic_is_rejected() {
+        let p1 = Arc::new(SparsityPattern::from_entries(3, &[(0, 1)]).unwrap());
+        let p2 = Arc::new(SparsityPattern::from_entries(4, &[]).unwrap());
+        let s1 = SymbolicLu::analyze(&p1);
+        let s2 = SymbolicLu::analyze(&p2);
+        let mut wrong = s2.scratch();
+        let vals = vec![Complex64::ONE; p1.nnz()];
+        assert!(matches!(
+            s1.factor_into(&vals, &mut wrong),
+            Err(MathError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn mul_vec_and_to_dense_agree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dense = random_sparse(7, 0.4, &mut rng);
+        let csr = csr_of(&dense);
+        assert_eq!(csr.to_dense(), dense);
+        let x: Vec<Complex64> = (0..7).map(|k| c(k as f64, -(k as f64))).collect();
+        let ys = csr.mul_vec(&x).unwrap();
+        let yd = dense.mul_vec(&x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_pattern_factors_trivially() {
+        let p = SparsityPattern::from_entries(0, &[]).unwrap();
+        let sym = SymbolicLu::analyze(&p);
+        let mut scratch = sym.scratch();
+        sym.factor_into(&[], &mut scratch).unwrap();
+        assert_eq!(sym.det_factored(&scratch), Complex64::ONE);
+        let mut out = vec![Complex64::ONE];
+        sym.solve_factored(&mut scratch, &[], &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

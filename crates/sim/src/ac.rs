@@ -14,6 +14,13 @@ use crate::Result;
 use artisan_math::{Complex64, ThreadPool};
 use std::f64::consts::PI;
 
+/// Minimum `points × dim` for the pooled solve phase to pay for its
+/// thread wake-up and merge overhead; below this [`sweep_with_pool`]
+/// runs the plain sequential loop (bit-identical results either way).
+/// The default 441-point sweep of the dim-3 NMC example (work 1323)
+/// stays sequential; a dim-50 behavioural ladder (work 22 050) fans out.
+pub const PAR_SWEEP_MIN_WORK: usize = 16_384;
+
 /// One point of an AC sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcPoint {
@@ -108,12 +115,26 @@ pub fn sweep_with_pool(
     pool: &ThreadPool,
 ) -> Result<Vec<AcPoint>> {
     let freqs = config.frequencies()?;
-    // Solve phase: embarrassingly parallel, one workspace per worker.
-    let solved: Vec<Result<Complex64>> = pool.par_map_with(
-        &freqs,
-        || sys.workspace(),
-        |_, f, ws: &mut MnaWorkspace| sys.transfer_with(Complex64::jomega(2.0 * PI * f), ws),
-    );
+    // Solve phase: embarrassingly parallel, one workspace per worker —
+    // but fan-out only pays for itself when there is enough work to
+    // amortize thread wake-up and result merging. Below the work
+    // threshold (or with a single worker) run the plain sequential loop,
+    // which is bit-identical: the pooled path solves the same points in
+    // index order per worker and merges by index.
+    let work = freqs.len().saturating_mul(sys.dim());
+    let solved: Vec<Result<Complex64>> = if pool.workers() <= 1 || work < PAR_SWEEP_MIN_WORK {
+        let mut ws = sys.workspace();
+        freqs
+            .iter()
+            .map(|&f| sys.transfer_with(Complex64::jomega(2.0 * PI * f), &mut ws))
+            .collect()
+    } else {
+        pool.par_map_with(
+            &freqs,
+            || sys.workspace(),
+            |_, f, ws: &mut MnaWorkspace| sys.transfer_with(Complex64::jomega(2.0 * PI * f), ws),
+        )
+    };
     // Deterministic error propagation: the lowest failing index wins,
     // exactly as the sequential loop would report.
     let mut hs = Vec::with_capacity(solved.len());
@@ -241,6 +262,57 @@ mod tests {
             sweep(&sys, &inverted),
             Err(SimError::InvalidSweep { .. })
         ));
+    }
+
+    /// Behavioural VCCS/R/C gain ladder with `dim` unknowns — large
+    /// enough to clear [`PAR_SWEEP_MIN_WORK`] on the default grid.
+    fn ladder(dim: usize) -> MnaSystem {
+        let name = |k: usize| {
+            if k == dim - 1 {
+                "out".to_string()
+            } else {
+                format!("x{k}")
+            }
+        };
+        let mut t = String::from("* ladder\n");
+        for k in 0..dim {
+            let node = name(k);
+            let prev = if k == 0 {
+                "in".to_string()
+            } else {
+                name(k - 1)
+            };
+            t.push_str(&format!(
+                "G{k} {node} 0 {prev} 0 0.0002\nR{k} {node} 0 10000\nC{k} {node} 0 2e-12\n"
+            ));
+        }
+        t.push_str(".end\n");
+        MnaSystem::new(&Netlist::parse(&t).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn small_sweeps_take_the_sequential_path_with_identical_results() {
+        // The dim-3 default sweep sits below the work threshold, so all
+        // worker counts collapse to the same sequential loop — results
+        // must still be exactly what the pooled path produced before.
+        let sys = single_pole(1000.0, 1e3);
+        let cfg = SweepConfig::default();
+        assert!(cfg.frequencies().unwrap().len() * sys.dim() < PAR_SWEEP_MIN_WORK);
+        let seq = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(1)).unwrap();
+        let heuristic = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(8)).unwrap();
+        assert_eq!(heuristic, seq);
+    }
+
+    #[test]
+    fn large_sweeps_fan_out_bit_identically() {
+        let sys = ladder(40);
+        let cfg = SweepConfig::default();
+        assert!(cfg.frequencies().unwrap().len() * sys.dim() >= PAR_SWEEP_MIN_WORK);
+        let seq = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(1)).unwrap();
+        for workers in [2, 4] {
+            let par = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(workers)).unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
     }
 
     #[test]

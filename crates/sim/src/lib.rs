@@ -66,6 +66,9 @@ pub use cache::{CacheStats, CachedSim, SimCache};
 pub use error::{BadNetlistReport, SimError};
 pub use fingerprint::NetlistFingerprint;
 pub use metrics::{Performance, PowerModel};
+pub use mna::{
+    sparse_enabled_from_env, MnaMode, MnaSystem, MnaWorkspace, SPARSE_ENV, SPARSE_MIN_DIM,
+};
 pub use screen::{screen_enabled_from_env, LintVerdict, ScreenedSim, SCREEN_ENV};
 pub use simulator::{AnalysisConfig, AnalysisReport, Simulator};
 pub use spec::{Spec, SpecCheck, SpecReport};

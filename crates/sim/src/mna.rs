@@ -12,12 +12,179 @@
 //! `Y = G + s·C` — no element walk, no hash-map lookups — and the hot
 //! solve path ([`MnaSystem::solve_with`]) factors into a caller-provided
 //! [`MnaWorkspace`] so an AC sweep allocates nothing per point.
+//!
+//! # Dense/sparse crossover
+//!
+//! MNA matrices are sparse with a *fixed pattern per topology*, so above
+//! a size threshold ([`SPARSE_MIN_DIM`], plus a density check) the
+//! system additionally builds a CSR representation with a one-shot
+//! *symbolic* LU ([`artisan_math::SymbolicLu`]): pivot ordering and
+//! fill-in are computed once in [`MnaSystem::new`] and every frequency
+//! point runs only the allocation-free numeric phase. Below the
+//! threshold (the NMC example is dim 3) the dense path is kept
+//! unchanged. The static diagonal pivoting of the sparse path can
+//! report singularity where dense partial pivoting would succeed; on
+//! that error the solve falls back to the dense factorization, so
+//! `IllConditioned` verdicts are identical between modes. The
+//! `ARTISAN_SPARSE=0` environment kill switch ([`SPARSE_ENV`]) forces
+//! dense everywhere, mirroring `ARTISAN_SCREEN`.
 
 use crate::error::SimError;
 use crate::Result;
 use artisan_circuit::{Element, Netlist, Node};
-use artisan_math::{lu, CMatrix, Complex64};
+use artisan_math::{
+    lu, CMatrix, Complex64, CsrMatrix, MathError, SparseLuScratch, SparsityPattern, SymbolicLu,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Environment variable that disables the sparse MNA path when set to
+/// `0`/`false`/`off`/`no` — the kill switch mirroring `ARTISAN_SCREEN`.
+pub const SPARSE_ENV: &str = "ARTISAN_SPARSE";
+
+/// Below this dimension the dense path always wins (tiny matrices fit in
+/// cache and the dense LU has no indirection); at or above it the sparse
+/// path is used when the pattern is sparse enough (`nnz ≤ dim²/4`).
+pub const SPARSE_MIN_DIM: usize = 16;
+
+/// Reads the [`SPARSE_ENV`] kill switch; sparse is enabled unless the
+/// variable is explicitly set to `0`, `false`, `off` or `no`.
+pub fn sparse_enabled_from_env() -> bool {
+    match std::env::var(SPARSE_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Which factorization backend an [`MnaSystem`] solves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MnaMode {
+    /// Dense `CMatrix` + partial-pivot LU (the original path).
+    Dense,
+    /// CSR + one-shot symbolic LU with a dense fallback on singular
+    /// static pivots.
+    Sparse,
+}
+
+/// Where each entry of the Cramer-numerator matrix comes from: the
+/// assembled `Y(s)` values array, or the source-eliminated RHS (the
+/// replaced output column).
+#[derive(Debug, Clone, Copy)]
+enum NumSource {
+    Y(usize),
+    Rhs(usize),
+}
+
+/// The sparse tier of an [`MnaSystem`]: CSR `G`/`C` over one shared
+/// pattern, plus the symbolic factorizations for `det(Y)` and the Cramer
+/// numerator. The `Arc`ed symbolic objects are shared by every workspace
+/// (and, via [`MnaSystem::new_sharing_symbolic`], by every value-only
+/// variant of the same topology — cache-miss candidates, PVT corners).
+#[derive(Debug, Clone)]
+struct SparseRepr {
+    g: CsrMatrix,
+    c: CsrMatrix,
+    symbolic: Arc<SymbolicLu>,
+    num_pattern: Arc<SparsityPattern>,
+    num_symbolic: Arc<SymbolicLu>,
+    num_src: Vec<NumSource>,
+}
+
+/// Per-workspace numeric scratch for the sparse path — assembled values
+/// and LU buffers, all allocated once.
+#[derive(Debug, Clone)]
+struct SparseScratch {
+    y_vals: Vec<Complex64>,
+    num_vals: Vec<Complex64>,
+    lu: SparseLuScratch,
+    num_lu: SparseLuScratch,
+}
+
+impl SparseRepr {
+    fn build(
+        g: &CMatrix,
+        c: &CMatrix,
+        rhs_g: &[Complex64],
+        rhs_c: &[Complex64],
+        out_index: usize,
+        donor: Option<&SparseRepr>,
+    ) -> Result<SparseRepr> {
+        let fresh = SparsityPattern::union_of_dense(&[g, c])?;
+        let (pattern, symbolic) = match donor {
+            Some(d) if *d.g.pattern().as_ref() == fresh => {
+                (Arc::clone(d.g.pattern()), Arc::clone(&d.symbolic))
+            }
+            _ => {
+                let p = Arc::new(fresh);
+                let s = Arc::new(SymbolicLu::analyze(&p));
+                (p, s)
+            }
+        };
+        let gs = CsrMatrix::from_dense(g, Arc::clone(&pattern))?;
+        let cs = CsrMatrix::from_dense(c, Arc::clone(&pattern))?;
+
+        // Cramer-numerator pattern: Y's pattern with the output column
+        // replaced by the RHS support (plus the forced diagonal).
+        let n = pattern.n();
+        let mut num_entries: Vec<(usize, usize)> = Vec::new();
+        for (r, col, _) in pattern.entries() {
+            if col != out_index {
+                num_entries.push((r, col));
+            }
+        }
+        for (r, (gv, cv)) in rhs_g.iter().zip(rhs_c).enumerate() {
+            if *gv != Complex64::ZERO || *cv != Complex64::ZERO {
+                num_entries.push((r, out_index));
+            }
+        }
+        let fresh_num = SparsityPattern::from_entries(n, &num_entries)?;
+        let (num_pattern, num_symbolic) = match donor {
+            Some(d) if *d.num_pattern.as_ref() == fresh_num => {
+                (Arc::clone(&d.num_pattern), Arc::clone(&d.num_symbolic))
+            }
+            _ => {
+                let p = Arc::new(fresh_num);
+                let s = Arc::new(SymbolicLu::analyze(&p));
+                (p, s)
+            }
+        };
+        let num_src = num_pattern
+            .entries()
+            .map(|(r, col, _)| {
+                if col == out_index {
+                    Ok(NumSource::Rhs(r))
+                } else {
+                    pattern.position(r, col).map(NumSource::Y).ok_or_else(|| {
+                        SimError::Math(MathError::DimensionMismatch(format!(
+                            "numerator entry ({r}, {col}) missing from the Y pattern"
+                        )))
+                    })
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(SparseRepr {
+            g: gs,
+            c: cs,
+            symbolic,
+            num_pattern,
+            num_symbolic,
+            num_src,
+        })
+    }
+
+    fn scratch(&self) -> SparseScratch {
+        SparseScratch {
+            y_vals: vec![Complex64::ZERO; self.g.values().len()],
+            num_vals: vec![Complex64::ZERO; self.num_src.len()],
+            lu: self.symbolic.scratch(),
+            num_lu: self.num_symbolic.scratch(),
+        }
+    }
+}
 
 /// Reusable per-solve scratch: the assembled `Y`, the right-hand side,
 /// the pivot permutation, and the solution vector. Build one with
@@ -30,6 +197,9 @@ pub struct MnaWorkspace {
     rhs: Vec<Complex64>,
     perm: Vec<usize>,
     x: Vec<Complex64>,
+    /// Numeric buffers for the sparse path; `None` for dense-mode
+    /// systems (and lazily created if a workspace crosses modes).
+    sparse: Option<SparseScratch>,
 }
 
 /// An assembled MNA system for one netlist, reusable across frequencies.
@@ -68,6 +238,9 @@ pub struct MnaSystem {
     /// RHS contributions from capacitances on the input column
     /// (scaled by `s` at assembly).
     rhs_c: Vec<Complex64>,
+    /// CSR + symbolic-LU tier; `None` below the crossover threshold or
+    /// under the `ARTISAN_SPARSE=0` kill switch.
+    sparse: Option<SparseRepr>,
 }
 
 /// Adds `val` at (row=node r, col=node c) with source elimination:
@@ -116,6 +289,41 @@ impl MnaSystem {
     /// node, no elements, or an element references a node missing from
     /// the unknown index.
     pub fn new(netlist: &Netlist) -> Result<Self> {
+        Self::new_impl(netlist, None, None)
+    }
+
+    /// Like [`MnaSystem::new`] but with the dense/sparse choice forced,
+    /// ignoring the crossover rule and the [`SPARSE_ENV`] kill switch.
+    /// Used by equivalence tests and benchmarks that need both backends
+    /// on the same netlist.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MnaSystem::new`].
+    pub fn with_mode(netlist: &Netlist, mode: MnaMode) -> Result<Self> {
+        Self::new_impl(netlist, Some(mode), None)
+    }
+
+    /// Builds a system for a *value-only* variant of `donor`'s topology
+    /// (a cache-miss candidate after parameter mutation, a PVT-corner
+    /// scaling…), reusing the donor's symbolic factorization when the
+    /// sparsity patterns match exactly — the one-shot fill analysis is
+    /// then amortized across the whole candidate family. Falls back to a
+    /// fresh analysis (same result, just slower) when the patterns
+    /// differ, and to the donor's mode for the dense/sparse choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MnaSystem::new`].
+    pub fn new_sharing_symbolic(netlist: &Netlist, donor: &MnaSystem) -> Result<Self> {
+        Self::new_impl(netlist, Some(donor.mode()), donor.sparse.as_ref())
+    }
+
+    fn new_impl(
+        netlist: &Netlist,
+        forced: Option<MnaMode>,
+        donor: Option<&SparseRepr>,
+    ) -> Result<Self> {
         if netlist.element_count() == 0 {
             return Err(SimError::BadNetlist("netlist is empty".into()));
         }
@@ -171,6 +379,26 @@ impl MnaSystem {
             }
         }
 
+        // Dense/sparse crossover: forced mode wins; otherwise sparse
+        // requires the kill switch open, `dim ≥ SPARSE_MIN_DIM`, and a
+        // pattern no denser than a quarter of the full matrix.
+        let build_sparse = match forced {
+            Some(MnaMode::Sparse) => true,
+            Some(MnaMode::Dense) => false,
+            None => {
+                sparse_enabled_from_env()
+                    && dim >= SPARSE_MIN_DIM
+                    && SparsityPattern::union_of_dense(&[&g, &c])
+                        .map(|p| p.nnz() * 4 <= dim * dim)
+                        .unwrap_or(false)
+            }
+        };
+        let sparse = if build_sparse {
+            Some(SparseRepr::build(&g, &c, &rhs_g, &rhs_c, out_index, donor)?)
+        } else {
+            None
+        };
+
         Ok(MnaSystem {
             elements: netlist.elements().to_vec(),
             index,
@@ -180,12 +408,44 @@ impl MnaSystem {
             c,
             rhs_g,
             rhs_c,
+            sparse,
         })
     }
 
     /// Number of unknown node voltages.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Which factorization backend this system solves through.
+    pub fn mode(&self) -> MnaMode {
+        if self.sparse.is_some() {
+            MnaMode::Sparse
+        } else {
+            MnaMode::Dense
+        }
+    }
+
+    /// True when the CSR + symbolic-LU tier is active.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// The shared symbolic factorization of `Y`'s pattern, when sparse.
+    /// Its [`SymbolicLu::numeric_factor_count`] observes reuse across
+    /// sweep points, candidates and corners.
+    pub fn sparse_symbolic(&self) -> Option<&Arc<SymbolicLu>> {
+        self.sparse.as_ref().map(|sp| &sp.symbolic)
+    }
+
+    /// Stored positions of the shared `G`/`C` pattern, when sparse.
+    pub fn sparse_nnz(&self) -> Option<usize> {
+        self.sparse.as_ref().map(|sp| sp.g.pattern().nnz())
+    }
+
+    /// L + U entries after fill-in, when sparse.
+    pub fn sparse_fill_nnz(&self) -> Option<usize> {
+        self.sparse.as_ref().map(|sp| sp.symbolic.fill_nnz())
     }
 
     /// A fresh solve workspace sized for this system.
@@ -195,6 +455,7 @@ impl MnaSystem {
             rhs: vec![Complex64::ZERO; self.dim],
             perm: Vec::with_capacity(self.dim),
             x: Vec::with_capacity(self.dim),
+            sparse: self.sparse.as_ref().map(SparseRepr::scratch),
         }
     }
 
@@ -273,9 +534,33 @@ impl MnaSystem {
         Ok((y, rhs))
     }
 
+    /// Assembles `y_vals = G + s·C` on the shared CSR pattern and runs
+    /// the allocation-free numeric factorization. Returns `Ok(true)` on
+    /// success (the factor is held in `sc.lu`), `Ok(false)` when the
+    /// static diagonal pivoting hit an exact zero — the caller falls
+    /// back to the dense path so singularity verdicts stay identical.
+    fn sparse_factor(sp: &SparseRepr, sc: &mut SparseScratch, s: Complex64) -> Result<bool> {
+        if sc.y_vals.len() != sp.g.values().len() || sc.num_vals.len() != sp.num_src.len() {
+            // Workspace built for another system; re-size once.
+            *sc = sp.scratch();
+        }
+        for ((y, gv), cv) in sc.y_vals.iter_mut().zip(sp.g.values()).zip(sp.c.values()) {
+            *y = *gv + s * *cv;
+        }
+        match sp.symbolic.factor_into(&sc.y_vals, &mut sc.lu) {
+            Ok(()) => Ok(true),
+            Err(MathError::Singular(_)) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Solves for all node voltages at complex frequency `s` using a
     /// caller-provided workspace — the zero-allocation hot path behind
-    /// AC sweeps. Returns a borrow of the workspace's solution vector.
+    /// AC sweeps. Sparse-mode systems run the symbolic-LU numeric phase
+    /// (no allocation, no pivot search); dense-mode systems — and any
+    /// point where the static sparse pivoting degenerates — run the
+    /// dense partial-pivot factorization. Returns a borrow of the
+    /// workspace's solution vector.
     ///
     /// # Errors
     ///
@@ -285,6 +570,16 @@ impl MnaSystem {
         s: Complex64,
         ws: &'w mut MnaWorkspace,
     ) -> Result<&'w [Complex64]> {
+        if let Some(sp) = &self.sparse {
+            let sc = ws.sparse.get_or_insert_with(|| sp.scratch());
+            if Self::sparse_factor(sp, sc, s)? {
+                self.rhs_at(s, &mut ws.rhs);
+                sp.symbolic.solve_factored(&mut sc.lu, &ws.rhs, &mut ws.x)?;
+                return Ok(&ws.x);
+            }
+            // Static pivot degenerated: the dense partial-pivot path
+            // below decides (and matches the dense-mode verdict).
+        }
         ws.y.assign_scale_add(&self.g, &self.c, s)?;
         self.rhs_at(s, &mut ws.rhs);
         lu::factor_in_place(&mut ws.y, &mut ws.perm).map_err(|_| SimError::IllConditioned {
@@ -326,30 +621,102 @@ impl MnaSystem {
         Ok(self.solve(s)?[self.out_index])
     }
 
+    /// Dense determinant of the matrix currently assembled in `ws.y`,
+    /// consuming it — identical arithmetic to `lu::det` (factor, then
+    /// `sign · Π U_kk`; exactly singular ⇒ zero).
+    fn dense_det_of_workspace(&self, ws: &mut MnaWorkspace) -> Result<Complex64> {
+        match lu::factor_in_place(&mut ws.y, &mut ws.perm) {
+            Ok(sign) => {
+                let mut d = Complex64::from_real(sign);
+                for k in 0..self.dim {
+                    d *= ws.y[(k, k)];
+                }
+                Ok(d)
+            }
+            Err(MathError::Singular(_)) => Ok(Complex64::ZERO),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Evaluates the network determinant `det(Y(s))` — the denominator of
-    /// every network function; its roots are the circuit's poles.
+    /// every network function; its roots are the circuit's poles — inside
+    /// a caller-provided workspace. A hot consumer (the `poles.rs`
+    /// interpolation) reuses one workspace across all sample points with
+    /// no per-call allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] only for internal dimension bugs.
+    pub fn determinant_with(&self, s: Complex64, ws: &mut MnaWorkspace) -> Result<Complex64> {
+        if let Some(sp) = &self.sparse {
+            let sc = ws.sparse.get_or_insert_with(|| sp.scratch());
+            if Self::sparse_factor(sp, sc, s)? {
+                return Ok(sp.symbolic.det_factored(&sc.lu));
+            }
+            // Fall through: the dense path decides between "genuinely
+            // singular ⇒ 0" and a pivot order the static analysis lost.
+        }
+        ws.y.assign_scale_add(&self.g, &self.c, s)?;
+        self.dense_det_of_workspace(ws)
+    }
+
+    /// Evaluates the Cramer numerator for the output node — `det(Y(s))`
+    /// with the output column replaced by the right-hand side — inside a
+    /// caller-provided workspace. The ratio numerator/determinant equals
+    /// `H(s)`; its roots are the zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Math`] only for internal dimension bugs.
+    pub fn numerator_with(&self, s: Complex64, ws: &mut MnaWorkspace) -> Result<Complex64> {
+        if let Some(sp) = &self.sparse {
+            let sc = ws.sparse.get_or_insert_with(|| sp.scratch());
+            if sc.y_vals.len() != sp.g.values().len() || sc.num_vals.len() != sp.num_src.len() {
+                *sc = sp.scratch();
+            }
+            for ((y, gv), cv) in sc.y_vals.iter_mut().zip(sp.g.values()).zip(sp.c.values()) {
+                *y = *gv + s * *cv;
+            }
+            self.rhs_at(s, &mut ws.rhs);
+            for (dst, src) in sc.num_vals.iter_mut().zip(&sp.num_src) {
+                *dst = match *src {
+                    NumSource::Y(idx) => sc.y_vals[idx],
+                    NumSource::Rhs(r) => ws.rhs[r],
+                };
+            }
+            match sp.num_symbolic.factor_into(&sc.num_vals, &mut sc.num_lu) {
+                Ok(()) => return Ok(sp.num_symbolic.det_factored(&sc.num_lu)),
+                Err(MathError::Singular(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        ws.y.assign_scale_add(&self.g, &self.c, s)?;
+        self.rhs_at(s, &mut ws.rhs);
+        for r in 0..self.dim {
+            ws.y[(r, self.out_index)] = ws.rhs[r];
+        }
+        self.dense_det_of_workspace(ws)
+    }
+
+    /// One-shot [`MnaSystem::determinant_with`] through a fresh
+    /// workspace.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Math`] only for internal dimension bugs.
     pub fn determinant(&self, s: Complex64) -> Result<Complex64> {
-        let (y, _) = self.assemble(s)?;
-        Ok(artisan_math::lu::det(y)?)
+        let mut ws = self.workspace();
+        self.determinant_with(s, &mut ws)
     }
 
-    /// Evaluates the Cramer numerator for the output node: `det(Y(s))`
-    /// with the output column replaced by the right-hand side. The ratio
-    /// numerator/determinant equals `H(s)`; its roots are the zeros.
+    /// One-shot [`MnaSystem::numerator_with`] through a fresh workspace.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Math`] only for internal dimension bugs.
     pub fn numerator(&self, s: Complex64) -> Result<Complex64> {
-        let (mut y, rhs) = self.assemble(s)?;
-        for r in 0..self.dim {
-            y[(r, self.out_index)] = rhs[r];
-        }
-        Ok(artisan_math::lu::det(y)?)
+        let mut ws = self.workspace();
+        self.numerator_with(s, &mut ws)
     }
 }
 
@@ -514,5 +881,182 @@ mod tests {
         let netlist = Topology::nmc_example().elaborate().unwrap();
         let sys = MnaSystem::new(&netlist).unwrap();
         assert_eq!(sys.dim(), 3); // n1, n2, out
+    }
+
+    /// Behavioural gain ladder with `dim` unknowns: a VCCS chain with a
+    /// shunt R‖C at every node plus periodic bridging caps and feedback
+    /// resistors for off-diagonal fill.
+    fn ladder(dim: usize) -> Netlist {
+        assert!(dim >= 2);
+        let name = |k: usize| {
+            if k == dim - 1 {
+                "out".to_string()
+            } else {
+                format!("x{k}")
+            }
+        };
+        let mut t = String::from("* ladder\n");
+        for k in 0..dim {
+            let node = name(k);
+            let prev = if k == 0 {
+                "in".to_string()
+            } else {
+                name(k - 1)
+            };
+            t.push_str(&format!("G{k} {node} 0 {prev} 0 0.0002\n"));
+            t.push_str(&format!("R{k} {node} 0 10000\n"));
+            t.push_str(&format!("C{k} {node} 0 0.000000000002\n"));
+            if k >= 3 && k % 3 == 0 {
+                t.push_str(&format!("Cb{k} {node} {} 0.0000000000005\n", name(k - 3)));
+            }
+            if k >= 5 && k % 5 == 0 {
+                t.push_str(&format!("Rb{k} {node} {} 1000000\n", name(k - 5)));
+            }
+        }
+        t.push_str(".end\n");
+        Netlist::parse(&t).unwrap()
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree_on_ladder() {
+        let n = ladder(24);
+        let dense = MnaSystem::with_mode(&n, MnaMode::Dense).unwrap();
+        let sparse = MnaSystem::with_mode(&n, MnaMode::Sparse).unwrap();
+        assert!(!dense.is_sparse());
+        assert!(sparse.is_sparse());
+        assert_eq!(dense.dim(), 24);
+        let mut wd = dense.workspace();
+        let mut ws = sparse.workspace();
+        for f in [0.0, 1.0, 1e3, 1e6, 1e9] {
+            let s = Complex64::jomega(2.0 * PI * f);
+            let hd = dense.transfer_with(s, &mut wd).unwrap();
+            let hs = sparse.transfer_with(s, &mut ws).unwrap();
+            assert!(
+                (hd - hs).abs() <= 1e-12 * hd.abs().max(1.0),
+                "f={f}: dense {hd} vs sparse {hs}"
+            );
+            let dd = dense.determinant_with(s, &mut wd).unwrap();
+            let ds = sparse.determinant_with(s, &mut ws).unwrap();
+            assert!(
+                (dd - ds).abs() <= 1e-9 * dd.abs().max(1e-300),
+                "f={f}: det dense {dd} vs sparse {ds}"
+            );
+            let nd = dense.numerator_with(s, &mut wd).unwrap();
+            let ns = sparse.numerator_with(s, &mut ws).unwrap();
+            assert!(
+                (nd - ns).abs() <= 1e-9 * nd.abs().max(1e-300),
+                "f={f}: num dense {nd} vs sparse {ns}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_and_kill_switch_pick_modes() {
+        // NMC is dim 3 — always dense regardless of the env knob.
+        let nmc = Topology::nmc_example().elaborate().unwrap();
+        assert!(!MnaSystem::new(&nmc).unwrap().is_sparse());
+        // This test owns the env var: other tests in this binary only
+        // build auto-mode systems below SPARSE_MIN_DIM, which never
+        // consult it.
+        let n = ladder(24);
+        std::env::remove_var(SPARSE_ENV);
+        assert!(sparse_enabled_from_env());
+        assert!(MnaSystem::new(&n).unwrap().is_sparse());
+        std::env::set_var(SPARSE_ENV, "0");
+        assert!(!sparse_enabled_from_env());
+        assert!(!MnaSystem::new(&n).unwrap().is_sparse());
+        std::env::set_var(SPARSE_ENV, "on");
+        assert!(sparse_enabled_from_env());
+        std::env::remove_var(SPARSE_ENV);
+    }
+
+    #[test]
+    fn value_only_variant_shares_the_symbolic_factorization() {
+        let base = ladder(20);
+        let donor = MnaSystem::with_mode(&base, MnaMode::Sparse).unwrap();
+        // Scale every resistor — values change, the pattern does not.
+        let scaled: Vec<Element> = base
+            .elements()
+            .iter()
+            .cloned()
+            .map(|e| match e {
+                Element::Resistor { label, a, b, ohms } => Element::Resistor {
+                    label,
+                    a,
+                    b,
+                    ohms: artisan_circuit::units::Ohms::from(ohms.value() * 1.25),
+                },
+                other => other,
+            })
+            .collect();
+        let variant = Netlist::new("ladder-scaled", scaled);
+        let shared = MnaSystem::new_sharing_symbolic(&variant, &donor).unwrap();
+        assert!(shared.is_sparse());
+        assert!(Arc::ptr_eq(
+            donor.sparse_symbolic().unwrap(),
+            shared.sparse_symbolic().unwrap()
+        ));
+        // And it still solves the *new* values correctly.
+        let dense = MnaSystem::with_mode(&variant, MnaMode::Dense).unwrap();
+        let s = Complex64::jomega(2.0 * PI * 1e4);
+        let hd = dense.transfer(s).unwrap();
+        let hs = shared.transfer(s).unwrap();
+        assert!((hd - hs).abs() <= 1e-12 * hd.abs().max(1.0));
+    }
+
+    #[test]
+    fn sparse_singular_fallback_matches_dense_verdicts() {
+        // Floating node: singular at DC, fine at AC. Forced-sparse must
+        // report exactly what dense reports at both points.
+        let n = Netlist::parse("* float\nC1 in n1 1p\nC2 n1 out 1p\nR1 out 0 1k\n.end\n").unwrap();
+        let dense = MnaSystem::with_mode(&n, MnaMode::Dense).unwrap();
+        let sparse = MnaSystem::with_mode(&n, MnaMode::Sparse).unwrap();
+        let mut wd = dense.workspace();
+        let mut ws = sparse.workspace();
+        assert!(matches!(
+            sparse.transfer_with(Complex64::ZERO, &mut ws),
+            Err(SimError::IllConditioned { .. })
+        ));
+        assert!(dense.transfer_with(Complex64::ZERO, &mut wd).is_err());
+        let s = Complex64::jomega(2.0 * PI * 1e3);
+        let hd = dense.transfer_with(s, &mut wd).unwrap();
+        let hs = sparse.transfer_with(s, &mut ws).unwrap();
+        assert!((hd - hs).abs() <= 1e-12 * hd.abs().max(1.0));
+        // Determinant: dense fallback decides — exactly singular ⇒ 0.
+        assert_eq!(
+            sparse.determinant(Complex64::ZERO).unwrap(),
+            dense.determinant(Complex64::ZERO).unwrap()
+        );
+    }
+
+    #[test]
+    fn workspace_determinant_matches_one_shot_bitwise() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let sys = MnaSystem::new(&netlist).unwrap();
+        let mut ws = sys.workspace();
+        for f in [0.0, 1.0, 1e3, 1e6, 1e9] {
+            let s = Complex64::jomega(2.0 * PI * f);
+            assert_eq!(
+                sys.determinant_with(s, &mut ws).unwrap(),
+                sys.determinant(s).unwrap()
+            );
+            assert_eq!(
+                sys.numerator_with(s, &mut ws).unwrap(),
+                sys.numerator(s).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_cramer_reproduces_transfer_on_ladder() {
+        let n = ladder(30);
+        let sys = MnaSystem::with_mode(&n, MnaMode::Sparse).unwrap();
+        let mut ws = sys.workspace();
+        let s = Complex64::jomega(2.0 * PI * 5e4);
+        let h = sys.transfer_with(s, &mut ws).unwrap();
+        let num = sys.numerator_with(s, &mut ws).unwrap();
+        let den = sys.determinant_with(s, &mut ws).unwrap();
+        let h_cramer = num / den;
+        assert!((h - h_cramer).abs() / h.abs() < 1e-9, "{h} vs {h_cramer}");
     }
 }

@@ -97,10 +97,18 @@ pub fn transfer_polynomials(
     let n_samples = degree + 1;
     let xs = interp::log_spaced_real_points(config.omega_lo, config.omega_hi, n_samples);
 
-    let den_pts: Result<Vec<(Complex64, Complex64)>> =
-        xs.iter().map(|&s| Ok((s, sys.determinant(s)?))).collect();
-    let num_pts: Result<Vec<(Complex64, Complex64)>> =
-        xs.iter().map(|&s| Ok((s, sys.numerator(s)?))).collect();
+    // One workspace reused across every sample point of both
+    // polynomials — the determinant/numerator evaluations allocate
+    // nothing per point.
+    let mut ws = sys.workspace();
+    let den_pts: Result<Vec<(Complex64, Complex64)>> = xs
+        .iter()
+        .map(|&s| Ok((s, sys.determinant_with(s, &mut ws)?)))
+        .collect();
+    let num_pts: Result<Vec<(Complex64, Complex64)>> = xs
+        .iter()
+        .map(|&s| Ok((s, sys.numerator_with(s, &mut ws)?)))
+        .collect();
 
     let den = interp::newton_interpolate(&den_pts?)?.trimmed(config.trim_tol);
     let num = interp::newton_interpolate(&num_pts?)?.trimmed(config.trim_tol);

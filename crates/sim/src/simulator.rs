@@ -217,11 +217,14 @@ impl Simulator {
 
         // DC gain: exact s = 0 solve, falling back to the sweep floor for
         // networks with capacitively-coupled (DC-floating) internal nodes.
-        let h0 = match sys.transfer(Complex64::ZERO) {
+        // One workspace serves both attempts.
+        let mut ws = sys.workspace();
+        let h0 = match sys.transfer_with(Complex64::ZERO, &mut ws) {
             Ok(h) => h,
-            Err(SimError::IllConditioned { .. }) => sys.transfer(Complex64::jomega(
-                2.0 * std::f64::consts::PI * config.sweep.f_start,
-            ))?,
+            Err(SimError::IllConditioned { .. }) => sys.transfer_with(
+                Complex64::jomega(2.0 * std::f64::consts::PI * config.sweep.f_start),
+                &mut ws,
+            )?,
             Err(e) => return Err(e),
         };
         if h0.abs() <= 0.0 || !h0.is_finite() {

@@ -5,7 +5,7 @@ use artisan_circuit::sample::{mutate_netlist, sample_topology, SampleRanges};
 use artisan_circuit::{Netlist, Topology};
 use artisan_math::{Complex64, MathError, ThreadPool};
 use artisan_sim::ac::{sweep_with_pool, SweepConfig};
-use artisan_sim::mna::MnaSystem;
+use artisan_sim::mna::{MnaMode, MnaSystem};
 use artisan_sim::poles::{pole_zero, PoleZeroConfig};
 use artisan_sim::{CachedSim, ScreenedSim, SimBackend, SimCache, SimError, Simulator};
 use proptest::prelude::*;
@@ -405,6 +405,144 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The sparse (CSR + symbolic LU) solver agrees with the dense
+    /// partial-pivot solver over the broken neighbourhood: identical
+    /// `IllConditioned` verdicts at every tested frequency (the sparse
+    /// path falls back to dense on degenerate static pivots, and this
+    /// property pins that contract), solutions within 1e-12 relative on
+    /// well-conditioned systems, and a tiny backward error always.
+    #[test]
+    fn sparse_solver_matches_dense_on_broken_neighbourhood(seed in 0u64..4000) {
+        let netlist = broken_neighbourhood(seed);
+        let Ok(dense) = MnaSystem::with_mode(&netlist, MnaMode::Dense) else { return; };
+        let sparse = MnaSystem::with_mode(&netlist, MnaMode::Sparse)
+            .expect("sparse build succeeds whenever dense does");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ba5e);
+        let f_random = 10f64.powf(rng.gen_range(0.0..9.0));
+        let mut wd = dense.workspace();
+        let mut wsp = sparse.workspace();
+        for f in [0.0, 1.0, f_random] {
+            let s = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+            match (dense.solve_with(s, &mut wd), sparse.solve_with(s, &mut wsp)) {
+                (Ok(xd), Ok(xs)) => {
+                    let xd: Vec<Complex64> = xd.to_vec();
+                    let xs: Vec<Complex64> = xs.to_vec();
+                    // Backward error of the sparse solution (always).
+                    let (y, rhs) = dense.assemble(s).expect("assembles");
+                    let yx = y.mul_vec(&xs).expect("dims");
+                    let res: f64 = yx.iter().zip(&rhs)
+                        .map(|(a, b)| (*a - *b).abs_sq()).sum::<f64>().sqrt();
+                    let yxd = y.mul_vec(&xd).expect("dims");
+                    let resd: f64 = yxd.iter().zip(&rhs)
+                        .map(|(a, b)| (*a - *b).abs_sq()).sum::<f64>().sqrt();
+                    let bnorm: f64 = rhs.iter().map(|b| b.abs_sq()).sum::<f64>().sqrt();
+                    let xsnorm: f64 = xs.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+                    let xdnorm: f64 = xd.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+                    let ynorm = y.frobenius_norm();
+                    let bscale = (bnorm + ynorm * xsnorm).max(1e-12);
+                    prop_assert!(res / bscale < 1e-7, "sparse residual {res} at f = {f}");
+                    // Forward agreement via the perturbation bound:
+                    // ‖xd − xs‖ = ‖Y⁻¹(rs − rd)‖ ≤ ‖Y⁻¹‖·(‖rd‖+‖rs‖),
+                    // with ‖Y⁻¹‖ estimated from a random solve (a random
+                    // b̃ excites the dominant direction of Y⁻¹ with high
+                    // probability) and the min-pivot proxy. This scales
+                    // per instance — loose on ill-scaled mutants, and
+                    // ~1e-12·‖x‖ on healthy ones — while still rejecting
+                    // any genuinely wrong solution, whose residual or
+                    // distance would blow through it.
+                    let lu = artisan_math::lu::LuDecomposition::new(y).expect("factors");
+                    let brand: Vec<Complex64> = (0..xs.len())
+                        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                        .collect();
+                    let xr = lu.solve(&brand).expect("solves");
+                    let brn: f64 = brand.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+                    let xrn: f64 = xr.iter().map(|v| v.abs_sq()).sum::<f64>().sqrt();
+                    let inv_est = (xrn / brn.max(1e-300))
+                        .max(1.0 / lu.min_pivot_magnitude());
+                    let diffn: f64 = xd.iter().zip(&xs)
+                        .map(|(a, b)| (*a - *b).abs_sq()).sum::<f64>().sqrt();
+                    let bound = 1e-12 * xdnorm.max(1e-300) + 10.0 * inv_est * (res + resd);
+                    prop_assert!(
+                        diffn <= bound,
+                        "f = {f}: ‖dense − sparse‖ = {diffn} exceeds bound {bound}\n{}",
+                        netlist.to_text()
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        format!("{a}"), format!("{b}"),
+                        "verdicts differ at f = {}\n{}", f, netlist.to_text()
+                    );
+                }
+                (d, s2) => prop_assert!(
+                    false,
+                    "dense {:?} vs sparse {:?} disagree on success at f = {}\n{}",
+                    d.is_ok(), s2.is_ok(), f, netlist.to_text()
+                ),
+            }
+        }
+    }
+
+    /// Value-only mutations of a topology reuse the donor's symbolic
+    /// factorization (pattern equality ⇒ shared `Arc`), and the shared
+    /// system still solves the *new* values correctly.
+    #[test]
+    fn symbolic_factorization_is_reused_across_value_mutations(seed in 0u64..4000) {
+        let netlist = broken_neighbourhood(seed);
+        let Ok(donor) = MnaSystem::with_mode(&netlist, MnaMode::Sparse) else { return; };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa1);
+        let scaled: Vec<artisan_circuit::Element> = netlist
+            .elements()
+            .iter()
+            .cloned()
+            .map(|e| {
+                use artisan_circuit::units::{Farads, Ohms, Siemens};
+                use artisan_circuit::Element;
+                match e {
+                    Element::Resistor { label, a, b, ohms } => Element::Resistor {
+                        label, a, b,
+                        ohms: Ohms::from(ohms.value() * rng.gen_range(0.5..2.0)),
+                    },
+                    Element::Capacitor { label, a, b, farads } => Element::Capacitor {
+                        label, a, b,
+                        farads: Farads::from(farads.value() * rng.gen_range(0.5..2.0)),
+                    },
+                    Element::Vccs { label, out_p, out_n, ctrl_p, ctrl_n, gm } => Element::Vccs {
+                        label, out_p, out_n, ctrl_p, ctrl_n,
+                        gm: Siemens::from(gm.value() * rng.gen_range(0.5..2.0)),
+                    },
+                }
+            })
+            .collect();
+        let variant = Netlist::new("value-mutated", scaled);
+        let shared = MnaSystem::new_sharing_symbolic(&variant, &donor)
+            .expect("same topology builds");
+        prop_assert!(shared.is_sparse());
+        prop_assert!(
+            std::sync::Arc::ptr_eq(
+                donor.sparse_symbolic().expect("donor sparse"),
+                shared.sparse_symbolic().expect("shared sparse"),
+            ),
+            "value-only mutation did not reuse the symbolic factorization"
+        );
+        // The shared-symbolic system solves the new values like a fresh
+        // dense build does.
+        let dense = MnaSystem::with_mode(&variant, MnaMode::Dense).expect("builds");
+        let s = Complex64::jomega(2.0 * std::f64::consts::PI * 1e4);
+        match (dense.solve(s), shared.solve(s)) {
+            (Ok(xd), Ok(xs)) => {
+                let scale = xd.iter().map(|v| v.abs()).fold(1e-300, f64::max);
+                for (a, b) in xd.iter().zip(&xs) {
+                    prop_assert!((*a - *b).abs() <= 1e-9 * scale, "{a:?} vs {b:?}");
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+            (d, s2) => prop_assert!(
+                false, "dense {:?} vs shared-sparse {:?}", d.is_ok(), s2.is_ok()
+            ),
         }
     }
 

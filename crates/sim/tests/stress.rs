@@ -233,6 +233,69 @@ fn screened_stack_races_stay_conservative() {
 }
 
 #[test]
+fn sparse_sweeps_are_bit_identical_and_share_one_symbolic_under_stress() {
+    use artisan_circuit::Netlist;
+    use artisan_sim::ac::{sweep_with_pool, SweepConfig};
+    use artisan_sim::mna::{MnaMode, MnaSystem};
+
+    // A dim-48 behavioural gain ladder, forced sparse so this leg
+    // exercises the CSR + symbolic-LU path regardless of the
+    // `ARTISAN_SPARSE` setting in the environment.
+    let dim = 48usize;
+    let mut text = String::from("* stress ladder\n");
+    let mut prev = "in".to_string();
+    for k in 0..dim {
+        let node = if k == dim - 1 {
+            "out".to_string()
+        } else {
+            format!("x{k}")
+        };
+        text.push_str(&format!("G{k} {node} 0 {prev} 0 0.0002\n"));
+        text.push_str(&format!("R{k} {node} 0 10k\n"));
+        text.push_str(&format!("C{k} {node} 0 2p\n"));
+        prev = node;
+    }
+    text.push_str(".end\n");
+    let netlist = Netlist::parse(&text).expect("ladder parses");
+    let sys = MnaSystem::with_mode(&netlist, MnaMode::Sparse).expect("builds");
+    assert!(sys.is_sparse(), "forced-sparse system must be sparse");
+    let symbolic = Arc::clone(sys.sparse_symbolic().expect("sparse symbolic"));
+
+    // Large enough that `sweep_with_pool` genuinely fans out
+    // (points × dim ≥ PAR_SWEEP_MIN_WORK).
+    let cfg = SweepConfig {
+        f_start: 1.0,
+        f_stop: 1e9,
+        points_per_decade: 48,
+    };
+    let points = cfg.frequencies().expect("grid").len();
+    assert!(points * dim >= artisan_sim::ac::PAR_SWEEP_MIN_WORK);
+
+    let before = symbolic.numeric_factor_count();
+    let serial = sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(1)).expect("sweeps");
+    assert_eq!(
+        symbolic.numeric_factor_count() - before,
+        points as u64,
+        "one numeric factorization per sweep point, zero symbolic redos"
+    );
+
+    let iters = stress_iters().min(8);
+    for iter in 0..iters {
+        for workers in [2usize, 4, 8] {
+            let before = symbolic.numeric_factor_count();
+            let got =
+                sweep_with_pool(&sys, &cfg, &ThreadPool::with_workers(workers)).expect("sweeps");
+            assert_eq!(got, serial, "iter {iter}, workers {workers}: drifted");
+            assert_eq!(
+                symbolic.numeric_factor_count() - before,
+                points as u64,
+                "iter {iter}, workers {workers}: factor ledger drifted"
+            );
+        }
+    }
+}
+
+#[test]
 fn pool_results_are_identical_across_worker_counts_under_stress() {
     // The pool distributes work dynamically, so scheduling differs on
     // every run — results must not. Compare a real workload (an
