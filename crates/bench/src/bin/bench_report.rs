@@ -1,8 +1,11 @@
 //! Emits `BENCH_sim.json`: machine-readable numbers for the parallel
 //! simulation engine — assembly and solve throughput (cached G/C split
 //! vs the legacy per-point element walk), whole-sweep throughput per
-//! worker count, and scheduler session throughput per worker count,
-//! each with its speedup over one worker.
+//! worker count, scheduler session throughput per worker count (each
+//! with its speedup over one worker), and the PVT corner engine's
+//! grid throughput against a naive per-corner analyze loop, with the
+//! shared-symbolic, verdict-cache, and kill-switch contracts asserted
+//! inline.
 //!
 //! Run with:
 //!   `cargo run --release -p artisan-bench --bin bench_report [--reps 40] [--sessions 8] [--out BENCH_sim.json]`
@@ -762,6 +765,182 @@ fn main() {
     );
     std::fs::remove_dir_all(&journal_dir).ok();
 
+    // --- PVT corner engine: batched grid vs naive per-corner analyze ---
+    // The 27-corner default grid on the dim-80 loaded ladder (the load
+    // axis needs an explicit `CL` to scale), swept over a band matched
+    // to the ladder's crossing region — the workload a sign-off corner
+    // sweep actually runs. The naive reference runs a full fresh
+    // analysis per corner — admission gate, new MNA system and symbolic
+    // factorization, pole/zero extraction, full sweep. The engine path
+    // pays the nominal analysis once, then re-measures only the AC
+    // margins per corner against the nominal topology's shared symbolic
+    // LU with early-exit sweeps, fanned over the pool.
+    let corner_grid = artisan_sim::CornerGrid::default();
+    let corner_points = corner_grid.corners();
+    let corner_count = corner_points.len();
+    let corner_netlist = netgen::loaded_ladder(80);
+    // The ladder's stage poles sit near 8 MHz and its unity crossing
+    // near 16 MHz; [1e4, 1e8] Hz at the default density covers the flat
+    // band, the roll-off, and the crossing for every corner.
+    let corner_config = AnalysisConfig {
+        sweep: SweepConfig {
+            f_start: 1.0e4,
+            f_stop: 1.0e8,
+            ..SweepConfig::default()
+        },
+        ..AnalysisConfig::default()
+    };
+    let corner_cl = corner_netlist
+        .find("CL")
+        .expect("loaded ladder has CL")
+        .value();
+    let nominal_report = Simulator::with_config(corner_config)
+        .analyze_netlist(&corner_netlist)
+        .expect("nominal loaded ladder analyzes");
+    let nominal_power = nominal_report.performance.power;
+    let corner_donor = MnaSystem::new(&corner_netlist).expect("corner donor builds");
+    let corner_pool = ThreadPool::from_env();
+
+    // Exactly one symbolic factorization per topology: every corner
+    // variant adopts the donor's symbolic analysis (same Arc), and all
+    // of a grid's numeric refactors flow through that single symbolic's
+    // reuse counter. (Skipped under ARTISAN_SPARSE=0, where dim 50 runs
+    // dense and there is no symbolic to share.)
+    let corner_symbolic_shared = match corner_donor.sparse_symbolic() {
+        Some(donor_symbolic) => {
+            let donor_symbolic = Arc::clone(donor_symbolic);
+            for corner in &corner_points {
+                let scaled = corner.apply(&corner_netlist);
+                let sys = MnaSystem::new_sharing_symbolic(&scaled, &corner_donor)
+                    .expect("corner variant shares the donor symbolic");
+                assert!(
+                    sys.sparse_symbolic()
+                        .is_some_and(|s| Arc::ptr_eq(s, &donor_symbolic)),
+                    "corner {corner:?} grew its own symbolic factorization"
+                );
+            }
+            let factors_before = donor_symbolic.numeric_factor_count();
+            let probe = artisan_sim::corners::evaluate_grid_with_pool(
+                &corner_config,
+                &corner_netlist,
+                corner_cl,
+                nominal_power,
+                &corner_grid,
+                &corner_donor,
+                &corner_pool,
+            );
+            assert!(
+                probe.all_passed(),
+                "default grid failed on the ladder: {probe:?}"
+            );
+            // Early-exit sweeps stop past the unity crossing, so the
+            // exact per-corner solve count is data-dependent; every
+            // corner still factors at least its DC point and the
+            // crossing bracket through the one shared symbolic.
+            let grid_factors = donor_symbolic.numeric_factor_count() - factors_before;
+            assert!(
+                grid_factors >= (corner_count * 4) as u64,
+                "grid numeric work bypassed the shared symbolic: {grid_factors} factors"
+            );
+            true
+        }
+        None => {
+            assert!(
+                !artisan_sim::sparse_enabled_from_env(),
+                "dim-80 donor lost its symbolic with sparse enabled"
+            );
+            false
+        }
+    };
+
+    let corner_reps = (reps / 8).max(2);
+    let naive_corner_rate = rate(corner_reps, corner_count, || {
+        for corner in &corner_points {
+            let scaled = corner.apply(&corner_netlist);
+            black_box(
+                Simulator::with_config(corner_config)
+                    .analyze_netlist(&scaled)
+                    .expect("naive corner analyzes"),
+            );
+        }
+    });
+    let engine_corner_rate = rate(corner_reps, corner_count, || {
+        black_box(artisan_sim::corners::evaluate_grid_with_pool(
+            &corner_config,
+            &corner_netlist,
+            corner_cl,
+            nominal_power,
+            &corner_grid,
+            &corner_donor,
+            &corner_pool,
+        ));
+    });
+    let corner_speedup = engine_corner_rate / naive_corner_rate;
+    // The ≥5× headline is claimed for the sparse tier (shared symbolic
+    // LU); a forced-dense run still reports its measured ratio but the
+    // dense sweep dominates both paths and the floor does not apply.
+    if corner_symbolic_shared {
+        assert!(
+            corner_speedup >= 5.0,
+            "corner engine {engine_corner_rate:.1}/s is not ≥5× naive {naive_corner_rate:.1}/s"
+        );
+    }
+
+    // Cached worst-case verdicts: a warm CornerSim sharing the cold
+    // run's cache serves the identical verdict while billing zero
+    // corner sims.
+    let corner_cache = SimCache::shared(1024);
+    let mut cold_corner_sim =
+        artisan_sim::CornerSim::new(Simulator::with_config(corner_config), corner_grid.clone())
+            .with_config(corner_config)
+            .with_cache(Arc::clone(&corner_cache));
+    let cold_corner_report = cold_corner_sim
+        .analyze_netlist(&corner_netlist)
+        .expect("cold corner analysis");
+    let cold_corner_sims = cold_corner_sim.ledger().corner_sims();
+    assert_eq!(
+        cold_corner_sims, corner_count as u64,
+        "cold run billed the whole grid"
+    );
+    let mut warm_corner_sim =
+        artisan_sim::CornerSim::new(Simulator::with_config(corner_config), corner_grid.clone())
+            .with_config(corner_config)
+            .with_cache(Arc::clone(&corner_cache));
+    let warm_corner_report = warm_corner_sim
+        .analyze_netlist(&corner_netlist)
+        .expect("warm corner analysis");
+    let warm_corner_sims = warm_corner_sim.ledger().corner_sims();
+    assert_eq!(warm_corner_sims, 0, "warm run re-evaluated a cached grid");
+    let cold_wc = cold_corner_report.worst_case.expect("cold verdict");
+    let warm_wc = warm_corner_report.worst_case.expect("warm verdict");
+    assert_eq!(cold_wc, warm_wc, "cached verdict drifted from the cold one");
+
+    // Kill switch: `ARTISAN_CORNERS=0` must reproduce the bare
+    // simulator bit-for-bit — no verdict, no corner billing.
+    let saved_corners_env = std::env::var(artisan_sim::CORNERS_ENV).ok();
+    std::env::set_var(artisan_sim::CORNERS_ENV, "0");
+    let mut off_sim = artisan_sim::CornerSim::from_env(
+        Simulator::with_config(corner_config),
+        corner_grid.clone(),
+    );
+    let off_report = off_sim
+        .analyze_netlist(&corner_netlist)
+        .expect("kill-switch analysis");
+    match saved_corners_env {
+        Some(v) => std::env::set_var(artisan_sim::CORNERS_ENV, v),
+        None => std::env::remove_var(artisan_sim::CORNERS_ENV),
+    }
+    assert!(
+        off_report.worst_case.is_none(),
+        "kill switch leaked a verdict"
+    );
+    assert_eq!(off_sim.ledger().corner_sims(), 0);
+    assert_eq!(
+        off_report.performance, nominal_report.performance,
+        "kill switch changed the nominal report"
+    );
+    let corners_kill_switch_identical = true;
+
     let sparse_rows_json = sparse_rows
         .iter()
         .map(|&(dim, dense_rate, sparse_rate, auto_sparse)| {
@@ -793,7 +972,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"journal\": {{\n    \"workload\": \"{j_sessions} flaky supervised G-1 sessions, crash-cut to one attempt then resumed\",\n    \"sessions\": {j_sessions},\n    \"attempts\": {journal_attempts},\n    \"appends\": {journal_appends},\n    \"bytes_per_append\": {:.1},\n    \"append_overhead_seconds_per_append\": {append_overhead_secs:.6},\n    \"billed_testbed_seconds_clean\": {clean_billed:.1},\n    \"billed_testbed_seconds_resumed\": {resumed_billed:.1},\n    \"attempts_restored\": {attempts_restored},\n    \"resumed_terminal\": {},\n    \"resume_strictly_cheaper\": true,\n    \"reports_identical\": true\n  }},\n  \"sparse\": {{\n    \"netlists\": \"behavioural gain ladders (netgen), forced dense vs forced sparse\",\n    \"grid_points\": {},\n    \"dims\": [\n{sparse_rows_json}\n  ],\n    \"speedup_at_dim50\": {speedup_at_dim50:.3},\n    \"hot_loop_allocations\": {hot_loop_allocations},\n    \"numeric_factors_per_sweep\": {hot_loop_factors},\n    \"symbolic_reuse_ok\": true,\n    \"kill_switch_reports_identical\": {kill_switch_reports_identical}\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"parallel simulation engine (NMC example, default sweep grid)\",\n  \"host\": {{ \"available_parallelism\": {host_parallelism}, \"artisan_threads_env\": {} }},\n  \"sweep_points\": {n_points},\n  \"reps\": {reps},\n  \"assembly\": {{\n    \"cached_points_per_sec\": {asm_cached:.1},\n    \"legacy_points_per_sec\": {asm_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"solve\": {{\n    \"cached_workspace_points_per_sec\": {solve_cached:.1},\n    \"legacy_alloc_points_per_sec\": {solve_legacy:.1},\n    \"speedup_cached_vs_legacy\": {:.3}\n  }},\n  \"sweep_threads\": [\n{}\n  ],\n  \"batch_candidates\": {},\n  \"batch_threads\": [\n{}\n  ],\n  \"scheduler_sessions\": {n_sessions},\n  \"scheduler_threads\": [\n{}\n  ],\n  \"sim_cache\": {{\n    \"workload\": \"{n_sessions} identical supervised G-1 sessions, one shared cache\",\n    \"billed_testbed_seconds_uncached\": {uncached_seconds:.1},\n    \"billed_testbed_seconds_cached\": {cached_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.3},\n    \"reports_identical\": true\n  }},\n  \"warm_start\": {{\n    \"preloaded_entries\": {preloaded_entries},\n    \"snapshot_entries\": {},\n    \"snapshot_bytes\": {},\n    \"round_trip_identical\": true,\n    \"billed_testbed_seconds_cold\": {cold_seconds:.1},\n    \"billed_testbed_seconds_warm\": {warm_seconds:.1},\n    \"warm_hit_rate\": {warm_hit_rate:.3},\n    \"reports_identical\": true\n  }},\n  \"single_flight\": {{\n    \"threads\": {sf_threads},\n    \"inner_simulations\": {},\n    \"served_without_simulating\": {}\n  }},\n  \"journal\": {{\n    \"workload\": \"{j_sessions} flaky supervised G-1 sessions, crash-cut to one attempt then resumed\",\n    \"sessions\": {j_sessions},\n    \"attempts\": {journal_attempts},\n    \"appends\": {journal_appends},\n    \"bytes_per_append\": {:.1},\n    \"append_overhead_seconds_per_append\": {append_overhead_secs:.6},\n    \"billed_testbed_seconds_clean\": {clean_billed:.1},\n    \"billed_testbed_seconds_resumed\": {resumed_billed:.1},\n    \"attempts_restored\": {attempts_restored},\n    \"resumed_terminal\": {},\n    \"resume_strictly_cheaper\": true,\n    \"reports_identical\": true\n  }},\n  \"sparse\": {{\n    \"netlists\": \"behavioural gain ladders (netgen), forced dense vs forced sparse\",\n    \"grid_points\": {},\n    \"dims\": [\n{sparse_rows_json}\n  ],\n    \"speedup_at_dim50\": {speedup_at_dim50:.3},\n    \"hot_loop_allocations\": {hot_loop_allocations},\n    \"numeric_factors_per_sweep\": {hot_loop_factors},\n    \"symbolic_reuse_ok\": true,\n    \"kill_switch_reports_identical\": {kill_switch_reports_identical}\n  }},\n  \"screening\": {{\n    \"corpus_netlists\": {},\n    \"lint_throughput_netlists_per_sec\": {lint_rate:.1},\n    \"screened_out\": {screened_out},\n    \"screened_out_rate\": {screened_out_rate:.3},\n    \"billed_testbed_seconds_unscreened\": {unscreened_seconds:.1},\n    \"billed_testbed_seconds_screened\": {screened_seconds:.1},\n    \"billed_seconds_saved\": {:.1},\n    \"surviving_reports_identical\": true\n  }},\n  \"corners\": {{\n    \"workload\": \"27-corner default PVT grid, dim-80 loaded ladder, 1e4-1e8 Hz sweep at default density\",\n    \"grid_corners\": {corner_count},\n    \"naive_corner_analyses_per_sec\": {naive_corner_rate:.2},\n    \"engine_corner_evals_per_sec\": {engine_corner_rate:.2},\n    \"speedup_engine_vs_naive\": {corner_speedup:.3},\n    \"corner_symbolic_shared\": {corner_symbolic_shared},\n    \"cold_corner_sims_billed\": {cold_corner_sims},\n    \"warm_corner_sims_billed\": {warm_corner_sims},\n    \"worst_case_identical_cold_vs_warm\": true,\n    \"kill_switch_reports_identical\": {corners_kill_switch_identical}\n  }}\n}}\n",
         threads_env.map_or("null".to_string(), |v| format!("\"{v}\"")),
         asm_cached / asm_legacy,
         solve_cached / solve_legacy,

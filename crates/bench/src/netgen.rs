@@ -103,6 +103,46 @@ pub fn ladder(dim: usize) -> Netlist {
     Netlist::parse(&ladder_text(dim)).expect("generated ladder parses")
 }
 
+/// Explicit load capacitance (F) the corner benches scale — the `CL`
+/// element of [`loaded_ladder_text`], matching the paper's 10 pF loads.
+pub const LOAD_C: f64 = 1.0e-11;
+
+/// [`ladder_text`] plus an explicit `CL` load capacitor on `out`.
+///
+/// The PVT corner engine scales the element *labelled* `CL` on its
+/// load axis (see `artisan_sim::corners`), so corner benches need a
+/// ladder that actually carries one. Deterministic like the base
+/// generator; the plain [`ladder`] stays `CL`-free so existing sweeps
+/// are untouched.
+///
+/// # Panics
+///
+/// Panics if `dim < 2`, as [`ladder_text`].
+#[must_use]
+// A missing .end suffix would be a generator bug; abort loudly.
+#[allow(clippy::expect_used)]
+pub fn loaded_ladder_text(dim: usize) -> String {
+    let mut text = ladder_text(dim);
+    let body = text
+        .strip_suffix(".end\n")
+        .expect("ladder_text ends with .end");
+    text = format!("{body}CL out 0 {LOAD_C:e}\n.end\n");
+    text
+}
+
+/// Parses [`loaded_ladder_text`] into a [`Netlist`].
+///
+/// # Panics
+///
+/// Panics if the generated text fails to parse — a generator bug, not
+/// an input condition.
+#[must_use]
+// A parse failure here is a generator bug; benches should abort loudly.
+#[allow(clippy::expect_used)]
+pub fn loaded_ladder(dim: usize) -> Netlist {
+    Netlist::parse(&loaded_ladder_text(dim)).expect("generated loaded ladder parses")
+}
+
 /// The dimension sweep the crossover benches walk: below, at, and well
 /// above the dense/sparse crossover.
 pub const CROSSOVER_DIMS: [usize; 4] = [8, 50, 120, 200];
@@ -127,6 +167,21 @@ mod tests {
                 (hd - hs).abs() <= 1e-9 * hd.abs().max(1e-300),
                 "dim {dim}: dense {hd:?} vs sparse {hs:?}"
             );
+        }
+    }
+
+    #[test]
+    fn loaded_ladders_carry_cl_and_leave_the_base_untouched() {
+        for dim in [2usize, 20, 50] {
+            let loaded = loaded_ladder(dim);
+            let cl = loaded.find("CL").expect("loaded ladder has a CL");
+            assert_eq!(cl.value(), LOAD_C);
+            // Same elements as the base ladder, plus exactly CL.
+            let base = ladder(dim);
+            assert_eq!(loaded.elements().len(), base.elements().len() + 1);
+            assert!(base.find("CL").is_none(), "base ladder grew a CL");
+            let sys = MnaSystem::new(&loaded).expect("loaded ladder builds");
+            assert_eq!(sys.dim(), dim);
         }
     }
 

@@ -11,7 +11,10 @@ use artisan_resilience::{
     SessionReport, Supervisor,
 };
 use artisan_sim::cost::{format_testbed_time, CostModel};
-use artisan_sim::{CacheStats, CachedSim, Performance, SimBackend, SimCache, Simulator, Spec};
+use artisan_sim::{
+    CacheStats, CachedSim, CornerGrid, CornerSim, Performance, SimBackend, SimCache, Simulator,
+    Spec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -177,6 +180,13 @@ pub struct ExperimentConfig {
     /// crash-safe write-ahead journal under this directory and resumes
     /// from it on re-run (see `artisan_resilience::journal`).
     pub journal_dir: Option<PathBuf>,
+    /// When set, every trial's backend is wrapped in a [`CornerSim`]
+    /// evaluating this PVT grid, so reports carry worst-case verdicts
+    /// and supervised validation requires the worst corner to clear the
+    /// spec too. `None` (the default) keeps nominal-only analysis; the
+    /// `ARTISAN_CORNERS=0` kill switch disables the wrapper at runtime
+    /// even when a grid is configured.
+    pub corners: Option<CornerGrid>,
 }
 
 impl Default for ExperimentConfig {
@@ -192,6 +202,7 @@ impl Default for ExperimentConfig {
             supervision: None,
             fault_plan: None,
             journal_dir: None,
+            corners: None,
         }
     }
 }
@@ -219,6 +230,7 @@ impl ExperimentConfig {
             supervision: None,
             fault_plan: None,
             journal_dir: None,
+            corners: None,
         }
     }
 
@@ -257,6 +269,14 @@ impl ExperimentConfig {
         if self.supervision.is_none() {
             self.supervision = Some(Supervisor::default());
         }
+        self
+    }
+
+    /// The same configuration with PVT corner verdicts attached to
+    /// every report (see [`ExperimentConfig::corners`]).
+    #[must_use]
+    pub fn with_corners(mut self, grid: CornerGrid) -> Self {
+        self.corners = Some(grid);
         self
     }
 }
@@ -393,25 +413,39 @@ pub fn run_cell_with_cache(
             }
             _ => None,
         };
-        let record = match (cache, fault) {
-            (Some(cache), Some(plan)) => {
-                let mut sim = FaultySim::new(
-                    CachedSim::for_simulator(Simulator::new(), Arc::clone(cache)),
-                    plan,
-                );
-                trial(method, spec, config, artisan, &mut sim, seed, Some(plan))
-            }
-            (Some(cache), None) => {
-                let mut sim = CachedSim::for_simulator(Simulator::new(), Arc::clone(cache));
-                trial(method, spec, config, artisan, &mut sim, seed, None)
-            }
-            (None, Some(plan)) => {
-                let mut sim = FaultySim::new(Simulator::new(), plan);
-                trial(method, spec, config, artisan, &mut sim, seed, Some(plan))
-            }
-            (None, None) => {
-                let mut sim = Simulator::new();
-                trial(method, spec, config, artisan, &mut sim, seed, None)
+        // Layered backend stack, innermost first: Simulator → report
+        // cache → corner verdicts → fault injection. Corners sit
+        // *outside* the report cache (cached snapshots are nominal-only;
+        // verdicts live in their own namespaced map) and faults sit
+        // outermost so injected errors/poison perturb whole observations
+        // — see the stacking rule in `artisan_sim::corners`.
+        let record = {
+            let base: Box<dyn SimBackend> = match cache {
+                Some(cache) => Box::new(CachedSim::for_simulator(
+                    Simulator::new(),
+                    Arc::clone(cache),
+                )),
+                None => Box::new(Simulator::new()),
+            };
+            let cornered: Box<dyn SimBackend> = match &config.corners {
+                Some(grid) if !grid.is_empty() => {
+                    let mut sim = CornerSim::from_env(base, grid.clone());
+                    if let Some(cache) = cache {
+                        sim = sim.with_cache(Arc::clone(cache));
+                    }
+                    Box::new(sim)
+                }
+                _ => base,
+            };
+            match fault {
+                Some(plan) => {
+                    let mut sim = FaultySim::new(cornered, plan);
+                    trial(method, spec, config, artisan, &mut sim, seed, Some(plan))
+                }
+                None => {
+                    let mut sim = cornered;
+                    trial(method, spec, config, artisan, &mut sim, seed, None)
+                }
             }
         };
         trials.push(record);
@@ -950,6 +984,51 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("CostInfl"), "{text}");
         assert!(text.contains("40%"), "{text}");
+    }
+
+    #[test]
+    fn cornered_cells_attach_worst_case_and_keep_nominal_identity() {
+        use artisan_sim::corners_enabled_from_env;
+        // A nominal-only grid is observationally inert: same successes
+        // and metrics as the plain cell, with a 1-corner verdict riding
+        // on every surviving report.
+        let spec = Spec::g1();
+        let plain_cfg = ExperimentConfig::smoke(2).with_supervision(Supervisor::default());
+        let mut artisan = Artisan::new(plain_cfg.artisan.clone());
+        let plain = run_cell_with_cache(
+            Method::Artisan,
+            "G-1",
+            &spec,
+            &plain_cfg,
+            &mut artisan,
+            None,
+        );
+        let cfg = plain_cfg.clone().with_corners(CornerGrid::nominal());
+        let cornered = run_cell_with_cache(Method::Artisan, "G-1", &spec, &cfg, &mut artisan, None);
+        for (a, b) in plain.trials.iter().zip(&cornered.trials) {
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.performance.map(|p| p.fom), b.performance.map(|p| p.fom));
+            if corners_enabled_from_env() {
+                let report = b
+                    .session
+                    .as_ref()
+                    .and_then(|s| s.outcome.as_ref())
+                    .and_then(|o| o.report.as_ref())
+                    .unwrap_or_else(|| panic!("cornered trial lost its report"));
+                let wc = report
+                    .worst_case
+                    .unwrap_or_else(|| panic!("no corner verdict on a cornered trial"));
+                assert_eq!(wc.corners, 1);
+                assert_eq!(wc.failing, 0);
+            }
+        }
+        // Corner billing can only raise testbed time, never lower it.
+        assert!(
+            cornered.mean_testbed_seconds() >= plain.mean_testbed_seconds() - 1e-9,
+            "corners deflated billing: {} < {}",
+            cornered.mean_testbed_seconds(),
+            plain.mean_testbed_seconds()
+        );
     }
 
     #[test]

@@ -365,6 +365,54 @@ mod tests {
     }
 
     #[test]
+    fn batch_design_through_the_cornered_stack_attaches_verdicts() {
+        use artisan_math::ThreadPool;
+        use artisan_sim::{corners_enabled_from_env, CachedSim, CornerGrid, CornerSim, SimCache};
+        // The corner stack — CornerSim outside the shared report cache —
+        // slots into design_batch like any other backend. A nominal-only
+        // grid cannot change any validation decision (its worst case IS
+        // the nominal point), so decisions and event traces must match
+        // the plain batch while every surviving report carries a
+        // worst-case verdict.
+        let artisan = Artisan::new(ArtisanOptions::fast());
+        let supervisor = Supervisor::default();
+        let scheduler = Scheduler::with_pool(supervisor, ThreadPool::with_workers(1));
+        let plain: Vec<Simulator> = (0..3).map(|_| Simulator::new()).collect();
+        let baseline = artisan.design_batch(&Spec::g1(), plain, &scheduler, 31);
+        let cache = SimCache::shared(512);
+        let cornered_backends: Vec<CornerSim<CachedSim<Simulator>>> = (0..3)
+            .map(|_| {
+                CornerSim::from_env(
+                    CachedSim::new(Simulator::new(), std::sync::Arc::clone(&cache)),
+                    CornerGrid::nominal(),
+                )
+                .with_cache(std::sync::Arc::clone(&cache))
+            })
+            .collect();
+        let cornered = artisan.design_batch(&Spec::g1(), cornered_backends, &scheduler, 31);
+        for (a, b) in cornered.iter().zip(&baseline) {
+            assert_eq!(a.report.success, b.report.success, "session {}", a.session);
+            assert_eq!(a.report.events, b.report.events, "session {}", a.session);
+        }
+        if corners_enabled_from_env() {
+            for s in &cornered {
+                assert!(s.backend.grids_evaluated() + s.backend.ledger().cache_hits() > 0);
+                let report = s
+                    .report
+                    .outcome
+                    .as_ref()
+                    .and_then(|o| o.report.as_ref())
+                    .unwrap_or_else(|| panic!("session {} lost its report", s.session));
+                let wc = report
+                    .worst_case
+                    .unwrap_or_else(|| panic!("session {} has no corner verdict", s.session));
+                assert_eq!(wc.corners, 1, "nominal-only grid");
+                assert_eq!(wc.failing, 0);
+            }
+        }
+    }
+
+    #[test]
     fn journaled_batch_design_resumes_terminal_sessions_for_free() {
         use artisan_math::ThreadPool;
         let dir = std::env::temp_dir().join(format!("artisan-core-journal-{}", std::process::id()));

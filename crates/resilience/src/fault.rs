@@ -19,6 +19,16 @@
 //! were meant to perturb it. For the same reason `FaultySim` keeps the
 //! trait's *serial-loop* `analyze_batch` (made explicit below): batch
 //! items must roll the dice one call at a time, in input order.
+//!
+//! The PVT corner layer obeys the same discipline: the production stack
+//! is `FaultySim<CornerSim<CachedSim<B>>>` — faults outermost, corners
+//! outside the report cache. `CornerSim` makes exactly one inner call
+//! per outer call, so the fault dice advance identically with or
+//! without corners. An injected error drops the whole observation
+//! (nominal report and verdict alike); a poisoned report NaNs the
+//! *nominal* metrics, which already fails supervised validation, so a
+//! clean-looking worst-case verdict can never launder a poisoned
+//! nominal. See the "Stacking rule" section in `artisan_sim::corners`.
 
 use artisan_circuit::{Netlist, Topology};
 use artisan_math::MathError;

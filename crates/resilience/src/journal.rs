@@ -92,8 +92,9 @@ pub const JOURNAL_DIR_ENV: &str = "ARTISAN_JOURNAL_DIR";
 const MAGIC: &[u8; 8] = b"ARTSNJL1";
 
 /// Current journal format version. Bump on any layout change: version
-/// mismatches load fresh, never as garbage.
-pub const FORMAT_VERSION: u32 = 1;
+/// mismatches load fresh, never as garbage. Version 2 grew the ledger
+/// wire layout by the corner-sims counter.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// magic + version + plan fingerprint + seed.
 const HEADER_BODY_LEN: usize = 8 + 4 + 8 + 8;

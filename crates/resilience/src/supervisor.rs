@@ -232,10 +232,19 @@ fn worst_case_attempt(config: &AgentConfig) -> (usize, usize) {
 }
 
 /// Independent validation: the supervisor trusts the simulator's
-/// numbers, not the agent's flag.
+/// numbers, not the agent's flag. When the backend attached a PVT
+/// corner verdict (a `CornerSim` in the stack), nominal success is not
+/// enough — the worst corner must also exist, be finite, and clear the
+/// spec, so supervised sessions sign off on worst-case designs.
 fn validate(spec: &Spec, outcome: &DesignOutcome) -> bool {
     outcome.report.as_ref().is_some_and(|r| {
-        r.stable && r.performance.is_finite() && spec.check(&r.performance).success()
+        let nominal = r.stable && r.performance.is_finite() && spec.check(&r.performance).success();
+        let corners = r.worst_case.as_ref().is_none_or(|wc| {
+            wc.worst
+                .as_ref()
+                .is_some_and(|w| w.performance.is_finite() && spec.check(&w.performance).success())
+        });
+        nominal && corners
     })
 }
 

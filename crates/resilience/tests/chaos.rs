@@ -225,6 +225,91 @@ proptest! {
         prop_assert_eq!(&a.events, &reference.events);
     }
 
+    /// The full production stack — `FaultySim<CornerSim<CachedSim<B>>>`,
+    /// faults outermost, corners outside the report cache — keeps chaos
+    /// sessions exact-replayable: `CornerSim` makes exactly one inner
+    /// call per outer call, so the fault dice advance identically and
+    /// the whole session is a pure function of its seeds.
+    #[test]
+    fn cornered_chaos_sessions_replay_exactly(seed in 0u64..1_000_000, rate in 0.0f64..0.5) {
+        use artisan_sim::{CornerGrid, CornerSim};
+        let seed = offset(seed);
+        let run = || {
+            let mut sim = FaultySim::new(
+                CornerSim::new(
+                    CachedSim::new(Simulator::new(), SimCache::shared(256)),
+                    CornerGrid::default(),
+                ),
+                FaultPlan::flaky(seed, rate),
+            );
+            let report = supervisor().run(&Spec::g1(), &mut sim, seed);
+            (report, *artisan_sim::SimBackend::ledger(&sim))
+        };
+        let ((a, la), (b, lb)) = (run(), run());
+        prop_assert_eq!(a.success, b.success);
+        prop_assert_eq!(a.degraded, b.degraded);
+        prop_assert_eq!(a.attempts, b.attempts);
+        prop_assert_eq!(a.faults_observed, b.faults_observed);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.cache_hits, b.cache_hits);
+        prop_assert_eq!(a.testbed_seconds, b.testbed_seconds);
+        prop_assert_eq!(la, lb);
+    }
+
+    /// A nominal-only corner grid in the full stack is observationally
+    /// inert under chaos: the session walks the same event trace with
+    /// the same outcomes and fault schedule as the plain
+    /// `FaultySim<CachedSim<B>>` stack, and every billed second is
+    /// conserved — the ledgers differ *only* in the corner-sim and
+    /// verdict-cache-hit accounts, so the testbed-time delta equals
+    /// exactly what the corner layer billed.
+    #[test]
+    fn nominal_cornered_stack_matches_plain_and_conserves_billing(
+        seed in 0u64..1_000_000,
+        rate in 0.0f64..0.5,
+    ) {
+        use artisan_sim::cost::CostModel;
+        use artisan_sim::{CornerGrid, CornerSim, SimBackend};
+        let seed = offset(seed);
+        let mut cornered = FaultySim::new(
+            CornerSim::new(
+                CachedSim::new(Simulator::new(), SimCache::shared(256)),
+                CornerGrid::nominal(),
+            ),
+            FaultPlan::flaky(seed, rate),
+        );
+        let with_corners = supervisor().run(&Spec::g1(), &mut cornered, seed);
+        let mut plain = FaultySim::new(
+            CachedSim::new(Simulator::new(), SimCache::shared(256)),
+            FaultPlan::flaky(seed, rate),
+        );
+        let without = supervisor().run(&Spec::g1(), &mut plain, seed);
+
+        // Non-corner observables are untouched.
+        prop_assert_eq!(with_corners.success, without.success);
+        prop_assert_eq!(with_corners.degraded, without.degraded);
+        prop_assert_eq!(with_corners.attempts, without.attempts);
+        prop_assert_eq!(with_corners.faults_observed, without.faults_observed);
+        prop_assert_eq!(&with_corners.events, &without.events);
+
+        // Every non-corner ledger account matches call for call; the
+        // corner layer may only *add* corner sims and verdict-cache
+        // hits, and the billed-time delta is exactly their price.
+        let (lc, lp) = (SimBackend::ledger(&cornered), SimBackend::ledger(&plain));
+        prop_assert_eq!(lc.simulations(), lp.simulations());
+        prop_assert_eq!(lc.llm_steps(), lp.llm_steps());
+        prop_assert_eq!(lc.penalty_seconds(), lp.penalty_seconds());
+        prop_assert!(lc.cache_hits() >= lp.cache_hits());
+        let model = CostModel::default();
+        let expected = lc.corner_sims() as f64 * model.seconds_per_corner_sim
+            + (lc.cache_hits() - lp.cache_hits()) as f64 * model.seconds_per_cache_hit;
+        let delta = lc.testbed_seconds(&model) - lp.testbed_seconds(&model);
+        prop_assert!(
+            (delta - expected).abs() < 1e-9,
+            "billed seconds not conserved: delta {} expected {}", delta, expected
+        );
+    }
+
     /// Persistence keeps chaos sessions exact: a session warm-started
     /// from a snapshot of a prior identical session's cache walks the
     /// same event trace with the same outcomes, observes the same

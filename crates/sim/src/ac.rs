@@ -144,40 +144,61 @@ pub fn sweep_with_pool(
     Ok(unwrap_points(&freqs, &hs))
 }
 
-/// The sequential phase-unwrap post-pass: removes ±360° jumps between
-/// adjacent points (assuming < 180° of true phase change per grid step,
-/// guaranteed by a dense log grid) and references everything to the
-/// first point's phase.
-fn unwrap_points(freqs: &[f64], hs: &[Complex64]) -> Vec<AcPoint> {
-    let mut points = Vec::with_capacity(freqs.len());
-    let mut prev_raw: Option<f64> = None;
-    let mut offset = 0.0;
-    let mut first_phase = 0.0;
-    for (k, (&f, &h)) in freqs.iter().zip(hs).enumerate() {
+/// Incremental form of the sequential phase-unwrap post-pass: removes
+/// ±360° jumps between adjacent points (assuming < 180° of true phase
+/// change per grid step, guaranteed by a dense log grid) and references
+/// everything to the first point's phase. Feeding points one at a time
+/// produces bit-identical output to the batch pass over the same
+/// sequence — the corner engine relies on this to stop a sweep early at
+/// the unity crossing without perturbing the prefix's arithmetic.
+#[derive(Default)]
+pub(crate) struct Unwrapper {
+    prev_raw: Option<f64>,
+    offset: f64,
+    first_phase: f64,
+}
+
+impl Unwrapper {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unwraps the next solution in frequency order into an [`AcPoint`].
+    pub(crate) fn next(&mut self, freq: f64, h: Complex64) -> AcPoint {
         let raw = h.arg().to_degrees();
-        if let Some(p) = prev_raw {
+        if let Some(p) = self.prev_raw {
             let mut delta = raw - p;
             while delta > 180.0 {
                 delta -= 360.0;
-                offset -= 360.0;
+                self.offset -= 360.0;
             }
             while delta < -180.0 {
                 delta += 360.0;
-                offset += 360.0;
+                self.offset += 360.0;
             }
+        } else {
+            self.first_phase = raw;
         }
-        prev_raw = Some(raw);
-        let unwrapped = raw + offset;
-        if k == 0 {
-            first_phase = unwrapped;
-        }
-        points.push(AcPoint {
-            freq: f,
+        self.prev_raw = Some(raw);
+        let unwrapped = raw + self.offset;
+        AcPoint {
+            freq,
             h,
-            phase_rel: unwrapped - first_phase,
-        });
+            phase_rel: unwrapped - self.first_phase,
+        }
     }
-    points
+}
+
+/// The batch phase-unwrap pass over index-ordered solutions.
+/// `pub(crate)` so the flattened batch path in [`crate::Simulator`] can
+/// unwrap chunk-merged solutions identically.
+pub(crate) fn unwrap_points(freqs: &[f64], hs: &[Complex64]) -> Vec<AcPoint> {
+    let mut unwrapper = Unwrapper::new();
+    freqs
+        .iter()
+        .zip(hs)
+        .map(|(&f, &h)| unwrapper.next(f, h))
+        .collect()
 }
 
 /// Finds the unity-gain crossing by log-linear interpolation between the

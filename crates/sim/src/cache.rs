@@ -121,6 +121,11 @@ const SHARD_COUNT: usize = 16;
 /// still keeps the hot screening loop allocation-free.
 const LINT_VERDICT_CAPACITY: usize = 4096;
 
+/// Bound on the memoized corner-verdict map — same flat-cap/clear
+/// policy as the lint map; a [`crate::corners::CornerSummary`] is a
+/// fixed-size value, so the map stays small.
+const CORNER_VERDICT_CAPACITY: usize = 4096;
+
 #[derive(Debug, Clone)]
 struct Entry {
     report: AnalysisReport,
@@ -192,11 +197,13 @@ impl fmt::Display for CacheStats {
 
 /// State of one in-flight computation: `Pending` while the leader runs,
 /// then `Done` with the leader's cacheable report (`None` when the
-/// leader failed or produced an uncacheable result).
+/// leader failed or produced an uncacheable result). The report is
+/// boxed: flights are rare and short-lived, and the box keeps the
+/// condvar-guarded state small.
 #[derive(Debug)]
 enum FlightState {
     Pending,
-    Done(Option<AnalysisReport>),
+    Done(Box<Option<AnalysisReport>>),
 }
 
 /// A per-key in-flight cell: waiters block on the condvar until the
@@ -275,7 +282,7 @@ impl FlightGuard<'_> {
         }
         let flight = lock(&self.cache.in_flight).remove(&self.key);
         if let Some(flight) = flight {
-            *lock(&flight.state) = FlightState::Done(report);
+            *lock(&flight.state) = FlightState::Done(Box::new(report));
             flight.done.notify_all();
         }
     }
@@ -328,6 +335,10 @@ pub struct SimCache {
     /// collide with them, and the lint namespace salt guarantees the key
     /// spaces are disjoint anyway.
     lint_verdicts: Mutex<HashMap<NetlistFingerprint, crate::screen::LintVerdict>>,
+    /// Memoized corner-grid verdicts, keyed by corner-salted
+    /// fingerprints (see [`crate::corners`]). Same separation rationale
+    /// as the lint map.
+    corner_verdicts: Mutex<HashMap<NetlistFingerprint, crate::corners::CornerSummary>>,
 }
 
 /// Recovers the guard even if another thread panicked while holding the
@@ -357,6 +368,7 @@ impl SimCache {
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             lint_verdicts: Mutex::new(HashMap::new()),
+            corner_verdicts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -378,6 +390,31 @@ impl SimCache {
             map.clear();
         }
         map.insert(key, verdict);
+    }
+
+    /// The memoized corner-grid verdict for `key`, if one is stored.
+    /// Keys must already carry the corner namespace salt (the
+    /// [`crate::corners::CornerSim`] wrapper applies it); this method
+    /// does no salting of its own.
+    pub fn corner_verdict(&self, key: NetlistFingerprint) -> Option<crate::corners::CornerSummary> {
+        lock(&self.corner_verdicts).get(&key).copied()
+    }
+
+    /// Memoizes a corner-grid verdict. Like lint verdicts, a corner
+    /// summary is a pure function of the (netlist, grid, configuration)
+    /// triple — fault injection lives outside the corner layer — so
+    /// *every* outcome is cacheable, failing corners included. When the
+    /// bounded map is full it is cleared wholesale.
+    pub fn store_corner_verdict(
+        &self,
+        key: NetlistFingerprint,
+        summary: crate::corners::CornerSummary,
+    ) {
+        let mut map = lock(&self.corner_verdicts);
+        if map.len() >= CORNER_VERDICT_CAPACITY && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, summary);
     }
 
     /// An `Arc`-wrapped cache, ready to clone into per-session wrappers.
@@ -512,7 +549,7 @@ impl SimCache {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         let outcome = match &*state {
-            FlightState::Done(report) => report.clone(),
+            FlightState::Done(report) => (**report).clone(),
             FlightState::Pending => unreachable!("wait loop exits only on Done"),
         };
         drop(state);

@@ -1,0 +1,1019 @@
+//! PVT corner-grid evaluation.
+//!
+//! Sign-off quality verification scores a candidate not at one nominal
+//! operating point but across a grid of process/voltage/temperature
+//! corners. At the behavioural level of this workspace a corner is a
+//! *value-only* mutation of the nominal netlist — the topology (and
+//! therefore the sparse symbolic LU pattern) is untouched — so the whole
+//! grid amortizes one symbolic factorization via
+//! [`MnaSystem::new_sharing_symbolic`] and differs from the nominal
+//! analysis only in numeric factors.
+//!
+//! # Corner model
+//!
+//! A [`CornerPoint`] carries three scale factors, one per grid axis:
+//!
+//! - **temperature** → `r_scale`: resistances drift with temperature
+//!   (first-order TCR), so every resistor's ohms are multiplied.
+//! - **supply** → `gm_scale`: bias currents track the rails, so every
+//!   VCCS transconductance is multiplied; static power scales with both
+//!   the rail and the currents, i.e. by `gm_scale²` (the
+//!   [`crate::metrics::PowerModel`] is linear in `vdd` *and* in each
+//!   `gm`).
+//! - **load** → `cl_scale`: only the `CL`-labelled load capacitor is
+//!   multiplied, and the FoM is recomputed against the scaled load.
+//!
+//! Multiplication by `1.0` is bit-exact in IEEE-754, so the nominal
+//! corner's netlist — and its metrics — are bit-identical to the plain
+//! analysis (property-pinned in `crates/sim/tests/properties.rs`).
+//!
+//! Corner evaluation is the AC-margin methodology: gain, GBW, and phase
+//! margin are re-measured per corner from the shared-symbolic system;
+//! pole/zero extraction and the ERC admission gate run once on the
+//! nominal netlist only (a positive value-only scaling changes neither
+//! the lint verdict nor which analysis the corner needs).
+//!
+//! # Caching and cost
+//!
+//! [`CornerSim<B>`] memoizes whole-grid verdicts ([`CornerSummary`]) in
+//! a shared [`SimCache`] side map under [`CORNER_NAMESPACE_SALT`], keyed
+//! by the nominal fingerprint salted with the grid and the analysis
+//! configuration — a repeated candidate pays one cache hit for its
+//! entire grid. Fresh grids bill
+//! [`crate::cost::CostLedger::record_corner_sims`], a distinct account
+//! cheaper than full simulations because assembly and the symbolic
+//! factorization are amortized across the grid.
+//!
+//! # Stacking rule
+//!
+//! Compose `FaultySim<CornerSim<CachedSim<B>>>` — faults outermost (see
+//! the cache module docs), corners **outside** the report cache. The
+//! corner layer makes exactly one inner backend call per outer call and
+//! evaluates the grid directly on [`MnaSystem`] — never through the
+//! inner backend — so fault call-indices, cache hit/miss patterns, and
+//! every non-`worst_case` report field are bit-identical to the stack
+//! without the corner layer; the wrapper only *attaches*
+//! [`AnalysisReport::worst_case`] to successful inner reports. The
+//! chaos suite in `artisan-resilience` pins exact replay, field
+//! preservation, and billed-seconds conservation for this stack.
+//!
+//! The `ARTISAN_CORNERS` environment variable (`0`/`false`/`off`/`no`)
+//! is the kill-switch: wrappers built with [`CornerSim::from_env`]
+//! forward everything untouched when it is set, preserving pre-corner
+//! behavior bit-for-bit.
+
+use crate::ac::{unity_crossing, Unwrapper};
+use crate::backend::SimBackend;
+use crate::cache::SimCache;
+use crate::cost::CostLedger;
+use crate::error::SimError;
+use crate::fingerprint::{config_salt, NetlistFingerprint};
+use crate::metrics::Performance;
+use crate::mna::MnaSystem;
+use crate::simulator::{AnalysisConfig, AnalysisReport};
+use crate::Result;
+use artisan_circuit::units::{Decibels, Degrees, Farads, Hertz, Ohms, Siemens, Watts};
+use artisan_circuit::{Element, Netlist, Topology};
+use artisan_math::{Complex64, ThreadPool};
+use std::sync::Arc;
+
+/// Environment variable that disables corner-grid evaluation when set
+/// to `0`, `false`, `off`, or `no` (case-insensitive).
+pub const CORNERS_ENV: &str = "ARTISAN_CORNERS";
+
+/// Whether the environment enables corner evaluation (the default).
+pub fn corners_enabled_from_env() -> bool {
+    match std::env::var(CORNERS_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Fingerprint salt separating memoized corner verdicts from memoized
+/// [`AnalysisReport`]s and lint verdicts inside a shared [`SimCache`].
+/// Applied *on top of* the grid/config salt, so a corner key can never
+/// collide with a report or lint key.
+pub const CORNER_NAMESPACE_SALT: u64 = 0x434f_524e_4752_4944; // "CORNGRID"
+
+/// One corner: three value-only scale factors (see the
+/// [module docs](self) for the physical mapping). `CornerPoint::default`
+/// is the nominal point (all factors `1.0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerPoint {
+    /// Multiplier on every resistor's ohms (temperature axis).
+    pub r_scale: f64,
+    /// Multiplier on every VCCS transconductance (supply axis); static
+    /// power scales by its square.
+    pub gm_scale: f64,
+    /// Multiplier on the `CL`-labelled load capacitor (load axis).
+    pub cl_scale: f64,
+}
+
+impl Default for CornerPoint {
+    fn default() -> Self {
+        CornerPoint {
+            r_scale: 1.0,
+            gm_scale: 1.0,
+            cl_scale: 1.0,
+        }
+    }
+}
+
+impl CornerPoint {
+    /// Whether this is the nominal point (every factor exactly `1.0`).
+    pub fn is_nominal(&self) -> bool {
+        self.r_scale == 1.0 && self.gm_scale == 1.0 && self.cl_scale == 1.0
+    }
+
+    /// The value-only scaled variant of `netlist`: same elements, same
+    /// nodes, same labels, values multiplied per axis. Scaling by `1.0`
+    /// reproduces the input values bit-for-bit.
+    pub fn apply(&self, netlist: &Netlist) -> Netlist {
+        let elements = netlist
+            .elements()
+            .iter()
+            .map(|e| match e {
+                Element::Resistor { label, a, b, ohms } => Element::Resistor {
+                    label: label.clone(),
+                    a: *a,
+                    b: *b,
+                    ohms: Ohms(ohms.value() * self.r_scale),
+                },
+                Element::Capacitor {
+                    label,
+                    a,
+                    b,
+                    farads,
+                } => Element::Capacitor {
+                    label: label.clone(),
+                    a: *a,
+                    b: *b,
+                    farads: if label == "CL" {
+                        Farads(farads.value() * self.cl_scale)
+                    } else {
+                        Farads(farads.value())
+                    },
+                },
+                Element::Vccs {
+                    label,
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                } => Element::Vccs {
+                    label: label.clone(),
+                    out_p: *out_p,
+                    out_n: *out_n,
+                    ctrl_p: *ctrl_p,
+                    ctrl_n: *ctrl_n,
+                    gm: Siemens(gm.value() * self.gm_scale),
+                },
+            })
+            .collect();
+        Netlist::new(netlist.title(), elements)
+    }
+}
+
+/// A PVT grid: the cartesian product of per-axis scale lists. The
+/// default is the 3×3×3 sign-off grid (27 corners): ±10 % temperature
+/// drift on resistances, ±10 % supply on transconductances, and a
+/// 0.5×/2× load spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerGrid {
+    /// Temperature-axis resistor scales.
+    pub temperature: Vec<f64>,
+    /// Supply-axis transconductance scales.
+    pub supply: Vec<f64>,
+    /// Load-axis `CL` scales.
+    pub load: Vec<f64>,
+}
+
+impl Default for CornerGrid {
+    fn default() -> Self {
+        CornerGrid {
+            temperature: vec![0.9, 1.0, 1.1],
+            supply: vec![0.9, 1.0, 1.1],
+            load: vec![0.5, 1.0, 2.0],
+        }
+    }
+}
+
+impl CornerGrid {
+    /// The degenerate grid holding only the nominal point — useful for
+    /// identity testing and as the cheapest possible corner config.
+    pub fn nominal() -> Self {
+        CornerGrid {
+            temperature: vec![1.0],
+            supply: vec![1.0],
+            load: vec![1.0],
+        }
+    }
+
+    /// Number of corners in the grid.
+    pub fn len(&self) -> usize {
+        self.temperature.len() * self.supply.len() * self.load.len()
+    }
+
+    /// Whether the grid is empty (any axis without points).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The grid expanded to corner points in deterministic order:
+    /// temperature outermost, then supply, then load.
+    pub fn corners(&self) -> Vec<CornerPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for &r_scale in &self.temperature {
+            for &gm_scale in &self.supply {
+                for &cl_scale in &self.load {
+                    out.push(CornerPoint {
+                        r_scale,
+                        gm_scale,
+                        cl_scale,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A 64-bit digest of the grid (FNV-1a over axis lengths and `f64`
+    /// bit patterns) — folded into corner-verdict cache keys so two
+    /// grids can share one [`SimCache`] without cross-talk.
+    pub fn salt(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for axis in [&self.temperature, &self.supply, &self.load] {
+            eat(axis.len() as u64);
+            for &v in axis {
+                eat(v.to_bits());
+            }
+        }
+        hash
+    }
+}
+
+/// The worst corner per metric: a composite [`Performance`] (each field
+/// the worst value observed across the grid) plus the corner that
+/// produced each field. Ties keep the earliest corner in grid order, so
+/// the summary is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstCase {
+    /// Per-metric worst composite: minimum gain, GBW, PM, and FoM,
+    /// maximum power. Always finite (non-finite corners count as
+    /// failing instead of folding in).
+    pub performance: Performance,
+    /// Corner producing the minimum gain.
+    pub gain_corner: CornerPoint,
+    /// Corner producing the minimum GBW.
+    pub gbw_corner: CornerPoint,
+    /// Corner producing the minimum phase margin.
+    pub pm_corner: CornerPoint,
+    /// Corner producing the maximum power.
+    pub power_corner: CornerPoint,
+    /// Corner producing the minimum FoM.
+    pub fom_corner: CornerPoint,
+}
+
+/// The verdict of one grid evaluation: how many corners ran, how many
+/// failed (error or non-finite metrics), and the per-metric worst case
+/// over the survivors (`None` when every corner failed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerSummary {
+    /// Corners evaluated (the grid size).
+    pub corners: u32,
+    /// Corners that errored or produced non-finite metrics.
+    pub failing: u32,
+    /// Worst corner per metric over the finite successes.
+    pub worst: Option<WorstCase>,
+}
+
+impl CornerSummary {
+    /// Whether every corner produced finite metrics.
+    pub fn all_passed(&self) -> bool {
+        self.failing == 0 && self.worst.is_some()
+    }
+}
+
+/// Evaluates one corner against the nominal system: scale the netlist,
+/// share the donor's symbolic LU, and re-measure the AC metrics (DC
+/// gain, unity crossing, phase margin). Power and FoM are rescaled
+/// analytically from the nominal power (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Propagates solver failures; a missing unity crossing at the corner is
+/// [`SimError::NoUnityCrossing`] exactly as in the nominal analysis.
+pub fn evaluate_corner(
+    config: &AnalysisConfig,
+    netlist: &Netlist,
+    donor: &MnaSystem,
+    cl: f64,
+    nominal_power: Watts,
+    corner: CornerPoint,
+) -> Result<Performance> {
+    let scaled = corner.apply(netlist);
+    let sys = MnaSystem::new_sharing_symbolic(&scaled, donor)?;
+    // DC gain with the same ill-conditioning fallback as the nominal
+    // pipeline, so the nominal corner is arithmetic-for-arithmetic
+    // identical to `Simulator`'s own report.
+    let mut ws = sys.workspace();
+    let h0 = match sys.transfer_with(Complex64::ZERO, &mut ws) {
+        Ok(h) => h,
+        Err(SimError::IllConditioned { .. }) => sys.transfer_with(
+            Complex64::jomega(2.0 * std::f64::consts::PI * config.sweep.f_start),
+            &mut ws,
+        )?,
+        Err(e) => return Err(e),
+    };
+    if h0.abs() <= 0.0 || !h0.is_finite() {
+        return Err(SimError::BadNetlist("zero or non-finite DC gain".into()));
+    }
+    let gain = Decibels::from_ratio(h0.abs());
+    // Sequential early-exit sweep per corner: the parallelism lives
+    // *across* corners (and candidates), not inside one corner's sweep.
+    // A corner verdict consumes the sweep only through the unity
+    // crossing, so the sweep stops one point past the first |H|=1
+    // bracket. The solved prefix — solves in index order, incremental
+    // unwrap, forward crossing scan — is bit-identical to the same
+    // prefix of a full sweep, so the nominal corner still reproduces
+    // the plain pipeline's GBW and PM exactly while off-crossing tail
+    // points (typically 15–25% of the grid, more on wide bands) are
+    // never factored at all.
+    let freqs = config.sweep.frequencies()?;
+    let mut points = Vec::with_capacity(freqs.len());
+    let mut unwrapper = Unwrapper::new();
+    for &f in &freqs {
+        let h = sys.transfer_with(Complex64::jomega(2.0 * std::f64::consts::PI * f), &mut ws)?;
+        points.push(unwrapper.next(f, h));
+        if let [.., a, b] = points.as_slice() {
+            if a.h.abs() >= 1.0 && b.h.abs() < 1.0 {
+                break;
+            }
+        }
+    }
+    let (gbw_hz, phase_at_unity) = unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
+    let pm = 180.0 + phase_at_unity;
+    // Supply scales both the rail and every branch current, so power
+    // goes with gm_scale²; the load axis re-rates the FoM. Both are
+    // bit-exact at the nominal point (×1.0).
+    let power = Watts(nominal_power.value() * corner.gm_scale * corner.gm_scale);
+    let corner_cl = cl * corner.cl_scale;
+    Ok(Performance {
+        gain,
+        gbw: Hertz(gbw_hz),
+        pm: Degrees(pm),
+        power,
+        fom: Performance::fom_of(gbw_hz, corner_cl, power.value()),
+    })
+}
+
+/// Folds per-corner outcomes (in grid order) into a [`CornerSummary`].
+/// Non-finite successes count as failing; ties keep the earlier corner.
+pub fn summarize(corners: &[CornerPoint], outcomes: &[Result<Performance>]) -> CornerSummary {
+    debug_assert_eq!(corners.len(), outcomes.len());
+    let mut failing = 0u32;
+    let mut worst: Option<WorstCase> = None;
+    for (corner, outcome) in corners.iter().zip(outcomes) {
+        let perf = match outcome {
+            Ok(p) if p.is_finite() => *p,
+            _ => {
+                failing += 1;
+                continue;
+            }
+        };
+        worst = Some(match worst {
+            None => WorstCase {
+                performance: perf,
+                gain_corner: *corner,
+                gbw_corner: *corner,
+                pm_corner: *corner,
+                power_corner: *corner,
+                fom_corner: *corner,
+            },
+            Some(mut w) => {
+                if perf.gain.value() < w.performance.gain.value() {
+                    w.performance.gain = perf.gain;
+                    w.gain_corner = *corner;
+                }
+                if perf.gbw.value() < w.performance.gbw.value() {
+                    w.performance.gbw = perf.gbw;
+                    w.gbw_corner = *corner;
+                }
+                if perf.pm.value() < w.performance.pm.value() {
+                    w.performance.pm = perf.pm;
+                    w.pm_corner = *corner;
+                }
+                if perf.power.value() > w.performance.power.value() {
+                    w.performance.power = perf.power;
+                    w.power_corner = *corner;
+                }
+                if perf.fom < w.performance.fom {
+                    w.performance.fom = perf.fom;
+                    w.fom_corner = *corner;
+                }
+                w
+            }
+        });
+    }
+    CornerSummary {
+        corners: corners.len() as u32,
+        failing,
+        worst,
+    }
+}
+
+/// Evaluates a whole grid against one nominal netlist, fanning corners
+/// over `pool` (each corner shares `donor`'s symbolic LU and runs its
+/// own sequential sweep). Deterministic: outcomes are folded in grid
+/// order regardless of worker scheduling.
+pub fn evaluate_grid_with_pool(
+    config: &AnalysisConfig,
+    netlist: &Netlist,
+    cl: f64,
+    nominal_power: Watts,
+    grid: &CornerGrid,
+    donor: &MnaSystem,
+    pool: &ThreadPool,
+) -> CornerSummary {
+    let corners = grid.corners();
+    let outcomes = pool.par_map_indexed(&corners, |_, &corner| {
+        evaluate_corner(config, netlist, donor, cl, nominal_power, corner)
+    });
+    summarize(&corners, &outcomes)
+}
+
+/// The [`SimBackend`] wrapper that attaches a worst-case corner verdict
+/// to every successful inner report.
+///
+/// # Example
+///
+/// ```
+/// use artisan_circuit::Topology;
+/// use artisan_sim::corners::{CornerGrid, CornerSim};
+/// use artisan_sim::{SimBackend, Simulator};
+///
+/// let mut sim = CornerSim::new(Simulator::new(), CornerGrid::default());
+/// let report = sim.analyze_topology(&Topology::nmc_example()).unwrap();
+/// let wc = report.worst_case.expect("corner summary attached");
+/// assert_eq!(wc.corners, 27);
+/// assert_eq!(sim.ledger().corner_sims(), 27);
+/// ```
+#[derive(Debug)]
+pub struct CornerSim<B> {
+    inner: B,
+    grid: CornerGrid,
+    config: AnalysisConfig,
+    cache: Option<Arc<SimCache>>,
+    salt: u64,
+    enabled: bool,
+    grids_evaluated: u64,
+}
+
+impl<B: SimBackend> CornerSim<B> {
+    /// Wraps `inner` with corner evaluation unconditionally enabled,
+    /// the default [`AnalysisConfig`] (matching [`crate::Simulator::new`])
+    /// and no verdict memoization.
+    pub fn new(inner: B, grid: CornerGrid) -> Self {
+        CornerSim {
+            inner,
+            grid,
+            config: AnalysisConfig::default(),
+            cache: None,
+            salt: 0,
+            enabled: true,
+            grids_evaluated: 0,
+        }
+    }
+
+    /// Wraps `inner`, honouring the [`CORNERS_ENV`] kill-switch.
+    pub fn from_env(inner: B, grid: CornerGrid) -> Self {
+        let mut sim = CornerSim::new(inner, grid);
+        sim.enabled = corners_enabled_from_env();
+        sim
+    }
+
+    /// Overrides the analysis configuration used for corner sweeps.
+    /// Must match the inner backend's configuration for the nominal
+    /// corner to be bit-identical to the inner report.
+    #[must_use]
+    pub fn with_config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Memoizes grid verdicts in `cache` under the corner namespace
+    /// (shareable with [`crate::CachedSim`] / [`crate::ScreenedSim`] —
+    /// the key spaces are disjoint by construction).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Adds `salt` to the verdict keys on top of the automatic
+    /// grid/config salt, mirroring [`crate::CachedSim::with_salt`].
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Whether corner evaluation is active (false only via
+    /// [`CORNERS_ENV`]).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The grid this wrapper evaluates.
+    pub fn grid(&self) -> &CornerGrid {
+        &self.grid
+    }
+
+    /// Number of grids this wrapper computed fresh (cache hits and
+    /// disabled runs excluded).
+    pub fn grids_evaluated(&self) -> u64 {
+        self.grids_evaluated
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the inner backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn verdict_key(&self, fp: NetlistFingerprint) -> NetlistFingerprint {
+        fp.with_salt(CORNER_NAMESPACE_SALT)
+            .with_salt(self.grid.salt() ^ config_salt(&self.config))
+            .with_salt(self.salt)
+    }
+
+    /// One candidate's grid verdict: served from the cache (billing a
+    /// hit) or computed fresh over `pool` (billing
+    /// `record_corner_sims`). Corner verdicts are pure functions of the
+    /// (netlist, grid, config) triple, so — like lint verdicts — every
+    /// outcome is cacheable.
+    fn grid_summary(
+        &mut self,
+        fp: NetlistFingerprint,
+        netlist: &Netlist,
+        cl: f64,
+        nominal_power: Watts,
+        pool: &ThreadPool,
+    ) -> CornerSummary {
+        let key = self.verdict_key(fp);
+        if let Some(cache) = &self.cache {
+            if let Some(summary) = cache.corner_verdict(key) {
+                self.inner.ledger_mut().record_cache_hit();
+                return summary;
+            }
+        }
+        let summary = match MnaSystem::new(netlist) {
+            Ok(donor) => evaluate_grid_with_pool(
+                &self.config,
+                netlist,
+                cl,
+                nominal_power,
+                &self.grid,
+                &donor,
+                pool,
+            ),
+            // The inner analysis succeeded, so this is unreachable in
+            // practice — but a verdict must still exist: all failing.
+            Err(_) => CornerSummary {
+                corners: self.grid.len() as u32,
+                failing: self.grid.len() as u32,
+                worst: None,
+            },
+        };
+        self.grids_evaluated += 1;
+        self.inner
+            .ledger_mut()
+            .record_corner_sims(self.grid.len() as u64);
+        if let Some(cache) = &self.cache {
+            cache.store_corner_verdict(key, summary);
+        }
+        summary
+    }
+
+    /// The (fingerprint, netlist, cl) triple for a topology-path
+    /// candidate, or `None` when it cannot be elaborated (the inner
+    /// backend already reported that case authoritatively).
+    fn topology_candidate(topo: &Topology) -> Option<(NetlistFingerprint, Netlist, f64)> {
+        let fp = NetlistFingerprint::of_topology(topo)?;
+        let netlist = topo.elaborate().ok()?;
+        Some((fp, netlist, topo.skeleton.cl.value()))
+    }
+
+    /// Attaches a grid verdict to one successful single-candidate
+    /// report (topology or netlist path).
+    fn attach(
+        &mut self,
+        report: &mut AnalysisReport,
+        fp: NetlistFingerprint,
+        netlist: &Netlist,
+        cl: f64,
+    ) {
+        let summary = self.grid_summary(
+            fp,
+            netlist,
+            cl,
+            report.performance.power,
+            &ThreadPool::from_env(),
+        );
+        report.worst_case = Some(summary);
+    }
+}
+
+impl<B: SimBackend> SimBackend for CornerSim<B> {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        // Inner first, unconditionally: exactly one inner call per
+        // outer call keeps fault dice and cache patterns untouched.
+        let mut report = self.inner.analyze_topology(topo)?;
+        if self.enabled && !self.grid.is_empty() {
+            if let Some((fp, netlist, cl)) = Self::topology_candidate(topo) {
+                self.attach(&mut report, fp, &netlist, cl);
+            }
+        }
+        Ok(report)
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        let mut report = self.inner.analyze_netlist(netlist)?;
+        if self.enabled && !self.grid.is_empty() {
+            if let Some(cl) = netlist.find("CL").map(|e| e.value()) {
+                let fp = NetlistFingerprint::of_netlist(netlist);
+                self.attach(&mut report, fp, netlist, cl);
+            }
+        }
+        Ok(report)
+    }
+
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        let mut results = self.inner.analyze_batch(topos);
+        if !self.enabled || self.grid.is_empty() {
+            return results;
+        }
+        // Gather the candidates that still need a fresh grid; serve
+        // cache hits immediately. `slots` indexes into `results`.
+        let mut slots: Vec<usize> = Vec::new();
+        let mut candidates: Vec<(NetlistFingerprint, Netlist, f64, Watts)> = Vec::new();
+        for (i, result) in results.iter_mut().enumerate() {
+            let Ok(report) = result else { continue };
+            let Some((fp, netlist, cl)) = Self::topology_candidate(&topos[i]) else {
+                continue;
+            };
+            let key = self.verdict_key(fp);
+            if let Some(cache) = &self.cache {
+                if let Some(summary) = cache.corner_verdict(key) {
+                    self.inner.ledger_mut().record_cache_hit();
+                    report.worst_case = Some(summary);
+                    continue;
+                }
+            }
+            slots.push(i);
+            candidates.push((fp, netlist, cl, report.performance.power));
+        }
+        if candidates.is_empty() {
+            return results;
+        }
+        // One donor per candidate (one symbolic factorization per
+        // topology), then flatten (candidate × corner) into a single
+        // work list so small batches still keep every worker busy.
+        let donors: Vec<Option<MnaSystem>> = candidates
+            .iter()
+            .map(|(_, netlist, _, _)| MnaSystem::new(netlist).ok())
+            .collect();
+        let corners = self.grid.corners();
+        let units: Vec<(usize, usize)> = (0..candidates.len())
+            .filter(|&c| donors[c].is_some())
+            .flat_map(|c| (0..corners.len()).map(move |k| (c, k)))
+            .collect();
+        let config = self.config;
+        let outcomes: Vec<Result<Performance>> =
+            ThreadPool::from_env().par_map_indexed(&units, |_, &(c, k)| {
+                let (_, netlist, cl, power) = &candidates[c];
+                match donors[c].as_ref() {
+                    Some(donor) => {
+                        evaluate_corner(&config, netlist, donor, *cl, *power, corners[k])
+                    }
+                    // Unreachable by construction — units are built only
+                    // for candidates with a donor — but a failing corner
+                    // keeps the fold total instead of panicking.
+                    None => Err(SimError::BadNetlist("corner donor missing".into())),
+                }
+            });
+        // Fold per candidate in grid order and publish.
+        let mut cursor = 0usize;
+        for (c, &slot) in slots.iter().enumerate() {
+            let summary = if donors[c].is_some() {
+                let per = &outcomes[cursor..cursor + corners.len()];
+                cursor += corners.len();
+                summarize(&corners, per)
+            } else {
+                CornerSummary {
+                    corners: corners.len() as u32,
+                    failing: corners.len() as u32,
+                    worst: None,
+                }
+            };
+            self.grids_evaluated += 1;
+            self.inner
+                .ledger_mut()
+                .record_corner_sims(corners.len() as u64);
+            if let Some(cache) = &self.cache {
+                cache.store_corner_verdict(self.verdict_key(candidates[c].0), summary);
+            }
+            if let Ok(report) = &mut results[slot] {
+                report.worst_case = Some(summary);
+            }
+        }
+        results
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        self.inner.ledger()
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        self.inner.ledger_mut()
+    }
+
+    fn drain_fault_notes(&mut self) -> Vec<String> {
+        self.inner.drain_fault_notes()
+    }
+
+    fn calls_made(&self) -> u64 {
+        self.inner.calls_made()
+    }
+
+    fn fast_forward_calls(&mut self, calls: u64) {
+        self.inner.fast_forward_calls(calls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedSim;
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn default_grid_is_3x3x3_with_nominal_inside() {
+        let grid = CornerGrid::default();
+        assert_eq!(grid.len(), 27);
+        let corners = grid.corners();
+        assert_eq!(corners.len(), 27);
+        assert_eq!(corners.iter().filter(|c| c.is_nominal()).count(), 1);
+        // Deterministic order: first corner is the (low, low, low) one.
+        assert_eq!(
+            corners[0],
+            CornerPoint {
+                r_scale: 0.9,
+                gm_scale: 0.9,
+                cl_scale: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn nominal_apply_is_bit_identical() {
+        let netlist = Topology::nmc_example().elaborate().unwrap();
+        let scaled = CornerPoint::default().apply(&netlist);
+        assert_eq!(scaled.elements(), netlist.elements());
+        for (a, b) in netlist.elements().iter().zip(scaled.elements()) {
+            assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn apply_scales_each_axis_independently() {
+        let netlist = Netlist::parse(
+            "* scale\nG1 out 0 in 0 1m\nR1 out 0 10k\nC1 out n1 1p\nCL out 0 10p\nR2 n1 0 1k\n.end\n",
+        )
+        .unwrap();
+        let corner = CornerPoint {
+            r_scale: 1.1,
+            gm_scale: 0.9,
+            cl_scale: 2.0,
+        };
+        let scaled = corner.apply(&netlist);
+        assert_eq!(scaled.find("R1").unwrap().value(), 10e3 * 1.1);
+        assert_eq!(scaled.find("R2").unwrap().value(), 1e3 * 1.1);
+        assert_eq!(scaled.find("G1").unwrap().value(), 1e-3 * 0.9);
+        // Only the CL-labelled capacitor takes the load scale.
+        assert_eq!(scaled.find("CL").unwrap().value(), 10e-12 * 2.0);
+        assert_eq!(scaled.find("C1").unwrap().value(), 1e-12);
+    }
+
+    #[test]
+    fn grid_salt_separates_grids() {
+        let a = CornerGrid::default();
+        let b = CornerGrid::nominal();
+        assert_ne!(a.salt(), b.salt());
+        assert_eq!(a.salt(), CornerGrid::default().salt());
+        // Moving a value across axes changes the digest.
+        let c = CornerGrid {
+            temperature: vec![1.0, 1.1],
+            supply: vec![1.0],
+            load: vec![1.0],
+        };
+        let d = CornerGrid {
+            temperature: vec![1.0],
+            supply: vec![1.0, 1.1],
+            load: vec![1.0],
+        };
+        assert_ne!(c.salt(), d.salt());
+    }
+
+    #[test]
+    fn grid_evaluation_shares_the_donor_symbolic() {
+        // A netlist large enough for the sparse path, so symbolic
+        // sharing is observable through Arc identity.
+        let mut text = String::from("* big\n");
+        for k in 0..20 {
+            let node = if k == 19 {
+                "out".to_string()
+            } else {
+                format!("x{k}")
+            };
+            let prev = if k == 0 {
+                "in".to_string()
+            } else {
+                format!("x{}", k - 1)
+            };
+            text.push_str(&format!(
+                "G{k} {node} 0 {prev} 0 0.0002\nR{k} {node} 0 10000\nC{k} {node} 0 2e-12\n"
+            ));
+        }
+        text.push_str("CL out 0 10e-12\n.end\n");
+        let netlist = Netlist::parse(&text).unwrap();
+        if !crate::mna::sparse_enabled_from_env() {
+            // Under ARTISAN_SPARSE=0 everything builds dense and there
+            // is no symbolic to share; the grid still evaluates (the
+            // other tests cover that leg).
+            return;
+        }
+        let donor = MnaSystem::new(&netlist).unwrap();
+        assert!(donor.is_sparse());
+        let scaled = CornerPoint {
+            r_scale: 1.1,
+            gm_scale: 0.9,
+            cl_scale: 2.0,
+        }
+        .apply(&netlist);
+        let shared = MnaSystem::new_sharing_symbolic(&scaled, &donor).unwrap();
+        match (donor.sparse_symbolic(), shared.sparse_symbolic()) {
+            (Some(a), Some(b)) => assert!(Arc::ptr_eq(a, b), "symbolic must be shared"),
+            other => panic!("expected shared sparse symbolic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corner_sim_attaches_worst_case_and_bills_corner_sims() {
+        let topo = Topology::nmc_example();
+        let mut plain = Simulator::new();
+        let nominal = plain.analyze_topology(&topo).unwrap();
+        let mut sim = CornerSim::new(Simulator::new(), CornerGrid::default());
+        let report = sim.analyze_topology(&topo).unwrap();
+        // Every non-corner field is untouched.
+        assert_eq!(report.performance, nominal.performance);
+        assert_eq!(report.pole_zero, nominal.pole_zero);
+        assert_eq!(report.stable, nominal.stable);
+        let wc = report.worst_case.expect("summary attached");
+        assert_eq!(wc.corners, 27);
+        let worst = wc.worst.expect("some corner succeeded");
+        // Worst-case metrics can only be as good as nominal.
+        assert!(worst.performance.gain.value() <= nominal.performance.gain.value());
+        assert!(worst.performance.pm.value() <= nominal.performance.pm.value());
+        assert!(worst.performance.power.value() >= nominal.performance.power.value());
+        assert_eq!(sim.ledger().corner_sims(), 27);
+        assert_eq!(sim.ledger().simulations(), 1);
+        assert_eq!(sim.grids_evaluated(), 1);
+    }
+
+    #[test]
+    fn kill_switch_leaves_reports_bit_identical() {
+        let topo = Topology::nmc_example();
+        let mut plain = Simulator::new();
+        let nominal = plain.analyze_topology(&topo).unwrap();
+        let mut sim = CornerSim::new(Simulator::new(), CornerGrid::default());
+        sim.enabled = false;
+        let report = sim.analyze_topology(&topo).unwrap();
+        assert_eq!(report, nominal);
+        assert!(report.worst_case.is_none());
+        assert_eq!(sim.ledger().corner_sims(), 0);
+        assert_eq!(sim.grids_evaluated(), 0);
+    }
+
+    #[test]
+    fn env_kill_switch_parses_like_the_screen_one() {
+        // Avoids mutating the process environment (other tests read it
+        // concurrently): from_env is corners_enabled_from_env glue, so
+        // test the parser through the same match arms.
+        for off in ["0", "false", "OFF", " no "] {
+            assert!(
+                matches!(
+                    off.trim().to_ascii_lowercase().as_str(),
+                    "0" | "false" | "off" | "no"
+                ),
+                "{off}"
+            );
+        }
+        let sim = CornerSim::from_env(Simulator::new(), CornerGrid::default());
+        assert_eq!(sim.is_enabled(), corners_enabled_from_env());
+    }
+
+    #[test]
+    fn verdicts_are_memoized_in_a_shared_cache() {
+        let cache = SimCache::shared(64);
+        let mut sim = CornerSim::new(
+            CachedSim::new(Simulator::new(), Arc::clone(&cache)),
+            CornerGrid::default(),
+        )
+        .with_cache(Arc::clone(&cache));
+        let topo = Topology::nmc_example();
+        let first = sim.analyze_topology(&topo).unwrap();
+        let second = sim.analyze_topology(&topo).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.worst_case, second.worst_case);
+        // One fresh grid; the repeat is a report hit plus a verdict hit.
+        assert_eq!(sim.ledger().corner_sims(), 27);
+        assert_eq!(sim.grids_evaluated(), 1);
+        assert_eq!(sim.ledger().simulations(), 1);
+        assert_eq!(sim.ledger().cache_hits(), 2);
+    }
+
+    #[test]
+    fn batch_matches_singles_and_flattens_over_candidates() {
+        let topos = vec![Topology::nmc_example(), Topology::dfc_example()];
+        let mut singles = Vec::new();
+        for topo in &topos {
+            let mut sim = CornerSim::new(Simulator::new(), CornerGrid::default());
+            singles.push(sim.analyze_topology(topo).unwrap());
+        }
+        let mut sim = CornerSim::new(Simulator::new(), CornerGrid::default());
+        let batch = sim.analyze_batch(&topos);
+        assert_eq!(batch.len(), 2);
+        for (b, s) in batch.iter().zip(&singles) {
+            assert_eq!(b.as_ref().unwrap(), s);
+        }
+        assert_eq!(sim.ledger().corner_sims(), 54);
+        assert_eq!(sim.grids_evaluated(), 2);
+    }
+
+    #[test]
+    fn batch_serves_cached_verdicts_without_reevaluating() {
+        let cache = SimCache::shared(64);
+        let mut sim = CornerSim::new(
+            CachedSim::new(Simulator::new(), Arc::clone(&cache)),
+            CornerGrid::default(),
+        )
+        .with_cache(Arc::clone(&cache));
+        let topos = vec![Topology::nmc_example(), Topology::dfc_example()];
+        let cold = sim.analyze_batch(&topos);
+        assert_eq!(sim.ledger().corner_sims(), 54);
+        let warm = sim.analyze_batch(&topos);
+        // Identical verdicts, zero fresh corner sims on the warm pass.
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.as_ref().unwrap(), w.as_ref().unwrap());
+        }
+        assert_eq!(sim.ledger().corner_sims(), 54);
+        assert_eq!(sim.grids_evaluated(), 2);
+    }
+
+    #[test]
+    fn failing_corners_are_counted_not_fatal() {
+        // An aggressive load spread can push a marginal design past its
+        // unity crossing; the summary must absorb that as a failing
+        // corner, not an error. Use a grid whose extreme load kills the
+        // crossing for a sub-unity-gain corner instead: scale gm to
+        // nearly zero so |H| never reaches 1.
+        let topo = Topology::nmc_example();
+        let grid = CornerGrid {
+            temperature: vec![1.0],
+            supply: vec![1e-9, 1.0],
+            load: vec![1.0],
+        };
+        let mut sim = CornerSim::new(Simulator::new(), grid);
+        let report = sim.analyze_topology(&topo).unwrap();
+        let wc = report.worst_case.unwrap();
+        assert_eq!(wc.corners, 2);
+        assert_eq!(wc.failing, 1, "the near-zero-gm corner must fail");
+        assert!(wc.worst.is_some());
+        assert!(!wc.all_passed());
+    }
+}

@@ -41,6 +41,13 @@ pub struct CostModel {
     /// screening tier is that a doomed candidate costs a screen, not a
     /// full simulation.
     pub seconds_per_screen: f64,
+    /// One PVT corner re-evaluation within a grid. Far below
+    /// [`CostModel::seconds_per_simulation`]: netlisting, the ERC gate,
+    /// pole extraction, and the symbolic factorization are all paid once
+    /// by the nominal analysis, leaving only numeric refactors and an AC
+    /// sweep per corner — on the testbed, a “alter” sweep inside an
+    /// already-open session rather than a fresh Spectre run.
+    pub seconds_per_corner_sim: f64,
 }
 
 impl Default for CostModel {
@@ -51,6 +58,7 @@ impl Default for CostModel {
             seconds_per_optimizer_step: 1.5,
             seconds_per_cache_hit: 0.5,
             seconds_per_screen: 0.2,
+            seconds_per_corner_sim: 4.0,
         }
     }
 }
@@ -106,6 +114,14 @@ impl CostModel {
         self
     }
 
+    /// Builder override for the per-corner-sim cost. Rejects negative,
+    /// NaN, and infinite values (the prior value is kept).
+    #[must_use]
+    pub fn with_corner_sim_seconds(mut self, seconds: f64) -> Self {
+        self.seconds_per_corner_sim = Self::valid_or(self.seconds_per_corner_sim, seconds);
+        self
+    }
+
     /// The default model with any [`CACHE_HIT_SECONDS_ENV`] override
     /// applied. Unparseable, negative, or non-finite values are
     /// silently ignored — the default survives a bad environment.
@@ -143,6 +159,7 @@ pub struct CostLedger {
     coalesced_waits: u64,
     batched_solves: u64,
     screen_rejects: u64,
+    corner_sims: u64,
     penalty_seconds: f64,
 }
 
@@ -203,6 +220,16 @@ impl CostLedger {
         self.screen_rejects += 1;
     }
 
+    /// Bills `n` PVT corner re-evaluations (one whole grid at a time).
+    /// A corner sim costs [`CostModel::seconds_per_corner_sim`], not
+    /// [`CostModel::seconds_per_simulation`] — assembly, the admission
+    /// gate, and the symbolic factorization are amortized across the
+    /// grid, and the separate account lets reports price worst-case
+    /// sign-off distinctly from nominal scoring.
+    pub fn record_corner_sims(&mut self, n: u64) {
+        self.corner_sims += n;
+    }
+
     /// Bills raw testbed seconds outside the per-operation unit costs:
     /// simulated backend latency, retry backoff, queueing. Billing these
     /// as testbed time (never wall clock) keeps supervised sessions
@@ -252,6 +279,11 @@ impl CostLedger {
         self.screen_rejects
     }
 
+    /// Number of PVT corner re-evaluations billed.
+    pub fn corner_sims(&self) -> u64 {
+        self.corner_sims
+    }
+
     /// Raw penalty seconds billed (latency, backoff).
     pub fn penalty_seconds(&self) -> f64 {
         self.penalty_seconds
@@ -264,13 +296,16 @@ impl CostLedger {
             + self.optimizer_steps as f64 * model.seconds_per_optimizer_step
             + self.cache_hits as f64 * model.seconds_per_cache_hit
             + self.screen_rejects as f64 * model.seconds_per_screen
+            + self.corner_sims as f64 * model.seconds_per_corner_sim
             + self.penalty_seconds
     }
 
-    /// Appends the ledger in the shared [`wire`] format: seven `u64`
+    /// Appends the ledger in the shared [`wire`] format: eight `u64`
     /// counters followed by the penalty-seconds `f64` bit pattern.
     /// Bit-exact across a round trip, so a journaled ledger snapshot
     /// resumes billing precisely where the crashed process stopped.
+    /// (The corner-sims counter made the layout grow; the journal
+    /// format version gates old snapshots out.)
     pub fn encode_wire(&self, out: &mut Vec<u8>) {
         wire::push_u64(out, self.simulations);
         wire::push_u64(out, self.llm_steps);
@@ -279,6 +314,7 @@ impl CostLedger {
         wire::push_u64(out, self.coalesced_waits);
         wire::push_u64(out, self.batched_solves);
         wire::push_u64(out, self.screen_rejects);
+        wire::push_u64(out, self.corner_sims);
         wire::push_f64(out, self.penalty_seconds);
     }
 
@@ -297,6 +333,7 @@ impl CostLedger {
             coalesced_waits: reader.u64()?,
             batched_solves: reader.u64()?,
             screen_rejects: reader.u64()?,
+            corner_sims: reader.u64()?,
             penalty_seconds: reader.f64()?,
         };
         if !ledger.penalty_seconds.is_finite() || ledger.penalty_seconds < 0.0 {
@@ -317,6 +354,7 @@ impl CostLedger {
         self.coalesced_waits += other.coalesced_waits;
         self.batched_solves += other.batched_solves;
         self.screen_rejects += other.screen_rejects;
+        self.corner_sims += other.corner_sims;
         self.penalty_seconds += other.penalty_seconds;
     }
 }
@@ -339,6 +377,9 @@ impl fmt::Display for CostLedger {
         }
         if self.screen_rejects > 0 {
             write!(f, ", {} screened out", self.screen_rejects)?;
+        }
+        if self.corner_sims > 0 {
+            write!(f, ", {} corner sims", self.corner_sims)?;
         }
         if self.penalty_seconds > 0.0 {
             write!(f, ", {:.1}s penalties", self.penalty_seconds)?;
@@ -565,6 +606,7 @@ mod tests {
         l.record_coalesced_wait();
         l.record_batched_solves(3);
         l.record_screen_reject();
+        l.record_corner_sims(27);
         l.record_penalty_seconds(2.625);
         let mut bytes = Vec::new();
         l.encode_wire(&mut bytes);

@@ -24,7 +24,10 @@
 //! - [`cache`] — the sharded LRU [`SimCache`] and the memoizing
 //!   [`CachedSim`] backend wrapper that bills hits at retrieval cost,
 //! - [`screen`] — the [`ScreenedSim`] wrapper that rejects statically
-//!   doomed candidates at lint cost before they bill a simulation.
+//!   doomed candidates at lint cost before they bill a simulation,
+//! - [`corners`] — PVT corner grids: value-only netlist variants
+//!   sharing one symbolic LU, with worst-case verdicts attached to
+//!   reports by the [`CornerSim`] wrapper and memoized per grid.
 //!
 //! # Example
 //!
@@ -50,6 +53,7 @@ mod simulator;
 pub mod ac;
 pub mod backend;
 pub mod cache;
+pub mod corners;
 pub mod cost;
 pub mod fingerprint;
 pub mod metrics;
@@ -63,6 +67,10 @@ pub mod wire;
 pub use backend::{ParallelSimBackend, SimBackend};
 pub use cache::persist::{LoadOutcome, SaveOutcome};
 pub use cache::{CacheStats, CachedSim, SimCache};
+pub use corners::{
+    corners_enabled_from_env, CornerGrid, CornerPoint, CornerSim, CornerSummary, WorstCase,
+    CORNERS_ENV,
+};
 pub use error::{BadNetlistReport, SimError};
 pub use fingerprint::NetlistFingerprint;
 pub use metrics::{Performance, PowerModel};

@@ -1,4 +1,5 @@
-use crate::ac::{sweep_with_pool, unity_crossing, SweepConfig};
+use crate::ac::{sweep_with_pool, unity_crossing, unwrap_points, AcPoint, SweepConfig};
+use crate::corners::CornerSummary;
 use crate::cost::CostLedger;
 use crate::error::{BadNetlistReport, SimError};
 use crate::metrics::{Performance, PowerModel};
@@ -8,6 +9,12 @@ use crate::Result;
 use artisan_circuit::units::{Decibels, Degrees, Hertz, Watts};
 use artisan_circuit::{Netlist, Topology};
 use artisan_math::{Complex64, ThreadPool};
+
+/// Frequency-chunk length for the flattened batch path: small batches
+/// split each candidate's sweep into chunks of this many points so
+/// (candidate × chunk) work units can keep every pool worker busy. The
+/// default 441-point sweep yields 7 chunks per candidate.
+const FLAT_CHUNK: usize = 64;
 
 /// Analysis configuration: sweep band, pole extraction, and power model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -32,6 +39,23 @@ pub struct AnalysisReport {
     pub pole_zero: PoleZero,
     /// True when all poles are in the left half-plane.
     pub stable: bool,
+    /// Worst-case PVT corner verdict. `None` from a plain analysis
+    /// (and from every cached snapshot); attached by
+    /// [`crate::corners::CornerSim`] when corner evaluation is active.
+    pub worst_case: Option<CornerSummary>,
+}
+
+/// A candidate carried through the admission gate, pole extraction, and
+/// DC-gain stages with its sweep still pending — the split that lets
+/// the flattened batch path interleave many candidates' sweep chunks
+/// over one pool.
+struct Prepared {
+    sys: MnaSystem,
+    pz: PoleZero,
+    stable: bool,
+    gain: Decibels,
+    power: Watts,
+    cl: f64,
 }
 
 /// The simulator façade: analyzes netlists/topologies and bills each run
@@ -145,6 +169,14 @@ impl Simulator {
         }
         self.ledger.record_batched_solves(topos.len() as u64);
         let config = self.config;
+        // A batch smaller than the pool would leave workers idle if it
+        // only fanned at netlist granularity: flatten (candidate ×
+        // frequency-chunk) work units instead. Bit-identical to the
+        // serial loop — per-point solves are independent and the merge
+        // restores index order (property-pinned in tests/properties.rs).
+        if pool.workers() > 1 && !topos.is_empty() && topos.len() < pool.workers() {
+            return Self::batch_flattened(&config, topos, pool);
+        }
         // Fan out at *netlist* granularity; each candidate's inner
         // sweep runs on one worker. Sweeps are bit-identical for any
         // worker count, so the reports match the serial path exactly
@@ -163,6 +195,95 @@ impl Simulator {
                 &inner,
             )
         })
+    }
+
+    /// The flattened small-batch path: prepare every candidate in
+    /// parallel, then interleave all candidates' sweep chunks over one
+    /// work list so even a single-candidate batch saturates the pool.
+    fn batch_flattened(
+        config: &AnalysisConfig,
+        topos: &[Topology],
+        pool: &ThreadPool,
+    ) -> Vec<Result<AnalysisReport>> {
+        // Stage A: per-candidate pipeline up to the sweep (gate, poles,
+        // DC gain) — the same checks in the same order as the serial
+        // loop, so failures are byte-identical.
+        let prepared: Vec<Result<Prepared>> = pool.par_map_indexed(topos, |_, topo| {
+            let netlist = topo
+                .elaborate()
+                .map_err(|e| SimError::BadNetlist(e.to_string().into()))?;
+            let power = config.power.power_of_topology(topo);
+            Self::prepare_candidate(config, &netlist, topo.skeleton.cl.value(), Some(power))
+        });
+        // The grid is shared; a malformed sweep fails every surviving
+        // candidate with the same error the per-candidate path raises.
+        let freqs = match config.sweep.frequencies() {
+            Ok(freqs) => freqs,
+            Err(_) => {
+                return prepared
+                    .into_iter()
+                    .map(|p| {
+                        p.and(Err(SimError::InvalidSweep {
+                            f_start: config.sweep.f_start,
+                            f_stop: config.sweep.f_stop,
+                        }))
+                    })
+                    .collect();
+            }
+        };
+        // Stage B: one flattened work list of (candidate, chunk) units.
+        // Each unit solves its frequency range sequentially in its own
+        // workspace; per-point arithmetic is self-contained, so chunk
+        // boundaries cannot change any value.
+        let chunk_count = freqs.len().div_ceil(FLAT_CHUNK);
+        let units: Vec<(usize, usize)> = (0..topos.len())
+            .filter(|&i| prepared[i].is_ok())
+            .flat_map(|i| (0..chunk_count).map(move |c| (i, c)))
+            .collect();
+        let solved: Vec<Vec<Result<Complex64>>> = pool.par_map_indexed(&units, |_, &(i, c)| {
+            let prep = match &prepared[i] {
+                Ok(prep) => prep,
+                Err(_) => unreachable!("units are built from prepared candidates only"),
+            };
+            let mut ws = prep.sys.workspace();
+            let lo = c * FLAT_CHUNK;
+            let hi = (lo + FLAT_CHUNK).min(freqs.len());
+            freqs[lo..hi]
+                .iter()
+                .map(|&f| {
+                    prep.sys
+                        .transfer_with(Complex64::jomega(2.0 * std::f64::consts::PI * f), &mut ws)
+                })
+                .collect()
+        });
+        // Merge: chunks are unit-ordered (candidate-major), so each
+        // surviving candidate consumes `chunk_count` lists. The lowest
+        // failing frequency index wins, exactly like the serial sweep.
+        let mut chunks = solved.into_iter();
+        prepared
+            .into_iter()
+            .map(|p| {
+                let prep = p?;
+                let mut hs = Vec::with_capacity(freqs.len());
+                let mut first_err: Option<SimError> = None;
+                for _ in 0..chunk_count {
+                    let chunk = chunks
+                        .next()
+                        .unwrap_or_else(|| unreachable!("one chunk list per surviving candidate"));
+                    for h in chunk {
+                        match h {
+                            Ok(h) if first_err.is_none() => hs.push(h),
+                            Err(e) if first_err.is_none() => first_err = Some(e),
+                            _ => {}
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                Self::finish_report(prep, unwrap_points(&freqs, &hs))
+            })
+            .collect()
     }
 
     fn analyze_inner(
@@ -191,6 +312,21 @@ impl Simulator {
         power_override: Option<Watts>,
         pool: &ThreadPool,
     ) -> Result<AnalysisReport> {
+        let prep = Self::prepare_candidate(config, netlist, cl, power_override)?;
+        let points = sweep_with_pool(&prep.sys, &config.sweep, pool)?;
+        Self::finish_report(prep, points)
+    }
+
+    /// Everything before the sweep: the ERC admission gate, pole/zero
+    /// extraction, the stability check, and the DC-gain solve — in the
+    /// exact order the monolithic pipeline ran them, so per-candidate
+    /// failures are byte-identical on every path.
+    fn prepare_candidate(
+        config: &AnalysisConfig,
+        netlist: &Netlist,
+        cl: f64,
+        power_override: Option<Watts>,
+    ) -> Result<Prepared> {
         // ERC admission gate: reject structurally broken netlists with
         // actionable diagnostics instead of letting them surface later
         // as opaque numerical failures (a floating node would otherwise
@@ -232,24 +368,36 @@ impl Simulator {
         }
         let gain = Decibels::from_ratio(h0.abs());
 
-        let points = sweep_with_pool(&sys, &config.sweep, pool)?;
+        let power = power_override.unwrap_or_else(|| config.power.power_of_netlist(netlist));
+
+        Ok(Prepared {
+            sys,
+            pz,
+            stable,
+            gain,
+            power,
+            cl,
+        })
+    }
+
+    /// Everything after the sweep: unity crossing, phase margin, and
+    /// report assembly.
+    fn finish_report(prep: Prepared, points: Vec<AcPoint>) -> Result<AnalysisReport> {
         let (gbw_hz, phase_at_unity) = unity_crossing(&points).ok_or(SimError::NoUnityCrossing)?;
         // Phase margin: 180° + relative phase accumulated from DC.
         let pm = 180.0 + phase_at_unity;
-
-        let power = power_override.unwrap_or_else(|| config.power.power_of_netlist(netlist));
-
         let performance = Performance {
-            gain,
+            gain: prep.gain,
             gbw: Hertz(gbw_hz),
             pm: Degrees(pm),
-            power,
-            fom: Performance::fom_of(gbw_hz, cl, power.value()),
+            power: prep.power,
+            fom: Performance::fom_of(gbw_hz, prep.cl, prep.power.value()),
         };
         Ok(AnalysisReport {
             performance,
-            pole_zero: pz,
-            stable,
+            pole_zero: prep.pz,
+            stable: prep.stable,
+            worst_case: None,
         })
     }
 }

@@ -241,6 +241,11 @@ impl<'a> Reader<'a> {
             performance,
             pole_zero: PoleZero { poles, zeros },
             stable,
+            // Corner verdicts are never serialized: every cached or
+            // journaled snapshot deserializes as nominal-only, and the
+            // corner layer (which sits outside the report cache)
+            // re-attaches worst-case data from its own verdict map.
+            worst_case: None,
         })
     }
 }

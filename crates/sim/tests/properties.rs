@@ -575,6 +575,109 @@ proptest! {
     }
 }
 
+/// Every f64 an [`artisan_sim::AnalysisReport`] carries, as raw bit
+/// patterns (plus the stability flag), *excluding* the corner verdict —
+/// the bit-identity properties below compare nominal analysis results
+/// exactly, with no tolerance to hide a drifted code path.
+fn report_bits(r: &artisan_sim::AnalysisReport) -> Vec<u64> {
+    let mut v = vec![
+        r.performance.gain.value().to_bits(),
+        r.performance.gbw.value().to_bits(),
+        r.performance.pm.value().to_bits(),
+        r.performance.power.value().to_bits(),
+        r.performance.fom.to_bits(),
+        u64::from(r.stable),
+    ];
+    for z in r.pole_zero.poles.iter().chain(&r.pole_zero.zeros) {
+        v.push(z.re.to_bits());
+        v.push(z.im.to_bits());
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flattened (netlist × frequency-chunk) batch path — taken
+    /// when the batch is smaller than the worker count — is
+    /// bit-identical to the serial loop on every f64 field, for any
+    /// worker count. (Billing equivalence is covered by
+    /// `batch_equals_serial_for_any_worker_count`.)
+    #[test]
+    fn flattened_small_batches_are_bit_identical_to_serial(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..4);
+        let topos: Vec<Topology> = (0..n)
+            .map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12))
+            .collect();
+        let mut serial_sim = Simulator::new();
+        let serial: Vec<_> = topos
+            .iter()
+            .map(|t| serial_sim.analyze_topology(t))
+            .collect();
+        // workers > batch size forces the flattened work-unit path.
+        for workers in [n + 1, n + 7] {
+            let mut sim = Simulator::new();
+            let batch = sim.analyze_batch_with_pool(&topos, &ThreadPool::with_workers(workers));
+            for (k, (got, want)) in batch.iter().zip(&serial).enumerate() {
+                match (got, want) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        report_bits(a), report_bits(b), "candidate {} workers {}", k, workers
+                    ),
+                    (Err(a), Err(b)) => prop_assert_eq!(
+                        format!("{a}"), format!("{b}"), "candidate {}", k
+                    ),
+                    (a, b) => prop_assert!(
+                        false, "candidate {}: flattened {:?} vs serial {:?}", k, a.is_ok(), b.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A nominal-only corner grid is observationally inert: the wrapped
+    /// report reproduces the bare simulator's bit-for-bit (every f64
+    /// compared by bit pattern), and the attached verdict's worst case
+    /// *is* the nominal performance. Runs under whatever
+    /// `ARTISAN_SPARSE` leg CI chose, so both solvers get pinned.
+    #[test]
+    fn nominal_corner_grid_reproduces_plain_report_bitwise(seed in 0u64..2000) {
+        use artisan_sim::{CornerGrid, CornerSim};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = sample_topology(&mut rng, &SampleRanges::default(), 10e-12);
+        let mut bare = Simulator::new();
+        let want = bare.analyze_topology(&topo);
+        let mut cornered = CornerSim::new(Simulator::new(), CornerGrid::nominal());
+        let got = cornered.analyze_topology(&topo);
+        match (&got, &want) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(report_bits(a), report_bits(b));
+                let wc = a.worst_case.unwrap_or_else(|| panic!("no verdict attached"));
+                prop_assert_eq!(wc.corners, 1);
+                if b.performance.is_finite() {
+                    prop_assert_eq!(wc.failing, 0);
+                    let w = wc.worst.unwrap_or_else(|| panic!("finite nominal lost its worst case"));
+                    for (x, y) in [
+                        (w.performance.gain.value(), b.performance.gain.value()),
+                        (w.performance.gbw.value(), b.performance.gbw.value()),
+                        (w.performance.pm.value(), b.performance.pm.value()),
+                        (w.performance.power.value(), b.performance.power.value()),
+                        (w.performance.fom, b.performance.fom),
+                    ] {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                } else {
+                    prop_assert_eq!(wc.failing, 1);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+            (a, b) => prop_assert!(
+                false, "cornered {:?} vs bare {:?}", a.is_ok(), b.is_ok()
+            ),
+        }
+    }
+}
+
 /// Deterministic spot-check kept outside proptest: the paper's example
 /// circuit is analyzed identically every time (regression guard for the
 /// whole stack).

@@ -68,8 +68,8 @@ pub mod prelude {
         FaultPlan, FaultySim, ScheduledSession, Scheduler, SessionReport, Supervisor,
     };
     pub use artisan_sim::{
-        CacheStats, CachedSim, ParallelSimBackend, ScreenedSim, SimBackend, SimCache, Simulator,
-        Spec,
+        CacheStats, CachedSim, CornerGrid, CornerSim, ParallelSimBackend, ScreenedSim, SimBackend,
+        SimCache, Simulator, Spec,
     };
 }
 
