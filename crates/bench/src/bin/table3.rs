@@ -26,10 +26,14 @@
 //! write-ahead journal per Artisan trial under `DIR`; re-running the
 //! same configuration resumes finished sessions instead of re-buying
 //! them. Journal/snapshot load warnings are surfaced on stderr.
+//! `--journal-expire-secs S` runs the journal janitor after the tables:
+//! finished (terminal) journals older than `S` seconds are deleted,
+//! in-flight journals are never touched (`S = 0` sweeps every finished
+//! journal immediately).
 
 use artisan_bench::{arg_or, quick_mode};
 use artisan_core::experiment::{ExperimentConfig, RobustnessReport, Table3};
-use artisan_resilience::{journal_dir_from_env, FaultPlan, Supervisor};
+use artisan_resilience::{expire_terminal, journal_dir_from_env, FaultPlan, Supervisor};
 use artisan_sim::fingerprint::config_salt;
 use artisan_sim::{AnalysisConfig, SimCache};
 use std::path::PathBuf;
@@ -119,6 +123,23 @@ fn main() {
         } else {
             println!("Robustness sweep (Artisan supervised, all groups):");
             println!("{}", RobustnessReport::run(&config, &rates));
+        }
+    }
+    let expire_secs: f64 = arg_or("--journal-expire-secs", -1.0);
+    if expire_secs >= 0.0 {
+        match &journal_dir {
+            Some(dir) => {
+                match expire_terminal(dir, std::time::Duration::from_secs_f64(expire_secs)) {
+                    Ok(outcome) => eprintln!(
+                        "journal janitor: scanned {}, terminal {}, expired {}, failed {}",
+                        outcome.scanned, outcome.terminal, outcome.expired, outcome.failed
+                    ),
+                    Err(err) => eprintln!("journal janitor failed: {err}"),
+                }
+            }
+            None => eprintln!(
+                "--journal-expire-secs needs a journal dir (--journal or ARTISAN_JOURNAL_DIR)"
+            ),
         }
     }
 }

@@ -1083,6 +1083,64 @@ pub fn scan_dir(dir: &Path) -> io::Result<Vec<JournalScan>> {
     Ok(scans)
 }
 
+/// What the journal janitor did in one pass — see [`expire_terminal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpireOutcome {
+    /// Journal files examined.
+    pub scanned: usize,
+    /// Of those, journals whose last record is terminal.
+    pub terminal: usize,
+    /// Terminal journals removed (old enough).
+    pub expired: usize,
+    /// Journals that could not be aged or removed (I/O errors on the
+    /// individual file; the pass continues past them).
+    pub failed: usize,
+}
+
+/// The journal janitor: removes terminal `session-*.wal` files whose
+/// modification time is at least `max_age` old.
+///
+/// Only *terminal* journals are candidates — a session that crashed
+/// mid-attempt keeps its WAL indefinitely, because that file is the
+/// resume point. Terminal journals are pure archive once their report
+/// has shipped, so a serving deployment expires them by age (wired
+/// into the server's graceful drain and `table3
+/// --journal-expire-secs`). `Duration::ZERO` expires every terminal
+/// journal immediately.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; per-file failures are counted
+/// in [`ExpireOutcome::failed`] instead.
+pub fn expire_terminal(dir: &Path, max_age: std::time::Duration) -> io::Result<ExpireOutcome> {
+    let mut outcome = ExpireOutcome::default();
+    let now = std::time::SystemTime::now();
+    for scan in scan_dir(dir)? {
+        outcome.scanned += 1;
+        if !scan.load.terminal {
+            continue;
+        }
+        outcome.terminal += 1;
+        let age = match fs::metadata(&scan.path).and_then(|m| m.modified()) {
+            Ok(mtime) => now
+                .duration_since(mtime)
+                .unwrap_or(std::time::Duration::ZERO),
+            Err(_) => {
+                outcome.failed += 1;
+                continue;
+            }
+        };
+        if age < max_age {
+            continue;
+        }
+        match fs::remove_file(&scan.path) {
+            Ok(()) => outcome.expired += 1,
+            Err(_) => outcome.failed += 1,
+        }
+    }
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

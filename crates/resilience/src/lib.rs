@@ -57,9 +57,9 @@ pub mod supervisor;
 
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultySim};
 pub use journal::{
-    agent_config_salt, faulted_plan_fingerprint, journal_dir_from_env, plan_fingerprint, scan_dir,
-    session_file_name, AppendOutcome, AttemptRecord, JournalLoad, JournalOutcome, JournalRecord,
-    JournalScan, SessionJournal, JOURNAL_DIR_ENV,
+    agent_config_salt, expire_terminal, faulted_plan_fingerprint, journal_dir_from_env,
+    plan_fingerprint, scan_dir, session_file_name, AppendOutcome, AttemptRecord, ExpireOutcome,
+    JournalLoad, JournalOutcome, JournalRecord, JournalScan, SessionJournal, JOURNAL_DIR_ENV,
 };
 pub use scheduler::{JournaledBatch, ScheduledSession, Scheduler};
 pub use supervisor::{RetryPolicy, SessionBudget, SessionEvent, SessionReport, Supervisor};

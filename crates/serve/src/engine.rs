@@ -1,0 +1,499 @@
+//! The cross-request batching engine: one compute loop shared by every
+//! tenant.
+//!
+//! Design sessions submit candidate evaluations one at a time (the
+//! agent's inner loop is serial), so a multi-tenant server naturally
+//! has many single-candidate requests in flight at once. The engine
+//! turns that concurrency into batch width:
+//!
+//! 1. every in-flight session holds a *lease*; submitted jobs land in
+//!    one ingress queue;
+//! 2. the batcher thread accumulates arrivals until the batch is full
+//!    or a short coalescing window expires (bounded latency when
+//!    tenants are idle), then drains up to `max_batch`;
+//! 3. jobs are keyed by netlist fingerprint: cache hits are answered
+//!    immediately, in-batch duplicates collapse onto one computation
+//!    (cross-tenant single-flight), and the survivors run through one
+//!    [`Simulator::analyze_batch_with_pool`] call on the shared pool;
+//! 4. finite successful reports are inserted into the shared
+//!    [`SimCache`] under the default analysis-config salt — the same
+//!    namespace `table3`'s persistent snapshot uses, so a drained
+//!    server's snapshot warm-starts every other consumer.
+//!
+//! Crucially the engine is **billing-invisible**: [`EngineBackend`]
+//! mirrors the plain [`Simulator`]'s ledger discipline exactly (what
+//! gets billed, in what order, and what does not), so a session run
+//! through the engine produces a `SessionReport` field-identical to a
+//! solo run — batching and caching only change wall-clock time. The
+//! determinism suite pins this.
+
+use crate::proto::WorkItem;
+use artisan_circuit::{Netlist, Topology};
+use artisan_math::ThreadPool;
+use artisan_sim::cost::CostLedger;
+use artisan_sim::fingerprint::config_salt;
+use artisan_sim::{
+    AnalysisConfig, AnalysisReport, NetlistFingerprint, Result, SimBackend, SimCache, SimError,
+    Simulator,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counters the batcher maintains; snapshot via [`BatchEngine::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Jobs submitted (answered at submit time or through the queue).
+    pub jobs: u64,
+    /// Jobs that required a fresh computation.
+    pub unique_computed: u64,
+    /// Jobs answered by an identical in-batch twin's computation.
+    pub dedup_shared: u64,
+    /// Jobs answered straight from the shared cache.
+    pub cache_served: u64,
+    /// Histogram of batch occupancies: `occupancy[k]` counts batches
+    /// that drained `k+1` jobs (capped at the last bucket).
+    pub occupancy: Vec<u64>,
+}
+
+impl EngineStats {
+    fn record_batch(&mut self, drained: usize, max_batch: usize) {
+        self.batches += 1;
+        self.jobs += drained as u64;
+        if self.occupancy.len() < max_batch {
+            self.occupancy.resize(max_batch, 0);
+        }
+        let bucket = drained.clamp(1, self.occupancy.len());
+        self.occupancy[bucket - 1] += 1;
+    }
+}
+
+/// One result slot, shared between a submitting session and the
+/// batcher.
+struct Slot {
+    result: Mutex<Option<Result<AnalysisReport>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: Result<AnalysisReport>) {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<AnalysisReport> {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = guard.take() {
+                return value;
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Job {
+    item: WorkItem,
+    key: Option<NetlistFingerprint>,
+    slot: Arc<Slot>,
+}
+
+struct EngineShared {
+    queue: Mutex<VecDeque<Job>>,
+    arrived: Condvar,
+    cache: Arc<SimCache>,
+    stats: Mutex<EngineStats>,
+    active_leases: AtomicUsize,
+    shutdown: AtomicBool,
+    window: Duration,
+    max_batch: usize,
+    salt: u64,
+}
+
+impl EngineShared {
+    fn fingerprint(&self, item: &WorkItem) -> Option<NetlistFingerprint> {
+        match item {
+            WorkItem::Topo(t) => {
+                NetlistFingerprint::of_topology(t).map(|fp| fp.with_salt(self.salt))
+            }
+            WorkItem::Net(n) => Some(NetlistFingerprint::of_netlist(n).with_salt(self.salt)),
+        }
+    }
+
+    fn submit(&self, item: WorkItem) -> Arc<Slot> {
+        self.submit_many(vec![item]).pop().unwrap_or_else(Slot::new)
+    }
+
+    /// Submits a set of jobs atomically: cache hits are answered at
+    /// submit time (no coalescing-window latency for work a leader has
+    /// already finished — billing happened in the caller, cache service
+    /// is wall-clock only), and the misses land in the queue under one
+    /// lock, so the batcher sees a whole sweep at once instead of
+    /// nibbling it into lease-width micro-batches. A job that misses
+    /// here may still hit the cache at drain time if a leader's batch
+    /// completes while it queues — single-flight either way.
+    fn submit_many(&self, items: Vec<WorkItem>) -> Vec<Arc<Slot>> {
+        let mut slots = Vec::with_capacity(items.len());
+        let mut pending = Vec::new();
+        let mut served = 0u64;
+        for item in items {
+            let slot = Slot::new();
+            let key = self.fingerprint(&item);
+            let cached = key.and_then(|fp| self.cache.get(fp));
+            if let Some(report) = cached {
+                served += 1;
+                slot.fill(Ok(report));
+            } else {
+                pending.push(Job {
+                    item,
+                    key,
+                    slot: Arc::clone(&slot),
+                });
+            }
+            slots.push(slot);
+        }
+        if served > 0 {
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.jobs += served;
+            stats.cache_served += served;
+        }
+        if !pending.is_empty() {
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.extend(pending);
+            self.arrived.notify_all();
+        }
+        slots
+    }
+}
+
+/// The batching engine: owns the batcher thread, the shared cache
+/// handle, and the ingress queue. Dropping it shuts the batcher down
+/// after failing any still-queued jobs.
+pub struct BatchEngine {
+    shared: Arc<EngineShared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl BatchEngine {
+    /// Starts the batcher over `cache` with the given coalescing
+    /// window and maximum batch width.
+    pub fn start(cache: Arc<SimCache>, window: Duration, max_batch: usize) -> BatchEngine {
+        let shared = Arc::new(EngineShared {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            cache,
+            stats: Mutex::new(EngineStats::default()),
+            active_leases: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            window,
+            max_batch: max_batch.max(1),
+            salt: config_salt(&AnalysisConfig::default()),
+        });
+        let worker = Arc::clone(&shared);
+        let batcher = std::thread::spawn(move || batcher_loop(&worker));
+        BatchEngine {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Hands out a session backend. The lease count is bookkeeping
+    /// only; batch launch is steered by the coalescing window and
+    /// `max_batch`.
+    pub fn lease(&self) -> EngineBackend {
+        self.shared.active_leases.fetch_add(1, Ordering::SeqCst);
+        EngineBackend {
+            shared: Arc::clone(&self.shared),
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Snapshot of the batcher's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.shared
+            .stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The shared cache the engine computes into.
+    pub fn cache(&self) -> &Arc<SimCache> {
+        &self.shared.cache
+    }
+
+    /// Stops the batcher: queued jobs still complete, then the thread
+    /// exits. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.arrived.notify_all();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(shared: &EngineShared) {
+    // The batcher owns the only compute resources: one scratch
+    // simulator (default config — the same config a solo session's
+    // `Simulator::new()` uses, so results are bit-identical) and the
+    // environment-sized pool.
+    let mut sim = Simulator::new();
+    let pool = ThreadPool::from_env();
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Sleep until work arrives or shutdown.
+            while queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                queue = shared
+                    .arrived
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if queue.is_empty() {
+                // Shutdown with a drained queue: done.
+                return;
+            }
+            // Coalescing window: once work arrives, keep accumulating
+            // until the batch is full or the window expires. Draining
+            // any earlier (e.g. at one-job-per-lease width) splits a
+            // concurrent sweep into micro-batches and forfeits the
+            // in-batch dedup that makes batching pay; the window bounds
+            // the latency cost for sparse traffic.
+            let deadline = Instant::now() + shared.window;
+            loop {
+                if queue.len() >= shared.max_batch || shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .arrived
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+            let take = queue.len().min(shared.max_batch);
+            queue.drain(..take).collect::<Vec<Job>>()
+        };
+        run_batch(shared, &mut sim, &pool, batch);
+    }
+}
+
+/// Executes one drained batch: cache lookup, in-batch dedup, one
+/// parallel compute for the unique topology survivors, result
+/// distribution, cache fill.
+fn run_batch(shared: &EngineShared, sim: &mut Simulator, pool: &ThreadPool, batch: Vec<Job>) {
+    let drained = batch.len();
+    let mut cache_served = 0u64;
+    let mut dedup_shared = 0u64;
+
+    // Unique work groups in arrival order: the computation for each
+    // group feeds every slot that coalesced onto it.
+    struct Group {
+        key: Option<NetlistFingerprint>,
+        item: WorkItem,
+        slots: Vec<Arc<Slot>>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for job in batch {
+        let key = job.key;
+        if let Some(fp) = key {
+            if let Some(report) = shared.cache.get(fp) {
+                cache_served += 1;
+                job.slot.fill(Ok(report));
+                continue;
+            }
+            if let Some(group) = groups.iter_mut().find(|g| g.key == Some(fp)) {
+                dedup_shared += 1;
+                group.slots.push(job.slot);
+                continue;
+            }
+        }
+        groups.push(Group {
+            key,
+            item: job.item,
+            slots: vec![job.slot],
+        });
+    }
+
+    // Split unique survivors: topologies fan out through the batch
+    // API (amortized pool + shared sweep machinery), netlists run
+    // individually (rare path — only RemoteSim sends them).
+    let topo_indices: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| matches!(g.item, WorkItem::Topo(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let topos: Vec<Topology> = topo_indices
+        .iter()
+        .filter_map(|&i| match &groups[i].item {
+            WorkItem::Topo(t) => Some(t.clone()),
+            WorkItem::Net(_) => None,
+        })
+        .collect();
+    let unique_computed = groups.len() as u64;
+    let topo_results = sim.analyze_batch_with_pool(&topos, pool);
+
+    let mut results: Vec<Option<Result<AnalysisReport>>> = vec![None; groups.len()];
+    for (&group_idx, result) in topo_indices.iter().zip(topo_results) {
+        results[group_idx] = Some(result);
+    }
+    for (i, group) in groups.iter().enumerate() {
+        if results[i].is_none() {
+            if let WorkItem::Net(netlist) = &group.item {
+                results[i] = Some(sim.analyze_netlist(netlist));
+            }
+        }
+    }
+
+    for (group, result) in groups.iter().zip(results) {
+        let result = result.unwrap_or(Err(SimError::NoUnityCrossing));
+        // Only finite successes are cacheable — the same rule the
+        // caching tier applies everywhere.
+        if let (Some(fp), Ok(report)) = (&group.key, &result) {
+            if report.performance.is_finite() {
+                shared.cache.insert(*fp, report.clone());
+            }
+        }
+        for slot in &group.slots {
+            slot.fill(result.clone());
+        }
+    }
+
+    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    stats.record_batch(drained, shared.max_batch);
+    stats.unique_computed += unique_computed;
+    stats.dedup_shared += dedup_shared;
+    stats.cache_served += cache_served;
+}
+
+/// A per-session [`SimBackend`] over the shared engine.
+///
+/// Bills its own [`CostLedger`] with **exactly** the plain
+/// [`Simulator`]'s discipline: elaboration / missing-`CL` failures are
+/// rejected locally and unbilled; everything else bills one simulation
+/// before compute; batches bill up front plus the batch counter. Cache
+/// hits and cross-tenant dedup are *not* billed — they are wall-clock
+/// effects invisible to the cost model, which is what makes batched
+/// session reports field-identical to solo runs.
+pub struct EngineBackend {
+    shared: Arc<EngineShared>,
+    ledger: CostLedger,
+}
+
+impl Drop for EngineBackend {
+    fn drop(&mut self) {
+        self.shared.active_leases.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl EngineBackend {
+    /// Analyzes a mixed batch of work items through a single atomic
+    /// submission, so the batcher sees the whole sweep at once instead
+    /// of one job per blocking round-trip. Per-item pre-simulation
+    /// rejections (elaboration failures, missing `CL`) are answered
+    /// inline and never billed, mirroring the single-item paths; valid
+    /// items are billed up front like `analyze_batch`.
+    pub fn analyze_items(&mut self, items: Vec<WorkItem>) -> Vec<Result<AnalysisReport>> {
+        let mut out: Vec<Option<Result<AnalysisReport>>> = Vec::with_capacity(items.len());
+        let mut valid = Vec::new();
+        let mut valid_at = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            let reject = match &item {
+                WorkItem::Topo(t) => t
+                    .elaborate()
+                    .err()
+                    .map(|e| SimError::BadNetlist(e.to_string().into())),
+                WorkItem::Net(n) => n
+                    .find("CL")
+                    .is_none()
+                    .then(|| SimError::BadNetlist("netlist has no CL load element".into())),
+            };
+            match reject {
+                Some(err) => out.push(Some(Err(err))),
+                None => {
+                    self.ledger.record_simulation();
+                    valid.push(item);
+                    valid_at.push(i);
+                    out.push(None);
+                }
+            }
+        }
+        if !valid.is_empty() {
+            self.ledger.record_batched_solves(valid.len() as u64);
+            let slots = self.shared.submit_many(valid);
+            for (i, slot) in valid_at.into_iter().zip(slots) {
+                out[i] = Some(slot.wait());
+            }
+        }
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| Err(SimError::BadNetlist("batch item lost its result".into())))
+            })
+            .collect()
+    }
+}
+
+impl SimBackend for EngineBackend {
+    fn analyze_topology(&mut self, topo: &Topology) -> Result<AnalysisReport> {
+        if let Err(e) = topo.elaborate() {
+            // Same pre-simulation rejection (and non-billing) as
+            // `Simulator::analyze_topology`.
+            return Err(SimError::BadNetlist(e.to_string().into()));
+        }
+        self.ledger.record_simulation();
+        self.shared.submit(WorkItem::Topo(topo.clone())).wait()
+    }
+
+    fn analyze_netlist(&mut self, netlist: &Netlist) -> Result<AnalysisReport> {
+        if netlist.find("CL").is_none() {
+            return Err(SimError::BadNetlist(
+                "netlist has no CL load element".into(),
+            ));
+        }
+        self.ledger.record_simulation();
+        self.shared.submit(WorkItem::Net(netlist.clone())).wait()
+    }
+
+    fn analyze_batch(&mut self, topos: &[Topology]) -> Vec<Result<AnalysisReport>> {
+        // Bill everything up front, exactly like the simulator's
+        // batch path (which bills even candidates that later fail).
+        for _ in topos {
+            self.ledger.record_simulation();
+        }
+        self.ledger.record_batched_solves(topos.len() as u64);
+        let items: Vec<WorkItem> = topos.iter().map(|t| WorkItem::Topo(t.clone())).collect();
+        let slots = self.shared.submit_many(items);
+        slots.iter().map(|slot| slot.wait()).collect()
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+}

@@ -1,0 +1,431 @@
+//! A minimal, hostile-input-safe JSON value with a deterministic
+//! encoder.
+//!
+//! The wire protocol (`proto`) frames JSON payloads, so the server must
+//! parse attacker-controlled text without panicking or amplifying
+//! allocations. This module implements exactly the JSON subset the
+//! protocol emits — objects, arrays, strings, `f64` numbers, booleans,
+//! `null` — with three hardening rules:
+//!
+//! - **Depth cap.** Nesting beyond [`MAX_DEPTH`] is rejected, so
+//!   `[[[[…` cannot blow the parse stack.
+//! - **No length-driven pre-allocation.** Containers grow as elements
+//!   actually arrive; a hostile payload can only make the parser hold
+//!   what it truly sent (the frame layer already caps total bytes).
+//! - **Deterministic encoding.** Objects preserve insertion order and
+//!   floats with bit-exact significance travel as hex bit-pattern
+//!   strings (see [`bits_str`]), so equal values encode to equal bytes
+//!   — the property the `serve_load` bit-identical assertion and the
+//!   determinism suite compare on.
+//!
+//! Escaping follows the same convention as `artisan_lint`'s and
+//! `artisan_sim`'s hand-rolled JSON: `"` and `\` are escaped, control
+//! characters become `\u00XX`.
+
+use std::fmt::Write as _;
+
+/// Maximum container nesting the parser accepts.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer payload (numbers with a fractional part
+    /// or beyond exact `f64` range are rejected).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes deterministically: insertion-ordered objects, `{:?}`
+    /// floats (shortest round-trip form), escaped strings.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `{:?}` prints the shortest digits that round-trip,
+                    // and always with a `.0`/exponent so the token stays
+                    // a JSON number.
+                    let _ = write!(out, "{n:?}");
+                } else {
+                    // JSON has no NaN/Inf token; the protocol carries
+                    // bit-exact floats as strings instead (bits_str).
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => encode_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(out, k);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error,
+    /// depth overflow, or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Encodes `value`'s raw bit pattern as a 16-hex-digit string — the
+/// protocol's bit-exact float representation (`NaN`/`Inf` safe, no
+/// shortest-repr ambiguity).
+pub fn bits_str(value: f64) -> Json {
+    Json::Str(format!("{:016x}", value.to_bits()))
+}
+
+/// Encodes a `u64` as a 16-hex-digit string (seeds, fingerprints —
+/// values that may exceed exact-`f64` range).
+pub fn hex_str(value: u64) -> Json {
+    Json::Str(format!("{value:016x}"))
+}
+
+/// Decodes a [`bits_str`] float.
+///
+/// # Errors
+///
+/// Rejects values that are not 16-hex-digit strings.
+pub fn bits_of(value: &Json) -> Result<f64, String> {
+    Ok(f64::from_bits(hex_of(value)?))
+}
+
+/// Decodes a [`hex_str`] integer.
+///
+/// # Errors
+///
+/// Rejects values that are not 16-hex-digit strings.
+pub fn hex_of(value: &Json) -> Result<u64, String> {
+    let s = value.as_str().ok_or("expected hex string")?;
+    if s.len() != 16 {
+        return Err(format!("expected 16 hex digits, got {}", s.len()));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex string: {e}"))
+}
+
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos, depth + 1)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                let value = parse_value(bytes, pos, depth + 1)?;
+                items.push(value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("unexpected character at byte {start}"));
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("non-utf8 number at byte {start}"))?;
+    token
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {token:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "non-utf8 \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogates and other invalid scalars decode to
+                        // the replacement character rather than erroring:
+                        // the encoder never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!("raw control byte {b:#x} in string"));
+            }
+            Some(_) => {
+                // Consume the whole run of ordinary bytes up to the
+                // next quote, escape, or control byte, validating UTF-8
+                // once per run (validating the full remaining input per
+                // character is quadratic in the payload size).
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| format!("non-utf8 string content at byte {start}"))?;
+                out.push_str(run);
+            }
+        }
+    }
+}
+
+/// Convenience: builds an object from key/value pairs.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_values() {
+        let v = obj(vec![
+            ("a", Json::Num(1.5)),
+            ("b", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("s", Json::Str("q\"\\\n\u{1}端".to_string())),
+            ("bits", bits_str(f64::NAN)),
+            ("seed", hex_str(u64::MAX)),
+        ]);
+        let text = v.encode();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(v, back);
+        assert!(bits_of(back.get("bits").unwrap_or(&Json::Null))
+            .unwrap_or(0.0)
+            .is_nan());
+        assert_eq!(
+            hex_of(back.get("seed").unwrap_or(&Json::Null)),
+            Ok(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn depth_bomb_rejected() {
+        let mut text = String::new();
+        for _ in 0..10_000 {
+            text.push('[');
+        }
+        assert!(Json::parse(&text).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+}

@@ -39,6 +39,7 @@
 //! | [`agents`] | prompter, Artisan-LLM, ToT/CoT, calculator, transcripts |
 //! | [`opt`] | BOBO, RLBO, GPT-4/Llama2 baselines |
 //! | [`resilience`] | fault-injected backends, supervised sessions, budgets |
+//! | [`serve`] | multi-tenant design server, wire protocol, batching engine |
 //! | [`core`] | the `Artisan` workflow and the Table 3 experiment runner |
 
 #![forbid(unsafe_code)]
@@ -54,6 +55,7 @@ pub use artisan_llm as llm;
 pub use artisan_math as math;
 pub use artisan_opt as opt;
 pub use artisan_resilience as resilience;
+pub use artisan_serve as serve;
 pub use artisan_sim as sim;
 
 /// The most common imports, re-exported flat.
@@ -88,6 +90,7 @@ mod tests {
         let _ = crate::agents::AgentConfig::noiseless();
         let _ = crate::opt::BoboConfig::default();
         let _ = crate::resilience::Supervisor::default();
+        let _ = crate::serve::ServerConfig::default();
         let _ = crate::core::ArtisanOptions::fast();
     }
 }
